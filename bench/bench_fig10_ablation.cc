@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 10: the performance impact of the individual optimizations.
+ * Starting from all optimizations enabled, each of value-ASSerTion
+ * combining, Constant Propagation, Common Subexpression Elimination,
+ * NOP removal, ReAssociation, and Store Forwarding is disabled in
+ * turn.  Results are plotted on the paper's relative scale: 0 = plain
+ * rePLay (RP), 1 = all optimizations (RPO).  Dead code elimination is
+ * enabled in every run, as in the paper.
+ */
+
+#include "common.hh"
+
+using namespace replay;
+
+int
+main()
+{
+    bench::banner("Figure 10: impact of individual optimizations",
+                  "Figure 10 / Section 6.4");
+
+    // The applications the paper selects ("only those applications for
+    // which optimization provides a significant performance
+    // advantage").
+    const char *apps[] = {"bzip2", "crafty", "vortex", "dream", "excel"};
+    const char *passes[] = {"ASST", "CP", "CSE", "NOP", "RA", "SF"};
+
+    TextTable table;
+    table.header({"app", "no ASST", "no CP", "no CSE", "no NOP",
+                  "no RA", "no SF"});
+    for (const char *name : apps) {
+        const auto &w = trace::findWorkload(name);
+        const auto rp =
+            sim::runWorkload(w, sim::SimConfig::make(sim::Machine::RP));
+        const auto rpo =
+            sim::runWorkload(w, sim::SimConfig::make(sim::Machine::RPO));
+        const double span = rpo.ipc() - rp.ipc();
+
+        std::vector<std::string> row{name};
+        for (const char *pass : passes) {
+            auto cfg = sim::SimConfig::make(sim::Machine::RPO);
+            cfg.engine.optConfig = opt::OptConfig::without(pass);
+            const auto r = sim::runWorkload(w, cfg);
+            // Relative IPC: 0 == RP, 1 == RPO.
+            const double rel =
+                span != 0.0 ? (r.ipc() - rp.ipc()) / span : 1.0;
+            row.push_back(TextTable::fixed(rel, 2));
+        }
+        table.row(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper trends: reassociation is the gateway "
+                "optimization (disabling it collapses the benefit on "
+                "several apps);\nCSE dominates on bzip2; disabling "
+                "store forwarding can *help* Excel, whose unsafe "
+                "stores alias.\n\n");
+    return 0;
+}

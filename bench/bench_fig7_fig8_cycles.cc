@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figures 7 and 8: per-benchmark execution cycles for the RP and RPO
+ * configurations, each cycle classified by the fetch event of that
+ * cycle (assert / mispredict / miss / stall / wait / frame / icache).
+ * Figure 7 covers the SPECint applications, Figure 8 the desktop ones.
+ */
+
+#include "common.hh"
+
+using namespace replay;
+using timing::CycleBin;
+
+namespace {
+
+void
+emitGroup(const char *title, trace::AppType first,
+          trace::AppType second)
+{
+    std::printf("%s\n", title);
+    TextTable table;
+    table.header({"app", "cfg", "cycles", "frame", "wait", "stall",
+                  "miss", "assert", "mispred", "icache"});
+    for (const auto &w : trace::standardWorkloads()) {
+        if (w.type != first && w.type != second)
+            continue;
+        for (const auto machine : {sim::Machine::RP, sim::Machine::RPO}) {
+            const auto r = sim::runWorkload(
+                w, sim::SimConfig::make(machine));
+            auto pct = [&](CycleBin bin) {
+                return TextTable::percent(
+                    double(r.bins.get(bin)) / double(r.cycles()), 1);
+            };
+            table.row({w.name, r.config, std::to_string(r.cycles()),
+                       pct(CycleBin::FRAME), pct(CycleBin::WAIT),
+                       pct(CycleBin::STALL), pct(CycleBin::MISS),
+                       pct(CycleBin::ASSERT), pct(CycleBin::MISPRED),
+                       pct(CycleBin::ICACHE)});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figures 7+8: cycle breakdown, RP vs RPO",
+                  "Figures 7 and 8 / Section 6.1");
+    emitGroup("Figure 7 (SPECint):", trace::AppType::SPECint,
+              trace::AppType::SPECint);
+    emitGroup("Figure 8 (desktop):", trace::AppType::Business,
+              trace::AppType::Content);
+    std::printf("paper: the optimizer's main impact is a ~21%% net "
+                "reduction in Frame cycles; assert cycles stay small.\n\n");
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 2: the processor configuration, as actually instantiated by the
+ * simulator (printed from the live PipelineConfig, not hard-coded).
+ */
+
+#include "common.hh"
+
+#include "sim/config.hh"
+
+using namespace replay;
+
+int
+main()
+{
+    bench::banner("Table 2: Configuration of Processor",
+                  "Table 2 / Section 5.3");
+
+    const auto rpo = sim::SimConfig::make(sim::Machine::RPO);
+    std::printf("%s", rpo.pipe.describe().c_str());
+    std::printf("Frame/Trace   %u micro-operations\n",
+                rpo.engine.fcacheCapacityUops);
+    std::printf("Frames        %u-%u original micro-operations\n",
+                rpo.engine.constructor.minUops,
+                rpo.engine.constructor.maxUops);
+    std::printf("Optimizer     %u cycles/uop, pipeline depth %u\n",
+                rpo.engine.optCyclesPerUop, rpo.engine.optPipelineDepth);
+
+    const auto ic = sim::SimConfig::make(sim::Machine::IC);
+    std::printf("IC reference  %ukB ICache\n\n",
+                ic.pipe.icacheBytes / 1024);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 3: the percentage of micro-operations and LOADs removed by the
+ * rePLay optimizer, and the resulting increase in IPC, per application.
+ */
+
+#include "common.hh"
+
+using namespace replay;
+
+int
+main()
+{
+    bench::banner(
+        "Table 3: micro-ops and LOADs removed, and IPC increase",
+        "Table 3 / Section 6.2 (paper averages: 21% / 22% / 17%)");
+
+    TextTable table;
+    table.header({"Application", "Micro-ops Removed", "Loads Removed",
+                  "Increase in IPC"});
+    double u = 0, l = 0, g = 0;
+    for (const auto &w : trace::standardWorkloads()) {
+        const auto rp =
+            sim::runWorkload(w, sim::SimConfig::make(sim::Machine::RP));
+        const auto rpo =
+            sim::runWorkload(w, sim::SimConfig::make(sim::Machine::RPO));
+        const double gain = rpo.ipc() / rp.ipc() - 1.0;
+        table.row({w.name, TextTable::percent(rpo.uopReduction(), 0),
+                   TextTable::percent(rpo.loadReduction(), 0),
+                   TextTable::percent(gain, 0)});
+        u += rpo.uopReduction();
+        l += rpo.loadReduction();
+        g += gain;
+    }
+    table.separator();
+    table.row({"Average", TextTable::percent(u / 14, 0),
+               TextTable::percent(l / 14, 0),
+               TextTable::percent(g / 14, 0)});
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

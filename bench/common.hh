@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared helpers for the benchmark binaries.  Each binary regenerates
+ * one table or figure of the paper; run them all with the bench loop
+ * (`for b in build/bench/<binary>; do ...`).
+ *
+ * Trace length defaults to a laptop-scale sample per hot-spot trace
+ * (the paper ran 50M-300M instructions per application); set
+ * REPLAY_SIM_INSTS to lengthen runs.
+ */
+
+#ifndef REPLAY_BENCH_COMMON_HH
+#define REPLAY_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "sim/runner.hh"
+#include "trace/workload.hh"
+#include "util/table.hh"
+
+namespace replay::bench {
+
+inline void
+banner(const std::string &title, const std::string &paper_note)
+{
+    std::printf("=====================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(paper reference: %s)\n", paper_note.c_str());
+    std::printf("traces: %llu x86 instructions per hot spot "
+                "(REPLAY_SIM_INSTS overrides)\n\n",
+                (unsigned long long)sim::defaultInstsPerTrace());
+}
+
+} // namespace replay::bench
+
+#endif // REPLAY_BENCH_COMMON_HH

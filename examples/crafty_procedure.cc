@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The running example of §3 / Figure 2: a procedure fragment from
+ * crafty, optimized at increasing scope.
+ *
+ * Prints the unoptimized micro-operations and the intra-block,
+ * inter-block, and frame-level optimized versions — reproducing the
+ * paper's "seven of the seventeen micro-operations are removed,
+ * including two of the five loads" at frame scope, with 13 and 12
+ * micro-ops surviving at the narrower scopes.
+ *
+ *   $ build/examples/crafty_procedure
+ */
+
+#include <cstdio>
+
+#include "opt/optimizer.hh"
+#include "x86/disasm.hh"
+
+using namespace replay;
+using namespace replay::uop;
+using x86::Cond;
+
+namespace {
+
+/** The seventeen micro-operations of Figure 2 (two basic blocks). */
+std::pair<std::vector<Uop>, std::vector<uint16_t>>
+figure2()
+{
+    auto alu = [](Op op, UReg dst, UReg a, UReg bsrc, bool flags) {
+        Uop u;
+        u.op = op;
+        u.dst = dst;
+        u.srcA = a;
+        u.srcB = bsrc;
+        u.writesFlags = flags;
+        return u;
+    };
+    auto alui = [](Op op, UReg dst, UReg a, int32_t imm, bool flags) {
+        Uop u;
+        u.op = op;
+        u.dst = dst;
+        u.srcA = a;
+        u.imm = imm;
+        u.writesFlags = flags;
+        return u;
+    };
+    auto load = [](UReg dst, UReg base, int32_t disp) {
+        Uop u;
+        u.op = Op::LOAD;
+        u.dst = dst;
+        u.srcA = base;
+        u.imm = disp;
+        return u;
+    };
+    auto store = [](UReg base, int32_t disp, UReg value) {
+        Uop u;
+        u.op = Op::STORE;
+        u.srcA = base;
+        u.imm = disp;
+        u.srcB = value;
+        return u;
+    };
+
+    std::vector<Uop> u;
+    // PUSH EBP; PUSH EBX
+    u.push_back(store(UReg::ESP, -4, UReg::EBP));               // 01
+    u.push_back(alui(Op::SUB, UReg::ESP, UReg::ESP, 4, false)); // 02
+    u.push_back(store(UReg::ESP, -4, UReg::EBX));               // 03
+    u.push_back(alui(Op::SUB, UReg::ESP, UReg::ESP, 4, false)); // 04
+    // MOV ECX,[ESP+0CH]; MOV EBX,[ESP+10H]
+    u.push_back(load(UReg::ECX, UReg::ESP, 0x0c));              // 05
+    u.push_back(load(UReg::EBX, UReg::ESP, 0x10));              // 06
+    // XOR EAX,EAX
+    u.push_back(alu(Op::XOR, UReg::EAX, UReg::EAX, UReg::EAX,
+                    true));                                     // 07
+    // MOV EDX,ECX; OR EDX,EBX
+    {
+        Uop mov;
+        mov.op = Op::MOV;
+        mov.dst = UReg::EDX;
+        mov.srcA = UReg::ECX;
+        u.push_back(mov);                                       // 08
+    }
+    u.push_back(alu(Op::OR, UReg::EDX, UReg::EDX, UReg::EBX,
+                    true));                                     // 09
+    // JZ Block2, typically taken -> assertion
+    {
+        Uop assert_uop;
+        assert_uop.op = Op::ASSERT;
+        assert_uop.cc = Cond::E;
+        assert_uop.readsFlags = true;
+        u.push_back(assert_uop);                                // 10
+    }
+    // POP EBX; POP EBP; RET
+    u.push_back(alui(Op::ADD, UReg::ESP, UReg::ESP, 4, false)); // 11
+    u.push_back(load(UReg::EBX, UReg::ESP, -4));                // 12
+    u.push_back(alui(Op::ADD, UReg::ESP, UReg::ESP, 4, false)); // 13
+    u.push_back(load(UReg::EBP, UReg::ESP, -4));                // 14
+    u.push_back(load(UReg::ET2, UReg::ESP, 0));                 // 15
+    u.push_back(alui(Op::ADD, UReg::ESP, UReg::ESP, 4, false)); // 16
+    {
+        Uop jmp;
+        jmp.op = Op::JMPI;
+        jmp.srcA = UReg::ET2;
+        u.push_back(jmp);                                       // 17
+    }
+
+    std::vector<uint16_t> blocks(u.size(), 0);
+    for (size_t i = 10; i < u.size(); ++i)
+        blocks[i] = 1;      // Block2 starts at the POPs
+    return {u, blocks};
+}
+
+void
+dump(const char *title, const opt::OptimizedFrame &frame)
+{
+    std::printf("%s (%u micro-ops, %u loads):\n", title,
+                frame.numUops(), frame.outputLoads);
+    for (const auto &fu : frame.uops)
+        std::printf("  %s\n", uop::format(fu.uop).c_str());
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto [uops, blocks] = figure2();
+
+    std::printf("Figure 2, unoptimized micro-operations (17):\n");
+    for (const auto &u : uops)
+        std::printf("  %s\n", format(u).c_str());
+    std::printf("\n");
+
+    opt::OptStats stats;
+
+    // Intra-block optimization (the paper's third column).
+    opt::OptConfig block_cfg;
+    block_cfg.scope = opt::Scope::BLOCK;
+    const auto block_frame =
+        opt::Optimizer(block_cfg).optimize(uops, blocks, nullptr, stats);
+    dump("intra-block optimization", block_frame);
+
+    // Inter-block optimization (fourth column: single entry, multiple
+    // exits — the EBP restore forwards, the EBX restore cannot).
+    opt::OptConfig inter_cfg;
+    inter_cfg.scope = opt::Scope::INTER_BLOCK;
+    const auto inter_frame =
+        opt::Optimizer(inter_cfg).optimize(uops, blocks, nullptr, stats);
+    dump("inter-block optimization", inter_frame);
+
+    // Frame-level optimization (the rightmost column).
+    const auto frame =
+        opt::Optimizer().optimize(uops, blocks, nullptr, stats);
+    dump("frame-level optimization", frame);
+
+    std::printf("paper: \"seven of the seventeen micro-operations are "
+                "removed,\n        including two of the five loads\"\n");
+    std::printf("here:  %u of 17 removed, %u of 5 loads removed\n",
+                17 - frame.numUops(), 5 - frame.outputLoads);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Run one application through all four machine configurations (the
+ * Figure 6 flow for a single workload) and print the full statistics:
+ * IPC, cycle breakdown, frame coverage, optimization counters.
+ *
+ *   $ build/examples/machine_comparison [workload] [insts]
+ *   $ build/examples/machine_comparison vortex 500000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/runner.hh"
+#include "util/table.hh"
+
+using namespace replay;
+using timing::CycleBin;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "crafty";
+    const uint64_t insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 300000;
+
+    const auto &workload = trace::findWorkload(name);
+    std::printf("workload %s (%s, %u hot-spot trace%s), %llu x86 "
+                "insts per trace\n\n",
+                workload.name.c_str(), trace::appTypeName(workload.type),
+                workload.numTraces, workload.numTraces > 1 ? "s" : "",
+                (unsigned long long)insts);
+
+    TextTable table;
+    table.header({"machine", "IPC", "cycles", "coverage", "uopRed",
+                  "loadRed", "commits", "aborts", "mispredicts"});
+    for (const auto machine :
+         {sim::Machine::IC, sim::Machine::TC, sim::Machine::RP,
+          sim::Machine::RPO}) {
+        const auto r = sim::runWorkload(
+            workload, sim::SimConfig::make(machine), insts);
+        table.row({r.config, TextTable::fixed(r.ipc(), 3),
+                   std::to_string(r.cycles()),
+                   TextTable::percent(r.coverage(), 0),
+                   TextTable::percent(r.uopReduction(), 0),
+                   TextTable::percent(r.loadReduction(), 0),
+                   std::to_string(r.frameCommits),
+                   std::to_string(r.frameAborts),
+                   std::to_string(r.mispredicts)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Cycle breakdown of the optimizing configuration.
+    const auto rpo = sim::runWorkload(
+        workload, sim::SimConfig::make(sim::Machine::RPO), insts);
+    std::printf("RPO cycle breakdown:\n");
+    for (unsigned bin = 0; bin < timing::NUM_CYCLE_BINS; ++bin) {
+        const auto b = static_cast<CycleBin>(bin);
+        std::printf("  %-8s %6.2f%%\n", timing::cycleBinName(b),
+                    100.0 * double(rpo.bins.get(b)) /
+                        double(rpo.cycles()));
+    }
+
+    const auto &o = rpo.optStats;
+    std::printf("\noptimizer activity (%llu frames):\n",
+                (unsigned long long)o.framesOptimized);
+    std::printf("  nops removed        %llu\n",
+                (unsigned long long)o.nopsRemoved);
+    std::printf("  asserts combined    %llu\n",
+                (unsigned long long)o.assertsCombined);
+    std::printf("  constants folded    %llu\n",
+                (unsigned long long)o.constantsFolded);
+    std::printf("  copies propagated   %llu\n",
+                (unsigned long long)o.copiesPropagated);
+    std::printf("  reassociations      %llu\n",
+                (unsigned long long)o.reassociations);
+    std::printf("  CSE removals        %llu (loads: %llu)\n",
+                (unsigned long long)o.cseRemoved,
+                (unsigned long long)o.loadsCseRemoved);
+    std::printf("  loads forwarded     %llu (speculative: %llu)\n",
+                (unsigned long long)o.loadsForwarded,
+                (unsigned long long)o.speculativeLoadsRemoved);
+    std::printf("  unsafe stores       %llu\n",
+                (unsigned long long)o.unsafeStoresMarked);
+    std::printf("  dead code removed   %llu\n",
+                (unsigned long long)o.deadRemoved);
+    return 0;
+}

@@ -1,0 +1,50 @@
+#include "core/aliasprofile.hh"
+
+namespace replay::core {
+
+void
+AliasProfile::observeInstance(
+    const std::vector<trace::TraceRecord> &records)
+{
+    // Flatten the instance's transactions.
+    struct Txn
+    {
+        x86::MemOp op;
+        uint32_t pc;
+        uint8_t seq;
+    };
+    std::vector<Txn> txns;
+    for (const auto &rec : records) {
+        for (unsigned m = 0; m < rec.numMemOps; ++m)
+            txns.push_back({rec.memOps[m], rec.pc, uint8_t(m)});
+    }
+
+    // A store is dirty when it overlaps a *prior* transaction of the
+    // instance — the same condition the runtime unsafe-store check
+    // applies, so a clean site is one that would not have aborted.
+    for (size_t i = 0; i < txns.size(); ++i) {
+        if (!txns[i].op.isStore)
+            continue;
+        for (size_t j = 0; j < i; ++j) {
+            if (txns[i].op.overlaps(txns[j].op)) {
+                dirty_.insert(key(txns[i].pc, txns[i].seq));
+                break;
+            }
+        }
+    }
+}
+
+void
+AliasProfile::markDirty(uint32_t x86_pc, uint8_t mem_seq)
+{
+    dirty_.insert(key(x86_pc, mem_seq));
+}
+
+bool
+AliasProfile::cleanForSpeculation(uint32_t x86_pc,
+                                  uint8_t mem_seq) const
+{
+    return dirty_.find(key(x86_pc, mem_seq)) == dirty_.end();
+}
+
+} // namespace replay::core

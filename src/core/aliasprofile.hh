@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Aliasing-event profile (§3.4).
+ *
+ * "We record aliasing events during execution and pass this
+ * information to the optimizer."  A store site (identified by its x86
+ * PC and its access index within the instruction) becomes *dirty* when
+ * it is observed overlapping another memory transaction inside a frame
+ * instance, or when an unsafe store built from it aborts a frame.  The
+ * optimizer only speculates around clean stores.
+ */
+
+#ifndef REPLAY_CORE_ALIASPROFILE_HH
+#define REPLAY_CORE_ALIASPROFILE_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "opt/passes.hh"
+#include "trace/record.hh"
+
+namespace replay::core {
+
+/** Persistent alias observations across all constructed frames. */
+class AliasProfile : public opt::AliasHints
+{
+  public:
+    /**
+     * Record aliasing events from one observed frame instance: every
+     * store that overlaps any other transaction of the instance is
+     * marked dirty.
+     */
+    void observeInstance(const std::vector<trace::TraceRecord> &records);
+
+    /** An unsafe store aborted a frame: never speculate on it again. */
+    void markDirty(uint32_t x86_pc, uint8_t mem_seq);
+
+    bool cleanForSpeculation(uint32_t x86_pc,
+                             uint8_t mem_seq) const override;
+
+    size_t dirtyCount() const { return dirty_.size(); }
+
+  private:
+    static uint64_t
+    key(uint32_t pc, uint8_t seq)
+    {
+        return (uint64_t(pc) << 8) | seq;
+    }
+
+    std::unordered_set<uint64_t> dirty_;
+};
+
+} // namespace replay::core
+
+#endif // REPLAY_CORE_ALIASPROFILE_HH

@@ -1,0 +1,102 @@
+#include "core/biastable.hh"
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace replay::core {
+
+BiasTable::BiasTable(unsigned entries, unsigned min_samples,
+                     unsigned promote_num, unsigned promote_den)
+    : entries_(entries), indexMask_(entries - 1),
+      minSamples_(min_samples), promoteNum_(promote_num),
+      promoteDen_(promote_den)
+{
+    panic_if(!isPow2(entries), "bias table size must be a power of two");
+}
+
+BiasTable::Entry &
+BiasTable::slot(uint32_t pc)
+{
+    return entries_[(pc >> 1) & indexMask_];
+}
+
+const BiasTable::Entry *
+BiasTable::find(uint32_t pc) const
+{
+    const Entry &e = entries_[(pc >> 1) & indexMask_];
+    return e.tag == pc ? &e : nullptr;
+}
+
+void
+BiasTable::record(uint32_t pc, bool taken)
+{
+    Entry &e = slot(pc);
+    if (e.tag != pc) {
+        // Conflict: steal the entry and restart history.
+        e.tag = pc;
+        e.taken = 0;
+        e.total = 0;
+    }
+    if (e.total == 0xffff) {
+        // Saturate by halving so bias keeps adapting.
+        e.taken /= 2;
+        e.total /= 2;
+    }
+    e.taken += taken;
+    e.total += 1;
+}
+
+BranchBias
+BiasTable::classify(uint32_t pc) const
+{
+    const Entry *e = find(pc);
+    if (!e || e->total < minSamples_)
+        return BranchBias::UNKNOWN;
+    const uint32_t taken_scaled = uint32_t(e->taken) * promoteDen_;
+    const uint32_t threshold = uint32_t(e->total) * promoteNum_;
+    if (taken_scaled >= threshold)
+        return BranchBias::BIASED_TAKEN;
+    const uint32_t not_taken_scaled =
+        uint32_t(e->total - e->taken) * promoteDen_;
+    if (not_taken_scaled >= threshold)
+        return BranchBias::BIASED_NOT_TAKEN;
+    return BranchBias::NOT_BIASED;
+}
+
+TargetTable::TargetTable(unsigned entries, unsigned stable_threshold)
+    : entries_(entries), indexMask_(entries - 1),
+      stableThreshold_(stable_threshold)
+{
+    panic_if(!isPow2(entries),
+             "target table size must be a power of two");
+}
+
+void
+TargetTable::record(uint32_t pc, uint32_t target)
+{
+    Entry &e = entries_[(pc >> 1) & indexMask_];
+    if (e.tag != pc) {
+        e.tag = pc;
+        e.lastTarget = target;
+        e.streak = 1;
+        return;
+    }
+    if (e.lastTarget == target) {
+        if (e.streak < 0xffff)
+            ++e.streak;
+    } else {
+        e.lastTarget = target;
+        e.streak = 1;
+    }
+}
+
+uint32_t
+TargetTable::stableTarget(uint32_t pc) const
+{
+    const Entry &e = entries_[(pc >> 1) & indexMask_];
+    if (e.tag != pc || e.streak < stableThreshold_)
+        return 0;
+    return e.lastTarget;
+}
+
+} // namespace replay::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Branch bias and indirect-target stability tracking.
+ *
+ * The frame constructor promotes *dynamically biased* branches into
+ * assertions (§2).  The BiasTable observes retired conditional branches
+ * and classifies each site; the TargetTable does the same for indirect
+ * jumps (a stable observed target lets the constructor convert the jump
+ * into a value assertion and keep building the frame — how the §3.3
+ * return jump becomes removable).
+ *
+ * Both are finite, tagged, direct-mapped structures, as hardware would
+ * be: conflicting sites steal each other's entries.
+ */
+
+#ifndef REPLAY_CORE_BIASTABLE_HH
+#define REPLAY_CORE_BIASTABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace replay::core {
+
+/** Classification of a conditional branch site. */
+enum class BranchBias : uint8_t
+{
+    UNKNOWN,        ///< not enough history
+    NOT_BIASED,
+    BIASED_TAKEN,
+    BIASED_NOT_TAKEN,
+};
+
+/** Per-site taken/not-taken statistics with promotion thresholds. */
+class BiasTable
+{
+  public:
+    /**
+     * @param entries        table size (power of two)
+     * @param min_samples    history needed before classification
+     * @param promote_num    bias threshold numerator
+     * @param promote_den    bias threshold denominator (e.g. 15/16)
+     */
+    explicit BiasTable(unsigned entries = 4096,
+                       unsigned min_samples = 16,
+                       unsigned promote_num = 15,
+                       unsigned promote_den = 16);
+
+    /** Observe one retired conditional branch. */
+    void record(uint32_t pc, bool taken);
+
+    /** Classify a site from its current history. */
+    BranchBias classify(uint32_t pc) const;
+
+  private:
+    struct Entry
+    {
+        uint32_t tag = 0;
+        uint16_t taken = 0;
+        uint16_t total = 0;
+    };
+
+    Entry &slot(uint32_t pc);
+    const Entry *find(uint32_t pc) const;
+
+    std::vector<Entry> entries_;
+    unsigned indexMask_;
+    unsigned minSamples_;
+    unsigned promoteNum_;
+    unsigned promoteDen_;
+};
+
+/** Per-site last-target stability for indirect jumps. */
+class TargetTable
+{
+  public:
+    explicit TargetTable(unsigned entries = 1024,
+                         unsigned stable_threshold = 8);
+
+    /** Observe one retired indirect jump. */
+    void record(uint32_t pc, uint32_t target);
+
+    /**
+     * The stable target of a site, or 0 when the site's target is not
+     * stable enough to promote.
+     */
+    uint32_t stableTarget(uint32_t pc) const;
+
+  private:
+    struct Entry
+    {
+        uint32_t tag = 0;
+        uint32_t lastTarget = 0;
+        uint16_t streak = 0;
+    };
+
+    std::vector<Entry> entries_;
+    unsigned indexMask_;
+    unsigned stableThreshold_;
+};
+
+} // namespace replay::core
+
+#endif // REPLAY_CORE_BIASTABLE_HH

@@ -1,0 +1,158 @@
+#include "core/constructor.hh"
+
+#include "util/logging.hh"
+
+namespace replay::core {
+
+using trace::TraceRecord;
+using uop::Op;
+using uop::Uop;
+using x86::Mnem;
+
+FrameConstructor::FrameConstructor(ConstructorConfig cfg)
+    : cfg_(cfg),
+      bias_(cfg.biasEntries, cfg.biasMinSamples, cfg.biasPromoteNum,
+            cfg.biasPromoteDen),
+      targets_(cfg.targetEntries, cfg.targetStableThreshold)
+{
+}
+
+void
+FrameConstructor::abandon()
+{
+    acc_ = FrameCandidate{};
+    curBlock_ = 0;
+}
+
+std::optional<FrameCandidate>
+FrameConstructor::finish(uint32_t next_pc, bool dynamic_exit,
+                         bool closed_by_included)
+{
+    if (acc_.uops.empty()) {
+        abandon();
+        return std::nullopt;
+    }
+    if (acc_.uops.size() < cfg_.minUops) {
+        ++tooSmall_;
+        abandon();
+        return std::nullopt;
+    }
+    FrameCandidate out = std::move(acc_);
+    out.nextPc = next_pc;
+    out.dynamicExit = dynamic_exit;
+    out.closedByIncludedInst = closed_by_included;
+    out.numBlocks = curBlock_ + 1;
+    abandon();
+    ++emitted_;
+    return out;
+}
+
+void
+FrameConstructor::append(const TraceRecord &rec, std::vector<Uop> &&flow)
+{
+    if (acc_.uops.empty())
+        acc_.startPc = rec.pc;
+    const uint16_t inst_idx = uint16_t(acc_.pcs.size());
+    for (auto &u : flow) {
+        u.instIdx = inst_idx;
+        acc_.blocks.push_back(curBlock_);
+        acc_.uops.push_back(u);
+    }
+    acc_.pcs.push_back(rec.pc);
+    acc_.records.push_back(rec);
+}
+
+std::optional<FrameCandidate>
+FrameConstructor::observe(const TraceRecord &rec)
+{
+    const x86::Inst &in = rec.inst;
+
+    // ---- learning ------------------------------------------------------
+    if (in.isCondBranch())
+        bias_.record(rec.pc, rec.taken);
+    const bool is_indirect =
+        (in.mnem == Mnem::JMP && in.form != x86::Form::REL) ||
+        (in.mnem == Mnem::CALL && in.form != x86::Form::REL) ||
+        in.mnem == Mnem::RET;
+    if (is_indirect)
+        targets_.record(rec.pc, rec.nextPc);
+
+    // ---- hard frame terminators ------------------------------------------
+    if (in.mnem == Mnem::LONGFLOW)
+        return finish(rec.pc, false);
+
+    std::vector<Uop> flow =
+        translator_.translate(in, rec.pc, rec.pc + rec.length);
+
+    // ---- size limit ------------------------------------------------------
+    std::optional<FrameCandidate> completed;
+    if (acc_.uops.size() + flow.size() > cfg_.maxUops)
+        completed = finish(rec.pc, false);
+
+    // ---- conditional branches -------------------------------------------
+    if (in.isCondBranch()) {
+        const BranchBias bb = bias_.classify(rec.pc);
+        const bool promotable =
+            (bb == BranchBias::BIASED_TAKEN && rec.taken) ||
+            (bb == BranchBias::BIASED_NOT_TAKEN && !rec.taken);
+        if (!promotable) {
+            // End the frame before the unbiased branch; the branch is
+            // not part of any frame.
+            auto before = finish(rec.pc, false);
+            return completed ? completed : before;
+        }
+        // Promote: the BR micro-op becomes an assertion that the
+        // branch keeps going the biased way.
+        Uop &br = flow.back();
+        panic_if(br.op != Op::BR, "branch flow must end in BR");
+        const uint32_t taken_target = br.target;
+        br.op = Op::ASSERT;
+        br.cc = rec.taken ? br.cc : x86::invert(br.cc);
+        br.target = 0;
+        const bool backward = rec.taken && taken_target <= rec.pc;
+        append(rec, std::move(flow));
+        ++curBlock_;
+        if (backward) {
+            // Loop back-edge: close the frame here so loop frames
+            // align to whole iterations.  The frame's successor is its
+            // own start (the loop head), so committed loop frames
+            // refetch back-to-back from the frame cache, and the
+            // assertion fires only on the exit iteration.
+            auto done = finish(rec.nextPc, false, true);
+            return completed ? completed : done;
+        }
+        return completed;
+    }
+
+    // ---- indirect jumps ---------------------------------------------------
+    if (is_indirect) {
+        Uop &jmpi = flow.back();
+        panic_if(jmpi.op != Op::JMPI, "indirect flow must end in JMPI");
+        const uint32_t stable = targets_.stableTarget(rec.pc);
+        if (stable != 0 && stable == rec.nextPc) {
+            // Convert to a value assertion on the jump target and keep
+            // building through the return (§3.3).
+            jmpi.op = Op::ASSERT;
+            jmpi.cc = x86::Cond::E;
+            jmpi.valueAssert = true;
+            jmpi.assertOp = Op::CMP;
+            jmpi.imm = int32_t(stable);
+            append(rec, std::move(flow));
+            ++curBlock_;
+            return completed;
+        }
+        // Unstable target: the frame ends *with* the indirect jump
+        // (the Figure 2 frame ends with "jump (ET2)").
+        append(rec, std::move(flow));
+        auto done = finish(rec.nextPc, true, true);
+        return completed ? completed : done;
+    }
+
+    // ---- direct jumps and calls continue the frame -------------------------
+    append(rec, std::move(flow));
+    if (in.isControl())
+        ++curBlock_;
+    return completed;
+}
+
+} // namespace replay::core

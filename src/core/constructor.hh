@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The frame constructor (§2, [13]).
+ *
+ * Consumes the retired instruction stream and synthesizes atomic
+ * frames: dynamically biased conditional branches are converted into
+ * assertions, internal unconditional jumps are retained (and later
+ * removed as NOPs by the optimizer), and indirect jumps with stable
+ * observed targets become value assertions so construction can
+ * continue through returns.  Frames span 8 to 256 micro-operations.
+ */
+
+#ifndef REPLAY_CORE_CONSTRUCTOR_HH
+#define REPLAY_CORE_CONSTRUCTOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/biastable.hh"
+#include "core/frame.hh"
+#include "trace/record.hh"
+#include "uop/translator.hh"
+
+namespace replay::core {
+
+/** Construction parameters. */
+struct ConstructorConfig
+{
+    unsigned minUops = 8;
+    unsigned maxUops = 256;
+    unsigned biasEntries = 4096;
+    unsigned biasMinSamples = 32;
+    unsigned biasPromoteNum = 60;   ///< promote at >= 15/16 bias
+    unsigned biasPromoteDen = 64;
+    unsigned targetEntries = 1024;
+    unsigned targetStableThreshold = 8;
+};
+
+/** A completed frame candidate, ready for the optimizer. */
+struct FrameCandidate
+{
+    uint32_t startPc = 0;
+    uint32_t nextPc = 0;
+    bool dynamicExit = false;   ///< ends with an unconverted JMPI
+    /// The instruction whose observation closed this candidate is part
+    /// of it (indirect-exit and loop-back-assert closures) rather than
+    /// outside it (unbiased branch, size limit, long-flow closures).
+    bool closedByIncludedInst = false;
+    std::vector<uop::Uop> uops;
+    std::vector<uint16_t> blocks;
+    std::vector<uint32_t> pcs;
+    unsigned numBlocks = 1;
+
+    /** The observed instance (alias profiling, verification). */
+    std::vector<trace::TraceRecord> records;
+};
+
+/** Retired-stream frame synthesis. */
+class FrameConstructor
+{
+  public:
+    explicit FrameConstructor(ConstructorConfig cfg = {});
+
+    /**
+     * Observe one retired instruction.  Returns a completed candidate
+     * when this instruction closed one off (the instruction itself may
+     * have started a fresh accumulation).
+     */
+    std::optional<FrameCandidate> observe(const trace::TraceRecord &rec);
+
+    /** Discard the current accumulation (pipeline flush, redirect). */
+    void abandon();
+
+    BiasTable &biasTable() { return bias_; }
+    TargetTable &targetTable() { return targets_; }
+
+    uint64_t candidatesEmitted() const { return emitted_; }
+    uint64_t tooSmallDiscarded() const { return tooSmall_; }
+
+  private:
+    /** Close the accumulation; null if below the minimum size. */
+    std::optional<FrameCandidate> finish(uint32_t next_pc,
+                                         bool dynamic_exit,
+                                         bool closed_by_included = false);
+
+    /** Append one instruction's decode flow to the accumulation. */
+    void append(const trace::TraceRecord &rec,
+                std::vector<uop::Uop> &&flow);
+
+    ConstructorConfig cfg_;
+    BiasTable bias_;
+    TargetTable targets_;
+    uop::Translator translator_;
+
+    FrameCandidate acc_;
+    uint16_t curBlock_ = 0;
+    uint64_t emitted_ = 0;
+    uint64_t tooSmall_ = 0;
+};
+
+} // namespace replay::core
+
+#endif // REPLAY_CORE_CONSTRUCTOR_HH

@@ -1,0 +1,67 @@
+#include "core/frame.hh"
+
+#include "util/logging.hh"
+
+namespace replay::core {
+
+FrameOutcome
+resolveFrame(const Frame &frame, trace::TraceSource &src)
+{
+    FrameOutcome outcome;
+
+    // Collect the memory transactions of the frame span as we walk it,
+    // for unsafe-store conflict checking ("compared against all other
+    // memory transactions prior to it in the frame", §3.4).
+    std::vector<x86::MemOp> prior;
+    size_t next_unsafe = 0;
+
+    for (size_t i = 0; i < frame.pcs.size(); ++i) {
+        const trace::TraceRecord *rec = src.peek(unsigned(i));
+        if (!rec || rec->pc != frame.pcs[i]) {
+            // The trace ended or diverged before this frame even
+            // matched; treat as an assertion at this point.
+            outcome.kind = FrameOutcome::Kind::ASSERTS;
+            outcome.faultIndex = unsigned(i);
+            return outcome;
+        }
+
+        // Unsafe stores of this instruction, checked in memSeq order
+        // against everything prior.
+        for (unsigned m = 0; m < rec->numMemOps; ++m) {
+            const x86::MemOp &op = rec->memOps[m];
+            const MemRef ref{uint16_t(i), uint8_t(m)};
+            bool is_unsafe = false;
+            while (next_unsafe < frame.unsafeStores.size() &&
+                   frame.unsafeStores[next_unsafe] == ref) {
+                is_unsafe = true;
+                ++next_unsafe;
+            }
+            if (is_unsafe && op.isStore) {
+                for (const auto &p : prior) {
+                    if (p.overlaps(op)) {
+                        outcome.kind =
+                            FrameOutcome::Kind::UNSAFE_CONFLICT;
+                        outcome.faultIndex = unsigned(i);
+                        return outcome;
+                    }
+                }
+            }
+            prior.push_back(op);
+        }
+
+        const bool last = i + 1 == frame.pcs.size();
+        if (last && frame.dynamicExit)
+            continue;
+        if (rec->nextPc != frame.expectedNext(i)) {
+            // Control diverged: the assertion guarding this point
+            // fires (or, at the frame's final instruction, an indirect
+            // target prediction embedded as a value assert fails).
+            outcome.kind = FrameOutcome::Kind::ASSERTS;
+            outcome.faultIndex = unsigned(i);
+            return outcome;
+        }
+    }
+    return outcome;
+}
+
+} // namespace replay::core

@@ -1,0 +1,76 @@
+#include "core/framecache.hh"
+
+#include "util/logging.hh"
+
+namespace replay::core {
+
+FrameCache::FrameCache(unsigned capacity_uops) : capacity_(capacity_uops)
+{
+}
+
+void
+FrameCache::evictLru()
+{
+    panic_if(lru_.empty(), "evicting from an empty frame cache");
+    const uint32_t victim_pc = lru_.back();
+    auto it = frames_.find(victim_pc);
+    occupied_ -= it->second.frame->numUops();
+    lru_.pop_back();
+    frames_.erase(it);
+    ++stats_.counter("evictions");
+}
+
+void
+FrameCache::insert(FramePtr frame)
+{
+    const unsigned size = frame->numUops();
+    if (size > capacity_) {
+        ++stats_.counter("rejected");
+        return;
+    }
+    const uint32_t pc = frame->startPc;
+    invalidate(pc);
+    while (occupied_ + size > capacity_)
+        evictLru();
+    lru_.push_front(pc);
+    frames_[pc] = Entry{std::move(frame), lru_.begin()};
+    occupied_ += size;
+    ++stats_.counter("inserts");
+}
+
+FramePtr
+FrameCache::lookup(uint32_t pc)
+{
+    auto it = frames_.find(pc);
+    if (it == frames_.end()) {
+        ++stats_.counter("misses");
+        return nullptr;
+    }
+    // Touch.
+    lru_.erase(it->second.lruIt);
+    lru_.push_front(pc);
+    it->second.lruIt = lru_.begin();
+    ++stats_.counter("hits");
+    return it->second.frame;
+}
+
+FramePtr
+FrameCache::probe(uint32_t pc) const
+{
+    const auto it = frames_.find(pc);
+    return it == frames_.end() ? nullptr : it->second.frame;
+}
+
+void
+FrameCache::invalidate(uint32_t pc)
+{
+    auto it = frames_.find(pc);
+    if (it == frames_.end())
+        return;
+    occupied_ -= it->second.frame->numUops();
+    lru_.erase(it->second.lruIt);
+    frames_.erase(it);
+    ++stats_.counter("invalidations");
+}
+
+} // namespace replay::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The frame cache (§2, §5.3): stores optimized frames on chip, indexed
+ * by starting PC.  Capacity is counted in micro-operation slots (16k in
+ * the paper's configuration, approximately a 64kB ICache) — so the
+ * optimizer's micro-op reduction directly increases effective capacity
+ * (§6.1).  Replacement is LRU over whole frames.
+ */
+
+#ifndef REPLAY_CORE_FRAMECACHE_HH
+#define REPLAY_CORE_FRAMECACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "core/frame.hh"
+#include "util/stats.hh"
+
+namespace replay::core {
+
+/** LRU frame store with micro-op-slot capacity accounting. */
+class FrameCache
+{
+  public:
+    explicit FrameCache(unsigned capacity_uops = 16384);
+
+    /**
+     * Insert (or replace) a frame.  Evicts least-recently-used frames
+     * until the new frame fits.  Frames larger than the whole cache
+     * are rejected.
+     */
+    void insert(FramePtr frame);
+
+    /** Look up a frame starting at @p pc; touches LRU state. */
+    FramePtr lookup(uint32_t pc);
+
+    /** Probe without touching LRU state. */
+    FramePtr probe(uint32_t pc) const;
+
+    /** Remove the frame at @p pc (e.g. after repeated assert fires). */
+    void invalidate(uint32_t pc);
+
+    unsigned occupiedUops() const { return occupied_; }
+    unsigned capacityUops() const { return capacity_; }
+    size_t numFrames() const { return frames_.size(); }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    void evictLru();
+
+    struct Entry
+    {
+        FramePtr frame;
+        std::list<uint32_t>::iterator lruIt;
+    };
+
+    unsigned capacity_;
+    unsigned occupied_ = 0;
+    std::unordered_map<uint32_t, Entry> frames_;
+    std::list<uint32_t> lru_;       ///< front = most recent
+    StatGroup stats_{"fcache"};
+};
+
+} // namespace replay::core
+
+#endif // REPLAY_CORE_FRAMECACHE_HH

@@ -1,0 +1,145 @@
+#include "core/sequencer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace replay::core {
+
+RePlayEngine::RePlayEngine(EngineConfig cfg)
+    : cfg_(cfg), constructor_(cfg.constructor),
+      optimizer_(cfg.optConfig),
+      optPipe_(cfg.optPipelineDepth, cfg.optCyclesPerUop),
+      cache_(cfg.fcacheCapacityUops)
+{
+}
+
+void
+RePlayEngine::enqueueCandidate(FrameCandidate &&cand, uint64_t now)
+{
+    // Do not rebuild a frame that is already cached for this start PC
+    // with the same span (common when the same cold path repeats
+    // before the frame gets hot enough to fetch) — or one that is
+    // still in flight in the optimization pipeline.  A shorter
+    // candidate never displaces a longer frame: the constructor's goal
+    // is the largest atomic region, and short variants otherwise arise
+    // from every observed early exit (a frame whose assertions keep
+    // firing is instead removed by bias eviction, making room for the
+    // shorter variant).
+    if (const FramePtr existing = cache_.probe(cand.startPc)) {
+        if (existing->pcs == cand.pcs ||
+            existing->pcs.size() >= cand.pcs.size()) {
+            ++stats_.counter("duplicate_candidates");
+            return;
+        }
+    }
+    for (const auto &pending : pending_) {
+        if (pending.frame->startPc == cand.startPc &&
+            pending.frame->pcs.size() >= cand.pcs.size()) {
+            ++stats_.counter("duplicate_candidates");
+            return;
+        }
+    }
+
+    profile_.observeInstance(cand.records);
+
+    opt::OptimizedFrame body;
+    uint64_t ready_at = now;
+    if (cfg_.optimize) {
+        const auto done = optPipe_.schedule(now, unsigned(cand.uops.size()));
+        if (!done) {
+            ++stats_.counter("optimizer_drops");
+            return;
+        }
+        ready_at = *done;
+        body = optimizer_.optimize(cand.uops, cand.blocks, &profile_,
+                                   optStats_);
+    } else {
+        body = opt::Optimizer::passthrough(cand.uops, cand.blocks);
+    }
+
+    auto frame = std::make_shared<Frame>();
+    frame->id = nextFrameId_++;
+    frame->startPc = cand.startPc;
+    frame->pcs = std::move(cand.pcs);
+    frame->nextPc = cand.nextPc;
+    frame->dynamicExit = cand.dynamicExit;
+    frame->numBlocks = cand.numBlocks;
+    frame->body = std::move(body);
+    for (size_t i = 0; i < frame->body.uops.size(); ++i) {
+        const opt::FrameUop &fu = frame->body.uops[i];
+        if (fu.unsafe && fu.uop.isStore()) {
+            frame->unsafeStores.push_back(
+                {fu.uop.instIdx, fu.uop.memSeq});
+        }
+    }
+    std::sort(frame->unsafeStores.begin(), frame->unsafeStores.end());
+
+    pending_.push_back({ready_at, std::move(frame)});
+    ++stats_.counter("candidates");
+}
+
+void
+RePlayEngine::drainReady(uint64_t now)
+{
+    while (!pending_.empty() && pending_.front().readyAt <= now) {
+        cache_.insert(std::move(pending_.front().frame));
+        pending_.pop_front();
+    }
+}
+
+void
+RePlayEngine::observeRetired(const trace::TraceRecord &rec, uint64_t now)
+{
+    drainReady(now);
+    auto candidate = constructor_.observe(rec);
+    if (candidate)
+        enqueueCandidate(std::move(*candidate), now);
+}
+
+FramePtr
+RePlayEngine::frameFor(uint32_t pc, uint64_t now)
+{
+    drainReady(now);
+    return cache_.lookup(pc);
+}
+
+void
+RePlayEngine::frameCommitted(const FramePtr &frame)
+{
+    ++frame->fetches;
+    ++stats_.counter("frame_commits");
+}
+
+void
+RePlayEngine::frameAborted(const FramePtr &frame,
+                           const FrameOutcome &outcome)
+{
+    ++frame->fetches;
+    if (outcome.kind == FrameOutcome::Kind::UNSAFE_CONFLICT) {
+        ++frame->conflicts;
+        ++stats_.counter("unsafe_conflicts");
+        // Never speculate on that store site again, and rebuild the
+        // frame without it.
+        for (const auto &ref : frame->unsafeStores) {
+            if (ref.instIdx == outcome.faultIndex) {
+                profile_.markDirty(frame->pcs[ref.instIdx],
+                                   ref.memSeq);
+            }
+        }
+        cache_.invalidate(frame->startPc);
+        return;
+    }
+
+    ++frame->assertFires;
+    ++stats_.counter("assert_fires");
+    // A frame whose assertions keep firing has a stale bias; evict it
+    // so the constructor can rebuild along the new hot path.
+    if (frame->assertFires >= cfg_.evictFireThreshold &&
+        frame->assertFires * cfg_.evictFirePenalty >= frame->fetches) {
+        cache_.invalidate(frame->startPc);
+        ++stats_.counter("bias_evictions");
+    }
+}
+
+} // namespace replay::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The rePLay engine (Figure 5, right side): glues the frame
+ * constructor, the (pipelined) optimization engine, the alias profile,
+ * and the frame cache together, and answers the fetch engine's
+ * sequencing queries.
+ */
+
+#ifndef REPLAY_CORE_SEQUENCER_HH
+#define REPLAY_CORE_SEQUENCER_HH
+
+#include <deque>
+#include <memory>
+
+#include "core/aliasprofile.hh"
+#include "core/constructor.hh"
+#include "core/framecache.hh"
+#include "opt/datapath.hh"
+#include "opt/optimizer.hh"
+
+namespace replay::core {
+
+/** Configuration of the whole rePLay engine. */
+struct EngineConfig
+{
+    bool optimize = true;               ///< RPO when true, RP when false
+    opt::OptConfig optConfig;
+    unsigned fcacheCapacityUops = 16384;
+    ConstructorConfig constructor;
+    unsigned optPipelineDepth = 3;
+    unsigned optCyclesPerUop = 10;
+
+    /** Evict a frame once fires*firePenalty >= fetches and fires >= 4. */
+    unsigned evictFireThreshold = 4;
+    unsigned evictFirePenalty = 8;
+};
+
+/** Frame construction / optimization / caching engine. */
+class RePlayEngine
+{
+  public:
+    explicit RePlayEngine(EngineConfig cfg = {});
+
+    /**
+     * Observe an instruction retiring from the conventional (ICache)
+     * path at cycle @p now.  May synthesize a frame candidate, push it
+     * through the optimization pipeline, and later deposit it in the
+     * frame cache.
+     */
+    void observeRetired(const trace::TraceRecord &rec, uint64_t now);
+
+    /** Deposit any frames whose optimization completed by @p now. */
+    void drainReady(uint64_t now);
+
+    /** Frame starting at @p pc available for fetch at @p now. */
+    FramePtr frameFor(uint32_t pc, uint64_t now);
+
+    /** A fetched frame committed. */
+    void frameCommitted(const FramePtr &frame);
+
+    /** A fetched frame aborted (assert fire / unsafe conflict). */
+    void frameAborted(const FramePtr &frame, const FrameOutcome &outcome);
+
+    /** Pipeline flush (long-flow instruction): drop the accumulation. */
+    void flush() { constructor_.abandon(); }
+
+    FrameCache &cache() { return cache_; }
+    AliasProfile &aliasProfile() { return profile_; }
+    FrameConstructor &constructor() { return constructor_; }
+    const opt::OptStats &optStats() const { return optStats_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    void enqueueCandidate(FrameCandidate &&cand, uint64_t now);
+
+    EngineConfig cfg_;
+    FrameConstructor constructor_;
+    opt::Optimizer optimizer_;
+    opt::OptimizerPipeline optPipe_;
+    FrameCache cache_;
+    AliasProfile profile_;
+    opt::OptStats optStats_;
+    StatGroup stats_{"replay"};
+
+    struct Pending
+    {
+        uint64_t readyAt;
+        FramePtr frame;
+    };
+    std::deque<Pending> pending_;
+    uint64_t nextFrameId_ = 1;
+};
+
+} // namespace replay::core
+
+#endif // REPLAY_CORE_SEQUENCER_HH

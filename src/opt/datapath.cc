@@ -1,0 +1,36 @@
+#include "opt/datapath.hh"
+
+#include <algorithm>
+
+namespace replay::opt {
+
+std::optional<uint64_t>
+OptimizerPipeline::schedule(uint64_t now, unsigned num_uops)
+{
+    // Retire finished frames.
+    busyUntil_.erase(
+        std::remove_if(busyUntil_.begin(), busyUntil_.end(),
+                       [now](uint64_t t) { return t <= now; }),
+        busyUntil_.end());
+
+    if (busyUntil_.size() >= depth_) {
+        ++dropped_;
+        return std::nullopt;
+    }
+
+    const uint64_t done = now + uint64_t(num_uops) * cyclesPerUop_;
+    busyUntil_.push_back(done);
+    ++accepted_;
+    return done;
+}
+
+unsigned
+OptimizerPipeline::inFlight(uint64_t now) const
+{
+    unsigned n = 0;
+    for (const uint64_t t : busyUntil_)
+        n += t > now;
+    return n;
+}
+
+} // namespace replay::opt

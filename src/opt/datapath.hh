@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The optimizer datapath occupancy model (§4, §5.1.4).
+ *
+ * The engine is modeled abstractly: optimizing a frame takes 10 cycles
+ * per micro-operation, and the optimizer is pipelined so several frames
+ * can be in flight ("Simulation results show that a pipeline depth of 3
+ * is sufficient to sustain the throughput of our rePLay model").  A
+ * frame arriving when every pipeline stage is occupied is dropped — the
+ * constructor will rebuild it when the code gets hot again.
+ */
+
+#ifndef REPLAY_OPT_DATAPATH_HH
+#define REPLAY_OPT_DATAPATH_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "opt/optbuffer.hh"
+
+namespace replay::opt {
+
+/** Occupancy/latency model of the pipelined optimization engine. */
+class OptimizerPipeline
+{
+  public:
+    /**
+     * @param depth          concurrent frames in flight
+     * @param cycles_per_uop per-micro-op optimization latency
+     */
+    explicit OptimizerPipeline(unsigned depth = 3,
+                               unsigned cycles_per_uop = 10)
+        : depth_(depth), cyclesPerUop_(cycles_per_uop)
+    {
+    }
+
+    /**
+     * Offer a frame of @p num_uops micro-ops at @p now.
+     *
+     * @return the cycle at which the optimized frame is ready for the
+     *         frame cache, or nullopt if the engine is saturated and
+     *         the frame is dropped.
+     */
+    std::optional<uint64_t> schedule(uint64_t now, unsigned num_uops);
+
+    uint64_t accepted() const { return accepted_; }
+    uint64_t dropped() const { return dropped_; }
+
+    /** Frames currently in flight at @p now. */
+    unsigned inFlight(uint64_t now) const;
+
+  private:
+    unsigned depth_;
+    unsigned cyclesPerUop_;
+    mutable std::vector<uint64_t> busyUntil_;
+    uint64_t accepted_ = 0;
+    uint64_t dropped_ = 0;
+};
+
+/**
+ * Per-primitive-class cycle weights for estimating what a hardware
+ * implementation of the pass pipeline would cost, measured against the
+ * PrimitiveCounts the OptBuffer records (bench_optimizer_datapath).
+ */
+struct PrimitiveLatency
+{
+    unsigned parentLookup = 1;  ///< indexed read of the buffer
+    unsigned childStep = 1;     ///< dependency-list iteration step
+    unsigned fieldOp = 1;       ///< ALU field extract/modify
+    unsigned invalidate = 1;
+    unsigned rewrite = 1;
+
+    uint64_t
+    cyclesFor(const PrimitiveCounts &prims) const
+    {
+        return prims.parentLookups * parentLookup +
+               prims.childSteps * childStep +
+               prims.fieldOps * fieldOp +
+               prims.invalidates * invalidate +
+               prims.rewrites * rewrite;
+    }
+};
+
+} // namespace replay::opt
+
+#endif // REPLAY_OPT_DATAPATH_HH

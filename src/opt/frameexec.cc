@@ -1,0 +1,191 @@
+#include "opt/frameexec.hh"
+
+#include "uop/evaluator.hh"
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace replay::opt {
+
+using uop::Op;
+using uop::UReg;
+
+namespace {
+
+/** Per-slot computed results. */
+struct SlotValues
+{
+    std::vector<uint32_t> value;
+    std::vector<x86::Flags> flags;
+};
+
+uint32_t
+resolveValue(const Operand &op, const ArchState &in,
+             const SlotValues &vals)
+{
+    switch (op.kind) {
+      case Operand::Kind::NONE:
+        return 0;
+      case Operand::Kind::LIVE_IN:
+        return in.regs[unsigned(op.reg)];
+      case Operand::Kind::PROD:
+        return vals.value[op.idx];
+    }
+    return 0;
+}
+
+x86::Flags
+resolveFlags(const Operand &op, const ArchState &in,
+             const SlotValues &vals)
+{
+    if (op.kind == Operand::Kind::LIVE_IN)
+        return in.flags;
+    if (op.kind == Operand::Kind::PROD)
+        return vals.flags[op.idx];
+    return {};
+}
+
+/** Byte-accurate read that sees buffered (uncommitted) stores. */
+uint32_t
+readWithForwarding(const x86::SparseMemory &mem,
+                   const std::vector<x86::MemOp> &store_buffer,
+                   uint32_t addr, unsigned size)
+{
+    uint32_t value = mem.read(addr, size);
+    for (const auto &st : store_buffer) {
+        if (!st.isStore)
+            continue;
+        for (unsigned b = 0; b < size; ++b) {
+            const uint32_t byte_addr = addr + b;
+            if (byte_addr >= st.addr && byte_addr < st.addr + st.size) {
+                const uint32_t st_byte =
+                    (st.data >> (8 * (byte_addr - st.addr))) & 0xff;
+                value = uint32_t(insertBits(value, 8 * b + 7, 8 * b,
+                                            st_byte));
+            }
+        }
+    }
+    return value;
+}
+
+} // anonymous namespace
+
+FrameExecResult
+executeFrame(const OptimizedFrame &frame, ArchState &state,
+             x86::SparseMemory &mem)
+{
+    FrameExecResult result;
+    SlotValues vals;
+    vals.value.assign(frame.uops.size(), 0);
+    vals.flags.assign(frame.uops.size(), {});
+
+    std::vector<x86::MemOp> buffer;    // all transactions, in order
+
+    for (size_t i = 0; i < frame.uops.size(); ++i) {
+        const FrameUop &fu = frame.uops[i];
+        const uop::Uop &u = fu.uop;
+
+        const uint32_t a = resolveValue(fu.srcA, state, vals);
+        const uint32_t b = fu.srcB.isNone() ? uint32_t(u.imm)
+                                            : resolveValue(fu.srcB,
+                                                           state, vals);
+        const uint32_t c = resolveValue(fu.srcC, state, vals);
+        const x86::Flags in_flags =
+            resolveFlags(fu.flagsSrc, state, vals);
+
+        switch (u.op) {
+          case Op::NOP:
+          case Op::JMP:
+          case Op::LONGFLOW:
+            break;
+
+          case Op::LOAD:
+          case Op::FLOAD: {
+            const uint32_t addr = uop::loadAddr(
+                u, a, fu.srcB.isNone() ? 0
+                                       : resolveValue(fu.srcB, state,
+                                                      vals));
+            const uint32_t raw =
+                readWithForwarding(mem, buffer, addr, u.memSize);
+            uint32_t value = raw;
+            if (u.signExtend && u.memSize < 4)
+                value = uint32_t(sext(value, u.memSize * 8));
+            buffer.push_back({false, addr, u.memSize, raw});
+            vals.value[i] = value;
+            break;
+          }
+
+          case Op::STORE:
+          case Op::FSTORE: {
+            const uint32_t addr = uop::storeAddr(u, a, c);
+            const uint32_t value = resolveValue(fu.srcB, state, vals);
+            if (fu.unsafe) {
+                // §3.4: compare against every prior transaction.
+                const x86::MemOp probe{true, addr, u.memSize, value};
+                for (size_t p = 0; p < buffer.size(); ++p) {
+                    if (buffer[p].overlaps(probe)) {
+                        result.status =
+                            FrameExecResult::Status::UNSAFE_CONFLICT;
+                        result.faultSlot = i;
+                        return result;
+                    }
+                }
+            }
+            buffer.push_back({true, addr, u.memSize, value});
+            break;
+          }
+
+          case Op::BR:
+            panic("conditional branch survived frame optimization");
+
+          case Op::JMPI:
+            result.indirectTarget = a;
+            break;
+
+          case Op::ASSERT: {
+            x86::Flags observed = in_flags;
+            if (u.valueAssert) {
+                uop::Uop cmp;
+                cmp.op = u.assertOp;
+                observed =
+                    uop::evalAlu(cmp, a, b, 0, x86::Flags{}).flags;
+            }
+            if (uop::assertFires(u, observed)) {
+                result.status = FrameExecResult::Status::ASSERTED;
+                result.faultSlot = i;
+                return result;
+            }
+            break;
+          }
+
+          default: {
+            const auto alu = uop::evalAlu(u, a, b, c, in_flags);
+            vals.value[i] = alu.value;
+            if (u.writesFlags)
+                vals.flags[i] = alu.flags;
+            break;
+          }
+        }
+    }
+
+    // Commit: apply live-out bindings and buffered stores.
+    ArchState out = state;
+    for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+        const auto reg = static_cast<UReg>(r);
+        if (!OptBuffer::archLiveOut(reg))
+            continue;
+        const Operand &binding = frame.exit.regs[r];
+        if (!binding.isNone())
+            out.regs[r] = resolveValue(binding, state, vals);
+    }
+    out.flags = resolveFlags(frame.exit.flags, state, vals);
+    state = out;
+
+    for (const auto &op : buffer) {
+        if (op.isStore)
+            mem.write(op.addr, op.size, op.data);
+    }
+    result.memOps = std::move(buffer);
+    return result;
+}
+
+} // namespace replay::opt

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional execution of an optimized frame.
+ *
+ * Executes the renamed micro-ops of an OptimizedFrame against live-in
+ * architectural state and memory, honouring frame atomicity: stores are
+ * buffered and committed only if no assertion fires and no unsafe store
+ * conflicts, exactly as the rePLay recovery model requires.  Used by
+ * the state verifier (§5.1.3), the property tests, and the examples.
+ */
+
+#ifndef REPLAY_OPT_FRAMEEXEC_HH
+#define REPLAY_OPT_FRAMEEXEC_HH
+
+#include <array>
+#include <vector>
+
+#include "opt/optimizer.hh"
+#include "x86/executor.hh"
+
+namespace replay::opt {
+
+/** Outcome of executing a frame. */
+struct FrameExecResult
+{
+    enum class Status
+    {
+        COMMITTED,          ///< all assertions held; state updated
+        ASSERTED,           ///< an assertion fired; state untouched
+        UNSAFE_CONFLICT,    ///< an unsafe store aliased; state untouched
+    };
+
+    Status status = Status::COMMITTED;
+    size_t faultSlot = 0;       ///< slot that asserted / conflicted
+
+    /** Committed memory transactions, in program order. */
+    std::vector<x86::MemOp> memOps;
+
+    /** Computed target of a trailing indirect jump (0 if none). */
+    uint32_t indirectTarget = 0;
+
+    bool committed() const { return status == Status::COMMITTED; }
+};
+
+/** Live-in / live-out architectural state for frame execution. */
+struct ArchState
+{
+    std::array<uint32_t, uop::NUM_UREGS> regs{};
+    x86::Flags flags;
+};
+
+/**
+ * Execute @p frame against @p state and @p mem.
+ *
+ * On COMMITTED, @p state receives the frame's live-out bindings and
+ * @p mem the buffered stores.  On ASSERTED / UNSAFE_CONFLICT nothing is
+ * modified (rollback).
+ */
+FrameExecResult executeFrame(const OptimizedFrame &frame,
+                             ArchState &state, x86::SparseMemory &mem);
+
+} // namespace replay::opt
+
+#endif // REPLAY_OPT_FRAMEEXEC_HH

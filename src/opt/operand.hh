@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Renamed operands inside the optimization buffer.
+ *
+ * After Remapping (§4), a micro-op in buffer slot m writes physical
+ * register m, so a source is identified either by the producing slot
+ * index (its "parent"), or as a live-in architectural value that enters
+ * the frame from outside.  Flag values are co-produced by flag-writing
+ * micro-ops; a flags consumer references the producer with the
+ * flagsView bit set.
+ */
+
+#ifndef REPLAY_OPT_OPERAND_HH
+#define REPLAY_OPT_OPERAND_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "uop/uop.hh"
+
+namespace replay::opt {
+
+/** A renamed source reference. */
+struct Operand
+{
+    enum class Kind : uint8_t
+    {
+        NONE,       ///< operand not used (immediate form, no index, ...)
+        LIVE_IN,    ///< architectural value at frame entry
+        PROD,       ///< value produced by buffer slot idx
+    };
+
+    Kind kind = Kind::NONE;
+    uop::UReg reg = uop::UReg::NONE;    ///< LIVE_IN: which register
+    uint16_t idx = 0;                   ///< PROD: producer slot
+    bool flagsView = false;             ///< reference the flags result
+
+    static Operand
+    none()
+    {
+        return {};
+    }
+
+    static Operand
+    liveIn(uop::UReg reg)
+    {
+        Operand o;
+        o.kind = Kind::LIVE_IN;
+        o.reg = reg;
+        return o;
+    }
+
+    static Operand
+    prod(uint16_t idx)
+    {
+        Operand o;
+        o.kind = Kind::PROD;
+        o.idx = idx;
+        return o;
+    }
+
+    static Operand
+    prodFlags(uint16_t idx)
+    {
+        Operand o;
+        o.kind = Kind::PROD;
+        o.idx = idx;
+        o.flagsView = true;
+        return o;
+    }
+
+    static Operand
+    liveInFlags()
+    {
+        Operand o;
+        o.kind = Kind::LIVE_IN;
+        o.reg = uop::UReg::FLAGS;
+        o.flagsView = true;
+        return o;
+    }
+
+    bool isNone() const { return kind == Kind::NONE; }
+    bool isLiveIn() const { return kind == Kind::LIVE_IN; }
+    bool isProd() const { return kind == Kind::PROD; }
+
+    bool operator==(const Operand &) const = default;
+
+    /** Render for debugging: "<L:ESP>", "<P:12>", "<Pf:3>". */
+    std::string str() const;
+};
+
+/** Hash for value-numbering maps. */
+struct OperandHash
+{
+    size_t
+    operator()(const Operand &o) const
+    {
+        return (size_t(o.kind) << 24) ^ (size_t(o.reg) << 16) ^
+               (size_t(o.idx) << 1) ^ size_t(o.flagsView);
+    }
+};
+
+} // namespace replay::opt
+
+#endif // REPLAY_OPT_OPERAND_HH

@@ -1,0 +1,246 @@
+#include "opt/optbuffer.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace replay::opt {
+
+std::string
+Operand::str() const
+{
+    switch (kind) {
+      case Kind::NONE:
+        return "<->";
+      case Kind::LIVE_IN:
+        return std::string("<L:") + uop::uregName(reg) +
+               (flagsView ? "f>" : ">");
+      case Kind::PROD:
+        return "<P" + std::string(flagsView ? "f" : "") + ":" +
+               std::to_string(idx) + ">";
+    }
+    return "<?>";
+}
+
+uint16_t
+OptBuffer::push(FrameUop fu)
+{
+    panic_if(slots_.size() >= 0xffff, "optimization buffer overflow");
+    fu.position = uint16_t(slots_.size());
+    slots_.push_back(fu);
+    return uint16_t(slots_.size() - 1);
+}
+
+Operand
+OptBuffer::parent(size_t idx, SrcRole role)
+{
+    ++prims_.parentLookups;
+    return slots_[idx].src(role);
+}
+
+namespace {
+
+bool
+usesOperand(const FrameUop &fu, const Operand &op)
+{
+    return fu.srcA == op || fu.srcB == op || fu.srcC == op ||
+           fu.flagsSrc == op;
+}
+
+} // anonymous namespace
+
+std::vector<uint16_t>
+OptBuffer::valueChildren(size_t idx)
+{
+    const Operand target = Operand::prod(uint16_t(idx));
+    std::vector<uint16_t> kids;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        ++prims_.childSteps;
+        if (slots_[i].valid && usesOperand(slots_[i], target))
+            kids.push_back(uint16_t(i));
+    }
+    return kids;
+}
+
+std::vector<uint16_t>
+OptBuffer::flagsChildren(size_t idx)
+{
+    const Operand target = Operand::prodFlags(uint16_t(idx));
+    std::vector<uint16_t> kids;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        ++prims_.childSteps;
+        if (slots_[i].valid && usesOperand(slots_[i], target))
+            kids.push_back(uint16_t(i));
+    }
+    return kids;
+}
+
+void
+OptBuffer::setSource(size_t idx, SrcRole role, Operand op)
+{
+    ++prims_.rewrites;
+    FrameUop &fu = slots_[idx];
+    switch (role) {
+      case SrcRole::A:     fu.srcA = op; break;
+      case SrcRole::B:     fu.srcB = op; break;
+      case SrcRole::C:     fu.srcC = op; break;
+      case SrcRole::FLAGS: fu.flagsSrc = op; break;
+    }
+}
+
+void
+OptBuffer::replaceAllUses(const Operand &from, const Operand &to)
+{
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        FrameUop &fu = slots_[i];
+        ++prims_.childSteps;
+        if (!fu.valid)
+            continue;
+        if (fu.srcA == from)
+            setSource(i, SrcRole::A, to);
+        if (fu.srcB == from)
+            setSource(i, SrcRole::B, to);
+        if (fu.srcC == from)
+            setSource(i, SrcRole::C, to);
+        if (fu.flagsSrc == from)
+            setSource(i, SrcRole::FLAGS, to);
+    }
+    for (auto &exit : exits_) {
+        for (auto &binding : exit.regs) {
+            if (binding == from) {
+                binding = to;
+                ++prims_.rewrites;
+            }
+        }
+        if (exit.flags == from) {
+            exit.flags = to;
+            ++prims_.rewrites;
+        }
+    }
+}
+
+void
+OptBuffer::invalidate(size_t idx)
+{
+    panic_if(slots_[idx].uop.isStore(),
+             "the optimizer never removes stores");
+    ++prims_.invalidates;
+    slots_[idx].valid = false;
+}
+
+bool
+OptBuffer::valueUsed(size_t idx) const
+{
+    const Operand target = Operand::prod(uint16_t(idx));
+    for (const auto &fu : slots_) {
+        if (fu.valid && usesOperand(fu, target))
+            return true;
+    }
+    return false;
+}
+
+bool
+OptBuffer::flagsUsed(size_t idx) const
+{
+    const Operand target = Operand::prodFlags(uint16_t(idx));
+    for (const auto &fu : slots_) {
+        if (fu.valid && usesOperand(fu, target))
+            return true;
+    }
+    return false;
+}
+
+bool
+OptBuffer::isLiveOutReg(size_t idx) const
+{
+    const Operand target = Operand::prod(uint16_t(idx));
+    for (const auto &exit : exits_) {
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            if (archLiveOut(static_cast<uop::UReg>(r)) &&
+                exit.regs[r] == target) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+OptBuffer::isLiveOutFlags(size_t idx) const
+{
+    const Operand target = Operand::prodFlags(uint16_t(idx));
+    for (const auto &exit : exits_) {
+        if (exit.flags == target)
+            return true;
+    }
+    return false;
+}
+
+bool
+OptBuffer::archLiveOut(uop::UReg reg)
+{
+    using uop::UReg;
+    if (reg >= UReg::ET0 && reg <= UReg::ET7)
+        return false;
+    return reg != UReg::NONE;
+}
+
+std::vector<uint16_t>
+OptBuffer::memSlots() const
+{
+    std::vector<uint16_t> out;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].valid && slots_[i].uop.isMem())
+            out.push_back(uint16_t(i));
+    }
+    return out;
+}
+
+unsigned
+OptBuffer::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &fu : slots_)
+        n += fu.valid;
+    return n;
+}
+
+unsigned
+OptBuffer::validLoads() const
+{
+    unsigned n = 0;
+    for (const auto &fu : slots_)
+        n += fu.valid && fu.uop.isLoad();
+    return n;
+}
+
+std::string
+OptBuffer::dump() const
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+        const FrameUop &fu = slots_[i];
+        out << (fu.valid ? "  " : "x ") << i << ": "
+            << uop::format(fu.uop);
+        out << "   [A" << fu.srcA.str() << " B" << fu.srcB.str() << " C"
+            << fu.srcC.str() << " F" << fu.flagsSrc.str() << "]";
+        if (fu.unsafe)
+            out << " UNSAFE";
+        out << '\n';
+    }
+    for (const auto &exit : exits_) {
+        out << "  exit(block " << exit.block << "):";
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            const auto reg = static_cast<uop::UReg>(r);
+            if (archLiveOut(reg) && !exit.regs[r].isNone() &&
+                exit.regs[r] != Operand::liveIn(reg)) {
+                out << ' ' << uop::uregName(reg) << '='
+                    << exit.regs[r].str();
+            }
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace replay::opt

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The optimization buffer of Figure 3.
+ *
+ * A frame's micro-ops occupy buffer slots; Remapping guarantees slot m
+ * writes physical register m, so parent lookup is a direct index and
+ * the Dependency List (children lists) supports child iteration.
+ *
+ * Live-outs are modeled as *exit bindings*: maps from architectural
+ * register (and flags) to the operand holding its value at an exit
+ * point.  Frame-scope optimization has a single exit at the frame
+ * boundary (§3.3: precise state is only required there); block-scope
+ * optimization (Figure 9) has one exit per constituent basic block,
+ * modeling the optimizer's ignorance of later blocks.
+ *
+ * All optimization passes mutate the buffer exclusively through the
+ * primitive operations §4 postulates for the hardware (parent / child
+ * traversal, field read/modify, instruction invalidation); a primitive
+ * usage counter feeds the optimizer-datapath benchmark.
+ */
+
+#ifndef REPLAY_OPT_OPTBUFFER_HH
+#define REPLAY_OPT_OPTBUFFER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/operand.hh"
+#include "uop/uop.hh"
+
+namespace replay::opt {
+
+/** Which source field of a micro-op an edit refers to. */
+enum class SrcRole : uint8_t
+{
+    A,
+    B,
+    C,          ///< store value index register / DIV high word
+    FLAGS,
+};
+
+/** One renamed micro-op in the buffer (the Figure 4 format). */
+struct FrameUop
+{
+    uop::Uop uop;           ///< opcode, cc, imm, sizes, provenance
+    Operand srcA;
+    Operand srcB;
+    Operand srcC;
+    Operand flagsSrc;       ///< when uop.readsFlags
+
+    bool valid = true;
+    bool unsafe = false;    ///< unsafe store (speculative mem opt)
+    uint16_t position = 0;  ///< cleanup ordering (defaults to slot)
+    uint16_t block = 0;     ///< basic block index within the frame
+
+    const Operand &
+    src(SrcRole role) const
+    {
+        switch (role) {
+          case SrcRole::A: return srcA;
+          case SrcRole::B: return srcB;
+          case SrcRole::C: return srcC;
+          default: return flagsSrc;
+        }
+    }
+};
+
+/** Architectural bindings that must be reconstructible at an exit. */
+struct ExitBinding
+{
+    uint16_t block = 0;     ///< the block this exit terminates
+    std::array<Operand, uop::NUM_UREGS> regs{};
+    Operand flags;
+};
+
+/** Counts of datapath primitive invocations (see datapath.hh). */
+struct PrimitiveCounts
+{
+    uint64_t parentLookups = 0;
+    uint64_t childSteps = 0;
+    uint64_t fieldOps = 0;
+    uint64_t invalidates = 0;
+    uint64_t rewrites = 0;
+
+    uint64_t
+    total() const
+    {
+        return parentLookups + childSteps + fieldOps + invalidates +
+               rewrites;
+    }
+};
+
+/** The optimization buffer plus dependency lists and exit bindings. */
+class OptBuffer
+{
+  public:
+    OptBuffer() = default;
+
+    /** Number of slots (including invalidated ones). */
+    size_t size() const { return slots_.size(); }
+
+    FrameUop &at(size_t idx) { return slots_[idx]; }
+    const FrameUop &at(size_t idx) const { return slots_[idx]; }
+    bool valid(size_t idx) const { return slots_[idx].valid; }
+
+    /** Append a remapped micro-op (Remapper / tests only). */
+    uint16_t push(FrameUop fu);
+
+    /** Append an exit binding (Remapper). */
+    void addExit(ExitBinding exit) { exits_.push_back(std::move(exit)); }
+
+    const std::vector<ExitBinding> &exits() const { return exits_; }
+    std::vector<ExitBinding> &exits() { return exits_; }
+
+    /** The frame-boundary exit (always the last one). */
+    const ExitBinding &finalExit() const { return exits_.back(); }
+    ExitBinding &finalExit() { return exits_.back(); }
+
+    // -- dataflow traversal (the shaded logic of Figure 3) -------------
+
+    /** The operand producing a slot's source; counts a parent lookup. */
+    Operand parent(size_t idx, SrcRole role);
+
+    /** Slots consuming slot @p idx's register value (not flags). */
+    std::vector<uint16_t> valueChildren(size_t idx);
+
+    /** Slots consuming slot @p idx's flags value. */
+    std::vector<uint16_t> flagsChildren(size_t idx);
+
+    // -- mutation primitives ----------------------------------------------
+
+    /** Point one source of a slot at a new operand. */
+    void setSource(size_t idx, SrcRole role, Operand op);
+
+    /**
+     * Redirect every use (sources and all exit bindings) of @p from to
+     * @p to.  Frame-scope semantics; block-scope passes use their own
+     * scoped rewriting.
+     */
+    void replaceAllUses(const Operand &from, const Operand &to);
+
+    /** Invalidate a slot (removal; never used on stores). */
+    void invalidate(size_t idx);
+
+    /** Count a field extraction / modification primitive. */
+    void countFieldOp() const { ++prims_.fieldOps; }
+
+    // -- liveness queries -------------------------------------------------
+
+    /** Any valid slot consumes this slot's register value? */
+    bool valueUsed(size_t idx) const;
+
+    /** Any valid slot consumes this slot's flags value? */
+    bool flagsUsed(size_t idx) const;
+
+    /** Slot's register value is bound by any exit? */
+    bool isLiveOutReg(size_t idx) const;
+
+    /** Slot's flags value is bound by any exit? */
+    bool isLiveOutFlags(size_t idx) const;
+
+    /**
+     * Registers whose values matter past an exit.  The translator
+     * temporaries ET0..ET7 are dead at every x86 boundary and are never
+     * live-out — the freedom the paper exploits.
+     */
+    static bool archLiveOut(uop::UReg reg);
+
+    /** Valid memory micro-ops (loads and stores), in program order. */
+    std::vector<uint16_t> memSlots() const;
+
+    /** Count of valid slots. */
+    unsigned validCount() const;
+
+    /** Count of valid loads. */
+    unsigned validLoads() const;
+
+    PrimitiveCounts &prims() { return prims_; }
+    const PrimitiveCounts &prims() const { return prims_; }
+
+    /** Multi-line dump for debugging and the examples. */
+    std::string dump() const;
+
+  private:
+    std::vector<FrameUop> slots_;
+    std::vector<ExitBinding> exits_;
+    mutable PrimitiveCounts prims_;
+};
+
+} // namespace replay::opt
+
+#endif // REPLAY_OPT_OPTBUFFER_HH

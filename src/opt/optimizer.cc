@@ -1,0 +1,105 @@
+#include "opt/optimizer.hh"
+
+#include "util/logging.hh"
+
+namespace replay::opt {
+
+namespace {
+
+/** Cleanup: compact valid slots in position order, re-index operands. */
+OptimizedFrame
+finalize(OptBuffer &buf, const std::vector<uop::Uop> &uops)
+{
+    OptimizedFrame out;
+    out.inputUops = unsigned(uops.size());
+    for (const auto &u : uops)
+        out.inputLoads += u.isLoad();
+
+    std::vector<uint16_t> new_index(buf.size(), 0xffff);
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i))
+            continue;
+        new_index[i] = uint16_t(out.uops.size());
+        out.uops.push_back(buf.at(i));
+    }
+
+    auto fix = [&](Operand &op) {
+        if (op.isProd()) {
+            panic_if(new_index[op.idx] == 0xffff,
+                     "operand references an invalidated slot");
+            op.idx = new_index[op.idx];
+        }
+    };
+    for (auto &fu : out.uops) {
+        fix(fu.srcA);
+        fix(fu.srcB);
+        fix(fu.srcC);
+        fix(fu.flagsSrc);
+    }
+    out.exit = buf.finalExit();
+    for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+        // Bindings of registers that are dead past the frame boundary
+        // (the ET temporaries) may reference removed slots; drop them.
+        if (!OptBuffer::archLiveOut(static_cast<uop::UReg>(r)))
+            out.exit.regs[r] = Operand::none();
+        else
+            fix(out.exit.regs[r]);
+    }
+    fix(out.exit.flags);
+
+    for (const auto &fu : out.uops)
+        out.outputLoads += fu.uop.isLoad();
+
+    out.prims = buf.prims();
+    return out;
+}
+
+} // anonymous namespace
+
+OptimizedFrame
+Optimizer::optimize(const std::vector<uop::Uop> &uops,
+                    const std::vector<uint16_t> &blocks,
+                    const AliasHints *alias, OptStats &stats) const
+{
+    const Remapper remapper;
+    OptBuffer buf = remapper.remap(uops, blocks,
+                                   cfg_.scope != Scope::FRAME);
+
+    OptContext ctx{buf, cfg_, alias, stats};
+
+    for (unsigned iter = 0; iter < cfg_.maxIterations; ++iter) {
+        unsigned changed = 0;
+        changed += passNopRemoval(ctx);
+        changed += passAssertCombine(ctx);
+        changed += passConstProp(ctx);
+        changed += passReassociate(ctx);
+        changed += passCse(ctx);
+        changed += passStoreForward(ctx);
+        changed += passDce(ctx);
+        if (!changed)
+            break;
+    }
+
+    OptimizedFrame out = finalize(buf, uops);
+    out.latencyCycles = latencyFor(out.inputUops);
+
+    ++stats.framesOptimized;
+    stats.inputUops += out.inputUops;
+    stats.outputUops += out.uops.size();
+    stats.inputLoads += out.inputLoads;
+    stats.outputLoads += out.outputLoads;
+    return out;
+}
+
+OptimizedFrame
+Optimizer::passthrough(const std::vector<uop::Uop> &uops,
+                       const std::vector<uint16_t> &blocks)
+{
+    const Remapper remapper;
+    OptBuffer buf = remapper.remap(uops, blocks, false);
+    OptimizedFrame out = finalize(buf, uops);
+    out.latencyCycles = 0;      // deposited directly (§6.3)
+    return out;
+}
+
+} // namespace replay::opt

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The rePLay optimization engine driver.
+ *
+ * Runs the §3 pass pipeline over a frame's micro-ops to a fixed point
+ * (bounded by OptConfig::maxIterations), then performs the Cleanup
+ * step: invalidated slots are deleted and the survivors are read out in
+ * position order with operand indices compacted.
+ */
+
+#ifndef REPLAY_OPT_OPTIMIZER_HH
+#define REPLAY_OPT_OPTIMIZER_HH
+
+#include <vector>
+
+#include "opt/passes.hh"
+#include "opt/remapper.hh"
+
+namespace replay::opt {
+
+/** The optimizer's output: a compacted, renamed frame body. */
+struct OptimizedFrame
+{
+    /** Surviving micro-ops; PROD operand indices refer to this list. */
+    std::vector<FrameUop> uops;
+
+    /** Architectural bindings at the frame boundary. */
+    ExitBinding exit;
+
+    unsigned inputUops = 0;
+    unsigned inputLoads = 0;
+    unsigned outputLoads = 0;
+
+    /** Datapath primitive usage during this optimization. */
+    PrimitiveCounts prims;
+
+    /**
+     * Modeled optimization latency (§5.1.4: "a variable latency of 10
+     * cycles per instruction").
+     */
+    uint64_t latencyCycles = 0;
+
+    unsigned numUops() const { return unsigned(uops.size()); }
+};
+
+/** Drives remapping, the pass pipeline, and cleanup. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(OptConfig cfg = {}) : cfg_(cfg) {}
+
+    const OptConfig &config() const { return cfg_; }
+
+    /**
+     * Optimize one frame.
+     *
+     * @param uops   frame micro-ops in architectural form
+     * @param blocks basic-block index per micro-op (may be empty)
+     * @param alias  aliasing observations, or nullptr to forbid
+     *               speculative memory optimization
+     * @param stats  accumulates optimization counters
+     */
+    OptimizedFrame optimize(const std::vector<uop::Uop> &uops,
+                            const std::vector<uint16_t> &blocks,
+                            const AliasHints *alias,
+                            OptStats &stats) const;
+
+    /**
+     * Remap and compact without running any pass — the plain-rePLay
+     * (RP) path, where frames go straight from the constructor into
+     * the frame cache (§6.3).
+     */
+    static OptimizedFrame passthrough(const std::vector<uop::Uop> &uops,
+                                      const std::vector<uint16_t> &blocks);
+
+    /** Cycles the abstract engine spends on a frame of @p n micro-ops. */
+    static uint64_t
+    latencyFor(unsigned n)
+    {
+        return uint64_t(n) * CYCLES_PER_UOP;
+    }
+
+    static constexpr unsigned CYCLES_PER_UOP = 10;
+
+  private:
+    OptConfig cfg_;
+};
+
+} // namespace replay::opt
+
+#endif // REPLAY_OPT_OPTIMIZER_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Value assertion combining (§3.4): an x86 flag-generating comparison
+ * (CMP or TEST) followed by an assertion on those flags becomes a
+ * single value-asserting micro-op.  The comparison then usually dies
+ * (dead code elimination removes it when its flags have no other
+ * observer).
+ */
+
+#include "opt/passes.hh"
+
+namespace replay::opt {
+
+unsigned
+passAssertCombine(OptContext &ctx)
+{
+    if (!ctx.cfg.assertCombine)
+        return 0;
+
+    OptBuffer &buf = ctx.buf;
+    unsigned changed = 0;
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i))
+            continue;
+        FrameUop &fu = buf.at(i);
+        if (fu.uop.op != uop::Op::ASSERT || fu.uop.valueAssert)
+            continue;
+        const Operand flags_src = buf.parent(i, SrcRole::FLAGS);
+        if (!ctx.inspectable(i, flags_src) || !flags_src.flagsView)
+            continue;
+        const FrameUop &producer = buf.at(flags_src.idx);
+        const uop::Op pop = producer.uop.op;
+        buf.countFieldOp();
+        if (pop != uop::Op::CMP && pop != uop::Op::TEST)
+            continue;
+
+        // Fuse: ASSERT.cc(flags of CMP a,b)  =>  ASSERT.cc a, b.
+        fu.uop.valueAssert = true;
+        fu.uop.assertOp = pop;
+        fu.uop.imm = producer.uop.imm;
+        fu.uop.srcA = producer.uop.srcA;    // architectural names, for
+        fu.uop.srcB = producer.uop.srcB;    // rendering only
+        fu.srcA = producer.srcA;
+        fu.srcB = producer.srcB;
+        fu.uop.readsFlags = false;
+        fu.flagsSrc = Operand::none();
+        buf.countFieldOp();
+        ++changed;
+        ++ctx.stats.assertsCombined;
+    }
+    return changed;
+}
+
+} // namespace replay::opt

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Constant and copy propagation (§6.4 item 2).
+ *
+ * Copies (MOV) are propagated into their consumers — this is also what
+ * fuses the paper's example micro-ops 08/09 ("MOV EDX,ECX; OR EDX,EBX")
+ * into a single three-operand OR.  Constants from LIMM micro-ops fold
+ * into ALU immediates and addressing displacements; fully-constant ALU
+ * micro-ops collapse to LIMM; value assertions proven true vanish
+ * (this is how the return jump of §3.3 is removed once store
+ * forwarding delivers the constant return address).
+ */
+
+#include "opt/passes.hh"
+
+#include "uop/evaluator.hh"
+#include "util/logging.hh"
+
+namespace replay::opt {
+
+using uop::Op;
+
+namespace {
+
+/** The constant a slot produces, if the pass may know it. */
+std::optional<int32_t>
+knownConst(OptContext &ctx, size_t at, const Operand &op)
+{
+    if (!ctx.inspectable(at, op) || op.flagsView)
+        return std::nullopt;
+    const FrameUop &producer = ctx.buf.at(op.idx);
+    ctx.buf.countFieldOp();
+    if (producer.uop.op == Op::LIMM)
+        return producer.uop.imm;
+    return std::nullopt;
+}
+
+bool
+isFoldableAlu(Op op)
+{
+    switch (op) {
+      case Op::ADD:
+      case Op::SUB:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::MUL:
+      case Op::NOT:
+      case Op::NEG:
+      case Op::MOV:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCommutative(Op op)
+{
+    return op == Op::ADD || op == Op::AND || op == Op::OR ||
+           op == Op::XOR || op == Op::MUL || op == Op::TEST;
+}
+
+bool
+takesImmOperand(Op op)
+{
+    switch (op) {
+      case Op::ADD:
+      case Op::SUB:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::MUL:
+      case Op::CMP:
+      case Op::TEST:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+unsigned
+passConstProp(OptContext &ctx)
+{
+    if (!ctx.cfg.constProp)
+        return 0;
+
+    OptBuffer &buf = ctx.buf;
+    unsigned changed = 0;
+
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i))
+            continue;
+        FrameUop &fu = buf.at(i);
+        const Op op = fu.uop.op;
+
+        // ---- copy propagation --------------------------------------
+        if (op == Op::MOV && !fu.srcA.isNone()) {
+            // Self-reference guard: a MOV can never be its own source
+            // after remapping, so this always terminates.
+            const unsigned n =
+                replaceUsesScoped(ctx, i, false, fu.srcA);
+            if (n) {
+                changed += n;
+                ++ctx.stats.copiesPropagated;
+            }
+            continue;
+        }
+
+        // ---- immediate-operand formation ---------------------------------
+        if (takesImmOperand(op) && !fu.srcB.isNone()) {
+            auto cb = knownConst(ctx, i, fu.srcB);
+            if (!cb && isCommutative(op)) {
+                // Try the other side.
+                if (auto ca = knownConst(ctx, i, fu.srcA)) {
+                    std::swap(fu.srcA, fu.srcB);
+                    cb = ca;
+                }
+            }
+            if (cb) {
+                fu.uop.imm = *cb;
+                fu.uop.srcB = uop::UReg::NONE;
+                buf.setSource(i, SrcRole::B, Operand::none());
+                buf.countFieldOp();
+                ++changed;
+                ++ctx.stats.constantsFolded;
+            }
+        }
+
+        // ---- identity simplification ---------------------------------
+        // x + 0, x - 0, x | 0, x ^ 0, x << 0 are pure copies once their
+        // flag results are unobservable; rewriting them as MOVs lets
+        // copy propagation and DCE finish the job (the merged stack
+        // updates of Figure 2 reduce to exactly this shape when the
+        // net displacement is zero).
+        if ((op == Op::ADD || op == Op::SUB || op == Op::OR ||
+             op == Op::XOR || op == Op::SHL || op == Op::SHR ||
+             op == Op::SAR) &&
+            fu.srcB.isNone() && fu.uop.imm == 0 && !fu.srcA.isNone() &&
+            !flagsObservable(buf, i)) {
+            fu.uop.op = Op::MOV;
+            fu.uop.writesFlags = false;
+            fu.uop.readsFlags = false;
+            fu.uop.flagsCarryOnly = false;
+            buf.setSource(i, SrcRole::FLAGS, Operand::none());
+            buf.countFieldOp();
+            ++changed;
+            ++ctx.stats.constantsFolded;
+        }
+
+        // ---- full constant folding ----------------------------------------
+        if (isFoldableAlu(op) && op != Op::MOV) {
+            const auto ca = knownConst(ctx, i, fu.srcA);
+            const bool unary = op == Op::NOT || op == Op::NEG;
+            const bool b_const = fu.srcB.isNone();    // imm form
+            if (ca && (unary || b_const) &&
+                !flagsObservable(buf, i)) {
+                const auto alu = uop::evalAlu(
+                    fu.uop, uint32_t(*ca), uint32_t(fu.uop.imm), 0,
+                    x86::Flags{});
+                fu.uop.op = Op::LIMM;
+                fu.uop.imm = int32_t(alu.value);
+                fu.uop.srcA = uop::UReg::NONE;
+                fu.uop.srcB = uop::UReg::NONE;
+                fu.uop.writesFlags = false;
+                fu.uop.readsFlags = false;
+                fu.uop.flagsCarryOnly = false;
+                buf.setSource(i, SrcRole::A, Operand::none());
+                buf.setSource(i, SrcRole::FLAGS, Operand::none());
+                buf.countFieldOp();
+                ++changed;
+                ++ctx.stats.constantsFolded;
+                continue;
+            }
+        }
+
+        // ---- constant addresses --------------------------------------------
+        if (fu.uop.isMem()) {
+            if (auto cb = knownConst(ctx, i, fu.srcA)) {
+                fu.uop.imm += *cb;
+                fu.uop.srcA = uop::UReg::NONE;
+                buf.setSource(i, SrcRole::A, Operand::none());
+                ++changed;
+                ++ctx.stats.constantsFolded;
+            }
+            const SrcRole idx_role =
+                fu.uop.isStore() ? SrcRole::C : SrcRole::B;
+            const Operand &idx_op =
+                fu.uop.isStore() ? fu.srcC : fu.srcB;
+            if (!idx_op.isNone()) {
+                if (auto ci = knownConst(ctx, i, idx_op)) {
+                    fu.uop.imm += *ci * fu.uop.scale;
+                    fu.uop.scale = 1;
+                    if (fu.uop.isStore())
+                        fu.uop.srcC = uop::UReg::NONE;
+                    else
+                        fu.uop.srcB = uop::UReg::NONE;
+                    buf.setSource(i, idx_role, Operand::none());
+                    ++changed;
+                    ++ctx.stats.constantsFolded;
+                }
+            }
+        }
+
+        // ---- value assertions proven true -----------------------------------
+        if (op == Op::ASSERT && fu.uop.valueAssert) {
+            const auto ca = knownConst(ctx, i, fu.srcA);
+            std::optional<int32_t> cb;
+            if (fu.srcB.isNone())
+                cb = fu.uop.imm;
+            else
+                cb = knownConst(ctx, i, fu.srcB);
+            if (ca && cb) {
+                uop::Uop cmp;
+                cmp.op = fu.uop.assertOp;
+                const auto flags = uop::evalAlu(
+                    cmp, uint32_t(*ca), uint32_t(*cb), 0, x86::Flags{});
+                if (x86::condTaken(fu.uop.cc, flags.flags)) {
+                    buf.invalidate(i);
+                    ++changed;
+                    ++ctx.stats.constantsFolded;
+                }
+                // Provably-firing assertions are left in place; the
+                // frame will abort at runtime and be evicted.
+            }
+        }
+    }
+    return changed;
+}
+
+} // namespace replay::opt

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Common subexpression elimination (§3.4, §6.4 item 3).
+ *
+ * Classic value numbering over the renamed buffer removes recomputed
+ * ALU values (and duplicate comparisons — their flag results are
+ * redirected too).  Its primary job in the paper is *redundant load
+ * elimination*: a load matching an earlier load of the symbolically
+ * identical address is removed when every intervening store is provably
+ * disjoint — or speculatively, with the non-disjoint intervening stores
+ * marked unsafe, when the alias profile shows they never aliased during
+ * observed execution.
+ */
+
+#include "opt/passes.hh"
+
+#include <unordered_map>
+
+namespace replay::opt {
+
+using uop::Op;
+
+namespace {
+
+/** Value-numbering key: full semantic identity of a pure micro-op. */
+struct VnKey
+{
+    Op op;
+    x86::Cond cc;
+    Operand srcA, srcB, srcC, flagsSrc;
+    int32_t imm;
+    uint8_t scale;
+    uint8_t memSize;
+    bool signExtend;
+    bool flagsCarryOnly;
+    uint16_t block;     ///< scope partition (0 in frame scope)
+
+    bool operator==(const VnKey &) const = default;
+};
+
+struct VnKeyHash
+{
+    size_t
+    operator()(const VnKey &k) const
+    {
+        OperandHash oh;
+        size_t h = size_t(k.op) * 0x9e3779b9;
+        h ^= size_t(k.cc) + 0x517cc1b7;
+        h ^= oh(k.srcA) * 3 + oh(k.srcB) * 5 + oh(k.srcC) * 7 +
+             oh(k.flagsSrc) * 11;
+        h ^= size_t(uint32_t(k.imm)) * 13;
+        h ^= (size_t(k.scale) << 8) ^ (size_t(k.memSize) << 16) ^
+             (size_t(k.signExtend) << 24) ^
+             (size_t(k.flagsCarryOnly) << 25) ^ (size_t(k.block) << 26);
+        return h;
+    }
+};
+
+bool
+isPureValueOp(Op op)
+{
+    switch (op) {
+      case Op::LIMM:
+      case Op::ADD:
+      case Op::SUB:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::MUL:
+      case Op::DIVQ:
+      case Op::DIVR:
+      case Op::NOT:
+      case Op::NEG:
+      case Op::SETCC:
+      case Op::CMP:
+      case Op::TEST:
+      case Op::FADD:
+      case Op::FSUB:
+      case Op::FMUL:
+      case Op::FDIV:
+        return true;
+      default:
+        return false;
+    }
+}
+
+VnKey
+keyOf(const FrameUop &fu, Scope scope)
+{
+    VnKey k;
+    k.op = fu.uop.op;
+    k.cc = fu.uop.cc;
+    k.srcA = fu.srcA;
+    k.srcB = fu.srcB;
+    k.srcC = fu.srcC;
+    k.flagsSrc = fu.flagsSrc;
+    k.imm = fu.uop.imm;
+    k.scale = fu.uop.scale;
+    k.memSize = fu.uop.memSize;
+    k.signExtend = fu.uop.signExtend;
+    k.flagsCarryOnly = fu.uop.flagsCarryOnly;
+    k.block = scope == Scope::BLOCK ? fu.block : 0;
+    return k;
+}
+
+} // anonymous namespace
+
+/**
+ * Try to eliminate load @p li as redundant with earlier load @p ki.
+ * @return true when eliminated.
+ */
+static bool
+tryRemoveRedundantLoad(OptContext &ctx, const std::vector<uint16_t> &mem,
+                       size_t k_pos, size_t l_pos)
+{
+    OptBuffer &buf = ctx.buf;
+    const uint16_t ki = mem[k_pos], li = mem[l_pos];
+    const AddrKey addr = AddrKey::of(buf.at(li));
+    if (!addr.sameAddress(AddrKey::of(buf.at(ki))))
+        return false;
+    if (buf.at(li).uop.signExtend != buf.at(ki).uop.signExtend)
+        return false;
+
+    // Classify intervening stores.
+    std::vector<uint16_t> unsafe_marks;
+    for (size_t p = k_pos + 1; p < l_pos; ++p) {
+        const FrameUop &s = buf.at(mem[p]);
+        if (!s.uop.isStore())
+            continue;
+        const AddrKey skey = AddrKey::of(s);
+        if (skey.sameAddress(addr))
+            return false;       // value genuinely changed
+        if (skey.provablyDisjoint(addr))
+            continue;
+        // May alias: speculation required.
+        if (!ctx.cfg.speculativeMem || !ctx.alias ||
+            !ctx.alias->cleanForSpeculation(s.uop.x86Pc, s.uop.memSeq)) {
+            return false;
+        }
+        unsafe_marks.push_back(mem[p]);
+    }
+
+    const unsigned rewrites =
+        replaceUsesScoped(ctx, li, false, Operand::prod(ki));
+    if (rewrites == 0)
+        return false;
+    // Any consumer now reads the earlier value past the may-alias
+    // stores, so those must be checked at runtime even if the load
+    // itself survives (out-of-scope bindings can keep it alive in
+    // block scope).
+    for (const uint16_t s : unsafe_marks) {
+        if (!buf.at(s).unsafe) {
+            buf.at(s).unsafe = true;
+            ++ctx.stats.unsafeStoresMarked;
+        }
+    }
+    if (buf.valueUsed(li) || buf.isLiveOutReg(li))
+        return false;
+    buf.invalidate(li);
+    ++ctx.stats.cseRemoved;
+    ++ctx.stats.loadsCseRemoved;
+    if (!unsafe_marks.empty())
+        ++ctx.stats.speculativeLoadsRemoved;
+    return true;
+}
+
+unsigned
+passCse(OptContext &ctx)
+{
+    if (!ctx.cfg.cse)
+        return 0;
+
+    OptBuffer &buf = ctx.buf;
+    unsigned changed = 0;
+
+    // ---- value numbering of pure micro-ops -----------------------------
+    std::unordered_map<VnKey, uint16_t, VnKeyHash> table;
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i))
+            continue;
+        const FrameUop &fu = buf.at(i);
+        if (!isPureValueOp(fu.uop.op))
+            continue;
+        const VnKey key = keyOf(fu, ctx.cfg.scope);
+        const auto [it, fresh] = table.emplace(key, uint16_t(i));
+        if (fresh)
+            continue;
+        const uint16_t leader = it->second;
+
+        unsigned n = 0;
+        n += replaceUsesScoped(ctx, i, false, Operand::prod(leader));
+        if (fu.uop.writesFlags) {
+            // The leader computes the identical result, so its flags
+            // are identical — but reassociation may have cleared its
+            // flag production as dead; re-enable it before pointing
+            // flag consumers at it.
+            buf.at(leader).uop.writesFlags = true;
+            n += replaceUsesScoped(ctx, i, true,
+                                   Operand::prodFlags(leader));
+        }
+        if (n) {
+            changed += n;
+            ++ctx.stats.cseRemoved;
+        }
+    }
+
+    // ---- redundant load elimination ------------------------------------
+    const std::vector<uint16_t> mem = buf.memSlots();
+    for (size_t l_pos = 0; l_pos < mem.size(); ++l_pos) {
+        const FrameUop &lu = buf.at(mem[l_pos]);
+        if (!lu.valid || !lu.uop.isLoad())
+            continue;
+        // Nearest earlier matching load first.
+        for (size_t k_pos = l_pos; k_pos-- > 0;) {
+            const FrameUop &ku = buf.at(mem[k_pos]);
+            if (!ku.valid || !ku.uop.isLoad())
+                continue;
+            if (!ctx.sameScope(mem[k_pos], mem[l_pos]))
+                continue;
+            if (tryRemoveRedundantLoad(ctx, mem, k_pos, l_pos)) {
+                ++changed;
+                break;
+            }
+            // A same-address hit that failed means no older load can
+            // succeed either.
+            if (AddrKey::of(lu).sameAddress(AddrKey::of(ku)))
+                break;
+        }
+    }
+    return changed;
+}
+
+} // namespace replay::opt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Dead code elimination — the pass every other optimization relies on
+ * (§6.4: "As all other optimizations rely on dead code elimination, it
+ * is enabled in all runs").
+ *
+ * A micro-op is dead when it has no side effect the frame still needs:
+ * it is not a store, assertion, or frame-terminating control transfer;
+ * its register value has no consumer and is not bound by any exit; and
+ * its flags result likewise has no observer.  Removal is iterated
+ * backwards to a fixed point so entire dead dataflow trees fall at
+ * once.
+ */
+
+#include "opt/passes.hh"
+
+namespace replay::opt {
+
+using uop::Op;
+
+namespace {
+
+bool
+removable(const FrameUop &fu)
+{
+    switch (fu.uop.op) {
+      case Op::STORE:
+      case Op::FSTORE:
+      case Op::ASSERT:
+      case Op::BR:
+      case Op::JMPI:
+      case Op::LONGFLOW:
+        return false;
+      // JMP/NOP belong to the NOP-removal pass (a separately
+      // disableable optimization in Figure 10).
+      case Op::JMP:
+      case Op::NOP:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // anonymous namespace
+
+unsigned
+passDce(OptContext &ctx)
+{
+    OptBuffer &buf = ctx.buf;
+    unsigned removed = 0;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (size_t i = buf.size(); i-- > 0;) {
+            if (!buf.valid(i))
+                continue;
+            const FrameUop &fu = buf.at(i);
+            if (!removable(fu))
+                continue;
+            const bool value_needed =
+                fu.uop.dst != uop::UReg::NONE &&
+                (buf.valueUsed(i) || buf.isLiveOutReg(i));
+            if (value_needed)
+                continue;
+            if (flagsObservable(buf, i))
+                continue;
+            buf.invalidate(i);
+            ++removed;
+            ++ctx.stats.deadRemoved;
+            progress = true;
+        }
+    }
+    return removed;
+}
+
+} // namespace replay::opt

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * NOP removal (§6.4 item 4): deletes NOP micro-ops and unconditional
+ * branches internal to the frame.  Frame construction guarantees that
+ * every JMP inside a frame continues to the next included micro-op
+ * (biased conditional branches became assertions and indirect jumps
+ * with stable targets became value assertions), so direct jumps carry
+ * no information within the atomic region.
+ */
+
+#include "opt/passes.hh"
+
+namespace replay::opt {
+
+unsigned
+passNopRemoval(OptContext &ctx)
+{
+    if (!ctx.cfg.nopRemoval)
+        return 0;
+
+    OptBuffer &buf = ctx.buf;
+    unsigned changed = 0;
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i))
+            continue;
+        const uop::Op op = buf.at(i).uop.op;
+        buf.countFieldOp();
+        if (op == uop::Op::NOP || op == uop::Op::JMP) {
+            buf.invalidate(i);
+            ++changed;
+            ++ctx.stats.nopsRemoved;
+        }
+    }
+    return changed;
+}
+
+} // namespace replay::opt

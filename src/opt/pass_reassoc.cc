@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Reassociation (§6.4 item 5) — the paper's "gateway optimization".
+ *
+ * Chains of immediate additions and subtractions collapse: an ADD whose
+ * source is itself an immediate ADD re-points at the grandparent with a
+ * combined immediate (the parent then often dies).  The same collapse
+ * applies to the base registers of loads and stores, which flattens
+ * stack-pointer manipulations; only then do CSE and store forwarding
+ * see symbolically-equal addresses ("two memory instructions are deemed
+ * equivalent only if their base registers are symbolically the same and
+ * their immediates and scales are literally the same").
+ *
+ * Flag safety: ADD a,(c1+c2) produces different carry/overflow flags
+ * than the original chain, so a micro-op is only rewritten when its
+ * flags result has no observer; flag-dead SUBs are first normalized to
+ * ADDs of the negated immediate.
+ */
+
+#include "opt/passes.hh"
+
+namespace replay::opt {
+
+using uop::Op;
+
+namespace {
+
+/** Is this slot an ADD with an immediate second operand? */
+bool
+isAddImm(const FrameUop &fu)
+{
+    return fu.uop.op == Op::ADD && fu.srcB.isNone() && !fu.srcA.isNone();
+}
+
+} // anonymous namespace
+
+unsigned
+passReassociate(OptContext &ctx)
+{
+    if (!ctx.cfg.reassoc)
+        return 0;
+
+    OptBuffer &buf = ctx.buf;
+    unsigned changed = 0;
+
+    // Normalize flag-dead immediate SUBs into ADDs so chains mix.
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i))
+            continue;
+        FrameUop &fu = buf.at(i);
+        if (fu.uop.op == Op::SUB && fu.srcB.isNone() &&
+            !flagsObservable(buf, i)) {
+            fu.uop.op = Op::ADD;
+            fu.uop.imm = -fu.uop.imm;
+            fu.uop.writesFlags = false;
+            fu.uop.flagsCarryOnly = false;
+            fu.uop.readsFlags = false;
+            buf.setSource(i, SrcRole::FLAGS, Operand::none());
+            buf.countFieldOp();
+            ++changed;
+        }
+        // An ADD whose flags are dead no longer needs to produce them;
+        // clearing the bit unlocks chain collapsing below.
+        if (fu.uop.op == Op::ADD && fu.uop.writesFlags &&
+            !flagsObservable(buf, i)) {
+            fu.uop.writesFlags = false;
+            fu.uop.flagsCarryOnly = false;
+            fu.uop.readsFlags = false;
+            buf.setSource(i, SrcRole::FLAGS, Operand::none());
+            buf.countFieldOp();
+            ++changed;
+        }
+    }
+
+    // Collapse ADD-immediate chains.
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i))
+            continue;
+        FrameUop &fu = buf.at(i);
+        if (!isAddImm(fu) || fu.uop.writesFlags)
+            continue;
+        while (true) {
+            const Operand src = buf.parent(i, SrcRole::A);
+            if (!ctx.inspectable(i, src) || src.flagsView)
+                break;
+            const FrameUop &parent = buf.at(src.idx);
+            if (!isAddImm(parent))
+                break;
+            buf.setSource(i, SrcRole::A, parent.srcA);
+            fu.uop.imm += parent.uop.imm;
+            ++changed;
+            ++ctx.stats.reassociations;
+        }
+    }
+
+    // Collapse addressing bases of loads and stores through the chain.
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i))
+            continue;
+        FrameUop &fu = buf.at(i);
+        if (!fu.uop.isMem())
+            continue;
+        while (true) {
+            const Operand base = buf.parent(i, SrcRole::A);
+            if (!ctx.inspectable(i, base) || base.flagsView)
+                break;
+            const FrameUop &parent = buf.at(base.idx);
+            int32_t delta;
+            if (isAddImm(parent)) {
+                delta = parent.uop.imm;
+            } else if (parent.uop.op == Op::SUB &&
+                       parent.srcB.isNone() && !parent.srcA.isNone()) {
+                // Address arithmetic only uses the value, so even a
+                // flag-live SUB can be looked through.
+                delta = -parent.uop.imm;
+            } else {
+                break;
+            }
+            buf.setSource(i, SrcRole::A, parent.srcA);
+            fu.uop.imm += delta;
+            ++changed;
+            ++ctx.stats.reassociations;
+        }
+    }
+    return changed;
+}
+
+} // namespace replay::opt

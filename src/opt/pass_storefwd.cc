@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Store forwarding (§3.2, §3.4).
+ *
+ * A load whose address symbolically equals an earlier store's address
+ * is satisfied by the stored value: consumers of the load are
+ * redirected at the store's data operand and the load dies.  Legality
+ * requires every store between the pair to be provably disjoint; when
+ * one merely *may* alias, the optimizer speculates — if the alias
+ * profile records no aliasing event for it — and marks that store
+ * unsafe, to be checked against all earlier frame memory transactions
+ * at runtime (a conflict aborts the frame).
+ */
+
+#include "opt/passes.hh"
+
+namespace replay::opt {
+
+unsigned
+passStoreForward(OptContext &ctx)
+{
+    if (!ctx.cfg.storeForward)
+        return 0;
+
+    OptBuffer &buf = ctx.buf;
+    const std::vector<uint16_t> mem = buf.memSlots();
+    unsigned changed = 0;
+
+    for (size_t l_pos = 0; l_pos < mem.size(); ++l_pos) {
+        const uint16_t li = mem[l_pos];
+        const FrameUop &lu = buf.at(li);
+        if (!lu.valid || !lu.uop.isLoad())
+            continue;
+        // Sub-word forwarding would need value munging; skip it.
+        if (lu.uop.memSize != 4)
+            continue;
+        const AddrKey addr = AddrKey::of(lu);
+
+        std::vector<uint16_t> unsafe_marks;
+        for (size_t s_pos = l_pos; s_pos-- > 0;) {
+            const uint16_t si = mem[s_pos];
+            const FrameUop &su = buf.at(si);
+            if (!su.uop.isStore())
+                continue;
+            if (!ctx.sameScope(si, li))
+                break;              // stores beyond scope are opaque
+            const AddrKey skey = AddrKey::of(su);
+
+            if (skey.sameAddress(addr)) {
+                // Found the forwarding source.
+                const Operand value = su.srcB;
+                const unsigned n =
+                    replaceUsesScoped(ctx, li, false, value);
+                if (n == 0)
+                    break;
+                changed += n;
+                for (const uint16_t m : unsafe_marks) {
+                    if (!buf.at(m).unsafe) {
+                        buf.at(m).unsafe = true;
+                        ++ctx.stats.unsafeStoresMarked;
+                    }
+                }
+                if (!buf.valueUsed(li) && !buf.isLiveOutReg(li)) {
+                    buf.invalidate(li);
+                    ++ctx.stats.loadsForwarded;
+                    if (!unsafe_marks.empty())
+                        ++ctx.stats.speculativeLoadsRemoved;
+                }
+                break;
+            }
+            if (skey.provablyDisjoint(addr))
+                continue;
+            // May alias: need speculation to look further back.
+            if (!ctx.cfg.speculativeMem || !ctx.alias ||
+                !ctx.alias->cleanForSpeculation(su.uop.x86Pc,
+                                                su.uop.memSeq)) {
+                break;
+            }
+            unsafe_marks.push_back(si);
+        }
+    }
+    return changed;
+}
+
+} // namespace replay::opt

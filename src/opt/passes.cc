@@ -1,0 +1,163 @@
+#include "opt/passes.hh"
+
+namespace replay::opt {
+
+void
+OptStats::merge(const OptStats &other)
+{
+    framesOptimized += other.framesOptimized;
+    inputUops += other.inputUops;
+    outputUops += other.outputUops;
+    inputLoads += other.inputLoads;
+    outputLoads += other.outputLoads;
+    nopsRemoved += other.nopsRemoved;
+    assertsCombined += other.assertsCombined;
+    constantsFolded += other.constantsFolded;
+    copiesPropagated += other.copiesPropagated;
+    reassociations += other.reassociations;
+    cseRemoved += other.cseRemoved;
+    loadsCseRemoved += other.loadsCseRemoved;
+    loadsForwarded += other.loadsForwarded;
+    speculativeLoadsRemoved += other.speculativeLoadsRemoved;
+    unsafeStoresMarked += other.unsafeStoresMarked;
+    deadRemoved += other.deadRemoved;
+}
+
+bool
+flagsObservable(const OptBuffer &buf, size_t idx)
+{
+    if (!buf.at(idx).uop.writesFlags)
+        return false;
+    return buf.flagsUsed(idx) || buf.isLiveOutFlags(idx);
+}
+
+unsigned
+replaceUsesScoped(OptContext &ctx, size_t producer, bool flags_view,
+                  const Operand &to)
+{
+    OptBuffer &buf = ctx.buf;
+    const Operand from = flags_view
+        ? Operand::prodFlags(uint16_t(producer))
+        : Operand::prod(uint16_t(producer));
+    unsigned changed = 0;
+
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i) || !ctx.sameScope(producer, i))
+            continue;
+        const FrameUop &fu = buf.at(i);
+        if (fu.srcA == from) {
+            buf.setSource(i, SrcRole::A, to);
+            ++changed;
+        }
+        if (fu.srcB == from) {
+            buf.setSource(i, SrcRole::B, to);
+            ++changed;
+        }
+        if (fu.srcC == from) {
+            buf.setSource(i, SrcRole::C, to);
+            ++changed;
+        }
+        if (fu.flagsSrc == from) {
+            buf.setSource(i, SrcRole::FLAGS, to);
+            ++changed;
+        }
+    }
+
+    const uint16_t producer_block = buf.at(producer).block;
+
+    if (ctx.cfg.scope == Scope::INTER_BLOCK) {
+        // Multiple exits share one "is live out" marking per value
+        // (Figure 4), so a register's binding may be redirected only
+        // when the result is uniform across every exit — this is
+        // exactly why Figure 2's inter-block column keeps the EBX
+        // restore (the intermediate exit needs a different value) but
+        // forwards the EBP restore (every exit then sees the live-in).
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            bool appears = false, uniform = true;
+            for (const auto &exit : buf.exits()) {
+                if (exit.regs[r] == from)
+                    appears = true;
+                else if (!(exit.regs[r] == to))
+                    uniform = false;
+            }
+            if (!appears || !uniform)
+                continue;
+            for (auto &exit : buf.exits()) {
+                if (exit.regs[r] == from) {
+                    exit.regs[r] = to;
+                    ++changed;
+                }
+            }
+        }
+        bool appears = false, uniform = true;
+        for (const auto &exit : buf.exits()) {
+            if (exit.flags == from)
+                appears = true;
+            else if (!(exit.flags == to))
+                uniform = false;
+        }
+        if (appears && uniform) {
+            for (auto &exit : buf.exits()) {
+                if (exit.flags == from) {
+                    exit.flags = to;
+                    ++changed;
+                }
+            }
+        }
+        return changed;
+    }
+
+    for (auto &exit : buf.exits()) {
+        // In block scope an exit binding may only be redirected by
+        // optimizations of its own block.
+        if (ctx.cfg.scope == Scope::BLOCK && exit.block != producer_block)
+            continue;
+        for (auto &binding : exit.regs) {
+            if (binding == from) {
+                binding = to;
+                ++changed;
+            }
+        }
+        if (exit.flags == from) {
+            exit.flags = to;
+            ++changed;
+        }
+    }
+    return changed;
+}
+
+AddrKey
+AddrKey::of(const FrameUop &fu)
+{
+    AddrKey key;
+    key.base = fu.srcA;
+    key.index = fu.uop.isStore() ? fu.srcC : fu.srcB;
+    key.scale = fu.uop.scale;
+    key.disp = fu.uop.imm;
+    key.size = fu.uop.memSize;
+    return key;
+}
+
+bool
+AddrKey::sameAddress(const AddrKey &other) const
+{
+    return base == other.base && index == other.index &&
+           (index.isNone() || scale == other.scale) &&
+           disp == other.disp && size == other.size;
+}
+
+bool
+AddrKey::provablyDisjoint(const AddrKey &other) const
+{
+    // Two accesses are comparable only when they share the symbolic
+    // base and index expression; then literal displacements decide.
+    if (base != other.base || index != other.index)
+        return false;
+    if (!index.isNone() && scale != other.scale)
+        return false;
+    const int64_t a0 = disp, a1 = disp + size;
+    const int64_t b0 = other.disp, b1 = other.disp + other.size;
+    return a1 <= b0 || b1 <= a0;
+}
+
+} // namespace replay::opt

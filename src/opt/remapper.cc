@@ -1,0 +1,68 @@
+#include "opt/remapper.hh"
+
+#include "util/logging.hh"
+
+namespace replay::opt {
+
+using uop::Uop;
+using uop::UReg;
+
+OptBuffer
+Remapper::remap(const std::vector<Uop> &uops,
+                const std::vector<uint16_t> &blocks,
+                bool per_block_exits) const
+{
+    panic_if(!blocks.empty() && blocks.size() != uops.size(),
+             "block annotation length mismatch");
+
+    OptBuffer buf;
+
+    // Current binding of every architectural register and the flags.
+    std::array<Operand, uop::NUM_UREGS> binding;
+    for (unsigned r = 0; r < uop::NUM_UREGS; ++r)
+        binding[r] = Operand::liveIn(static_cast<UReg>(r));
+    Operand flags_binding = Operand::liveInFlags();
+
+    auto resolve = [&](UReg reg) {
+        return reg == UReg::NONE ? Operand::none()
+                                 : binding[unsigned(reg)];
+    };
+
+    auto snapshot = [&](uint16_t block) {
+        ExitBinding exit;
+        exit.block = block;
+        exit.regs = binding;
+        exit.flags = flags_binding;
+        buf.addExit(std::move(exit));
+    };
+
+    uint16_t cur_block = 0;
+    for (size_t i = 0; i < uops.size(); ++i) {
+        const Uop &u = uops[i];
+        const uint16_t block = blocks.empty() ? 0 : blocks[i];
+        if (per_block_exits && block != cur_block)
+            snapshot(cur_block);
+        cur_block = block;
+
+        FrameUop fu;
+        fu.uop = u;
+        fu.srcA = resolve(u.srcA);
+        fu.srcB = resolve(u.srcB);
+        fu.srcC = resolve(u.srcC);
+        if (u.readsFlags)
+            fu.flagsSrc = flags_binding;
+        fu.block = block;
+
+        const uint16_t slot = buf.push(fu);
+        if (u.dst != UReg::NONE)
+            binding[unsigned(u.dst)] = Operand::prod(slot);
+        if (u.writesFlags)
+            flags_binding = Operand::prodFlags(slot);
+    }
+
+    // The frame-boundary exit is always present and always last.
+    snapshot(cur_block);
+    return buf;
+}
+
+} // namespace replay::opt

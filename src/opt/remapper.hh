@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The Remapper of Figure 3.
+ *
+ * Renames a frame's micro-op sequence into the buffer form where slot m
+ * writes physical register m: sources become either live-in operands or
+ * producer indices, eliminating every write-after-write and
+ * write-after-read register conflict inside the frame (§4).
+ */
+
+#ifndef REPLAY_OPT_REMAPPER_HH
+#define REPLAY_OPT_REMAPPER_HH
+
+#include <vector>
+
+#include "opt/optbuffer.hh"
+#include "uop/uop.hh"
+
+namespace replay::opt {
+
+/** Rename an architectural-form micro-op sequence into an OptBuffer. */
+class Remapper
+{
+  public:
+    /**
+     * @param uops            the frame's micro-ops, in program order
+     * @param blocks          optional basic-block index per micro-op
+     *                        (same length as @p uops); empty = one
+     *                        block
+     * @param per_block_exits record an exit binding at every block
+     *                        boundary (block-scope optimization,
+     *                        Figure 9) instead of only at the frame
+     *                        boundary
+     */
+    OptBuffer remap(const std::vector<uop::Uop> &uops,
+                    const std::vector<uint16_t> &blocks = {},
+                    bool per_block_exits = false) const;
+};
+
+} // namespace replay::opt
+
+#endif // REPLAY_OPT_REMAPPER_HH

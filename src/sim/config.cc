@@ -1,0 +1,36 @@
+#include "sim/config.hh"
+
+namespace replay::sim {
+
+const char *
+machineName(Machine machine)
+{
+    switch (machine) {
+      case Machine::IC:  return "IC";
+      case Machine::TC:  return "TC";
+      case Machine::RP:  return "RP";
+      case Machine::RPO: return "RPO";
+    }
+    return "?";
+}
+
+SimConfig
+SimConfig::make(Machine machine)
+{
+    SimConfig cfg;
+    cfg.machine = machine;
+    switch (machine) {
+      case Machine::IC:
+        cfg.pipe.icacheBytes = 64 * 1024;
+        break;
+      case Machine::TC:
+      case Machine::RP:
+      case Machine::RPO:
+        cfg.pipe.icacheBytes = 8 * 1024;
+        break;
+    }
+    cfg.engine.optimize = machine == Machine::RPO;
+    return cfg;
+}
+
+} // namespace replay::sim

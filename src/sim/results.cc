@@ -1,0 +1,30 @@
+#include "sim/results.hh"
+
+namespace replay::sim {
+
+void
+RunStats::merge(const RunStats &other)
+{
+    x86Retired += other.x86Retired;
+    bins.merge(other.bins);
+    uopsExecuted += other.uopsExecuted;
+    uopsOriginal += other.uopsOriginal;
+    loadsExecuted += other.loadsExecuted;
+    loadsOriginal += other.loadsOriginal;
+    frameCommits += other.frameCommits;
+    frameAborts += other.frameAborts;
+    unsafeConflicts += other.unsafeConflicts;
+    frameX86Retired += other.frameX86Retired;
+    mispredicts += other.mispredicts;
+    icacheMisses += other.icacheMisses;
+    frameAfterFrame += other.frameAfterFrame;
+    icacheAfterFrame += other.icacheAfterFrame;
+    engineCandidates += other.engineCandidates;
+    engineDuplicates += other.engineDuplicates;
+    engineOptDrops += other.engineOptDrops;
+    engineBiasEvictions += other.engineBiasEvictions;
+    fcacheEvictions += other.fcacheEvictions;
+    optStats.merge(other.optStats);
+}
+
+} // namespace replay::sim

@@ -1,0 +1,48 @@
+#include "sim/runner.hh"
+
+#include <cstdlib>
+
+namespace replay::sim {
+
+uint64_t
+defaultInstsPerTrace()
+{
+    if (const char *env = std::getenv("REPLAY_SIM_INSTS")) {
+        const uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 400000;
+}
+
+RunStats
+runWorkload(const trace::Workload &workload, SimConfig cfg,
+            uint64_t insts_per_trace)
+{
+    if (insts_per_trace == 0)
+        insts_per_trace = defaultInstsPerTrace();
+    RunStats merged;
+    merged.workload = workload.name;
+    merged.config = cfg.name();
+    for (unsigned t = 0; t < workload.numTraces; ++t) {
+        auto src = workload.openTrace(t, insts_per_trace);
+        RunStats stats = simulateTrace(cfg, *src, workload.name);
+        merged.merge(stats);
+    }
+    return merged;
+}
+
+std::vector<RunStats>
+runAllMachines(const trace::Workload &workload,
+               uint64_t insts_per_trace)
+{
+    std::vector<RunStats> out;
+    for (const Machine machine :
+         {Machine::IC, Machine::TC, Machine::RP, Machine::RPO}) {
+        out.push_back(runWorkload(workload, SimConfig::make(machine),
+                                  insts_per_trace));
+    }
+    return out;
+}
+
+} // namespace replay::sim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Experiment orchestration: run workloads (all their hot-spot traces,
+ * merged) under machine configurations.  All benchmark binaries build
+ * on these helpers.
+ */
+
+#ifndef REPLAY_SIM_RUNNER_HH
+#define REPLAY_SIM_RUNNER_HH
+
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "trace/workload.hh"
+
+namespace replay::sim {
+
+/**
+ * Scaled-down default trace length.  The paper simulates 50M-300M x86
+ * instructions per application on a farm; the benches default to a
+ * laptop-scale sample and honour the REPLAY_SIM_INSTS environment
+ * variable for longer runs.
+ */
+uint64_t defaultInstsPerTrace();
+
+/** Run every hot-spot trace of @p workload and merge the results. */
+RunStats runWorkload(const trace::Workload &workload, SimConfig cfg,
+                     uint64_t insts_per_trace = 0);
+
+/** Run one workload under the four §5.3 machines (IC, TC, RP, RPO). */
+std::vector<RunStats> runAllMachines(const trace::Workload &workload,
+                                     uint64_t insts_per_trace = 0);
+
+} // namespace replay::sim
+
+#endif // REPLAY_SIM_RUNNER_HH

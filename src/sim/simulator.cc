@@ -1,0 +1,400 @@
+#include "sim/simulator.hh"
+
+#include <array>
+
+#include "core/frame.hh"
+#include "util/logging.hh"
+
+namespace replay::sim {
+
+using core::FrameOutcome;
+using core::FramePtr;
+using opt::Operand;
+using timing::CycleBin;
+using trace::TraceRecord;
+using uop::Op;
+using uop::Uop;
+using uop::UReg;
+
+/** Completion times of architectural values (the timing-side RAT). */
+struct Simulator::Rat
+{
+    std::array<uint64_t, uop::NUM_UREGS> regs{};
+    uint64_t flags = 0;
+
+    uint64_t
+    reg(UReg r) const
+    {
+        return r == UReg::NONE ? 0 : regs[unsigned(r)];
+    }
+};
+
+Simulator::Simulator(const SimConfig &cfg)
+    : cfg_(cfg), fe_(cfg_.pipe), mem_(cfg_.pipe.mem),
+      exec_(cfg_.pipe.exec, mem_), bpred_(cfg_.pipe.bpred),
+      rat_(std::make_unique<Rat>())
+{
+    if (cfg_.usesFrames())
+        engine_ = std::make_unique<core::RePlayEngine>(cfg_.engine);
+    if (cfg_.usesTraceCache()) {
+        tcache_ = std::make_unique<TraceCacheUnit>(
+            cfg_.tcCapacityUops, cfg_.tcMaxBranches, cfg_.tcMaxUops);
+    }
+}
+
+Simulator::~Simulator() = default;
+
+namespace {
+
+/** Runtime address of a memory micro-op, from the trace record. */
+uint32_t
+memAddrFor(const Uop &u, const TraceRecord *rec)
+{
+    if (!rec || u.memSeq >= rec->numMemOps)
+        return 0;
+    return rec->memOps[u.memSeq].addr;
+}
+
+} // anonymous namespace
+
+void
+Simulator::simulateIcacheInst(const TraceRecord &rec,
+                              trace::TraceSource &src)
+{
+    fe_.idleUntil(exec_.fetchBackpressure(), CycleBin::STALL);
+
+    std::vector<Uop> flow =
+        translator_.translate(rec.inst, rec.pc, rec.pc + rec.length);
+    const uint64_t fetch_cycle =
+        fe_.fetchIcacheInst(rec.pc, unsigned(flow.size()));
+
+    uint64_t ctrl_complete = 0;
+    for (const Uop &u : flow) {
+        uint64_t deps[4];
+        unsigned nd = 0;
+        if (u.srcA != UReg::NONE)
+            deps[nd++] = rat_->reg(u.srcA);
+        if (u.srcB != UReg::NONE)
+            deps[nd++] = rat_->reg(u.srcB);
+        if (u.srcC != UReg::NONE)
+            deps[nd++] = rat_->reg(u.srcC);
+        if (u.readsFlags)
+            deps[nd++] = rat_->flags;
+
+        const uint32_t addr =
+            u.isMem() ? memAddrFor(u, &rec) : 0;
+        const auto t = exec_.exec(fetch_cycle, u, deps, nd, addr);
+
+        if (u.dst != UReg::NONE)
+            rat_->regs[unsigned(u.dst)] = t.complete;
+        if (u.writesFlags)
+            rat_->flags = t.complete;
+        if (u.isControl())
+            ctrl_complete = t.complete;
+
+        ++stats_.uopsExecuted;
+        ++stats_.uopsOriginal;
+        if (u.isLoad()) {
+            ++stats_.loadsExecuted;
+            ++stats_.loadsOriginal;
+        }
+    }
+
+    if (rec.inst.isControl() || rec.inst.isCondBranch()) {
+        const bool mispredicted = bpred_.predictAndTrain(rec);
+        if (rec.taken)
+            fe_.fetchBreak();
+        if (mispredicted) {
+            ++stats_.mispredicts;
+            fe_.idleUntil(ctrl_complete + cfg_.pipe.redirectPenalty,
+                          CycleBin::MISPRED);
+        }
+    }
+
+    if (rec.inst.mnem == x86::Mnem::LONGFLOW) {
+        // Rare complex instruction: flush the pipeline (§5.1.1).
+        fe_.idleUntil(exec_.lastRetire() + cfg_.pipe.longflowFlushPenalty,
+                      CycleBin::STALL);
+        if (engine_)
+            engine_->flush();
+    }
+
+    if (engine_)
+        engine_->observeRetired(rec, fe_.now());
+    if (tcache_)
+        tcache_->observe(rec);
+
+    ++stats_.x86Retired;
+    src.advance();
+}
+
+void
+Simulator::simulateFrame(const FramePtr &frame, trace::TraceSource &src)
+{
+    const FrameOutcome outcome = core::resolveFrame(*frame, src);
+    const auto &body = frame->body;
+
+    // Fetch and schedule the whole frame (even on an abort: the
+    // pessimistic §6.1 model begins recovery only once the frame is
+    // ready for retirement).
+    const Rat rat_snapshot = *rat_;
+    std::vector<uint64_t> completions(body.uops.size(), 0);
+
+    auto depOf = [&](const Operand &op) -> uint64_t {
+        switch (op.kind) {
+          case Operand::Kind::NONE:
+            return 0;
+          case Operand::Kind::LIVE_IN:
+            return op.reg == UReg::FLAGS ? rat_->flags
+                                         : rat_->reg(op.reg);
+          case Operand::Kind::PROD:
+            return completions[op.idx];
+        }
+        return 0;
+    };
+
+    for (size_t i = 0; i < body.uops.size(); ++i) {
+        const opt::FrameUop &fu = body.uops[i];
+        fe_.idleUntil(exec_.fetchBackpressure(), CycleBin::STALL);
+        const uint64_t cycle = fe_.fetchFrameUop();
+
+        uint64_t deps[4];
+        unsigned nd = 0;
+        if (!fu.srcA.isNone())
+            deps[nd++] = depOf(fu.srcA);
+        if (!fu.srcB.isNone())
+            deps[nd++] = depOf(fu.srcB);
+        if (!fu.srcC.isNone())
+            deps[nd++] = depOf(fu.srcC);
+        if (!fu.flagsSrc.isNone())
+            deps[nd++] = depOf(fu.flagsSrc);
+
+        uint32_t addr = 0;
+        if (fu.uop.isMem()) {
+            const TraceRecord *rec = src.peek(fu.uop.instIdx);
+            if (rec && fu.uop.instIdx < frame->pcs.size() &&
+                rec->pc == frame->pcs[fu.uop.instIdx]) {
+                addr = memAddrFor(fu.uop, rec);
+            }
+        }
+        const auto t = exec_.exec(cycle, fu.uop, deps, nd, addr);
+        completions[i] = t.complete;
+    }
+    fe_.fetchBreak();
+
+    if (outcome.kind == FrameOutcome::Kind::COMMITS) {
+        // Architectural hand-off: live-out bindings become the new
+        // value-completion map.
+        Rat next = rat_snapshot;
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            const Operand &binding = body.exit.regs[r];
+            if (!binding.isNone())
+                next.regs[r] = depOf(binding);
+        }
+        next.flags = depOf(body.exit.flags);
+        *rat_ = next;
+
+        engine_->frameCommitted(frame);
+        ++stats_.frameCommits;
+        stats_.uopsExecuted += body.uops.size();
+        stats_.loadsExecuted += body.outputLoads;
+        stats_.uopsOriginal += body.inputUops;
+        stats_.loadsOriginal += body.inputLoads;
+        stats_.frameX86Retired += frame->numX86Insts();
+        stats_.x86Retired += frame->numX86Insts();
+        // The frame's instructions retire and flow into the frame
+        // constructor like any others (Figure 5) — this keeps the
+        // bias tables warm and lets construction tile contiguously
+        // across committed frames.
+        for (unsigned i = 0; i < frame->numX86Insts(); ++i) {
+            const TraceRecord *r = src.peek();
+            engine_->observeRetired(*r, fe_.now());
+            // Keep the predictor trained across frame-covered code so
+            // the branches at frame boundaries keep their history (no
+            // penalty is charged: assertions replaced the predictions).
+            if (r->inst.isControl() || r->inst.isCondBranch())
+                bpred_.predictAndTrain(*r);
+            src.advance();
+        }
+        return;
+    }
+
+    // Abort: roll back, charge recovery, and force the original
+    // instructions through the conventional path.
+    *rat_ = rat_snapshot;
+    fe_.idleUntil(exec_.lastRetire() + cfg_.pipe.assertRecoveryPenalty,
+                  CycleBin::ASSERT);
+    engine_->frameAborted(frame, outcome);
+    ++stats_.frameAborts;
+    if (outcome.kind == FrameOutcome::Kind::UNSAFE_CONFLICT)
+        ++stats_.unsafeConflicts;
+    // The aborted frame's fetched micro-ops consumed bandwidth but
+    // retired nothing; the records are re-executed below.
+    icacheForcedUntil_ = src.consumed() + outcome.faultIndex + 1;
+}
+
+void
+Simulator::simulateTracePrefix(const FramePtr &trace_frame,
+                               trace::TraceSource &src)
+{
+    // Usable prefix: instructions up to (and including) the first one
+    // whose outcome leaves the trace's embedded path.
+    unsigned n = 0;
+    for (size_t i = 0; i < trace_frame->pcs.size(); ++i) {
+        const TraceRecord *rec = src.peek(unsigned(i));
+        if (!rec || rec->pc != trace_frame->pcs[i])
+            break;
+        n = unsigned(i) + 1;
+        if (rec->nextPc != trace_frame->expectedNext(i))
+            break;      // early exit after this instruction
+    }
+    panic_if(n == 0, "trace lookup hit but first pc mismatched");
+
+    const auto &body = trace_frame->body;
+    std::vector<uint64_t> completions(body.uops.size(), 0);
+    auto depOf = [&](const Operand &op) -> uint64_t {
+        switch (op.kind) {
+          case Operand::Kind::NONE:
+            return 0;
+          case Operand::Kind::LIVE_IN:
+            return op.reg == UReg::FLAGS ? rat_->flags
+                                         : rat_->reg(op.reg);
+          case Operand::Kind::PROD:
+            return completions[op.idx];
+        }
+        return 0;
+    };
+
+    unsigned cur_inst = 0;
+    uint64_t ctrl_complete = 0;
+    for (size_t i = 0; i < body.uops.size(); ++i) {
+        const opt::FrameUop &fu = body.uops[i];
+        if (fu.uop.instIdx >= n)
+            break;
+        // Per-instruction bookkeeping when we cross a boundary.
+        if (fu.uop.instIdx > cur_inst)
+            cur_inst = fu.uop.instIdx;
+
+        fe_.idleUntil(exec_.fetchBackpressure(), CycleBin::STALL);
+        const uint64_t cycle = fe_.fetchFrameUop();
+
+        uint64_t deps[4];
+        unsigned nd = 0;
+        if (!fu.srcA.isNone())
+            deps[nd++] = depOf(fu.srcA);
+        if (!fu.srcB.isNone())
+            deps[nd++] = depOf(fu.srcB);
+        if (!fu.srcC.isNone())
+            deps[nd++] = depOf(fu.srcC);
+        if (!fu.flagsSrc.isNone())
+            deps[nd++] = depOf(fu.flagsSrc);
+
+        const TraceRecord *rec = src.peek(fu.uop.instIdx);
+        const uint32_t addr =
+            fu.uop.isMem() ? memAddrFor(fu.uop, rec) : 0;
+        const auto t = exec_.exec(cycle, fu.uop, deps, nd, addr);
+        completions[i] = t.complete;
+
+        // Live-out tracking: traces are not renamed across exits, so
+        // update the RAT directly from the architectural destination.
+        if (fu.uop.dst != UReg::NONE)
+            rat_->regs[unsigned(fu.uop.dst)] = t.complete;
+        if (fu.uop.writesFlags)
+            rat_->flags = t.complete;
+        if (fu.uop.isControl())
+            ctrl_complete = t.complete;
+
+        ++stats_.uopsExecuted;
+        ++stats_.uopsOriginal;
+        if (fu.uop.isLoad()) {
+            ++stats_.loadsExecuted;
+            ++stats_.loadsOriginal;
+        }
+
+        // Branch resolution for embedded control.
+        const bool last_uop_of_inst =
+            i + 1 == body.uops.size() ||
+            body.uops[i + 1].uop.instIdx != fu.uop.instIdx;
+        if (last_uop_of_inst) {
+            const TraceRecord *r = src.peek(fu.uop.instIdx);
+            if (r && (r->inst.isControl() || r->inst.isCondBranch())) {
+                const bool mispredicted = bpred_.predictAndTrain(*r);
+                if (mispredicted) {
+                    ++stats_.mispredicts;
+                    fe_.idleUntil(
+                        ctrl_complete + cfg_.pipe.redirectPenalty,
+                        CycleBin::MISPRED);
+                }
+            }
+        }
+    }
+    fe_.fetchBreak();
+
+    stats_.x86Retired += n;
+    stats_.frameX86Retired += n;    // "retired from the trace cache"
+    for (unsigned i = 0; i < n; ++i) {
+        tcache_->observe(*src.peek());
+        src.advance();
+    }
+}
+
+RunStats
+Simulator::run(trace::TraceSource &src)
+{
+    stats_ = RunStats{};
+    stats_.config = cfg_.name();
+
+    while (!src.done() &&
+           (cfg_.maxInsts == 0 || stats_.x86Retired < cfg_.maxInsts)) {
+        const TraceRecord *rec = src.peek();
+        const uint32_t pc = rec->pc;
+
+        if (engine_ && src.consumed() >= icacheForcedUntil_) {
+            if (FramePtr frame = engine_->frameFor(pc, fe_.now())) {
+                if (lastWasFrame_)
+                    ++stats_.frameAfterFrame;
+                lastWasFrame_ = true;
+                simulateFrame(frame, src);
+                continue;
+            }
+        }
+        if (tcache_) {
+            if (FramePtr trace_frame = tcache_->lookup(pc)) {
+                simulateTracePrefix(trace_frame, src);
+                continue;
+            }
+        }
+        if (lastWasFrame_)
+            ++stats_.icacheAfterFrame;
+        lastWasFrame_ = false;
+        simulateIcacheInst(*rec, src);
+    }
+
+    fe_.finish(exec_.lastRetire());
+    stats_.bins = fe_.bins();
+    stats_.icacheMisses = fe_.icache().cache().stats().get("misses");
+    if (engine_) {
+        stats_.optStats = engine_->optStats();
+        stats_.engineCandidates = engine_->stats().get("candidates");
+        stats_.engineDuplicates =
+            engine_->stats().get("duplicate_candidates");
+        stats_.engineOptDrops = engine_->stats().get("optimizer_drops");
+        stats_.engineBiasEvictions =
+            engine_->stats().get("bias_evictions");
+        stats_.fcacheEvictions =
+            engine_->cache().stats().get("evictions");
+    }
+    return stats_;
+}
+
+RunStats
+simulateTrace(const SimConfig &cfg, trace::TraceSource &src,
+              const std::string &workload_name)
+{
+    Simulator sim(cfg);
+    RunStats stats = sim.run(src);
+    stats.workload = workload_name;
+    return stats;
+}
+
+} // namespace replay::sim

@@ -1,0 +1,13 @@
+#include "timing/accounting.hh"
+
+namespace replay::timing {
+
+const char *
+cycleBinName(CycleBin bin)
+{
+    static const char *names[] = {"assert", "mispred", "miss",
+                                  "stall", "wait", "frame", "icache"};
+    return names[static_cast<unsigned>(bin)];
+}
+
+} // namespace replay::timing

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fetch-cycle accounting (§6.1, Figures 7 and 8).
+ *
+ * Every cycle is classified from the fetch stage's perspective into
+ * exactly one of seven bins, in the paper's priority order: Assert
+ * (frame assertion recovery), Mispredict (unresolved mispredicted
+ * branch or BTB miss), Miss (FCache/ICache miss), Stall (downstream
+ * buffers full), Wait (FCache->ICache turnaround), Frame (fetching
+ * from the frame cache), ICache (fetching from the ICache).
+ */
+
+#ifndef REPLAY_TIMING_ACCOUNTING_HH
+#define REPLAY_TIMING_ACCOUNTING_HH
+
+#include <array>
+#include <cstdint>
+
+namespace replay::timing {
+
+enum class CycleBin : uint8_t
+{
+    ASSERT,
+    MISPRED,
+    MISS,
+    STALL,
+    WAIT,
+    FRAME,
+    ICACHE,
+    NUM_BINS,
+};
+
+constexpr unsigned NUM_CYCLE_BINS =
+    static_cast<unsigned>(CycleBin::NUM_BINS);
+
+const char *cycleBinName(CycleBin bin);
+
+/** Accumulates classified cycles. */
+class CycleAccounting
+{
+  public:
+    void
+    add(CycleBin bin, uint64_t cycles)
+    {
+        bins_[static_cast<unsigned>(bin)] += cycles;
+    }
+
+    uint64_t
+    get(CycleBin bin) const
+    {
+        return bins_[static_cast<unsigned>(bin)];
+    }
+
+    uint64_t
+    total() const
+    {
+        uint64_t sum = 0;
+        for (const uint64_t b : bins_)
+            sum += b;
+        return sum;
+    }
+
+    void
+    merge(const CycleAccounting &other)
+    {
+        for (unsigned i = 0; i < NUM_CYCLE_BINS; ++i)
+            bins_[i] += other.bins_[i];
+    }
+
+  private:
+    std::array<uint64_t, NUM_CYCLE_BINS> bins_{};
+};
+
+} // namespace replay::timing
+
+#endif // REPLAY_TIMING_ACCOUNTING_HH

@@ -1,0 +1,101 @@
+#include "timing/fetch.hh"
+
+#include "util/logging.hh"
+
+namespace replay::timing {
+
+FrontEnd::FrontEnd(const PipelineConfig &cfg)
+    : cfg_(cfg), icache_(cfg.icacheBytes, cfg.icacheMissLatency)
+{
+}
+
+void
+FrontEnd::closeCycle()
+{
+    bins_.add(openActive_ ? openBin_ : CycleBin::STALL, 1);
+    ++now_;
+    openUops_ = 0;
+    openInsts_ = 0;
+    openActive_ = false;
+}
+
+void
+FrontEnd::fetchBreak()
+{
+    if (openActive_)
+        closeCycle();
+}
+
+void
+FrontEnd::idleUntil(uint64_t until, CycleBin bin)
+{
+    if (until <= now_)
+        return;
+    if (openActive_)
+        closeCycle();
+    if (until > now_) {
+        bins_.add(bin, until - now_);
+        now_ = until;
+    }
+}
+
+uint64_t
+FrontEnd::fetchIcacheInst(uint32_t pc, unsigned num_uops)
+{
+    // Switching away from the frame cache costs turnaround cycles.
+    if (lastSource_ == CycleBin::FRAME) {
+        if (openActive_)
+            closeCycle();
+        bins_.add(CycleBin::WAIT, cfg_.waitCycles);
+        now_ += cfg_.waitCycles;
+        lastSource_ = CycleBin::ICACHE;
+    }
+
+    const unsigned miss = icache_.fetch(pc);
+    if (miss) {
+        if (openActive_)
+            closeCycle();
+        bins_.add(CycleBin::MISS, miss);
+        now_ += miss;
+    }
+
+    if (openActive_ && (openInsts_ >= cfg_.decodeWidth ||
+                        openUops_ + num_uops > cfg_.fetchUopWidth)) {
+        closeCycle();
+    }
+
+    openActive_ = true;
+    openBin_ = CycleBin::ICACHE;
+    lastSource_ = CycleBin::ICACHE;
+    ++openInsts_;
+    openUops_ += num_uops;
+    return now_;
+}
+
+uint64_t
+FrontEnd::fetchFrameUop()
+{
+    if (openActive_ && openBin_ == CycleBin::ICACHE)
+        closeCycle();
+    if (openActive_ && openUops_ >= cfg_.fetchUopWidth)
+        closeCycle();
+
+    openActive_ = true;
+    openBin_ = CycleBin::FRAME;
+    lastSource_ = CycleBin::FRAME;
+    ++openUops_;
+    return now_;
+}
+
+void
+FrontEnd::finish(uint64_t last_retire)
+{
+    if (openActive_)
+        closeCycle();
+    if (last_retire > now_) {
+        bins_.add(CycleBin::STALL, last_retire - now_);
+        now_ = last_retire;
+    }
+}
+
+} // namespace replay::timing

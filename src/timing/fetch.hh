@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The fetch engine: owns the fetch clock, the instruction cache, the
+ * per-cycle fetch bandwidth rules (4 x86 instructions per cycle
+ * through the decoders, 8 micro-ops per cycle from the frame/trace
+ * cache), the cache-switch Wait cycles, and the cycle-bin accounting
+ * of §6.1 — every cycle the machine spends is attributed here.
+ */
+
+#ifndef REPLAY_TIMING_FETCH_HH
+#define REPLAY_TIMING_FETCH_HH
+
+#include "timing/accounting.hh"
+#include "timing/cache.hh"
+#include "timing/pipeline.hh"
+
+namespace replay::timing {
+
+/** The fetch stage / cycle master. */
+class FrontEnd
+{
+  public:
+    explicit FrontEnd(const PipelineConfig &cfg);
+
+    uint64_t now() const { return now_; }
+    CycleAccounting &bins() { return bins_; }
+    const CycleAccounting &bins() const { return bins_; }
+
+    /**
+     * Fetch one x86 instruction through the ICache/decoder path.
+     * Handles cache switching, ICache misses, and decode grouping.
+     * @return the fetch cycle assigned to the instruction's micro-ops
+     */
+    uint64_t fetchIcacheInst(uint32_t pc, unsigned num_uops);
+
+    /**
+     * Fetch one micro-op from the frame/trace cache.
+     * @return the fetch cycle assigned to it
+     */
+    uint64_t fetchFrameUop();
+
+    /** End the current fetch group (taken branch, frame boundary). */
+    void fetchBreak();
+
+    /**
+     * Stop fetching until @p until, attributing the idle cycles to
+     * @p bin (no-op when already past it).
+     */
+    void idleUntil(uint64_t until, CycleBin bin);
+
+    /**
+     * Finish the run: close the open cycle and attribute the
+     * fetch-to-drain tail up to @p last_retire as Stall cycles, so the
+     * bins sum to the total execution time.
+     */
+    void finish(uint64_t last_retire);
+
+    ICacheModel &icache() { return icache_; }
+
+  private:
+    /** Attribute the open cycle and advance the clock. */
+    void closeCycle();
+
+    const PipelineConfig &cfg_;
+    ICacheModel icache_;
+    CycleAccounting bins_;
+
+    uint64_t now_ = 0;
+    unsigned openUops_ = 0;     ///< micro-ops fetched this cycle
+    unsigned openInsts_ = 0;    ///< x86 insts decoded this cycle
+    CycleBin openBin_ = CycleBin::ICACHE;
+    bool openActive_ = false;   ///< anything fetched this cycle?
+    CycleBin lastSource_ = CycleBin::ICACHE; ///< last productive source
+};
+
+} // namespace replay::timing
+
+#endif // REPLAY_TIMING_FETCH_HH

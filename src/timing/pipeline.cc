@@ -1,0 +1,31 @@
+#include "timing/pipeline.hh"
+
+#include <sstream>
+
+namespace replay::timing {
+
+std::string
+PipelineConfig::describe() const
+{
+    std::ostringstream out;
+    out << "Pipeline      " << exec.width << "-wide fetch/issue/retire\n"
+        << "              x86 decoders: " << decodeWidth
+        << " per cycle\n"
+        << "              " << exec.fetchToDispatch + 2
+        << " cycles (min) for BR resolution\n"
+        << "Predictor     " << bpred.gshareBits << "-bit gshare\n"
+        << "Inst Window   " << exec.windowSize << " instructions\n"
+        << "ExeUnits      " << exec.simpleAlus << " simple ALU\n"
+        << "              " << exec.complexAlus << " complex ALU\n"
+        << "              " << exec.fpus << " FPUs\n"
+        << "              " << exec.lsus << " load/store units\n"
+        << "ICache        " << icacheBytes / 1024 << "kB\n"
+        << "L1 DCache     " << mem.l1SizeBytes / 1024 << "kB, "
+        << mem.l1HitLatency << " cycle hit\n"
+        << "L2 Cache      " << mem.l2SizeBytes / 1024 << "kB, "
+        << mem.l2HitLatency << " cycle hit\n"
+        << "Memory        " << mem.memLatency << " cycles\n";
+    return out.str();
+}
+
+} // namespace replay::timing

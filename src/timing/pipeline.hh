@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pipeline configuration (Table 2) shared by every simulated machine.
+ */
+
+#ifndef REPLAY_TIMING_PIPELINE_HH
+#define REPLAY_TIMING_PIPELINE_HH
+
+#include <string>
+
+#include "timing/cache.hh"
+#include "timing/predictor.hh"
+#include "timing/window.hh"
+
+namespace replay::timing {
+
+/** Everything Table 2 specifies, plus front-end details. */
+struct PipelineConfig
+{
+    ExecParams exec;
+    BranchPredictor::Params bpred;
+    MemoryHierarchy::Params mem;
+
+    uint32_t icacheBytes = 8 * 1024;    ///< 64kB in the IC reference
+    unsigned icacheMissLatency = 10;    ///< code fills from the L2
+    unsigned decodeWidth = 4;           ///< x86 insts decoded per cycle
+    unsigned fetchUopWidth = 8;         ///< micro-ops per fetch cycle
+    unsigned waitCycles = 1;            ///< FCache->ICache turnaround
+    unsigned redirectPenalty = 1;       ///< after branch resolution
+    unsigned assertRecoveryPenalty = 5; ///< after the frame is ready to
+                                        ///< retire (§6.1's pessimistic
+                                        ///< recovery model)
+    unsigned longflowFlushPenalty = 20;
+
+    /** Render the Table 2 rows. */
+    std::string describe() const;
+};
+
+} // namespace replay::timing
+
+#endif // REPLAY_TIMING_PIPELINE_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Branch prediction: the 18-bit gshare of Table 2, a tagged BTB for
+ * taken targets, and a return address stack for the x86 call/return
+ * idiom.  Used only on the conventional fetch path — inside frames all
+ * control has been converted to assertions, and the trace cache embeds
+ * its branches but still consults the predictor for early exits.
+ */
+
+#ifndef REPLAY_TIMING_PREDICTOR_HH
+#define REPLAY_TIMING_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+#include "util/stats.hh"
+
+namespace replay::timing {
+
+/** gshare + BTB + RAS composite predictor. */
+class BranchPredictor
+{
+  public:
+    struct Params
+    {
+        unsigned gshareBits = 18;
+        unsigned btbEntries = 4096;
+        unsigned btbAssoc = 4;
+        unsigned rasEntries = 16;
+    };
+
+    BranchPredictor();
+    explicit BranchPredictor(Params params);
+
+    /**
+     * Predict the control transfer of @p rec, update all structures
+     * with the actual outcome, and report whether the front end would
+     * have been redirected late.
+     *
+     * @return true when the prediction (direction or target) was
+     *         wrong — a full branch-resolution penalty; BTB misses on
+     *         taken branches count too (§6.1's Mispredict bin).
+     */
+    bool predictAndTrain(const trace::TraceRecord &rec);
+
+    /**
+     * Predict only the direction of a conditional branch (trace-cache
+     * internal-branch lookahead); no training.
+     */
+    bool predictDirection(uint32_t pc) const;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct BtbEntry
+    {
+        uint32_t tag = 0;
+        uint32_t target = 0;
+        bool valid = false;
+        uint64_t lastUse = 0;
+    };
+
+    unsigned gshareIndex(uint32_t pc) const;
+    bool btbLookup(uint32_t pc, uint32_t &target);
+    void btbInsert(uint32_t pc, uint32_t target);
+
+    Params params_;
+    std::vector<uint8_t> counters_;     ///< 2-bit saturating
+    uint32_t history_ = 0;
+    uint32_t historyMask_;
+    std::vector<BtbEntry> btb_;
+    unsigned btbSets_;
+    std::vector<uint32_t> ras_;
+    size_t rasTop_ = 0;
+    uint64_t useClock_ = 0;
+    StatGroup stats_{"bpred"};
+};
+
+} // namespace replay::timing
+
+#endif // REPLAY_TIMING_PREDICTOR_HH

@@ -1,0 +1,202 @@
+#include "timing/window.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace replay::timing {
+
+using uop::Op;
+
+FuClass
+fuClassOf(const uop::Uop &u)
+{
+    switch (u.op) {
+      case Op::MUL:
+      case Op::DIVQ:
+      case Op::DIVR:
+        return FuClass::COMPLEX;
+      case Op::FADD:
+      case Op::FSUB:
+      case Op::FMUL:
+      case Op::FDIV:
+        return FuClass::FPU;
+      case Op::LOAD:
+      case Op::STORE:
+      case Op::FLOAD:
+      case Op::FSTORE:
+        return FuClass::LSU;
+      default:
+        return FuClass::SIMPLE;
+    }
+}
+
+ExecModel::ExecModel(ExecParams params, MemoryHierarchy &mem)
+    : params_(params), mem_(mem), ringCycle_(RING, ~0ULL),
+      dispatchRing_(RING, 0), issueRing_(RING, 0), retireRing_(RING, 0),
+      windowRetire_(params.windowSize, 0),
+      storeMap_(STORE_MAP, {0xffffffff, 0})
+{
+    for (auto &ring : fuRing_)
+        ring.assign(RING, 0);
+}
+
+void
+ExecModel::touchCycle(uint64_t cycle)
+{
+    const size_t idx = cycle & (RING - 1);
+    if (ringCycle_[idx] != cycle) {
+        ringCycle_[idx] = cycle;
+        dispatchRing_[idx] = 0;
+        issueRing_[idx] = 0;
+        retireRing_[idx] = 0;
+        for (auto &ring : fuRing_)
+            ring[idx] = 0;
+    }
+}
+
+uint64_t
+ExecModel::reserveSlot(std::vector<uint8_t> &ring, uint64_t from,
+                       unsigned limit)
+{
+    uint64_t cycle = from;
+    for (unsigned guard = 0; guard < RING; ++guard, ++cycle) {
+        touchCycle(cycle);
+        uint8_t &count = ring[cycle & (RING - 1)];
+        if (count < limit) {
+            ++count;
+            return cycle;
+        }
+    }
+    panic("no free slot within %u cycles of %llu", RING,
+          (unsigned long long)from);
+}
+
+unsigned
+ExecModel::fuLimit(FuClass cls) const
+{
+    switch (cls) {
+      case FuClass::SIMPLE:  return params_.simpleAlus;
+      case FuClass::COMPLEX: return params_.complexAlus;
+      case FuClass::FPU:     return params_.fpus;
+      case FuClass::LSU:     return params_.lsus;
+      default:               return 1;
+    }
+}
+
+uint64_t
+ExecModel::fetchBackpressure() const
+{
+    if (count_ < params_.windowSize)
+        return 0;
+    const uint64_t oldest_retire =
+        windowRetire_[count_ % params_.windowSize];
+    const uint64_t f2d = params_.fetchToDispatch;
+    return oldest_retire > f2d ? oldest_retire - f2d : 0;
+}
+
+UopTiming
+ExecModel::exec(uint64_t fetch_cycle, const uop::Uop &u,
+                const uint64_t *deps, unsigned num_deps,
+                uint32_t mem_addr)
+{
+    UopTiming t;
+
+    // ---- dispatch -------------------------------------------------------
+    uint64_t dispatch = fetch_cycle + params_.fetchToDispatch;
+    if (count_ >= params_.windowSize) {
+        dispatch = std::max(dispatch,
+                            windowRetire_[count_ % params_.windowSize]);
+    }
+    t.dispatch = reserveSlot(dispatchRing_, dispatch, params_.width);
+
+    // ---- ready -----------------------------------------------------------
+    uint64_t ready = t.dispatch + 1;
+    for (unsigned d = 0; d < num_deps; ++d)
+        ready = std::max(ready, deps[d]);
+
+    // ---- issue: needs both an issue slot and a function unit ----------
+    const FuClass cls = fuClassOf(u);
+    const unsigned limit = fuLimit(cls);
+    auto &fu_ring = fuRing_[unsigned(cls)];
+    uint64_t cycle = ready;
+    for (unsigned guard = 0;; ++guard, ++cycle) {
+        panic_if(guard >= RING, "issue search overflow");
+        touchCycle(cycle);
+        const size_t idx = cycle & (RING - 1);
+        if (issueRing_[idx] < params_.width && fu_ring[idx] < limit) {
+            ++issueRing_[idx];
+            ++fu_ring[idx];
+            break;
+        }
+    }
+    t.issue = cycle;
+
+    // ---- completion -------------------------------------------------------
+    unsigned latency = 1;
+    switch (u.op) {
+      case Op::MUL:
+        latency = params_.mulLatency;
+        break;
+      case Op::DIVQ:
+      case Op::DIVR:
+        latency = params_.divLatency;
+        break;
+      case Op::FADD:
+      case Op::FSUB:
+      case Op::FMUL:
+        latency = params_.fpLatency;
+        break;
+      case Op::FDIV:
+        latency = params_.fpDivLatency;
+        break;
+      case Op::LOAD:
+      case Op::FLOAD: {
+        // Store-buffer bypass from the newest overlapping in-flight
+        // store, else the cache hierarchy.
+        uint64_t fwd = 0;
+        for (uint32_t b = mem_addr & ~3u;
+             b <= ((mem_addr + u.memSize - 1) & ~3u); b += 4) {
+            const auto &[saddr, scomplete] =
+                storeMap_[(b >> 2) & (STORE_MAP - 1)];
+            if (saddr == b && scomplete > t.issue)
+                fwd = std::max(fwd, scomplete);
+        }
+        if (fwd) {
+            t.complete = fwd + params_.forwardLatency;
+        } else {
+            const unsigned lat = mem_.access(mem_addr);
+            t.l1Miss = mem_.lastMissedL1();
+            t.complete = t.issue + lat +
+                         (t.l1Miss ? params_.replayPenalty : 0);
+        }
+        break;
+      }
+      case Op::STORE:
+      case Op::FSTORE: {
+        latency = params_.storeLatency;
+        t.complete = t.issue + latency;
+        for (uint32_t b = mem_addr & ~3u;
+             b <= ((mem_addr + u.memSize - 1) & ~3u); b += 4) {
+            storeMap_[(b >> 2) & (STORE_MAP - 1)] = {b, t.complete};
+        }
+        // Keep the line warm for subsequent loads.
+        mem_.access(mem_addr);
+        break;
+      }
+      default:
+        break;
+    }
+    if (t.complete == 0)
+        t.complete = t.issue + latency;
+
+    // ---- in-order retirement ------------------------------------------------
+    uint64_t retire = std::max(t.complete + 1, lastRetire_);
+    t.retire = reserveSlot(retireRing_, retire, params_.width);
+    lastRetire_ = t.retire;
+    windowRetire_[count_ % params_.windowSize] = t.retire;
+    ++count_;
+    return t;
+}
+
+} // namespace replay::timing

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The out-of-order execution core model: a dataflow-plus-resources
+ * scheduler over the dynamic micro-op stream.
+ *
+ * Micro-ops are presented in program order with the completion times
+ * of their source values; the model computes dispatch (fetch-to-
+ * dispatch pipeline depth, dispatch width, 512-entry window
+ * occupancy), issue (issue width and the Table 2 function unit pools:
+ * 6 simple ALUs, 2 complex ALUs, 3 FPUs, 4 load/store units),
+ * completion (unit latency; loads go through the memory hierarchy,
+ * with an extra replay penalty on L1 misses standing in for the
+ * paper's speculative wakeup/rescheduling), and in-order retirement
+ * (8 wide).
+ */
+
+#ifndef REPLAY_TIMING_WINDOW_HH
+#define REPLAY_TIMING_WINDOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "timing/cache.hh"
+#include "uop/uop.hh"
+
+namespace replay::timing {
+
+/** Function-unit classes. */
+enum class FuClass : uint8_t
+{
+    SIMPLE,     ///< single-cycle integer / control
+    COMPLEX,    ///< multiply / divide
+    FPU,
+    LSU,
+    NUM_CLASSES,
+};
+
+/** Which unit a micro-op needs. */
+FuClass fuClassOf(const uop::Uop &u);
+
+/** Core parameters (Table 2). */
+struct ExecParams
+{
+    unsigned width = 8;             ///< dispatch/issue/retire width
+    unsigned windowSize = 512;
+    unsigned fetchToDispatch = 13;  ///< yields >= 15-cycle BR resolve
+    unsigned simpleAlus = 6;
+    unsigned complexAlus = 2;
+    unsigned fpus = 3;
+    unsigned lsus = 4;
+    unsigned mulLatency = 3;
+    unsigned divLatency = 20;
+    unsigned fpLatency = 4;
+    unsigned fpDivLatency = 12;
+    unsigned storeLatency = 1;
+    unsigned forwardLatency = 1;    ///< store-buffer bypass
+    unsigned replayPenalty = 2;     ///< speculative-wakeup replay
+};
+
+/** Per-uop computed schedule. */
+struct UopTiming
+{
+    uint64_t dispatch = 0;
+    uint64_t issue = 0;
+    uint64_t complete = 0;
+    uint64_t retire = 0;
+    bool l1Miss = false;
+};
+
+/** The scheduler. */
+class ExecModel
+{
+  public:
+    ExecModel(ExecParams params, MemoryHierarchy &mem);
+
+    /**
+     * Schedule the next micro-op in program order.
+     *
+     * @param fetch_cycle when fetch delivered it
+     * @param u           the micro-op (selects unit and latency)
+     * @param deps        completion cycles of its source values
+     * @param num_deps    number of entries in @p deps
+     * @param mem_addr    runtime address for loads/stores
+     */
+    UopTiming exec(uint64_t fetch_cycle, const uop::Uop &u,
+                   const uint64_t *deps, unsigned num_deps,
+                   uint32_t mem_addr = 0);
+
+    /**
+     * Earliest cycle at which fetch may deliver the next micro-op
+     * without overflowing the window (given the fetch-to-dispatch
+     * depth).  Fetch stalls until then — the Stall bin.
+     */
+    uint64_t fetchBackpressure() const;
+
+    uint64_t lastRetire() const { return lastRetire_; }
+    uint64_t uopsRetired() const { return count_; }
+
+  private:
+    /** First cycle >= @p from with a free slot in @p ring. */
+    uint64_t reserveSlot(std::vector<uint8_t> &ring, uint64_t from,
+                         unsigned limit);
+
+    static constexpr unsigned RING = 1u << 15;
+
+    ExecParams params_;
+    MemoryHierarchy &mem_;
+
+    // Per-cycle resource occupancy rings (epoch-validated).
+    std::vector<uint64_t> ringCycle_;
+    std::vector<uint8_t> dispatchRing_;
+    std::vector<uint8_t> issueRing_;
+    std::vector<uint8_t> retireRing_;
+    std::vector<uint8_t> fuRing_[unsigned(FuClass::NUM_CLASSES)];
+
+    /** Retire times of the last windowSize micro-ops. */
+    std::vector<uint64_t> windowRetire_;
+    uint64_t count_ = 0;
+    uint64_t lastRetire_ = 0;
+
+    /** Latest in-flight store completion per word address. */
+    std::vector<std::pair<uint32_t, uint64_t>> storeMap_;
+    static constexpr size_t STORE_MAP = 1u << 12;
+
+    void touchCycle(uint64_t cycle);
+    unsigned fuLimit(FuClass cls) const;
+};
+
+} // namespace replay::timing
+
+#endif // REPLAY_TIMING_WINDOW_HH

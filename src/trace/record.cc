@@ -1,0 +1,41 @@
+#include "trace/record.hh"
+
+#include "util/logging.hh"
+
+namespace replay::trace {
+
+TraceRecord
+TraceRecord::fromStep(const x86::StepInfo &step)
+{
+    TraceRecord rec;
+    rec.pc = step.pc;
+    rec.nextPc = step.nextPc;
+    rec.inst = step.placed->inst;
+    rec.length = uint8_t(step.placed->length);
+    rec.taken = step.branchTaken;
+    rec.wroteFlags = step.wroteFlags;
+    rec.flagsAfter = step.flagsAfter.pack();
+
+    panic_if(step.regWrites.size() > MAX_REG_WRITES,
+             "instruction at 0x%08x wrote %zu registers", step.pc,
+             step.regWrites.size());
+    panic_if(step.memOps.size() > MAX_MEM_OPS,
+             "instruction at 0x%08x made %zu memory accesses", step.pc,
+             step.memOps.size());
+    panic_if(step.fregWrites.size() > 1,
+             "instruction at 0x%08x wrote %zu FP registers", step.pc,
+             step.fregWrites.size());
+
+    rec.numRegWrites = uint8_t(step.regWrites.size());
+    for (size_t i = 0; i < step.regWrites.size(); ++i)
+        rec.regWrites[i] = step.regWrites[i];
+    rec.numMemOps = uint8_t(step.memOps.size());
+    for (size_t i = 0; i < step.memOps.size(); ++i)
+        rec.memOps[i] = step.memOps[i];
+    rec.numFregWrites = uint8_t(step.fregWrites.size());
+    if (rec.numFregWrites)
+        rec.fregWrite = step.fregWrites[0];
+    return rec;
+}
+
+} // namespace replay::trace

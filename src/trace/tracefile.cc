@@ -1,0 +1,314 @@
+#include "trace/tracefile.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+#include "x86/executor.hh"
+
+namespace replay::trace {
+
+namespace {
+
+constexpr uint32_t MAGIC = 0x52504c54;  // "RPLT"
+constexpr uint32_t VERSION = 1;
+
+struct FileHeader
+{
+    uint32_t magic = MAGIC;
+    uint32_t version = VERSION;
+    uint64_t records = 0;
+};
+
+/**
+ * On-disk record layout: every field written explicitly and
+ * little-endian via fixed-width integers, so files are portable across
+ * compilers (no struct memcpy).
+ */
+struct Encoder
+{
+    uint8_t buf[128];
+    size_t len = 0;
+
+    void
+    u8(uint8_t v)
+    {
+        buf[len++] = v;
+    }
+    void
+    u16(uint16_t v)
+    {
+        u8(uint8_t(v));
+        u8(uint8_t(v >> 8));
+    }
+    void
+    u32(uint32_t v)
+    {
+        u16(uint16_t(v));
+        u16(uint16_t(v >> 16));
+    }
+    void
+    u64(uint64_t v)
+    {
+        u32(uint32_t(v));
+        u32(uint32_t(v >> 32));
+    }
+};
+
+struct Decoder
+{
+    const uint8_t *buf;
+    size_t pos = 0;
+
+    uint8_t
+    u8()
+    {
+        return buf[pos++];
+    }
+    uint16_t
+    u16()
+    {
+        const uint16_t lo = u8();
+        return uint16_t(lo | (uint16_t(u8()) << 8));
+    }
+    uint32_t
+    u32()
+    {
+        const uint32_t lo = u16();
+        return lo | (uint32_t(u16()) << 16);
+    }
+    uint64_t
+    u64()
+    {
+        const uint64_t lo = u32();
+        return lo | (uint64_t(u32()) << 32);
+    }
+};
+
+size_t
+encodeRecord(const TraceRecord &rec, uint8_t *out)
+{
+    Encoder e;
+    e.u32(rec.pc);
+    e.u32(rec.nextPc);
+    e.u8(rec.length);
+    e.u8(rec.taken);
+    e.u8(rec.wroteFlags);
+    e.u8(rec.flagsAfter);
+
+    // Instruction encoding ("raw instruction data").
+    const x86::Inst &in = rec.inst;
+    e.u8(uint8_t(in.mnem));
+    e.u8(uint8_t(in.form));
+    e.u8(uint8_t(in.cc));
+    e.u8(uint8_t(in.reg1));
+    e.u8(uint8_t(in.reg2));
+    e.u8(uint8_t(in.freg1));
+    e.u8(uint8_t(in.freg2));
+    e.u8(uint8_t(in.mem.base));
+    e.u8(uint8_t(in.mem.index));
+    e.u8(in.mem.scale);
+    e.u32(uint32_t(in.mem.disp));
+    e.u64(uint64_t(in.imm));
+    e.u32(in.target);
+    e.u8(in.opSize);
+
+    // Side effects.
+    e.u8(rec.numRegWrites);
+    for (unsigned i = 0; i < TraceRecord::MAX_REG_WRITES; ++i) {
+        e.u8(uint8_t(rec.regWrites[i].reg));
+        e.u32(rec.regWrites[i].value);
+    }
+    e.u8(rec.numMemOps);
+    for (unsigned i = 0; i < TraceRecord::MAX_MEM_OPS; ++i) {
+        e.u8(rec.memOps[i].isStore);
+        e.u32(rec.memOps[i].addr);
+        e.u8(rec.memOps[i].size);
+        e.u32(rec.memOps[i].data);
+    }
+    e.u8(rec.numFregWrites);
+    e.u8(uint8_t(rec.fregWrite.reg));
+    uint32_t raw = 0;
+    std::memcpy(&raw, &rec.fregWrite.value, 4);
+    e.u32(raw);
+
+    std::memcpy(out, e.buf, e.len);
+    return e.len;
+}
+
+/** Fixed encoded size (every record encodes identically). */
+size_t
+recordBytes()
+{
+    static const size_t size = [] {
+        uint8_t buf[128];
+        return encodeRecord(TraceRecord{}, buf);
+    }();
+    return size;
+}
+
+TraceRecord
+decodeRecord(const uint8_t *buf)
+{
+    Decoder d{buf};
+    TraceRecord rec;
+    rec.pc = d.u32();
+    rec.nextPc = d.u32();
+    rec.length = d.u8();
+    rec.taken = d.u8();
+    rec.wroteFlags = d.u8();
+    rec.flagsAfter = d.u8();
+
+    x86::Inst &in = rec.inst;
+    in.mnem = static_cast<x86::Mnem>(d.u8());
+    in.form = static_cast<x86::Form>(d.u8());
+    in.cc = static_cast<x86::Cond>(d.u8());
+    in.reg1 = static_cast<x86::Reg>(d.u8());
+    in.reg2 = static_cast<x86::Reg>(d.u8());
+    in.freg1 = static_cast<x86::FReg>(d.u8());
+    in.freg2 = static_cast<x86::FReg>(d.u8());
+    in.mem.base = static_cast<x86::Reg>(d.u8());
+    in.mem.index = static_cast<x86::Reg>(d.u8());
+    in.mem.scale = d.u8();
+    in.mem.disp = int32_t(d.u32());
+    in.imm = int64_t(d.u64());
+    in.target = d.u32();
+    in.opSize = d.u8();
+
+    rec.numRegWrites = d.u8();
+    for (unsigned i = 0; i < TraceRecord::MAX_REG_WRITES; ++i) {
+        rec.regWrites[i].reg = static_cast<x86::Reg>(d.u8());
+        rec.regWrites[i].value = d.u32();
+    }
+    rec.numMemOps = d.u8();
+    for (unsigned i = 0; i < TraceRecord::MAX_MEM_OPS; ++i) {
+        rec.memOps[i].isStore = d.u8();
+        rec.memOps[i].addr = d.u32();
+        rec.memOps[i].size = d.u8();
+        rec.memOps[i].data = d.u32();
+    }
+    rec.numFregWrites = d.u8();
+    rec.fregWrite.reg = static_cast<x86::FReg>(d.u8());
+    const uint32_t raw = d.u32();
+    std::memcpy(&rec.fregWrite.value, &raw, 4);
+    return rec;
+}
+
+} // anonymous namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    fatal_if(!file_, "cannot open trace file '%s' for writing",
+             path.c_str());
+    FileHeader header;
+    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
+             "cannot write trace header to '%s'", path.c_str());
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    if (file_)
+        close();
+}
+
+void
+TraceFileWriter::write(const TraceRecord &rec)
+{
+    panic_if(!file_, "write after close");
+    uint8_t buf[128];
+    const size_t len = encodeRecord(rec, buf);
+    fatal_if(std::fwrite(buf, len, 1, file_) != 1,
+             "short write to trace file");
+    ++count_;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!file_)
+        return;
+    FileHeader header;
+    header.records = count_;
+    std::fseek(file_, 0, SEEK_SET);
+    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
+             "cannot finalize trace header");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+uint64_t
+TraceFileWriter::dumpProgram(const x86::Program &program, uint64_t insts,
+                             const std::string &path)
+{
+    TraceFileWriter writer(path);
+    x86::Executor exec(program);
+    for (uint64_t i = 0; i < insts; ++i)
+        writer.write(TraceRecord::fromStep(exec.step()));
+    writer.close();
+    return insts;
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+    : ring_(LOOKAHEAD * 2)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    fatal_if(!file_, "cannot open trace file '%s'", path.c_str());
+    FileHeader header;
+    fatal_if(std::fread(&header, sizeof(header), 1, file_) != 1,
+             "trace file '%s' has no header", path.c_str());
+    fatal_if(header.magic != MAGIC, "'%s' is not a trace file",
+             path.c_str());
+    fatal_if(header.version != VERSION,
+             "trace file '%s' has unsupported version %u", path.c_str(),
+             header.version);
+    total_ = header.records;
+}
+
+FileTraceSource::~FileTraceSource()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+FileTraceSource::fill(unsigned n)
+{
+    uint8_t buf[128];
+    while (count_ < n && produced_ < total_) {
+        fatal_if(std::fread(buf, recordBytes(), 1, file_) != 1,
+                 "trace file truncated at record %llu",
+                 (unsigned long long)produced_);
+        ring_[(head_ + count_) % ring_.size()] = decodeRecord(buf);
+        ++count_;
+        ++produced_;
+    }
+}
+
+const TraceRecord *
+FileTraceSource::peek(unsigned ahead)
+{
+    panic_if(ahead >= LOOKAHEAD, "peek(%u) beyond lookahead", ahead);
+    fill(ahead + 1);
+    if (ahead >= count_)
+        return nullptr;
+    return &ring_[(head_ + ahead) % ring_.size()];
+}
+
+void
+FileTraceSource::advance()
+{
+    fill(1);
+    panic_if(count_ == 0, "advance past end of trace file");
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    ++consumed_;
+}
+
+bool
+FileTraceSource::done()
+{
+    fill(1);
+    return count_ == 0;
+}
+
+} // namespace replay::trace

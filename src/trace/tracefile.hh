@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Trace-file serialization.
+ *
+ * The paper's workloads are hardware-captured trace *files* (§5.1.1);
+ * this module provides the equivalent persistent form for our records:
+ * a compact binary format holding, per retired x86 instruction, the
+ * instruction encoding, register state changes, and memory
+ * transactions.  A written file can be replayed through the simulator
+ * with FileTraceSource, decoupling trace generation from simulation
+ * exactly as the paper's infrastructure did.
+ */
+
+#ifndef REPLAY_TRACE_TRACEFILE_HH
+#define REPLAY_TRACE_TRACEFILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/record.hh"
+
+namespace replay::trace {
+
+/** Streaming writer for the binary trace format. */
+class TraceFileWriter
+{
+  public:
+    /** Open (truncate) @p path; fatal on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    /** Append one record. */
+    void write(const TraceRecord &rec);
+
+    /** Finalize the header (record count) and close. */
+    void close();
+
+    uint64_t written() const { return count_; }
+
+    /** Convenience: dump the first @p insts of a program to @p path. */
+    static uint64_t dumpProgram(const x86::Program &program,
+                                uint64_t insts, const std::string &path);
+
+  private:
+    std::FILE *file_ = nullptr;
+    uint64_t count_ = 0;
+};
+
+/** TraceSource reading a file produced by TraceFileWriter. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    /** Open @p path; fatal on missing/corrupt header. */
+    explicit FileTraceSource(const std::string &path);
+    ~FileTraceSource() override;
+
+    FileTraceSource(const FileTraceSource &) = delete;
+    FileTraceSource &operator=(const FileTraceSource &) = delete;
+
+    const TraceRecord *peek(unsigned ahead = 0) override;
+    void advance() override;
+    bool done() override;
+    uint64_t consumed() const override { return consumed_; }
+
+    /** Total records in the file. */
+    uint64_t totalRecords() const { return total_; }
+
+  private:
+    void fill(unsigned n);
+
+    std::FILE *file_ = nullptr;
+    uint64_t total_ = 0;
+    uint64_t produced_ = 0;
+    uint64_t consumed_ = 0;
+
+    std::vector<TraceRecord> ring_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+};
+
+} // namespace replay::trace
+
+#endif // REPLAY_TRACE_TRACEFILE_HH

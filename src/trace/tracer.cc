@@ -1,0 +1,62 @@
+#include "trace/tracer.hh"
+
+#include "util/logging.hh"
+
+namespace replay::trace {
+
+ExecutorTraceSource::ExecutorTraceSource(const x86::Program &program,
+                                         uint64_t max_insts)
+    : exec_(program), budget_(max_insts)
+{
+}
+
+void
+ExecutorTraceSource::fill(unsigned n)
+{
+    while (count_ < n && budget_ > 0) {
+        const size_t slot = (head_ + count_) % ring_.size();
+        ring_[slot] = TraceRecord::fromStep(exec_.step());
+        ++count_;
+        --budget_;
+    }
+}
+
+const TraceRecord *
+ExecutorTraceSource::peek(unsigned ahead)
+{
+    panic_if(ahead >= LOOKAHEAD, "peek(%u) beyond lookahead", ahead);
+    fill(ahead + 1);
+    if (ahead >= count_)
+        return nullptr;
+    return &ring_[(head_ + ahead) % ring_.size()];
+}
+
+void
+ExecutorTraceSource::advance()
+{
+    fill(1);
+    panic_if(count_ == 0, "advance past end of trace");
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    ++consumed_;
+}
+
+bool
+ExecutorTraceSource::done()
+{
+    fill(1);
+    return count_ == 0;
+}
+
+std::vector<TraceRecord>
+collectTrace(const x86::Program &program, uint64_t max_insts)
+{
+    std::vector<TraceRecord> records;
+    records.reserve(max_insts);
+    x86::Executor exec(program);
+    for (uint64_t i = 0; i < max_insts; ++i)
+        records.push_back(TraceRecord::fromStep(exec.step()));
+    return records;
+}
+
+} // namespace replay::trace

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace generation: running a program through the functional executor
+ * and exposing the retired-instruction stream as a TraceSource.
+ */
+
+#ifndef REPLAY_TRACE_TRACER_HH
+#define REPLAY_TRACE_TRACER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hh"
+#include "x86/executor.hh"
+#include "x86/program.hh"
+
+namespace replay::trace {
+
+/**
+ * A TraceSource that generates records on demand from an Executor.
+ *
+ * The source maintains a ring of up to LOOKAHEAD pre-executed records
+ * so the simulator can resolve frame assertions and unsafe-store
+ * aliasing before committing to a fetch path, without materializing
+ * the whole trace (50M+ instructions in the paper's workloads).
+ */
+class ExecutorTraceSource : public TraceSource
+{
+  public:
+    /**
+     * @param program   the program to run
+     * @param max_insts trace length in retired x86 instructions
+     */
+    ExecutorTraceSource(const x86::Program &program, uint64_t max_insts);
+
+    const TraceRecord *peek(unsigned ahead = 0) override;
+    void advance() override;
+    bool done() override;
+    uint64_t consumed() const override { return consumed_; }
+
+  private:
+    /** Ensure the ring holds at least @p n unconsumed records. */
+    void fill(unsigned n);
+
+    x86::Executor exec_;
+    uint64_t budget_;           ///< records still allowed to be produced
+    uint64_t consumed_ = 0;
+
+    std::array<TraceRecord, LOOKAHEAD * 2> ring_;
+    size_t head_ = 0;           ///< ring index of the cursor record
+    size_t count_ = 0;          ///< valid records in the ring
+};
+
+/** Materialize the first @p max_insts records of a program (tests). */
+std::vector<TraceRecord> collectTrace(const x86::Program &program,
+                                      uint64_t max_insts);
+
+} // namespace replay::trace
+
+#endif // REPLAY_TRACE_TRACER_HH

@@ -1,0 +1,295 @@
+#include "uop/evaluator.hh"
+
+#include <cstring>
+
+#include "util/bitfield.hh"
+#include "util/logging.hh"
+
+namespace replay::uop {
+
+namespace {
+
+x86::Flags
+makeFlags(uint32_t result, bool cf, bool of)
+{
+    x86::Flags f;
+    f.cf = cf;
+    f.of = of;
+    f.zf = result == 0;
+    f.sf = (result >> 31) & 1;
+    f.pf = parity(result & 0xff) == 0;
+    return f;
+}
+
+bool
+addOverflows(uint32_t a, uint32_t b, uint32_t r)
+{
+    return (~(a ^ b) & (a ^ r)) >> 31;
+}
+
+bool
+subOverflows(uint32_t a, uint32_t b, uint32_t r)
+{
+    return ((a ^ b) & (a ^ r)) >> 31;
+}
+
+float
+asFloat(uint32_t raw)
+{
+    float v;
+    std::memcpy(&v, &raw, 4);
+    return v;
+}
+
+uint32_t
+asRaw(float v)
+{
+    uint32_t raw;
+    std::memcpy(&raw, &v, 4);
+    return raw;
+}
+
+} // anonymous namespace
+
+AluResult
+evalAlu(const Uop &u, uint32_t a, uint32_t b, uint32_t c,
+        const x86::Flags &in_flags)
+{
+    AluResult out;
+    switch (u.op) {
+      case Op::LIMM:
+        out.value = uint32_t(u.imm);
+        break;
+      case Op::MOV:
+        out.value = a;
+        break;
+      case Op::ADD: {
+        out.value = a + b;
+        const bool cf = u.flagsCarryOnly ? in_flags.cf : out.value < a;
+        out.flags = makeFlags(out.value, cf, addOverflows(a, b, out.value));
+        break;
+      }
+      case Op::SUB:
+      case Op::CMP: {
+        out.value = a - b;
+        const bool cf = u.flagsCarryOnly ? in_flags.cf : a < b;
+        out.flags = makeFlags(out.value, cf, subOverflows(a, b, out.value));
+        if (u.op == Op::CMP)
+            out.value = 0;
+        break;
+      }
+      case Op::AND:
+      case Op::TEST:
+        out.value = a & b;
+        out.flags = makeFlags(out.value, false, false);
+        if (u.op == Op::TEST)
+            out.value = 0;
+        break;
+      case Op::OR:
+        out.value = a | b;
+        out.flags = makeFlags(out.value, false, false);
+        break;
+      case Op::XOR:
+        out.value = a ^ b;
+        out.flags = makeFlags(out.value, false, false);
+        break;
+      case Op::SHL: {
+        const unsigned count = b & 31;
+        if (count == 0) {
+            out.value = a;
+            out.flags = in_flags;
+            break;
+        }
+        out.value = a << count;
+        const bool cf = (a >> (32 - count)) & 1;
+        out.flags = makeFlags(out.value, cf,
+                              ((out.value >> 31) & 1) != cf);
+        break;
+      }
+      case Op::SHR: {
+        const unsigned count = b & 31;
+        if (count == 0) {
+            out.value = a;
+            out.flags = in_flags;
+            break;
+        }
+        out.value = a >> count;
+        out.flags = makeFlags(out.value, (a >> (count - 1)) & 1,
+                              (a >> 31) & 1);
+        break;
+      }
+      case Op::SAR: {
+        const unsigned count = b & 31;
+        if (count == 0) {
+            out.value = a;
+            out.flags = in_flags;
+            break;
+        }
+        out.value = uint32_t(int32_t(a) >> count);
+        out.flags = makeFlags(out.value, (a >> (count - 1)) & 1, false);
+        break;
+      }
+      case Op::MUL: {
+        const int64_t wide = int64_t(int32_t(a)) * int64_t(int32_t(b));
+        out.value = uint32_t(wide);
+        const bool ovf = wide != int64_t(int32_t(out.value));
+        out.flags = makeFlags(out.value, ovf, ovf);
+        break;
+      }
+      case Op::DIVQ:
+      case Op::DIVR: {
+        const uint64_t dividend = (uint64_t(c) << 32) | a;
+        panic_if(b == 0, "micro-op divide by zero");
+        out.value = u.op == Op::DIVQ ? uint32_t(dividend / b)
+                                     : uint32_t(dividend % b);
+        out.flags = in_flags;
+        break;
+      }
+      case Op::NOT:
+        out.value = ~a;
+        break;
+      case Op::NEG:
+        out.value = 0 - a;
+        out.flags = makeFlags(out.value, a != 0,
+                              subOverflows(0, a, out.value));
+        break;
+      case Op::SETCC:
+        out.value = (a & ~0xffU) |
+                    (x86::condTaken(u.cc, in_flags) ? 1 : 0);
+        break;
+      case Op::FADD:
+        out.value = asRaw(asFloat(a) + asFloat(b));
+        break;
+      case Op::FSUB:
+        out.value = asRaw(asFloat(a) - asFloat(b));
+        break;
+      case Op::FMUL:
+        out.value = asRaw(asFloat(a) * asFloat(b));
+        break;
+      case Op::FDIV: {
+        const float fb = asFloat(b);
+        out.value = asRaw(fb != 0.0f ? asFloat(a) / fb : 0.0f);
+        break;
+      }
+      default:
+        panic("evalAlu on non-ALU micro-op %s", opName(u.op));
+    }
+    return out;
+}
+
+bool
+assertFires(const Uop &u, const x86::Flags &observed)
+{
+    panic_if(u.op != Op::ASSERT, "assertFires on %s", opName(u.op));
+    return !x86::condTaken(u.cc, observed);
+}
+
+uint32_t
+loadAddr(const Uop &u, uint32_t base, uint32_t index)
+{
+    uint32_t addr = uint32_t(u.imm);
+    if (u.srcA != UReg::NONE)
+        addr += base;
+    if (u.srcB != UReg::NONE)
+        addr += index * u.scale;
+    return addr;
+}
+
+uint32_t
+storeAddr(const Uop &u, uint32_t base, uint32_t index)
+{
+    uint32_t addr = uint32_t(u.imm);
+    if (u.srcA != UReg::NONE)
+        addr += base;
+    if (u.srcC != UReg::NONE)
+        addr += index * u.scale;
+    return addr;
+}
+
+Evaluator::StepResult
+Evaluator::exec(const Uop &u)
+{
+    StepResult result;
+
+    auto regOr = [&](UReg r, uint32_t fallback) {
+        return r == UReg::NONE ? fallback : regs_[unsigned(r)];
+    };
+
+    switch (u.op) {
+      case Op::NOP:
+      case Op::LONGFLOW:
+        break;
+
+      case Op::LOAD:
+      case Op::FLOAD: {
+        const uint32_t addr =
+            loadAddr(u, regOr(u.srcA, 0), regOr(u.srcB, 0));
+        uint32_t value = mem_.read(addr, u.memSize);
+        if (u.signExtend && u.memSize < 4)
+            value = uint32_t(sext(value, u.memSize * 8));
+        result.memOps.push_back(
+            {false, addr, u.memSize, mem_.read(addr, u.memSize)});
+        regs_[unsigned(u.dst)] = value;
+        break;
+      }
+
+      case Op::STORE:
+      case Op::FSTORE: {
+        const uint32_t addr =
+            storeAddr(u, regOr(u.srcA, 0), regOr(u.srcC, 0));
+        const uint32_t value = regs_[unsigned(u.srcB)];
+        mem_.write(addr, u.memSize, value);
+        result.memOps.push_back({true, addr, u.memSize, value});
+        break;
+      }
+
+      case Op::BR:
+        result.isControl = true;
+        result.taken = x86::condTaken(u.cc, flags_);
+        result.target = u.target;
+        break;
+
+      case Op::JMP:
+        result.isControl = true;
+        result.taken = true;
+        result.target = u.target;
+        break;
+
+      case Op::JMPI:
+        result.isControl = true;
+        result.taken = true;
+        result.target = regs_[unsigned(u.srcA)];
+        break;
+
+      case Op::ASSERT: {
+        x86::Flags observed = flags_;
+        if (u.valueAssert) {
+            Uop cmp;
+            cmp.op = u.assertOp;
+            observed = evalAlu(cmp, regOr(u.srcA, 0),
+                               u.srcB != UReg::NONE
+                                   ? regs_[unsigned(u.srcB)]
+                                   : uint32_t(u.imm),
+                               0, flags_).flags;
+        }
+        result.asserted = assertFires(u, observed);
+        break;
+      }
+
+      default: {
+        const uint32_t a = regOr(u.srcA, 0);
+        const uint32_t b = u.srcB != UReg::NONE ? regs_[unsigned(u.srcB)]
+                                                : uint32_t(u.imm);
+        const uint32_t c = regOr(u.srcC, 0);
+        const AluResult alu = evalAlu(u, a, b, c, flags_);
+        if (u.dst != UReg::NONE)
+            regs_[unsigned(u.dst)] = alu.value;
+        if (u.writesFlags)
+            flags_ = alu.flags;
+        break;
+      }
+    }
+    return result;
+}
+
+} // namespace replay::uop

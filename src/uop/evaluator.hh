@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Functional semantics of the rePLay ISA.
+ *
+ * evalAlu() is the single source of truth for micro-op arithmetic and
+ * flag generation; it is shared by the linear Evaluator below (used to
+ * cross-check the translator against the x86 executor), by frame
+ * execution in the sequencer, and by the state verifier.
+ */
+
+#ifndef REPLAY_UOP_EVALUATOR_HH
+#define REPLAY_UOP_EVALUATOR_HH
+
+#include <array>
+#include <vector>
+
+#include "uop/uop.hh"
+#include "x86/executor.hh"
+
+namespace replay::uop {
+
+/** Result of a pure (non-memory, non-control) micro-op. */
+struct AluResult
+{
+    uint32_t value = 0;
+    x86::Flags flags;       ///< meaningful only if the uop writes flags
+};
+
+/**
+ * Evaluate the pure function of a micro-op.
+ *
+ * @param u         the micro-op (opcode, cc, imm, flag behaviour)
+ * @param a         resolved srcA value
+ * @param b         resolved second operand (srcB or immediate)
+ * @param c         resolved srcC value (DIVQ/DIVR high word)
+ * @param in_flags  incoming flags (for SETCC and carry-preserving ops)
+ */
+AluResult evalAlu(const Uop &u, uint32_t a, uint32_t b, uint32_t c,
+                  const x86::Flags &in_flags);
+
+/** Does the assertion fire, given the flags it observes? */
+bool assertFires(const Uop &u, const x86::Flags &observed);
+
+/** Resolved effective address of a LOAD/FLOAD micro-op. */
+uint32_t loadAddr(const Uop &u, uint32_t base, uint32_t index);
+
+/** Resolved effective address of a STORE/FSTORE micro-op. */
+uint32_t storeAddr(const Uop &u, uint32_t base, uint32_t index);
+
+/**
+ * Executes micro-ops in architectural (pre-rename) form against a
+ * register file, flags, and memory — the reference interpreter.
+ */
+class Evaluator
+{
+  public:
+    explicit Evaluator(x86::SparseMemory &mem) : mem_(mem)
+    {
+        regs_.fill(0);
+    }
+
+    /** Outcome of one micro-op. */
+    struct StepResult
+    {
+        bool isControl = false;
+        bool taken = false;
+        uint32_t target = 0;        ///< valid when taken
+        bool asserted = false;      ///< an ASSERT fired
+        std::vector<x86::MemOp> memOps;
+    };
+
+    StepResult exec(const Uop &u);
+
+    uint32_t reg(UReg r) const { return regs_[unsigned(r)]; }
+    void setReg(UReg r, uint32_t v) { regs_[unsigned(r)] = v; }
+    const x86::Flags &flags() const { return flags_; }
+    void setFlags(const x86::Flags &f) { flags_ = f; }
+    x86::SparseMemory &memory() { return mem_; }
+
+  private:
+    std::array<uint32_t, NUM_UREGS> regs_{};
+    x86::Flags flags_;
+    x86::SparseMemory &mem_;
+};
+
+} // namespace replay::uop
+
+#endif // REPLAY_UOP_EVALUATOR_HH

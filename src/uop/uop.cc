@@ -1,0 +1,178 @@
+#include "uop/uop.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace replay::uop {
+
+const char *
+opName(Op op)
+{
+    static const char *names[] = {
+        "NOP", "LIMM", "MOV", "ADD", "SUB", "AND", "OR", "XOR", "SHL",
+        "SHR", "SAR", "MUL", "DIVQ", "DIVR", "NOT", "NEG", "CMP", "TEST",
+        "SETCC", "LOAD", "STORE", "BR", "JMP", "JMPI", "ASSERT", "FLOAD",
+        "FSTORE", "FADD", "FSUB", "FMUL", "FDIV", "LONGFLOW",
+    };
+    static_assert(sizeof(names) / sizeof(names[0]) ==
+                  static_cast<size_t>(Op::NUM_OPS));
+    return names[static_cast<unsigned>(op)];
+}
+
+const char *
+uregName(UReg reg)
+{
+    static const char *names[] = {
+        "EAX", "ECX", "EDX", "EBX", "ESP", "EBP", "ESI", "EDI",
+        "ET0", "ET1", "ET2", "ET3", "ET4", "ET5", "ET6", "ET7",
+        "F0", "F1", "F2", "F3", "F4", "F5", "F6", "F7",
+        "FLAGS",
+    };
+    static_assert(sizeof(names) / sizeof(names[0]) == NUM_UREGS);
+    if (reg == UReg::NONE)
+        return "-";
+    return names[static_cast<unsigned>(reg)];
+}
+
+std::string
+format(const Uop &u)
+{
+    std::ostringstream out;
+    char buf[48];
+
+    auto immStr = [&](int32_t v) {
+        if (v < 0)
+            std::snprintf(buf, sizeof(buf), "-0x%x", unsigned(-v));
+        else
+            std::snprintf(buf, sizeof(buf), "0x%x", unsigned(v));
+        return std::string(buf);
+    };
+
+    auto addrStr = [&](UReg base, UReg index, uint8_t scale,
+                       int32_t disp) {
+        std::ostringstream a;
+        a << '[';
+        bool plus = false;
+        if (base != UReg::NONE) {
+            a << uregName(base);
+            plus = true;
+        }
+        if (index != UReg::NONE) {
+            if (plus)
+                a << '+';
+            a << uregName(index);
+            if (scale != 1)
+                a << '*' << unsigned(scale);
+            plus = true;
+        }
+        if (disp || !plus) {
+            if (plus)
+                a << (disp < 0 ? "-" : "+");
+            std::snprintf(buf, sizeof(buf), "0x%x",
+                          unsigned(disp < 0 ? -disp : disp));
+            a << buf;
+        }
+        a << ']';
+        return a.str();
+    };
+
+    auto dstStr = [&]() {
+        std::string s;
+        if (u.dst != UReg::NONE)
+            s += uregName(u.dst);
+        if (u.writesFlags)
+            s += s.empty() ? "flags" : ",flags";
+        return s;
+    };
+
+    switch (u.op) {
+      case Op::NOP:
+      case Op::LONGFLOW:
+        out << opName(u.op);
+        break;
+      case Op::LIMM:
+        out << dstStr() << " <- " << immStr(u.imm);
+        break;
+      case Op::MOV:
+        out << dstStr() << " <- " << uregName(u.srcA);
+        break;
+      case Op::LOAD:
+        out << dstStr() << " <- "
+            << addrStr(u.srcA, u.srcB, u.scale, u.imm);
+        if (u.memSize != 4)
+            out << " (" << unsigned(u.memSize)
+                << (u.signExtend ? "s)" : "z)");
+        break;
+      case Op::FLOAD:
+        out << uregName(u.dst) << " <- "
+            << addrStr(u.srcA, UReg::NONE, 1, u.imm);
+        break;
+      case Op::STORE:
+      case Op::FSTORE:
+        out << addrStr(u.srcA, u.srcC, u.scale, u.imm) << " <- "
+            << uregName(u.srcB);
+        if (u.op == Op::STORE && u.memSize != 4)
+            out << " (" << unsigned(u.memSize) << ')';
+        break;
+      case Op::BR:
+        out << "BR." << x86::condName(u.cc) << " -> ";
+        std::snprintf(buf, sizeof(buf), "0x%08x", u.target);
+        out << buf;
+        break;
+      case Op::JMP:
+        std::snprintf(buf, sizeof(buf), "JMP 0x%08x", u.target);
+        out << buf;
+        break;
+      case Op::JMPI:
+        out << "JMP (" << uregName(u.srcA) << ')';
+        break;
+      case Op::ASSERT:
+        out << "ASSERT." << x86::condName(u.cc);
+        if (u.valueAssert) {
+            out << ' ' << uregName(u.srcA) << ", ";
+            if (u.srcB != UReg::NONE)
+                out << uregName(u.srcB);
+            else
+                out << immStr(u.imm);
+        }
+        break;
+      case Op::CMP:
+      case Op::TEST:
+        out << "flags <- " << opName(u.op) << ' ' << uregName(u.srcA)
+            << ", ";
+        if (u.srcB != UReg::NONE)
+            out << uregName(u.srcB);
+        else
+            out << immStr(u.imm);
+        break;
+      case Op::SETCC:
+        out << dstStr() << " <- SET." << x86::condName(u.cc) << '('
+            << uregName(u.srcA) << ')';
+        break;
+      case Op::NOT:
+      case Op::NEG:
+        out << dstStr() << " <- " << opName(u.op) << ' '
+            << uregName(u.srcA);
+        break;
+      case Op::DIVQ:
+      case Op::DIVR:
+        out << dstStr() << " <- " << opName(u.op) << ' '
+            << uregName(u.srcC) << ':' << uregName(u.srcA) << ", "
+            << uregName(u.srcB);
+        break;
+      default:
+        // Generic three-operand ALU rendering.
+        out << dstStr() << " <- " << opName(u.op) << ' '
+            << uregName(u.srcA) << ", ";
+        if (u.srcB != UReg::NONE)
+            out << uregName(u.srcB);
+        else
+            out << immStr(u.imm);
+        break;
+    }
+    return out.str();
+}
+
+} // namespace replay::uop

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The rePLay ISA: the micro-operation format of §5.1.1 / Figure 4.
+ *
+ * Micro-operations are fixed-format, RISC-like, three-operand control
+ * words.  Following the paper we keep the format close to a generic RISC
+ * ISA (real x86 decode flows are proprietary); the translator in
+ * translator.hh produces ~1.4 micro-ops per x86 instruction.
+ *
+ * Register namespace: the eight x86 GPRs, eight translator temporaries
+ * ET0..ET7 (the paper's "ET2" in Figure 2), eight flat FP registers, and
+ * a FLAGS pseudo-register used for live-in/live-out bookkeeping.  Flags
+ * are co-produced by flag-writing micro-ops ("EDX,flags <- ECX | EBX");
+ * a consumer references the producing micro-op's flags result.
+ */
+
+#ifndef REPLAY_UOP_UOP_HH
+#define REPLAY_UOP_UOP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "x86/inst.hh"
+
+namespace replay::uop {
+
+/** Micro-op architectural register namespace. */
+enum class UReg : uint8_t
+{
+    // x86 GPRs, same encoding as x86::Reg.
+    EAX = 0, ECX, EDX, EBX, ESP, EBP, ESI, EDI,
+    // Translator temporaries.
+    ET0 = 8, ET1, ET2, ET3, ET4, ET5, ET6, ET7,
+    // Flat scalar FP registers.
+    F0 = 16, F1, F2, F3, F4, F5, F6, F7,
+    // Pseudo-register naming the x86 flags state at frame boundaries.
+    FLAGS = 24,
+    NUM = 25,
+    NONE = 0xff,
+};
+
+constexpr unsigned NUM_UREGS = static_cast<unsigned>(UReg::NUM);
+
+/** Map an x86 GPR into the micro-op register namespace. */
+constexpr UReg
+gpr(x86::Reg reg)
+{
+    return static_cast<UReg>(reg);
+}
+
+/** Map an x86 FP register into the micro-op register namespace. */
+constexpr UReg
+fpr(x86::FReg freg)
+{
+    return static_cast<UReg>(static_cast<uint8_t>(UReg::F0) +
+                             static_cast<uint8_t>(freg));
+}
+
+constexpr bool
+isFpReg(UReg reg)
+{
+    return reg >= UReg::F0 && reg <= UReg::F7;
+}
+
+/** Micro-operation opcodes. */
+enum class Op : uint8_t
+{
+    NOP,
+    LIMM,       ///< dst <- imm
+    MOV,        ///< dst <- srcA (register copy)
+    ADD,        ///< dst <- srcA + (srcB | imm)
+    SUB,
+    AND,
+    OR,
+    XOR,
+    SHL,
+    SHR,
+    SAR,
+    MUL,
+    DIVQ,       ///< dst <- (srcC:srcA) / srcB  (quotient)
+    DIVR,       ///< dst <- (srcC:srcA) % srcB  (remainder)
+    NOT,
+    NEG,
+    CMP,        ///< flags <- compare(srcA, srcB|imm); no register result
+    TEST,       ///< flags <- srcA & (srcB|imm)
+    SETCC,      ///< dst <- (srcA & ~0xff) | cc(flags)
+    LOAD,       ///< dst <- mem[srcA + srcB*scale + imm]
+    STORE,      ///< mem[srcA + srcC*scale + imm] <- srcB
+    BR,         ///< conditional branch on cc(flags) to target
+    JMP,        ///< unconditional direct branch
+    JMPI,       ///< unconditional indirect branch to srcA
+    ASSERT,     ///< fires (frame rollback) when cc evaluates false
+    FLOAD,      ///< fp dst <- mem32
+    FSTORE,     ///< mem32 <- fp srcB
+    FADD,
+    FSUB,
+    FMUL,
+    FDIV,
+    LONGFLOW,   ///< rare complex instruction; pipeline flush marker
+    NUM_OPS,
+};
+
+/** One micro-operation (architectural form). */
+struct Uop
+{
+    Op op = Op::NOP;
+    x86::Cond cc = x86::Cond::NONE;
+    UReg dst = UReg::NONE;
+    UReg srcA = UReg::NONE;
+    UReg srcB = UReg::NONE;
+    UReg srcC = UReg::NONE;
+    int32_t imm = 0;            ///< ALU immediate / addressing disp
+    uint8_t scale = 1;          ///< index scale for LOAD/STORE
+    uint8_t memSize = 4;
+    bool signExtend = false;    ///< sign-extend sub-word loads
+    bool readsFlags = false;    ///< consumes the flags value
+    bool writesFlags = false;   ///< co-produces a flags value
+    bool flagsCarryOnly = false;///< INC/DEC style: CF preserved from input
+    bool valueAssert = false;   ///< ASSERT comparing srcA/srcB directly
+    Op assertOp = Op::CMP;      ///< comparison semantics of a value assert
+    uint32_t target = 0;        ///< BR/JMP taken target (x86 address)
+
+    // Provenance: which x86 instruction this micro-op implements.
+    uint32_t x86Pc = 0;
+    uint16_t instIdx = 0;       ///< instruction index within a frame
+    uint8_t microIdx = 0;       ///< position within the decode flow
+    uint8_t memSeq = 0;         ///< index among the instruction's mem ops
+    bool lastOfInst = false;    ///< retiring this retires the x86 inst
+
+    bool isLoad() const { return op == Op::LOAD || op == Op::FLOAD; }
+    bool isStore() const { return op == Op::STORE || op == Op::FSTORE; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    isControl() const
+    {
+        return op == Op::BR || op == Op::JMP || op == Op::JMPI;
+    }
+    bool isAssert() const { return op == Op::ASSERT; }
+    bool
+    isFp() const
+    {
+        return op == Op::FLOAD || op == Op::FSTORE || op == Op::FADD ||
+               op == Op::FSUB || op == Op::FMUL || op == Op::FDIV;
+    }
+
+    /** True if the ALU second operand is the immediate field. */
+    bool
+    usesImmOperand() const
+    {
+        switch (op) {
+          case Op::ADD:
+          case Op::SUB:
+          case Op::AND:
+          case Op::OR:
+          case Op::XOR:
+          case Op::SHL:
+          case Op::SHR:
+          case Op::SAR:
+          case Op::MUL:
+          case Op::CMP:
+          case Op::TEST:
+            return srcB == UReg::NONE;
+          case Op::LIMM:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool operator==(const Uop &) const = default;
+};
+
+/** Printable names. */
+const char *opName(Op op);
+const char *uregName(UReg reg);
+
+/** Render one micro-op, e.g. "EDX,flags <- OR ECX, EBX". */
+std::string format(const Uop &u);
+
+} // namespace replay::uop
+
+#endif // REPLAY_UOP_UOP_HH

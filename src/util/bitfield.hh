@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by cache indexing, predictors, and the
+ * optimizer datapath's field-extraction primitives.
+ */
+
+#ifndef REPLAY_UTIL_BITFIELD_HH
+#define REPLAY_UTIL_BITFIELD_HH
+
+#include <cstdint>
+
+namespace replay {
+
+/** Mask of the low @p nbits bits. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ULL : (1ULL << nbits) - 1;
+}
+
+/** Extract bits [last:first] of @p val (inclusive, last >= first). */
+constexpr uint64_t
+bits(uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Replace bits [last:first] of @p val with the low bits of @p field. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned last, unsigned first, uint64_t field)
+{
+    const uint64_t m = mask(last - first + 1) << first;
+    return (val & ~m) | ((field << first) & m);
+}
+
+/** Sign-extend the low @p nbits bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    const uint64_t sign = 1ULL << (nbits - 1);
+    return static_cast<int64_t>(((val & mask(nbits)) ^ sign)) -
+           static_cast<int64_t>(sign);
+}
+
+/** True if @p val is a power of two (and non-zero). */
+constexpr bool
+isPow2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** floor(log2(val)) for val > 0. */
+constexpr unsigned
+floorLog2(uint64_t val)
+{
+    unsigned result = 0;
+    while (val >>= 1)
+        ++result;
+    return result;
+}
+
+/** Parity (xor-reduce) of @p val. */
+constexpr unsigned
+parity(uint64_t val)
+{
+    val ^= val >> 32;
+    val ^= val >> 16;
+    val ^= val >> 8;
+    val ^= val >> 4;
+    val ^= val >> 2;
+    val ^= val >> 1;
+    return static_cast<unsigned>(val & 1);
+}
+
+} // namespace replay
+
+#endif // REPLAY_UTIL_BITFIELD_HH

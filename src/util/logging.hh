@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  — an internal invariant was violated; this is a bug in the
+ *            library itself.  Aborts (so a debugger or core dump can
+ *            capture the state).
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, malformed trace, ...).  Exits cleanly
+ *            with a non-zero status.
+ * warn()   — something works but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#ifndef REPLAY_UTIL_LOGGING_HH
+#define REPLAY_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace replay {
+
+/** Print a formatted message tagged "panic:" and abort. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const char *fmt, ...);
+
+/** Print a formatted message tagged "fatal:" and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const char *fmt, ...);
+
+/** Print a formatted message tagged "warn:". */
+void warnImpl(const char *fmt, ...);
+
+/** Print a formatted status message. */
+void informImpl(const char *fmt, ...);
+
+#define panic(...) \
+    ::replay::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) \
+    ::replay::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::replay::warnImpl(__VA_ARGS__)
+#define inform(...) ::replay::informImpl(__VA_ARGS__)
+
+/**
+ * Check an invariant that must hold regardless of user input.
+ * Active in all build types (unlike assert).
+ */
+#define panic_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            ::replay::panicImpl(__FILE__, __LINE__, __VA_ARGS__);      \
+    } while (0)
+
+#define fatal_if(cond, ...)                                            \
+    do {                                                               \
+        if (cond)                                                      \
+            ::replay::fatalImpl(__FILE__, __LINE__, __VA_ARGS__);      \
+    } while (0)
+
+} // namespace replay
+
+#endif // REPLAY_UTIL_LOGGING_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component of the library (workload synthesis, tie
+ * breaking, ...) draws from an explicitly seeded Rng so that runs are
+ * reproducible bit-for-bit.  The generator is splitmix64-seeded
+ * xoshiro256**, which is fast and has no observable bias for our use.
+ */
+
+#ifndef REPLAY_UTIL_RNG_HH
+#define REPLAY_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace replay {
+
+/** Small, fast, explicitly-seeded PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Reset the stream from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 to spread the seed across all 256 bits of state.
+        for (auto &word : state_) {
+            seed += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free-enough reduction.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace replay
+
+#endif // REPLAY_UTIL_RNG_HH

@@ -1,0 +1,30 @@
+#include "util/stats.hh"
+
+#include <sstream>
+
+namespace replay {
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[name, counter] : other.counters_)
+        counters_[name] += counter.value();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream out;
+    for (const auto &[name, counter] : counters_)
+        out << name_ << '.' << name << ' ' << counter.value() << '\n';
+    return out.str();
+}
+
+} // namespace replay

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * A StatGroup owns named scalar counters and distributions; every major
+ * component (caches, predictor, optimizer, sequencer, pipeline) exposes
+ * one.  Groups can be dumped as text and merged (for multi-trace
+ * workloads, mirroring the paper's applications that consist of several
+ * trace files).
+ */
+
+#ifndef REPLAY_UTIL_STATS_HH
+#define REPLAY_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace replay {
+
+/** A named scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(uint64_t amount) { value_ += amount; return *this; }
+
+    uint64_t value() const { return value_; }
+    void set(uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** A bounded histogram with overflow bucket. */
+class Histogram
+{
+  public:
+    explicit Histogram(size_t buckets = 0) : buckets_(buckets + 1, 0) {}
+
+    /** Record one sample; values >= bucket count land in the last bin. */
+    void
+    sample(size_t value)
+    {
+        const size_t idx =
+            value < buckets_.size() - 1 ? value : buckets_.size() - 1;
+        ++buckets_[idx];
+        sum_ += value;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
+    uint64_t bucket(size_t idx) const { return buckets_.at(idx); }
+    size_t numBuckets() const { return buckets_.size(); }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t sum_ = 0;
+    uint64_t count_ = 0;
+};
+
+/** A collection of named counters belonging to one component. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Look up (creating on first use) a counter by name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Read-only lookup; returns 0 for names never recorded. */
+    uint64_t get(const std::string &name) const;
+
+    /** Accumulate every counter of @p other into this group. */
+    void merge(const StatGroup &other);
+
+    /** Render "group.name value" lines. */
+    std::string dump() const;
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace replay
+
+#endif // REPLAY_UTIL_STATS_HH

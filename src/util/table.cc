@@ -1,0 +1,112 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace replay {
+
+namespace {
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    for (const char c : cell) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != 'x') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back({std::move(cells), false});
+}
+
+void
+TextTable::separator()
+{
+    rows_.push_back({{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.cells.size());
+
+    std::vector<size_t> widths(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        if (!r.isSeparator)
+            widen(r.cells);
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string cell = i < cells.size() ? cells[i] : "";
+            const size_t pad = widths[i] - cell.size();
+            if (i)
+                out << "  ";
+            if (looksNumeric(cell)) {
+                out << std::string(pad, ' ') << cell;
+            } else {
+                out << cell << std::string(pad, ' ');
+            }
+        }
+        out << '\n';
+    };
+
+    size_t total = 0;
+    for (size_t i = 0; i < ncols; ++i)
+        total += widths[i] + (i ? 2 : 0);
+
+    if (!header_.empty()) {
+        emit(header_);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_) {
+        if (r.isSeparator)
+            out << std::string(total, '-') << '\n';
+        else
+            emit(r.cells);
+    }
+    return out.str();
+}
+
+std::string
+TextTable::fixed(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+    return buf;
+}
+
+std::string
+TextTable::percent(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+} // namespace replay

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-width text table renderer used by the benchmark harnesses to
+ * print paper-style tables and figure series.
+ */
+
+#ifndef REPLAY_UTIL_TABLE_HH
+#define REPLAY_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace replay {
+
+/** Accumulates rows of strings and renders them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator at the current position. */
+    void separator();
+
+    /** Render the whole table, right-aligning numeric-looking cells. */
+    std::string render() const;
+
+    /** Format helpers for common cell types. */
+    static std::string fixed(double value, int digits);
+    static std::string percent(double fraction, int digits = 0);
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool isSeparator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+} // namespace replay
+
+#endif // REPLAY_UTIL_TABLE_HH

@@ -1,0 +1,35 @@
+#include "verify/memmap.hh"
+
+namespace replay::verify {
+
+FrameMaps
+FrameMaps::fromRecords(const std::vector<trace::TraceRecord> &records)
+{
+    FrameMaps maps;
+    std::unordered_map<uint32_t, bool> touched;     // true once written
+
+    for (const auto &rec : records) {
+        for (unsigned m = 0; m < rec.numMemOps; ++m) {
+            const x86::MemOp &op = rec.memOps[m];
+            for (unsigned b = 0; b < op.size; ++b) {
+                const uint32_t addr = op.addr + b;
+                const uint8_t data = uint8_t(op.data >> (8 * b));
+                if (op.isStore) {
+                    touched[addr] = true;
+                    maps.final.setByte(addr, data);
+                } else {
+                    // First transaction being a load exposes the
+                    // pre-frame value.
+                    const auto it = touched.find(addr);
+                    if (it == touched.end()) {
+                        maps.initial.setByte(addr, data);
+                        touched[addr] = false;
+                    }
+                }
+            }
+        }
+    }
+    return maps;
+}
+
+} // namespace replay::verify

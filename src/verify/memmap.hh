@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The state verifier's memory maps (§5.1.3).
+ *
+ * From the trace records of a frame span, two byte-granular maps are
+ * derived: the *initial map* holds the pre-frame value of every
+ * location whose first transaction is a load (load data in the trace
+ * is the value memory held), and the *final map* holds the value every
+ * stored location must have at the frame boundary.
+ */
+
+#ifndef REPLAY_VERIFY_MEMMAP_HH
+#define REPLAY_VERIFY_MEMMAP_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace replay::verify {
+
+/** Byte-granular sparse value map. */
+class MemoryMap
+{
+  public:
+    void
+    setByte(uint32_t addr, uint8_t value)
+    {
+        bytes_[addr] = value;
+    }
+
+    std::optional<uint8_t>
+    byte(uint32_t addr) const
+    {
+        const auto it = bytes_.find(addr);
+        if (it == bytes_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    bool has(uint32_t addr) const { return bytes_.count(addr) != 0; }
+    size_t size() const { return bytes_.size(); }
+
+    const std::unordered_map<uint32_t, uint8_t> &bytes() const
+    {
+        return bytes_;
+    }
+
+  private:
+    std::unordered_map<uint32_t, uint8_t> bytes_;
+};
+
+/** The two maps of §5.1.3. */
+struct FrameMaps
+{
+    MemoryMap initial;
+    MemoryMap final;
+
+    /** Derive both maps from a frame span's records. */
+    static FrameMaps fromRecords(
+        const std::vector<trace::TraceRecord> &records);
+};
+
+} // namespace replay::verify
+
+#endif // REPLAY_VERIFY_MEMMAP_HH

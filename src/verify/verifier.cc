@@ -1,0 +1,126 @@
+#include "verify/verifier.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "trace/record.hh"
+
+namespace replay::verify {
+
+using core::Frame;
+using core::FrameOutcome;
+using opt::ArchState;
+using trace::TraceRecord;
+using uop::UReg;
+
+namespace {
+
+std::string
+hex(uint32_t v)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+VerifyResult
+verifyFrame(const Frame &frame,
+            const std::vector<TraceRecord> &records,
+            const ArchState &live_in)
+{
+    // What should happen, according to the trace?
+    trace::VectorTraceSource src(records);
+    const FrameOutcome expected = core::resolveFrame(frame, src);
+
+    // Execute the frame against a memory image seeded from the
+    // initial map.
+    const FrameMaps maps = FrameMaps::fromRecords(records);
+    x86::SparseMemory mem;
+    for (const auto &[addr, value] : maps.initial.bytes())
+        mem.write(addr, 1, value);
+
+    ArchState state = live_in;
+    const opt::FrameExecResult result =
+        executeFrame(frame.body, state, mem);
+
+    // Outcome agreement.
+    const bool trace_commits =
+        expected.kind == FrameOutcome::Kind::COMMITS;
+    if (trace_commits != result.committed()) {
+        std::ostringstream msg;
+        msg << "outcome mismatch: trace says "
+            << (trace_commits ? "commit" : "abort")
+            << ", frame execution says "
+            << (result.committed() ? "commit" : "abort");
+        return VerifyResult::fail(msg.str());
+    }
+    if (!result.committed())
+        return {};      // both abort: rollback makes state trivially ok
+
+    // (1) every load satisfiable from the initial map or an earlier
+    //     in-frame store.
+    {
+        MemoryMap written;
+        for (const auto &op : result.memOps) {
+            if (op.isStore) {
+                for (unsigned b = 0; b < op.size; ++b)
+                    written.setByte(op.addr + b, 1);
+                continue;
+            }
+            for (unsigned b = 0; b < op.size; ++b) {
+                const uint32_t addr = op.addr + b;
+                if (!maps.initial.has(addr) && !written.has(addr)) {
+                    return VerifyResult::fail(
+                        "load at " + hex(op.addr) +
+                        " not covered by the initial memory map");
+                }
+            }
+        }
+    }
+
+    // (2) memory equivalence at the frame boundary.
+    for (const auto &[addr, value] : maps.final.bytes()) {
+        const uint32_t got = mem.read(addr, 1);
+        if (got != value) {
+            return VerifyResult::fail(
+                "memory mismatch at " + hex(addr) + ": frame wrote " +
+                std::to_string(got) + ", trace wrote " +
+                std::to_string(value));
+        }
+    }
+
+    // (3) architectural register state at the frame boundary.
+    ArchState expected_state = live_in;
+    for (const auto &rec : records) {
+        for (unsigned w = 0; w < rec.numRegWrites; ++w) {
+            expected_state.regs[unsigned(rec.regWrites[w].reg)] =
+                rec.regWrites[w].value;
+        }
+        if (rec.numFregWrites) {
+            uint32_t raw;
+            std::memcpy(&raw, &rec.fregWrite.value, 4);
+            expected_state
+                .regs[unsigned(uop::fpr(rec.fregWrite.reg))] = raw;
+        }
+        expected_state.flags = x86::Flags::unpack(rec.flagsAfter);
+    }
+    for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+        const auto reg = static_cast<UReg>(r);
+        if (!opt::OptBuffer::archLiveOut(reg) || reg == UReg::FLAGS)
+            continue;
+        if (state.regs[r] != expected_state.regs[r]) {
+            return VerifyResult::fail(
+                std::string("register ") + uop::uregName(reg) +
+                " mismatch: frame " + hex(state.regs[r]) + ", trace " +
+                hex(expected_state.regs[r]));
+        }
+    }
+    if (state.flags.pack() != expected_state.flags.pack())
+        return VerifyResult::fail("flags mismatch at frame boundary");
+
+    return {};
+}
+
+} // namespace replay::verify

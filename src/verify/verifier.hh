@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The state verifier (§5.1.3): validates that an optimized frame's
+ * state transformations (architectural registers and memory) are
+ * equivalent to those of the original, unmodified instruction stream.
+ *
+ * A frame is valid only if (1) every load it performs can be satisfied
+ * from the initial memory map or an earlier in-frame store, (2) all
+ * memory state the trace span affects is equivalently affected by the
+ * frame at the frame boundary, and (3) all architectural register
+ * state is equivalent at the frame boundary.
+ */
+
+#ifndef REPLAY_VERIFY_VERIFIER_HH
+#define REPLAY_VERIFY_VERIFIER_HH
+
+#include <string>
+
+#include "core/frame.hh"
+#include "opt/frameexec.hh"
+#include "verify/memmap.hh"
+
+namespace replay::verify {
+
+/** Verification verdict. */
+struct VerifyResult
+{
+    bool ok = true;
+    std::string message;
+
+    static VerifyResult
+    fail(std::string msg)
+    {
+        return {false, std::move(msg)};
+    }
+};
+
+/**
+ * Verify one frame against the trace span it was constructed from.
+ *
+ * @param frame    the (optimized) frame
+ * @param records  the observed instance (same span)
+ * @param live_in  architectural state when the frame is fetched
+ */
+VerifyResult verifyFrame(const core::Frame &frame,
+                         const std::vector<trace::TraceRecord> &records,
+                         const opt::ArchState &live_in);
+
+} // namespace replay::verify
+
+#endif // REPLAY_VERIFY_VERIFIER_HH

@@ -1,0 +1,498 @@
+#include "x86/asmbuilder.hh"
+
+#include "util/logging.hh"
+
+namespace replay::x86 {
+
+AsmBuilder::AsmBuilder(uint32_t base, uint32_t stack_top)
+    : base_(base), cursor_(base), stackTop_(stack_top),
+      dataCursor_(0x10000000)
+{
+}
+
+void
+AsmBuilder::label(const std::string &name)
+{
+    const auto [it, fresh] = labels_.emplace(name, cursor_);
+    fatal_if(!fresh, "label '%s' bound twice", name.c_str());
+}
+
+uint32_t
+AsmBuilder::addrOf(const std::string &name) const
+{
+    const auto it = labels_.find(name);
+    fatal_if(it == labels_.end(), "unknown label '%s'", name.c_str());
+    return it->second;
+}
+
+void
+AsmBuilder::emit(const Inst &inst)
+{
+    Program::Placed placed;
+    placed.addr = cursor_;
+    placed.inst = inst;
+    placed.length = inst.modeledLength();
+    cursor_ += placed.length;
+    code_.push_back(placed);
+}
+
+void
+AsmBuilder::movRR(Reg dst, Reg src)
+{
+    Inst i;
+    i.mnem = Mnem::MOV;
+    i.form = Form::RR;
+    i.reg1 = dst;
+    i.reg2 = src;
+    emit(i);
+}
+
+void
+AsmBuilder::movRI(Reg dst, int32_t imm)
+{
+    Inst i;
+    i.mnem = Mnem::MOV;
+    i.form = Form::RI;
+    i.reg1 = dst;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+AsmBuilder::movRM(Reg dst, const MemRef &src)
+{
+    Inst i;
+    i.mnem = Mnem::MOV;
+    i.form = Form::RM;
+    i.reg1 = dst;
+    i.mem = src;
+    emit(i);
+}
+
+void
+AsmBuilder::movMR(const MemRef &dst, Reg src)
+{
+    Inst i;
+    i.mnem = Mnem::MOV;
+    i.form = Form::MR;
+    i.mem = dst;
+    i.reg2 = src;
+    emit(i);
+}
+
+void
+AsmBuilder::movMI(const MemRef &dst, int32_t imm)
+{
+    Inst i;
+    i.mnem = Mnem::MOV;
+    i.form = Form::MI;
+    i.mem = dst;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+AsmBuilder::movzxRM(Reg dst, const MemRef &src, uint8_t size)
+{
+    panic_if(size != 1 && size != 2, "movzx size must be 1 or 2");
+    Inst i;
+    i.mnem = Mnem::MOVZX;
+    i.form = Form::RM;
+    i.reg1 = dst;
+    i.mem = src;
+    i.opSize = size;
+    emit(i);
+}
+
+void
+AsmBuilder::movsxRM(Reg dst, const MemRef &src, uint8_t size)
+{
+    panic_if(size != 1 && size != 2, "movsx size must be 1 or 2");
+    Inst i;
+    i.mnem = Mnem::MOVSX;
+    i.form = Form::RM;
+    i.reg1 = dst;
+    i.mem = src;
+    i.opSize = size;
+    emit(i);
+}
+
+void
+AsmBuilder::lea(Reg dst, const MemRef &src)
+{
+    Inst i;
+    i.mnem = Mnem::LEA;
+    i.form = Form::RM;
+    i.reg1 = dst;
+    i.mem = src;
+    emit(i);
+}
+
+void
+AsmBuilder::pushR(Reg src)
+{
+    Inst i;
+    i.mnem = Mnem::PUSH;
+    i.form = Form::R;
+    i.reg2 = src;
+    emit(i);
+}
+
+void
+AsmBuilder::pushI(int32_t imm)
+{
+    Inst i;
+    i.mnem = Mnem::PUSH;
+    i.form = Form::I;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+AsmBuilder::popR(Reg dst)
+{
+    Inst i;
+    i.mnem = Mnem::POP;
+    i.form = Form::R;
+    i.reg1 = dst;
+    emit(i);
+}
+
+void
+AsmBuilder::aluRR(Mnem op, Reg dst, Reg src)
+{
+    Inst i;
+    i.mnem = op;
+    i.form = Form::RR;
+    i.reg1 = dst;
+    i.reg2 = src;
+    emit(i);
+}
+
+void
+AsmBuilder::aluRI(Mnem op, Reg dst, int32_t imm)
+{
+    Inst i;
+    i.mnem = op;
+    i.form = Form::RI;
+    i.reg1 = dst;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+AsmBuilder::aluRM(Mnem op, Reg dst, const MemRef &src)
+{
+    Inst i;
+    i.mnem = op;
+    i.form = Form::RM;
+    i.reg1 = dst;
+    i.mem = src;
+    emit(i);
+}
+
+void
+AsmBuilder::incR(Reg reg)
+{
+    Inst i;
+    i.mnem = Mnem::INC;
+    i.form = Form::R;
+    i.reg1 = reg;
+    emit(i);
+}
+
+void
+AsmBuilder::decR(Reg reg)
+{
+    Inst i;
+    i.mnem = Mnem::DEC;
+    i.form = Form::R;
+    i.reg1 = reg;
+    emit(i);
+}
+
+void
+AsmBuilder::negR(Reg reg)
+{
+    Inst i;
+    i.mnem = Mnem::NEG;
+    i.form = Form::R;
+    i.reg1 = reg;
+    emit(i);
+}
+
+void
+AsmBuilder::notR(Reg reg)
+{
+    Inst i;
+    i.mnem = Mnem::NOT;
+    i.form = Form::R;
+    i.reg1 = reg;
+    emit(i);
+}
+
+void
+AsmBuilder::imulRR(Reg dst, Reg src)
+{
+    Inst i;
+    i.mnem = Mnem::IMUL;
+    i.form = Form::RR;
+    i.reg1 = dst;
+    i.reg2 = src;
+    emit(i);
+}
+
+void
+AsmBuilder::imulRRI(Reg dst, Reg src, int32_t imm)
+{
+    Inst i;
+    i.mnem = Mnem::IMUL;
+    i.form = Form::RRI;
+    i.reg1 = dst;
+    i.reg2 = src;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+AsmBuilder::divR(Reg src)
+{
+    Inst i;
+    i.mnem = Mnem::DIV;
+    i.form = Form::R;
+    i.reg2 = src;
+    emit(i);
+}
+
+void
+AsmBuilder::shlRI(Reg reg, uint8_t count)
+{
+    Inst i;
+    i.mnem = Mnem::SHL;
+    i.form = Form::RI;
+    i.reg1 = reg;
+    i.imm = count;
+    emit(i);
+}
+
+void
+AsmBuilder::shrRI(Reg reg, uint8_t count)
+{
+    Inst i;
+    i.mnem = Mnem::SHR;
+    i.form = Form::RI;
+    i.reg1 = reg;
+    i.imm = count;
+    emit(i);
+}
+
+void
+AsmBuilder::sarRI(Reg reg, uint8_t count)
+{
+    Inst i;
+    i.mnem = Mnem::SAR;
+    i.form = Form::RI;
+    i.reg1 = reg;
+    i.imm = count;
+    emit(i);
+}
+
+void
+AsmBuilder::cdq()
+{
+    Inst i;
+    i.mnem = Mnem::CDQ;
+    emit(i);
+}
+
+void
+AsmBuilder::jmp(const std::string &target)
+{
+    Inst i;
+    i.mnem = Mnem::JMP;
+    i.form = Form::REL;
+    fixups_.push_back({code_.size(), target});
+    emit(i);
+}
+
+void
+AsmBuilder::jmpR(Reg target)
+{
+    Inst i;
+    i.mnem = Mnem::JMP;
+    i.form = Form::R;
+    i.reg2 = target;
+    emit(i);
+}
+
+void
+AsmBuilder::jcc(Cond cc, const std::string &target)
+{
+    Inst i;
+    i.mnem = Mnem::JCC;
+    i.form = Form::REL;
+    i.cc = cc;
+    fixups_.push_back({code_.size(), target});
+    emit(i);
+}
+
+void
+AsmBuilder::call(const std::string &target)
+{
+    Inst i;
+    i.mnem = Mnem::CALL;
+    i.form = Form::REL;
+    fixups_.push_back({code_.size(), target});
+    emit(i);
+}
+
+void
+AsmBuilder::callR(Reg target)
+{
+    Inst i;
+    i.mnem = Mnem::CALL;
+    i.form = Form::R;
+    i.reg2 = target;
+    emit(i);
+}
+
+void
+AsmBuilder::ret()
+{
+    Inst i;
+    i.mnem = Mnem::RET;
+    emit(i);
+}
+
+void
+AsmBuilder::nop()
+{
+    Inst i;
+    i.mnem = Mnem::NOP;
+    emit(i);
+}
+
+void
+AsmBuilder::setcc(Cond cc, Reg dst)
+{
+    Inst i;
+    i.mnem = Mnem::SETCC;
+    i.form = Form::R;
+    i.cc = cc;
+    i.reg1 = dst;
+    emit(i);
+}
+
+void
+AsmBuilder::longflow()
+{
+    Inst i;
+    i.mnem = Mnem::LONGFLOW;
+    emit(i);
+}
+
+void
+AsmBuilder::fld(FReg dst, const MemRef &src)
+{
+    Inst i;
+    i.mnem = Mnem::FLD;
+    i.form = Form::FM;
+    i.freg1 = dst;
+    i.mem = src;
+    emit(i);
+}
+
+void
+AsmBuilder::fst(const MemRef &dst, FReg src)
+{
+    Inst i;
+    i.mnem = Mnem::FST;
+    i.form = Form::FM;
+    i.freg1 = src;
+    i.mem = dst;
+    emit(i);
+}
+
+void
+AsmBuilder::fopFRR(Mnem op, FReg dst, FReg src)
+{
+    panic_if(op != Mnem::FADD && op != Mnem::FSUB && op != Mnem::FMUL &&
+             op != Mnem::FDIV, "fopFRR requires an FP mnemonic");
+    Inst i;
+    i.mnem = op;
+    i.form = Form::FRR;
+    i.freg1 = dst;
+    i.freg2 = src;
+    emit(i);
+}
+
+uint32_t
+AsmBuilder::dataRegion(const std::string &name, uint32_t size_bytes)
+{
+    fatal_if(dataByName_.count(name), "data region '%s' already exists",
+             name.c_str());
+    DataSegment seg;
+    seg.base = dataCursor_;
+    seg.bytes.assign(size_bytes, 0);
+    dataAddrs_[name] = dataCursor_;
+    // Pad regions apart so generated pointer arithmetic stays inside.
+    dataCursor_ += (size_bytes + 0xfff) & ~0xfffU;
+    dataByName_.emplace(name, std::move(seg));
+    return dataAddrs_[name];
+}
+
+void
+AsmBuilder::dataWords(const std::string &name,
+                      const std::vector<uint32_t> &words)
+{
+    const auto it = dataByName_.find(name);
+    fatal_if(it == dataByName_.end(), "no data region '%s'", name.c_str());
+    auto &bytes = it->second.bytes;
+    fatal_if(words.size() * 4 > bytes.size(),
+             "region '%s' overflow", name.c_str());
+    for (size_t w = 0; w < words.size(); ++w) {
+        for (unsigned b = 0; b < 4; ++b)
+            bytes[w * 4 + b] = uint8_t(words[w] >> (8 * b));
+    }
+}
+
+void
+AsmBuilder::dataWordLabel(const std::string &name, uint32_t word_idx,
+                          const std::string &label)
+{
+    fatal_if(!dataByName_.count(name), "no data region '%s'",
+             name.c_str());
+    dataFixups_.push_back({name, word_idx, label});
+}
+
+uint32_t
+AsmBuilder::dataAddr(const std::string &name) const
+{
+    const auto it = dataAddrs_.find(name);
+    fatal_if(it == dataAddrs_.end(), "no data region '%s'", name.c_str());
+    return it->second;
+}
+
+Program
+AsmBuilder::build(uint32_t entry)
+{
+    for (const auto &fix : fixups_)
+        code_[fix.instIndex].inst.target = addrOf(fix.label);
+    for (const auto &fix : dataFixups_) {
+        auto &bytes = dataByName_.at(fix.region).bytes;
+        fatal_if((fix.wordIndex + 1) * 4 > bytes.size(),
+                 "data fixup past end of region '%s'",
+                 fix.region.c_str());
+        const uint32_t addr = addrOf(fix.label);
+        for (unsigned b = 0; b < 4; ++b)
+            bytes[fix.wordIndex * 4 + b] = uint8_t(addr >> (8 * b));
+    }
+    std::vector<DataSegment> data;
+    data.reserve(dataByName_.size());
+    for (auto &[name, seg] : dataByName_)
+        data.push_back(seg);
+    const uint32_t e = entry ? entry : base_;
+    return Program(code_, data, e, stackTop_);
+}
+
+} // namespace replay::x86

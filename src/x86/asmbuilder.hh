@@ -1,0 +1,169 @@
+/**
+ * @file
+ * A small assembler for the x86 subset.
+ *
+ * The builder lays instructions out sequentially from a base address
+ * using their modeled x86 lengths, supports forward label references,
+ * and produces an immutable Program.  It is the public entry point for
+ * writing test kernels and for the workload synthesizer.
+ *
+ * Example:
+ * @code
+ *   AsmBuilder b(0x401000);
+ *   b.movRI(Reg::ECX, 100);
+ *   b.label("loop");
+ *   b.addRI(Reg::EAX, 3);
+ *   b.decR(Reg::ECX);
+ *   b.jcc(Cond::NE, "loop");
+ *   b.ret();
+ *   Program prog = b.build();
+ * @endcode
+ */
+
+#ifndef REPLAY_X86_ASMBUILDER_HH
+#define REPLAY_X86_ASMBUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "x86/inst.hh"
+#include "x86/program.hh"
+
+namespace replay::x86 {
+
+/** Incremental program builder with label resolution. */
+class AsmBuilder
+{
+  public:
+    explicit AsmBuilder(uint32_t base = 0x00401000,
+                        uint32_t stack_top = 0x7ffff000);
+
+    /** Bind a label to the current address. */
+    void label(const std::string &name);
+
+    /** Address a label resolved to (fatal if unresolved at build()). */
+    uint32_t addrOf(const std::string &name) const;
+
+    /** Current layout address (next instruction goes here). */
+    uint32_t here() const { return cursor_; }
+
+    /** Append a raw instruction (escape hatch for unusual shapes). */
+    void emit(const Inst &inst);
+
+    // -- Moves ----------------------------------------------------------
+    void movRR(Reg dst, Reg src);
+    void movRI(Reg dst, int32_t imm);
+    void movRM(Reg dst, const MemRef &src);
+    void movMR(const MemRef &dst, Reg src);
+    void movMI(const MemRef &dst, int32_t imm);
+    void movzxRM(Reg dst, const MemRef &src, uint8_t size);
+    void movsxRM(Reg dst, const MemRef &src, uint8_t size);
+    void lea(Reg dst, const MemRef &src);
+
+    // -- Stack ----------------------------------------------------------
+    void pushR(Reg src);
+    void pushI(int32_t imm);
+    void popR(Reg dst);
+
+    // -- Two-address ALU -------------------------------------------------
+    void aluRR(Mnem op, Reg dst, Reg src);
+    void aluRI(Mnem op, Reg dst, int32_t imm);
+    void aluRM(Mnem op, Reg dst, const MemRef &src);
+    void addRR(Reg dst, Reg src) { aluRR(Mnem::ADD, dst, src); }
+    void addRI(Reg dst, int32_t imm) { aluRI(Mnem::ADD, dst, imm); }
+    void addRM(Reg dst, const MemRef &m) { aluRM(Mnem::ADD, dst, m); }
+    void subRR(Reg dst, Reg src) { aluRR(Mnem::SUB, dst, src); }
+    void subRI(Reg dst, int32_t imm) { aluRI(Mnem::SUB, dst, imm); }
+    void andRR(Reg dst, Reg src) { aluRR(Mnem::AND, dst, src); }
+    void andRI(Reg dst, int32_t imm) { aluRI(Mnem::AND, dst, imm); }
+    void orRR(Reg dst, Reg src) { aluRR(Mnem::OR, dst, src); }
+    void orRI(Reg dst, int32_t imm) { aluRI(Mnem::OR, dst, imm); }
+    void xorRR(Reg dst, Reg src) { aluRR(Mnem::XOR, dst, src); }
+    void xorRI(Reg dst, int32_t imm) { aluRI(Mnem::XOR, dst, imm); }
+    void cmpRR(Reg a, Reg b) { aluRR(Mnem::CMP, a, b); }
+    void cmpRI(Reg a, int32_t imm) { aluRI(Mnem::CMP, a, imm); }
+    void cmpRM(Reg a, const MemRef &m) { aluRM(Mnem::CMP, a, m); }
+    void testRR(Reg a, Reg b) { aluRR(Mnem::TEST, a, b); }
+    void testRI(Reg a, int32_t imm) { aluRI(Mnem::TEST, a, imm); }
+
+    // -- One-address ALU -------------------------------------------------
+    void incR(Reg reg);
+    void decR(Reg reg);
+    void negR(Reg reg);
+    void notR(Reg reg);
+
+    // -- Multiply / divide / shift ----------------------------------------
+    void imulRR(Reg dst, Reg src);
+    void imulRRI(Reg dst, Reg src, int32_t imm);
+    void divR(Reg src);
+    void shlRI(Reg reg, uint8_t count);
+    void shrRI(Reg reg, uint8_t count);
+    void sarRI(Reg reg, uint8_t count);
+    void cdq();
+
+    // -- Control ----------------------------------------------------------
+    void jmp(const std::string &target);
+    void jmpR(Reg target);
+    void jcc(Cond cc, const std::string &target);
+    void call(const std::string &target);
+    void callR(Reg target);
+    void ret();
+    void nop();
+    void setcc(Cond cc, Reg dst);
+    void longflow();
+
+    // -- Floating point (flat scalar model) --------------------------------
+    void fld(FReg dst, const MemRef &src);
+    void fst(const MemRef &dst, FReg src);
+    void fopFRR(Mnem op, FReg dst, FReg src);
+
+    // -- Data ---------------------------------------------------------------
+    /** Reserve and zero-fill a named data region; returns its address. */
+    uint32_t dataRegion(const std::string &name, uint32_t size_bytes);
+    /** Initialize 32-bit words in a previously reserved region. */
+    void dataWords(const std::string &name,
+                   const std::vector<uint32_t> &words);
+
+    /**
+     * Initialize word @p word_idx of a region with the address a label
+     * resolves to (jump/call tables); applied at build().
+     */
+    void dataWordLabel(const std::string &name, uint32_t word_idx,
+                       const std::string &label);
+    /** Address of a named data region. */
+    uint32_t dataAddr(const std::string &name) const;
+
+    /** Resolve labels and produce the program. */
+    Program build(uint32_t entry = 0);
+
+  private:
+    struct Fixup
+    {
+        size_t instIndex;
+        std::string label;
+    };
+
+    struct DataFixup
+    {
+        std::string region;
+        uint32_t wordIndex;
+        std::string label;
+    };
+
+    uint32_t base_;
+    uint32_t cursor_;
+    uint32_t stackTop_;
+    uint32_t dataCursor_;
+    std::vector<Program::Placed> code_;
+    std::unordered_map<std::string, uint32_t> labels_;
+    std::vector<Fixup> fixups_;
+    std::vector<DataFixup> dataFixups_;
+    std::unordered_map<std::string, DataSegment> dataByName_;
+    std::unordered_map<std::string, uint32_t> dataAddrs_;
+};
+
+} // namespace replay::x86
+
+#endif // REPLAY_X86_ASMBUILDER_HH

@@ -1,0 +1,115 @@
+#include "x86/disasm.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace replay::x86 {
+
+std::string
+formatMem(const MemRef &mem)
+{
+    std::ostringstream out;
+    out << '[';
+    bool need_plus = false;
+    if (mem.base != Reg::NONE) {
+        out << regName(mem.base);
+        need_plus = true;
+    }
+    if (mem.index != Reg::NONE) {
+        if (need_plus)
+            out << '+';
+        out << regName(mem.index);
+        if (mem.scale != 1)
+            out << '*' << unsigned(mem.scale);
+        need_plus = true;
+    }
+    if (mem.disp != 0 || !need_plus) {
+        char buf[32];
+        if (need_plus) {
+            std::snprintf(buf, sizeof(buf), "%s0x%02x",
+                          mem.disp < 0 ? "-" : "+",
+                          mem.disp < 0 ? -mem.disp : mem.disp);
+        } else {
+            std::snprintf(buf, sizeof(buf), "0x%08x", mem.disp);
+        }
+        out << buf;
+    }
+    out << ']';
+    return out.str();
+}
+
+std::string
+disassemble(const Inst &in)
+{
+    std::ostringstream out;
+    char buf[32];
+
+    if (in.mnem == Mnem::JCC) {
+        out << 'J' << condName(in.cc);
+    } else if (in.mnem == Mnem::SETCC) {
+        out << "SET" << condName(in.cc);
+    } else {
+        out << mnemName(in.mnem);
+    }
+
+    auto immStr = [&]() {
+        std::snprintf(buf, sizeof(buf), "0x%x", unsigned(in.imm));
+        return std::string(buf);
+    };
+    auto targetStr = [&]() {
+        std::snprintf(buf, sizeof(buf), "0x%08x", in.target);
+        return std::string(buf);
+    };
+
+    switch (in.form) {
+      case Form::NONE:
+        break;
+      case Form::R:
+        out << ' '
+            << regName(in.reg1 != Reg::NONE ? in.reg1 : in.reg2);
+        break;
+      case Form::I:
+        out << ' ' << immStr();
+        break;
+      case Form::RR:
+        out << ' ' << regName(in.reg1) << ", " << regName(in.reg2);
+        break;
+      case Form::RI:
+        out << ' ' << regName(in.reg1) << ", " << immStr();
+        break;
+      case Form::RM:
+        out << ' ' << regName(in.reg1) << ", " << formatMem(in.mem);
+        break;
+      case Form::MR:
+        out << ' ' << formatMem(in.mem) << ", " << regName(in.reg2);
+        break;
+      case Form::MI:
+        out << ' ' << formatMem(in.mem) << ", " << immStr();
+        break;
+      case Form::M:
+        out << ' ' << formatMem(in.mem);
+        break;
+      case Form::RRI:
+        out << ' ' << regName(in.reg1) << ", " << regName(in.reg2)
+            << ", " << immStr();
+        break;
+      case Form::REL:
+        out << ' ' << targetStr();
+        break;
+      case Form::FR:
+        out << ' ' << fregName(in.freg1);
+        break;
+      case Form::FRR:
+        out << ' ' << fregName(in.freg1) << ", " << fregName(in.freg2);
+        break;
+      case Form::FM:
+        if (in.mnem == Mnem::FST)
+            out << ' ' << formatMem(in.mem) << ", " << fregName(in.freg1);
+        else
+            out << ' ' << fregName(in.freg1) << ", " << formatMem(in.mem);
+        break;
+    }
+    return out.str();
+}
+
+} // namespace replay::x86

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Textual disassembly of x86-subset instructions, Intel-flavoured
+ * (destination first), used in debug output and the examples.
+ */
+
+#ifndef REPLAY_X86_DISASM_HH
+#define REPLAY_X86_DISASM_HH
+
+#include <string>
+
+#include "x86/inst.hh"
+
+namespace replay::x86 {
+
+/** Render a memory operand, e.g. "[ESP+0x0c]". */
+std::string formatMem(const MemRef &mem);
+
+/** Render one instruction, e.g. "MOV ECX, [ESP+0x0c]". */
+std::string disassemble(const Inst &inst);
+
+} // namespace replay::x86
+
+#endif // REPLAY_X86_DISASM_HH

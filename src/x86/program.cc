@@ -1,0 +1,39 @@
+#include "x86/program.hh"
+
+#include "util/logging.hh"
+
+namespace replay::x86 {
+
+Program::Program(std::vector<Placed> code, std::vector<DataSegment> data,
+                 uint32_t entry, uint32_t stack_top)
+    : code_(std::move(code)), data_(std::move(data)), entry_(entry),
+      stackTop_(stack_top)
+{
+    byAddr_.reserve(code_.size());
+    for (size_t i = 0; i < code_.size(); ++i) {
+        const auto [it, fresh] = byAddr_.emplace(code_[i].addr, i);
+        panic_if(!fresh, "two instructions placed at 0x%08x",
+                 code_[i].addr);
+        codeBytes_ += code_[i].length;
+    }
+    fatal_if(!contains(entry_), "program entry 0x%08x has no instruction",
+             entry_);
+}
+
+const Program::Placed &
+Program::at(uint32_t addr) const
+{
+    const auto it = byAddr_.find(addr);
+    fatal_if(it == byAddr_.end(),
+             "execution reached 0x%08x where no instruction is placed",
+             addr);
+    return code_[it->second];
+}
+
+bool
+Program::contains(uint32_t addr) const
+{
+    return byAddr_.find(addr) != byAddr_.end();
+}
+
+} // namespace replay::x86

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A complete x86-subset program: code laid out at fixed addresses plus
+ * initialized data segments.  Programs are produced by the AsmBuilder
+ * (directly in tests/examples) or by the workload synthesizer, and are
+ * consumed by the functional Executor.
+ */
+
+#ifndef REPLAY_X86_PROGRAM_HH
+#define REPLAY_X86_PROGRAM_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "x86/inst.hh"
+
+namespace replay::x86 {
+
+/** An initialized data region. */
+struct DataSegment
+{
+    uint32_t base = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** Immutable program image. */
+class Program
+{
+  public:
+    /** A placed instruction. */
+    struct Placed
+    {
+        uint32_t addr = 0;
+        uint32_t length = 0;    ///< modeled x86 byte length
+        Inst inst;
+    };
+
+    Program(std::vector<Placed> code, std::vector<DataSegment> data,
+            uint32_t entry, uint32_t stack_top);
+
+    /** Fetch the instruction at @p addr; fatal if none is placed there. */
+    const Placed &at(uint32_t addr) const;
+
+    /** True if an instruction starts at @p addr. */
+    bool contains(uint32_t addr) const;
+
+    const std::vector<Placed> &code() const { return code_; }
+    const std::vector<DataSegment> &data() const { return data_; }
+    uint32_t entry() const { return entry_; }
+    uint32_t stackTop() const { return stackTop_; }
+
+    /** Total modeled code bytes (footprint seen by the ICache). */
+    uint32_t codeBytes() const { return codeBytes_; }
+
+  private:
+    std::vector<Placed> code_;
+    std::unordered_map<uint32_t, size_t> byAddr_;
+    std::vector<DataSegment> data_;
+    uint32_t entry_;
+    uint32_t stackTop_;
+    uint32_t codeBytes_ = 0;
+};
+
+} // namespace replay::x86
+
+#endif // REPLAY_X86_PROGRAM_HH

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Tests for the rePLay core: bias/target tables, frame construction,
+ * frame cache replacement, alias profiling, and frame resolution
+ * against the trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aliasprofile.hh"
+#include "core/biastable.hh"
+#include "core/constructor.hh"
+#include "core/framecache.hh"
+#include "core/sequencer.hh"
+#include "trace/tracer.hh"
+#include "trace/workload.hh"
+#include "x86/asmbuilder.hh"
+
+using namespace replay;
+using namespace replay::core;
+using trace::TraceRecord;
+using x86::AsmBuilder;
+using x86::Cond;
+using x86::memAt;
+using x86::Reg;
+
+TEST(BiasTable, PromotesAfterEnoughSamples)
+{
+    BiasTable table(64, 16, 15, 16);
+    EXPECT_EQ(table.classify(0x100), BranchBias::UNKNOWN);
+    for (int i = 0; i < 32; ++i)
+        table.record(0x100, true);
+    EXPECT_EQ(table.classify(0x100), BranchBias::BIASED_TAKEN);
+
+    for (int i = 0; i < 64; ++i)
+        table.record(0x200, false);
+    EXPECT_EQ(table.classify(0x200), BranchBias::BIASED_NOT_TAKEN);
+}
+
+TEST(BiasTable, MixedBranchNotPromoted)
+{
+    BiasTable table(64, 16, 15, 16);
+    for (int i = 0; i < 64; ++i)
+        table.record(0x300, i % 3 != 0);    // ~67% taken
+    EXPECT_EQ(table.classify(0x300), BranchBias::NOT_BIASED);
+}
+
+TEST(BiasTable, ConflictStealsEntry)
+{
+    BiasTable table(16, 8, 15, 16);
+    for (int i = 0; i < 32; ++i)
+        table.record(0x100, true);
+    // Same index (same low bits), different tag.
+    for (int i = 0; i < 32; ++i)
+        table.record(0x100 + 16 * 2, false);
+    EXPECT_EQ(table.classify(0x100), BranchBias::UNKNOWN);
+    EXPECT_EQ(table.classify(0x100 + 32), BranchBias::BIASED_NOT_TAKEN);
+}
+
+TEST(TargetTable, StableAfterStreak)
+{
+    TargetTable table(64, 8);
+    for (int i = 0; i < 7; ++i)
+        table.record(0x400, 0x5000);
+    EXPECT_EQ(table.stableTarget(0x400), 0u);
+    table.record(0x400, 0x5000);
+    EXPECT_EQ(table.stableTarget(0x400), 0x5000u);
+    table.record(0x400, 0x6000);    // target changed
+    EXPECT_EQ(table.stableTarget(0x400), 0u);
+}
+
+TEST(FrameCache, LruEvictionByUopCapacity)
+{
+    FrameCache cache(100);
+    auto mk = [](uint32_t pc, unsigned uops) {
+        auto f = std::make_shared<Frame>();
+        f->startPc = pc;
+        f->pcs = {pc};
+        f->body.uops.resize(uops);
+        return f;
+    };
+    cache.insert(mk(0x1000, 40));
+    cache.insert(mk(0x2000, 40));
+    EXPECT_EQ(cache.occupiedUops(), 80u);
+    // Touch 0x1000 so 0x2000 is the LRU victim.
+    EXPECT_NE(cache.lookup(0x1000), nullptr);
+    cache.insert(mk(0x3000, 40));
+    EXPECT_EQ(cache.probe(0x2000), nullptr);
+    EXPECT_NE(cache.probe(0x1000), nullptr);
+    EXPECT_NE(cache.probe(0x3000), nullptr);
+}
+
+TEST(FrameCache, ReplaceSameStartPc)
+{
+    FrameCache cache(100);
+    auto f1 = std::make_shared<Frame>();
+    f1->startPc = 0x1000;
+    f1->body.uops.resize(30);
+    auto f2 = std::make_shared<Frame>();
+    f2->startPc = 0x1000;
+    f2->body.uops.resize(20);
+    cache.insert(f1);
+    cache.insert(f2);
+    EXPECT_EQ(cache.numFrames(), 1u);
+    EXPECT_EQ(cache.occupiedUops(), 20u);
+}
+
+TEST(FrameCache, RejectsOversizedFrame)
+{
+    FrameCache cache(10);
+    auto f = std::make_shared<Frame>();
+    f->startPc = 0x1000;
+    f->body.uops.resize(11);
+    cache.insert(f);
+    EXPECT_EQ(cache.numFrames(), 0u);
+}
+
+TEST(AliasProfile, DirtyOnOverlapWithPrior)
+{
+    AliasProfile profile;
+    std::vector<TraceRecord> records(2);
+    records[0].pc = 0x100;
+    records[0].numMemOps = 1;
+    records[0].memOps[0] = {true, 0x2000, 4, 0};    // store A
+    records[1].pc = 0x104;
+    records[1].numMemOps = 1;
+    records[1].memOps[0] = {true, 0x2002, 4, 0};    // overlaps A
+    profile.observeInstance(records);
+
+    EXPECT_TRUE(profile.cleanForSpeculation(0x100, 0));   // first store
+    EXPECT_FALSE(profile.cleanForSpeculation(0x104, 0));  // overlapped
+}
+
+TEST(AliasProfile, MarkDirtyIsSticky)
+{
+    AliasProfile profile;
+    EXPECT_TRUE(profile.cleanForSpeculation(0x500, 1));
+    profile.markDirty(0x500, 1);
+    EXPECT_FALSE(profile.cleanForSpeculation(0x500, 1));
+}
+
+// ---------------------------------------------------------------------
+// Frame construction
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A loop with one biased branch (taken 15/16) and a biased skip. */
+x86::Program
+biasedLoopProgram()
+{
+    AsmBuilder b;
+    b.dataRegion("d", 4096);
+    b.movRI(Reg::ESI, int32_t(b.dataAddr("d")));
+    b.xorRR(Reg::ECX, Reg::ECX);
+    b.label("loop");
+    b.addRI(Reg::ECX, 1);
+    b.movRR(Reg::EAX, Reg::ECX);
+    b.andRI(Reg::EAX, 15);
+    b.cmpRI(Reg::EAX, 0);
+    b.jcc(Cond::E, "rare");         // taken 1/16: biased not-taken
+    b.label("back");
+    b.movRM(Reg::EBX, memAt(Reg::ESI, 0));
+    b.addRI(Reg::EBX, 3);
+    b.movMR(memAt(Reg::ESI, 0), Reg::EBX);
+    b.jmp("loop");
+    b.label("rare");
+    b.addRI(Reg::EDX, 1);
+    b.jmp("back");
+    return b.build();
+}
+
+} // namespace
+
+TEST(FrameConstructor, BuildsFramesFromBiasedLoop)
+{
+    FrameConstructor ctor;
+    const auto prog = biasedLoopProgram();
+    trace::ExecutorTraceSource src(prog, 4000);
+
+    std::vector<FrameCandidate> candidates;
+    while (!src.done()) {
+        auto cand = ctor.observe(*src.peek());
+        if (cand)
+            candidates.push_back(std::move(*cand));
+        src.advance();
+    }
+    ASSERT_FALSE(candidates.empty());
+
+    for (const auto &cand : candidates) {
+        EXPECT_GE(cand.uops.size(), 8u);
+        EXPECT_LE(cand.uops.size(), 256u);
+        EXPECT_EQ(cand.pcs.size(), cand.records.size());
+        // Frames contain no conditional-branch micro-ops: promoted
+        // branches are asserts.
+        for (const auto &u : cand.uops)
+            EXPECT_NE(u.op, uop::Op::BR);
+        // Block annotations are monotone.
+        for (size_t i = 1; i < cand.blocks.size(); ++i)
+            EXPECT_GE(cand.blocks[i], cand.blocks[i - 1]);
+    }
+
+    // The loop's biased branch must eventually be promoted: some
+    // candidate contains an assertion.
+    bool saw_assert = false;
+    for (const auto &cand : candidates)
+        for (const auto &u : cand.uops)
+            saw_assert |= u.op == uop::Op::ASSERT;
+    EXPECT_TRUE(saw_assert);
+}
+
+TEST(FrameConstructor, MaxSizeRespected)
+{
+    // A long straight-line body forces frames to close at the limit.
+    AsmBuilder b;
+    b.dataRegion("d", 4096);
+    b.movRI(Reg::ESI, int32_t(b.dataAddr("d")));
+    b.label("loop");
+    for (int i = 0; i < 200; ++i)
+        b.addRI(Reg::EAX, i + 1);
+    b.jmp("loop");
+    const auto prog = b.build();
+
+    ConstructorConfig cfg;
+    FrameConstructor ctor(cfg);
+    trace::ExecutorTraceSource src(prog, 3000);
+    unsigned emitted = 0;
+    while (!src.done()) {
+        if (auto cand = ctor.observe(*src.peek())) {
+            EXPECT_LE(cand->uops.size(), cfg.maxUops);
+            EXPECT_GE(cand->uops.size(), cfg.maxUops - 8);
+            ++emitted;
+        }
+        src.advance();
+    }
+    EXPECT_GE(emitted, 5u);
+}
+
+TEST(FrameConstructor, StableReturnBecomesValueAssert)
+{
+    // A single call site: the RET target is perfectly stable, so
+    // construction continues through the return via a value assert.
+    AsmBuilder b;
+    b.dataRegion("d", 4096);
+    b.movRI(Reg::ESI, int32_t(b.dataAddr("d")));
+    b.label("loop");
+    b.call("callee");
+    b.addRI(Reg::EAX, 1);
+    b.jmp("loop");
+    b.label("callee");
+    b.movRM(Reg::EBX, memAt(Reg::ESI, 0));
+    b.addRI(Reg::EBX, 1);
+    b.movMR(memAt(Reg::ESI, 0), Reg::EBX);
+    b.ret();
+    const auto prog = b.build();
+
+    FrameConstructor ctor;
+    trace::ExecutorTraceSource src(prog, 2000);
+    bool saw_value_assert = false;
+    while (!src.done()) {
+        if (auto cand = ctor.observe(*src.peek())) {
+            for (const auto &u : cand->uops) {
+                if (u.op == uop::Op::ASSERT && u.valueAssert)
+                    saw_value_assert = true;
+            }
+        }
+        src.advance();
+    }
+    EXPECT_TRUE(saw_value_assert);
+}
+
+TEST(ResolveFrame, CommitsOnMatchingPath)
+{
+    Frame frame;
+    frame.pcs = {0x100, 0x105, 0x10a};
+    frame.nextPc = 0x110;
+
+    std::vector<TraceRecord> records(3);
+    records[0].pc = 0x100;
+    records[0].nextPc = 0x105;
+    records[1].pc = 0x105;
+    records[1].nextPc = 0x10a;
+    records[2].pc = 0x10a;
+    records[2].nextPc = 0x110;
+    trace::VectorTraceSource src(records);
+
+    const auto outcome = resolveFrame(frame, src);
+    EXPECT_EQ(outcome.kind, FrameOutcome::Kind::COMMITS);
+}
+
+TEST(ResolveFrame, AssertsOnDivergence)
+{
+    Frame frame;
+    frame.pcs = {0x100, 0x105, 0x10a};
+    frame.nextPc = 0x110;
+
+    std::vector<TraceRecord> records(3);
+    records[0].pc = 0x100;
+    records[0].nextPc = 0x105;
+    records[1].pc = 0x105;
+    records[1].nextPc = 0x200;      // diverges here
+    records[2].pc = 0x200;
+    records[2].nextPc = 0x204;
+    trace::VectorTraceSource src(records);
+
+    const auto outcome = resolveFrame(frame, src);
+    EXPECT_EQ(outcome.kind, FrameOutcome::Kind::ASSERTS);
+    EXPECT_EQ(outcome.faultIndex, 1u);
+}
+
+TEST(ResolveFrame, DynamicExitIgnoresFinalTarget)
+{
+    Frame frame;
+    frame.pcs = {0x100, 0x105};
+    frame.nextPc = 0x110;
+    frame.dynamicExit = true;
+
+    std::vector<TraceRecord> records(2);
+    records[0].pc = 0x100;
+    records[0].nextPc = 0x105;
+    records[1].pc = 0x105;
+    records[1].nextPc = 0x9999;     // different target: still commits
+    trace::VectorTraceSource src(records);
+
+    EXPECT_EQ(resolveFrame(frame, src).kind,
+              FrameOutcome::Kind::COMMITS);
+}
+
+TEST(ResolveFrame, UnsafeConflictDetected)
+{
+    Frame frame;
+    frame.pcs = {0x100, 0x105, 0x10a};
+    frame.nextPc = 0x110;
+    frame.unsafeStores = {{1, 0}};  // instruction 1, first access
+
+    std::vector<TraceRecord> records(3);
+    records[0].pc = 0x100;
+    records[0].nextPc = 0x105;
+    records[0].numMemOps = 1;
+    records[0].memOps[0] = {false, 0x3000, 4, 0};   // load
+    records[1].pc = 0x105;
+    records[1].nextPc = 0x10a;
+    records[1].numMemOps = 1;
+    records[1].memOps[0] = {true, 0x3002, 4, 0};    // unsafe store
+    records[2].pc = 0x10a;
+    records[2].nextPc = 0x110;
+    trace::VectorTraceSource src(records);
+
+    const auto outcome = resolveFrame(frame, src);
+    EXPECT_EQ(outcome.kind, FrameOutcome::Kind::UNSAFE_CONFLICT);
+    EXPECT_EQ(outcome.faultIndex, 1u);
+
+    // Same frame, disjoint store: commits.
+    records[1].memOps[0].addr = 0x4000;
+    trace::VectorTraceSource src2(records);
+    EXPECT_EQ(resolveFrame(frame, src2).kind,
+              FrameOutcome::Kind::COMMITS);
+}
+
+TEST(RePlayEngine, BuildsAndServesFrames)
+{
+    EngineConfig cfg;
+    RePlayEngine engine(cfg);
+    const auto prog = biasedLoopProgram();
+    trace::ExecutorTraceSource src(prog, 20000);
+
+    uint64_t now = 0;
+    unsigned hits = 0;
+    while (!src.done()) {
+        const TraceRecord *rec = src.peek();
+        if (auto frame = engine.frameFor(rec->pc, now)) {
+            const auto outcome = resolveFrame(*frame, src);
+            if (outcome.kind == FrameOutcome::Kind::COMMITS) {
+                ++hits;
+                engine.frameCommitted(frame);
+                for (unsigned i = 0; i < frame->numX86Insts(); ++i)
+                    src.advance();
+                now += frame->numUops();
+                continue;
+            }
+            engine.frameAborted(frame, outcome);
+        }
+        engine.observeRetired(*rec, now);
+        src.advance();
+        now += 2;
+    }
+    EXPECT_GT(hits, 50u);
+    EXPECT_GT(engine.cache().numFrames(), 0u);
+}
+
+TEST(FrameCache, StatsTrackHitsMissesEvictions)
+{
+    FrameCache cache(64);
+    auto mk = [](uint32_t pc, unsigned uops) {
+        auto f = std::make_shared<Frame>();
+        f->startPc = pc;
+        f->pcs = {pc};
+        f->body.uops.resize(uops);
+        return f;
+    };
+    cache.insert(mk(0x1000, 40));
+    cache.insert(mk(0x2000, 40));       // evicts 0x1000
+    EXPECT_EQ(cache.stats().get("evictions"), 1u);
+    EXPECT_EQ(cache.lookup(0x1000), nullptr);
+    EXPECT_NE(cache.lookup(0x2000), nullptr);
+    EXPECT_EQ(cache.stats().get("hits"), 1u);
+    EXPECT_EQ(cache.stats().get("misses"), 1u);
+}
+
+TEST(FrameConstructor, LongflowEndsFrame)
+{
+    using x86::AsmBuilder;
+    AsmBuilder b;
+    b.dataRegion("d", 4096);
+    b.movRI(x86::Reg::ESI, int32_t(b.dataAddr("d")));
+    b.label("loop");
+    for (int i = 0; i < 12; ++i)
+        b.addRI(x86::Reg::EAX, i + 1);
+    b.longflow();
+    b.jmp("loop");
+    const auto prog = b.build();
+
+    FrameConstructor ctor;
+    trace::ExecutorTraceSource src(prog, 400);
+    unsigned emitted = 0;
+    while (!src.done()) {
+        if (auto cand = ctor.observe(*src.peek())) {
+            ++emitted;
+            // No frame may contain the long-flow instruction.
+            for (const auto &u : cand->uops)
+                EXPECT_NE(u.op, uop::Op::LONGFLOW);
+        }
+        src.advance();
+    }
+    EXPECT_GT(emitted, 3u);
+}
+
+TEST(FrameConstructor, CandidateRecordsMatchPcs)
+{
+    FrameConstructor ctor;
+    const auto &w = trace::findWorkload("access");
+    const auto prog = w.buildProgram(1);
+    trace::ExecutorTraceSource src(prog, 20000);
+    while (!src.done()) {
+        if (auto cand = ctor.observe(*src.peek())) {
+            ASSERT_EQ(cand->records.size(), cand->pcs.size());
+            for (size_t i = 0; i < cand->pcs.size(); ++i)
+                EXPECT_EQ(cand->records[i].pc, cand->pcs[i]);
+            // Path continuity: each record's next is the next pc.
+            for (size_t i = 0; i + 1 < cand->pcs.size(); ++i)
+                EXPECT_EQ(cand->records[i].nextPc, cand->pcs[i + 1]);
+        }
+        src.advance();
+    }
+}

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * End-to-end simulator tests: the four machine configurations run the
+ * synthesized workloads and must reproduce the paper's qualitative
+ * results — rePLay+Optimization fastest almost everywhere, meaningful
+ * micro-op/load reduction, high SPEC frame coverage, small assert-cycle
+ * shares, and deterministic results.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "sim/tracecachefill.hh"
+
+using namespace replay;
+using namespace replay::sim;
+using timing::CycleBin;
+
+namespace {
+
+RunStats
+quickRun(const std::string &workload, Machine machine,
+         uint64_t insts = 120000)
+{
+    return runWorkload(trace::findWorkload(workload),
+                       SimConfig::make(machine), insts);
+}
+
+} // namespace
+
+TEST(Configs, FactoryMatchesSection53)
+{
+    const auto ic = SimConfig::make(Machine::IC);
+    EXPECT_EQ(ic.pipe.icacheBytes, 64u * 1024);
+    EXPECT_FALSE(ic.usesFrames());
+    EXPECT_FALSE(ic.usesTraceCache());
+
+    const auto tc = SimConfig::make(Machine::TC);
+    EXPECT_EQ(tc.pipe.icacheBytes, 8u * 1024);
+    EXPECT_TRUE(tc.usesTraceCache());
+    EXPECT_EQ(tc.tcCapacityUops, 16384u);
+    EXPECT_EQ(tc.tcMaxBranches, 3u);
+
+    const auto rp = SimConfig::make(Machine::RP);
+    EXPECT_TRUE(rp.usesFrames());
+    EXPECT_FALSE(rp.engine.optimize);
+    EXPECT_EQ(rp.engine.fcacheCapacityUops, 16384u);
+
+    const auto rpo = SimConfig::make(Machine::RPO);
+    EXPECT_TRUE(rpo.engine.optimize);
+}
+
+TEST(Simulator, BinsSumToCycles)
+{
+    for (const Machine m :
+         {Machine::IC, Machine::TC, Machine::RP, Machine::RPO}) {
+        const auto stats = quickRun("crafty", m, 60000);
+        EXPECT_EQ(stats.bins.total(), stats.cycles());
+        EXPECT_GT(stats.ipc(), 0.3);
+        EXPECT_EQ(stats.x86Retired, 60000u);
+    }
+}
+
+TEST(Simulator, Deterministic)
+{
+    const auto a = quickRun("vortex", Machine::RPO, 60000);
+    const auto b = quickRun("vortex", Machine::RPO, 60000);
+    EXPECT_EQ(a.cycles(), b.cycles());
+    EXPECT_EQ(a.uopsExecuted, b.uopsExecuted);
+    EXPECT_EQ(a.frameCommits, b.frameCommits);
+    EXPECT_EQ(a.frameAborts, b.frameAborts);
+}
+
+TEST(Simulator, OptimizationRemovesUopsAndLoads)
+{
+    const auto rpo = quickRun("bzip2", Machine::RPO);
+    EXPECT_GT(rpo.uopReduction(), 0.10);
+    EXPECT_LT(rpo.uopReduction(), 0.55);
+    EXPECT_GT(rpo.loadReduction(), 0.08);
+
+    // Plain rePLay removes nothing.
+    const auto rp = quickRun("bzip2", Machine::RP);
+    EXPECT_DOUBLE_EQ(rp.uopReduction(), 0.0);
+}
+
+TEST(Simulator, RpoBeatsRpBeatsIc)
+{
+    // The headline ordering on a representative workload.
+    const auto ic = quickRun("eon", Machine::IC);
+    const auto rp = quickRun("eon", Machine::RP);
+    const auto rpo = quickRun("eon", Machine::RPO);
+    EXPECT_GT(rp.ipc(), ic.ipc());
+    EXPECT_GT(rpo.ipc(), rp.ipc() * 1.05);
+}
+
+TEST(Simulator, HighFrameCoverageOnSpec)
+{
+    const auto stats = quickRun("crafty", Machine::RPO);
+    EXPECT_GT(stats.coverage(), 0.80);
+    EXPECT_GT(stats.frameCommits, 500u);
+}
+
+TEST(Simulator, AssertCyclesBounded)
+{
+    // §6.1: assertion recovery is a small share of execution.
+    for (const char *name : {"crafty", "vortex", "excel"}) {
+        const auto stats = quickRun(name, Machine::RPO);
+        const double share =
+            double(stats.bins.get(CycleBin::ASSERT)) /
+            double(stats.cycles());
+        EXPECT_LT(share, 0.12) << name;
+    }
+}
+
+TEST(Simulator, UnsafeStoreConflictsOnlyWithSpeculation)
+{
+    // Excel's aliasing pattern produces unsafe-store aborts under RPO;
+    // plain rePLay never marks stores unsafe.
+    const auto rp = quickRun("excel", Machine::RP);
+    EXPECT_EQ(rp.unsafeConflicts, 0u);
+    const auto rpo = quickRun("excel", Machine::RPO, 200000);
+    EXPECT_GT(rpo.unsafeConflicts, 0u);
+}
+
+TEST(Simulator, TraceCacheUsesFramesBin)
+{
+    const auto tc = quickRun("gzip", Machine::TC);
+    EXPECT_GT(tc.bins.get(CycleBin::FRAME), tc.cycles() / 4);
+    EXPECT_EQ(tc.frameAborts, 0u);      // traces never abort
+    EXPECT_EQ(tc.uopReduction(), 0.0);  // and never optimize
+}
+
+TEST(Simulator, MispredictsDropInsideFrames)
+{
+    // Promoted branches don't consult the predictor, so RP sees far
+    // fewer mispredict events than IC on branchy code.
+    const auto ic = quickRun("crafty", Machine::IC);
+    const auto rp = quickRun("crafty", Machine::RP);
+    // Branch instances inside committed frames never charge a
+    // prediction penalty, so charged events are a strict subset of the
+    // conventional machine's.
+    EXPECT_LT(rp.mispredicts * 4, ic.mispredicts * 3);
+}
+
+TEST(Simulator, MultiTraceWorkloadsMerge)
+{
+    // Excel has three hot-spot traces; the merged run retires from all.
+    const auto stats = runWorkload(trace::findWorkload("excel"),
+                                   SimConfig::make(Machine::IC), 30000);
+    EXPECT_EQ(stats.x86Retired, 3u * 30000u);
+}
+
+TEST(Simulator, BlockScopeUnderperformsFrameScope)
+{
+    // The Figure 9 relation, end to end.
+    auto frame_cfg = SimConfig::make(Machine::RPO);
+    auto block_cfg = SimConfig::make(Machine::RPO);
+    block_cfg.engine.optConfig.scope = opt::Scope::BLOCK;
+
+    const auto &w = trace::findWorkload("vortex");
+    const auto frame_run = runWorkload(w, frame_cfg, 120000);
+    const auto block_run = runWorkload(w, block_cfg, 120000);
+    EXPECT_GT(frame_run.uopReduction(), block_run.uopReduction());
+    EXPECT_GE(frame_run.ipc(), block_run.ipc() * 0.98);
+}
+
+TEST(Simulator, DisablingReassociationHurtsMemoryOpts)
+{
+    // §6.4: RA is the gateway optimization — without it, store
+    // forwarding and CSE find far fewer symbolically-equal addresses.
+    auto all_on = SimConfig::make(Machine::RPO);
+    auto no_ra = SimConfig::make(Machine::RPO);
+    no_ra.engine.optConfig = opt::OptConfig::without("RA");
+
+    const auto &w = trace::findWorkload("crafty");
+    const auto on = runWorkload(w, all_on, 120000);
+    const auto off = runWorkload(w, no_ra, 120000);
+    EXPECT_GT(on.loadReduction(), off.loadReduction());
+    EXPECT_GT(on.uopReduction(), off.uopReduction());
+}
+
+TEST(TraceCacheFill, BuildsBoundedTraces)
+{
+    TraceCacheUnit unit(16384, 3, 32);
+    const auto &w = trace::findWorkload("parser");
+    const auto prog = w.buildProgram(0);
+    x86::Executor exec(prog);
+    for (unsigned i = 0; i < 30000; ++i)
+        unit.observe(trace::TraceRecord::fromStep(exec.step()));
+    EXPECT_GT(unit.cache().numFrames(), 5u);
+    // Every built trace respects the caps.
+    for (unsigned i = 0; i < 30000; ++i) {
+        const auto rec = trace::TraceRecord::fromStep(exec.step());
+        if (auto t = unit.lookup(rec.pc)) {
+            EXPECT_LE(t->numUops(), 32u);
+            unsigned branches = 0;
+            for (const auto &fu : t->body.uops)
+                branches += fu.uop.op == uop::Op::BR ||
+                            fu.uop.op == uop::Op::JMPI;
+            EXPECT_LE(branches, 3u);
+        }
+        unit.observe(rec);
+    }
+}
+
+TEST(Runner, EnvOverrideAndDefaults)
+{
+    EXPECT_GT(defaultInstsPerTrace(), 0u);
+}
+
+#include "trace/tracefile.hh"
+
+TEST(Simulator, FileTraceMatchesLiveTrace)
+{
+    // Simulating from a written trace file must produce bit-identical
+    // results to simulating from the live executor stream.
+    const auto &w = trace::findWorkload("twolf");
+    const auto prog = w.buildProgram(0);
+    const std::string path = ::testing::TempDir() + "twolf.rplt";
+    trace::TraceFileWriter::dumpProgram(prog, 80000, path);
+
+    auto cfg = SimConfig::make(Machine::RPO);
+    trace::ExecutorTraceSource live(prog, 80000);
+    const auto live_stats = simulateTrace(cfg, live, "twolf");
+
+    trace::FileTraceSource filed(path);
+    const auto file_stats = simulateTrace(cfg, filed, "twolf");
+
+    EXPECT_EQ(live_stats.cycles(), file_stats.cycles());
+    EXPECT_EQ(live_stats.uopsExecuted, file_stats.uopsExecuted);
+    EXPECT_EQ(live_stats.frameCommits, file_stats.frameCommits);
+    EXPECT_EQ(live_stats.mispredicts, file_stats.mispredicts);
+}

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Timing-model tests: cache geometry and replacement, the branch
+ * predictor composite, the out-of-order execution model's dataflow and
+ * resource constraints, and fetch-cycle accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/accounting.hh"
+#include "timing/cache.hh"
+#include "timing/fetch.hh"
+#include "timing/predictor.hh"
+#include "timing/window.hh"
+
+using namespace replay;
+using namespace replay::timing;
+
+TEST(CacheModel, HitAfterFill)
+{
+    CacheModel cache("t", 1024, 64, 2, 1);
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1004));      // same line
+    EXPECT_FALSE(cache.access(0x1040));     // next line
+    EXPECT_EQ(cache.stats().get("hits"), 2u);
+    EXPECT_EQ(cache.stats().get("misses"), 2u);
+}
+
+TEST(CacheModel, LruWithinSet)
+{
+    // 2-way, 8 sets of 64B lines: addresses 64*8 apart share a set.
+    CacheModel cache("t", 1024, 64, 2, 1);
+    const uint32_t stride = 64 * 8;
+    cache.access(0);                // way 0
+    cache.access(stride);           // way 1
+    cache.access(0);                // touch way 0
+    cache.access(2 * stride);       // evicts LRU = stride
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(stride));
+    EXPECT_TRUE(cache.contains(2 * stride));
+}
+
+TEST(MemoryHierarchy, LatenciesPerLevel)
+{
+    MemoryHierarchy mem;
+    // Cold: misses everywhere -> memory latency.
+    EXPECT_EQ(mem.access(0x5000), 50u);
+    EXPECT_TRUE(mem.lastMissedL1());
+    // Warm L1.
+    EXPECT_EQ(mem.access(0x5000), 2u);
+    EXPECT_FALSE(mem.lastMissedL1());
+    // Evict from L1 but not L2: conflict addresses sharing an L1 set.
+    // L1: 32kB/64B/4-way => 128 sets; stride = 128*64 = 8192.
+    for (unsigned i = 1; i <= 4; ++i)
+        mem.access(0x5000 + i * 8192);
+    EXPECT_EQ(mem.access(0x5000), 10u);     // L2 hit
+}
+
+TEST(Predictor, LearnsBiasedBranch)
+{
+    BranchPredictor pred;
+    trace::TraceRecord rec;
+    rec.pc = 0x4000;
+    rec.nextPc = 0x5000;
+    rec.inst.mnem = x86::Mnem::JCC;
+    rec.inst.form = x86::Form::REL;
+    rec.inst.cc = x86::Cond::NE;
+    rec.taken = true;
+
+    unsigned early = 0, late = 0;
+    for (int i = 0; i < 200; ++i) {
+        const bool miss = pred.predictAndTrain(rec);
+        if (i < 4)
+            early += miss;
+        if (i >= 100)
+            late += miss;
+    }
+    EXPECT_GT(early, 0u);       // cold counters + BTB
+    EXPECT_EQ(late, 0u);        // fully learned
+}
+
+TEST(Predictor, ReturnAddressStack)
+{
+    BranchPredictor pred;
+    trace::TraceRecord call;
+    call.pc = 0x1000;
+    call.length = 5;
+    call.nextPc = 0x9000;
+    call.inst.mnem = x86::Mnem::CALL;
+    call.inst.form = x86::Form::REL;
+    call.taken = true;
+
+    trace::TraceRecord ret;
+    ret.pc = 0x9100;
+    ret.nextPc = 0x1005;        // matches the pushed return address
+    ret.inst.mnem = x86::Mnem::RET;
+    ret.taken = true;
+
+    pred.predictAndTrain(call);
+    EXPECT_FALSE(pred.predictAndTrain(ret));
+
+    // A corrupted return target mispredicts.
+    pred.predictAndTrain(call);
+    ret.nextPc = 0x7777;
+    EXPECT_TRUE(pred.predictAndTrain(ret));
+}
+
+TEST(Predictor, IndirectJumpNeedsBtb)
+{
+    BranchPredictor pred;
+    trace::TraceRecord jmp;
+    jmp.pc = 0x2000;
+    jmp.nextPc = 0x3000;
+    jmp.inst.mnem = x86::Mnem::JMP;
+    jmp.inst.form = x86::Form::R;
+    jmp.taken = true;
+
+    EXPECT_TRUE(pred.predictAndTrain(jmp));     // cold BTB
+    EXPECT_FALSE(pred.predictAndTrain(jmp));    // learned target
+    jmp.nextPc = 0x4000;                        // target changed
+    EXPECT_TRUE(pred.predictAndTrain(jmp));
+}
+
+// ---------------------------------------------------------------------
+// ExecModel
+// ---------------------------------------------------------------------
+
+namespace {
+
+uop::Uop
+aluUop()
+{
+    uop::Uop u;
+    u.op = uop::Op::ADD;
+    u.dst = uop::UReg::EAX;
+    u.srcA = uop::UReg::EAX;
+    u.imm = 1;
+    return u;
+}
+
+uop::Uop
+loadUop()
+{
+    uop::Uop u;
+    u.op = uop::Op::LOAD;
+    u.dst = uop::UReg::EBX;
+    u.srcA = uop::UReg::ESI;
+    return u;
+}
+
+uop::Uop
+storeUop()
+{
+    uop::Uop u;
+    u.op = uop::Op::STORE;
+    u.srcA = uop::UReg::ESI;
+    u.srcB = uop::UReg::EAX;
+    return u;
+}
+
+} // namespace
+
+TEST(ExecModel, DependencyChainSerializes)
+{
+    MemoryHierarchy mem;
+    ExecModel exec(ExecParams{}, mem);
+
+    uint64_t prev = 0;
+    uint64_t completions[8];
+    for (int i = 0; i < 8; ++i) {
+        const auto t = exec.exec(0, aluUop(), &prev, prev ? 1 : 0);
+        completions[i] = t.complete;
+        prev = t.complete;
+    }
+    // Single-cycle ALU chain: each completion exactly one later.
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(completions[i], completions[i - 1] + 1);
+}
+
+TEST(ExecModel, IndependentUopsOverlap)
+{
+    MemoryHierarchy mem;
+    ExecModel exec(ExecParams{}, mem);
+    uint64_t first = 0, last = 0;
+    for (int i = 0; i < 6; ++i) {
+        const auto t = exec.exec(0, aluUop(), nullptr, 0);
+        if (i == 0)
+            first = t.complete;
+        last = t.complete;
+    }
+    // Six simple ALUs: all six issue in the same cycle.
+    EXPECT_EQ(first, last);
+}
+
+TEST(ExecModel, FunctionUnitContention)
+{
+    MemoryHierarchy mem;
+    ExecParams params;
+    params.complexAlus = 2;
+    ExecModel exec(params, mem);
+    uop::Uop mul;
+    mul.op = uop::Op::MUL;
+    mul.dst = uop::UReg::EAX;
+    mul.srcA = uop::UReg::EAX;
+    mul.imm = 3;
+
+    std::vector<uint64_t> completes;
+    for (int i = 0; i < 4; ++i)
+        completes.push_back(exec.exec(0, mul, nullptr, 0).complete);
+    // Two complex units: the 3rd/4th multiply issue a cycle later.
+    EXPECT_EQ(completes[0], completes[1]);
+    EXPECT_EQ(completes[2], completes[3]);
+    EXPECT_EQ(completes[2], completes[0] + 1);
+}
+
+TEST(ExecModel, StoreToLoadForwarding)
+{
+    MemoryHierarchy mem;
+    ExecModel exec(ExecParams{}, mem);
+    // Warm the line so a non-forwarded load would be a 2-cycle hit.
+    mem.access(0x8000);
+
+    const auto st = exec.exec(0, storeUop(), nullptr, 0, 0x8000);
+    const auto ld = exec.exec(0, loadUop(), nullptr, 0, 0x8000);
+    // The load waits for the store's data and takes the bypass.
+    EXPECT_EQ(ld.complete, st.complete + 1);
+}
+
+TEST(ExecModel, LoadMissPaysMemoryAndReplay)
+{
+    MemoryHierarchy mem;
+    ExecParams params;
+    ExecModel exec(params, mem);
+    const auto t = exec.exec(0, loadUop(), nullptr, 0, 0xdead0000);
+    EXPECT_TRUE(t.l1Miss);
+    // Memory latency (50) plus the speculative-wakeup replay penalty.
+    EXPECT_GE(t.complete - t.issue, 50u + params.replayPenalty);
+}
+
+TEST(ExecModel, BranchResolutionRespectsTable2)
+{
+    // Fetch-to-execute for a branch must be >= 15 cycles (Table 2).
+    MemoryHierarchy mem;
+    ExecModel exec(ExecParams{}, mem);
+    uop::Uop br;
+    br.op = uop::Op::BR;
+    br.cc = x86::Cond::NE;
+    br.readsFlags = true;
+    const auto t = exec.exec(100, br, nullptr, 0);
+    EXPECT_GE(t.complete, 100u + 15u);
+}
+
+TEST(ExecModel, WindowBackpressure)
+{
+    MemoryHierarchy mem;
+    ExecParams params;
+    params.windowSize = 64;
+    ExecModel exec(params, mem);
+    EXPECT_EQ(exec.fetchBackpressure(), 0u);
+    // Fill the window with a serial dependency chain; retirement lags
+    // and backpressure must eventually exceed the fetch cycle.
+    uint64_t prev = 0;
+    for (unsigned i = 0; i < 64; ++i)
+        prev = exec.exec(0, aluUop(), &prev, prev ? 1 : 0).complete;
+    EXPECT_GT(exec.fetchBackpressure(), 0u);
+}
+
+TEST(ExecModel, RetirementIsInOrderAndBounded)
+{
+    MemoryHierarchy mem;
+    ExecParams params;
+    ExecModel exec(params, mem);
+    uint64_t last_retire = 0;
+    unsigned at_same_cycle = 0;
+    uint64_t prev_cycle = ~0ULL;
+    for (int i = 0; i < 64; ++i) {
+        const auto t = exec.exec(0, aluUop(), nullptr, 0);
+        EXPECT_GE(t.retire, last_retire);
+        last_retire = t.retire;
+        if (t.retire == prev_cycle) {
+            ++at_same_cycle;
+            EXPECT_LT(at_same_cycle, params.width);
+        } else {
+            at_same_cycle = 0;
+            prev_cycle = t.retire;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// FrontEnd
+// ---------------------------------------------------------------------
+
+TEST(FrontEnd, DecodeWidthGroupsInsts)
+{
+    PipelineConfig cfg;
+    FrontEnd fe(cfg);
+    fe.icache().cache().access(0x1000);     // pre-warm
+
+    std::vector<uint64_t> cycles;
+    for (int i = 0; i < 9; ++i)
+        cycles.push_back(fe.fetchIcacheInst(0x1000, 1));
+    // 4 per cycle: insts 0-3 same cycle, 4-7 next, 8 the one after.
+    EXPECT_EQ(cycles[0], cycles[3]);
+    EXPECT_EQ(cycles[4], cycles[0] + 1);
+    EXPECT_EQ(cycles[8], cycles[0] + 2);
+}
+
+TEST(FrontEnd, FrameFetchEightWide)
+{
+    PipelineConfig cfg;
+    FrontEnd fe(cfg);
+    std::vector<uint64_t> cycles;
+    for (int i = 0; i < 17; ++i)
+        cycles.push_back(fe.fetchFrameUop());
+    EXPECT_EQ(cycles[0], cycles[7]);
+    EXPECT_EQ(cycles[8], cycles[0] + 1);
+    EXPECT_EQ(cycles[16], cycles[0] + 2);
+}
+
+TEST(FrontEnd, WaitCycleOnFrameToIcacheSwitch)
+{
+    PipelineConfig cfg;
+    FrontEnd fe(cfg);
+    fe.icache().cache().access(0x1000);
+    fe.fetchFrameUop();
+    const uint64_t before = fe.now();
+    fe.fetchIcacheInst(0x1000, 1);
+    // One cycle to close the frame group plus the Wait turnaround.
+    EXPECT_EQ(fe.now(), before + 1 + cfg.waitCycles);
+    EXPECT_EQ(fe.bins().get(CycleBin::WAIT), cfg.waitCycles);
+}
+
+TEST(FrontEnd, IcacheMissChargedToMissBin)
+{
+    PipelineConfig cfg;
+    FrontEnd fe(cfg);
+    fe.fetchIcacheInst(0x1000, 1);          // cold: miss
+    EXPECT_EQ(fe.bins().get(CycleBin::MISS), cfg.icacheMissLatency);
+}
+
+TEST(FrontEnd, BinsSumToTotalAfterFinish)
+{
+    PipelineConfig cfg;
+    FrontEnd fe(cfg);
+    fe.icache().cache().access(0x1000);
+    for (int i = 0; i < 20; ++i)
+        fe.fetchIcacheInst(0x1000 + i * 4, 1);
+    const uint64_t idle_target = fe.now() + 7;
+    fe.idleUntil(idle_target, CycleBin::MISPRED);
+    for (int i = 0; i < 9; ++i)
+        fe.fetchFrameUop();
+    fe.finish(fe.now() + 25);
+    EXPECT_EQ(fe.bins().total(), fe.now());
+    EXPECT_GT(fe.bins().get(CycleBin::ICACHE), 0u);
+    EXPECT_GT(fe.bins().get(CycleBin::FRAME), 0u);
+    // Closing the open ICache fetch group consumes one of the seven
+    // idle cycles.
+    EXPECT_EQ(fe.bins().get(CycleBin::MISPRED), 6u);
+    EXPECT_GT(fe.bins().get(CycleBin::STALL), 0u);  // drain tail
+}
+
+TEST(Accounting, BinNamesAndMerge)
+{
+    CycleAccounting a, b;
+    a.add(CycleBin::FRAME, 10);
+    b.add(CycleBin::FRAME, 5);
+    b.add(CycleBin::ASSERT, 2);
+    a.merge(b);
+    EXPECT_EQ(a.get(CycleBin::FRAME), 15u);
+    EXPECT_EQ(a.get(CycleBin::ASSERT), 2u);
+    EXPECT_EQ(a.total(), 17u);
+    EXPECT_STREQ(cycleBinName(CycleBin::ASSERT), "assert");
+    EXPECT_STREQ(cycleBinName(CycleBin::ICACHE), "icache");
+}
+
+TEST(PipelineConfig, DescribeMatchesTable2)
+{
+    PipelineConfig cfg;
+    const std::string desc = cfg.describe();
+    EXPECT_NE(desc.find("8-wide"), std::string::npos);
+    EXPECT_NE(desc.find("18-bit gshare"), std::string::npos);
+    EXPECT_NE(desc.find("512 instructions"), std::string::npos);
+    EXPECT_NE(desc.find("6 simple ALU"), std::string::npos);
+    EXPECT_NE(desc.find("4 load/store"), std::string::npos);
+    EXPECT_NE(desc.find("50 cycles"), std::string::npos);
+}

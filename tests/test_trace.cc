@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the trace substrate: record capture, lookahead sources, and
+ * statistical properties of the synthesized workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/record.hh"
+#include "trace/tracer.hh"
+#include "trace/workload.hh"
+#include "uop/translator.hh"
+#include "x86/asmbuilder.hh"
+
+using namespace replay;
+using namespace replay::trace;
+using x86::AsmBuilder;
+using x86::Cond;
+using x86::memAt;
+using x86::Reg;
+
+TEST(TraceRecord, CapturesMemOpsAndRegWrites)
+{
+    AsmBuilder b;
+    b.pushI(0x99);
+    b.jmp("x");
+    b.label("x");
+    const x86::Program prog = b.build();
+    const auto recs = collectTrace(prog, 2);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].numMemOps, 1u);
+    EXPECT_TRUE(recs[0].memOps[0].isStore);
+    EXPECT_EQ(recs[0].memOps[0].data, 0x99u);
+    EXPECT_EQ(recs[0].numRegWrites, 1u);
+    EXPECT_TRUE(recs[1].isControl());
+    EXPECT_TRUE(recs[1].taken);
+}
+
+TEST(ExecutorTraceSource, MatchesCollectedTrace)
+{
+    const Workload &w = findWorkload("crafty");
+    const x86::Program prog = w.buildProgram(0);
+    const auto collected = collectTrace(prog, 2000);
+
+    ExecutorTraceSource src(prog, 2000);
+    for (size_t i = 0; i < collected.size(); ++i) {
+        const TraceRecord *rec = src.peek();
+        ASSERT_NE(rec, nullptr);
+        EXPECT_EQ(rec->pc, collected[i].pc);
+        EXPECT_EQ(rec->nextPc, collected[i].nextPc);
+        src.advance();
+    }
+    EXPECT_TRUE(src.done());
+    EXPECT_EQ(src.consumed(), 2000u);
+}
+
+TEST(ExecutorTraceSource, DeepLookahead)
+{
+    const Workload &w = findWorkload("gzip");
+    const x86::Program prog = w.buildProgram(0);
+    ExecutorTraceSource src(prog, 1000);
+
+    // Peek far ahead, then verify the records arrive unchanged.
+    std::vector<uint32_t> ahead_pcs;
+    for (unsigned k = 0; k < 400; ++k)
+        ahead_pcs.push_back(src.peek(k)->pc);
+    for (unsigned k = 0; k < 400; ++k) {
+        EXPECT_EQ(src.peek()->pc, ahead_pcs[k]);
+        src.advance();
+    }
+}
+
+TEST(ExecutorTraceSource, EndsAtBudget)
+{
+    const Workload &w = findWorkload("bzip2");
+    const x86::Program prog = w.buildProgram(0);
+    ExecutorTraceSource src(prog, 50);
+    unsigned n = 0;
+    while (!src.done()) {
+        src.advance();
+        ++n;
+    }
+    EXPECT_EQ(n, 50u);
+    EXPECT_EQ(src.peek(), nullptr);
+}
+
+TEST(Workloads, FourteenStandardApps)
+{
+    const auto &all = standardWorkloads();
+    ASSERT_EQ(all.size(), 14u);
+    unsigned spec = 0, desktop = 0;
+    for (const auto &w : all) {
+        if (w.type == AppType::SPECint)
+            ++spec;
+        else
+            ++desktop;
+    }
+    EXPECT_EQ(spec, 7u);
+    EXPECT_EQ(desktop, 7u);
+    // Table 1 totals.
+    EXPECT_EQ(findWorkload("excel").numTraces, 3u);
+    EXPECT_EQ(findWorkload("bzip2").paperInsts, 50000000u);
+}
+
+TEST(Workloads, DeterministicSynthesis)
+{
+    const Workload &w = findWorkload("vortex");
+    const auto a = collectTrace(w.buildProgram(0), 500);
+    const auto b2 = collectTrace(w.buildProgram(0), 500);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b2[i].pc);
+        EXPECT_EQ(a[i].nextPc, b2[i].nextPc);
+    }
+}
+
+TEST(Workloads, TracesOfOneAppDiffer)
+{
+    const Workload &w = findWorkload("excel");
+    const auto a = collectTrace(w.buildProgram(0), 200);
+    const auto b2 = collectTrace(w.buildProgram(1), 200);
+    bool differs = false;
+    for (size_t i = 0; i < a.size() && !differs; ++i)
+        differs = a[i].pc != b2[i].pc;
+    EXPECT_TRUE(differs);
+}
+
+namespace {
+
+/** Per-branch-site taken statistics over a trace prefix. */
+std::map<uint32_t, std::pair<uint64_t, uint64_t>>
+branchStats(const Workload &w, uint64_t insts)
+{
+    std::map<uint32_t, std::pair<uint64_t, uint64_t>> stats;
+    const x86::Program prog = w.buildProgram(0);
+    x86::Executor exec(prog);
+    for (uint64_t i = 0; i < insts; ++i) {
+        const auto info = exec.step();
+        if (info.placed->inst.isCondBranch()) {
+            auto &[taken, total] = stats[info.pc];
+            total += 1;
+            taken += info.branchTaken ? 1 : 0;
+        }
+    }
+    return stats;
+}
+
+} // namespace
+
+TEST(Workloads, BranchBiasMatchesPersonality)
+{
+    // crafty uses biasBits = 5 => biased branches taken ~ 31/32.
+    const auto stats = branchStats(findWorkload("crafty"), 400000);
+    ASSERT_FALSE(stats.empty());
+    unsigned biased_sites = 0, unbiased_sites = 0;
+    for (const auto &[pc, tt] : stats) {
+        const auto &[taken, total] = tt;
+        if (total < 64)
+            continue;
+        const double ratio = double(taken) / double(total);
+        if (ratio > 0.9 || ratio < 0.1)
+            ++biased_sites;
+        else if (ratio > 0.3 && ratio < 0.8)
+            ++unbiased_sites;
+    }
+    // The personality mixes biased branch segments with loop branches
+    // (biased) and occasional unbiased diamonds.
+    EXPECT_GT(biased_sites, 5u);
+    EXPECT_GT(unbiased_sites, 0u);
+}
+
+TEST(Workloads, UopToX86RatioNearPaper)
+{
+    // §5.1.1: "we attain an average micro-operation-to-x86 instruction
+    // ratio of 1.4".  Check the whole workload set stays close.
+    uop::Translator trans;
+    double total_ratio = 0;
+    for (const auto &w : standardWorkloads()) {
+        const x86::Program prog = w.buildProgram(0);
+        x86::Executor exec(prog);
+        uint64_t x86n = 0, uopn = 0;
+        std::vector<uop::Uop> flow;
+        for (unsigned i = 0; i < 20000; ++i) {
+            const auto info = exec.step();
+            flow.clear();
+            trans.translate(info.placed->inst, info.pc,
+                            info.pc + info.placed->length, flow);
+            ++x86n;
+            uopn += flow.size();
+        }
+        const double ratio = double(uopn) / double(x86n);
+        EXPECT_GT(ratio, 1.05) << w.name;
+        EXPECT_LT(ratio, 1.75) << w.name;
+        total_ratio += ratio;
+    }
+    // Our subset omits the microcoded string/BCD flows that pull real
+    // x86 up to the paper's 1.4; see DESIGN.md.
+    const double avg = total_ratio / 14.0;
+    EXPECT_GT(avg, 1.10);
+    EXPECT_LT(avg, 1.55);
+}
+
+TEST(Workloads, DesktopCodeFootprintExceedsSpec)
+{
+    // Desktop applications should pressure the 8kB ICache more than
+    // SPEC (drives the coverage difference in §6.1).
+    uint64_t spec_bytes = 0, desk_bytes = 0;
+    unsigned spec_n = 0, desk_n = 0;
+    for (const auto &w : standardWorkloads()) {
+        const auto prog = w.buildProgram(0);
+        if (w.type == AppType::SPECint) {
+            spec_bytes += prog.codeBytes();
+            ++spec_n;
+        } else {
+            desk_bytes += prog.codeBytes();
+            ++desk_n;
+        }
+    }
+    EXPECT_GT(desk_bytes / desk_n, spec_bytes / spec_n);
+}
+
+// ---------------------------------------------------------------------
+// Trace-file serialization
+// ---------------------------------------------------------------------
+
+#include "trace/tracefile.hh"
+
+TEST(TraceFile, RoundTripPreservesEveryField)
+{
+    const Workload &w = findWorkload("eon");   // exercises FP records
+    const x86::Program prog = w.buildProgram(0);
+    const auto reference = collectTrace(prog, 3000);
+
+    const std::string path = ::testing::TempDir() + "eon.rplt";
+    TraceFileWriter::dumpProgram(prog, 3000, path);
+
+    FileTraceSource src(path);
+    EXPECT_EQ(src.totalRecords(), 3000u);
+    for (const auto &want : reference) {
+        const TraceRecord *got = src.peek();
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(got->pc, want.pc);
+        EXPECT_EQ(got->nextPc, want.nextPc);
+        EXPECT_EQ(got->length, want.length);
+        EXPECT_EQ(got->taken, want.taken);
+        EXPECT_EQ(got->flagsAfter, want.flagsAfter);
+        EXPECT_TRUE(got->inst == want.inst);
+        ASSERT_EQ(got->numRegWrites, want.numRegWrites);
+        for (unsigned i = 0; i < want.numRegWrites; ++i) {
+            EXPECT_EQ(got->regWrites[i].reg, want.regWrites[i].reg);
+            EXPECT_EQ(got->regWrites[i].value, want.regWrites[i].value);
+        }
+        ASSERT_EQ(got->numMemOps, want.numMemOps);
+        for (unsigned i = 0; i < want.numMemOps; ++i) {
+            EXPECT_EQ(got->memOps[i].isStore, want.memOps[i].isStore);
+            EXPECT_EQ(got->memOps[i].addr, want.memOps[i].addr);
+            EXPECT_EQ(got->memOps[i].size, want.memOps[i].size);
+            EXPECT_EQ(got->memOps[i].data, want.memOps[i].data);
+        }
+        src.advance();
+    }
+    EXPECT_TRUE(src.done());
+}
+
+TEST(TraceFile, LookaheadAcrossFileBuffer)
+{
+    const Workload &w = findWorkload("gzip");
+    const x86::Program prog = w.buildProgram(0);
+    const std::string path = ::testing::TempDir() + "gzip.rplt";
+    TraceFileWriter::dumpProgram(prog, 2000, path);
+
+    FileTraceSource src(path);
+    std::vector<uint32_t> ahead;
+    for (unsigned k = 0; k < 400; ++k)
+        ahead.push_back(src.peek(k)->pc);
+    for (unsigned k = 0; k < 400; ++k) {
+        EXPECT_EQ(src.peek()->pc, ahead[k]);
+        src.advance();
+    }
+}

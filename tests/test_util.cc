@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the utility substrate: bit manipulation, RNG determinism,
+ * statistics, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitfield.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace replay;
+
+TEST(Bitfield, BasicExtractInsert)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(bits(0xabcd, 15, 8), 0xabu);
+    EXPECT_EQ(insertBits(0xff00, 7, 0, 0x12), 0xff12u);
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+}
+
+TEST(Bitfield, PowersAndLogs)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(4097), 12u);
+}
+
+TEST(Bitfield, Parity)
+{
+    EXPECT_EQ(parity(0), 0u);
+    EXPECT_EQ(parity(1), 1u);
+    EXPECT_EQ(parity(0b1011), 1u);
+    EXPECT_EQ(parity(0b1111), 0u);
+}
+
+TEST(Rng, DeterministicStreams)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 100 && !differs; ++i)
+        differs = a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(r.below(17), 17u);
+        const int64_t v = r.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        const double d = r.real();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng r(99);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Stats, CountersAndMerge)
+{
+    StatGroup g("cache");
+    ++g.counter("hits");
+    g.counter("hits") += 9;
+    g.counter("misses") += 3;
+    EXPECT_EQ(g.get("hits"), 10u);
+    EXPECT_EQ(g.get("absent"), 0u);
+
+    StatGroup h("cache");
+    h.counter("hits") += 5;
+    h.counter("evictions") += 2;
+    g.merge(h);
+    EXPECT_EQ(g.get("hits"), 15u);
+    EXPECT_EQ(g.get("evictions"), 2u);
+}
+
+TEST(Stats, HistogramMoments)
+{
+    Histogram h(8);
+    for (size_t v : {1, 1, 2, 3, 100})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(8), 1u);     // overflow bucket
+    EXPECT_DOUBLE_EQ(h.mean(), 107.0 / 5.0);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1.00"});
+    t.row({"b", "10.25"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("10.25"), std::string::npos);
+    // Numeric cells right-aligned: "1.00" ends at same column as
+    // "10.25".
+    const auto l1 = out.find("1.00");
+    const auto l2 = out.find("10.25");
+    EXPECT_EQ(out.find('\n', l1) - l1 - 4, out.find('\n', l2) - l2 - 5);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::percent(0.216, 0), "22%");
+    EXPECT_EQ(TextTable::percent(0.216, 1), "21.6%");
+}
