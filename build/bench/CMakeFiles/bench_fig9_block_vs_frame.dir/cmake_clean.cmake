@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_block_vs_frame.dir/bench_fig9_block_vs_frame.cc.o"
+  "CMakeFiles/bench_fig9_block_vs_frame.dir/bench_fig9_block_vs_frame.cc.o.d"
+  "bench_fig9_block_vs_frame"
+  "bench_fig9_block_vs_frame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_block_vs_frame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9_block_vs_frame.
+# This may be replaced when dependencies are built.

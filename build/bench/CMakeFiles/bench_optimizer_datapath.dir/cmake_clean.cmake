@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_datapath.dir/bench_optimizer_datapath.cc.o"
+  "CMakeFiles/bench_optimizer_datapath.dir/bench_optimizer_datapath.cc.o.d"
+  "bench_optimizer_datapath"
+  "bench_optimizer_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crafty_procedure.dir/crafty_procedure.cc.o"
+  "CMakeFiles/crafty_procedure.dir/crafty_procedure.cc.o.d"
+  "crafty_procedure"
+  "crafty_procedure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crafty_procedure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

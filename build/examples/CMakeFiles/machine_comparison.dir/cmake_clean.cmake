@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_comparison.dir/machine_comparison.cc.o"
+  "CMakeFiles/machine_comparison.dir/machine_comparison.cc.o.d"
+  "machine_comparison"
+  "machine_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aliasprofile.cc" "src/CMakeFiles/replay_core.dir/core/aliasprofile.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/aliasprofile.cc.o.d"
+  "/root/repo/src/core/biastable.cc" "src/CMakeFiles/replay_core.dir/core/biastable.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/biastable.cc.o.d"
+  "/root/repo/src/core/constructor.cc" "src/CMakeFiles/replay_core.dir/core/constructor.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/constructor.cc.o.d"
+  "/root/repo/src/core/frame.cc" "src/CMakeFiles/replay_core.dir/core/frame.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/frame.cc.o.d"
+  "/root/repo/src/core/framecache.cc" "src/CMakeFiles/replay_core.dir/core/framecache.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/framecache.cc.o.d"
+  "/root/repo/src/core/sequencer.cc" "src/CMakeFiles/replay_core.dir/core/sequencer.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/sequencer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/replay_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_uop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_core.dir/core/aliasprofile.cc.o"
+  "CMakeFiles/replay_core.dir/core/aliasprofile.cc.o.d"
+  "CMakeFiles/replay_core.dir/core/biastable.cc.o"
+  "CMakeFiles/replay_core.dir/core/biastable.cc.o.d"
+  "CMakeFiles/replay_core.dir/core/constructor.cc.o"
+  "CMakeFiles/replay_core.dir/core/constructor.cc.o.d"
+  "CMakeFiles/replay_core.dir/core/frame.cc.o"
+  "CMakeFiles/replay_core.dir/core/frame.cc.o.d"
+  "CMakeFiles/replay_core.dir/core/framecache.cc.o"
+  "CMakeFiles/replay_core.dir/core/framecache.cc.o.d"
+  "CMakeFiles/replay_core.dir/core/sequencer.cc.o"
+  "CMakeFiles/replay_core.dir/core/sequencer.cc.o.d"
+  "libreplay_core.a"
+  "libreplay_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/datapath.cc" "src/CMakeFiles/replay_opt.dir/opt/datapath.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/datapath.cc.o.d"
+  "/root/repo/src/opt/frameexec.cc" "src/CMakeFiles/replay_opt.dir/opt/frameexec.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/frameexec.cc.o.d"
+  "/root/repo/src/opt/optbuffer.cc" "src/CMakeFiles/replay_opt.dir/opt/optbuffer.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/optbuffer.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/CMakeFiles/replay_opt.dir/opt/optimizer.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/optimizer.cc.o.d"
+  "/root/repo/src/opt/pass_assert.cc" "src/CMakeFiles/replay_opt.dir/opt/pass_assert.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/pass_assert.cc.o.d"
+  "/root/repo/src/opt/pass_constprop.cc" "src/CMakeFiles/replay_opt.dir/opt/pass_constprop.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/pass_constprop.cc.o.d"
+  "/root/repo/src/opt/pass_cse.cc" "src/CMakeFiles/replay_opt.dir/opt/pass_cse.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/pass_cse.cc.o.d"
+  "/root/repo/src/opt/pass_dce.cc" "src/CMakeFiles/replay_opt.dir/opt/pass_dce.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/pass_dce.cc.o.d"
+  "/root/repo/src/opt/pass_nop.cc" "src/CMakeFiles/replay_opt.dir/opt/pass_nop.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/pass_nop.cc.o.d"
+  "/root/repo/src/opt/pass_reassoc.cc" "src/CMakeFiles/replay_opt.dir/opt/pass_reassoc.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/pass_reassoc.cc.o.d"
+  "/root/repo/src/opt/pass_storefwd.cc" "src/CMakeFiles/replay_opt.dir/opt/pass_storefwd.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/pass_storefwd.cc.o.d"
+  "/root/repo/src/opt/passes.cc" "src/CMakeFiles/replay_opt.dir/opt/passes.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/passes.cc.o.d"
+  "/root/repo/src/opt/remapper.cc" "src/CMakeFiles/replay_opt.dir/opt/remapper.cc.o" "gcc" "src/CMakeFiles/replay_opt.dir/opt/remapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/replay_uop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_opt.dir/opt/datapath.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/datapath.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/frameexec.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/frameexec.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/optbuffer.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/optbuffer.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/optimizer.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/optimizer.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/pass_assert.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/pass_assert.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/pass_constprop.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/pass_constprop.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/pass_cse.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/pass_cse.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/pass_dce.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/pass_dce.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/pass_nop.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/pass_nop.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/pass_reassoc.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/pass_reassoc.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/pass_storefwd.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/pass_storefwd.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/passes.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/passes.cc.o.d"
+  "CMakeFiles/replay_opt.dir/opt/remapper.cc.o"
+  "CMakeFiles/replay_opt.dir/opt/remapper.cc.o.d"
+  "libreplay_opt.a"
+  "libreplay_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_sim.dir/sim/config.cc.o"
+  "CMakeFiles/replay_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/replay_sim.dir/sim/results.cc.o"
+  "CMakeFiles/replay_sim.dir/sim/results.cc.o.d"
+  "CMakeFiles/replay_sim.dir/sim/runner.cc.o"
+  "CMakeFiles/replay_sim.dir/sim/runner.cc.o.d"
+  "CMakeFiles/replay_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/replay_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/replay_sim.dir/sim/tracecachefill.cc.o"
+  "CMakeFiles/replay_sim.dir/sim/tracecachefill.cc.o.d"
+  "libreplay_sim.a"
+  "libreplay_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

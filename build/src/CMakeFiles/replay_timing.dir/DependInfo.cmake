@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/accounting.cc" "src/CMakeFiles/replay_timing.dir/timing/accounting.cc.o" "gcc" "src/CMakeFiles/replay_timing.dir/timing/accounting.cc.o.d"
+  "/root/repo/src/timing/cache.cc" "src/CMakeFiles/replay_timing.dir/timing/cache.cc.o" "gcc" "src/CMakeFiles/replay_timing.dir/timing/cache.cc.o.d"
+  "/root/repo/src/timing/fetch.cc" "src/CMakeFiles/replay_timing.dir/timing/fetch.cc.o" "gcc" "src/CMakeFiles/replay_timing.dir/timing/fetch.cc.o.d"
+  "/root/repo/src/timing/pipeline.cc" "src/CMakeFiles/replay_timing.dir/timing/pipeline.cc.o" "gcc" "src/CMakeFiles/replay_timing.dir/timing/pipeline.cc.o.d"
+  "/root/repo/src/timing/predictor.cc" "src/CMakeFiles/replay_timing.dir/timing/predictor.cc.o" "gcc" "src/CMakeFiles/replay_timing.dir/timing/predictor.cc.o.d"
+  "/root/repo/src/timing/window.cc" "src/CMakeFiles/replay_timing.dir/timing/window.cc.o" "gcc" "src/CMakeFiles/replay_timing.dir/timing/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/replay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_uop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_timing.dir/timing/accounting.cc.o"
+  "CMakeFiles/replay_timing.dir/timing/accounting.cc.o.d"
+  "CMakeFiles/replay_timing.dir/timing/cache.cc.o"
+  "CMakeFiles/replay_timing.dir/timing/cache.cc.o.d"
+  "CMakeFiles/replay_timing.dir/timing/fetch.cc.o"
+  "CMakeFiles/replay_timing.dir/timing/fetch.cc.o.d"
+  "CMakeFiles/replay_timing.dir/timing/pipeline.cc.o"
+  "CMakeFiles/replay_timing.dir/timing/pipeline.cc.o.d"
+  "CMakeFiles/replay_timing.dir/timing/predictor.cc.o"
+  "CMakeFiles/replay_timing.dir/timing/predictor.cc.o.d"
+  "CMakeFiles/replay_timing.dir/timing/window.cc.o"
+  "CMakeFiles/replay_timing.dir/timing/window.cc.o.d"
+  "libreplay_timing.a"
+  "libreplay_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

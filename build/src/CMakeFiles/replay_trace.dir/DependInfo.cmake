@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/personalities.cc" "src/CMakeFiles/replay_trace.dir/trace/personalities.cc.o" "gcc" "src/CMakeFiles/replay_trace.dir/trace/personalities.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/CMakeFiles/replay_trace.dir/trace/record.cc.o" "gcc" "src/CMakeFiles/replay_trace.dir/trace/record.cc.o.d"
+  "/root/repo/src/trace/tracefile.cc" "src/CMakeFiles/replay_trace.dir/trace/tracefile.cc.o" "gcc" "src/CMakeFiles/replay_trace.dir/trace/tracefile.cc.o.d"
+  "/root/repo/src/trace/tracer.cc" "src/CMakeFiles/replay_trace.dir/trace/tracer.cc.o" "gcc" "src/CMakeFiles/replay_trace.dir/trace/tracer.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/CMakeFiles/replay_trace.dir/trace/workload.cc.o" "gcc" "src/CMakeFiles/replay_trace.dir/trace/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/replay_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

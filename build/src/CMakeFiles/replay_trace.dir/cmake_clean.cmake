@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_trace.dir/trace/personalities.cc.o"
+  "CMakeFiles/replay_trace.dir/trace/personalities.cc.o.d"
+  "CMakeFiles/replay_trace.dir/trace/record.cc.o"
+  "CMakeFiles/replay_trace.dir/trace/record.cc.o.d"
+  "CMakeFiles/replay_trace.dir/trace/tracefile.cc.o"
+  "CMakeFiles/replay_trace.dir/trace/tracefile.cc.o.d"
+  "CMakeFiles/replay_trace.dir/trace/tracer.cc.o"
+  "CMakeFiles/replay_trace.dir/trace/tracer.cc.o.d"
+  "CMakeFiles/replay_trace.dir/trace/workload.cc.o"
+  "CMakeFiles/replay_trace.dir/trace/workload.cc.o.d"
+  "libreplay_trace.a"
+  "libreplay_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_uop.dir/uop/evaluator.cc.o"
+  "CMakeFiles/replay_uop.dir/uop/evaluator.cc.o.d"
+  "CMakeFiles/replay_uop.dir/uop/translator.cc.o"
+  "CMakeFiles/replay_uop.dir/uop/translator.cc.o.d"
+  "CMakeFiles/replay_uop.dir/uop/uop.cc.o"
+  "CMakeFiles/replay_uop.dir/uop/uop.cc.o.d"
+  "libreplay_uop.a"
+  "libreplay_uop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_uop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_util.dir/util/logging.cc.o"
+  "CMakeFiles/replay_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/replay_util.dir/util/stats.cc.o"
+  "CMakeFiles/replay_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/replay_util.dir/util/table.cc.o"
+  "CMakeFiles/replay_util.dir/util/table.cc.o.d"
+  "libreplay_util.a"
+  "libreplay_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreplay_util.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_verify.dir/verify/memmap.cc.o"
+  "CMakeFiles/replay_verify.dir/verify/memmap.cc.o.d"
+  "CMakeFiles/replay_verify.dir/verify/verifier.cc.o"
+  "CMakeFiles/replay_verify.dir/verify/verifier.cc.o.d"
+  "libreplay_verify.a"
+  "libreplay_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

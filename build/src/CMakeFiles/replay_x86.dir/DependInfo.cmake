@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/asmbuilder.cc" "src/CMakeFiles/replay_x86.dir/x86/asmbuilder.cc.o" "gcc" "src/CMakeFiles/replay_x86.dir/x86/asmbuilder.cc.o.d"
+  "/root/repo/src/x86/disasm.cc" "src/CMakeFiles/replay_x86.dir/x86/disasm.cc.o" "gcc" "src/CMakeFiles/replay_x86.dir/x86/disasm.cc.o.d"
+  "/root/repo/src/x86/executor.cc" "src/CMakeFiles/replay_x86.dir/x86/executor.cc.o" "gcc" "src/CMakeFiles/replay_x86.dir/x86/executor.cc.o.d"
+  "/root/repo/src/x86/inst.cc" "src/CMakeFiles/replay_x86.dir/x86/inst.cc.o" "gcc" "src/CMakeFiles/replay_x86.dir/x86/inst.cc.o.d"
+  "/root/repo/src/x86/program.cc" "src/CMakeFiles/replay_x86.dir/x86/program.cc.o" "gcc" "src/CMakeFiles/replay_x86.dir/x86/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/replay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

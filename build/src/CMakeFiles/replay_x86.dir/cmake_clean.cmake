@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_x86.dir/x86/asmbuilder.cc.o"
+  "CMakeFiles/replay_x86.dir/x86/asmbuilder.cc.o.d"
+  "CMakeFiles/replay_x86.dir/x86/disasm.cc.o"
+  "CMakeFiles/replay_x86.dir/x86/disasm.cc.o.d"
+  "CMakeFiles/replay_x86.dir/x86/executor.cc.o"
+  "CMakeFiles/replay_x86.dir/x86/executor.cc.o.d"
+  "CMakeFiles/replay_x86.dir/x86/inst.cc.o"
+  "CMakeFiles/replay_x86.dir/x86/inst.cc.o.d"
+  "CMakeFiles/replay_x86.dir/x86/program.cc.o"
+  "CMakeFiles/replay_x86.dir/x86/program.cc.o.d"
+  "libreplay_x86.a"
+  "libreplay_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uop.dir/test_uop.cc.o"
+  "CMakeFiles/test_uop.dir/test_uop.cc.o.d"
+  "test_uop"
+  "test_uop.pdb"
+  "test_uop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
