@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fault_campaign.cc" "bench/CMakeFiles/bench_fault_campaign.dir/bench_fault_campaign.cc.o" "gcc" "bench/CMakeFiles/bench_fault_campaign.dir/bench_fault_campaign.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/replay_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_uop.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_campaign.dir/bench_fault_campaign.cc.o"
+  "CMakeFiles/bench_fault_campaign.dir/bench_fault_campaign.cc.o.d"
+  "bench_fault_campaign"
+  "bench_fault_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

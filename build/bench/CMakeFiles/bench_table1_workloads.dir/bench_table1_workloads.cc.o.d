@@ -224,10 +224,14 @@ bench/CMakeFiles/bench_table1_workloads.dir/bench_table1_workloads.cc.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/util/stats.hh /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/opt/datapath.hh \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/core/quarantine.hh /root/repo/src/opt/datapath.hh \
+ /root/repo/src/fault/faultinjector.hh /root/repo/src/util/rng.hh \
  /root/repo/src/timing/pipeline.hh /root/repo/src/timing/cache.hh \
  /root/repo/src/timing/predictor.hh /root/repo/src/timing/window.hh \
  /root/repo/src/sim/results.hh /root/repo/src/timing/accounting.hh \
  /root/repo/src/sim/tracecachefill.hh /root/repo/src/timing/fetch.hh \
+ /root/repo/src/verify/online.hh /root/repo/src/opt/frameexec.hh \
+ /root/repo/src/verify/verifier.hh /root/repo/src/verify/memmap.hh \
  /root/repo/src/trace/workload.hh /root/repo/src/trace/tracer.hh \
  /root/repo/src/util/table.hh

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/constructor.cc" "src/CMakeFiles/replay_core.dir/core/constructor.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/constructor.cc.o.d"
   "/root/repo/src/core/frame.cc" "src/CMakeFiles/replay_core.dir/core/frame.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/frame.cc.o.d"
   "/root/repo/src/core/framecache.cc" "src/CMakeFiles/replay_core.dir/core/framecache.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/framecache.cc.o.d"
+  "/root/repo/src/core/quarantine.cc" "src/CMakeFiles/replay_core.dir/core/quarantine.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/quarantine.cc.o.d"
   "/root/repo/src/core/sequencer.cc" "src/CMakeFiles/replay_core.dir/core/sequencer.cc.o" "gcc" "src/CMakeFiles/replay_core.dir/core/sequencer.cc.o.d"
   )
 
@@ -20,6 +21,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/replay_opt.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_uop.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_x86.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_util.dir/DependInfo.cmake"

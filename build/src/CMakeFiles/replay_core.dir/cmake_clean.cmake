@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/replay_core.dir/core/frame.cc.o.d"
   "CMakeFiles/replay_core.dir/core/framecache.cc.o"
   "CMakeFiles/replay_core.dir/core/framecache.cc.o.d"
+  "CMakeFiles/replay_core.dir/core/quarantine.cc.o"
+  "CMakeFiles/replay_core.dir/core/quarantine.cc.o.d"
   "CMakeFiles/replay_core.dir/core/sequencer.cc.o"
   "CMakeFiles/replay_core.dir/core/sequencer.cc.o.d"
   "libreplay_core.a"

@@ -224,8 +224,10 @@ src/CMakeFiles/replay_core.dir/core/sequencer.cc.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/util/stats.hh /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/opt/datapath.hh \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/core/quarantine.hh /root/repo/src/opt/datapath.hh \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/fault/faultinjector.hh /root/repo/src/util/rng.hh \
  /root/repo/src/util/logging.hh /usr/include/c++/12/cstdarg

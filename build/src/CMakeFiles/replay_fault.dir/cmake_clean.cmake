@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_fault.dir/fault/faultinjector.cc.o"
+  "CMakeFiles/replay_fault.dir/fault/faultinjector.cc.o.d"
+  "libreplay_fault.a"
+  "libreplay_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

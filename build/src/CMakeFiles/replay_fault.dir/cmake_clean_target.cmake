@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libreplay_fault.a"
+)

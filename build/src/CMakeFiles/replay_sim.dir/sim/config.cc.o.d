@@ -225,6 +225,8 @@ src/CMakeFiles/replay_sim.dir/sim/config.cc.o: \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/util/stats.hh /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/opt/datapath.hh \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/core/quarantine.hh /root/repo/src/opt/datapath.hh \
+ /root/repo/src/fault/faultinjector.hh /root/repo/src/util/rng.hh \
  /root/repo/src/timing/pipeline.hh /root/repo/src/timing/cache.hh \
  /root/repo/src/timing/predictor.hh /root/repo/src/timing/window.hh

@@ -9,15 +9,17 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/verify/memmap.cc" "src/CMakeFiles/replay_verify.dir/verify/memmap.cc.o" "gcc" "src/CMakeFiles/replay_verify.dir/verify/memmap.cc.o.d"
+  "/root/repo/src/verify/online.cc" "src/CMakeFiles/replay_verify.dir/verify/online.cc.o" "gcc" "src/CMakeFiles/replay_verify.dir/verify/online.cc.o.d"
   "/root/repo/src/verify/verifier.cc" "src/CMakeFiles/replay_verify.dir/verify/verifier.cc.o" "gcc" "src/CMakeFiles/replay_verify.dir/verify/verifier.cc.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/replay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_opt.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_uop.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/replay_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_x86.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_util.dir/DependInfo.cmake"
   )

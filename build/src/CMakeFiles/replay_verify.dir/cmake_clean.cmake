@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/replay_verify.dir/verify/memmap.cc.o"
   "CMakeFiles/replay_verify.dir/verify/memmap.cc.o.d"
+  "CMakeFiles/replay_verify.dir/verify/online.cc.o"
+  "CMakeFiles/replay_verify.dir/verify/online.cc.o.d"
   "CMakeFiles/replay_verify.dir/verify/verifier.cc.o"
   "CMakeFiles/replay_verify.dir/verify/verifier.cc.o.d"
   "libreplay_verify.a"

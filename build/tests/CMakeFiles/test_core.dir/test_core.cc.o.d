@@ -306,5 +306,6 @@ tests/CMakeFiles/test_core.dir/test_core.cc.o: \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/util/stats.hh \
  /root/repo/src/core/sequencer.hh /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/opt/datapath.hh /root/repo/src/trace/tracer.hh \
- /root/repo/src/trace/workload.hh /root/repo/src/x86/asmbuilder.hh
+ /root/repo/src/core/quarantine.hh /root/repo/src/opt/datapath.hh \
+ /root/repo/src/trace/tracer.hh /root/repo/src/trace/workload.hh \
+ /root/repo/src/x86/asmbuilder.hh

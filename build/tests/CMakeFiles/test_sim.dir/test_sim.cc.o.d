@@ -308,9 +308,13 @@ tests/CMakeFiles/test_sim.dir/test_sim.cc.o: /root/repo/tests/test_sim.cc \
  /root/repo/src/uop/translator.hh /root/repo/src/core/framecache.hh \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/util/stats.hh \
- /root/repo/src/opt/datapath.hh /root/repo/src/timing/pipeline.hh \
- /root/repo/src/timing/cache.hh /root/repo/src/timing/predictor.hh \
- /root/repo/src/timing/window.hh /root/repo/src/sim/results.hh \
- /root/repo/src/timing/accounting.hh /root/repo/src/sim/tracecachefill.hh \
- /root/repo/src/timing/fetch.hh /root/repo/src/trace/workload.hh \
- /root/repo/src/trace/tracer.hh /root/repo/src/trace/tracefile.hh
+ /root/repo/src/core/quarantine.hh /root/repo/src/opt/datapath.hh \
+ /root/repo/src/fault/faultinjector.hh /root/repo/src/util/rng.hh \
+ /root/repo/src/timing/pipeline.hh /root/repo/src/timing/cache.hh \
+ /root/repo/src/timing/predictor.hh /root/repo/src/timing/window.hh \
+ /root/repo/src/sim/results.hh /root/repo/src/timing/accounting.hh \
+ /root/repo/src/sim/tracecachefill.hh /root/repo/src/timing/fetch.hh \
+ /root/repo/src/verify/online.hh /root/repo/src/opt/frameexec.hh \
+ /root/repo/src/verify/verifier.hh /root/repo/src/verify/memmap.hh \
+ /root/repo/src/trace/workload.hh /root/repo/src/trace/tracer.hh \
+ /root/repo/src/trace/tracefile.hh

@@ -294,4 +294,5 @@ tests/CMakeFiles/test_util.dir/test_util.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/util/bitfield.hh /root/repo/src/util/rng.hh \
- /root/repo/src/util/stats.hh /root/repo/src/util/table.hh
+ /root/repo/src/util/stats.hh /root/repo/src/util/table.hh \
+ /root/repo/src/util/logging.hh /usr/include/c++/12/cstdarg

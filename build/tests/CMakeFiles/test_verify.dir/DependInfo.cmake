@@ -15,9 +15,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/replay_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/replay_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_opt.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_uop.dir/DependInfo.cmake"
-  "/root/repo/build/src/CMakeFiles/replay_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_x86.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/replay_util.dir/DependInfo.cmake"
   )

@@ -308,6 +308,7 @@ tests/CMakeFiles/test_verify.dir/test_verify.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/framecache.hh \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/util/stats.hh \
- /root/repo/src/opt/datapath.hh /root/repo/src/trace/workload.hh \
- /root/repo/src/trace/tracer.hh /root/repo/src/verify/memmap.hh \
- /root/repo/src/verify/verifier.hh /root/repo/src/opt/frameexec.hh
+ /root/repo/src/core/quarantine.hh /root/repo/src/opt/datapath.hh \
+ /root/repo/src/trace/workload.hh /root/repo/src/trace/tracer.hh \
+ /root/repo/src/verify/memmap.hh /root/repo/src/verify/verifier.hh \
+ /root/repo/src/opt/frameexec.hh

@@ -13,3 +13,4 @@ include("/root/repo/build/tests/test_core[1]_include.cmake")
 include("/root/repo/build/tests/test_verify[1]_include.cmake")
 include("/root/repo/build/tests/test_timing[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")

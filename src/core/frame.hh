@@ -72,6 +72,18 @@ struct Frame
     uint64_t assertFires = 0;
     uint64_t conflicts = 0;
 
+    /**
+     * Fault-injection harness metadata: true while the body differs
+     * from the pristine (verified-clean) body deposited by the
+     * optimizer — a later flip can land on the same bit and revert an
+     * earlier one, so the flag is recomputed against bodyHash on every
+     * injection.  Bookkeeping only: the online verifier never reads
+     * it; it exists so runs can prove no corrupted frame reached
+     * architectural commit.
+     */
+    bool faultInjected = false;
+    uint64_t bodyHash = 0;      ///< hash of the pristine body
+
     unsigned numX86Insts() const { return unsigned(pcs.size()); }
     unsigned numUops() const { return body.numUops(); }
 

@@ -1,0 +1,102 @@
+#include "core/quarantine.hh"
+
+#include <algorithm>
+
+namespace replay::core {
+
+Quarantine::Quarantine(QuarantineConfig cfg) : cfg_(cfg)
+{
+}
+
+bool
+Quarantine::decay(Entry &entry, uint64_t now) const
+{
+    // Quiet time since the last offence forgives one strike per
+    // decayCycles; an entry with no strikes left is expired.
+    if (now > entry.lastOffense && cfg_.decayCycles > 0) {
+        const uint64_t forgiven =
+            (now - entry.lastOffense) / cfg_.decayCycles;
+        if (forgiven >= entry.strikes)
+            return true;
+        entry.strikes -= unsigned(forgiven);
+        entry.lastOffense += forgiven * cfg_.decayCycles;
+    }
+    return entry.strikes == 0;
+}
+
+void
+Quarantine::prune(uint64_t now)
+{
+    if (entries_.size() <= cfg_.maxEntries)
+        return;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (decay(it->second, now))
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+    // Still over budget (a burst of fresh offenders): drop the entries
+    // closest to expiry so the most recent offenders stay blocked.
+    while (entries_.size() > cfg_.maxEntries) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.blockedUntil < victim->second.blockedUntil)
+                victim = it;
+        }
+        entries_.erase(victim);
+        ++stats_.counter("table_evictions");
+    }
+}
+
+void
+Quarantine::add(uint32_t pc, uint64_t now)
+{
+    Entry &entry = entries_[pc];
+    decay(entry, now);
+    entry.strikes = std::min<unsigned>(entry.strikes + 1, 63);
+    const uint64_t penalty =
+        std::min(cfg_.maxPenaltyCycles,
+                 cfg_.basePenaltyCycles << (entry.strikes - 1));
+    entry.blockedUntil = now + penalty;
+    entry.lastOffense = now;
+    entry.readmitted = false;
+    ++stats_.counter("quarantined");
+    prune(now);
+}
+
+bool
+Quarantine::blocked(uint32_t pc, uint64_t now)
+{
+    const auto it = entries_.find(pc);
+    if (it == entries_.end())
+        return false;
+    Entry &entry = it->second;
+    if (decay(entry, now)) {
+        entries_.erase(it);
+        return false;
+    }
+    if (now < entry.blockedUntil) {
+        ++stats_.counter("blocks");
+        return true;
+    }
+    if (!entry.readmitted) {
+        entry.readmitted = true;
+        ++stats_.counter("readmissions");
+    }
+    return false;
+}
+
+unsigned
+Quarantine::strikes(uint32_t pc, uint64_t now)
+{
+    const auto it = entries_.find(pc);
+    if (it == entries_.end())
+        return 0;
+    if (decay(it->second, now)) {
+        entries_.erase(it);
+        return 0;
+    }
+    return it->second.strikes;
+}
+
+} // namespace replay::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/faultinjector.hh"
 #include "util/logging.hh"
 
 namespace replay::core {
@@ -10,7 +11,7 @@ RePlayEngine::RePlayEngine(EngineConfig cfg)
     : cfg_(cfg), constructor_(cfg.constructor),
       optimizer_(cfg.optConfig),
       optPipe_(cfg.optPipelineDepth, cfg.optCyclesPerUop),
-      cache_(cfg.fcacheCapacityUops)
+      cache_(cfg.fcacheCapacityUops), quarantine_(cfg.quarantine)
 {
 }
 
@@ -26,6 +27,10 @@ RePlayEngine::enqueueCandidate(FrameCandidate &&cand, uint64_t now)
     // from every observed early exit (a frame whose assertions keep
     // firing is instead removed by bias eviction, making room for the
     // shorter variant).
+    if (quarantine_.blocked(cand.startPc, now)) {
+        ++stats_.counter("quarantine_candidate_drops");
+        return;
+    }
     if (const FramePtr existing = cache_.probe(cand.startPc)) {
         if (existing->pcs == cand.pcs ||
             existing->pcs.size() >= cand.pcs.size()) {
@@ -58,6 +63,17 @@ RePlayEngine::enqueueCandidate(FrameCandidate &&cand, uint64_t now)
         body = opt::Optimizer::passthrough(cand.uops, cand.blocks);
     }
 
+    bool sabotaged = false;
+    uint64_t pristine = 0;
+    if (cfg_.injector) {
+        pristine = fault::FaultInjector::hashBody(body);
+        if (cfg_.injector->maybeSabotagePass(body)) {
+            sabotaged =
+                fault::FaultInjector::hashBody(body) != pristine;
+            ++stats_.counter("fault_pass_sabotage");
+        }
+    }
+
     auto frame = std::make_shared<Frame>();
     frame->id = nextFrameId_++;
     frame->startPc = cand.startPc;
@@ -66,6 +82,8 @@ RePlayEngine::enqueueCandidate(FrameCandidate &&cand, uint64_t now)
     frame->dynamicExit = cand.dynamicExit;
     frame->numBlocks = cand.numBlocks;
     frame->body = std::move(body);
+    frame->bodyHash = pristine;
+    frame->faultInjected = sabotaged;
     for (size_t i = 0; i < frame->body.uops.size(); ++i) {
         const opt::FrameUop &fu = frame->body.uops[i];
         if (fu.unsafe && fu.uop.isStore()) {
@@ -101,7 +119,19 @@ FramePtr
 RePlayEngine::frameFor(uint32_t pc, uint64_t now)
 {
     drainReady(now);
-    return cache_.lookup(pc);
+    if (quarantine_.blocked(pc, now)) {
+        ++stats_.counter("quarantine_blocks");
+        return nullptr;
+    }
+    FramePtr frame = cache_.lookup(pc);
+    if (frame && cfg_.injector &&
+        cfg_.injector->maybeFlipOnFetch(frame->body)) {
+        frame->faultInjected =
+            fault::FaultInjector::hashBody(frame->body) !=
+            frame->bodyHash;
+        ++stats_.counter("fault_fetch_flips");
+    }
+    return frame;
 }
 
 void
@@ -140,6 +170,14 @@ RePlayEngine::frameAborted(const FramePtr &frame,
         cache_.invalidate(frame->startPc);
         ++stats_.counter("bias_evictions");
     }
+}
+
+void
+RePlayEngine::frameQuarantined(const FramePtr &frame, uint64_t now)
+{
+    cache_.invalidate(frame->startPc);
+    quarantine_.add(frame->startPc, now);
+    ++stats_.counter("quarantines");
 }
 
 } // namespace replay::core

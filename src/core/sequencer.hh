@@ -15,8 +15,13 @@
 #include "core/aliasprofile.hh"
 #include "core/constructor.hh"
 #include "core/framecache.hh"
+#include "core/quarantine.hh"
 #include "opt/datapath.hh"
 #include "opt/optimizer.hh"
+
+namespace replay::fault {
+class FaultInjector;
+} // namespace replay::fault
 
 namespace replay::core {
 
@@ -33,6 +38,16 @@ struct EngineConfig
     /** Evict a frame once fires*firePenalty >= fetches and fires >= 4. */
     unsigned evictFireThreshold = 4;
     unsigned evictFirePenalty = 8;
+
+    /** Blacklist policy for verifier-rejected frames. */
+    QuarantineConfig quarantine;
+
+    /**
+     * Optional fault injector (owned by the simulator).  When set, the
+     * engine exposes the two frame-side injection points: bit flips on
+     * frame-cache fetch and sabotage of optimized bodies.
+     */
+    fault::FaultInjector *injector = nullptr;
 };
 
 /** Frame construction / optimization / caching engine. */
@@ -61,10 +76,18 @@ class RePlayEngine
     /** A fetched frame aborted (assert fire / unsafe conflict). */
     void frameAborted(const FramePtr &frame, const FrameOutcome &outcome);
 
+    /**
+     * The online verifier rejected @p frame before commit: evict it and
+     * blacklist its start PC (decaying re-admission), so fetch degrades
+     * to the conventional path instead of replaying a bad frame.
+     */
+    void frameQuarantined(const FramePtr &frame, uint64_t now);
+
     /** Pipeline flush (long-flow instruction): drop the accumulation. */
     void flush() { constructor_.abandon(); }
 
     FrameCache &cache() { return cache_; }
+    Quarantine &quarantine() { return quarantine_; }
     AliasProfile &aliasProfile() { return profile_; }
     FrameConstructor &constructor() { return constructor_; }
     const opt::OptStats &optStats() const { return optStats_; }
@@ -78,6 +101,7 @@ class RePlayEngine
     opt::Optimizer optimizer_;
     opt::OptimizerPipeline optPipe_;
     FrameCache cache_;
+    Quarantine quarantine_;
     AliasProfile profile_;
     opt::OptStats optStats_;
     StatGroup stats_{"replay"};

@@ -1,0 +1,167 @@
+#include "fault/faultinjector.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <vector>
+
+#include "opt/optbuffer.hh"
+
+namespace replay::fault {
+
+using opt::Operand;
+using opt::OptimizedFrame;
+using uop::Op;
+using uop::UReg;
+
+namespace {
+
+/**
+ * Slots whose corruption is guaranteed semantically visible: the slot
+ * value is bound to an architecturally live-out register at the frame
+ * exit (not through a flags view), and the op computes a function of
+ * its immediate for which imm != imm' implies value != value' for
+ * every input (LIMM, ADD, SUB, XOR with the immediate operand form).
+ */
+std::vector<size_t>
+armedSlots(const OptimizedFrame &body)
+{
+    std::vector<bool> live(body.uops.size(), false);
+    for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+        const auto reg = static_cast<UReg>(r);
+        if (!opt::OptBuffer::archLiveOut(reg) || reg == UReg::FLAGS)
+            continue;
+        const Operand &binding = body.exit.regs[r];
+        if (binding.isProd() && !binding.flagsView &&
+            binding.idx < body.uops.size())
+            live[binding.idx] = true;
+    }
+
+    std::vector<size_t> out;
+    for (size_t i = 0; i < body.uops.size(); ++i) {
+        if (!live[i])
+            continue;
+        const uop::Uop &u = body.uops[i].uop;
+        const bool imm_form = body.uops[i].srcB.isNone();
+        if (imm_form && (u.op == Op::LIMM || u.op == Op::ADD ||
+                         u.op == Op::SUB || u.op == Op::XOR))
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+FaultInjector::FaultInjector(FaultConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+bool
+FaultInjector::corruptBody(OptimizedFrame &body, const char *site)
+{
+    const std::vector<size_t> slots = armedSlots(body);
+    if (slots.empty()) {
+        ++stats_.counter("no_target");
+        return false;
+    }
+    uop::Uop &u = body.uops[slots[rng_.below(slots.size())]].uop;
+
+    // ADD <-> SUB opcode flip stays armed only when the two results
+    // can never coincide (a+imm == a-imm iff 2*imm == 0 mod 2^32).
+    const bool can_flip_op =
+        (u.op == Op::ADD || u.op == Op::SUB) && u.imm != 0 &&
+        u.imm != std::numeric_limits<int32_t>::min();
+    if (can_flip_op && rng_.chance(0.25)) {
+        u.op = u.op == Op::ADD ? Op::SUB : Op::ADD;
+        ++stats_.counter(std::string(site) + "_op_flips");
+    } else {
+        u.imm ^= int32_t(1) << rng_.below(8);
+        ++stats_.counter(std::string(site) + "_imm_flips");
+    }
+    return true;
+}
+
+bool
+FaultInjector::maybeFlipOnFetch(OptimizedFrame &body)
+{
+    if (cfg_.fetchFlipRate <= 0.0 || !rng_.chance(cfg_.fetchFlipRate))
+        return false;
+    if (!corruptBody(body, "fetch"))
+        return false;
+    ++stats_.counter("fetch_flips");
+    return true;
+}
+
+bool
+FaultInjector::maybeSabotagePass(OptimizedFrame &body)
+{
+    if (cfg_.passSabotageRate <= 0.0 ||
+        !rng_.chance(cfg_.passSabotageRate))
+        return false;
+    if (!corruptBody(body, "pass"))
+        return false;
+    ++stats_.counter("pass_sabotage");
+    return true;
+}
+
+unsigned
+FaultInjector::corruptFileBytes(const std::string &path, uint64_t seed,
+                                double byte_rate, uint64_t skip_bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return 0;
+    std::vector<uint8_t> bytes;
+    uint8_t buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+
+    Rng rng(seed);
+    unsigned flipped = 0;
+    for (size_t i = skip_bytes; i < bytes.size(); ++i) {
+        if (rng.chance(byte_rate)) {
+            bytes[i] ^= uint8_t(1u << rng.below(8));
+            ++flipped;
+        }
+    }
+    if (!flipped)
+        return 0;
+
+    f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return 0;
+    const bool wrote =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    std::fclose(f);
+    return wrote ? flipped : 0;
+}
+
+uint64_t
+FaultInjector::hashBody(const opt::OptimizedFrame &body)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](uint64_t v) {
+        for (unsigned b = 0; b < 8; ++b) {
+            h ^= (v >> (b * 8)) & 0xff;
+            h *= 0x00000100000001b3ULL;
+        }
+    };
+    for (const opt::FrameUop &fu : body.uops) {
+        mix(uint64_t(fu.uop.op));
+        mix(uint64_t(uint32_t(fu.uop.imm)));
+    }
+    return h;
+}
+
+bool
+FaultInjector::truncateFile(const std::string &path, uint64_t keep_bytes)
+{
+    std::error_code ec;
+    std::filesystem::resize_file(path, keep_bytes, ec);
+    return !ec;
+}
+
+} // namespace replay::fault

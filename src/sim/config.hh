@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/sequencer.hh"
+#include "fault/faultinjector.hh"
 #include "timing/pipeline.hh"
 
 namespace replay::sim {
@@ -44,6 +45,17 @@ struct SimConfig
 
     /** Instruction budget per trace (0 = run the source dry). */
     uint64_t maxInsts = 0;
+
+    /**
+     * Verify every COMMITS-dispatched frame against the trace span
+     * before it commits; rejected frames roll back, pay the recovery
+     * penalty, and are quarantined.  Off by default: the paper-shape
+     * runs stay bit-identical to the seed.
+     */
+    bool verifyOnline = false;
+
+    /** Fault-injection knobs (all rates 0 = injector disabled). */
+    fault::FaultConfig fault;
 
     std::string name() const { return machineName(machine); }
 

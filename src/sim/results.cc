@@ -24,6 +24,21 @@ RunStats::merge(const RunStats &other)
     engineOptDrops += other.engineOptDrops;
     engineBiasEvictions += other.engineBiasEvictions;
     fcacheEvictions += other.fcacheEvictions;
+    verifyChecks += other.verifyChecks;
+    verifyDetections += other.verifyDetections;
+    corruptFrameCommits += other.corruptFrameCommits;
+    faultsFetchFlip += other.faultsFetchFlip;
+    faultsPassSabotage += other.faultsPassSabotage;
+    quarantines += other.quarantines;
+    quarantineBlocks += other.quarantineBlocks;
+    quarantineDrops += other.quarantineDrops;
+    quarantineReadmissions += other.quarantineReadmissions;
+    if (!archDigestValid) {
+        archDigest = other.archDigest;
+        archDigestValid = other.archDigestValid;
+    } else if (other.archDigestValid) {
+        archDigest = archDigest * 1099511628211ULL ^ other.archDigest;
+    }
     optStats.merge(other.optStats);
 }
 

@@ -56,6 +56,25 @@ struct RunStats
     uint64_t engineBiasEvictions = 0;
     uint64_t fcacheEvictions = 0;
 
+    // Fault-injection harness counters (zero unless enabled).
+    uint64_t verifyChecks = 0;          ///< online checks performed
+    uint64_t verifyDetections = 0;      ///< checks that rejected a frame
+    uint64_t corruptFrameCommits = 0;   ///< injected frames that escaped
+    uint64_t faultsFetchFlip = 0;       ///< bit flips on frame fetch
+    uint64_t faultsPassSabotage = 0;    ///< sabotaged optimized bodies
+    uint64_t quarantines = 0;
+    uint64_t quarantineBlocks = 0;      ///< fetches denied by quarantine
+    uint64_t quarantineDrops = 0;       ///< candidates denied
+    uint64_t quarantineReadmissions = 0;
+
+    /**
+     * FNV-1a64 of the architectural state at the instruction budget
+     * (online verification only): bit-identical across machines and
+     * across faulty / fault-free runs when recovery works.
+     */
+    uint64_t archDigest = 0;
+    bool archDigestValid = false;
+
     uint64_t cycles() const { return bins.total(); }
 
     /** x86 instructions per cycle — the paper's IPC metric. */

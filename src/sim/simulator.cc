@@ -34,8 +34,14 @@ Simulator::Simulator(const SimConfig &cfg)
       exec_(cfg_.pipe.exec, mem_), bpred_(cfg_.pipe.bpred),
       rat_(std::make_unique<Rat>())
 {
+    if (cfg_.usesFrames() && cfg_.fault.enabled()) {
+        injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault);
+        cfg_.engine.injector = injector_.get();
+    }
     if (cfg_.usesFrames())
         engine_ = std::make_unique<core::RePlayEngine>(cfg_.engine);
+    if (cfg_.verifyOnline)
+        online_ = std::make_unique<verify::OnlineVerifier>(cfg_.maxInsts);
     if (cfg_.usesTraceCache()) {
         tcache_ = std::make_unique<TraceCacheUnit>(
             cfg_.tcCapacityUops, cfg_.tcMaxBranches, cfg_.tcMaxUops);
@@ -123,6 +129,8 @@ Simulator::simulateIcacheInst(const TraceRecord &rec,
         engine_->observeRetired(rec, fe_.now());
     if (tcache_)
         tcache_->observe(rec);
+    if (online_)
+        online_->observe(rec);
 
     ++stats_.x86Retired;
     src.advance();
@@ -182,6 +190,31 @@ Simulator::simulateFrame(const FramePtr &frame, trace::TraceSource &src)
     }
     fe_.fetchBreak();
 
+    // Online verification: check the (possibly corrupted) cached body
+    // against the trace span before anything commits.  A rejection
+    // rolls back like an assert fire, pays the verify-recovery penalty,
+    // quarantines the frame's start PC, and degrades to the
+    // conventional path.
+    if (outcome.kind == FrameOutcome::Kind::COMMITS && online_) {
+        const uint64_t skips_before = online_->skips();
+        const verify::VerifyResult vr =
+            online_->verifyDispatch(*frame, src);
+        if (online_->skips() == skips_before)
+            ++stats_.verifyChecks;
+        if (!vr.ok) {
+            ++stats_.verifyDetections;
+            *rat_ = rat_snapshot;
+            fe_.idleUntil(
+                exec_.lastRetire() + cfg_.pipe.verifyRecoveryPenalty,
+                CycleBin::VERIFY);
+            engine_->frameQuarantined(frame, fe_.now());
+            icacheForcedUntil_ = src.consumed() + 1;
+            return;
+        }
+        if (frame->faultInjected)
+            ++stats_.corruptFrameCommits;
+    }
+
     if (outcome.kind == FrameOutcome::Kind::COMMITS) {
         // Architectural hand-off: live-out bindings become the new
         // value-completion map.
@@ -209,6 +242,8 @@ Simulator::simulateFrame(const FramePtr &frame, trace::TraceSource &src)
         for (unsigned i = 0; i < frame->numX86Insts(); ++i) {
             const TraceRecord *r = src.peek();
             engine_->observeRetired(*r, fe_.now());
+            if (online_)
+                online_->observe(*r);
             // Keep the predictor trained across frame-covered code so
             // the branches at frame boundaries keep their history (no
             // penalty is charged: assertions replaced the predictions).
@@ -334,6 +369,8 @@ Simulator::simulateTracePrefix(const FramePtr &trace_frame,
     stats_.frameX86Retired += n;    // "retired from the trace cache"
     for (unsigned i = 0; i < n; ++i) {
         tcache_->observe(*src.peek());
+        if (online_)
+            online_->observe(*src.peek());
         src.advance();
     }
 }
@@ -383,6 +420,21 @@ Simulator::run(trace::TraceSource &src)
             engine_->stats().get("bias_evictions");
         stats_.fcacheEvictions =
             engine_->cache().stats().get("evictions");
+        stats_.faultsFetchFlip =
+            engine_->stats().get("fault_fetch_flips");
+        stats_.faultsPassSabotage =
+            engine_->stats().get("fault_pass_sabotage");
+        stats_.quarantines = engine_->stats().get("quarantines");
+        stats_.quarantineBlocks =
+            engine_->stats().get("quarantine_blocks");
+        stats_.quarantineDrops =
+            engine_->stats().get("quarantine_candidate_drops");
+        stats_.quarantineReadmissions =
+            engine_->quarantine().stats().get("readmissions");
+    }
+    if (online_) {
+        stats_.archDigest = online_->digest();
+        stats_.archDigestValid = true;
     }
     return stats_;
 }

@@ -23,6 +23,7 @@
 #include "sim/results.hh"
 #include "sim/tracecachefill.hh"
 #include "timing/fetch.hh"
+#include "verify/online.hh"
 
 namespace replay::sim {
 
@@ -38,6 +39,9 @@ class Simulator
 
     /** The rePLay engine (RP/RPO; null otherwise) — for inspection. */
     core::RePlayEngine *engine() { return engine_.get(); }
+
+    /** The online verifier (cfg.verifyOnline; null otherwise). */
+    verify::OnlineVerifier *online() { return online_.get(); }
 
   private:
     struct Rat;
@@ -57,8 +61,10 @@ class Simulator
     timing::ExecModel exec_;
     timing::BranchPredictor bpred_;
     uop::Translator translator_;
+    std::unique_ptr<fault::FaultInjector> injector_;    ///< before engine_
     std::unique_ptr<core::RePlayEngine> engine_;
     std::unique_ptr<TraceCacheUnit> tcache_;
+    std::unique_ptr<verify::OnlineVerifier> online_;
 
     /** Completion time of each architectural register + flags. */
     std::unique_ptr<Rat> rat_;

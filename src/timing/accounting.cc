@@ -5,7 +5,7 @@ namespace replay::timing {
 const char *
 cycleBinName(CycleBin bin)
 {
-    static const char *names[] = {"assert", "mispred", "miss",
+    static const char *names[] = {"assert", "verify", "mispred", "miss",
                                   "stall", "wait", "frame", "icache"};
     return names[static_cast<unsigned>(bin)];
 }

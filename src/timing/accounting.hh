@@ -3,8 +3,10 @@
  * Fetch-cycle accounting (§6.1, Figures 7 and 8).
  *
  * Every cycle is classified from the fetch stage's perspective into
- * exactly one of seven bins, in the paper's priority order: Assert
- * (frame assertion recovery), Mispredict (unresolved mispredicted
+ * exactly one of the bins, in the paper's priority order: Assert
+ * (frame assertion recovery), Verify (rollback after the online frame
+ * verifier rejects a dispatched frame — the robustness extension to
+ * the paper's recovery model), Mispredict (unresolved mispredicted
  * branch or BTB miss), Miss (FCache/ICache miss), Stall (downstream
  * buffers full), Wait (FCache->ICache turnaround), Frame (fetching
  * from the frame cache), ICache (fetching from the ICache).
@@ -21,6 +23,7 @@ namespace replay::timing {
 enum class CycleBin : uint8_t
 {
     ASSERT,
+    VERIFY,
     MISPRED,
     MISS,
     STALL,

@@ -31,6 +31,10 @@ struct PipelineConfig
                                         ///< retire (§6.1's pessimistic
                                         ///< recovery model)
     unsigned longflowFlushPenalty = 20;
+    unsigned verifyRecoveryPenalty = 5; ///< rollback after the online
+                                        ///< verifier rejects a frame
+                                        ///< (same model as assert
+                                        ///< recovery)
 
     /** Render the Table 2 rows. */
     std::string describe() const;

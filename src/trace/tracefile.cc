@@ -10,14 +10,22 @@ namespace replay::trace {
 namespace {
 
 constexpr uint32_t MAGIC = 0x52504c54;  // "RPLT"
-constexpr uint32_t VERSION = 1;
+constexpr uint32_t VERSION = 2;
 
-struct FileHeader
+/** Header: magic, version, encoded record size, record count. */
+constexpr size_t HEADER_BYTES = 4 + 4 + 4 + 8;
+
+/** FNV-1a over a record payload — the per-record integrity guard. */
+uint32_t
+checksum(const uint8_t *buf, size_t len)
 {
-    uint32_t magic = MAGIC;
-    uint32_t version = VERSION;
-    uint64_t records = 0;
-};
+    uint32_t h = 0x811c9dc5u;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= buf[i];
+        h *= 0x01000193u;
+    }
+    return h;
+}
 
 /**
  * On-disk record layout: every field written explicitly and
@@ -85,6 +93,18 @@ struct Decoder
 };
 
 size_t
+encodeHeader(uint64_t records, uint8_t *out)
+{
+    Encoder e;
+    e.u32(MAGIC);
+    e.u32(VERSION);
+    e.u32(0);               // patched to recordBytes() below
+    e.u64(records);
+    std::memcpy(out, e.buf, e.len);
+    return e.len;
+}
+
+size_t
 encodeRecord(const TraceRecord &rec, uint8_t *out)
 {
     Encoder e;
@@ -135,7 +155,7 @@ encodeRecord(const TraceRecord &rec, uint8_t *out)
     return e.len;
 }
 
-/** Fixed encoded size (every record encodes identically). */
+/** Fixed encoded payload size (every record encodes identically). */
 size_t
 recordBytes()
 {
@@ -193,16 +213,61 @@ decodeRecord(const uint8_t *buf)
     return rec;
 }
 
+/** Write the header with the record-size length guard filled in. */
+bool
+writeHeader(std::FILE *file, uint64_t records)
+{
+    uint8_t buf[HEADER_BYTES];
+    encodeHeader(records, buf);
+    Encoder e;
+    e.u32(uint32_t(recordBytes()));
+    std::memcpy(buf + 8, e.buf, 4);
+    return std::fwrite(buf, sizeof(buf), 1, file) == 1;
+}
+
 } // anonymous namespace
+
+const char *
+traceErrorKindName(TraceError::Kind kind)
+{
+    switch (kind) {
+      case TraceError::Kind::NONE:            return "none";
+      case TraceError::Kind::OPEN_FAILED:     return "open_failed";
+      case TraceError::Kind::SHORT_HEADER:    return "short_header";
+      case TraceError::Kind::BAD_MAGIC:       return "bad_magic";
+      case TraceError::Kind::BAD_VERSION:     return "bad_version";
+      case TraceError::Kind::BAD_RECORD_SIZE: return "bad_record_size";
+      case TraceError::Kind::TRUNCATED:       return "truncated";
+      case TraceError::Kind::BAD_CHECKSUM:    return "bad_checksum";
+      case TraceError::Kind::WRITE_FAILED:    return "write_failed";
+      case TraceError::Kind::FLUSH_FAILED:    return "flush_failed";
+    }
+    return "?";
+}
+
+void
+TraceFileWriter::fail(TraceError::Kind kind, std::string msg)
+{
+    if (error_.ok())
+        error_ = TraceError::make(kind, std::move(msg));
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
 
 TraceFileWriter::TraceFileWriter(const std::string &path)
 {
     file_ = std::fopen(path.c_str(), "wb");
-    fatal_if(!file_, "cannot open trace file '%s' for writing",
-             path.c_str());
-    FileHeader header;
-    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
-             "cannot write trace header to '%s'", path.c_str());
+    if (!file_) {
+        fail(TraceError::Kind::OPEN_FAILED,
+             "cannot open trace file '" + path + "' for writing");
+        return;
+    }
+    if (!writeHeader(file_, 0)) {
+        fail(TraceError::Kind::WRITE_FAILED,
+             "cannot write trace header to '" + path + "'");
+    }
 }
 
 TraceFileWriter::~TraceFileWriter()
@@ -214,26 +279,40 @@ TraceFileWriter::~TraceFileWriter()
 void
 TraceFileWriter::write(const TraceRecord &rec)
 {
-    panic_if(!file_, "write after close");
-    uint8_t buf[128];
-    const size_t len = encodeRecord(rec, buf);
-    fatal_if(std::fwrite(buf, len, 1, file_) != 1,
-             "short write to trace file");
+    if (!file_)
+        return;
+    uint8_t buf[4 + 128];
+    const size_t len = encodeRecord(rec, buf + 4);
+    Encoder e;
+    e.u32(checksum(buf + 4, len));
+    std::memcpy(buf, e.buf, 4);
+    if (std::fwrite(buf, 4 + len, 1, file_) != 1) {
+        fail(TraceError::Kind::WRITE_FAILED, "short write to trace file");
+        return;
+    }
     ++count_;
 }
 
-void
+TraceError
 TraceFileWriter::close()
 {
     if (!file_)
-        return;
-    FileHeader header;
-    header.records = count_;
-    std::fseek(file_, 0, SEEK_SET);
-    fatal_if(std::fwrite(&header, sizeof(header), 1, file_) != 1,
+        return error_;
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        !writeHeader(file_, count_)) {
+        fail(TraceError::Kind::WRITE_FAILED,
              "cannot finalize trace header");
-    std::fclose(file_);
+        return error_;
+    }
+    if (std::fflush(file_) != 0) {
+        fail(TraceError::Kind::FLUSH_FAILED, "cannot flush trace file");
+        return error_;
+    }
+    if (std::fclose(file_) != 0)
+        error_ = TraceError::make(TraceError::Kind::FLUSH_FAILED,
+                                  "cannot close trace file");
     file_ = nullptr;
+    return error_;
 }
 
 uint64_t
@@ -244,24 +323,64 @@ TraceFileWriter::dumpProgram(const x86::Program &program, uint64_t insts,
     x86::Executor exec(program);
     for (uint64_t i = 0; i < insts; ++i)
         writer.write(TraceRecord::fromStep(exec.step()));
-    writer.close();
+    const TraceError err = writer.close();
+    fatal_if(!err.ok(), "dumping trace to '%s': %s (%s)", path.c_str(),
+             err.message.c_str(), traceErrorKindName(err.kind));
     return insts;
 }
 
+void
+FileTraceSource::fail(TraceError::Kind kind, std::string msg)
+{
+    if (error_.ok())
+        error_ = TraceError::make(kind, std::move(msg));
+    // End the stream at the last valid record: no more fills.
+    total_ = produced_;
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
 FileTraceSource::FileTraceSource(const std::string &path)
-    : ring_(LOOKAHEAD * 2)
+    : path_(path), ring_(LOOKAHEAD * 2)
 {
     file_ = std::fopen(path.c_str(), "rb");
-    fatal_if(!file_, "cannot open trace file '%s'", path.c_str());
-    FileHeader header;
-    fatal_if(std::fread(&header, sizeof(header), 1, file_) != 1,
-             "trace file '%s' has no header", path.c_str());
-    fatal_if(header.magic != MAGIC, "'%s' is not a trace file",
-             path.c_str());
-    fatal_if(header.version != VERSION,
-             "trace file '%s' has unsupported version %u", path.c_str(),
-             header.version);
-    total_ = header.records;
+    if (!file_) {
+        fail(TraceError::Kind::OPEN_FAILED,
+             "cannot open trace file '" + path + "'");
+        return;
+    }
+    uint8_t buf[HEADER_BYTES];
+    if (std::fread(buf, sizeof(buf), 1, file_) != 1) {
+        fail(TraceError::Kind::SHORT_HEADER,
+             "trace file '" + path + "' has no header");
+        return;
+    }
+    Decoder d{buf};
+    const uint32_t magic = d.u32();
+    const uint32_t version = d.u32();
+    const uint32_t rec_bytes = d.u32();
+    const uint64_t records = d.u64();
+    if (magic != MAGIC) {
+        fail(TraceError::Kind::BAD_MAGIC,
+             "'" + path + "' is not a trace file");
+        return;
+    }
+    if (version != VERSION) {
+        fail(TraceError::Kind::BAD_VERSION,
+             "trace file '" + path + "' has unsupported version " +
+                 std::to_string(version));
+        return;
+    }
+    if (rec_bytes != recordBytes()) {
+        fail(TraceError::Kind::BAD_RECORD_SIZE,
+             "trace file '" + path + "' declares " +
+                 std::to_string(rec_bytes) + "-byte records, expected " +
+                 std::to_string(recordBytes()));
+        return;
+    }
+    total_ = records;
 }
 
 FileTraceSource::~FileTraceSource()
@@ -273,12 +392,23 @@ FileTraceSource::~FileTraceSource()
 void
 FileTraceSource::fill(unsigned n)
 {
-    uint8_t buf[128];
+    uint8_t buf[4 + 128];
     while (count_ < n && produced_ < total_) {
-        fatal_if(std::fread(buf, recordBytes(), 1, file_) != 1,
-                 "trace file truncated at record %llu",
-                 (unsigned long long)produced_);
-        ring_[(head_ + count_) % ring_.size()] = decodeRecord(buf);
+        if (std::fread(buf, 4 + recordBytes(), 1, file_) != 1) {
+            fail(TraceError::Kind::TRUNCATED,
+                 "trace file '" + path_ + "' truncated at record " +
+                     std::to_string(produced_));
+            return;
+        }
+        Decoder d{buf};
+        if (d.u32() != checksum(buf + 4, recordBytes())) {
+            fail(TraceError::Kind::BAD_CHECKSUM,
+                 "trace file '" + path_ +
+                     "' record " + std::to_string(produced_) +
+                     " failed its checksum");
+            return;
+        }
+        ring_[(head_ + count_) % ring_.size()] = decodeRecord(buf + 4);
         ++count_;
         ++produced_;
     }

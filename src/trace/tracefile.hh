@@ -9,6 +9,14 @@
  * transactions.  A written file can be replayed through the simulator
  * with FileTraceSource, decoupling trace generation from simulation
  * exactly as the paper's infrastructure did.
+ *
+ * Format v2 hardens the container against corrupt or truncated input:
+ * the header carries magic/version plus the encoded record size (a
+ * length guard against version skew), and every record is prefixed by
+ * a 32-bit FNV-1a checksum of its payload.  I/O failures surface as a
+ * recoverable TraceError instead of terminating the process — a
+ * damaged file simply yields its valid prefix and reports why it
+ * stopped.
  */
 
 #ifndef REPLAY_TRACE_TRACEFILE_HH
@@ -22,22 +30,63 @@
 
 namespace replay::trace {
 
+/** Status/expected-style error descriptor for trace I/O. */
+struct TraceError
+{
+    enum class Kind : uint8_t
+    {
+        NONE,               ///< no error
+        OPEN_FAILED,        ///< file could not be opened
+        SHORT_HEADER,       ///< file ends inside the header
+        BAD_MAGIC,          ///< not a trace file
+        BAD_VERSION,        ///< unsupported format version
+        BAD_RECORD_SIZE,    ///< header record size != decoder's
+        TRUNCATED,          ///< file ends inside a record
+        BAD_CHECKSUM,       ///< record payload failed its checksum
+        WRITE_FAILED,       ///< fwrite reported a short write
+        FLUSH_FAILED,       ///< flush/close failed
+    };
+
+    Kind kind = Kind::NONE;
+    std::string message;
+
+    bool ok() const { return kind == Kind::NONE; }
+
+    static TraceError
+    make(Kind kind, std::string msg)
+    {
+        return {kind, std::move(msg)};
+    }
+};
+
+const char *traceErrorKindName(TraceError::Kind kind);
+
 /** Streaming writer for the binary trace format. */
 class TraceFileWriter
 {
   public:
-    /** Open (truncate) @p path; fatal on failure. */
+    /**
+     * Open (truncate) @p path.  Failure does not terminate: the writer
+     * enters an error state (see ok()/error()) and later writes no-op.
+     */
     explicit TraceFileWriter(const std::string &path);
     ~TraceFileWriter();
 
     TraceFileWriter(const TraceFileWriter &) = delete;
     TraceFileWriter &operator=(const TraceFileWriter &) = delete;
 
-    /** Append one record. */
+    /** Append one record (no-op once in the error state). */
     void write(const TraceRecord &rec);
 
-    /** Finalize the header (record count) and close. */
-    void close();
+    /**
+     * Finalize the header (record count), flush, and close.  Returns
+     * the first error encountered over the writer's whole life —
+     * open, any write, or the final flush.
+     */
+    TraceError close();
+
+    bool ok() const { return error_.ok(); }
+    const TraceError &error() const { return error_; }
 
     uint64_t written() const { return count_; }
 
@@ -46,15 +95,23 @@ class TraceFileWriter
                                 uint64_t insts, const std::string &path);
 
   private:
+    void fail(TraceError::Kind kind, std::string msg);
+
     std::FILE *file_ = nullptr;
     uint64_t count_ = 0;
+    TraceError error_;
 };
 
 /** TraceSource reading a file produced by TraceFileWriter. */
 class FileTraceSource : public TraceSource
 {
   public:
-    /** Open @p path; fatal on missing/corrupt header. */
+    /**
+     * Open @p path.  A missing/corrupt header is a recoverable error:
+     * the source reports it via ok()/error() and presents an empty
+     * stream.  Mid-stream corruption (truncation, checksum mismatch)
+     * ends the stream at the last valid record and records the error.
+     */
     explicit FileTraceSource(const std::string &path);
     ~FileTraceSource() override;
 
@@ -66,16 +123,25 @@ class FileTraceSource : public TraceSource
     bool done() override;
     uint64_t consumed() const override { return consumed_; }
 
-    /** Total records in the file. */
+    bool ok() const { return error_.ok(); }
+    const TraceError &error() const { return error_; }
+
+    /** Total records the header claims. */
     uint64_t totalRecords() const { return total_; }
+
+    /** Records actually decoded and delivered (or buffered) so far. */
+    uint64_t produced() const { return produced_; }
 
   private:
     void fill(unsigned n);
+    void fail(TraceError::Kind kind, std::string msg);
 
     std::FILE *file_ = nullptr;
+    std::string path_;
     uint64_t total_ = 0;
     uint64_t produced_ = 0;
     uint64_t consumed_ = 0;
+    TraceError error_;
 
     std::vector<TraceRecord> ring_;
     size_t head_ = 0;

@@ -7,6 +7,8 @@ namespace replay {
 
 namespace {
 
+DeathHandler deathHandler = nullptr;
+
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
@@ -16,31 +18,50 @@ vreport(const char *tag, const char *fmt, va_list ap)
     std::fflush(stderr);
 }
 
+/**
+ * Format, print (with file:line), flush stderr, and hand the message to
+ * the death hook if one is installed.  Returns only if a hook is set
+ * and itself returned; the caller then terminates.
+ */
+void
+reportDeath(const char *kind, const char *file, int line,
+            const char *fmt, va_list ap)
+{
+    char message[1024];
+    std::vsnprintf(message, sizeof(message), fmt, ap);
+    std::fprintf(stderr, "%s: (%s:%d) %s\n", kind, file, line, message);
+    std::fflush(stderr);
+    if (deathHandler)
+        deathHandler(kind, file, line, message);
+}
+
 } // anonymous namespace
+
+DeathHandler
+setDeathHandler(DeathHandler handler)
+{
+    DeathHandler old = deathHandler;
+    deathHandler = handler;
+    return old;
+}
 
 void
 panicImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "panic: (%s:%d) ", file, line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    reportDeath("panic", file, line, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
-    std::fflush(stderr);
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
-    std::fprintf(stderr, "fatal: (%s:%d) ", file, line);
     va_list ap;
     va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
+    reportDeath("fatal", file, line, fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "\n");
-    std::fflush(stderr);
     std::exit(1);
 }
 

@@ -20,6 +20,19 @@
 
 namespace replay {
 
+/**
+ * Test-only death hook: invoked with the fully formatted message after
+ * it has been printed and stderr flushed, *instead of* terminating.
+ * A test installs a handler that throws, making panic/fatal paths
+ * assertable without killing the test binary.  If the handler returns,
+ * termination proceeds as usual.  Never install one in production code.
+ */
+using DeathHandler = void (*)(const char *kind, const char *file,
+                              int line, const char *message);
+
+/** Install @p handler (nullptr restores default); returns the old one. */
+DeathHandler setDeathHandler(DeathHandler handler);
+
 /** Print a formatted message tagged "panic:" and abort. */
 [[noreturn]] void panicImpl(const char *file, int line,
                             const char *fmt, ...);

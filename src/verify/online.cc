@@ -1,0 +1,86 @@
+#include "verify/online.hh"
+
+#include <cstring>
+#include <vector>
+
+namespace replay::verify {
+
+OnlineVerifier::OnlineVerifier(uint64_t digest_cap)
+    : digestCap_(digest_cap)
+{
+}
+
+void
+OnlineVerifier::observe(const trace::TraceRecord &rec)
+{
+    for (unsigned w = 0; w < rec.numRegWrites; ++w) {
+        const x86::Reg reg = rec.regWrites[w].reg;
+        state_.regs[unsigned(reg)] = rec.regWrites[w].value;
+        if (reg == x86::Reg::ESP)
+            espSeen_ = true;
+        else if (reg == x86::Reg::EBP)
+            ebpSeen_ = true;
+    }
+    if (rec.numFregWrites) {
+        uint32_t raw;
+        std::memcpy(&raw, &rec.fregWrite.value, 4);
+        state_.regs[unsigned(uop::fpr(rec.fregWrite.reg))] = raw;
+    }
+    state_.flags = x86::Flags::unpack(rec.flagsAfter);
+
+    ++observed_;
+    if (!capped_ && observed_ == digestCap_) {
+        cappedDigest_ = hashState();
+        capped_ = true;
+    }
+}
+
+VerifyResult
+OnlineVerifier::verifyDispatch(const core::Frame &frame,
+                               trace::TraceSource &src)
+{
+    if (!ready()) {
+        ++skips_;
+        return {};
+    }
+    std::vector<trace::TraceRecord> records;
+    records.reserve(frame.pcs.size());
+    for (unsigned i = 0; i < frame.pcs.size(); ++i) {
+        const trace::TraceRecord *rec = src.peek(i);
+        if (!rec) {
+            // Trace ends inside the span; the frame cannot commit
+            // whole, so there is nothing to check.
+            ++skips_;
+            return {};
+        }
+        records.push_back(*rec);
+    }
+    return verifyFrame(frame, records, state_);
+}
+
+uint64_t
+OnlineVerifier::hashState() const
+{
+    // FNV-1a64 over the register file bytes plus the packed flags.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](uint8_t byte) {
+        h ^= byte;
+        h *= 0x00000100000001b3ULL;
+    };
+    for (const uint32_t reg : state_.regs) {
+        mix(uint8_t(reg));
+        mix(uint8_t(reg >> 8));
+        mix(uint8_t(reg >> 16));
+        mix(uint8_t(reg >> 24));
+    }
+    mix(state_.flags.pack());
+    return h;
+}
+
+uint64_t
+OnlineVerifier::digest() const
+{
+    return capped_ ? cappedDigest_ : hashState();
+}
+
+} // namespace replay::verify

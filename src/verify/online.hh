@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Online frame verification: incremental architectural-state tracking
+ * for the fault-injection harness.
+ *
+ * The offline verifier (verifier.hh) needs the live-in architectural
+ * state of a frame.  During a batch run the simulator never has that —
+ * it is timing-only — so the OnlineVerifier reconstructs it by applying
+ * every retired trace record's register writes in order, exactly as the
+ * verifier's own reference walk does.  At each frame dispatch that
+ * resolves to COMMITS, the tracked state is the frame's live-in and the
+ * existing verifyFrame() can check the cached (possibly corrupted) body
+ * against the upcoming trace span before anything commits.
+ *
+ * Two subtleties:
+ *  - The tracker starts from all-zero registers, matching the
+ *    functional executor except for ESP/EBP (initialized to the stack
+ *    top).  Verification is therefore skipped until both have been
+ *    observed written at least once.
+ *  - Runs overshoot maxInsts by up to one frame, and different machines
+ *    overshoot differently.  The digest used for cross-run comparison
+ *    is snapshotted at exactly the requested record count, so IC / RPO /
+ *    faulty / fault-free runs stay bit-comparable.
+ */
+
+#ifndef REPLAY_VERIFY_ONLINE_HH
+#define REPLAY_VERIFY_ONLINE_HH
+
+#include <cstdint>
+
+#include "core/frame.hh"
+#include "opt/frameexec.hh"
+#include "trace/record.hh"
+#include "verify/verifier.hh"
+
+namespace replay::verify {
+
+/** Retirement-order architectural state tracker + dispatch checker. */
+class OnlineVerifier
+{
+  public:
+    /** @p digest_cap: observed-record count the digest snapshots at. */
+    explicit OnlineVerifier(uint64_t digest_cap);
+
+    /** Apply one retired record's architectural effects. */
+    void observe(const trace::TraceRecord &rec);
+
+    /**
+     * Verify @p frame (about to be dispatched with a COMMITS outcome)
+     * against the upcoming span of @p src.  Returns ok when the live-in
+     * state is not yet trusted (ready() false) or the trace ends inside
+     * the span; such skips are counted separately.
+     */
+    VerifyResult verifyDispatch(const core::Frame &frame,
+                                trace::TraceSource &src);
+
+    /** Live-in state trusted (ESP and EBP both observed written). */
+    bool ready() const { return espSeen_ && ebpSeen_; }
+
+    /** FNV-1a64 of regs+flags at the digest cap (or current if unhit). */
+    uint64_t digest() const;
+
+    uint64_t observed() const { return observed_; }
+    uint64_t skips() const { return skips_; }
+    const opt::ArchState &state() const { return state_; }
+
+  private:
+    uint64_t hashState() const;
+
+    opt::ArchState state_;
+    uint64_t digestCap_;
+    uint64_t observed_ = 0;
+    uint64_t skips_ = 0;
+    uint64_t cappedDigest_ = 0;
+    bool capped_ = false;
+    bool espSeen_ = false;
+    bool ebpSeen_ = false;
+};
+
+} // namespace replay::verify
+
+#endif // REPLAY_VERIFY_ONLINE_HH

@@ -453,3 +453,91 @@ TEST(FrameConstructor, CandidateRecordsMatchPcs)
         src.advance();
     }
 }
+
+// ---------------------------------------------------------------------
+// Quarantine (verifier-rejected frame blacklist)
+// ---------------------------------------------------------------------
+
+TEST(Quarantine, BlocksThenReadmits)
+{
+    QuarantineConfig cfg;
+    cfg.basePenaltyCycles = 100;
+    cfg.decayCycles = 10000;
+    Quarantine q(cfg);
+
+    EXPECT_FALSE(q.blocked(0x400, 0));
+    q.add(0x400, 1000);
+    EXPECT_TRUE(q.blocked(0x400, 1050));
+    EXPECT_FALSE(q.blocked(0x400, 1100));        // penalty served
+    EXPECT_EQ(q.stats().get("readmissions"), 1u);
+    // Re-probing after readmission does not recount.
+    EXPECT_FALSE(q.blocked(0x400, 1200));
+    EXPECT_EQ(q.stats().get("readmissions"), 1u);
+}
+
+TEST(Quarantine, RepeatOffenderBacksOffExponentially)
+{
+    QuarantineConfig cfg;
+    cfg.basePenaltyCycles = 100;
+    cfg.maxPenaltyCycles = 800;
+    cfg.decayCycles = 1000000;      // no decay within this test
+    Quarantine q(cfg);
+
+    q.add(0x400, 0);                // strike 1: blocked until 100
+    EXPECT_FALSE(q.blocked(0x400, 100));
+    q.add(0x400, 100);              // strike 2: blocked until 300
+    EXPECT_TRUE(q.blocked(0x400, 250));
+    EXPECT_FALSE(q.blocked(0x400, 300));
+    q.add(0x400, 300);              // strike 3: blocked until 700
+    EXPECT_TRUE(q.blocked(0x400, 650));
+    q.add(0x400, 700);              // strike 4: capped at 700+800
+    EXPECT_TRUE(q.blocked(0x400, 1400));
+    EXPECT_FALSE(q.blocked(0x400, 1500));
+    EXPECT_EQ(q.strikes(0x400, 1500), 4u);
+}
+
+TEST(Quarantine, QuietTimeForgivesStrikes)
+{
+    QuarantineConfig cfg;
+    cfg.basePenaltyCycles = 100;
+    cfg.decayCycles = 1000;
+    Quarantine q(cfg);
+
+    q.add(0x400, 0);
+    q.add(0x400, 100);
+    EXPECT_EQ(q.strikes(0x400, 200), 2u);
+    EXPECT_EQ(q.strikes(0x400, 1200), 1u);      // one strike forgiven
+    EXPECT_EQ(q.strikes(0x400, 2200), 0u);      // entry expired
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(Quarantine, TableStaysBounded)
+{
+    QuarantineConfig cfg;
+    cfg.basePenaltyCycles = 100;
+    cfg.decayCycles = 1000000;
+    cfg.maxEntries = 8;
+    Quarantine q(cfg);
+
+    for (uint32_t pc = 0; pc < 64; ++pc)
+        q.add(0x1000 + pc * 4, pc);
+    EXPECT_LE(q.size(), 8u);
+    EXPECT_GT(q.stats().get("table_evictions"), 0u);
+    // The most recent offender survives the pruning.
+    EXPECT_TRUE(q.blocked(0x1000 + 63 * 4, 64));
+}
+
+TEST(RePlayEngine, QuarantinedFrameNotServed)
+{
+    RePlayEngine engine;
+    auto frame = std::make_shared<Frame>();
+    frame->startPc = 0x400;
+    frame->pcs = {0x400};
+    engine.cache().insert(frame);
+    ASSERT_NE(engine.frameFor(0x400, 0), nullptr);
+
+    engine.frameQuarantined(frame, 0);
+    EXPECT_EQ(engine.frameFor(0x400, 1), nullptr);
+    EXPECT_EQ(engine.stats().get("quarantines"), 1u);
+    EXPECT_GT(engine.stats().get("quarantine_blocks"), 0u);
+}

@@ -128,3 +128,72 @@ TEST(Table, Formatters)
     EXPECT_EQ(TextTable::percent(0.216, 0), "22%");
     EXPECT_EQ(TextTable::percent(0.216, 1), "21.6%");
 }
+
+// ---------------------------------------------------------------------
+// Death reporting (panic/fatal) via the test-only death hook
+// ---------------------------------------------------------------------
+
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace {
+
+struct DeathInfo
+{
+    std::string kind;
+    std::string file;
+    int line = 0;
+    std::string message;
+};
+
+DeathInfo lastDeath;
+
+[[noreturn]] void
+throwingHandler(const char *kind, const char *file, int line,
+                const char *message)
+{
+    lastDeath = {kind, file, line, message};
+    throw std::runtime_error(message);
+}
+
+} // anonymous namespace
+
+TEST(Logging, PanicReportsFileLineAndMessage)
+{
+    DeathHandler prev = setDeathHandler(throwingHandler);
+    EXPECT_THROW(panic("bad state %d", 42), std::runtime_error);
+    setDeathHandler(prev);
+
+    EXPECT_EQ(lastDeath.kind, "panic");
+    EXPECT_NE(lastDeath.file.find("test_util.cc"), std::string::npos);
+    EXPECT_GT(lastDeath.line, 0);
+    EXPECT_EQ(lastDeath.message, "bad state 42");
+}
+
+TEST(Logging, FatalReportsFileLineAndMessage)
+{
+    DeathHandler prev = setDeathHandler(throwingHandler);
+    EXPECT_THROW(fatal("cannot open '%s'", "trace.rplt"),
+                 std::runtime_error);
+    setDeathHandler(prev);
+
+    EXPECT_EQ(lastDeath.kind, "fatal");
+    EXPECT_EQ(lastDeath.message, "cannot open 'trace.rplt'");
+}
+
+TEST(Logging, GuardMacrosFireOnlyWhenConditionHolds)
+{
+    DeathHandler prev = setDeathHandler(throwingHandler);
+    EXPECT_NO_THROW(panic_if(false, "unreachable"));
+    EXPECT_NO_THROW(fatal_if(false, "unreachable"));
+    EXPECT_THROW(panic_if(1 + 1 == 2, "invariant"), std::runtime_error);
+    EXPECT_THROW(fatal_if(true, "user error"), std::runtime_error);
+    setDeathHandler(prev);
+}
+
+TEST(Logging, InstallReturnsPreviousHandler)
+{
+    DeathHandler prev = setDeathHandler(throwingHandler);
+    EXPECT_EQ(setDeathHandler(prev), &throwingHandler);
+}
