@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fuzzing throughput microbenchmarks: how many generated programs,
+ * headless frame-machine instructions, and full oracle instructions
+ * per second the differential harness sustains.  The numbers bound how
+ * large a --seed-range sweep is practical in CI.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fuzz/difforacle.hh"
+#include "sim/headless.hh"
+
+using namespace replay;
+
+namespace {
+
+void
+BM_ProgenMaterialize(benchmark::State &state)
+{
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        const auto prog = fuzz::ProgramSpec::random(seed++).materialize();
+        benchmark::DoNotOptimize(prog.code().size());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_ProgenMaterialize);
+
+void
+BM_FrameMachine(benchmark::State &state)
+{
+    const uint64_t max_insts = uint64_t(state.range(0));
+    const auto prog = fuzz::ProgramSpec::random(1).materialize();
+    const fuzz::OracleConfig cfg;
+    for (auto _ : state) {
+        sim::FrameMachine fm(prog, cfg.engine(), max_insts);
+        while (fm.step().kind != sim::MachineStep::Kind::DONE) {
+        }
+        benchmark::DoNotOptimize(fm.retired());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations())
+                            * int64_t(max_insts));
+}
+BENCHMARK(BM_FrameMachine)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void
+BM_OracleRun(benchmark::State &state)
+{
+    const uint64_t max_insts = uint64_t(state.range(0));
+    uint64_t seed = 0;
+    uint64_t frames = 0;
+    for (auto _ : state) {
+        fuzz::OracleConfig cfg;
+        cfg.maxInsts = max_insts;
+        const auto report =
+            fuzz::runOracle(fuzz::ProgramSpec::random(seed++), cfg);
+        if (report.diverged())
+            state.SkipWithError("unexpected divergence");
+        frames += report.framesCommitted;
+    }
+    state.SetItemsProcessed(int64_t(state.iterations())
+                            * int64_t(max_insts));
+    state.counters["frames"] =
+        benchmark::Counter(double(frames), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OracleRun)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite in the normal configuration,
+# then the fuzz-smoke differential-oracle subset rebuilt and re-run
+# under AddressSanitizer + UBSan (catches memory bugs the functional
+# comparison alone would miss).
+#
+# Usage: scripts/tier1.sh [build-dir] [asan-build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+ASAN_BUILD="${2:-build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: full suite (${BUILD}) =="
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== tier-1: fuzz-smoke under ASan+UBSan (${ASAN_BUILD}) =="
+cmake -B "$ASAN_BUILD" -S . -DCMAKE_BUILD_TYPE=Debug -DENABLE_SANITIZERS=ON
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fuzz
+ctest --test-dir "$ASAN_BUILD" --output-on-failure -L fuzz-smoke
+
+echo "tier-1 PASS"

@@ -54,9 +54,14 @@ Quarantine::add(uint32_t pc, uint64_t now)
     Entry &entry = entries_[pc];
     decay(entry, now);
     entry.strikes = std::min<unsigned>(entry.strikes + 1, 63);
+    // base << shift saturates at the cap: base > (max >> shift) exactly
+    // when the shifted penalty would exceed (or overflow past) the cap.
+    const unsigned shift = entry.strikes - 1;
     const uint64_t penalty =
-        std::min(cfg_.maxPenaltyCycles,
-                 cfg_.basePenaltyCycles << (entry.strikes - 1));
+        (shift >= 64 ||
+         cfg_.basePenaltyCycles > (cfg_.maxPenaltyCycles >> shift))
+            ? cfg_.maxPenaltyCycles
+            : cfg_.basePenaltyCycles << shift;
     entry.blockedUntil = now + penalty;
     entry.lastOffense = now;
     entry.readmitted = false;

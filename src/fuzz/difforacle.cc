@@ -1,0 +1,235 @@
+#include "fuzz/difforacle.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/headless.hh"
+#include "uop/uop.hh"
+#include "verify/memmap.hh"
+#include "verify/online.hh"
+
+namespace replay::fuzz {
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[192];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof buf, format, ap);
+    va_end(ap);
+    return buf;
+}
+
+void
+noteStores(verify::MemoryMap &image, const trace::TraceRecord &rec)
+{
+    for (unsigned m = 0; m < rec.numMemOps; ++m) {
+        const x86::MemOp &op = rec.memOps[m];
+        if (!op.isStore)
+            continue;
+        for (unsigned b = 0; b < op.size; ++b)
+            image.setByte(op.addr + b, uint8_t(op.data >> (8 * b)));
+    }
+}
+
+/** First mismatch between the reference span's store stream and the
+ *  frame body's, or NONE. */
+Divergence
+compareStores(const sim::MachineStep &step, uint64_t retired,
+              uint64_t &compared)
+{
+    std::vector<const x86::MemOp *> ref;
+    for (const auto &rec : step.span) {
+        for (unsigned m = 0; m < rec.numMemOps; ++m) {
+            if (rec.memOps[m].isStore)
+                ref.push_back(&rec.memOps[m]);
+        }
+    }
+    std::vector<const x86::MemOp *> got;
+    for (const auto &op : step.result.memOps) {
+        if (op.isStore)
+            got.push_back(&op);
+    }
+
+    Divergence div;
+    div.retired = retired;
+    div.framePc = step.frame->startPc;
+    if (ref.size() != got.size()) {
+        div.kind = Divergence::Kind::STORE;
+        div.detail = fmt("store count: ref %zu, frame %zu", ref.size(),
+                         got.size());
+        return div;
+    }
+    for (size_t i = 0; i < ref.size(); ++i) {
+        ++compared;
+        if (ref[i]->addr != got[i]->addr || ref[i]->size != got[i]->size
+            || ref[i]->data != got[i]->data) {
+            div.kind = Divergence::Kind::STORE;
+            div.detail = fmt("store %zu: ref [%#x]%u <- %#x, "
+                             "frame [%#x]%u <- %#x",
+                             i, ref[i]->addr, ref[i]->size, ref[i]->data,
+                             got[i]->addr, got[i]->size, got[i]->data);
+            return div;
+        }
+    }
+    return {};
+}
+
+/** Compare the mirror state against the reference shadow state. */
+Divergence
+compareState(const opt::ArchState &mirror, const opt::ArchState &shadow,
+             const sim::MachineStep &step, uint64_t retired)
+{
+    Divergence div;
+    div.retired = retired;
+    div.framePc = step.frame->startPc;
+    for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+        const auto reg = static_cast<uop::UReg>(r);
+        if (!opt::OptBuffer::archLiveOut(reg) || reg == uop::UReg::FLAGS)
+            continue;
+        if (mirror.regs[r] != shadow.regs[r]) {
+            div.kind = Divergence::Kind::REG;
+            div.detail = fmt("%s: frame %#x, ref %#x",
+                             uop::uregName(reg), mirror.regs[r],
+                             shadow.regs[r]);
+            return div;
+        }
+    }
+    if (mirror.flags.pack() != shadow.flags.pack()) {
+        div.kind = Divergence::Kind::FLAGS;
+        div.detail = fmt("flags: frame %#x, ref %#x",
+                         unsigned(mirror.flags.pack()),
+                         unsigned(shadow.flags.pack()));
+        return div;
+    }
+    return {};
+}
+
+} // anonymous namespace
+
+const char *
+divergenceKindName(Divergence::Kind kind)
+{
+    switch (kind) {
+      case Divergence::Kind::NONE:          return "NONE";
+      case Divergence::Kind::REG:           return "REG";
+      case Divergence::Kind::FLAGS:         return "FLAGS";
+      case Divergence::Kind::STORE:         return "STORE";
+      case Divergence::Kind::CONTROL:       return "CONTROL";
+      case Divergence::Kind::BODY_ROLLBACK: return "BODY_ROLLBACK";
+      case Divergence::Kind::MEM_IMAGE:     return "MEM_IMAGE";
+    }
+    return "?";
+}
+
+core::EngineConfig
+OracleConfig::engine() const
+{
+    core::EngineConfig cfg;
+    cfg.optimize = true;
+    cfg.optConfig = opt;
+    cfg.constructor = constructor;
+    // The oracle is architectural: frames should be fetchable the
+    // moment optimization logically completes.
+    cfg.optPipelineDepth = 1;
+    cfg.optCyclesPerUop = 0;
+    cfg.injector = injector;
+    return cfg;
+}
+
+OracleReport
+runOracle(const x86::Program &prog, const OracleConfig &cfg)
+{
+    OracleReport report;
+    sim::FrameMachine fm(prog, cfg.engine(), cfg.maxInsts);
+    opt::ArchState shadow = fm.state();
+    verify::MemoryMap ref_image;
+
+    for (;;) {
+        const sim::MachineStep step = fm.step();
+        if (step.kind == sim::MachineStep::Kind::DONE)
+            break;
+
+        if (step.kind == sim::MachineStep::Kind::CONVENTIONAL) {
+            verify::applyRecord(shadow, step.record);
+            noteStores(ref_image, step.record);
+            continue;
+        }
+
+        // FRAME: advance the shadow over the span, then compare.
+        for (const auto &rec : step.span) {
+            verify::applyRecord(shadow, rec);
+            noteStores(ref_image, rec);
+        }
+
+        if (!step.bodyCommitted) {
+            report.div.kind = Divergence::Kind::BODY_ROLLBACK;
+            report.div.retired = step.retiredBefore;
+            report.div.framePc = step.frame->startPc;
+            report.div.detail = fmt(
+                "%s at slot %zu though the trace commits",
+                step.result.status
+                        == opt::FrameExecResult::Status::ASSERTED
+                    ? "body asserted"
+                    : "unsafe conflict",
+                step.result.faultSlot);
+            break;
+        }
+
+        if (Divergence div = compareStores(step, step.retiredBefore,
+                                           report.storesCompared)) {
+            report.div = std::move(div);
+            break;
+        }
+
+        if (step.frame->dynamicExit) {
+            const uint32_t want = step.span.back().nextPc;
+            const uint32_t got = step.result.indirectTarget;
+            if (got != want) {
+                report.div.kind = Divergence::Kind::CONTROL;
+                report.div.retired = step.retiredBefore;
+                report.div.framePc = step.frame->startPc;
+                report.div.detail = fmt("indirect exit: frame %#x, "
+                                        "ref %#x", got, want);
+                break;
+            }
+        }
+
+        if (Divergence div = compareState(fm.state(), shadow, step,
+                                          step.retiredBefore)) {
+            report.div = std::move(div);
+            break;
+        }
+    }
+
+    if (!report.div) {
+        // Whole-run image check over every byte the reference stored.
+        for (const auto &[addr, byte] : ref_image.bytes()) {
+            const uint32_t got = fm.memory().read(addr, 1);
+            if (got != byte) {
+                report.div.kind = Divergence::Kind::MEM_IMAGE;
+                report.div.retired = fm.retired();
+                report.div.detail = fmt("[%#x]: frame %#x, ref %#x",
+                                        addr, got, unsigned(byte));
+                break;
+            }
+        }
+    }
+
+    report.retired = fm.retired();
+    report.framesCommitted = fm.framesCommitted();
+    report.framesAborted = fm.framesAborted();
+    report.frameInsts = fm.frameInsts();
+    return report;
+}
+
+OracleReport
+runOracle(const ProgramSpec &spec, const OracleConfig &cfg)
+{
+    return runOracle(spec.materialize(), cfg);
+}
+
+} // namespace replay::fuzz

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The differential oracle: runs a program twice and compares.
+ *
+ * The reference run is the plain functional executor (via the trace
+ * source); the run under test is the headless FrameMachine, which
+ * retires committed frames by executing their *optimized bodies*.  A
+ * shadow architectural state is advanced from the reference trace
+ * records, so at every frame-commit boundary the oracle can compare:
+ *
+ *   - the full architectural register file and flags,
+ *   - the frame body's retired-store stream against the reference
+ *     stores over the same instruction span (address, width, data),
+ *   - the dynamic-exit target of indirect-exit frames,
+ *
+ * plus a whole-run memory-image comparison over every byte the
+ * reference run ever stored.  The conventional path replays reference
+ * values verbatim, so any divergence is pinned on frame construction,
+ * optimization, or frame execution.
+ */
+
+#ifndef REPLAY_FUZZ_DIFFORACLE_HH
+#define REPLAY_FUZZ_DIFFORACLE_HH
+
+#include <string>
+
+#include "core/sequencer.hh"
+#include "fault/faultinjector.hh"
+#include "fuzz/progen.hh"
+
+namespace replay::fuzz {
+
+/** The first difference found between the two runs. */
+struct Divergence
+{
+    enum class Kind
+    {
+        NONE,
+        REG,            ///< register file mismatch at a frame boundary
+        FLAGS,          ///< flags mismatch at a frame boundary
+        STORE,          ///< store stream mismatch within a frame
+        CONTROL,        ///< indirect frame exit target mismatch
+        BODY_ROLLBACK,  ///< body asserted though the trace commits
+        MEM_IMAGE,      ///< final memory image mismatch
+    };
+
+    Kind kind = Kind::NONE;
+
+    /** x86 instructions retired when the divergence was detected. */
+    uint64_t retired = 0;
+
+    /** Start PC of the offending frame (0 for MEM_IMAGE). */
+    uint32_t framePc = 0;
+
+    /** Human-readable specifics (register, values, addresses). */
+    std::string detail;
+
+    explicit operator bool() const { return kind != Kind::NONE; }
+};
+
+const char *divergenceKindName(Divergence::Kind kind);
+
+/** Oracle run parameters. */
+struct OracleConfig
+{
+    /** Instruction budget per run; enough for construction warmup
+     *  plus a few hundred frame commits of a generated program. */
+    uint64_t maxInsts = 4000;
+
+    /** Pass subset under test (reducer bisects over this). */
+    opt::OptConfig opt;
+
+    core::ConstructorConfig constructor = fastWarmup();
+
+    /**
+     * Optional fault injector wired into the engine.  Sabotaging every
+     * optimized body (passSabotageRate = 1) must make the oracle
+     * report divergences — the standing proof that a clean sweep is
+     * not vacuous.
+     */
+    fault::FaultInjector *injector = nullptr;
+
+    /**
+     * Constructor tuning for short fuzz runs: the default bias tables
+     * want 32 samples per branch before promoting, which would spend
+     * most of a 4k-instruction budget warming up instead of fuzzing
+     * frame bodies.
+     */
+    static core::ConstructorConfig
+    fastWarmup()
+    {
+        core::ConstructorConfig cfg;
+        cfg.biasMinSamples = 8;
+        cfg.targetStableThreshold = 4;
+        return cfg;
+    }
+
+    core::EngineConfig engine() const;
+};
+
+/** Outcome and coverage counters of one oracle run. */
+struct OracleReport
+{
+    Divergence div;
+
+    uint64_t retired = 0;
+    uint64_t framesCommitted = 0;
+    uint64_t framesAborted = 0;
+    uint64_t frameInsts = 0;
+    uint64_t storesCompared = 0;
+
+    bool diverged() const { return bool(div); }
+};
+
+/** Run the differential oracle over an already-built program. */
+OracleReport runOracle(const x86::Program &prog, const OracleConfig &cfg);
+
+/** Convenience: materialize a spec and run it. */
+OracleReport runOracle(const ProgramSpec &spec, const OracleConfig &cfg);
+
+} // namespace replay::fuzz
+
+#endif // REPLAY_FUZZ_DIFFORACLE_HH

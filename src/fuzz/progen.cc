@@ -1,0 +1,539 @@
+#include "fuzz/progen.hh"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "x86/asmbuilder.hh"
+
+namespace replay::fuzz {
+
+using x86::Cond;
+using x86::MemRef;
+using x86::Mnem;
+using x86::Reg;
+using x86::memAt;
+
+namespace {
+
+/** Data array: 1024 words plus margin so displaced and unaligned
+ *  accesses computed from a masked index stay inside the region. */
+constexpr uint32_t ARR_WORDS = 1024;
+constexpr uint32_t ARR_BYTES = ARR_WORDS * 4 + 128;
+constexpr uint32_t MASK_ALIGNED = 0xffc;
+constexpr uint32_t MASK_ANY = 0xfff;
+
+constexpr Reg SCRATCH[] = {Reg::EAX, Reg::EBX, Reg::EDX, Reg::EDI};
+constexpr unsigned NUM_SCRATCH = 4;
+constexpr unsigned NUM_PROCS = 2;
+
+const char *const KIND_NAMES[] = {
+    "ALU",  "MEM",    "ALIAS", "PARTIAL",  "SHIFT",     "DIV",
+    "BRANCH", "LOOP", "CALL",  "INDIRECT", "FLAGCHAIN",
+};
+static_assert(sizeof(KIND_NAMES) / sizeof(KIND_NAMES[0])
+                  == unsigned(SegKind::NUM_KINDS),
+              "kind name table out of sync");
+
+/** Emits one segment's instructions while preserving the generator
+ *  register conventions (ESI = data base, ECX = outer counter). */
+class Materializer
+{
+  public:
+    explicit Materializer(const ProgramSpec &spec) : spec_(spec) {}
+
+    x86::Program
+    run()
+    {
+        Rng glue(spec_.seed);
+        arr_ = b_.dataRegion("arr", ARR_BYTES);
+        std::vector<uint32_t> words(ARR_WORDS);
+        for (auto &w : words)
+            w = uint32_t(glue.next());
+        b_.dataWords("arr", words);
+
+        b_.movRI(Reg::ESI, int32_t(arr_));
+        b_.movRI(Reg::ECX, 0);
+        b_.label("main");
+        for (const Segment &seg : spec_.segments) {
+            ++uid_;
+            emitSegment(seg);
+            if (glue.chance(0.15))
+                b_.nop();
+        }
+        b_.incR(Reg::ECX);
+        b_.jmp("main");
+
+        for (unsigned p = 0; p < NUM_PROCS; ++p)
+            emitProc(p, glue);
+        return b_.build();
+    }
+
+  private:
+    std::string
+    lbl(const char *stem, unsigned n = 0)
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%s_%u_%u", stem, uid_, n);
+        return buf;
+    }
+
+    Reg
+    scratch(Rng &r, Reg avoid = Reg::NONE)
+    {
+        Reg reg;
+        do
+            reg = SCRATCH[r.below(NUM_SCRATCH)];
+        while (reg == avoid);
+        return reg;
+    }
+
+    /** Leave a masked byte offset into arr in @p reg. */
+    void
+    maskedIndex(Rng &r, Reg reg, uint32_t mask)
+    {
+        b_.movRR(reg, Reg::ECX);
+        if (r.chance(0.5))
+            b_.addRI(reg, int32_t(r.below(1024)));
+        if (r.chance(0.4))
+            b_.imulRRI(reg, reg, int32_t(r.range(3, 9)));
+        b_.andRI(reg, int32_t(mask));
+    }
+
+    /** A reference into arr via a freshly computed masked index. */
+    MemRef
+    indexedRef(Rng &r, Reg idx, bool aligned)
+    {
+        if (aligned && r.chance(0.5)) {
+            // Scaled form: word index, scale 4.
+            maskedIndex(r, idx, ARR_WORDS - 1);
+            return memAt(Reg::ESI, idx, 4, int32_t(r.below(24)) * 4);
+        }
+        maskedIndex(r, idx, aligned ? MASK_ALIGNED : MASK_ANY);
+        return memAt(Reg::ESI, idx, 1, int32_t(r.below(64)));
+    }
+
+    /** A static (index-free) word slot in arr. */
+    MemRef
+    staticRef(Rng &r)
+    {
+        return memAt(Reg::ESI, int32_t(r.below(64)) * 4);
+    }
+
+    void
+    randomAlu(Rng &r, Reg dst)
+    {
+        static constexpr Mnem OPS[] = {Mnem::ADD, Mnem::SUB, Mnem::AND,
+                                       Mnem::OR, Mnem::XOR};
+        switch (r.below(5)) {
+          case 0:
+            b_.aluRR(OPS[r.below(5)], dst, scratch(r));
+            break;
+          case 1:
+            b_.aluRI(OPS[r.below(5)], dst, int32_t(r.next()));
+            break;
+          case 2:
+            if (r.chance(0.5))
+                b_.imulRR(dst, scratch(r));
+            else
+                b_.imulRRI(dst, scratch(r), int32_t(r.range(-9, 9)));
+            break;
+          case 3:
+            r.chance(0.5) ? b_.incR(dst) : b_.decR(dst);
+            break;
+          default:
+            r.chance(0.5) ? b_.negR(dst) : b_.notR(dst);
+            break;
+        }
+    }
+
+    void
+    emitSegment(const Segment &seg)
+    {
+        Rng r(seg.seed * 0x9e3779b97f4a7c15ULL
+              ^ (uint64_t(seg.kind) << 56) ^ spec_.seed);
+        switch (seg.kind) {
+          case SegKind::ALU:       return segAlu(r);
+          case SegKind::MEM:       return segMem(r);
+          case SegKind::ALIAS:     return segAlias(r);
+          case SegKind::PARTIAL:   return segPartial(r);
+          case SegKind::SHIFT:     return segShift(r);
+          case SegKind::DIV:       return segDiv(r);
+          case SegKind::BRANCH:    return segBranch(r);
+          case SegKind::LOOP:      return segLoop(r);
+          case SegKind::CALL:      return segCall(r);
+          case SegKind::INDIRECT:  return segIndirect(r);
+          case SegKind::FLAGCHAIN: return segFlagChain(r);
+          case SegKind::NUM_KINDS: break;
+        }
+        panic("bad segment kind");
+    }
+
+    void
+    segAlu(Rng &r)
+    {
+        const Reg dst = scratch(r);
+        if (r.chance(0.6))
+            b_.movRR(dst, Reg::ECX);
+        else
+            b_.movRI(dst, int32_t(r.next()));
+        const unsigned n = unsigned(r.range(3, 8));
+        for (unsigned i = 0; i < n; ++i)
+            randomAlu(r, dst);
+        if (r.chance(0.6))
+            b_.movMR(staticRef(r), dst);
+    }
+
+    void
+    segMem(Rng &r)
+    {
+        const Reg idx = scratch(r);
+        const Reg val = scratch(r, idx);
+        const MemRef ref = indexedRef(r, idx, true);
+        b_.movRM(val, ref);
+        if (r.chance(0.5)) {
+            // Redundant re-load of the same address: CSE food.
+            const Reg other = scratch(r, idx);
+            b_.movRM(other, ref);
+            b_.addRR(val, other);
+        }
+        MemRef neighbour = ref;
+        neighbour.disp += 4;
+        b_.aluRM(r.chance(0.5) ? Mnem::ADD : Mnem::XOR, val, neighbour);
+        if (r.chance(0.7))
+            b_.movMR(ref, val);
+        else
+            b_.movMR(staticRef(r), val);
+    }
+
+    void
+    segAlias(Rng &r)
+    {
+        const Reg idxA = scratch(r);
+        const Reg idxB = scratch(r, idxA);
+        const Reg val = scratch(r, idxA);
+        maskedIndex(r, idxA, MASK_ALIGNED);
+        // idxB = idxA + (ECX & k) * step: aliases idxA exactly when the
+        // masked counter bits are zero — unresolvable statically.
+        b_.movRR(idxB, Reg::ECX);
+        b_.andRI(idxB, int32_t(r.range(1, 3)));
+        const unsigned step = r.chance(0.5) ? 4 : unsigned(r.range(1, 3));
+        if (step > 1)
+            b_.imulRRI(idxB, idxB, int32_t(step));
+        b_.addRR(idxB, idxA);
+
+        const MemRef refA = memAt(Reg::ESI, idxA, 1, 0);
+        const MemRef refB = memAt(Reg::ESI, idxB, 1, 0);
+        b_.movRI(val, int32_t(r.next()));
+        b_.movMR(refA, val);
+        if (r.chance(0.5))
+            b_.movMR(refB, val, r.chance(0.5) ? 1 : 4);
+        b_.movRM(val, refB);
+        if (r.chance(0.5))
+            b_.movMI(refA, int32_t(r.next()), r.chance(0.3) ? 2 : 4);
+        b_.movRM(idxA, refA);
+    }
+
+    void
+    segPartial(Rng &r)
+    {
+        const Reg idx = scratch(r);
+        const Reg val = scratch(r, idx);
+        const MemRef ref = indexedRef(r, idx, false);
+        const uint8_t size = r.chance(0.5) ? 1 : 2;
+        if (r.chance(0.5))
+            b_.movzxRM(val, ref, size);
+        else
+            b_.movsxRM(val, ref, size);
+        b_.cmpRI(val, int32_t(r.below(256)));
+        const Reg flag = scratch(r, idx);
+        // SETCC merges into the low byte: a partial-register write.
+        b_.setcc(static_cast<Cond>(r.below(16)), flag);
+        b_.addRR(val, flag);
+        b_.movMR(ref, val, size);
+        if (r.chance(0.5))
+            b_.movzxRM(val, ref, size);
+    }
+
+    void
+    segShift(Rng &r)
+    {
+        static constexpr uint8_t COUNTS[] = {0, 1, 2, 3, 4, 7, 16, 31};
+        const Reg dst = scratch(r);
+        if (r.chance(0.5))
+            b_.movRR(dst, Reg::ECX);
+        else
+            b_.movRM(dst, staticRef(r));
+        // cmp first so a count-of-zero shift (which writes no flags)
+        // leaves these flags live into the consumer below.
+        b_.cmpRI(dst, int32_t(r.below(64)));
+        const uint8_t count = COUNTS[r.below(8)];
+        switch (r.below(3)) {
+          case 0: b_.shlRI(dst, count); break;
+          case 1: b_.shrRI(dst, count); break;
+          default: b_.sarRI(dst, count); break;
+        }
+        if (r.chance(0.6)) {
+            b_.setcc(static_cast<Cond>(r.below(16)), scratch(r, dst));
+        } else {
+            const std::string skip = lbl("shiftskip");
+            b_.jcc(static_cast<Cond>(r.below(16)), skip);
+            randomAlu(r, dst);
+            b_.label(skip);
+        }
+    }
+
+    void
+    segDiv(Rng &r)
+    {
+        const Reg div = r.chance(0.5) ? Reg::EBX : Reg::EDI;
+        if (r.chance(0.5))
+            b_.movRR(Reg::EAX, Reg::ECX);
+        else
+            b_.movRM(Reg::EAX, staticRef(r));
+        b_.movRR(div, Reg::ECX);
+        // Unsigned divide of EDX:EAX: zero EDX (no quotient overflow)
+        // and force the divisor non-zero.
+        b_.movRI(Reg::EDX, 0);
+        b_.orRI(div, int32_t(r.range(1, 7)));
+        b_.divR(div);
+        if (r.chance(0.5))
+            b_.movMR(staticRef(r), r.chance(0.5) ? Reg::EAX : Reg::EDX);
+    }
+
+    void
+    segBranch(Rng &r)
+    {
+        const Reg val = scratch(r);
+        const Reg idx = scratch(r, val);
+        b_.movRM(val, indexedRef(r, idx, true));
+        const std::string skip = lbl("skip");
+        if (r.chance(0.75)) {
+            // Biased: a random word masked wide is almost never zero,
+            // so E is almost-never-taken and NE almost-always-taken.
+            b_.testRI(val, 0x7f);
+            b_.jcc(r.chance(0.5) ? Cond::E : Cond::NE, skip);
+        } else {
+            static constexpr Cond CCS[] = {Cond::E,  Cond::NE, Cond::S,
+                                           Cond::NS, Cond::L,  Cond::GE,
+                                           Cond::B,  Cond::AE};
+            b_.cmpRI(val, int32_t(r.below(16)));
+            b_.jcc(CCS[r.below(8)], skip);
+        }
+        const unsigned n = unsigned(r.range(1, 3));
+        for (unsigned i = 0; i < n; ++i)
+            randomAlu(r, val);
+        if (r.chance(0.4))
+            b_.movMR(staticRef(r), val);
+        b_.label(skip);
+    }
+
+    void
+    segLoop(Rng &r)
+    {
+        const Reg acc = scratch(r, Reg::EDI);
+        b_.movRI(Reg::EDI, int32_t(r.range(2, 6)));
+        b_.movRR(acc, Reg::ECX);
+        const std::string top = lbl("loop");
+        b_.label(top);
+        randomAlu(r, acc);
+        if (r.chance(0.5))
+            b_.addRM(acc, staticRef(r));
+        // DEC preserves CF; the loop branch reads ZF from it.
+        b_.decR(Reg::EDI);
+        b_.jcc(Cond::NE, top);
+        if (r.chance(0.5))
+            b_.movMR(staticRef(r), acc);
+    }
+
+    void
+    segCall(Rng &r)
+    {
+        char name[16];
+        std::snprintf(name, sizeof name, "proc%u",
+                      unsigned(r.below(NUM_PROCS)));
+        if (r.chance(0.4))
+            b_.movRR(Reg::EAX, Reg::ECX);
+        b_.call(name);
+        if (r.chance(0.5))
+            b_.movMR(staticRef(r), Reg::EAX);
+    }
+
+    void
+    segIndirect(Rng &r)
+    {
+        const unsigned n = r.chance(0.5) ? 2 : 4;
+        const std::string tbl = lbl("tbl");
+        const uint32_t tbl_addr = b_.dataRegion(tbl, n * 4);
+        const Reg idx = scratch(r);
+        const Reg tgt = scratch(r, idx);
+        b_.movRR(idx, Reg::ECX);
+        b_.andRI(idx, int32_t(n - 1));
+        b_.movRM(tgt, memAt(Reg::NONE, idx, 4, int32_t(tbl_addr)));
+        b_.jmpR(tgt);
+        const std::string join = lbl("join");
+        for (unsigned c = 0; c < n; ++c) {
+            const std::string case_lbl = lbl("case", c);
+            b_.dataWordLabel(tbl, c, case_lbl);
+            b_.label(case_lbl);
+            const Reg v = scratch(r, idx);
+            b_.movRI(v, int32_t(r.next()));
+            randomAlu(r, v);
+            if (c + 1 < n)
+                b_.jmp(join);
+        }
+        b_.label(join);
+    }
+
+    void
+    segFlagChain(Rng &r)
+    {
+        const Reg a = scratch(r);
+        const Reg c = scratch(r, a);
+        b_.movRR(a, Reg::ECX);
+        b_.addRI(a, int32_t(r.next()));    // produces CF
+        // INC/DEC preserve CF, so the consumer below reads a carry
+        // produced several instructions upstream.
+        b_.incR(a);
+        if (r.chance(0.5))
+            b_.decR(a);
+        if (r.chance(0.5)) {
+            b_.setcc(r.chance(0.5) ? Cond::B : Cond::AE, c);
+            b_.addRR(a, c);
+            b_.movMR(staticRef(r), a);
+        } else {
+            const std::string skip = lbl("cfskip");
+            b_.jcc(r.chance(0.5) ? Cond::B : Cond::AE, skip);
+            randomAlu(r, a);
+            b_.label(skip);
+        }
+    }
+
+    void
+    emitProc(unsigned p, Rng &glue)
+    {
+        char name[16];
+        std::snprintf(name, sizeof name, "proc%u", p);
+        b_.label(name);
+        b_.pushR(Reg::EBX);
+        b_.movRR(Reg::EBX, Reg::ECX);
+        b_.andRI(Reg::EBX, MASK_ALIGNED);
+        const unsigned n = unsigned(glue.range(2, 4));
+        for (unsigned i = 0; i < n; ++i) {
+            if (glue.chance(0.4))
+                b_.addRM(Reg::EAX, memAt(Reg::ESI, Reg::EBX, 1, 0));
+            else
+                randomAlu(glue, Reg::EAX);
+        }
+        if (glue.chance(0.5))
+            b_.movMR(memAt(Reg::ESI, Reg::EBX, 1, 0), Reg::EAX);
+        b_.popR(Reg::EBX);
+        b_.ret();
+    }
+
+    const ProgramSpec &spec_;
+    x86::AsmBuilder b_;
+    uint32_t arr_ = 0;
+    unsigned uid_ = 0;
+};
+
+} // anonymous namespace
+
+const char *
+segKindName(SegKind kind)
+{
+    if (unsigned(kind) >= unsigned(SegKind::NUM_KINDS))
+        return "?";
+    return KIND_NAMES[unsigned(kind)];
+}
+
+std::optional<SegKind>
+segKindFromName(std::string_view name)
+{
+    for (unsigned k = 0; k < unsigned(SegKind::NUM_KINDS); ++k) {
+        if (name == KIND_NAMES[k])
+            return static_cast<SegKind>(k);
+    }
+    return std::nullopt;
+}
+
+ProgramSpec
+ProgramSpec::random(uint64_t seed)
+{
+    ProgramSpec spec;
+    spec.seed = seed;
+    Rng r(seed);
+    const unsigned n = unsigned(r.range(6, 14));
+    spec.segments.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        Segment seg;
+        seg.kind = static_cast<SegKind>(
+            r.below(uint64_t(SegKind::NUM_KINDS)));
+        seg.seed = uint32_t(r.next());
+        spec.segments.push_back(seg);
+    }
+    return spec;
+}
+
+x86::Program
+ProgramSpec::materialize() const
+{
+    return Materializer(*this).run();
+}
+
+std::string
+ProgramSpec::serialize() const
+{
+    std::string out = "progen-v1 " + std::to_string(seed);
+    for (const Segment &seg : segments) {
+        out += ' ';
+        out += segKindName(seg.kind);
+        out += ':';
+        out += std::to_string(seg.seed);
+    }
+    return out;
+}
+
+std::optional<ProgramSpec>
+ProgramSpec::parse(std::string_view line)
+{
+    auto nextTok = [&line]() -> std::string_view {
+        while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+            line.remove_prefix(1);
+        size_t end = 0;
+        while (end < line.size() && line[end] != ' ' && line[end] != '\t')
+            ++end;
+        const std::string_view tok = line.substr(0, end);
+        line.remove_prefix(end);
+        return tok;
+    };
+
+    if (nextTok() != "progen-v1")
+        return std::nullopt;
+    const std::string_view seed_tok = nextTok();
+    ProgramSpec spec;
+    auto [p, ec] = std::from_chars(seed_tok.begin(), seed_tok.end(),
+                                   spec.seed);
+    if (ec != std::errc{} || p != seed_tok.end())
+        return std::nullopt;
+
+    for (std::string_view tok = nextTok(); !tok.empty(); tok = nextTok()) {
+        const size_t colon = tok.find(':');
+        if (colon == std::string_view::npos)
+            return std::nullopt;
+        const auto kind = segKindFromName(tok.substr(0, colon));
+        if (!kind)
+            return std::nullopt;
+        const std::string_view num = tok.substr(colon + 1);
+        Segment seg;
+        seg.kind = *kind;
+        auto [q, ec2] = std::from_chars(num.begin(), num.end(), seg.seed);
+        if (ec2 != std::errc{} || q != num.end())
+            return std::nullopt;
+        spec.segments.push_back(seg);
+    }
+    return spec;
+}
+
+} // namespace replay::fuzz

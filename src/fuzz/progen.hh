@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seeded random x86-subset program generation for differential
+ * fuzzing.
+ *
+ * Programs are described by a ProgramSpec — a master seed plus an
+ * ordered list of (kind, seed) segments — and materialized
+ * deterministically through the AsmBuilder.  The two-level structure
+ * is what makes shrinking possible: the delta-debugging reducer drops
+ * segments from the list and re-materializes, and a spec serializes to
+ * one line of text inside a self-contained repro file.
+ *
+ * Generated programs deliberately compose behaviours far outside the
+ * 14 tuned workload personalities: runtime-aliasing and partially
+ * overlapping stores, sub-word loads and stores (including unaligned),
+ * partial-register writes (SETCC), shift-by-zero flag edge cases,
+ * carry-preserving INC/DEC chains consumed by branches, counted inner
+ * loops, leaf calls, and jump-table dispatch.  Every segment preserves
+ * the generator invariants (ESI = data base, ECX = outer counter, ESP
+ * balanced), so any program runs indefinitely under an instruction
+ * budget without faulting.
+ */
+
+#ifndef REPLAY_FUZZ_PROGEN_HH
+#define REPLAY_FUZZ_PROGEN_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "x86/program.hh"
+
+namespace replay::fuzz {
+
+/** Behaviour classes a segment can exhibit. */
+enum class SegKind : uint8_t
+{
+    ALU,        ///< register arithmetic burst
+    MEM,        ///< load/compute/store with redundancy
+    ALIAS,      ///< runtime-aliasing / overlapping stores
+    PARTIAL,    ///< sub-word memory + partial-register writes
+    SHIFT,      ///< shifts incl. the count-zero flag edge case
+    DIV,        ///< fixed-register DIV (guarded non-zero divisor)
+    BRANCH,     ///< flag-consuming conditional branches
+    LOOP,       ///< counted inner loop
+    CALL,       ///< call/return through a generated leaf procedure
+    INDIRECT,   ///< jump-table dispatch
+    FLAGCHAIN,  ///< CF-preserving INC/DEC chains, SETCC consumers
+    NUM_KINDS,
+};
+
+const char *segKindName(SegKind kind);
+std::optional<SegKind> segKindFromName(std::string_view name);
+
+/** One generation unit; materializes deterministically from its seed. */
+struct Segment
+{
+    SegKind kind = SegKind::ALU;
+    uint32_t seed = 0;
+
+    bool operator==(const Segment &) const = default;
+};
+
+/** A complete, shrinkable program description. */
+struct ProgramSpec
+{
+    /** Master seed: data image, leaf procedures, glue. */
+    uint64_t seed = 1;
+
+    /** Main-loop body, in emission order. */
+    std::vector<Segment> segments;
+
+    bool operator==(const ProgramSpec &) const = default;
+
+    /** Draw a fresh spec (segment count and kinds) from @p seed. */
+    static ProgramSpec random(uint64_t seed);
+
+    /** Build the concrete program. */
+    x86::Program materialize() const;
+
+    /** One-line text form: "progen-v1 <seed> KIND:seed ...". */
+    std::string serialize() const;
+
+    /** Inverse of serialize(); nullopt on malformed input. */
+    static std::optional<ProgramSpec> parse(std::string_view line);
+};
+
+} // namespace replay::fuzz
+
+#endif // REPLAY_FUZZ_PROGEN_HH

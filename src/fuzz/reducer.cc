@@ -1,0 +1,176 @@
+#include "fuzz/reducer.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+namespace replay::fuzz {
+
+std::string
+Repro::serialize() const
+{
+    std::string out = "# replay-fuzz repro v1\n";
+    if (div) {
+        out += "# divergence ";
+        out += divergenceKindName(div.kind);
+        out += " at retired=" + std::to_string(div.retired);
+        if (div.framePc) {
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "%#x", div.framePc);
+            out += " frame=";
+            out += buf;
+        }
+        if (!div.detail.empty())
+            out += ": " + div.detail;
+        out += '\n';
+    }
+    out += "maxinsts " + std::to_string(maxInsts) + '\n';
+    out += "passmask " + std::to_string(unsigned(passMask)) + '\n';
+    out += "spec " + spec.serialize() + '\n';
+    return out;
+}
+
+std::optional<Repro>
+Repro::parse(const std::string &text)
+{
+    Repro repro;
+    bool have_spec = false;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t sp = line.find(' ');
+        if (sp == std::string::npos)
+            return std::nullopt;
+        const std::string_view key(line.data(), sp);
+        const std::string_view val(line.data() + sp + 1,
+                                   line.size() - sp - 1);
+        if (key == "maxinsts") {
+            auto [p, ec] = std::from_chars(val.begin(), val.end(),
+                                           repro.maxInsts);
+            if (ec != std::errc{})
+                return std::nullopt;
+        } else if (key == "passmask") {
+            unsigned mask = 0;
+            auto [p, ec] = std::from_chars(val.begin(), val.end(), mask);
+            if (ec != std::errc{} || mask > 0xff)
+                return std::nullopt;
+            repro.passMask = uint8_t(mask);
+        } else if (key == "spec") {
+            auto spec = ProgramSpec::parse(val);
+            if (!spec)
+                return std::nullopt;
+            repro.spec = std::move(*spec);
+            have_spec = true;
+        } else {
+            return std::nullopt;
+        }
+    }
+    if (!have_spec)
+        return std::nullopt;
+    return repro;
+}
+
+OracleConfig
+Repro::oracleConfig() const
+{
+    OracleConfig cfg;
+    cfg.maxInsts = maxInsts;
+    cfg.opt = opt::OptConfig::fromPassMask(passMask);
+    return cfg;
+}
+
+Divergence
+Reducer::run(const ProgramSpec &spec, uint8_t mask)
+{
+    ++probes_;
+    return probe_(spec, mask);
+}
+
+uint8_t
+Reducer::minimizePasses(const ProgramSpec &spec, uint8_t mask)
+{
+    // Greedy sweep, repeated until a fixpoint: a pass stays enabled
+    // only if clearing it makes the divergence vanish.
+    bool changed = true;
+    while (changed && probes_ < maxProbes_) {
+        changed = false;
+        for (unsigned bit = 0; bit < opt::OptConfig::NUM_PASS_BITS;
+             ++bit) {
+            const uint8_t without = mask & uint8_t(~(1u << bit));
+            if (without == mask)
+                continue;
+            if (probes_ >= maxProbes_)
+                break;
+            if (run(spec, without)) {
+                mask = without;
+                changed = true;
+            }
+        }
+    }
+    return mask;
+}
+
+ProgramSpec
+Reducer::shrinkSegments(ProgramSpec spec, uint8_t mask)
+{
+    // ddmin over the segment list: remove chunks of decreasing size
+    // while the divergence persists.
+    size_t chunk = spec.segments.size() / 2;
+    while (chunk >= 1 && spec.segments.size() > 1) {
+        bool removed_any = false;
+        for (size_t at = 0;
+             at + chunk <= spec.segments.size() && probes_ < maxProbes_;
+             /* advance below */) {
+            ProgramSpec trial = spec;
+            trial.segments.erase(trial.segments.begin() + long(at),
+                                 trial.segments.begin()
+                                     + long(at + chunk));
+            if (!trial.segments.empty() && run(trial, mask)) {
+                spec = std::move(trial);
+                removed_any = true;
+                // Re-test the same position: the next chunk slid in.
+            } else {
+                at += chunk;
+            }
+        }
+        if (probes_ >= maxProbes_)
+            break;
+        if (!removed_any || chunk > spec.segments.size())
+            chunk /= 2;
+    }
+    return spec;
+}
+
+std::optional<Repro>
+Reducer::reduce(const ProgramSpec &spec, uint8_t start_mask,
+                uint64_t max_insts)
+{
+    probes_ = 0;
+    if (!run(spec, start_mask))
+        return std::nullopt;
+
+    const uint8_t mask = minimizePasses(spec, start_mask);
+    ProgramSpec shrunk = shrinkSegments(spec, mask);
+
+    Repro repro;
+    repro.spec = std::move(shrunk);
+    repro.passMask = mask;
+    repro.maxInsts = max_insts;
+    repro.div = run(repro.spec, mask);
+    return repro;
+}
+
+Reducer
+makeOracleReducer(uint64_t max_insts)
+{
+    return Reducer([max_insts](const ProgramSpec &spec, uint8_t mask) {
+        OracleConfig cfg;
+        cfg.maxInsts = max_insts;
+        cfg.opt = opt::OptConfig::fromPassMask(mask);
+        return runOracle(spec, cfg).div;
+    });
+}
+
+} // namespace replay::fuzz

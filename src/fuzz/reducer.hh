@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Divergence reduction: pass-pipeline bisection plus program shrink.
+ *
+ * Given a diverging (spec, pass mask) pair, the reducer first
+ * minimizes the set of enabled optimization passes — greedily clearing
+ * one PassBit at a time while the divergence persists — and then
+ * shrinks the program itself with ddmin over the spec's segment list.
+ * The result is a self-contained Repro: a few lines of text that
+ * test_fuzz replays as a regression corpus entry.
+ *
+ * The reducer is parameterized by a divergence predicate rather than
+ * calling the oracle directly, so its search behaviour is unit-testable
+ * with synthetic predicates.
+ */
+
+#ifndef REPLAY_FUZZ_REDUCER_HH
+#define REPLAY_FUZZ_REDUCER_HH
+
+#include <functional>
+#include <optional>
+
+#include "fuzz/difforacle.hh"
+
+namespace replay::fuzz {
+
+/** A minimized, replayable divergence. */
+struct Repro
+{
+    ProgramSpec spec;
+    uint8_t passMask = 0x7f;
+    uint64_t maxInsts = 4000;
+
+    /** The divergence observed on the reduced case (informational). */
+    Divergence div;
+
+    /** Multi-line repro file ("# ..." comments, key/value lines). */
+    std::string serialize() const;
+
+    /** Parse a repro file; comment and divergence lines are skipped. */
+    static std::optional<Repro> parse(const std::string &text);
+
+    /** Oracle configuration replaying exactly this repro. */
+    OracleConfig oracleConfig() const;
+};
+
+/** Minimizes diverging inputs against an arbitrary predicate. */
+class Reducer
+{
+  public:
+    /** Returns the divergence (if any) of (spec, passMask). */
+    using Probe = std::function<Divergence(const ProgramSpec &, uint8_t)>;
+
+    explicit Reducer(Probe probe, unsigned max_probes = 400)
+        : probe_(std::move(probe)), maxProbes_(max_probes)
+    {
+    }
+
+    /**
+     * Reduce a diverging input; nullopt if the input doesn't actually
+     * diverge under the starting mask.
+     */
+    std::optional<Repro> reduce(const ProgramSpec &spec,
+                                uint8_t start_mask, uint64_t max_insts);
+
+    /** Probe invocations spent by the last reduce(). */
+    unsigned probes() const { return probes_; }
+
+  private:
+    Divergence run(const ProgramSpec &spec, uint8_t mask);
+    uint8_t minimizePasses(const ProgramSpec &spec, uint8_t mask);
+    ProgramSpec shrinkSegments(ProgramSpec spec, uint8_t mask);
+
+    Probe probe_;
+    unsigned maxProbes_;
+    unsigned probes_ = 0;
+};
+
+/** A Reducer whose probe runs the real differential oracle. */
+Reducer makeOracleReducer(uint64_t max_insts);
+
+} // namespace replay::fuzz
+
+#endif // REPLAY_FUZZ_REDUCER_HH

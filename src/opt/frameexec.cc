@@ -117,7 +117,10 @@ executeFrame(const OptimizedFrame &frame, ArchState &state,
           case Op::STORE:
           case Op::FSTORE: {
             const uint32_t addr = uop::storeAddr(u, a, c);
-            const uint32_t value = resolveValue(fu.srcB, state, vals);
+            uint32_t value = resolveValue(fu.srcB, state, vals);
+            // Match the executor's canonical sub-word store data.
+            if (u.memSize < 4)
+                value &= (1u << (8 * u.memSize)) - 1;
             if (fu.unsafe) {
                 // §3.4: compare against every prior transaction.
                 const x86::MemOp probe{true, addr, u.memSize, value};

@@ -2,6 +2,49 @@
 
 namespace replay::opt {
 
+const char *
+OptConfig::passBitName(unsigned bit)
+{
+    switch (bit) {
+      case PASS_NOP:     return "NOP";
+      case PASS_ASST:    return "ASST";
+      case PASS_CP:      return "CP";
+      case PASS_RA:      return "RA";
+      case PASS_CSE:     return "CSE";
+      case PASS_SF:      return "SF";
+      case PASS_SPECMEM: return "SPEC";
+    }
+    return "?";
+}
+
+uint8_t
+OptConfig::passMask() const
+{
+    uint8_t mask = 0;
+    mask |= uint8_t(nopRemoval) << PASS_NOP;
+    mask |= uint8_t(assertCombine) << PASS_ASST;
+    mask |= uint8_t(constProp) << PASS_CP;
+    mask |= uint8_t(reassoc) << PASS_RA;
+    mask |= uint8_t(cse) << PASS_CSE;
+    mask |= uint8_t(storeForward) << PASS_SF;
+    mask |= uint8_t(speculativeMem) << PASS_SPECMEM;
+    return mask;
+}
+
+OptConfig
+OptConfig::fromPassMask(uint8_t mask)
+{
+    OptConfig c;
+    c.nopRemoval = mask & (1u << PASS_NOP);
+    c.assertCombine = mask & (1u << PASS_ASST);
+    c.constProp = mask & (1u << PASS_CP);
+    c.reassoc = mask & (1u << PASS_RA);
+    c.cse = mask & (1u << PASS_CSE);
+    c.storeForward = mask & (1u << PASS_SF);
+    c.speculativeMem = mask & (1u << PASS_SPECMEM);
+    return c;
+}
+
 void
 OptStats::merge(const OptStats &other)
 {

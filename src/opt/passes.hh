@@ -57,6 +57,32 @@ struct OptConfig
             c.cse = c.storeForward = c.speculativeMem = false;
         return c;
     }
+    /**
+     * Pass-subset encoding used by the differential fuzzer's reducer:
+     * one bit per optional pass, in pipeline order (DCE is always
+     * enabled — every other pass relies on it, §6.4).
+     */
+    enum PassBit : uint8_t
+    {
+        PASS_NOP = 0,
+        PASS_ASST,
+        PASS_CP,
+        PASS_RA,
+        PASS_CSE,
+        PASS_SF,
+        PASS_SPECMEM,
+        NUM_PASS_BITS,
+    };
+
+    /** Short name of a pass bit ("NOP", "ASST", ...). */
+    static const char *passBitName(unsigned bit);
+
+    /** Pack the enabled-pass booleans into a bit mask. */
+    uint8_t passMask() const;
+
+    /** A config with exactly the passes of @p mask enabled. */
+    static OptConfig fromPassMask(uint8_t mask);
+
     static OptConfig
     without(const std::string &name)
     {

@@ -39,6 +39,13 @@ class ExecutorTraceSource : public TraceSource
     bool done() override;
     uint64_t consumed() const override { return consumed_; }
 
+    /**
+     * The backing executor (read-only).  Note it runs LOOKAHEAD-deep
+     * ahead of the cursor; use it for initial-state snapshots before
+     * the first peek, not for mid-trace state.
+     */
+    const x86::Executor &executor() const { return exec_; }
+
   private:
     /** Ensure the ring holds at least @p n unconsumed records. */
     void fill(unsigned n);

@@ -187,11 +187,11 @@ Translator::translate(const Inst &in, uint32_t pc, uint32_t next_pc,
             f.loadMem(gpr(in.reg1), in.mem);
             break;
           case Form::MR:
-            f.storeMem(in.mem, gpr(in.reg2));
+            f.storeMem(in.mem, gpr(in.reg2), in.opSize);
             break;
           case Form::MI:
             f.limm(UReg::ET7, int32_t(in.imm));
-            f.storeMem(in.mem, UReg::ET7);
+            f.storeMem(in.mem, UReg::ET7, in.opSize);
             break;
           default:
             panic("MOV form %d", int(in.form));

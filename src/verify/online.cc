@@ -11,22 +11,30 @@ OnlineVerifier::OnlineVerifier(uint64_t digest_cap)
 }
 
 void
+applyRecord(opt::ArchState &state, const trace::TraceRecord &rec)
+{
+    for (unsigned w = 0; w < rec.numRegWrites; ++w)
+        state.regs[unsigned(rec.regWrites[w].reg)] =
+            rec.regWrites[w].value;
+    if (rec.numFregWrites) {
+        uint32_t raw;
+        std::memcpy(&raw, &rec.fregWrite.value, 4);
+        state.regs[unsigned(uop::fpr(rec.fregWrite.reg))] = raw;
+    }
+    state.flags = x86::Flags::unpack(rec.flagsAfter);
+}
+
+void
 OnlineVerifier::observe(const trace::TraceRecord &rec)
 {
     for (unsigned w = 0; w < rec.numRegWrites; ++w) {
         const x86::Reg reg = rec.regWrites[w].reg;
-        state_.regs[unsigned(reg)] = rec.regWrites[w].value;
         if (reg == x86::Reg::ESP)
             espSeen_ = true;
         else if (reg == x86::Reg::EBP)
             ebpSeen_ = true;
     }
-    if (rec.numFregWrites) {
-        uint32_t raw;
-        std::memcpy(&raw, &rec.fregWrite.value, 4);
-        state_.regs[unsigned(uop::fpr(rec.fregWrite.reg))] = raw;
-    }
-    state_.flags = x86::Flags::unpack(rec.flagsAfter);
+    applyRecord(state_, rec);
 
     ++observed_;
     if (!capped_ && observed_ == digestCap_) {

@@ -35,6 +35,14 @@
 
 namespace replay::verify {
 
+/**
+ * Apply one retired record's architectural effects to @p state: the
+ * reference walk shared by the OnlineVerifier and the differential
+ * fuzzing oracle (src/fuzz), which both reconstruct executor state
+ * from the trace stream.
+ */
+void applyRecord(opt::ArchState &state, const trace::TraceRecord &rec);
+
 /** Retirement-order architectural state tracker + dispatch checker. */
 class OnlineVerifier
 {

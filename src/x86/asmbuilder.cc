@@ -70,24 +70,26 @@ AsmBuilder::movRM(Reg dst, const MemRef &src)
 }
 
 void
-AsmBuilder::movMR(const MemRef &dst, Reg src)
+AsmBuilder::movMR(const MemRef &dst, Reg src, uint8_t size)
 {
     Inst i;
     i.mnem = Mnem::MOV;
     i.form = Form::MR;
     i.mem = dst;
     i.reg2 = src;
+    i.opSize = size;
     emit(i);
 }
 
 void
-AsmBuilder::movMI(const MemRef &dst, int32_t imm)
+AsmBuilder::movMI(const MemRef &dst, int32_t imm, uint8_t size)
 {
     Inst i;
     i.mnem = Mnem::MOV;
     i.form = Form::MI;
     i.mem = dst;
     i.imm = imm;
+    i.opSize = size;
     emit(i);
 }
 

@@ -56,8 +56,10 @@ class AsmBuilder
     void movRR(Reg dst, Reg src);
     void movRI(Reg dst, int32_t imm);
     void movRM(Reg dst, const MemRef &src);
-    void movMR(const MemRef &dst, Reg src);
-    void movMI(const MemRef &dst, int32_t imm);
+    /** Store @p size low bytes of a register (1, 2, or 4). */
+    void movMR(const MemRef &dst, Reg src, uint8_t size = 4);
+    /** Store a @p size byte immediate (1, 2, or 4). */
+    void movMI(const MemRef &dst, int32_t imm, uint8_t size = 4);
     void movzxRM(Reg dst, const MemRef &src, uint8_t size);
     void movsxRM(Reg dst, const MemRef &src, uint8_t size);
     void lea(Reg dst, const MemRef &src);

@@ -94,6 +94,10 @@ void
 Executor::store(StepInfo &info, uint32_t addr, unsigned size,
                 uint32_t value)
 {
+    // Canonicalize sub-word store data so trace records (and the
+    // verifier maps derived from them) never carry stale high bytes.
+    if (size < 4)
+        value &= (1u << (8 * size)) - 1;
     mem_.write(addr, size, value);
     info.memOps.push_back({true, addr, uint8_t(size), value});
 }
@@ -188,10 +192,11 @@ Executor::step()
             writeReg(info, in.reg1, load(info, effAddr(in.mem), 4));
             break;
           case Form::MR:
-            store(info, effAddr(in.mem), 4, regs_[unsigned(in.reg2)]);
+            store(info, effAddr(in.mem), in.opSize,
+                  regs_[unsigned(in.reg2)]);
             break;
           case Form::MI:
-            store(info, effAddr(in.mem), 4, uint32_t(in.imm));
+            store(info, effAddr(in.mem), in.opSize, uint32_t(in.imm));
             break;
           default:
             panic("MOV with form %d", int(in.form));

@@ -511,6 +511,25 @@ TEST(Quarantine, QuietTimeForgivesStrikes)
     EXPECT_EQ(q.size(), 0u);
 }
 
+TEST(Quarantine, BackoffSaturatesAtManyStrikes)
+{
+    // Regression: the exponential backoff used to compute
+    // base << (strikes - 1) unguarded, so a large base plus dozens of
+    // strikes overflowed to a zero penalty and instantly unblocked the
+    // worst offenders.  The penalty must saturate at the cap instead.
+    QuarantineConfig cfg;
+    cfg.basePenaltyCycles = 1u << 30;
+    cfg.maxPenaltyCycles = 5000000;
+    cfg.decayCycles = 1u << 30;
+    Quarantine q(cfg);
+
+    for (int i = 0; i < 80; ++i)
+        q.add(0x400, 0);
+    EXPECT_TRUE(q.blocked(0x400, 1));
+    EXPECT_TRUE(q.blocked(0x400, cfg.maxPenaltyCycles - 1));
+    EXPECT_FALSE(q.blocked(0x400, cfg.maxPenaltyCycles));
+}
+
 TEST(Quarantine, TableStaysBounded)
 {
     QuarantineConfig cfg;
@@ -540,4 +559,200 @@ TEST(RePlayEngine, QuarantinedFrameNotServed)
     EXPECT_EQ(engine.frameFor(0x400, 1), nullptr);
     EXPECT_EQ(engine.stats().get("quarantines"), 1u);
     EXPECT_GT(engine.stats().get("quarantine_blocks"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Sequencer edges: duplicate suppression, optimizer saturation,
+// optimization-latency visibility, bias eviction, conflict handoff.
+// ---------------------------------------------------------------------
+
+TEST(RePlayEngine, DuplicateCandidatesSuppressed)
+{
+    // Feed the trace without ever fetching frames: the constructor
+    // keeps re-synthesizing the same hot-loop frame, and every rebuild
+    // after the first must be recognized as a duplicate of the cached
+    // (or in-flight) frame rather than re-enqueued.
+    RePlayEngine engine;
+    const auto prog = biasedLoopProgram();
+    trace::ExecutorTraceSource src(prog, 20000);
+
+    uint64_t now = 0;
+    while (!src.done()) {
+        engine.observeRetired(*src.peek(), now);
+        src.advance();
+        now += 2;
+    }
+    EXPECT_GT(engine.stats().get("duplicate_candidates"), 10u);
+    // The cache holds the few distinct frames, not one per rebuild.
+    EXPECT_LE(engine.cache().numFrames(),
+              engine.stats().get("candidates"));
+    EXPECT_LE(engine.stats().get("candidates"), 16u);
+}
+
+TEST(RePlayEngine, SaturatedOptimizerDropsCandidates)
+{
+    // A depth-1 pipeline with an absurd per-uop latency stays busy for
+    // the whole trace after the first frame; later candidates at other
+    // start PCs must be dropped, not queued unboundedly.
+    EngineConfig cfg;
+    cfg.optPipelineDepth = 1;
+    cfg.optCyclesPerUop = 100000;
+
+    AsmBuilder b;
+    b.dataRegion("d", 4096);
+    b.movRI(Reg::ESI, int32_t(b.dataAddr("d")));
+    b.label("loop");
+    for (int i = 0; i < 200; ++i)
+        b.addRI(Reg::EAX, i + 1);
+    b.jmp("loop");
+    const auto prog = b.build();
+
+    RePlayEngine engine(cfg);
+    trace::ExecutorTraceSource src(prog, 5000);
+    uint64_t now = 0;
+    while (!src.done()) {
+        engine.observeRetired(*src.peek(), now);
+        src.advance();
+        now += 2;
+    }
+    EXPECT_EQ(engine.stats().get("candidates"), 1u);
+    EXPECT_GT(engine.stats().get("optimizer_drops"), 0u);
+    // Nothing became ready within the trace, so the cache is empty.
+    EXPECT_EQ(engine.cache().numFrames(), 0u);
+}
+
+TEST(RePlayEngine, FrameVisibleOnlyAfterOptimizationLatency)
+{
+    // Discover a frame start PC with a standalone constructor first.
+    const auto prog = biasedLoopProgram();
+    uint32_t start_pc = 0;
+    {
+        FrameConstructor ctor;
+        trace::ExecutorTraceSource src(prog, 4000);
+        while (!src.done() && start_pc == 0) {
+            if (auto cand = ctor.observe(*src.peek()))
+                start_pc = cand->startPc;
+            src.advance();
+        }
+        ASSERT_NE(start_pc, 0u);
+    }
+
+    // Replay the same trace into an engine with every observation at
+    // now = 0: candidates are enqueued, but their ready times lie in
+    // the future, so the frame must stay invisible at now = 0 and
+    // appear once `now` passes the optimization latency.
+    RePlayEngine engine;
+    trace::ExecutorTraceSource src(prog, 4000);
+    while (!src.done()) {
+        engine.observeRetired(*src.peek(), 0);
+        src.advance();
+    }
+    EXPECT_EQ(engine.frameFor(start_pc, 0), nullptr);
+    EXPECT_NE(engine.frameFor(start_pc, 1u << 30), nullptr);
+}
+
+TEST(RePlayEngine, BiasEvictionAfterRepeatedAssertFires)
+{
+    EngineConfig cfg;    // evictFireThreshold = 4, evictFirePenalty = 8
+    RePlayEngine engine(cfg);
+    auto frame = std::make_shared<Frame>();
+    frame->startPc = 0x500;
+    frame->pcs = {0x500};
+    engine.cache().insert(frame);
+
+    FrameOutcome fires;
+    fires.kind = FrameOutcome::Kind::ASSERTS;
+    for (int i = 0; i < 3; ++i)
+        engine.frameAborted(frame, fires);
+    // Three fires: below the threshold, still cached.
+    EXPECT_NE(engine.cache().probe(0x500), nullptr);
+    EXPECT_EQ(engine.stats().get("bias_evictions"), 0u);
+
+    engine.frameAborted(frame, fires);
+    EXPECT_EQ(engine.cache().probe(0x500), nullptr);
+    EXPECT_EQ(engine.stats().get("bias_evictions"), 1u);
+    EXPECT_EQ(engine.stats().get("assert_fires"), 4u);
+}
+
+TEST(RePlayEngine, HotFrameSurvivesOccasionalAssertFires)
+{
+    // A frame that commits 97% of the time never trips the bias
+    // watchdog: fires * penalty stays below the fetch count.
+    RePlayEngine engine;
+    auto frame = std::make_shared<Frame>();
+    frame->startPc = 0x600;
+    frame->pcs = {0x600};
+    engine.cache().insert(frame);
+
+    FrameOutcome fires;
+    fires.kind = FrameOutcome::Kind::ASSERTS;
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 40; ++i)
+            engine.frameCommitted(frame);
+        engine.frameAborted(frame, fires);
+        EXPECT_NE(engine.cache().probe(0x600), nullptr);
+    }
+    EXPECT_EQ(engine.stats().get("bias_evictions"), 0u);
+    EXPECT_EQ(engine.stats().get("assert_fires"), 4u);
+}
+
+TEST(RePlayEngine, UnsafeConflictDirtiesSiteAndInvalidates)
+{
+    RePlayEngine engine;
+    auto frame = std::make_shared<Frame>();
+    frame->startPc = 0x700;
+    frame->pcs = {0x700, 0x704, 0x708};
+    frame->unsafeStores = {{1, 2}};     // inst 1, third access
+    engine.cache().insert(frame);
+    ASSERT_TRUE(engine.aliasProfile().cleanForSpeculation(0x704, 2));
+
+    FrameOutcome conflict;
+    conflict.kind = FrameOutcome::Kind::UNSAFE_CONFLICT;
+    conflict.faultIndex = 1;
+    engine.frameAborted(frame, conflict);
+
+    // The store site is blacklisted for speculation and the frame is
+    // gone, so the constructor rebuilds it with that store safe.
+    EXPECT_FALSE(engine.aliasProfile().cleanForSpeculation(0x704, 2));
+    EXPECT_EQ(engine.cache().probe(0x700), nullptr);
+    EXPECT_EQ(engine.stats().get("unsafe_conflicts"), 1u);
+    // A conflict is not an assert fire and must not count toward bias
+    // eviction.
+    EXPECT_EQ(engine.stats().get("assert_fires"), 0u);
+}
+
+TEST(RePlayEngine, QuarantineBlocksCandidateConstruction)
+{
+    // Collect every start PC the constructor would emit for this
+    // trace, quarantine them all, then replay: no frame may be built
+    // and each suppression must be counted.
+    const auto prog = biasedLoopProgram();
+    std::vector<uint32_t> start_pcs;
+    {
+        FrameConstructor ctor;
+        trace::ExecutorTraceSource src(prog, 8000);
+        while (!src.done()) {
+            if (auto cand = ctor.observe(*src.peek()))
+                start_pcs.push_back(cand->startPc);
+            src.advance();
+        }
+        ASSERT_FALSE(start_pcs.empty());
+    }
+
+    EngineConfig cfg;
+    cfg.quarantine.basePenaltyCycles = 1u << 30;
+    RePlayEngine engine(cfg);
+    for (const uint32_t pc : start_pcs)
+        engine.quarantine().add(pc, 0);
+
+    trace::ExecutorTraceSource src(prog, 8000);
+    uint64_t now = 0;
+    while (!src.done()) {
+        engine.observeRetired(*src.peek(), now);
+        src.advance();
+        now += 2;
+    }
+    EXPECT_EQ(engine.cache().numFrames(), 0u);
+    EXPECT_EQ(engine.stats().get("candidates"), 0u);
+    EXPECT_GT(engine.stats().get("quarantine_candidate_drops"), 0u);
 }

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Differential fuzzing subsystem tests: generator determinism and
+ * spec round-tripping, the headless frame machine, the oracle smoke
+ * sweep (label fuzz-smoke), oracle non-vacuity under pass sabotage,
+ * reducer search behaviour against synthetic predicates, and replay of
+ * the committed regression corpus.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/difforacle.hh"
+#include "fuzz/reducer.hh"
+#include "sim/headless.hh"
+#include "trace/tracer.hh"
+
+using namespace replay;
+using namespace replay::fuzz;
+
+namespace {
+
+OracleConfig
+smokeConfig()
+{
+    OracleConfig cfg;
+    cfg.maxInsts = 4000;
+    return cfg;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Program generator
+// ---------------------------------------------------------------------
+
+TEST(Progen, RandomSpecIsDeterministic)
+{
+    const auto a = ProgramSpec::random(42);
+    const auto b = ProgramSpec::random(42);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, ProgramSpec::random(43));
+    EXPECT_GE(a.segments.size(), 6u);
+    EXPECT_LE(a.segments.size(), 14u);
+}
+
+TEST(Progen, MaterializeIsDeterministic)
+{
+    const auto spec = ProgramSpec::random(7);
+    const x86::Program p1 = spec.materialize();
+    const x86::Program p2 = spec.materialize();
+    ASSERT_EQ(p1.code().size(), p2.code().size());
+    for (size_t i = 0; i < p1.code().size(); ++i) {
+        EXPECT_EQ(p1.code()[i].addr, p2.code()[i].addr);
+        EXPECT_EQ(p1.code()[i].inst, p2.code()[i].inst);
+    }
+    EXPECT_EQ(p1.entry(), p2.entry());
+}
+
+TEST(Progen, AllSegmentKindsReachable)
+{
+    std::set<SegKind> seen;
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        for (const Segment &seg : ProgramSpec::random(seed).segments)
+            seen.insert(seg.kind);
+    }
+    EXPECT_EQ(seen.size(), size_t(SegKind::NUM_KINDS));
+}
+
+TEST(Progen, SerializeRoundTrips)
+{
+    const auto spec = ProgramSpec::random(123456789);
+    const auto back = ProgramSpec::parse(spec.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, spec);
+}
+
+TEST(Progen, ParseRejectsMalformedInput)
+{
+    EXPECT_FALSE(ProgramSpec::parse(""));
+    EXPECT_FALSE(ProgramSpec::parse("progen-v2 1 ALU:2"));
+    EXPECT_FALSE(ProgramSpec::parse("progen-v1 notanumber"));
+    EXPECT_FALSE(ProgramSpec::parse("progen-v1 1 BOGUS:2"));
+    EXPECT_FALSE(ProgramSpec::parse("progen-v1 1 ALU"));
+    EXPECT_FALSE(ProgramSpec::parse("progen-v1 1 ALU:xy"));
+}
+
+TEST(Progen, GeneratedProgramsExecuteToBudget)
+{
+    // No fatal executor conditions (DIV faults, wild addresses) for
+    // any seed: the program must fill the whole trace budget.
+    for (uint64_t seed = 0; seed < 25; ++seed) {
+        const auto prog = ProgramSpec::random(seed).materialize();
+        const auto recs = trace::collectTrace(prog, 1500);
+        EXPECT_EQ(recs.size(), 1500u) << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Headless frame machine
+// ---------------------------------------------------------------------
+
+TEST(FrameMachine, RetiresBothConventionalAndFrameSteps)
+{
+    const auto prog = ProgramSpec::random(3).materialize();
+    OracleConfig cfg = smokeConfig();
+    sim::FrameMachine fm(prog, cfg.engine(), cfg.maxInsts);
+
+    uint64_t conventional = 0, frames = 0, last_retired = 0;
+    for (;;) {
+        const sim::MachineStep step = fm.step();
+        if (step.kind == sim::MachineStep::Kind::DONE)
+            break;
+        EXPECT_GE(step.retiredBefore, last_retired);
+        last_retired = step.retiredBefore;
+        if (step.kind == sim::MachineStep::Kind::FRAME) {
+            ++frames;
+            EXPECT_TRUE(step.bodyCommitted);
+            EXPECT_EQ(step.span.size(), step.frame->pcs.size());
+            EXPECT_GE(step.span.size(), 1u);
+        } else {
+            ++conventional;
+        }
+    }
+    EXPECT_GT(conventional, 0u);
+    EXPECT_GT(frames, 0u);
+    EXPECT_GE(fm.retired(), cfg.maxInsts);
+    EXPECT_EQ(fm.framesCommitted(), frames);
+    EXPECT_EQ(fm.retired(), conventional + fm.frameInsts());
+}
+
+// ---------------------------------------------------------------------
+// Differential oracle
+// ---------------------------------------------------------------------
+
+TEST(DiffOracle, CleanOnTunedWorkloadLikeProgram)
+{
+    const auto report = runOracle(ProgramSpec::random(1), smokeConfig());
+    EXPECT_FALSE(report.diverged()) << report.div.detail;
+    EXPECT_GT(report.framesCommitted, 0u);
+    EXPECT_GT(report.storesCompared, 0u);
+}
+
+/** The 500-iteration smoke sweep (ctest -L fuzz-smoke). */
+TEST(DiffOracle, SmokeSweep500Seeds)
+{
+    const OracleConfig cfg = smokeConfig();
+    uint64_t frames = 0, stores = 0;
+    for (uint64_t seed = 0; seed < 500; ++seed) {
+        const auto report = runOracle(ProgramSpec::random(seed), cfg);
+        ASSERT_FALSE(report.diverged())
+            << "seed " << seed << ": "
+            << divergenceKindName(report.div.kind) << " "
+            << report.div.detail;
+        frames += report.framesCommitted;
+        stores += report.storesCompared;
+    }
+    // The sweep is meaningless unless it actually fuzzes frame bodies.
+    EXPECT_GT(frames, 10000u);
+    EXPECT_GT(stores, 10000u);
+}
+
+/**
+ * Non-vacuity: sabotaging every optimized body leaving the optimizer
+ * must surface as divergences.  If this fails, a clean sweep proves
+ * nothing.
+ */
+TEST(DiffOracle, DetectsSabotagedOptimizedBodies)
+{
+    uint64_t diverging = 0;
+    for (uint64_t seed = 0; seed < 10; ++seed) {
+        fault::FaultConfig fault_cfg;
+        fault_cfg.seed = seed + 1;
+        fault_cfg.passSabotageRate = 1.0;
+        fault::FaultInjector injector(fault_cfg);
+
+        OracleConfig cfg = smokeConfig();
+        cfg.injector = &injector;
+        if (runOracle(ProgramSpec::random(seed), cfg).diverged())
+            ++diverging;
+    }
+    EXPECT_GT(diverging, 5u);
+}
+
+// ---------------------------------------------------------------------
+// Reducer
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr uint8_t CSE_BIT = 1u << opt::OptConfig::PASS_CSE;
+constexpr uint8_t SF_BIT = 1u << opt::OptConfig::PASS_SF;
+
+ProgramSpec
+mixedSpec()
+{
+    ProgramSpec spec;
+    spec.seed = 9;
+    for (unsigned i = 0; i < 12; ++i) {
+        Segment seg;
+        seg.kind = (i % 3 == 0) ? SegKind::ALIAS : SegKind::ALU;
+        seg.seed = i;
+        spec.segments.push_back(seg);
+    }
+    return spec;
+}
+
+bool
+hasAlias(const ProgramSpec &spec)
+{
+    for (const Segment &seg : spec.segments) {
+        if (seg.kind == SegKind::ALIAS)
+            return true;
+    }
+    return false;
+}
+
+Divergence
+fakeDivergence()
+{
+    Divergence d;
+    d.kind = Divergence::Kind::REG;
+    d.detail = "synthetic";
+    return d;
+}
+
+} // anonymous namespace
+
+TEST(Reducer, MinimizesPassMaskToSingleCulprit)
+{
+    Reducer reducer([](const ProgramSpec &, uint8_t mask) {
+        return (mask & CSE_BIT) ? fakeDivergence() : Divergence{};
+    });
+    const auto repro = reducer.reduce(mixedSpec(), 0x7f, 4000);
+    ASSERT_TRUE(repro.has_value());
+    EXPECT_EQ(repro->passMask, CSE_BIT);
+    // The predicate ignores the program, so ddmin shrinks it to one
+    // segment.
+    EXPECT_EQ(repro->spec.segments.size(), 1u);
+    EXPECT_EQ(repro->div.kind, Divergence::Kind::REG);
+}
+
+TEST(Reducer, ShrinksToTriggeringSegmentKind)
+{
+    Reducer reducer([](const ProgramSpec &spec, uint8_t mask) {
+        return ((mask & SF_BIT) && hasAlias(spec)) ? fakeDivergence()
+                                                   : Divergence{};
+    });
+    const auto repro = reducer.reduce(mixedSpec(), 0x7f, 4000);
+    ASSERT_TRUE(repro.has_value());
+    EXPECT_EQ(repro->passMask, SF_BIT);
+    ASSERT_EQ(repro->spec.segments.size(), 1u);
+    EXPECT_EQ(repro->spec.segments[0].kind, SegKind::ALIAS);
+    EXPECT_LE(reducer.probes(), 400u);
+}
+
+TEST(Reducer, ReturnsNulloptWhenInputDoesNotDiverge)
+{
+    Reducer reducer(
+        [](const ProgramSpec &, uint8_t) { return Divergence{}; });
+    EXPECT_FALSE(reducer.reduce(mixedSpec(), 0x7f, 4000).has_value());
+    EXPECT_EQ(reducer.probes(), 1u);
+}
+
+TEST(Reducer, RespectsProbeBudget)
+{
+    unsigned calls = 0;
+    Reducer reducer(
+        [&calls](const ProgramSpec &, uint8_t) {
+            ++calls;
+            return fakeDivergence();    // everything "diverges"
+        },
+        50);
+    ProgramSpec spec = mixedSpec();
+    // Blow the list up so an unbounded ddmin would need many probes.
+    while (spec.segments.size() < 64)
+        spec.segments.push_back(spec.segments.back());
+    const auto repro = reducer.reduce(spec, 0x7f, 4000);
+    ASSERT_TRUE(repro.has_value());
+    EXPECT_LE(calls, 52u);     // budget + initial + final confirmation
+}
+
+// ---------------------------------------------------------------------
+// Repro files and the regression corpus
+// ---------------------------------------------------------------------
+
+TEST(Repro, SerializeRoundTrips)
+{
+    Repro repro;
+    repro.spec = ProgramSpec::random(77);
+    repro.passMask = 0x15;
+    repro.maxInsts = 2500;
+    repro.div = fakeDivergence();
+    repro.div.retired = 812;
+    repro.div.framePc = 0x401234;
+
+    const auto back = Repro::parse(repro.serialize());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->spec, repro.spec);
+    EXPECT_EQ(back->passMask, repro.passMask);
+    EXPECT_EQ(back->maxInsts, repro.maxInsts);
+}
+
+TEST(Repro, ParseRejectsMalformedInput)
+{
+    EXPECT_FALSE(Repro::parse(""));
+    EXPECT_FALSE(Repro::parse("maxinsts 100\npassmask 3\n"));
+    EXPECT_FALSE(Repro::parse("spec progen-v1 1 ALU:2\nbogus line\n"));
+    EXPECT_FALSE(Repro::parse("passmask 900\nspec progen-v1 1 ALU:2\n"));
+}
+
+TEST(Corpus, EveryCommittedReproReplaysClean)
+{
+    const std::filesystem::path dir = FUZZ_CORPUS_DIR;
+    ASSERT_TRUE(std::filesystem::is_directory(dir));
+    unsigned replayed = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".txt")
+            continue;
+        std::ifstream in(entry.path());
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const auto repro = Repro::parse(buf.str());
+        ASSERT_TRUE(repro.has_value()) << entry.path();
+        const auto report = runOracle(repro->spec,
+                                      repro->oracleConfig());
+        EXPECT_FALSE(report.diverged())
+            << entry.path() << ": "
+            << divergenceKindName(report.div.kind) << " "
+            << report.div.detail;
+        EXPECT_GT(report.framesCommitted, 0u) << entry.path();
+        ++replayed;
+    }
+    EXPECT_GT(replayed, 0u);
+}

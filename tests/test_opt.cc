@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/constructor.hh"
 #include "opt/datapath.hh"
 #include "opt/frameexec.hh"
 #include "opt/optimizer.hh"
@@ -1054,3 +1055,212 @@ TEST_P(SpeculativeMemProperty, ConflictOrCorrectness)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SpeculativeMemProperty,
                          ::testing::Range(0, 40));
+
+// ---------------------------------------------------------------------
+// Remapper edge cases
+// ---------------------------------------------------------------------
+
+TEST(Remapper, SlotMWritesMAndSourcesBecomeParentIndices)
+{
+    // A dependence chain: every uop reads the previous one's result.
+    std::vector<Uop> uops;
+    uops.push_back(mkLimm(UReg::EAX, 5));
+    for (unsigned i = 0; i < 6; ++i)
+        uops.push_back(mkAluI(Op::ADD, UReg::EAX, UReg::EAX, 1));
+
+    const OptBuffer buf = Remapper().remap(uops);
+    ASSERT_EQ(buf.size(), 7u);
+    for (size_t i = 1; i < buf.size(); ++i) {
+        const Operand &src = buf.at(i).srcA;
+        ASSERT_TRUE(src.isProd()) << "slot " << i;
+        EXPECT_EQ(src.idx, i - 1) << "slot " << i;
+    }
+    // The final exit binds EAX to the last producer slot.
+    const Operand &out = buf.finalExit().regs[unsigned(UReg::EAX)];
+    ASSERT_TRUE(out.isProd());
+    EXPECT_EQ(out.idx, buf.size() - 1);
+    // Untouched registers stay bound to their live-in values.
+    EXPECT_TRUE(buf.finalExit().regs[unsigned(UReg::EBX)].isLiveIn());
+}
+
+TEST(Remapper, HandlesTheConstructorMaximumFrame)
+{
+    // The constructor caps frames at 256 micro-ops; remapping a
+    // maximum frame must preserve every slot and the write-after-write
+    // renaming (all 256 write EAX, only the last one reaches the exit).
+    const core::ConstructorConfig ctor_cfg;
+    const unsigned n = ctor_cfg.maxUops;
+    ASSERT_EQ(n, 256u);
+    std::vector<Uop> uops;
+    for (unsigned i = 0; i < n; ++i)
+        uops.push_back(mkLimm(UReg::EAX, int32_t(i)));
+
+    const OptBuffer buf = Remapper().remap(uops);
+    ASSERT_EQ(buf.size(), n);
+    const Operand &out = buf.finalExit().regs[unsigned(UReg::EAX)];
+    ASSERT_TRUE(out.isProd());
+    EXPECT_EQ(out.idx, n - 1);
+
+    // And the full optimizer still produces an executable body: DCE
+    // collapses the dead rewrites down to the surviving tail.
+    OptStats stats;
+    const auto frame = Optimizer().optimize(uops, {}, nullptr, stats);
+    EXPECT_LT(frame.numUops(), n);
+    ArchState st;
+    x86::SparseMemory mem;
+    ASSERT_TRUE(executeFrame(frame, st, mem).committed());
+    EXPECT_EQ(st.regs[unsigned(UReg::EAX)], n - 1);
+}
+
+TEST(Remapper, PerBlockExitsSnapshotEveryBoundary)
+{
+    std::vector<Uop> uops;
+    uops.push_back(mkLimm(UReg::EAX, 1));
+    uops.push_back(mkLimm(UReg::EBX, 2));
+    uops.push_back(mkLimm(UReg::EAX, 3));
+    uops.push_back(mkLimm(UReg::ECX, 4));
+    const std::vector<uint16_t> blocks{0, 0, 1, 1};
+
+    const OptBuffer buf = Remapper().remap(uops, blocks, true);
+    ASSERT_EQ(buf.exits().size(), 2u);
+    // Block 0's exit sees only the first two writes...
+    const ExitBinding &e0 = buf.exits()[0];
+    EXPECT_EQ(e0.block, 0u);
+    ASSERT_TRUE(e0.regs[unsigned(UReg::EAX)].isProd());
+    EXPECT_EQ(e0.regs[unsigned(UReg::EAX)].idx, 0u);
+    EXPECT_TRUE(e0.regs[unsigned(UReg::ECX)].isLiveIn());
+    // ...while the frame exit sees the block-1 overwrites.
+    const ExitBinding &e1 = buf.finalExit();
+    EXPECT_EQ(e1.block, 1u);
+    ASSERT_TRUE(e1.regs[unsigned(UReg::EAX)].isProd());
+    EXPECT_EQ(e1.regs[unsigned(UReg::EAX)].idx, 2u);
+    EXPECT_EQ(e1.regs[unsigned(UReg::ECX)].idx, 3u);
+
+    // Without per-block exits only the frame boundary is recorded.
+    EXPECT_EQ(Remapper().remap(uops, blocks, false).exits().size(), 1u);
+}
+
+TEST(RemapperDeathTest, BlockAnnotationLengthMismatchPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    std::vector<Uop> uops;
+    uops.push_back(mkLimm(UReg::EAX, 1));
+    uops.push_back(mkLimm(UReg::EBX, 2));
+    const std::vector<uint16_t> short_blocks{0};
+    EXPECT_DEATH(Remapper().remap(uops, short_blocks),
+                 "block annotation length mismatch");
+}
+
+// ---------------------------------------------------------------------
+// Per-pass properties: each optimization alone, on seeded random
+// frames, reaches a fixed point within the iteration bound (re-running
+// it changes nothing) and preserves the architectural live-outs under
+// FrameExec.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Canonical text form of a body, for structural comparison. */
+std::string
+bodySignature(const OptimizedFrame &frame)
+{
+    std::string sig;
+    auto operand = [&sig](const Operand &op) {
+        switch (op.kind) {
+          case Operand::Kind::NONE:
+            sig += '-';
+            break;
+          case Operand::Kind::LIVE_IN:
+            sig += 'L';
+            sig += std::to_string(unsigned(op.reg));
+            break;
+          case Operand::Kind::PROD:
+            sig += 'P';
+            sig += std::to_string(op.idx);
+            break;
+        }
+        if (op.flagsView)
+            sig += 'f';
+        sig += ' ';
+    };
+    for (const FrameUop &fu : frame.uops) {
+        sig += opName(fu.uop.op);
+        sig += ' ';
+        sig += std::to_string(fu.uop.imm);
+        sig += ' ';
+        operand(fu.srcA);
+        operand(fu.srcB);
+        operand(fu.srcC);
+        operand(fu.flagsSrc);
+        sig += fu.unsafe ? "U" : "";
+        sig += '\n';
+    }
+    sig += "exit ";
+    for (unsigned r = 0; r < NUM_UREGS; ++r)
+        operand(frame.exit.regs[r]);
+    operand(frame.exit.flags);
+    return sig;
+}
+
+} // namespace
+
+class SinglePassProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SinglePassProperty, IdempotentAndEquivalentOn200RandomFrames)
+{
+    const unsigned bit = unsigned(GetParam());
+    const OptConfig cfg =
+        OptConfig::fromPassMask(uint8_t(1u << bit));
+    OptConfig extra = cfg;
+    extra.maxIterations = cfg.maxIterations + 2;
+    AllowAllHints allow;
+
+    for (uint64_t seed = 0; seed < 200; ++seed) {
+        Rng rng(seed * 6364136223846793005ULL + bit);
+        const auto uops = randomFrame(rng);
+
+        OptStats stats;
+        const auto frame =
+            Optimizer(cfg).optimize(uops, {}, &allow, stats);
+        const auto again =
+            Optimizer(extra).optimize(uops, {}, &allow, stats);
+        // Fixed point within the iteration bound: extra pipeline
+        // iterations must not change the body.
+        ASSERT_EQ(bodySignature(frame), bodySignature(again))
+            << OptConfig::passBitName(bit) << " seed " << seed;
+
+        ArchState in;
+        for (unsigned r = 0; r < 8; ++r)
+            in.regs[r] = uint32_t(rng.next());
+        in.regs[unsigned(UReg::ESI)] = 0x2000;
+
+        x86::SparseMemory ref_mem, opt_mem;
+        for (unsigned w = 0; w < 16; ++w) {
+            const uint32_t v = uint32_t(rng.next());
+            ref_mem.write(0x2000 + w * 4, 4, v);
+            opt_mem.write(0x2000 + w * 4, 4, v);
+        }
+        const ArchState ref_out = runReference(uops, in, ref_mem);
+        ArchState opt_state = in;
+        const auto res = executeFrame(frame, opt_state, opt_mem);
+        ASSERT_TRUE(res.committed())
+            << OptConfig::passBitName(bit) << " seed " << seed;
+        expectArchEqual(opt_state, ref_out);
+        for (unsigned w = 0; w < 16; ++w) {
+            ASSERT_EQ(opt_mem.read(0x2000 + w * 4, 4),
+                      ref_mem.read(0x2000 + w * 4, 4))
+                << OptConfig::passBitName(bit) << " seed " << seed
+                << " word " << w;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Passes, SinglePassProperty,
+    ::testing::Range(0, int(OptConfig::NUM_PASS_BITS)),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return std::string(
+            OptConfig::passBitName(unsigned(info.param)));
+    });

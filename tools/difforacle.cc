@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Differential fuzzing driver.
+ *
+ * Sweeps a seed range through the random-program oracle, reports every
+ * divergence, optionally reduces each one to a minimal repro file, and
+ * replays existing repro files.
+ *
+ * Usage:
+ *   difforacle [--seed-range A:B] [--max-insts N] [--passmask M]
+ *              [--reduce] [--out DIR] [--replay FILE ...] [--quiet]
+ *
+ * Exit status is the number of diverging seeds (capped at 99), so a
+ * clean sweep exits 0.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/difforacle.hh"
+#include "fuzz/reducer.hh"
+
+using namespace replay;
+
+namespace {
+
+struct Options
+{
+    uint64_t seedBegin = 0;
+    uint64_t seedEnd = 1000;
+    uint64_t maxInsts = 4000;
+    uint8_t passMask = 0x7f;
+    bool reduce = false;
+    bool quiet = false;
+    std::string outDir = "fuzz-out";
+    std::vector<std::string> replayFiles;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--seed-range A:B] [--max-insts N] "
+                 "[--passmask M] [--reduce] [--out DIR] "
+                 "[--replay FILE ...] [--quiet]\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+printReport(uint64_t seed, const fuzz::OracleReport &report)
+{
+    const fuzz::Divergence &d = report.div;
+    std::printf("seed %llu: %s at retired=%llu frame=%#x\n"
+                "  %s\n",
+                (unsigned long long)seed,
+                fuzz::divergenceKindName(d.kind),
+                (unsigned long long)d.retired, d.framePc,
+                d.detail.c_str());
+}
+
+int
+replayFile(const std::string &path, const Options &opt)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const auto repro = fuzz::Repro::parse(buf.str());
+    if (!repro) {
+        std::fprintf(stderr, "malformed repro %s\n", path.c_str());
+        return 1;
+    }
+    const auto report = fuzz::runOracle(repro->spec,
+                                        repro->oracleConfig());
+    if (report.diverged()) {
+        std::printf("%s: DIVERGES — %s: %s\n", path.c_str(),
+                    fuzz::divergenceKindName(report.div.kind),
+                    report.div.detail.c_str());
+        return 1;
+    }
+    if (!opt.quiet)
+        std::printf("%s: clean (%llu insts, %llu frames)\n",
+                    path.c_str(), (unsigned long long)report.retired,
+                    (unsigned long long)report.framesCommitted);
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (++i >= argc)
+                usage(argv[0]);
+            return argv[i];
+        };
+        if (arg == "--seed-range") {
+            const char *v = next();
+            const char *colon = std::strchr(v, ':');
+            if (!colon)
+                usage(argv[0]);
+            opt.seedBegin = std::strtoull(v, nullptr, 0);
+            opt.seedEnd = std::strtoull(colon + 1, nullptr, 0);
+        } else if (arg == "--max-insts") {
+            opt.maxInsts = std::strtoull(next(), nullptr, 0);
+        } else if (arg == "--passmask") {
+            opt.passMask = uint8_t(std::strtoul(next(), nullptr, 0));
+        } else if (arg == "--reduce") {
+            opt.reduce = true;
+        } else if (arg == "--quiet") {
+            opt.quiet = true;
+        } else if (arg == "--out") {
+            opt.outDir = next();
+        } else if (arg == "--replay") {
+            while (i + 1 < argc && argv[i + 1][0] != '-')
+                opt.replayFiles.push_back(argv[++i]);
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (!opt.replayFiles.empty()) {
+        int bad = 0;
+        for (const auto &path : opt.replayFiles)
+            bad += replayFile(path, opt);
+        return bad > 99 ? 99 : bad;
+    }
+
+    fuzz::OracleConfig cfg;
+    cfg.maxInsts = opt.maxInsts;
+    cfg.opt = opt::OptConfig::fromPassMask(opt.passMask);
+
+    uint64_t diverging = 0;
+    uint64_t frames = 0, insts = 0;
+    for (uint64_t seed = opt.seedBegin; seed < opt.seedEnd; ++seed) {
+        const auto spec = fuzz::ProgramSpec::random(seed);
+        const auto report = fuzz::runOracle(spec, cfg);
+        frames += report.framesCommitted;
+        insts += report.retired;
+        if (!report.diverged()) {
+            if (!opt.quiet && (seed + 1) % 500 == 0)
+                std::printf("... %llu seeds, %llu frames committed\n",
+                            (unsigned long long)(seed + 1 - opt.seedBegin),
+                            (unsigned long long)frames);
+            continue;
+        }
+
+        ++diverging;
+        printReport(seed, report);
+        if (opt.reduce) {
+            fuzz::Reducer reducer = fuzz::makeOracleReducer(opt.maxInsts);
+            const auto repro =
+                reducer.reduce(spec, opt.passMask, opt.maxInsts);
+            if (repro) {
+                std::filesystem::create_directories(opt.outDir);
+                const std::string path =
+                    opt.outDir + "/repro-seed" + std::to_string(seed)
+                    + ".txt";
+                std::ofstream out(path);
+                out << repro->serialize();
+                std::printf("  reduced to %zu segments, passmask %#x "
+                            "(%u probes) -> %s\n",
+                            repro->spec.segments.size(),
+                            unsigned(repro->passMask), reducer.probes(),
+                            path.c_str());
+            }
+        }
+    }
+
+    std::printf("%llu seeds, %llu diverging; %llu insts, %llu frames "
+                "committed\n",
+                (unsigned long long)(opt.seedEnd - opt.seedBegin),
+                (unsigned long long)diverging,
+                (unsigned long long)insts, (unsigned long long)frames);
+    return diverging > 99 ? 99 : int(diverging);
+}
