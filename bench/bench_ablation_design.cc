@@ -20,26 +20,30 @@ const char *APPS[] = {"crafty", "vortex", "excel"};
 
 void
 sweep(const char *title,
-      const std::vector<std::pair<std::string,
-                                  sim::SimConfig>> &points)
+      std::vector<std::pair<std::string, sim::SimConfig>> points)
 {
     std::printf("%s\n", title);
+
+    bench::Grid grid;
+    for (const char *app : APPS)
+        grid.rows.push_back(&trace::findWorkload(app));
+    grid.cols = std::move(points);
+    grid.run();
+
     TextTable table;
     std::vector<std::string> header{"app"};
-    for (const auto &[label, cfg] : points)
+    for (const auto &[label, cfg] : grid.cols)
         header.push_back(label);
     table.header(std::move(header));
 
-    for (const char *app : APPS) {
-        std::vector<std::string> row{app};
-        for (const auto &[label, cfg] : points) {
-            const auto r =
-                sim::runWorkload(trace::findWorkload(app), cfg);
-            row.push_back(TextTable::fixed(r.ipc(), 3));
-        }
+    for (size_t r = 0; r < grid.rows.size(); ++r) {
+        std::vector<std::string> row{grid.rows[r]->name};
+        for (size_t c = 0; c < grid.cols.size(); ++c)
+            row.push_back(TextTable::fixed(grid.at(r, c).ipc(), 3));
         table.row(std::move(row));
     }
     std::printf("%s\n", table.render().c_str());
+    bench::throughputFooter(grid.result);
 }
 
 } // namespace

@@ -18,15 +18,20 @@ main()
                   "Section 6.1 text: ~86% SPEC vs ~72% desktop "
                   "coverage; assert cycles < 3%");
 
+    bench::Grid grid;
+    grid.rows = sim::standardWorkloadRows();
+    grid.cols = {{"RPO", sim::SimConfig::make(sim::Machine::RPO)}};
+    grid.run();
+
     TextTable table;
     table.header({"app", "type", "coverage", "assert cycles",
                   "aborts/commits"});
     double cov[2] = {0, 0};
     unsigned n[2] = {0, 0};
     double assert_share_sum = 0;
-    for (const auto &w : trace::standardWorkloads()) {
-        const auto r =
-            sim::runWorkload(w, sim::SimConfig::make(sim::Machine::RPO));
+    for (size_t row = 0; row < grid.rows.size(); ++row) {
+        const auto &w = *grid.rows[row];
+        const auto &r = grid.at(row, 0);
         const bool spec = w.type == trace::AppType::SPECint;
         cov[spec ? 0 : 1] += r.coverage();
         ++n[spec ? 0 : 1];
@@ -46,6 +51,7 @@ main()
     std::printf("desktop average coverage: %.1f%%\n",
                 cov[1] / n[1] * 100);
     std::printf("average assert cycles:    %.1f%%\n\n",
-                assert_share_sum / 14 * 100);
+                assert_share_sum / double(grid.rows.size()) * 100);
+    bench::throughputFooter(grid.result);
     return 0;
 }

@@ -46,10 +46,9 @@ check(bool ok, const std::string &what)
     }
 }
 
-/** Run one workload (all hot spots) with the online verifier armed. */
-RunStats
-verifiedRun(const trace::Workload &w, Machine machine, double rate,
-            uint64_t insts)
+/** A config with the online verifier armed at the given fault rate. */
+SimConfig
+verifiedConfig(Machine machine, double rate, uint64_t insts)
 {
     SimConfig cfg = SimConfig::make(machine);
     cfg.maxInsts = insts;
@@ -57,14 +56,7 @@ verifiedRun(const trace::Workload &w, Machine machine, double rate,
     cfg.fault.seed = 0x5eed + unsigned(rate * 10000);
     cfg.fault.fetchFlipRate = rate;
     cfg.fault.passSabotageRate = rate;
-    RunStats merged;
-    merged.workload = w.name;
-    merged.config = cfg.name();
-    for (unsigned t = 0; t < w.numTraces; ++t) {
-        auto src = w.openTrace(t, insts);
-        merged.merge(sim::simulateTrace(cfg, *src, w.name));
-    }
-    return merged;
+    return cfg;
 }
 
 } // namespace
@@ -79,13 +71,28 @@ main()
     const uint64_t insts = sim::defaultInstsPerTrace();
     const double rates[] = {0.005, 0.02, 0.05};
 
+    // One parallel sweep covers the whole campaign: per workload, the
+    // IC digest reference, the clean RPO run, and the faulty RPO runs.
+    bench::Grid grid;
+    grid.rows = sim::standardWorkloadRows();
+    grid.cols = {{"IC", verifiedConfig(Machine::IC, 0.0, insts)},
+                 {"clean", verifiedConfig(Machine::RPO, 0.0, insts)}};
+    for (const double rate : rates) {
+        char label[16];
+        std::snprintf(label, sizeof(label), "%.3f", rate);
+        grid.cols.emplace_back(label,
+                               verifiedConfig(Machine::RPO, rate, insts));
+    }
+    grid.run(insts);
+
     TextTable table;
     table.header({"app", "rate", "injected", "detected", "escaped",
                   "quarantines", "state", "IPC", "vs IC"});
 
-    for (const auto &w : trace::standardWorkloads()) {
-        const RunStats ic = verifiedRun(w, Machine::IC, 0.0, insts);
-        const RunStats clean = verifiedRun(w, Machine::RPO, 0.0, insts);
+    for (size_t row = 0; row < grid.rows.size(); ++row) {
+        const auto &w = *grid.rows[row];
+        const RunStats &ic = grid.at(row, 0);
+        const RunStats &clean = grid.at(row, 1);
         check(clean.archDigest == ic.archDigest,
               w.name + ": clean RPO digest != IC digest");
         check(clean.verifyDetections == 0,
@@ -95,8 +102,8 @@ main()
                    "0", "ok", TextTable::fixed(clean.ipc(), 2),
                    TextTable::percent(clean.ipc() / ic.ipc() - 1.0, 0)});
 
-        for (const double rate : rates) {
-            const RunStats r = verifiedRun(w, Machine::RPO, rate, insts);
+        for (size_t i = 0; i < std::size(rates); ++i) {
+            const RunStats &r = grid.at(row, 2 + i);
             const uint64_t injected =
                 r.faultsFetchFlip + r.faultsPassSabotage;
             const bool state_ok = r.archDigest == clean.archDigest;
@@ -110,7 +117,7 @@ main()
                   w.name + ": degraded below the ICache baseline");
 
             char rate_s[16];
-            std::snprintf(rate_s, sizeof(rate_s), "%.3f", rate);
+            std::snprintf(rate_s, sizeof(rate_s), "%.3f", rates[i]);
             table.row({w.name, rate_s, std::to_string(injected),
                        std::to_string(r.verifyDetections),
                        std::to_string(r.corruptFrameCommits),
@@ -122,6 +129,7 @@ main()
         table.separator();
     }
     std::printf("%s\n", table.render().c_str());
+    bench::throughputFooter(grid.result);
 
     // ---- phase 2: damaged trace files --------------------------------
     std::printf("Trace-container robustness:\n");

@@ -25,25 +25,32 @@ main()
     const char *apps[] = {"bzip2", "crafty", "vortex", "dream", "excel"};
     const char *passes[] = {"ASST", "CP", "CSE", "NOP", "RA", "SF"};
 
+    bench::Grid grid;
+    for (const char *name : apps)
+        grid.rows.push_back(&trace::findWorkload(name));
+    grid.cols = {{"RP", sim::SimConfig::make(sim::Machine::RP)},
+                 {"RPO", sim::SimConfig::make(sim::Machine::RPO)}};
+    for (const char *pass : passes) {
+        auto cfg = sim::SimConfig::make(sim::Machine::RPO);
+        cfg.engine.optConfig = opt::OptConfig::without(pass);
+        grid.cols.emplace_back(std::string("no ") + pass, cfg);
+    }
+    grid.run();
+
     TextTable table;
     table.header({"app", "no ASST", "no CP", "no CSE", "no NOP",
                   "no RA", "no SF"});
-    for (const char *name : apps) {
-        const auto &w = trace::findWorkload(name);
-        const auto rp =
-            sim::runWorkload(w, sim::SimConfig::make(sim::Machine::RP));
-        const auto rpo =
-            sim::runWorkload(w, sim::SimConfig::make(sim::Machine::RPO));
+    for (size_t r = 0; r < grid.rows.size(); ++r) {
+        const auto &rp = grid.at(r, 0);
+        const auto &rpo = grid.at(r, 1);
         const double span = rpo.ipc() - rp.ipc();
 
-        std::vector<std::string> row{name};
-        for (const char *pass : passes) {
-            auto cfg = sim::SimConfig::make(sim::Machine::RPO);
-            cfg.engine.optConfig = opt::OptConfig::without(pass);
-            const auto r = sim::runWorkload(w, cfg);
+        std::vector<std::string> row{grid.rows[r]->name};
+        for (size_t p = 0; p < std::size(passes); ++p) {
+            const auto &result = grid.at(r, 2 + p);
             // Relative IPC: 0 == RP, 1 == RPO.
             const double rel =
-                span != 0.0 ? (r.ipc() - rp.ipc()) / span : 1.0;
+                span != 0.0 ? (result.ipc() - rp.ipc()) / span : 1.0;
             row.push_back(TextTable::fixed(rel, 2));
         }
         table.row(std::move(row));
@@ -54,5 +61,6 @@ main()
                 "several apps);\nCSE dominates on bzip2; disabling "
                 "store forwarding can *help* Excel, whose unsafe "
                 "stores alias.\n\n");
+    bench::throughputFooter(grid.result);
     return 0;
 }

@@ -16,32 +16,40 @@ main()
     bench::banner("Figure 6: x86 IPC of IC / TC / RP / RPO",
                   "Figure 6 / Section 6.1");
 
+    bench::Grid grid;
+    grid.rows = sim::standardWorkloadRows();
+    grid.cols = sim::allMachineColumns();
+    grid.run();
+
     TextTable table;
     table.header({"app", "IC", "TC", "RP", "RPO", "RPO vs RP"});
     double sums[4] = {0, 0, 0, 0};
     double gain_sum = 0;
-    for (const auto &w : trace::standardWorkloads()) {
-        const auto rs = sim::runAllMachines(w);
-        const double gain = rs[3].ipc() / rs[2].ipc() - 1.0;
-        table.row({w.name, TextTable::fixed(rs[0].ipc(), 3),
-                   TextTable::fixed(rs[1].ipc(), 3),
-                   TextTable::fixed(rs[2].ipc(), 3),
-                   TextTable::fixed(rs[3].ipc(), 3),
+    for (size_t r = 0; r < grid.rows.size(); ++r) {
+        const double gain =
+            grid.at(r, 3).ipc() / grid.at(r, 2).ipc() - 1.0;
+        table.row({grid.rows[r]->name,
+                   TextTable::fixed(grid.at(r, 0).ipc(), 3),
+                   TextTable::fixed(grid.at(r, 1).ipc(), 3),
+                   TextTable::fixed(grid.at(r, 2).ipc(), 3),
+                   TextTable::fixed(grid.at(r, 3).ipc(), 3),
                    TextTable::percent(gain, 0)});
-        for (int i = 0; i < 4; ++i)
-            sums[i] += rs[i].ipc();
+        for (size_t c = 0; c < 4; ++c)
+            sums[c] += grid.at(r, c).ipc();
         gain_sum += gain;
     }
+    const double n = double(grid.rows.size());
     table.separator();
-    table.row({"average", TextTable::fixed(sums[0] / 14, 3),
-               TextTable::fixed(sums[1] / 14, 3),
-               TextTable::fixed(sums[2] / 14, 3),
-               TextTable::fixed(sums[3] / 14, 3),
-               TextTable::percent(gain_sum / 14, 0)});
+    table.row({"average", TextTable::fixed(sums[0] / n, 3),
+               TextTable::fixed(sums[1] / n, 3),
+               TextTable::fixed(sums[2] / n, 3),
+               TextTable::fixed(sums[3] / n, 3),
+               TextTable::percent(gain_sum / n, 0)});
     std::printf("%s\n", table.render().c_str());
     std::printf("paper: 17%% average IPC increase of RPO over RP, "
                 "highly variable per application;\n"
                 "gzip is the one application where RPO does not beat "
                 "every other configuration.\n\n");
+    bench::throughputFooter(grid.result);
     return 0;
 }

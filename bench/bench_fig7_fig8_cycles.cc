@@ -14,19 +14,19 @@ using timing::CycleBin;
 namespace {
 
 void
-emitGroup(const char *title, trace::AppType first,
-          trace::AppType second)
+emitGroup(const char *title, const bench::Grid &grid,
+          trace::AppType first, trace::AppType second)
 {
     std::printf("%s\n", title);
     TextTable table;
     table.header({"app", "cfg", "cycles", "frame", "wait", "stall",
                   "miss", "assert", "mispred", "icache"});
-    for (const auto &w : trace::standardWorkloads()) {
+    for (size_t row = 0; row < grid.rows.size(); ++row) {
+        const auto &w = *grid.rows[row];
         if (w.type != first && w.type != second)
             continue;
-        for (const auto machine : {sim::Machine::RP, sim::Machine::RPO}) {
-            const auto r = sim::runWorkload(
-                w, sim::SimConfig::make(machine));
+        for (size_t col = 0; col < grid.cols.size(); ++col) {
+            const auto &r = grid.at(row, col);
             auto pct = [&](CycleBin bin) {
                 return TextTable::percent(
                     double(r.bins.get(bin)) / double(r.cycles()), 1);
@@ -48,11 +48,19 @@ main()
 {
     bench::banner("Figures 7+8: cycle breakdown, RP vs RPO",
                   "Figures 7 and 8 / Section 6.1");
-    emitGroup("Figure 7 (SPECint):", trace::AppType::SPECint,
+
+    bench::Grid grid;
+    grid.rows = sim::standardWorkloadRows();
+    grid.cols = {{"RP", sim::SimConfig::make(sim::Machine::RP)},
+                 {"RPO", sim::SimConfig::make(sim::Machine::RPO)}};
+    grid.run();
+
+    emitGroup("Figure 7 (SPECint):", grid, trace::AppType::SPECint,
               trace::AppType::SPECint);
-    emitGroup("Figure 8 (desktop):", trace::AppType::Business,
+    emitGroup("Figure 8 (desktop):", grid, trace::AppType::Business,
               trace::AppType::Content);
     std::printf("paper: the optimizer's main impact is a ~21%% net "
                 "reduction in Frame cycles; assert cycles stay small.\n\n");
+    bench::throughputFooter(grid.result);
     return 0;
 }

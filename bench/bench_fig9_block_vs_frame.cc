@@ -15,21 +15,24 @@ main()
     bench::banner("Figure 9: block-scope vs frame-scope optimization",
                   "Figure 9 / Section 6.3");
 
+    auto block_cfg = sim::SimConfig::make(sim::Machine::RPO);
+    block_cfg.engine.optConfig.scope = opt::Scope::BLOCK;
+
+    bench::Grid grid;
+    grid.rows = sim::standardWorkloadRows();
+    grid.cols = {{"RP", sim::SimConfig::make(sim::Machine::RP)},
+                 {"block", block_cfg},
+                 {"frame", sim::SimConfig::make(sim::Machine::RPO)}};
+    grid.run();
+
     TextTable table;
     table.header({"app", "Block", "Frame", "block uopRed",
                   "frame uopRed"});
-    for (const auto &w : trace::standardWorkloads()) {
-        const auto rp =
-            sim::runWorkload(w, sim::SimConfig::make(sim::Machine::RP));
-
-        auto block_cfg = sim::SimConfig::make(sim::Machine::RPO);
-        block_cfg.engine.optConfig.scope = opt::Scope::BLOCK;
-        const auto block = sim::runWorkload(w, block_cfg);
-
-        const auto frame =
-            sim::runWorkload(w, sim::SimConfig::make(sim::Machine::RPO));
-
-        table.row({w.name,
+    for (size_t r = 0; r < grid.rows.size(); ++r) {
+        const auto &rp = grid.at(r, 0);
+        const auto &block = grid.at(r, 1);
+        const auto &frame = grid.at(r, 2);
+        table.row({grid.rows[r]->name,
                    TextTable::percent(block.ipc() / rp.ipc() - 1, 1),
                    TextTable::percent(frame.ipc() / rp.ipc() - 1, 1),
                    TextTable::percent(block.uopReduction(), 0),
@@ -40,5 +43,6 @@ main()
                 "frame-level substantially more;\n"
                 "block-level can even lose to plain rePLay when the "
                 "optimization latency outweighs it.\n\n");
+    bench::throughputFooter(grid.result);
     return 0;
 }

@@ -2,11 +2,13 @@
  * @file
  * Shared helpers for the benchmark binaries.  Each binary regenerates
  * one table or figure of the paper; run them all with the bench loop
- * (`for b in build/bench/<binary>; do ...`).
+ * (`for b in build/bench/<binary>; do ...`) or regenerate selected
+ * figures with `tools/replaybench`.
  *
- * Trace length defaults to a laptop-scale sample per hot-spot trace
- * (the paper ran 50M-300M instructions per application); set
- * REPLAY_SIM_INSTS to lengthen runs.
+ * All grid-shaped benches run through the deterministic parallel sweep
+ * driver (sim/sweep.hh): results are bit-identical to the serial loop
+ * for any worker count.  REPLAY_SIM_JOBS caps the workers (default:
+ * hardware concurrency); REPLAY_SIM_INSTS lengthens the traces.
  */
 
 #ifndef REPLAY_BENCH_COMMON_HH
@@ -14,8 +16,10 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "trace/workload.hh"
 #include "util/table.hh"
 
@@ -28,8 +32,49 @@ banner(const std::string &title, const std::string &paper_note)
     std::printf("%s\n", title.c_str());
     std::printf("(paper reference: %s)\n", paper_note.c_str());
     std::printf("traces: %llu x86 instructions per hot spot "
-                "(REPLAY_SIM_INSTS overrides)\n\n",
-                (unsigned long long)sim::defaultInstsPerTrace());
+                "(REPLAY_SIM_INSTS overrides), %u sweep workers "
+                "(REPLAY_SIM_JOBS overrides)\n\n",
+                (unsigned long long)sim::defaultInstsPerTrace(),
+                sim::defaultSweepJobs());
+}
+
+/**
+ * A (workload x config) result grid, simulated in one parallel sweep
+ * and indexed row-major.  The canonical way a bench gets its numbers.
+ */
+struct Grid
+{
+    std::vector<const trace::Workload *> rows;
+    std::vector<std::pair<std::string, sim::SimConfig>> cols;
+    sim::SweepResult result;
+
+    /** Simulate every cell; bit-identical for any worker count. */
+    void
+    run(uint64_t insts_per_trace = 0)
+    {
+        sim::SweepOptions opts;
+        opts.instsPerTrace = insts_per_trace;
+        result = sim::runSweep(sim::gridCells(rows, cols), opts);
+    }
+
+    const sim::RunStats &
+    at(size_t row, size_t col) const
+    {
+        return result.cells.at(row * cols.size() + col);
+    }
+};
+
+/** Print the sweep's measured wall clock and throughput. */
+inline void
+throughputFooter(const sim::SweepResult &result)
+{
+    std::printf("sweep: %u cells (%u trace runs) in %.2fs with %u "
+                "worker(s) — %.2f cells/s, %.2fM x86 insts/s, "
+                "digest %016llx\n\n",
+                unsigned(result.cells.size()), result.traceRuns,
+                result.wallSeconds, result.jobs, result.cellsPerSec(),
+                result.instsPerSec() / 1e6,
+                (unsigned long long)result.digest());
 }
 
 } // namespace replay::bench

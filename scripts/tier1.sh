@@ -2,14 +2,18 @@
 # Tier-1 verification: the full test suite in the normal configuration,
 # then the fuzz-smoke differential-oracle subset rebuilt and re-run
 # under AddressSanitizer + UBSan (catches memory bugs the functional
-# comparison alone would miss).
+# comparison alone would miss), then the sweep-labeled tests (thread
+# pool + parallel sweep driver) rebuilt and re-run with 4 workers under
+# ThreadSanitizer (keeps the shared-substrate thread-cleanliness pass
+# honest).
 #
-# Usage: scripts/tier1.sh [build-dir] [asan-build-dir]
+# Usage: scripts/tier1.sh [build-dir] [asan-build-dir] [tsan-build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 ASAN_BUILD="${2:-build-asan}"
+TSAN_BUILD="${3:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== tier-1: full suite (${BUILD}) =="
@@ -21,5 +25,19 @@ echo "== tier-1: fuzz-smoke under ASan+UBSan (${ASAN_BUILD}) =="
 cmake -B "$ASAN_BUILD" -S . -DCMAKE_BUILD_TYPE=Debug -DENABLE_SANITIZERS=ON
 cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fuzz
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -L fuzz-smoke
+
+echo "== tier-1: sweep tests under TSan, 4 workers (${TSAN_BUILD}) =="
+if echo 'int main(){return 0;}' | \
+   c++ -fsanitize=thread -x c++ - -o /tmp/tier1-tsan-probe 2>/dev/null \
+   && /tmp/tier1-tsan-probe; then
+    cmake -B "$TSAN_BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DENABLE_TSAN=ON
+    cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep
+    REPLAY_SIM_JOBS=4 ctest --test-dir "$TSAN_BUILD" \
+        --output-on-failure -L sweep
+else
+    echo "warn: ThreadSanitizer unavailable on this host; skipping"
+fi
+rm -f /tmp/tier1-tsan-probe
 
 echo "tier-1 PASS"

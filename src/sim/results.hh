@@ -112,6 +112,14 @@ struct RunStats
 
     /** Accumulate another trace of the same application. */
     void merge(const RunStats &other);
+
+    /**
+     * FNV-1a64 over every counter (names, cycle bins, optimizer stats,
+     * digest) in a fixed field order.  Two RunStats compare equal iff
+     * their fingerprints match; sweep drivers hash these in canonical
+     * cell order to assert bit-identical results across --jobs values.
+     */
+    uint64_t fingerprint() const;
 };
 
 } // namespace replay::sim

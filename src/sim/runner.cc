@@ -1,17 +1,41 @@
 #include "sim/runner.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+
+#include "sim/sweep.hh"
+#include "util/logging.hh"
 
 namespace replay::sim {
 
 uint64_t
+parseCount(const char *text, const char *what)
+{
+    fatal_if(!text || !*text, "%s: empty count", what);
+    // strtoull silently accepts signs, whitespace, and wraps negative
+    // values; demand plain digits so "4e5", " 4", "-4" all fail loudly
+    // instead of truncating to garbage.
+    fatal_if(!std::isdigit(uint8_t(text[0])),
+             "%s: invalid count '%s' (must be a positive decimal "
+             "integer)", what, text);
+    errno = 0;
+    char *end = nullptr;
+    const uint64_t v = std::strtoull(text, &end, 10);
+    fatal_if(*end != '\0',
+             "%s: invalid count '%s' (trailing characters '%s'; "
+             "exponents like 4e5 are not supported)", what, text, end);
+    fatal_if(errno == ERANGE, "%s: count '%s' overflows 64 bits",
+             what, text);
+    fatal_if(v == 0, "%s: count must be positive", what);
+    return v;
+}
+
+uint64_t
 defaultInstsPerTrace()
 {
-    if (const char *env = std::getenv("REPLAY_SIM_INSTS")) {
-        const uint64_t v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
+    if (const char *env = std::getenv("REPLAY_SIM_INSTS"))
+        return parseCount(env, "REPLAY_SIM_INSTS");
     return 400000;
 }
 
@@ -36,13 +60,15 @@ std::vector<RunStats>
 runAllMachines(const trace::Workload &workload,
                uint64_t insts_per_trace)
 {
-    std::vector<RunStats> out;
+    std::vector<SweepCell> cells;
     for (const Machine machine :
          {Machine::IC, Machine::TC, Machine::RP, Machine::RPO}) {
-        out.push_back(runWorkload(workload, SimConfig::make(machine),
-                                  insts_per_trace));
+        cells.push_back({&workload, machineName(machine),
+                         SimConfig::make(machine)});
     }
-    return out;
+    SweepOptions opts;
+    opts.instsPerTrace = insts_per_trace;
+    return runSweep(cells, opts).cells;
 }
 
 } // namespace replay::sim

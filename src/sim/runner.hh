@@ -23,6 +23,13 @@ namespace replay::sim {
  */
 uint64_t defaultInstsPerTrace();
 
+/**
+ * Parse a strictly-positive decimal count (an instruction budget, a
+ * job count).  Rejects signs, whitespace, trailing characters, and
+ * overflow with a fatal() naming @p what — "4e5" is an error, not 4.
+ */
+uint64_t parseCount(const char *text, const char *what);
+
 /** Run every hot-spot trace of @p workload and merge the results. */
 RunStats runWorkload(const trace::Workload &workload, SimConfig cfg,
                      uint64_t insts_per_trace = 0);

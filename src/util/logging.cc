@@ -1,17 +1,23 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace replay {
 
 namespace {
 
-DeathHandler deathHandler = nullptr;
+// Sweep workers report concurrently: the handler pointer is atomic and
+// each message is emitted under a lock so lines never interleave.
+std::atomic<DeathHandler> deathHandler{nullptr};
+std::mutex reportMutex;
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
+    std::lock_guard<std::mutex> lock(reportMutex);
     std::fprintf(stderr, "%s", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
@@ -29,10 +35,14 @@ reportDeath(const char *kind, const char *file, int line,
 {
     char message[1024];
     std::vsnprintf(message, sizeof(message), fmt, ap);
-    std::fprintf(stderr, "%s: (%s:%d) %s\n", kind, file, line, message);
-    std::fflush(stderr);
-    if (deathHandler)
-        deathHandler(kind, file, line, message);
+    {
+        std::lock_guard<std::mutex> lock(reportMutex);
+        std::fprintf(stderr, "%s: (%s:%d) %s\n", kind, file, line,
+                     message);
+        std::fflush(stderr);
+    }
+    if (DeathHandler handler = deathHandler.load())
+        handler(kind, file, line, message);
 }
 
 } // anonymous namespace
@@ -40,9 +50,7 @@ reportDeath(const char *kind, const char *file, int line,
 DeathHandler
 setDeathHandler(DeathHandler handler)
 {
-    DeathHandler old = deathHandler;
-    deathHandler = handler;
-    return old;
+    return deathHandler.exchange(handler);
 }
 
 void

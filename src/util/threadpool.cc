@@ -1,0 +1,84 @@
+#include "util/threadpool.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace replay {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    threads = std::max(threads, 1u);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    jobReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    panic_if(!job, "submitting an empty job");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panic_if(stopping_, "submitting to a stopping thread pool");
+        queue_.push_back(std::move(job));
+    }
+    jobReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        jobReady_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty())
+            return;                     // stopping_ and drained
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+        lock.unlock();
+        job();
+        lock.lock();
+        --active_;
+        if (queue_.empty() && active_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+void
+parallelFor(unsigned jobs, size_t count,
+            const std::function<void(size_t)> &fn)
+{
+    if (jobs <= 1 || count <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(unsigned(std::min<size_t>(jobs, count)));
+    for (size_t i = 0; i < count; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace replay

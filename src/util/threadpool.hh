@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A small job-queue thread pool.
+ *
+ * Workers pull std::function jobs from a mutex-protected deque; wait()
+ * blocks until the queue is drained and every in-flight job has
+ * finished.  Determinism is the caller's responsibility: jobs must
+ * write only to pre-allocated, disjoint result slots (indexed by job,
+ * not by completion order) so that results are bit-identical for any
+ * worker count.  parallelFor() packages that pattern.
+ */
+
+#ifndef REPLAY_UTIL_THREADPOOL_HH
+#define REPLAY_UTIL_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace replay {
+
+/** Fixed-size worker pool over a FIFO job queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job.  Never blocks on job execution. */
+    void submit(std::function<void()> job);
+
+    /** Block until the queue is empty and no job is running. */
+    void wait();
+
+    unsigned numThreads() const { return unsigned(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable jobReady_;   ///< workers wait here
+    std::condition_variable allDone_;    ///< wait() waits here
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    unsigned active_ = 0;                ///< jobs currently executing
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(0) .. fn(count-1) across @p jobs workers and return when all
+ * are done.  jobs <= 1 runs inline on the calling thread — the serial
+ * and parallel paths execute the same iterations, so any fn that
+ * writes only to its own index produces identical results either way.
+ */
+void parallelFor(unsigned jobs, size_t count,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace replay
+
+#endif // REPLAY_UTIL_THREADPOOL_HH

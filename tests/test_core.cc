@@ -14,6 +14,7 @@
 #include "core/sequencer.hh"
 #include "trace/tracer.hh"
 #include "trace/workload.hh"
+#include "util/rng.hh"
 #include "x86/asmbuilder.hh"
 
 using namespace replay;
@@ -113,6 +114,106 @@ TEST(FrameCache, RejectsOversizedFrame)
     f->body.uops.resize(11);
     cache.insert(f);
     EXPECT_EQ(cache.numFrames(), 0u);
+}
+
+namespace {
+
+FramePtr
+makeFrame(uint32_t pc, unsigned uops)
+{
+    auto f = std::make_shared<Frame>();
+    f->startPc = pc;
+    f->pcs = {pc};
+    f->body.uops.resize(uops);
+    return f;
+}
+
+/** occupied_ must always equal the sum of resident frame sizes. */
+void
+expectConsistentOccupancy(FrameCache &cache,
+                          const std::vector<uint32_t> &pcs)
+{
+    unsigned resident = 0;
+    for (const uint32_t pc : pcs)
+        if (auto f = cache.probe(pc))
+            resident += f->numUops();
+    EXPECT_EQ(cache.occupiedUops(), resident);
+    EXPECT_LE(cache.occupiedUops(), cache.capacityUops());
+}
+
+} // anonymous namespace
+
+TEST(FrameCache, OversizedRejectLeavesOccupancyUntouched)
+{
+    FrameCache cache(100);
+    cache.insert(makeFrame(0x1000, 60));
+    EXPECT_EQ(cache.occupiedUops(), 60u);
+    cache.insert(makeFrame(0x2000, 101));       // larger than capacity
+    EXPECT_EQ(cache.numFrames(), 1u);
+    EXPECT_EQ(cache.occupiedUops(), 60u);
+    EXPECT_EQ(cache.stats().get("rejected"), 1u);
+}
+
+TEST(FrameCache, ReinsertSamePcAccountsInvalidateThenInsert)
+{
+    // Replacing the frame at a PC must charge the new size only —
+    // never old+new — even when the replacement forces evictions.
+    FrameCache cache(100);
+    cache.insert(makeFrame(0x1000, 40));
+    cache.insert(makeFrame(0x2000, 40));
+    EXPECT_EQ(cache.occupiedUops(), 80u);
+
+    // Same PC, bigger body: 0x1000's 40 slots are released first, then
+    // the 90-slot replacement still needs 0x2000 evicted.
+    cache.insert(makeFrame(0x1000, 90));
+    EXPECT_EQ(cache.numFrames(), 1u);
+    EXPECT_EQ(cache.occupiedUops(), 90u);
+    EXPECT_EQ(cache.probe(0x2000), nullptr);
+    expectConsistentOccupancy(cache, {0x1000, 0x2000});
+
+    // Same PC, smaller body: occupancy shrinks to the new size.
+    cache.insert(makeFrame(0x1000, 10));
+    EXPECT_EQ(cache.occupiedUops(), 10u);
+    expectConsistentOccupancy(cache, {0x1000, 0x2000});
+}
+
+TEST(FrameCache, EvictionChurnNeverUnderflowsOccupancy)
+{
+    // Mixed insert / replace / invalidate churn with exact-fit
+    // evictions.  occupied_ is unsigned: any double-release would wrap
+    // it huge and the <= capacity invariant would trip immediately.
+    FrameCache cache(64);
+    std::vector<uint32_t> pcs;
+    for (uint32_t i = 0; i < 16; ++i)
+        pcs.push_back(0x1000 + i * 0x100);
+
+    Rng rng(42);
+    for (unsigned step = 0; step < 2000; ++step) {
+        const uint32_t pc = pcs[rng.below(pcs.size())];
+        switch (rng.below(4)) {
+          case 0:
+          case 1:
+            cache.insert(makeFrame(pc, 1 + unsigned(rng.below(64))));
+            break;
+          case 2:
+            cache.invalidate(pc);
+            break;
+          default:
+            cache.lookup(pc);
+            break;
+        }
+        expectConsistentOccupancy(cache, pcs);
+    }
+
+    // Drain completely: occupancy must land exactly on zero.
+    for (const uint32_t pc : pcs)
+        cache.invalidate(pc);
+    EXPECT_EQ(cache.occupiedUops(), 0u);
+    EXPECT_EQ(cache.numFrames(), 0u);
+
+    // An exact-fit insert into the drained cache still works.
+    cache.insert(makeFrame(0x9000, 64));
+    EXPECT_EQ(cache.occupiedUops(), 64u);
 }
 
 TEST(AliasProfile, DirtyOnOverlapWithPrior)

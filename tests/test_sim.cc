@@ -9,8 +9,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <stdexcept>
+
 #include "sim/runner.hh"
 #include "sim/tracecachefill.hh"
+#include "util/logging.hh"
 
 using namespace replay;
 using namespace replay::sim;
@@ -203,8 +207,66 @@ TEST(TraceCacheFill, BuildsBoundedTraces)
     }
 }
 
+namespace {
+
+[[noreturn]] void
+throwingDeathHandler(const char *, const char *, int, const char *msg)
+{
+    throw std::runtime_error(msg);
+}
+
+} // anonymous namespace
+
 TEST(Runner, EnvOverrideAndDefaults)
 {
+    EXPECT_GT(defaultInstsPerTrace(), 0u);
+}
+
+TEST(Runner, ParseCountAcceptsPlainDecimals)
+{
+    EXPECT_EQ(parseCount("1", "test"), 1u);
+    EXPECT_EQ(parseCount("400000", "test"), 400000u);
+    EXPECT_EQ(parseCount("18446744073709551615", "test"),
+              UINT64_MAX);
+}
+
+TEST(Runner, ParseCountRejectsGarbage)
+{
+    // Regression: "4e5" used to silently parse as 4 via strtoull with
+    // no endptr check, truncating a 400k-instruction request to 4.
+    DeathHandler prev = setDeathHandler(throwingDeathHandler);
+    EXPECT_THROW(parseCount("4e5", "test"), std::runtime_error);
+    EXPECT_THROW(parseCount("400k", "test"), std::runtime_error);
+    EXPECT_THROW(parseCount("", "test"), std::runtime_error);
+    EXPECT_THROW(parseCount("-4", "test"), std::runtime_error);
+    EXPECT_THROW(parseCount("+4", "test"), std::runtime_error);
+    EXPECT_THROW(parseCount(" 4", "test"), std::runtime_error);
+    EXPECT_THROW(parseCount("0", "test"), std::runtime_error);
+    EXPECT_THROW(parseCount("0x10", "test"), std::runtime_error);
+    // 2^64 overflows.
+    EXPECT_THROW(parseCount("18446744073709551616", "test"),
+                 std::runtime_error);
+    setDeathHandler(prev);
+}
+
+TEST(Runner, EnvInstsParsedStrictly)
+{
+    std::string saved;
+    if (const char *old = getenv("REPLAY_SIM_INSTS"))
+        saved = old;
+
+    setenv("REPLAY_SIM_INSTS", "12345", 1);
+    EXPECT_EQ(defaultInstsPerTrace(), 12345u);
+
+    DeathHandler prev = setDeathHandler(throwingDeathHandler);
+    setenv("REPLAY_SIM_INSTS", "4e5", 1);
+    EXPECT_THROW(defaultInstsPerTrace(), std::runtime_error);
+    setDeathHandler(prev);
+
+    if (saved.empty())
+        unsetenv("REPLAY_SIM_INSTS");
+    else
+        setenv("REPLAY_SIM_INSTS", saved.c_str(), 1);
     EXPECT_GT(defaultInstsPerTrace(), 0u);
 }
 

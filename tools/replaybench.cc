@@ -1,0 +1,293 @@
+/**
+ * @file
+ * replaybench — one deterministic driver for the paper's workload
+ * sweeps.
+ *
+ * Selects figures/tables by name, fans the (workload x config x trace)
+ * grid across a thread pool, and prints either paper-style text tables
+ * or machine-readable JSON.  Results are bit-identical for any --jobs
+ * value: every cell runs its own Simulator on its own seeded Rng, and
+ * per-trace stats merge into indexed slots in canonical order, never
+ * completion order.  The per-figure digest line makes that checkable
+ * from the shell:
+ *
+ *   ./replaybench --jobs 1 fig6 | grep digest
+ *   ./replaybench --jobs 8 fig6 | grep digest     # identical
+ *
+ * Usage:
+ *   replaybench [--jobs N] [--insts N] [--json] [--list] [target ...]
+ *
+ * Targets: fig6 fig7_8 fig9 fig10 table3 coverage (default: all).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+#include "trace/workload.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace replay;
+using sim::Machine;
+using sim::SimConfig;
+
+namespace {
+
+struct Target
+{
+    const char *name;
+    const char *description;
+    std::vector<const trace::Workload *> rows;
+    std::vector<std::pair<std::string, SimConfig>> cols;
+};
+
+std::vector<Target>
+allTargets()
+{
+    std::vector<Target> targets;
+
+    Target fig6;
+    fig6.name = "fig6";
+    fig6.description = "x86 IPC of IC / TC / RP / RPO (Figure 6)";
+    fig6.rows = sim::standardWorkloadRows();
+    fig6.cols = sim::allMachineColumns();
+    targets.push_back(std::move(fig6));
+
+    Target fig78;
+    fig78.name = "fig7_8";
+    fig78.description = "cycle breakdown RP vs RPO (Figures 7+8)";
+    fig78.rows = sim::standardWorkloadRows();
+    fig78.cols = {{"RP", SimConfig::make(Machine::RP)},
+                  {"RPO", SimConfig::make(Machine::RPO)}};
+    targets.push_back(std::move(fig78));
+
+    Target fig9;
+    fig9.name = "fig9";
+    fig9.description = "block-scope vs frame-scope (Figure 9)";
+    fig9.rows = sim::standardWorkloadRows();
+    auto block_cfg = SimConfig::make(Machine::RPO);
+    block_cfg.engine.optConfig.scope = opt::Scope::BLOCK;
+    fig9.cols = {{"RP", SimConfig::make(Machine::RP)},
+                 {"block", block_cfg},
+                 {"frame", SimConfig::make(Machine::RPO)}};
+    targets.push_back(std::move(fig9));
+
+    Target fig10;
+    fig10.name = "fig10";
+    fig10.description = "individual optimizations (Figure 10)";
+    for (const char *app : {"bzip2", "crafty", "vortex", "dream",
+                            "excel"}) {
+        fig10.rows.push_back(&trace::findWorkload(app));
+    }
+    fig10.cols = {{"RP", SimConfig::make(Machine::RP)},
+                  {"RPO", SimConfig::make(Machine::RPO)}};
+    for (const char *pass : {"ASST", "CP", "CSE", "NOP", "RA", "SF"}) {
+        auto cfg = SimConfig::make(Machine::RPO);
+        cfg.engine.optConfig = opt::OptConfig::without(pass);
+        fig10.cols.emplace_back(std::string("no ") + pass, cfg);
+    }
+    targets.push_back(std::move(fig10));
+
+    Target table3;
+    table3.name = "table3";
+    table3.description = "uops/loads removed, IPC increase (Table 3)";
+    table3.rows = sim::standardWorkloadRows();
+    table3.cols = {{"RP", SimConfig::make(Machine::RP)},
+                   {"RPO", SimConfig::make(Machine::RPO)}};
+    targets.push_back(std::move(table3));
+
+    Target coverage;
+    coverage.name = "coverage";
+    coverage.description = "frame coverage and assert cost (Section 6.1)";
+    coverage.rows = sim::standardWorkloadRows();
+    coverage.cols = {{"RPO", SimConfig::make(Machine::RPO)}};
+    targets.push_back(std::move(coverage));
+
+    return targets;
+}
+
+void
+emitText(const Target &target, const sim::SweepResult &result)
+{
+    std::printf("== %s: %s ==\n", target.name, target.description);
+    TextTable table;
+    std::vector<std::string> header{"app"};
+    for (const auto &[label, cfg] : target.cols)
+        header.push_back(label + " IPC");
+    table.header(std::move(header));
+    const size_t ncols = target.cols.size();
+    for (size_t r = 0; r < target.rows.size(); ++r) {
+        std::vector<std::string> row{target.rows[r]->name};
+        for (size_t c = 0; c < ncols; ++c)
+            row.push_back(
+                TextTable::fixed(result.cells[r * ncols + c].ipc(), 3));
+        table.row(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s: %u cells (%u trace runs) in %.2fs with %u "
+                "worker(s) — %.2f cells/s, %.2fM x86 insts/s\n",
+                target.name, unsigned(result.cells.size()),
+                result.traceRuns, result.wallSeconds, result.jobs,
+                result.cellsPerSec(), result.instsPerSec() / 1e6);
+    std::printf("%s: digest %016llx\n\n", target.name,
+                (unsigned long long)result.digest());
+}
+
+/** Minimal JSON string escaping (labels are plain ASCII). */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+void
+emitJson(const Target &target, const sim::SweepResult &result,
+         bool first)
+{
+    std::printf("%s    {\n      \"name\": %s,\n", first ? "" : ",\n",
+                jsonStr(target.name).c_str());
+    std::printf("      \"wall_seconds\": %.6f,\n", result.wallSeconds);
+    std::printf("      \"jobs\": %u,\n", result.jobs);
+    std::printf("      \"trace_runs\": %u,\n", result.traceRuns);
+    std::printf("      \"cells_per_sec\": %.3f,\n", result.cellsPerSec());
+    std::printf("      \"insts_per_sec\": %.0f,\n", result.instsPerSec());
+    std::printf("      \"digest\": \"%016llx\",\n",
+                (unsigned long long)result.digest());
+    std::printf("      \"cells\": [\n");
+    for (size_t i = 0; i < result.cells.size(); ++i) {
+        const auto &cell = result.cells[i];
+        std::printf("        {\"workload\": %s, \"config\": %s, "
+                    "\"x86_retired\": %llu, \"cycles\": %llu, "
+                    "\"ipc\": %.6f, \"uop_reduction\": %.6f, "
+                    "\"load_reduction\": %.6f, \"coverage\": %.6f, "
+                    "\"frame_commits\": %llu, \"frame_aborts\": %llu, "
+                    "\"fingerprint\": \"%016llx\"}%s\n",
+                    jsonStr(cell.workload).c_str(),
+                    jsonStr(cell.config).c_str(),
+                    (unsigned long long)cell.x86Retired,
+                    (unsigned long long)cell.cycles(), cell.ipc(),
+                    cell.uopReduction(), cell.loadReduction(),
+                    cell.coverage(),
+                    (unsigned long long)cell.frameCommits,
+                    (unsigned long long)cell.frameAborts,
+                    (unsigned long long)cell.fingerprint(),
+                    i + 1 < result.cells.size() ? "," : "");
+    }
+    std::printf("      ]\n    }");
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--jobs N] [--insts N] [--json] [--list] "
+                 "[target ...]\n"
+                 "targets: fig6 fig7_8 fig9 fig10 table3 coverage "
+                 "(default: all)\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::SweepOptions opts;
+    bool json = false;
+    bool list = false;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            opts.jobs = unsigned(sim::parseCount(argv[i], "--jobs"));
+        } else if (arg == "--insts") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            opts.instsPerTrace = sim::parseCount(argv[i], "--insts");
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    auto targets = allTargets();
+    if (list) {
+        for (const auto &t : targets)
+            std::printf("%-10s %s\n", t.name, t.description);
+        return 0;
+    }
+    if (names.empty() || (names.size() == 1 && names[0] == "all")) {
+        names.clear();
+        for (const auto &t : targets)
+            names.push_back(t.name);
+    }
+
+    std::vector<const Target *> selected;
+    for (const auto &name : names) {
+        const Target *found = nullptr;
+        for (const auto &t : targets)
+            if (name == t.name)
+                found = &t;
+        if (!found) {
+            std::fprintf(stderr, "unknown target '%s'\n", name.c_str());
+            return usage(argv[0]);
+        }
+        selected.push_back(found);
+    }
+
+    const uint64_t insts = opts.instsPerTrace ? opts.instsPerTrace
+                                              : sim::defaultInstsPerTrace();
+    const unsigned jobs = opts.jobs ? opts.jobs : sim::defaultSweepJobs();
+
+    if (json) {
+        std::printf("{\n  \"insts_per_trace\": %llu,\n  \"jobs\": %u,\n"
+                    "  \"targets\": [\n",
+                    (unsigned long long)insts, jobs);
+    } else {
+        std::printf("replaybench: %llu x86 insts per hot-spot trace, "
+                    "%u worker(s)\n\n",
+                    (unsigned long long)insts, jobs);
+    }
+
+    double wall_total = 0;
+    bool first = true;
+    for (const Target *target : selected) {
+        const auto result =
+            sim::runSweep(sim::gridCells(target->rows, target->cols),
+                          opts);
+        wall_total += result.wallSeconds;
+        if (json)
+            emitJson(*target, result, first);
+        else
+            emitText(*target, result);
+        first = false;
+    }
+
+    if (json)
+        std::printf("\n  ],\n  \"wall_seconds_total\": %.6f\n}\n",
+                    wall_total);
+    else
+        std::printf("total sweep wall time: %.2fs\n", wall_total);
+    return 0;
+}
