@@ -17,9 +17,29 @@ TSAN_BUILD="${3:-build-tsan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== tier-1: full suite (${BUILD}) =="
-cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DENABLE_WERROR=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== tier-1: clang-tidy over src/verify/static + changed files =="
+if command -v clang-tidy >/dev/null 2>&1; then
+    # Lint the static-verifier subsystem plus whatever C++ files the
+    # current branch touches relative to the merge base with main.
+    TIDY_FILES="$(ls src/verify/static/*.cc 2>/dev/null || true)"
+    CHANGED="$(git diff --name-only --diff-filter=ACMR \
+                   "$(git merge-base HEAD origin/main 2>/dev/null \
+                      || git rev-parse HEAD~1 2>/dev/null \
+                      || git rev-parse HEAD)" -- '*.cc' 2>/dev/null || true)"
+    TIDY_FILES="$(printf '%s\n%s\n' "$TIDY_FILES" "$CHANGED" \
+                  | sort -u | grep -v '^$' || true)"
+    if [ -n "$TIDY_FILES" ]; then
+        # shellcheck disable=SC2086
+        clang-tidy -p "$BUILD" $TIDY_FILES
+    fi
+else
+    echo "warn: clang-tidy unavailable on this host; skipping"
+fi
 
 echo "== tier-1: fuzz-smoke under ASan+UBSan (${ASAN_BUILD}) =="
 cmake -B "$ASAN_BUILD" -S . -DCMAKE_BUILD_TYPE=Debug -DENABLE_SANITIZERS=ON

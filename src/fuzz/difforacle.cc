@@ -7,6 +7,7 @@
 #include "uop/uop.hh"
 #include "verify/memmap.hh"
 #include "verify/online.hh"
+#include "verify/static/lint.hh"
 
 namespace replay::fuzz {
 
@@ -121,6 +122,7 @@ divergenceKindName(Divergence::Kind kind)
       case Divergence::Kind::CONTROL:       return "CONTROL";
       case Divergence::Kind::BODY_ROLLBACK: return "BODY_ROLLBACK";
       case Divergence::Kind::MEM_IMAGE:     return "MEM_IMAGE";
+      case Divergence::Kind::STATIC_LINT:   return "STATIC_LINT";
     }
     return "?";
 }
@@ -163,6 +165,26 @@ runOracle(const x86::Program &prog, const OracleConfig &cfg)
         for (const auto &rec : step.span) {
             verify::applyRecord(shadow, rec);
             noteStores(ref_image, rec);
+        }
+
+        // Third leg: the frame must satisfy the static IR invariants.
+        // On an un-faulted frame any finding is an engine bug; on a
+        // fault-injected frame a clean lint is a detection miss.
+        {
+            const vstatic::Report lint = vstatic::lintFrame(*step.frame);
+            ++report.framesStaticChecked;
+            if (!lint.ok()) {
+                report.staticViolations += lint.violations.size();
+                if (!step.frame->faultInjected) {
+                    report.div.kind = Divergence::Kind::STATIC_LINT;
+                    report.div.retired = step.retiredBefore;
+                    report.div.framePc = step.frame->startPc;
+                    report.div.detail = lint.summary(3);
+                    break;
+                }
+            } else if (step.frame->faultInjected) {
+                ++report.staticMissedCorruptions;
+            }
         }
 
         if (!step.bodyCommitted) {

@@ -42,6 +42,7 @@ struct Divergence
         CONTROL,        ///< indirect frame exit target mismatch
         BODY_ROLLBACK,  ///< body asserted though the trace commits
         MEM_IMAGE,      ///< final memory image mismatch
+        STATIC_LINT,    ///< static IR lint rejected an un-faulted frame
     };
 
     Kind kind = Kind::NONE;
@@ -108,6 +109,12 @@ struct OracleReport
     uint64_t framesAborted = 0;
     uint64_t frameInsts = 0;
     uint64_t storesCompared = 0;
+
+    // -- static IR cross-check (the oracle's third leg) --------------
+    uint64_t framesStaticChecked = 0;
+    uint64_t staticViolations = 0;
+    /** Fault-injected frames the static lint failed to flag. */
+    uint64_t staticMissedCorruptions = 0;
 
     bool diverged() const { return bool(div); }
 };

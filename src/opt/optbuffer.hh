@@ -65,6 +65,8 @@ struct FrameUop
           default: return flagsSrc;
         }
     }
+
+    bool operator==(const FrameUop &) const = default;
 };
 
 /** Architectural bindings that must be reconstructible at an exit. */
@@ -73,6 +75,8 @@ struct ExitBinding
     uint16_t block = 0;     ///< the block this exit terminates
     std::array<Operand, uop::NUM_UREGS> regs{};
     Operand flags;
+
+    bool operator==(const ExitBinding &) const = default;
 };
 
 /** Counts of datapath primitive invocations (see datapath.hh). */

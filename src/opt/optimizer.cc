@@ -1,8 +1,43 @@
 #include "opt/optimizer.hh"
 
+#include <atomic>
+
 #include "util/logging.hh"
 
 namespace replay::opt {
+
+namespace {
+
+std::atomic<PassObserverFactory> observer_factory{nullptr};
+
+} // anonymous namespace
+
+const char *
+passIdName(PassId id)
+{
+    switch (id) {
+      case PassId::NOP:  return "NOP";
+      case PassId::ASST: return "ASST";
+      case PassId::CP:   return "CP";
+      case PassId::RA:   return "RA";
+      case PassId::CSE:  return "CSE";
+      case PassId::SF:   return "SF";
+      case PassId::DCE:  return "DCE";
+    }
+    return "?";
+}
+
+void
+setPassObserverFactory(PassObserverFactory factory)
+{
+    observer_factory.store(factory, std::memory_order_release);
+}
+
+PassObserverFactory
+passObserverFactory()
+{
+    return observer_factory.load(std::memory_order_acquire);
+}
 
 namespace {
 
@@ -65,23 +100,36 @@ Optimizer::optimize(const std::vector<uop::Uop> &uops,
     OptBuffer buf = remapper.remap(uops, blocks,
                                    cfg_.scope != Scope::FRAME);
 
+    std::unique_ptr<PassObserver> obs;
+    if (const PassObserverFactory make = passObserverFactory())
+        obs = make(cfg_, alias);
+    if (obs)
+        obs->onRemapped(buf);
+
     OptContext ctx{buf, cfg_, alias, stats};
 
     for (unsigned iter = 0; iter < cfg_.maxIterations; ++iter) {
         unsigned changed = 0;
-        changed += passNopRemoval(ctx);
-        changed += passAssertCombine(ctx);
-        changed += passConstProp(ctx);
-        changed += passReassociate(ctx);
-        changed += passCse(ctx);
-        changed += passStoreForward(ctx);
-        changed += passDce(ctx);
+        auto run = [&](PassId id, unsigned n) {
+            if (obs)
+                obs->onPass(id, n, buf);
+            changed += n;
+        };
+        run(PassId::NOP, passNopRemoval(ctx));
+        run(PassId::ASST, passAssertCombine(ctx));
+        run(PassId::CP, passConstProp(ctx));
+        run(PassId::RA, passReassociate(ctx));
+        run(PassId::CSE, passCse(ctx));
+        run(PassId::SF, passStoreForward(ctx));
+        run(PassId::DCE, passDce(ctx));
         if (!changed)
             break;
     }
 
     OptimizedFrame out = finalize(buf, uops);
     out.latencyCycles = latencyFor(out.inputUops);
+    if (obs)
+        obs->onFinalized(out);
 
     ++stats.framesOptimized;
     stats.inputUops += out.inputUops;
@@ -93,12 +141,23 @@ Optimizer::optimize(const std::vector<uop::Uop> &uops,
 
 OptimizedFrame
 Optimizer::passthrough(const std::vector<uop::Uop> &uops,
-                       const std::vector<uint16_t> &blocks)
+                       const std::vector<uint16_t> &blocks,
+                       bool frame_semantics)
 {
     const Remapper remapper;
     OptBuffer buf = remapper.remap(uops, blocks, false);
+
+    std::unique_ptr<PassObserver> obs;
+    if (frame_semantics)
+        if (const PassObserverFactory make = passObserverFactory())
+            obs = make(OptConfig::allOff(), nullptr);
+    if (obs)
+        obs->onRemapped(buf);
+
     OptimizedFrame out = finalize(buf, uops);
     out.latencyCycles = 0;      // deposited directly (§6.3)
+    if (obs)
+        obs->onFinalized(out);
     return out;
 }
 

@@ -11,6 +11,7 @@
 #ifndef REPLAY_OPT_OPTIMIZER_HH
 #define REPLAY_OPT_OPTIMIZER_HH
 
+#include <memory>
 #include <vector>
 
 #include "opt/passes.hh"
@@ -43,6 +44,59 @@ struct OptimizedFrame
     unsigned numUops() const { return unsigned(uops.size()); }
 };
 
+/** The pipeline passes, in execution order (DCE included). */
+enum class PassId : uint8_t
+{
+    NOP,
+    ASST,
+    CP,
+    RA,
+    CSE,
+    SF,
+    DCE,
+};
+
+inline constexpr unsigned NUM_PASS_IDS = 7;
+
+/** Short name of a pass ("NOP", "ASST", ...). */
+const char *passIdName(PassId id);
+
+/**
+ * Observes the optimizer's intermediate states — the seam the static
+ * translation validator (src/verify/static) attaches to.  One observer
+ * instance is created per optimize() invocation, so implementations
+ * may keep per-frame state without synchronization even when many
+ * frames optimize concurrently.
+ */
+class PassObserver
+{
+  public:
+    virtual ~PassObserver() = default;
+
+    /** The buffer right after remapping, before any pass runs. */
+    virtual void onRemapped(const OptBuffer &buf) = 0;
+
+    /** After each pass invocation, with its reported change count. */
+    virtual void onPass(PassId pass, unsigned changed,
+                        const OptBuffer &buf) = 0;
+
+    /** The compacted output (also fires on the passthrough path). */
+    virtual void onFinalized(const OptimizedFrame &out) = 0;
+};
+
+/**
+ * Global observer factory.  The optimizer cannot depend on the
+ * verification layer, so checkers inject themselves through this
+ * inversion point; a null factory (the default) costs one atomic load
+ * per optimized frame.  @p alias may be null.
+ */
+using PassObserverFactory =
+    std::unique_ptr<PassObserver> (*)(const OptConfig &cfg,
+                                      const AliasHints *alias);
+
+void setPassObserverFactory(PassObserverFactory factory);
+PassObserverFactory passObserverFactory();
+
 /** Drives remapping, the pass pipeline, and cleanup. */
 class Optimizer
 {
@@ -69,9 +123,16 @@ class Optimizer
      * Remap and compact without running any pass — the plain-rePLay
      * (RP) path, where frames go straight from the constructor into
      * the frame cache (§6.3).
+     *
+     * @param frame_semantics the body is an atomic frame and must obey
+     *        the frame IR invariants; pass observers (the static
+     *        checker) are only notified when true.  Trace-cache fills
+     *        pass false: their traces carry embedded conditional
+     *        branches and side exits by design.
      */
     static OptimizedFrame passthrough(const std::vector<uop::Uop> &uops,
-                                      const std::vector<uint16_t> &blocks);
+                                      const std::vector<uint16_t> &blocks,
+                                      bool frame_semantics = true);
 
     /** Cycles the abstract engine spends on a frame of @p n micro-ops. */
     static uint64_t

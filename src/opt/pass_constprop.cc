@@ -197,7 +197,8 @@ passConstProp(OptContext &ctx)
                 fu.uop.isStore() ? fu.srcC : fu.srcB;
             if (!idx_op.isNone()) {
                 if (auto ci = knownConst(ctx, i, idx_op)) {
-                    fu.uop.imm += *ci * fu.uop.scale;
+                    fu.uop.imm = int32_t(uint32_t(fu.uop.imm) +
+                                         uint32_t(*ci) * fu.uop.scale);
                     fu.uop.scale = 1;
                     if (fu.uop.isStore())
                         fu.uop.srcC = uop::UReg::NONE;

@@ -87,7 +87,8 @@ passReassociate(OptContext &ctx)
             if (!isAddImm(parent))
                 break;
             buf.setSource(i, SrcRole::A, parent.srcA);
-            fu.uop.imm += parent.uop.imm;
+            fu.uop.imm = int32_t(uint32_t(fu.uop.imm) +
+                                 uint32_t(parent.uop.imm));
             ++changed;
             ++ctx.stats.reassociations;
         }

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "verify/online.hh"
+#include "verify/static/hook.hh"
 
 namespace replay::sim {
 
@@ -33,6 +34,7 @@ FrameMachine::FrameMachine(const x86::Program &program,
     : src_(program, max_insts), engine_(cfg),
       state_(initialState(src_.executor())), maxInsts_(max_insts)
 {
+    vstatic::maybeEnableStaticCheckFromEnv();
     for (const auto &seg : program.data())
         mem_.loadSegment(seg);
 }

@@ -4,6 +4,7 @@
 
 #include "core/frame.hh"
 #include "util/logging.hh"
+#include "verify/static/hook.hh"
 
 namespace replay::sim {
 
@@ -34,6 +35,7 @@ Simulator::Simulator(const SimConfig &cfg)
       exec_(cfg_.pipe.exec, mem_), bpred_(cfg_.pipe.bpred),
       rat_(std::make_unique<Rat>())
 {
+    vstatic::maybeEnableStaticCheckFromEnv();
     if (cfg_.usesFrames() && cfg_.fault.enabled()) {
         injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault);
         cfg_.engine.injector = injector_.get();

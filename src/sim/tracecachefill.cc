@@ -27,8 +27,8 @@ TraceCacheUnit::finishTrace(uint32_t next_pc)
             trace_frame->pcs = pcs_;
             trace_frame->nextPc = next_pc;
             trace_frame->dynamicExit = true;    // multiple exits anyway
-            trace_frame->body =
-                opt::Optimizer::passthrough(uops_, {});
+            trace_frame->body = opt::Optimizer::passthrough(
+                uops_, {}, /*frame_semantics=*/false);
             cache_.insert(std::move(trace_frame));
         }
     }

@@ -71,7 +71,12 @@ class Synthesizer
     std::string
     nextLabel()
     {
-        return "L" + std::to_string(labelCounter_++);
+        // Built via insert rather than "L" + to_string(...): the
+        // concatenation form trips GCC 12's -Wrestrict false positive
+        // inside libstdc++ (GCC PR105651).
+        std::string label = std::to_string(labelCounter_++);
+        label.insert(label.begin(), 'L');
+        return label;
     }
 
     void

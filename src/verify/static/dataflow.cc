@@ -1,0 +1,530 @@
+#include "verify/static/dataflow.hh"
+
+#include <unordered_map>
+
+#include "uop/evaluator.hh"
+
+namespace replay::vstatic {
+
+using uop::Op;
+using uop::UReg;
+
+// --- reaching definitions -----------------------------------------------
+
+bool
+operandReaches(const OptBuffer &buf, size_t at, const Operand &op)
+{
+    if (!op.isProd())
+        return true;            // NONE has no def; live-ins always reach
+    return op.idx < at && op.idx < buf.size() && buf.valid(op.idx);
+}
+
+// --- liveness -----------------------------------------------------------
+
+namespace {
+
+/** Ops whose execution is observable regardless of dataflow. */
+bool
+isSideEffectRoot(Op op)
+{
+    switch (op) {
+      case Op::STORE:
+      case Op::FSTORE:
+      case Op::ASSERT:
+      case Op::BR:
+      case Op::JMPI:
+      case Op::LONGFLOW:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+std::vector<bool>
+liveSlots(const OptBuffer &buf)
+{
+    std::vector<bool> live(buf.size(), false);
+
+    auto mark = [&](const Operand &op) {
+        if (op.isProd() && op.idx < buf.size())
+            live[op.idx] = true;
+    };
+
+    // Roots: the declared live-out set — every exit's arch-live-out
+    // register bindings and flags binding.
+    for (const auto &exit : buf.exits()) {
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            if (OptBuffer::archLiveOut(static_cast<UReg>(r)))
+                mark(exit.regs[r]);
+        }
+        mark(exit.flags);
+    }
+
+    // One backward sweep: producers precede consumers, so by the time
+    // slot i is visited every consumer has already propagated need.
+    for (size_t i = buf.size(); i-- > 0;) {
+        if (!buf.valid(i)) {
+            live[i] = false;
+            continue;
+        }
+        if (isSideEffectRoot(buf.at(i).uop.op))
+            live[i] = true;
+        if (!live[i])
+            continue;
+        const FrameUop &fu = buf.at(i);
+        mark(fu.srcA);
+        mark(fu.srcB);
+        mark(fu.srcC);
+        mark(fu.flagsSrc);
+    }
+    return live;
+}
+
+// --- available expressions ----------------------------------------------
+
+bool
+isPureValueOp(Op op)
+{
+    switch (op) {
+      case Op::LIMM:
+      case Op::ADD:
+      case Op::SUB:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::MUL:
+      case Op::DIVQ:
+      case Op::DIVR:
+      case Op::NOT:
+      case Op::NEG:
+      case Op::SETCC:
+      case Op::CMP:
+      case Op::TEST:
+      case Op::FADD:
+      case Op::FSUB:
+      case Op::FMUL:
+      case Op::FDIV:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+sameExpression(const FrameUop &a, const FrameUop &b)
+{
+    return a.uop.op == b.uop.op && a.uop.cc == b.uop.cc &&
+           a.srcA == b.srcA && a.srcB == b.srcB && a.srcC == b.srcC &&
+           a.flagsSrc == b.flagsSrc && a.uop.imm == b.uop.imm &&
+           a.uop.scale == b.uop.scale &&
+           a.uop.memSize == b.uop.memSize &&
+           a.uop.signExtend == b.uop.signExtend &&
+           a.uop.flagsCarryOnly == b.uop.flagsCarryOnly;
+}
+
+namespace {
+
+struct ExprKey
+{
+    Op op;
+    x86::Cond cc;
+    Operand srcA, srcB, srcC, flagsSrc;
+    int32_t imm;
+    uint8_t scale;
+    uint8_t memSize;
+    bool signExtend;
+    bool flagsCarryOnly;
+
+    bool operator==(const ExprKey &) const = default;
+};
+
+struct ExprKeyHash
+{
+    size_t
+    operator()(const ExprKey &k) const
+    {
+        const opt::OperandHash oh;
+        size_t h = size_t(k.op) * 0x9e3779b9;
+        h ^= size_t(k.cc) + 0x517cc1b7;
+        h ^= oh(k.srcA) * 3 + oh(k.srcB) * 5 + oh(k.srcC) * 7 +
+             oh(k.flagsSrc) * 11;
+        h ^= size_t(uint32_t(k.imm)) * 13;
+        h ^= (size_t(k.scale) << 8) ^ (size_t(k.memSize) << 16) ^
+             (size_t(k.signExtend) << 24) ^
+             (size_t(k.flagsCarryOnly) << 25);
+        return h;
+    }
+};
+
+ExprKey
+exprKeyOf(const FrameUop &fu)
+{
+    return ExprKey{fu.uop.op,       fu.uop.cc,
+                   fu.srcA,         fu.srcB,
+                   fu.srcC,         fu.flagsSrc,
+                   fu.uop.imm,      fu.uop.scale,
+                   fu.uop.memSize,  fu.uop.signExtend,
+                   fu.uop.flagsCarryOnly};
+}
+
+} // anonymous namespace
+
+std::vector<uint16_t>
+valueNumbers(const OptBuffer &buf)
+{
+    std::vector<uint16_t> vn(buf.size());
+    std::unordered_map<ExprKey, uint16_t, ExprKeyHash> table;
+    for (size_t i = 0; i < buf.size(); ++i) {
+        vn[i] = uint16_t(i);
+        if (!buf.valid(i) || !isPureValueOp(buf.at(i).uop.op))
+            continue;
+        const auto [it, fresh] =
+            table.emplace(exprKeyOf(buf.at(i)), uint16_t(i));
+        if (!fresh)
+            vn[i] = it->second;
+    }
+    return vn;
+}
+
+/** Walk stores strictly between two mem slots and classify them
+ *  against @p addr.  Shared by both availability queries. */
+LoadAvail
+interveningStores(const OptBuffer &buf, size_t from, size_t to,
+                  const opt::AddrKey &addr,
+                  std::vector<uint16_t> *must_be_unsafe)
+{
+    LoadAvail result = LoadAvail::AVAILABLE;
+    for (size_t s = from + 1; s < to; ++s) {
+        if (!buf.valid(s) || !buf.at(s).uop.isStore())
+            continue;
+        const opt::AddrKey skey = opt::AddrKey::of(buf.at(s));
+        if (skey.sameAddress(addr))
+            return LoadAvail::KILLED;
+        if (skey.provablyDisjoint(addr))
+            continue;
+        result = LoadAvail::NEEDS_SPECULATION;
+        if (must_be_unsafe)
+            must_be_unsafe->push_back(uint16_t(s));
+    }
+    return result;
+}
+
+LoadAvail
+loadAvailability(const OptBuffer &buf, size_t earlier, size_t later,
+                 std::vector<uint16_t> *must_be_unsafe)
+{
+    if (earlier >= later || later >= buf.size())
+        return LoadAvail::MISMATCH;
+    const FrameUop &e = buf.at(earlier);
+    const FrameUop &l = buf.at(later);
+    if (!e.uop.isLoad() || !l.uop.isLoad())
+        return LoadAvail::MISMATCH;
+    if (e.uop.signExtend != l.uop.signExtend)
+        return LoadAvail::MISMATCH;
+    const opt::AddrKey addr = opt::AddrKey::of(l);
+    if (!addr.sameAddress(opt::AddrKey::of(e)))
+        return LoadAvail::MISMATCH;
+    return interveningStores(buf, earlier, later, addr,
+                             must_be_unsafe);
+}
+
+LoadAvail
+storeForwardAvailability(const OptBuffer &buf, size_t store,
+                         size_t later,
+                         std::vector<uint16_t> *must_be_unsafe)
+{
+    if (store >= later || later >= buf.size())
+        return LoadAvail::MISMATCH;
+    const FrameUop &s = buf.at(store);
+    const FrameUop &l = buf.at(later);
+    if (!s.uop.isStore() || !l.uop.isLoad())
+        return LoadAvail::MISMATCH;
+    if (s.uop.memSize != 4 || l.uop.memSize != 4)
+        return LoadAvail::MISMATCH;
+    const opt::AddrKey addr = opt::AddrKey::of(l);
+    if (!addr.sameAddress(opt::AddrKey::of(s)))
+        return LoadAvail::MISMATCH;
+    return interveningStores(buf, store, later, addr,
+                             must_be_unsafe);
+}
+
+// --- constant / value-range lattice -------------------------------------
+
+namespace {
+
+bool
+isConstFoldableAlu(Op op)
+{
+    switch (op) {
+      case Op::ADD:
+      case Op::SUB:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::MUL:
+      case Op::NOT:
+      case Op::NEG:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isUnaryAlu(Op op)
+{
+    return op == Op::NOT || op == Op::NEG;
+}
+
+AbsVal
+transferAlu(const uop::Uop &u, const AbsVal &a,
+            const std::optional<AbsVal> &b)
+{
+    // Exact constants go through evalAlu: the one arithmetic truth.
+    const bool unary = isUnaryAlu(u.op);
+    if (a.isConst() && (unary || (b && b->isConst()))) {
+        const auto alu = uop::evalAlu(
+            u, uint32_t(a.constant()),
+            unary ? 0u : uint32_t(b->constant()), 0, x86::Flags{});
+        return AbsVal::constant(int32_t(alu.value));
+    }
+
+    // Interval transfer for the shapes worth tracking.
+    switch (u.op) {
+      case Op::ADD:
+        if (b)
+            return AbsVal::range(a.lo + b->lo, a.hi + b->hi);
+        break;
+      case Op::SUB:
+        if (b)
+            return AbsVal::range(a.lo - b->hi, a.hi - b->lo);
+        break;
+      case Op::AND:
+        // x & m with a non-negative constant mask lands in [0, m].
+        if (b && b->isConst() && b->constant() >= 0)
+            return AbsVal::range(0, b->constant());
+        if (a.isConst() && a.constant() >= 0)
+            return AbsVal::range(0, a.constant());
+        break;
+      case Op::SHR:
+        if (b && b->isConst()) {
+            const unsigned s = unsigned(b->constant()) & 31;
+            if (s > 0)
+                return AbsVal::range(0, (int64_t(1) << (32 - s)) - 1);
+        }
+        break;
+      default:
+        break;
+    }
+    return AbsVal::top();
+}
+
+} // anonymous namespace
+
+std::optional<AbsVal>
+rangeOf(const std::vector<AbsVal> &ranges, const Operand &op)
+{
+    if (op.isNone())
+        return std::nullopt;
+    if (op.flagsView || op.isLiveIn())
+        return AbsVal::top();
+    if (op.idx >= ranges.size())
+        return AbsVal::top();
+    return ranges[op.idx];
+}
+
+std::vector<AbsVal>
+analyzeRanges(const OptBuffer &buf)
+{
+    std::vector<AbsVal> ranges(buf.size(), AbsVal::top());
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (!buf.valid(i))
+            continue;
+        const FrameUop &fu = buf.at(i);
+        const uop::Uop &u = fu.uop;
+
+        if (u.op == Op::LIMM) {
+            ranges[i] = AbsVal::constant(u.imm);
+            continue;
+        }
+        if (u.op == Op::MOV) {
+            if (const auto a = rangeOf(ranges, fu.srcA))
+                ranges[i] = *a;
+            continue;
+        }
+        if (u.op == Op::SETCC) {
+            // dst <- (srcA & ~0xff) | cc: two adjacent values.
+            const auto a = rangeOf(ranges, fu.srcA);
+            if (a && a->isConst()) {
+                const int32_t base = a->constant() & ~0xff;
+                ranges[i] = AbsVal::range(base, int64_t(base) + 1);
+            }
+            continue;
+        }
+        // Only SETCC's value depends on the incoming flags (there is
+        // no ADC in this ISA); INC/DEC-style carry-only ALU ops merely
+        // preserve CF through their flags result, so their values
+        // transfer like any other ALU op.
+        if (u.readsFlags && !u.flagsCarryOnly)
+            continue;
+        if (!isConstFoldableAlu(u.op))
+            continue;
+
+        const auto a = rangeOf(ranges, fu.srcA);
+        if (!a)
+            continue;
+        std::optional<AbsVal> b;
+        if (!isUnaryAlu(u.op)) {
+            if (fu.srcB.isNone())
+                b = AbsVal::constant(u.imm);
+            else
+                b = rangeOf(ranges, fu.srcB);
+            if (!b)
+                continue;
+        }
+        ranges[i] = transferAlu(u, *a, b);
+    }
+    return ranges;
+}
+
+// --- linear value forms -------------------------------------------------
+
+bool
+linEqual(const LinForm &a, const LinForm &b)
+{
+    if (!a.known || !b.known || a.isConst != b.isConst)
+        return false;
+    if (uint32_t(a.k) != uint32_t(b.k))
+        return false;
+    return a.isConst || a.root == b.root;
+}
+
+LinForm
+linOf(const std::vector<LinForm> &forms, const Operand &op)
+{
+    if (op.isNone() || op.flagsView)
+        return LinForm::unknown();
+    if (op.isLiveIn())
+        return LinForm::of(op);
+    if (op.idx >= forms.size())
+        return LinForm::unknown();
+    return forms[op.idx];
+}
+
+std::vector<LinForm>
+linearForms(const OptBuffer &buf)
+{
+    std::vector<LinForm> forms(buf.size());
+    for (size_t i = 0; i < buf.size(); ++i) {
+        const FrameUop &fu = buf.at(i);
+        const uop::Uop &u = fu.uop;
+        const Operand self = Operand::prod(uint16_t(i));
+        forms[i] = LinForm::of(self);
+        // Carry-only flag readers (INC/DEC) still compute plain
+        // ADD/SUB values; any other flags consumer is opaque.
+        if (!buf.valid(i) || (u.readsFlags && !u.flagsCarryOnly))
+            continue;
+        switch (u.op) {
+          case Op::LIMM:
+            forms[i] = LinForm::constant(u.imm);
+            break;
+          case Op::MOV:
+            if (!fu.srcA.isNone()) {
+                const LinForm a = linOf(forms, fu.srcA);
+                if (a.known)
+                    forms[i] = a;
+            }
+            break;
+          case Op::ADD:
+          case Op::SUB:
+            if (fu.srcB.isNone() && !fu.srcA.isNone()) {
+                const LinForm a = linOf(forms, fu.srcA);
+                if (a.known) {
+                    const int64_t d =
+                        u.op == Op::ADD ? int64_t(u.imm)
+                                        : -int64_t(u.imm);
+                    forms[i] = a;
+                    forms[i].k += d;
+                }
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return forms;
+}
+
+// --- canonical addresses ------------------------------------------------
+
+CanonAddr
+canonAddr(const OptBuffer &buf, size_t idx,
+          const std::vector<LinForm> &forms)
+{
+    return canonAddrOf(buf.at(idx), forms);
+}
+
+CanonAddr
+canonAddrOf(const FrameUop &fu, const std::vector<LinForm> &forms)
+{
+    CanonAddr c;
+    if (!fu.uop.isMem())
+        return c;
+    const Operand &index_op = fu.uop.isStore() ? fu.srcC : fu.srcB;
+
+    LinForm base = fu.srcA.isNone() ? LinForm::constant(0)
+                                    : linOf(forms, fu.srcA);
+    LinForm index = index_op.isNone() ? LinForm::constant(0)
+                                      : linOf(forms, index_op);
+    if (!base.known || !index.known)
+        return c;
+
+    c.known = true;
+    c.size = fu.uop.memSize;
+    c.scale = fu.uop.scale;
+    c.disp = fu.uop.imm;
+
+    // Move every constant contribution into disp.
+    if (index.isConst) {
+        c.disp += index.k * c.scale;
+        index = LinForm::constant(0);
+        c.scale = 1;
+    } else {
+        c.disp += index.k * c.scale;
+        index.k = 0;
+    }
+    if (base.isConst) {
+        c.disp += base.k;
+        base = LinForm::constant(0);
+    } else {
+        c.disp += base.k;
+        base.k = 0;
+    }
+
+    // base + root*1 with no base is just root as the base.
+    if (base.isConst && !index.isConst && c.scale == 1) {
+        base = index;
+        index = LinForm::constant(0);
+    }
+    c.base = base;
+    c.index = index;
+    return c;
+}
+
+bool
+addrEqual(const CanonAddr &a, const CanonAddr &b)
+{
+    return a.known && b.known && linEqual(a.base, b.base) &&
+           linEqual(a.index, b.index) && a.scale == b.scale &&
+           uint32_t(a.disp) == uint32_t(b.disp) && a.size == b.size;
+}
+
+} // namespace replay::vstatic

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Dataflow analyses over the frame micro-op IR.
+ *
+ * Frames are single-entry, single-exit straight-line code with
+ * assertion side exits, and the renamed buffer form (slot m writes
+ * physical register m) makes every def/use edge explicit.  The
+ * analyses here therefore need no iterative worklist: one linear
+ * forward or backward sweep per buffer reaches the fixed point.
+ *
+ * Provided analyses, consumed by the lint and the per-pass translation
+ * validator (lint.hh / passcheck.hh):
+ *
+ *   - reaching definitions   operandReaches(): a PROD reference is
+ *                            reached iff its producer is an earlier,
+ *                            still-valid slot;
+ *   - liveness               liveSlots(): transitive need against the
+ *                            frame's declared live-out set (the exit
+ *                            bindings) and the side-effecting roots;
+ *   - available expressions  valueNumbers() for pure micro-ops and
+ *                            loadAvailability() for the memory-aware
+ *                            variant CSE/SF rely on;
+ *   - constant / value-range analyzeRanges(): abstract interpretation
+ *     lattice                on an interval domain, exact constants
+ *                            evaluated through uop::evalAlu so the
+ *                            abstract semantics can never drift from
+ *                            the executable semantics;
+ *   - linear value forms     linearForms(): every slot's value as
+ *                            (root operand + constant) mod 2^32, the
+ *                            equivalence engine behind translation
+ *                            validation of copy/const propagation and
+ *                            reassociation.
+ */
+
+#ifndef REPLAY_VERIFY_STATIC_DATAFLOW_HH
+#define REPLAY_VERIFY_STATIC_DATAFLOW_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "opt/passes.hh"
+
+namespace replay::vstatic {
+
+using opt::FrameUop;
+using opt::Operand;
+using opt::OptBuffer;
+
+// --- reaching definitions -----------------------------------------------
+
+/**
+ * Does operand @p op of the consumer at slot @p at name a definition
+ * that reaches it?  Live-ins always reach; a PROD reference reaches
+ * iff the producer slot is earlier than the consumer and still valid.
+ * Exit bindings conceptually sit after the last slot: pass
+ * @p at = buf.size().
+ */
+bool operandReaches(const OptBuffer &buf, size_t at, const Operand &op);
+
+// --- liveness -----------------------------------------------------------
+
+/**
+ * Transitive liveness against the frame's declared live-out set.
+ *
+ * A valid slot is live when it has an architectural side effect
+ * (store, assertion, control transfer, LONGFLOW), when an exit binds
+ * its value (for an arch-live-out register) or its flags, or when a
+ * live slot consumes either result.  One backward sweep suffices:
+ * producers always precede consumers.  Invalid slots are never live.
+ */
+std::vector<bool> liveSlots(const OptBuffer &buf);
+
+// --- available expressions ----------------------------------------------
+
+/** Structural identity of two slots' expressions: same opcode and
+ *  semantic fields, same renamed operands.  Two pure slots that
+ *  compare equal compute identical values (and identical flags). */
+bool sameExpression(const FrameUop &a, const FrameUop &b);
+
+/** A pure value op in the CSE sense (no memory, no side effects). */
+bool isPureValueOp(uop::Op op);
+
+/**
+ * Value numbering: vn[i] is the earliest valid slot whose expression
+ * is structurally identical to slot i's (vn[i] == i for leaders and
+ * for slots that are invalid or not pure).  The expression of a pure
+ * slot is available at every later point of the frame — straight-line
+ * code never kills it.
+ */
+std::vector<uint16_t> valueNumbers(const OptBuffer &buf);
+
+/** Why an earlier load's value is (or is not) available at a later
+ *  same-address load or use point. */
+enum class LoadAvail : uint8_t
+{
+    AVAILABLE,          ///< every intervening store provably disjoint
+    NEEDS_SPECULATION,  ///< available only if `mustBeUnsafe` stores
+                        ///< are runtime-checked (marked unsafe)
+    KILLED,             ///< an intervening store may overwrite it
+    MISMATCH,           ///< not the symbolically-same access
+};
+
+/**
+ * Availability of load @p earlier's value at load @p later (both slot
+ * indices; @p earlier < @p later).  Addresses compare symbolically
+ * (opt::AddrKey).  When speculation is required, the may-alias
+ * intervening store slots are appended to @p must_be_unsafe.
+ */
+LoadAvail loadAvailability(const OptBuffer &buf, size_t earlier,
+                           size_t later,
+                           std::vector<uint16_t> *must_be_unsafe);
+
+/**
+ * Availability of the value stored by @p store at load @p later
+ * (store forwarding).  MISMATCH unless the store is the nearest
+ * symbolically-same-address store before the load, both 4 bytes wide.
+ */
+LoadAvail storeForwardAvailability(const OptBuffer &buf, size_t store,
+                                   size_t later,
+                                   std::vector<uint16_t> *must_be_unsafe);
+
+/**
+ * The intervening-store classification underlying both availability
+ * queries, for callers that have already established the address match
+ * some other way (e.g. by congruence rather than symbolic equality):
+ * walk the stores strictly between @p from and @p to and classify them
+ * against @p addr.  Never returns MISMATCH.
+ */
+LoadAvail interveningStores(const OptBuffer &buf, size_t from, size_t to,
+                            const opt::AddrKey &addr,
+                            std::vector<uint16_t> *must_be_unsafe);
+
+// --- constant / value-range lattice -------------------------------------
+
+/**
+ * One element of the interval lattice: the set of 32-bit values a slot
+ * may produce, as a signed interval [lo, hi].  TOP is the full range;
+ * a constant is a singleton.  BOTTOM (unreachable) never arises in
+ * straight-line code and is not represented.
+ */
+struct AbsVal
+{
+    int64_t lo = INT32_MIN;
+    int64_t hi = INT32_MAX;
+
+    static AbsVal top() { return {}; }
+
+    static AbsVal
+    constant(int32_t v)
+    {
+        return {v, v};
+    }
+
+    /** Unsigned 32-bit quantities (addresses, masks) live above
+     *  INT32_MAX; the lattice carries them as their signed image. */
+    static AbsVal
+    range(int64_t lo, int64_t hi)
+    {
+        AbsVal v;
+        v.lo = lo < INT32_MIN ? INT32_MIN : lo;
+        v.hi = hi > INT32_MAX ? INT32_MAX : hi;
+        return v;
+    }
+
+    bool isTop() const { return lo == INT32_MIN && hi == INT32_MAX; }
+    bool isConst() const { return lo == hi; }
+    int32_t constant() const { return int32_t(lo); }
+
+    bool
+    contains(int32_t v) const
+    {
+        return lo <= v && v <= hi;
+    }
+
+    bool operator==(const AbsVal &) const = default;
+};
+
+/**
+ * Forward abstract interpretation of the whole buffer.  Returns one
+ * AbsVal per slot (TOP for invalid slots and non-value ops).
+ * Constant transfer functions evaluate through uop::evalAlu; interval
+ * transfer covers ADD/SUB/AND-mask/SHR/SETCC and widens to TOP
+ * elsewhere.  Flag-consuming ops other than SETCC are never treated
+ * as constant (their value depends on the incoming flags).
+ */
+std::vector<AbsVal> analyzeRanges(const OptBuffer &buf);
+
+/** The lattice value an operand carries (live-ins and flag views are
+ *  TOP; a NONE operand has no value — returns nullopt). */
+std::optional<AbsVal> rangeOf(const std::vector<AbsVal> &ranges,
+                              const Operand &op);
+
+// --- linear value forms -------------------------------------------------
+
+/**
+ * A slot value expressed as (root + k) mod 2^32, where root is either
+ * nothing (pure constant) or a non-decomposable operand: a live-in
+ * register or a slot that is not a LIMM/MOV/ADD-imm/SUB-imm.  Two
+ * known forms with equal roots and equal constants (mod 2^32) denote
+ * equal runtime values — the soundness base of translation
+ * validation.
+ */
+struct LinForm
+{
+    bool known = false;
+    bool isConst = false;
+    Operand root;               ///< meaningful when !isConst
+    int64_t k = 0;              ///< compared mod 2^32
+
+    static LinForm
+    unknown()
+    {
+        return {};
+    }
+
+    static LinForm
+    constant(int64_t v)
+    {
+        LinForm f;
+        f.known = true;
+        f.isConst = true;
+        f.k = v;
+        return f;
+    }
+
+    static LinForm
+    of(const Operand &root, int64_t k = 0)
+    {
+        LinForm f;
+        f.known = true;
+        f.root = root;
+        f.k = k;
+        return f;
+    }
+};
+
+/** Both known and denoting the same value (constants mod 2^32). */
+bool linEqual(const LinForm &a, const LinForm &b);
+
+/**
+ * Linear decomposition of every slot, chasing LIMM / MOV / ADD-imm /
+ * SUB-imm chains (flag-consuming ops other than carry-only INC/DEC
+ * shapes are excluded; their values may depend on the incoming
+ * flags).  Forms describe the *values* the
+ * buffer produces; they stay valid descriptions of the pre-pass
+ * values when a pass later mutates the buffer.
+ */
+std::vector<LinForm> linearForms(const OptBuffer &buf);
+
+/** The linear form an operand denotes under @p forms.  NONE operands
+ *  and flag views are unknown. */
+LinForm linOf(const std::vector<LinForm> &forms, const Operand &op);
+
+// --- canonical addresses ------------------------------------------------
+
+/**
+ * A memory micro-op's address, canonicalized over linear forms:
+ * value = base + index * scale + disp with constant contributions
+ * folded into disp, so the const-address folds of const-prop and the
+ * base-chain collapses of reassociation compare equal to their
+ * original form.
+ */
+struct CanonAddr
+{
+    bool known = false;
+    LinForm base;               ///< non-const root (or !known root)
+    LinForm index;              ///< non-const root (or !known root)
+    int64_t scale = 1;
+    int64_t disp = 0;           ///< compared mod 2^32
+    uint8_t size = 4;
+};
+
+/** Canonical address of mem slot @p idx, operands resolved through
+ *  @p forms (use the same buffer's forms the slot belongs to). */
+CanonAddr canonAddr(const OptBuffer &buf, size_t idx,
+                    const std::vector<LinForm> &forms);
+
+/** Same, over a free-standing micro-op whose operands live in the
+ *  index space @p forms describes — this is how a mutated slot is
+ *  compared against its own pre-pass address. */
+CanonAddr canonAddrOf(const FrameUop &fu,
+                      const std::vector<LinForm> &forms);
+
+/** Both known and provably the same location and width. */
+bool addrEqual(const CanonAddr &a, const CanonAddr &b);
+
+} // namespace replay::vstatic
+
+#endif // REPLAY_VERIFY_STATIC_DATAFLOW_HH

@@ -1,0 +1,169 @@
+#include "verify/static/hook.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+#include "util/logging.hh"
+#include "verify/static/passcheck.hh"
+
+namespace replay::vstatic {
+
+namespace {
+
+std::atomic<Action> g_action{Action::PANIC};
+
+/** One instance per optimize() call (see PassObserver), so per-frame
+ *  state needs no locking; only the global stats are shared. */
+class StaticChecker final : public opt::PassObserver
+{
+  public:
+    StaticChecker(const opt::OptConfig &cfg, const opt::AliasHints *alias)
+        : cfg_(cfg), alias_(alias)
+    {
+    }
+
+    void
+    onRemapped(const OptBuffer &buf) override
+    {
+        account("remap", nullptr, lintBuffer(buf));
+        prev_ = buf;
+        have_prev_ = true;
+    }
+
+    void
+    onPass(opt::PassId pass, unsigned changed,
+           const OptBuffer &buf) override
+    {
+        (void)changed;
+        if (!have_prev_) {      // defensive: remap callback missed
+            prev_ = buf;
+            have_prev_ = true;
+            return;
+        }
+        staticCheckStats().passesChecked.fetch_add(
+            1, std::memory_order_relaxed);
+        Report rep = checkPass(pass, prev_, buf, cfg_, alias_);
+        rep.merge(lintBuffer(buf));
+        account(opt::passIdName(pass), &pass, rep, &buf);
+        prev_ = buf;
+    }
+
+    void
+    onFinalized(const opt::OptimizedFrame &out) override
+    {
+        Report rep;
+        if (have_prev_)
+            rep = checkFinalize(prev_, out);
+        rep.merge(lintBody(out));
+        account("cleanup", nullptr, rep);
+        staticCheckStats().framesChecked.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+  private:
+    void
+    account(const char *stage, const opt::PassId *pass, const Report &rep,
+            const OptBuffer *after = nullptr)
+    {
+        if (rep.ok())
+            return;
+        auto &stats = staticCheckStats();
+        for (const Violation &v : rep.violations) {
+            auto &bucket = isPassCheck(v.check) ? stats.passViolations
+                                                : stats.lintViolations;
+            bucket.fetch_add(1, std::memory_order_relaxed);
+            stats.byCheck[unsigned(v.check)].fetch_add(
+                1, std::memory_order_relaxed);
+            if (pass) {
+                stats.byPass[unsigned(*pass)].fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
+        if (g_action.load(std::memory_order_relaxed) == Action::PANIC) {
+            if (have_prev_) {
+                std::fprintf(stderr, "--- buffer before %s ---\n%s\n",
+                             stage, prev_.dump().c_str());
+            }
+            if (after) {
+                std::fprintf(stderr, "--- buffer after %s ---\n%s\n",
+                             stage, after->dump().c_str());
+            }
+            panic("static check failed after %s: %s", stage,
+                  rep.summary().c_str());
+        }
+    }
+
+    const opt::OptConfig cfg_;
+    const opt::AliasHints *alias_;
+    OptBuffer prev_;
+    bool have_prev_ = false;
+};
+
+std::unique_ptr<opt::PassObserver>
+makeChecker(const opt::OptConfig &cfg, const opt::AliasHints *alias)
+{
+    return std::make_unique<StaticChecker>(cfg, alias);
+}
+
+} // anonymous namespace
+
+void
+StaticCheckStats::reset()
+{
+    framesChecked.store(0, std::memory_order_relaxed);
+    passesChecked.store(0, std::memory_order_relaxed);
+    lintViolations.store(0, std::memory_order_relaxed);
+    passViolations.store(0, std::memory_order_relaxed);
+    for (auto &c : byPass)
+        c.store(0, std::memory_order_relaxed);
+    for (auto &c : byCheck)
+        c.store(0, std::memory_order_relaxed);
+}
+
+StaticCheckStats &
+staticCheckStats()
+{
+    static StaticCheckStats stats;
+    return stats;
+}
+
+void
+installStaticChecker(Action action)
+{
+    g_action.store(action, std::memory_order_relaxed);
+    opt::setPassObserverFactory(&makeChecker);
+}
+
+void
+uninstallStaticChecker()
+{
+    opt::setPassObserverFactory(nullptr);
+}
+
+bool
+staticCheckerInstalled()
+{
+    return opt::passObserverFactory() == &makeChecker;
+}
+
+void
+maybeEnableStaticCheckFromEnv()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+#if !defined(NDEBUG) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__)
+        bool on = true;
+#else
+        bool on = false;
+#endif
+        if (const char *env = std::getenv("REPLAY_STATIC_CHECK"))
+            on = !(env[0] == '0' && env[1] == '\0');
+        if (on)
+            installStaticChecker(Action::PANIC);
+    });
+}
+
+} // namespace replay::vstatic

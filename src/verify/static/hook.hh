@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Optimizer attachment of the static verifier.
+ *
+ * The StaticChecker implements opt::PassObserver: it snapshots the
+ * buffer before every pass, discharges the pass's translation
+ * obligation (passcheck.hh) and re-lints the result (lint.hh), and
+ * validates the Cleanup compaction.  It installs itself through the
+ * optimizer's observer-factory inversion point, so the optimizer
+ * stays free of any dependency on the verification layer.
+ *
+ * Enabling policy: on by default in debug and sanitizer builds;
+ * REPLAY_STATIC_CHECK=1 / =0 overrides either way.  The checker
+ * panics on the first violation when installed with Action::PANIC
+ * (the in-simulator default — a violation is an optimizer bug) and
+ * only counts when installed with Action::COUNT (the tools' mode,
+ * which reports totals).
+ */
+
+#ifndef REPLAY_VERIFY_STATIC_HOOK_HH
+#define REPLAY_VERIFY_STATIC_HOOK_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "opt/optimizer.hh"
+#include "verify/static/lint.hh"
+
+namespace replay::vstatic {
+
+/** What to do when a check fails. */
+enum class Action : uint8_t
+{
+    PANIC,      ///< abort on the first violation (debug hook)
+    COUNT,      ///< accumulate counters only (tools)
+};
+
+/** Global, thread-safe counters of the installed checker. */
+struct StaticCheckStats
+{
+    std::atomic<uint64_t> framesChecked{0};
+    std::atomic<uint64_t> passesChecked{0};
+    std::atomic<uint64_t> lintViolations{0};
+    std::atomic<uint64_t> passViolations{0};
+    std::array<std::atomic<uint64_t>, opt::NUM_PASS_IDS> byPass{};
+    std::array<std::atomic<uint64_t>, NUM_CHECKS> byCheck{};
+
+    void reset();
+
+    uint64_t
+    violations() const
+    {
+        return lintViolations.load(std::memory_order_relaxed) +
+               passViolations.load(std::memory_order_relaxed);
+    }
+};
+
+StaticCheckStats &staticCheckStats();
+
+/** Install the checker as the optimizer's pass-observer factory. */
+void installStaticChecker(Action action);
+
+/** Detach the checker (leaves the counters untouched). */
+void uninstallStaticChecker();
+
+bool staticCheckerInstalled();
+
+/**
+ * One-shot enabling policy, called from the simulator entry points:
+ * installs the PANIC-mode checker when the build is Debug or
+ * sanitized, or when REPLAY_STATIC_CHECK=1; REPLAY_STATIC_CHECK=0
+ * forces it off everywhere.
+ */
+void maybeEnableStaticCheckFromEnv();
+
+} // namespace replay::vstatic
+
+#endif // REPLAY_VERIFY_STATIC_HOOK_HH

@@ -1,0 +1,674 @@
+#include "verify/static/lint.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fault/faultinjector.hh"
+
+namespace replay::vstatic {
+
+using uop::Op;
+using uop::UReg;
+
+const char *
+checkName(Check check)
+{
+    switch (check) {
+      case Check::LINT_ARITY:       return "arity";
+      case Check::LINT_REG_CLASS:   return "reg-class";
+      case Check::LINT_DEF_USE:     return "def-use";
+      case Check::LINT_FLAGS:       return "flags";
+      case Check::LINT_ASSERT:      return "assert";
+      case Check::LINT_EXIT:        return "exit";
+      case Check::LINT_UNSAFE:      return "unsafe";
+      case Check::LINT_CONTROL:     return "control";
+      case Check::LINT_MEM:         return "mem";
+      case Check::LINT_PROVENANCE:  return "provenance";
+      case Check::LINT_BODY_HASH:   return "body-hash";
+      case Check::LINT_UNSAFE_LIST: return "unsafe-list";
+      case Check::PASS_STRUCTURE:   return "pass-structure";
+      case Check::PASS_VALUE:       return "pass-value";
+      case Check::PASS_FLAGS:       return "pass-flags";
+      case Check::PASS_NOP_ONLY:    return "nop-only";
+      case Check::PASS_ASST_FUSE:   return "asst-fuse";
+      case Check::PASS_CP_LATTICE:  return "cp-lattice";
+      case Check::PASS_CP_ASSERT:   return "cp-assert";
+      case Check::PASS_RA_FLAGS:    return "ra-flags";
+      case Check::PASS_CSE_AVAIL:   return "cse-avail";
+      case Check::PASS_SF_ALIAS:    return "sf-alias";
+      case Check::PASS_DCE_LIVE:    return "dce-live";
+      case Check::PASS_UNSAFE_RULE: return "unsafe-rule";
+      case Check::NUM_CHECKS:       break;
+    }
+    return "?";
+}
+
+bool
+isPassCheck(Check check)
+{
+    return check >= Check::PASS_STRUCTURE && check < Check::NUM_CHECKS;
+}
+
+std::string
+Report::summary(size_t max_items) const
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < violations.size() && i < max_items; ++i) {
+        const Violation &v = violations[i];
+        if (i)
+            out << "; ";
+        out << checkName(v.check);
+        if (v.slot != SIZE_MAX)
+            out << '@' << v.slot;
+        out << ": " << v.detail;
+    }
+    if (violations.size() > max_items)
+        out << "; ... (" << violations.size() - max_items << " more)";
+    return out.str();
+}
+
+namespace {
+
+/** What a value operand may be: an integer or an FP register value. */
+enum class RegClass : uint8_t
+{
+    INT,
+    FP,
+    UNKNOWN,    ///< unresolvable (dangling ref); def-use reports it
+};
+
+RegClass
+classOf(const OptBuffer &buf, const Operand &op)
+{
+    if (op.flagsView)
+        return RegClass::UNKNOWN;
+    if (op.isLiveIn())
+        return uop::isFpReg(op.reg) ? RegClass::FP : RegClass::INT;
+    if (op.isProd()) {
+        if (op.idx >= buf.size())
+            return RegClass::UNKNOWN;
+        const UReg dst = buf.at(op.idx).uop.dst;
+        if (dst == UReg::NONE)
+            return RegClass::UNKNOWN;
+        return uop::isFpReg(dst) ? RegClass::FP : RegClass::INT;
+    }
+    return RegClass::UNKNOWN;
+}
+
+/** Ops the translator (or CSE's leader revival) may mark writesFlags. */
+bool
+mayWriteFlags(Op op)
+{
+    switch (op) {
+      case Op::ADD:
+      case Op::SUB:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::MUL:
+      case Op::NEG:
+      case Op::CMP:
+      case Op::TEST:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Ops with a register result in the integer namespace. */
+bool
+producesIntValue(Op op)
+{
+    switch (op) {
+      case Op::LIMM:
+      case Op::MOV:
+      case Op::ADD:
+      case Op::SUB:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::MUL:
+      case Op::DIVQ:
+      case Op::DIVR:
+      case Op::NOT:
+      case Op::NEG:
+      case Op::SETCC:
+      case Op::LOAD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+producesFpValue(Op op)
+{
+    switch (op) {
+      case Op::FLOAD:
+      case Op::FADD:
+      case Op::FSUB:
+      case Op::FMUL:
+      case Op::FDIV:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** One slot's lint pass.  @p last_valid is the last valid slot index. */
+void
+lintSlot(const OptBuffer &buf, size_t i, size_t last_valid, Report &rep)
+{
+    const FrameUop &fu = buf.at(i);
+    const uop::Uop &u = fu.uop;
+    const Op op = u.op;
+
+    // ---- control placement ---------------------------------------------
+    if (op == Op::BR) {
+        rep.add(Check::LINT_CONTROL, i,
+                "conditional branch in frame body");
+        return;     // the shape rules below don't apply to BR
+    }
+    if (op == Op::JMPI && i != last_valid) {
+        rep.add(Check::LINT_CONTROL, i,
+                "indirect jump is not the frame's last micro-op");
+    }
+
+    // ---- operand arity per opcode ---------------------------------------
+    auto req = [&](const Operand &src, UReg arch, const char *name) {
+        if (src.isNone() || arch == UReg::NONE) {
+            rep.add(Check::LINT_ARITY, i,
+                    std::string(uop::opName(op)) + " requires " + name);
+        }
+    };
+    auto forbid = [&](const Operand &src, UReg arch, const char *name) {
+        if (!src.isNone() || arch != UReg::NONE) {
+            rep.add(Check::LINT_ARITY, i,
+                    std::string(uop::opName(op)) + " forbids " + name);
+        }
+    };
+    auto reqDst = [&] {
+        if (u.dst == UReg::NONE || u.dst == UReg::FLAGS ||
+            u.dst >= UReg::NUM) {
+            rep.add(Check::LINT_ARITY, i,
+                    std::string(uop::opName(op)) +
+                        " requires a register destination");
+        }
+    };
+    auto forbidDst = [&] {
+        if (u.dst != UReg::NONE) {
+            rep.add(Check::LINT_ARITY, i,
+                    std::string(uop::opName(op)) +
+                        " forbids a destination");
+        }
+    };
+    // Renamed and architectural operand fields must agree on presence:
+    // every pass edit keeps them in sync (redirects never change
+    // NONE-ness; folds clear both sides together).
+    auto presence = [&](const Operand &src, UReg arch, const char *name) {
+        if (src.isNone() != (arch == UReg::NONE)) {
+            rep.add(Check::LINT_ARITY, i,
+                    std::string("renamed/architectural ") + name +
+                        " presence mismatch");
+        }
+    };
+    presence(fu.srcA, u.srcA, "srcA");
+    presence(fu.srcB, u.srcB, "srcB");
+    presence(fu.srcC, u.srcC, "srcC");
+
+    switch (op) {
+      case Op::NOP:
+      case Op::JMP:
+      case Op::LONGFLOW:
+        forbidDst();
+        forbid(fu.srcA, u.srcA, "srcA");
+        forbid(fu.srcB, u.srcB, "srcB");
+        forbid(fu.srcC, u.srcC, "srcC");
+        break;
+      case Op::LIMM:
+        reqDst();
+        forbid(fu.srcA, u.srcA, "srcA");
+        forbid(fu.srcB, u.srcB, "srcB");
+        forbid(fu.srcC, u.srcC, "srcC");
+        break;
+      case Op::MOV:
+      case Op::NOT:
+      case Op::NEG:
+        reqDst();
+        req(fu.srcA, u.srcA, "srcA");
+        forbid(fu.srcB, u.srcB, "srcB");
+        forbid(fu.srcC, u.srcC, "srcC");
+        break;
+      case Op::ADD:
+      case Op::SUB:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::MUL:
+        reqDst();
+        req(fu.srcA, u.srcA, "srcA");
+        forbid(fu.srcC, u.srcC, "srcC");
+        break;      // srcB optional: immediate second operand
+      case Op::DIVQ:
+      case Op::DIVR:
+        reqDst();
+        req(fu.srcA, u.srcA, "srcA");
+        req(fu.srcB, u.srcB, "srcB");
+        req(fu.srcC, u.srcC, "srcC");
+        break;
+      case Op::CMP:
+      case Op::TEST:
+        forbidDst();
+        req(fu.srcA, u.srcA, "srcA");
+        forbid(fu.srcC, u.srcC, "srcC");
+        break;
+      case Op::SETCC:
+        reqDst();
+        req(fu.srcA, u.srcA, "srcA");
+        forbid(fu.srcB, u.srcB, "srcB");
+        forbid(fu.srcC, u.srcC, "srcC");
+        if (u.cc == x86::Cond::NONE)
+            rep.add(Check::LINT_ARITY, i, "SETCC without condition");
+        break;
+      case Op::LOAD:
+      case Op::FLOAD:
+        reqDst();
+        forbid(fu.srcC, u.srcC, "srcC");
+        break;      // base/index both optional (absolute addressing)
+      case Op::STORE:
+      case Op::FSTORE:
+        forbidDst();
+        req(fu.srcB, u.srcB, "store value");
+        break;      // base (srcA) / index (srcC) optional
+      case Op::JMPI:
+        forbidDst();
+        req(fu.srcA, u.srcA, "srcA");
+        forbid(fu.srcB, u.srcB, "srcB");
+        forbid(fu.srcC, u.srcC, "srcC");
+        break;
+      case Op::ASSERT:
+        forbidDst();
+        forbid(fu.srcC, u.srcC, "srcC");
+        break;      // srcA/srcB shape checked with the assert rules
+      case Op::FADD:
+      case Op::FSUB:
+      case Op::FMUL:
+      case Op::FDIV:
+        reqDst();
+        req(fu.srcA, u.srcA, "srcA");
+        req(fu.srcB, u.srcB, "srcB");
+        forbid(fu.srcC, u.srcC, "srcC");
+        break;
+      default:
+        break;
+    }
+
+    // ---- def-before-use --------------------------------------------------
+    auto checkUse = [&](const Operand &src, const char *name) {
+        if (src.isNone())
+            return;
+        if (!operandReaches(buf, i, src)) {
+            rep.add(Check::LINT_DEF_USE, i,
+                    std::string(name) + " references " +
+                        (src.isProd() ? "an invalid or later slot"
+                                      : "nothing"));
+            return;
+        }
+        if (src.isProd() && !src.flagsView &&
+            buf.at(src.idx).uop.dst == UReg::NONE) {
+            rep.add(Check::LINT_DEF_USE, i,
+                    std::string(name) +
+                        " reads a producer with no register result");
+        }
+        if (src.isLiveIn() && src.reg >= UReg::NUM) {
+            rep.add(Check::LINT_DEF_USE, i,
+                    std::string(name) + " live-in register out of range");
+        }
+    };
+    checkUse(fu.srcA, "srcA");
+    checkUse(fu.srcB, "srcB");
+    checkUse(fu.srcC, "srcC");
+    checkUse(fu.flagsSrc, "flagsSrc");
+
+    // ---- flags def/use wiring --------------------------------------------
+    if (u.readsFlags != !fu.flagsSrc.isNone()) {
+        rep.add(Check::LINT_FLAGS, i,
+                u.readsFlags ? "readsFlags without a flags source"
+                             : "flags source without readsFlags");
+    }
+    if (!fu.flagsSrc.isNone()) {
+        if (!fu.flagsSrc.flagsView) {
+            rep.add(Check::LINT_FLAGS, i,
+                    "flags source is not a flags view");
+        } else if (fu.flagsSrc.isLiveIn() &&
+                   fu.flagsSrc.reg != UReg::FLAGS) {
+            rep.add(Check::LINT_FLAGS, i,
+                    "live-in flags source names a non-FLAGS register");
+        } else if (fu.flagsSrc.isProd() &&
+                   fu.flagsSrc.idx < buf.size() &&
+                   !buf.at(fu.flagsSrc.idx).uop.writesFlags) {
+            rep.add(Check::LINT_FLAGS, i,
+                    "flags source producer does not write flags");
+        }
+    }
+    auto valueOperand = [&](const Operand &src, const char *name) {
+        if (src.isNone())
+            return;
+        if (src.flagsView) {
+            rep.add(Check::LINT_FLAGS, i,
+                    std::string(name) + " is a flags view");
+        } else if (src.isLiveIn() && src.reg == UReg::FLAGS) {
+            rep.add(Check::LINT_FLAGS, i,
+                    std::string(name) + " reads FLAGS as a value");
+        }
+    };
+    valueOperand(fu.srcA, "srcA");
+    valueOperand(fu.srcB, "srcB");
+    valueOperand(fu.srcC, "srcC");
+    if (u.writesFlags && !mayWriteFlags(op)) {
+        rep.add(Check::LINT_FLAGS, i,
+                std::string(uop::opName(op)) + " cannot write flags");
+    }
+    if (u.readsFlags && op != Op::SETCC && op != Op::ASSERT &&
+        !((op == Op::ADD || op == Op::SUB) && u.flagsCarryOnly)) {
+        rep.add(Check::LINT_FLAGS, i,
+                std::string(uop::opName(op)) + " cannot read flags");
+    }
+    if (u.flagsCarryOnly &&
+        !((op == Op::ADD || op == Op::SUB) && u.writesFlags &&
+          u.readsFlags)) {
+        rep.add(Check::LINT_FLAGS, i,
+                "flagsCarryOnly outside a flag-carrying ADD/SUB");
+    }
+
+    // ---- assertion form --------------------------------------------------
+    if (op == Op::ASSERT) {
+        if (u.cc == x86::Cond::NONE)
+            rep.add(Check::LINT_ASSERT, i, "assert without condition");
+        if (u.writesFlags)
+            rep.add(Check::LINT_ASSERT, i, "assert writes flags");
+        if (u.valueAssert) {
+            if (u.assertOp != Op::CMP && u.assertOp != Op::TEST) {
+                rep.add(Check::LINT_ASSERT, i,
+                        "value assert with non-comparison semantics");
+            }
+            if (u.readsFlags)
+                rep.add(Check::LINT_ASSERT, i,
+                        "value assert still reads flags");
+            if (fu.srcA.isNone())
+                rep.add(Check::LINT_ASSERT, i,
+                        "value assert without a compared value");
+        } else {
+            if (!u.readsFlags)
+                rep.add(Check::LINT_ASSERT, i,
+                        "flags assert does not read flags");
+            if (!fu.srcA.isNone() || !fu.srcB.isNone())
+                rep.add(Check::LINT_ASSERT, i,
+                        "flags assert with value operands");
+        }
+    }
+
+    // ---- memory form -----------------------------------------------------
+    if (u.isMem()) {
+        if (u.scale != 1 && u.scale != 2 && u.scale != 4 && u.scale != 8)
+            rep.add(Check::LINT_MEM, i, "invalid index scale");
+        if (u.memSize != 1 && u.memSize != 2 && u.memSize != 4)
+            rep.add(Check::LINT_MEM, i, "invalid access size");
+        if ((op == Op::FLOAD || op == Op::FSTORE) && u.memSize != 4)
+            rep.add(Check::LINT_MEM, i, "FP access is not 32-bit");
+    }
+    if (u.signExtend && !(op == Op::LOAD && u.memSize < 4))
+        rep.add(Check::LINT_MEM, i, "signExtend outside a sub-word load");
+
+    // ---- unsafe marking --------------------------------------------------
+    if (fu.unsafe && !u.isStore())
+        rep.add(Check::LINT_UNSAFE, i, "unsafe mark on a non-store");
+
+    // ---- register classes ------------------------------------------------
+    auto wantClass = [&](const Operand &src, RegClass want,
+                         const char *name) {
+        if (src.isNone() || src.flagsView)
+            return;
+        const RegClass got = classOf(buf, src);
+        if (got != RegClass::UNKNOWN && got != want) {
+            rep.add(Check::LINT_REG_CLASS, i,
+                    std::string(name) + " expects " +
+                        (want == RegClass::FP ? "an FP" : "an integer") +
+                        " value");
+        }
+    };
+    if (producesIntValue(op) && uop::isFpReg(u.dst)) {
+        rep.add(Check::LINT_REG_CLASS, i,
+                "integer result written to an FP register");
+    }
+    if (producesFpValue(op) && !uop::isFpReg(u.dst)) {
+        rep.add(Check::LINT_REG_CLASS, i,
+                "FP result written to an integer register");
+    }
+    switch (op) {
+      case Op::FADD:
+      case Op::FSUB:
+      case Op::FMUL:
+      case Op::FDIV:
+        wantClass(fu.srcA, RegClass::FP, "srcA");
+        wantClass(fu.srcB, RegClass::FP, "srcB");
+        break;
+      case Op::FSTORE:
+        wantClass(fu.srcA, RegClass::INT, "base");
+        wantClass(fu.srcC, RegClass::INT, "index");
+        wantClass(fu.srcB, RegClass::FP, "stored value");
+        break;
+      case Op::FLOAD:
+        wantClass(fu.srcA, RegClass::INT, "base");
+        wantClass(fu.srcB, RegClass::INT, "index");
+        break;
+      case Op::STORE:
+        wantClass(fu.srcA, RegClass::INT, "base");
+        wantClass(fu.srcC, RegClass::INT, "index");
+        wantClass(fu.srcB, RegClass::INT, "stored value");
+        break;
+      case Op::LOAD:
+        wantClass(fu.srcA, RegClass::INT, "base");
+        wantClass(fu.srcB, RegClass::INT, "index");
+        break;
+      default:
+        // Integer ALU, comparisons, moves, JMPI, value asserts.
+        wantClass(fu.srcA, RegClass::INT, "srcA");
+        wantClass(fu.srcB, RegClass::INT, "srcB");
+        wantClass(fu.srcC, RegClass::INT, "srcC");
+        break;
+    }
+}
+
+void
+lintExits(const OptBuffer &buf, const LintOptions &opt, Report &rep)
+{
+    if (buf.exits().empty()) {
+        rep.add(Check::LINT_EXIT, SIZE_MAX, "frame has no exit binding");
+        return;
+    }
+    for (const auto &exit : buf.exits()) {
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            const auto reg = static_cast<UReg>(r);
+            const Operand &binding = exit.regs[r];
+            const std::string name = uop::uregName(reg);
+            if (reg == UReg::FLAGS) {
+                // The flags *register* slot is bookkeeping only; the
+                // flags value is bound through ExitBinding::flags.
+                if (!(binding == Operand::liveIn(UReg::FLAGS))) {
+                    rep.add(Check::LINT_EXIT, SIZE_MAX,
+                            "FLAGS register binding is not the live-in");
+                }
+                continue;
+            }
+            if (!OptBuffer::archLiveOut(reg)) {
+                // ET temporaries die at the frame boundary; they may
+                // dangle mid-pipeline and must be dropped once
+                // compacted.
+                if (opt.compacted && !binding.isNone()) {
+                    rep.add(Check::LINT_EXIT, SIZE_MAX,
+                            name + " binding survived compaction");
+                }
+                continue;
+            }
+            if (binding.isNone()) {
+                rep.add(Check::LINT_EXIT, SIZE_MAX,
+                        name + " has no exit binding");
+                continue;
+            }
+            if (binding.flagsView) {
+                rep.add(Check::LINT_EXIT, SIZE_MAX,
+                        name + " binding is a flags view");
+                continue;
+            }
+            if (!operandReaches(buf, buf.size(), binding)) {
+                rep.add(Check::LINT_EXIT, SIZE_MAX,
+                        name + " binding references an invalid slot");
+                continue;
+            }
+            if (binding.isProd() &&
+                buf.at(binding.idx).uop.dst == UReg::NONE) {
+                rep.add(Check::LINT_EXIT, SIZE_MAX,
+                        name + " bound to a producer with no result");
+                continue;
+            }
+            const RegClass want =
+                uop::isFpReg(reg) ? RegClass::FP : RegClass::INT;
+            const RegClass got = classOf(buf, binding);
+            if (got != RegClass::UNKNOWN && got != want) {
+                rep.add(Check::LINT_EXIT, SIZE_MAX,
+                        name + " bound to the wrong register class");
+            }
+        }
+        const Operand &flags = exit.flags;
+        if (flags.isNone()) {
+            rep.add(Check::LINT_EXIT, SIZE_MAX, "no flags binding");
+        } else if (!flags.flagsView) {
+            rep.add(Check::LINT_EXIT, SIZE_MAX,
+                    "flags binding is not a flags view");
+        } else if (!operandReaches(buf, buf.size(), flags)) {
+            rep.add(Check::LINT_EXIT, SIZE_MAX,
+                    "flags binding references an invalid slot");
+        } else if (flags.isLiveIn() && flags.reg != UReg::FLAGS) {
+            rep.add(Check::LINT_EXIT, SIZE_MAX,
+                    "live-in flags binding names a non-FLAGS register");
+        } else if (flags.isProd() &&
+                   !buf.at(flags.idx).uop.writesFlags) {
+            rep.add(Check::LINT_EXIT, SIZE_MAX,
+                    "flags bound to a producer that writes none");
+        }
+    }
+}
+
+} // anonymous namespace
+
+Report
+lintBuffer(const OptBuffer &buf, const LintOptions &opt)
+{
+    Report rep;
+    size_t last_valid = SIZE_MAX;
+    for (size_t i = buf.size(); i-- > 0;) {
+        if (buf.valid(i)) {
+            last_valid = i;
+            break;
+        }
+    }
+    for (size_t i = 0; i < buf.size(); ++i) {
+        if (buf.valid(i))
+            lintSlot(buf, i, last_valid, rep);
+    }
+    lintExits(buf, opt, rep);
+    return rep;
+}
+
+OptBuffer
+bufferView(const opt::OptimizedFrame &body)
+{
+    OptBuffer buf;
+    for (const auto &fu : body.uops)
+        buf.push(fu);
+    buf.addExit(body.exit);
+    return buf;
+}
+
+Report
+lintBody(const opt::OptimizedFrame &body)
+{
+    LintOptions opt;
+    opt.compacted = true;
+    return lintBuffer(bufferView(body), opt);
+}
+
+Report
+lintFrame(const core::Frame &frame)
+{
+    Report rep = lintBody(frame.body);
+
+    // ---- pristine-body integrity anchor --------------------------------
+    // Bit-level corruption (an immediate flip, an opcode flip onto a
+    // structurally identical shape) can evade every structural rule;
+    // the deposit-time body hash cannot be evaded.  A zero hash means
+    // no injector was configured at deposit, so there is nothing to
+    // anchor against.
+    if (frame.bodyHash != 0 &&
+        fault::FaultInjector::hashBody(frame.body) != frame.bodyHash) {
+        rep.add(Check::LINT_BODY_HASH, SIZE_MAX,
+                "body differs from the pristine deposited body");
+    }
+
+    // ---- unsafe-store list ----------------------------------------------
+    std::vector<core::MemRef> expect;
+    for (const auto &fu : frame.body.uops) {
+        if (fu.unsafe && fu.uop.isStore())
+            expect.push_back({fu.uop.instIdx, fu.uop.memSeq});
+    }
+    std::sort(expect.begin(), expect.end());
+    std::vector<core::MemRef> got = frame.unsafeStores;
+    std::sort(got.begin(), got.end());
+    if (expect != got) {
+        rep.add(Check::LINT_UNSAFE_LIST, SIZE_MAX,
+                "unsafe-store list disagrees with the body's marks");
+    }
+
+    // ---- provenance against the encoded x86 path ------------------------
+    uint16_t prev_inst = 0;
+    for (size_t i = 0; i < frame.body.uops.size(); ++i) {
+        const uop::Uop &u = frame.body.uops[i].uop;
+        if (u.instIdx >= frame.pcs.size()) {
+            rep.add(Check::LINT_PROVENANCE, i,
+                    "micro-op attributed past the frame's x86 path");
+            continue;
+        }
+        if (u.x86Pc != frame.pcs[u.instIdx]) {
+            rep.add(Check::LINT_PROVENANCE, i,
+                    "micro-op PC disagrees with the frame path");
+        }
+        if (u.instIdx < prev_inst) {
+            rep.add(Check::LINT_PROVENANCE, i,
+                    "instruction attribution not monotone");
+        }
+        prev_inst = u.instIdx;
+    }
+
+    // ---- dynamic-exit shape ---------------------------------------------
+    bool has_jmpi = false;
+    for (const auto &fu : frame.body.uops)
+        has_jmpi |= fu.uop.op == Op::JMPI;
+    if (has_jmpi != frame.dynamicExit) {
+        rep.add(Check::LINT_PROVENANCE, SIZE_MAX,
+                has_jmpi ? "indirect exit in a non-dynamic-exit frame"
+                         : "dynamic-exit frame without an indirect jump");
+    }
+    return rep;
+}
+
+} // namespace replay::vstatic

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * IR lint: well-formedness invariants of the frame micro-op IR.
+ *
+ * The lint runs over three shapes of the IR — the full optimization
+ * buffer (mid-pipeline, invalid slots present, ET exit bindings live),
+ * the compacted OptimizedFrame body, and the deposited core::Frame —
+ * and checks the invariants every consumer of the IR silently relies
+ * on: operand arity and register classes per opcode, def-before-use,
+ * flags def/use wiring, assertion form, side-exit state completeness,
+ * memory-operand shape, unsafe-store marking, and (at the frame
+ * level) the pristine-body integrity hash and the unsafe-store list.
+ *
+ * The Check enum also carries the per-pass translation obligations of
+ * passcheck.hh so one Report/stats vocabulary covers both clients.
+ */
+
+#ifndef REPLAY_VERIFY_STATIC_LINT_HH
+#define REPLAY_VERIFY_STATIC_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/frame.hh"
+#include "verify/static/dataflow.hh"
+
+namespace replay::vstatic {
+
+/** Everything the static verifier can complain about. */
+enum class Check : uint8_t
+{
+    // -- IR lint invariants ---------------------------------------------
+    LINT_ARITY,         ///< operand arity per opcode
+    LINT_REG_CLASS,     ///< register classes per opcode
+    LINT_DEF_USE,       ///< def-before-use / dangling reference
+    LINT_FLAGS,         ///< flags def/use wiring consistency
+    LINT_ASSERT,        ///< assertion form and side-exit shape
+    LINT_EXIT,          ///< exit-state completeness and references
+    LINT_UNSAFE,        ///< unsafe mark on a non-store
+    LINT_CONTROL,       ///< control placement (BR forbidden, JMPI last)
+    LINT_MEM,           ///< memory form (scale / memSize / signExtend)
+    LINT_PROVENANCE,    ///< uop provenance vs the frame's x86 path
+    LINT_BODY_HASH,     ///< pristine-body integrity hash mismatch
+    LINT_UNSAFE_LIST,   ///< Frame::unsafeStores vs body's unsafe marks
+    // -- per-pass translation obligations (passcheck.hh) -----------------
+    PASS_STRUCTURE,     ///< slot/exit geometry or metadata mutated
+    PASS_VALUE,         ///< surviving slot's value not preserved
+    PASS_FLAGS,         ///< observable flags semantics not preserved
+    PASS_NOP_ONLY,      ///< NOP removal deleted a non-NOP/JMP
+    PASS_ASST_FUSE,     ///< assert combining fused a non-matching pair
+    PASS_CP_LATTICE,    ///< const-prop fold disagrees with the lattice
+    PASS_CP_ASSERT,     ///< assert removed though not provably true
+    PASS_RA_FLAGS,      ///< reassociation broke observable flags
+    PASS_CSE_AVAIL,     ///< CSE reused a non-available expression
+    PASS_SF_ALIAS,      ///< store-forward crossed a may-alias store
+    PASS_DCE_LIVE,      ///< DCE removed a live definition
+    PASS_UNSAFE_RULE,   ///< illegal unsafe-store marking transition
+    NUM_CHECKS,
+};
+
+inline constexpr unsigned NUM_CHECKS =
+    static_cast<unsigned>(Check::NUM_CHECKS);
+
+/** Short stable name ("arity", "dce-live", ...), for stats and JSON. */
+const char *checkName(Check check);
+
+/** Is this Check one of the per-pass obligations? */
+bool isPassCheck(Check check);
+
+/** One finding. */
+struct Violation
+{
+    Check check = Check::LINT_ARITY;
+    size_t slot = SIZE_MAX;     ///< buffer slot, or SIZE_MAX
+    std::string detail;
+};
+
+/** All findings of one lint or pass-check invocation. */
+struct Report
+{
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+
+    void
+    add(Check check, size_t slot, std::string detail)
+    {
+        violations.push_back({check, slot, std::move(detail)});
+    }
+
+    void
+    merge(Report other)
+    {
+        for (auto &v : other.violations)
+            violations.push_back(std::move(v));
+    }
+
+    /** "arity@3: ...; flags@7: ..." (at most @p max_items items). */
+    std::string summary(size_t max_items = 6) const;
+};
+
+/** Lint knobs for the different IR shapes. */
+struct LintOptions
+{
+    /**
+     * The buffer is a compacted body view (bufferView()): every slot
+     * valid, ET exit bindings dropped.  Off for mid-pipeline buffers,
+     * where ET bindings are present and — being dead past the frame
+     * boundary — may legally dangle.
+     */
+    bool compacted = false;
+};
+
+/** Lint one buffer against the well-formedness invariants. */
+Report lintBuffer(const OptBuffer &buf, const LintOptions &opt = {});
+
+/** Rebuild a buffer view of a compacted body (exact same slots). */
+OptBuffer bufferView(const opt::OptimizedFrame &body);
+
+/** Lint a compacted body. */
+Report lintBody(const opt::OptimizedFrame &body);
+
+/**
+ * Lint a deposited frame: the body plus frame-level invariants — the
+ * pristine-body hash anchor (catches bit-level corruption that is
+ * still structurally well-formed IR), the unsafe-store list, uop
+ * provenance against the encoded x86 path, and dynamic-exit shape.
+ */
+Report lintFrame(const core::Frame &frame);
+
+} // namespace replay::vstatic
+
+#endif // REPLAY_VERIFY_STATIC_LINT_HH

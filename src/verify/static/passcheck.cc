@@ -1,0 +1,974 @@
+#include "verify/static/passcheck.hh"
+
+#include <optional>
+
+#include "uop/evaluator.hh"
+
+namespace replay::vstatic {
+
+using opt::ExitBinding;
+using opt::PassId;
+using uop::Op;
+using uop::UReg;
+
+namespace {
+
+/** Everything one checkPass invocation needs, analyses precomputed on
+ *  the before-snapshot (ranges lazily: only const-prop consults them). */
+struct PassCtx
+{
+    PassId pass;
+    const OptBuffer &before;
+    const OptBuffer &after;
+    const opt::OptConfig &cfg;
+    const opt::AliasHints *alias;
+    Report &rep;
+    std::vector<LinForm> forms;
+    std::vector<uint16_t> vn;
+    std::optional<std::vector<AbsVal>> ranges;
+
+    const std::vector<AbsVal> &
+    getRanges()
+    {
+        if (!ranges)
+            ranges = analyzeRanges(before);
+        return *ranges;
+    }
+};
+
+/** The Check a failed value obligation maps to under this pass. */
+Check
+valueCheckFor(PassId pass)
+{
+    switch (pass) {
+      case PassId::CSE: return Check::PASS_CSE_AVAIL;
+      case PassId::SF:  return Check::PASS_SF_ALIAS;
+      default:          return Check::PASS_VALUE;
+    }
+}
+
+// ---- after-buffer observations (plain scans; the checker must not
+// perturb the primitive counters the datapath benchmark reads) -------
+
+bool
+flagsObservedAfter(const OptBuffer &after, size_t idx)
+{
+    const Operand target = Operand::prodFlags(uint16_t(idx));
+    for (size_t i = 0; i < after.size(); ++i) {
+        if (after.valid(i) && after.at(i).flagsSrc == target)
+            return true;
+    }
+    for (const auto &exit : after.exits()) {
+        if (exit.flags == target)
+            return true;
+    }
+    return false;
+}
+
+bool
+referencedAfter(const OptBuffer &after, size_t idx)
+{
+    const Operand v = Operand::prod(uint16_t(idx));
+    const Operand f = Operand::prodFlags(uint16_t(idx));
+    auto hits = [&](const Operand &op) { return op == v || op == f; };
+    for (size_t i = 0; i < after.size(); ++i) {
+        if (!after.valid(i))
+            continue;
+        const FrameUop &fu = after.at(i);
+        if (hits(fu.srcA) || hits(fu.srcB) || hits(fu.srcC) ||
+            hits(fu.flagsSrc)) {
+            return true;
+        }
+    }
+    for (const auto &exit : after.exits()) {
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            if (OptBuffer::archLiveOut(static_cast<UReg>(r)) &&
+                hits(exit.regs[r])) {
+                return true;
+            }
+        }
+        if (hits(exit.flags))
+            return true;
+    }
+    return false;
+}
+
+bool
+marksUnsafeInAfter(const PassCtx &c, const std::vector<uint16_t> &marks)
+{
+    for (const uint16_t m : marks) {
+        if (!c.after.valid(m) || !c.after.at(m).unsafe)
+            return false;
+    }
+    return true;
+}
+
+/** An AVAILABLE / properly-speculated availability verdict. */
+bool
+availabilityOk(const PassCtx &c, LoadAvail av,
+               const std::vector<uint16_t> &marks)
+{
+    if (av == LoadAvail::AVAILABLE)
+        return true;
+    return av == LoadAvail::NEEDS_SPECULATION && c.cfg.speculativeMem &&
+           marksUnsafeInAfter(c, marks);
+}
+
+/** Linear form of a (possibly rewritten) micro-op whose operands are
+ *  resolved in the before-snapshot's index space. */
+LinForm
+linFormOfUop(const FrameUop &fu, const std::vector<LinForm> &forms)
+{
+    const uop::Uop &u = fu.uop;
+    if (u.readsFlags && !u.flagsCarryOnly)
+        return LinForm::unknown();
+    switch (u.op) {
+      case Op::LIMM:
+        return LinForm::constant(u.imm);
+      case Op::MOV:
+        return fu.srcA.isNone() ? LinForm::unknown()
+                                : linOf(forms, fu.srcA);
+      case Op::ADD:
+      case Op::SUB: {
+        if (!fu.srcB.isNone() || fu.srcA.isNone())
+            return LinForm::unknown();
+        LinForm a = linOf(forms, fu.srcA);
+        if (!a.known)
+            return a;
+        a.k += u.op == Op::ADD ? int64_t(u.imm) : -int64_t(u.imm);
+        return a;
+      }
+      default:
+        return LinForm::unknown();
+    }
+}
+
+// ---- operand value equivalence -----------------------------------------
+//
+// Passes compose within one snapshot window: CSE may redirect a use to
+// a leader whose own operands were rewritten moments earlier in the
+// same pass run, SF may forward a store value that was itself forwarded
+// into the store.  One-step allowances cannot discharge such chains, so
+// equivalence is a congruence: two operands are equal when their linear
+// forms agree, when their producers are structurally congruent pure
+// expressions (operands compared recursively), or when load/forwarding
+// resolution proves a load yields another slot's value.  Producers
+// always precede consumers, so the recursion strictly descends;
+// MAX_EQ_DEPTH only bounds the constant factor.
+
+constexpr unsigned MAX_EQ_DEPTH = 16;
+
+bool valueEq(PassCtx &c, const Operand &x, const Operand &y,
+             unsigned depth = 0);
+bool flagsEq(PassCtx &c, const Operand &x, const Operand &y,
+             unsigned depth = 0);
+
+/** Congruent expressions: same semantic fields, equivalent operands. */
+bool
+congruent(PassCtx &c, const FrameUop &fx, const FrameUop &fy,
+          unsigned depth)
+{
+    const uop::Uop &ux = fx.uop;
+    const uop::Uop &uy = fy.uop;
+    if (ux.op != uy.op || ux.cc != uy.cc || ux.imm != uy.imm ||
+        ux.scale != uy.scale || ux.memSize != uy.memSize ||
+        ux.signExtend != uy.signExtend ||
+        ux.flagsCarryOnly != uy.flagsCarryOnly) {
+        return false;
+    }
+    return valueEq(c, fx.srcA, fy.srcA, depth + 1) &&
+           valueEq(c, fx.srcB, fy.srcB, depth + 1) &&
+           valueEq(c, fx.srcC, fy.srcC, depth + 1) &&
+           (fx.flagsSrc == fy.flagsSrc ||
+            flagsEq(c, fx.flagsSrc, fy.flagsSrc, depth + 1));
+}
+
+/** Does the load at @p load_idx provably yield the value @p y names?
+ *  True when y is (equivalent to) the data operand of the nearest
+ *  same-address store, with the speculation obligations met. */
+bool
+forwardedValueMatches(PassCtx &c, size_t load_idx, const Operand &y,
+                      unsigned depth)
+{
+    const opt::AddrKey addr = opt::AddrKey::of(c.before.at(load_idx));
+    for (size_t s = load_idx; s-- > 0;) {
+        if (!c.before.valid(s) || !c.before.at(s).uop.isStore())
+            continue;
+        if (!opt::AddrKey::of(c.before.at(s)).sameAddress(addr))
+            continue;       // availability re-walks for aliasing
+        if (!valueEq(c, c.before.at(s).srcB, y, depth + 1))
+            return false;
+        std::vector<uint16_t> marks;
+        const LoadAvail av =
+            storeForwardAvailability(c.before, s, load_idx, &marks);
+        return availabilityOk(c, av, marks);
+    }
+    return false;
+}
+
+/** Clobber walk between two congruent loads, with the address
+ *  comparison upgraded from textual AddrKey equality to operand-level
+ *  congruence: a store whose base/index are valueEq to the load's lets
+ *  the literal displacements decide, mirroring the pass itself (which
+ *  compares addresses after same-sweep redirects already unified the
+ *  operands).  Never returns MISMATCH. */
+LoadAvail
+congruentClobberWalk(PassCtx &c, size_t from, size_t to,
+                     const opt::AddrKey &addr,
+                     std::vector<uint16_t> &marks, unsigned depth)
+{
+    LoadAvail result = LoadAvail::AVAILABLE;
+    for (size_t j = from + 1; j < to; ++j) {
+        if (!c.before.valid(j) || !c.before.at(j).uop.isStore())
+            continue;
+        const opt::AddrKey skey = opt::AddrKey::of(c.before.at(j));
+        if (skey.sameAddress(addr))
+            return LoadAvail::KILLED;
+        if (skey.provablyDisjoint(addr))
+            continue;
+        if (valueEq(c, skey.base, addr.base, depth + 1) &&
+            valueEq(c, skey.index, addr.index, depth + 1) &&
+            (skey.index.isNone() || skey.scale == addr.scale)) {
+            if (skey.disp == addr.disp && skey.size == addr.size)
+                return LoadAvail::KILLED;
+            const int64_t s0 = skey.disp, s1 = s0 + skey.size;
+            const int64_t l0 = addr.disp, l1 = l0 + addr.size;
+            if (s1 <= l0 || l1 <= s0)
+                continue;
+        }
+        result = LoadAvail::NEEDS_SPECULATION;
+        marks.push_back(uint16_t(j));
+    }
+    return result;
+}
+
+/** Congruence-aware load-load availability: loadAvailability(), except
+ *  the address comparison also accepts addresses whose operands are
+ *  valueEq rather than textually identical — a pass routinely rewrites
+ *  one load's address operands before matching it against another in
+ *  the same run. */
+LoadAvail
+loadLoadAvail(PassCtx &c, size_t earlier, size_t later,
+              std::vector<uint16_t> &marks, unsigned depth)
+{
+    const LoadAvail direct =
+        loadAvailability(c.before, earlier, later, &marks);
+    if (direct == LoadAvail::AVAILABLE || direct == LoadAvail::KILLED)
+        return direct;
+    if (earlier >= later || later >= c.before.size() ||
+        !c.before.valid(earlier) || !c.before.valid(later)) {
+        return direct;
+    }
+    const FrameUop &e = c.before.at(earlier);
+    const FrameUop &l = c.before.at(later);
+    if (direct == LoadAvail::MISMATCH) {
+        if (!e.uop.isLoad() || !l.uop.isLoad() || e.uop.op != l.uop.op ||
+            e.uop.imm != l.uop.imm || e.uop.scale != l.uop.scale ||
+            e.uop.memSize != l.uop.memSize ||
+            e.uop.signExtend != l.uop.signExtend) {
+            return LoadAvail::MISMATCH;
+        }
+        if (!valueEq(c, e.srcA, l.srcA, depth + 1) ||
+            !valueEq(c, e.srcB, l.srcB, depth + 1)) {
+            return LoadAvail::MISMATCH;
+        }
+    }
+    // Re-walk the clobbers with operand congruence: the textual walk
+    // over-approximates stores whose operands a same-sweep redirect
+    // already unified in the after image.
+    marks.clear();
+    return congruentClobberWalk(c, earlier, later, opt::AddrKey::of(l),
+                                marks, depth);
+}
+
+/** Both operands (in the before index space) provably carry the same
+ *  runtime value. */
+bool
+valueEq(PassCtx &c, const Operand &x, const Operand &y, unsigned depth)
+{
+    if (x == y)
+        return true;
+    if (x.isNone() || y.isNone() || x.flagsView || y.flagsView)
+        return false;
+    if (linEqual(linOf(c.forms, x), linOf(c.forms, y)))
+        return true;
+    if (depth > MAX_EQ_DEPTH)
+        return false;
+    const bool x_slot = x.isProd() && x.idx < c.before.size() &&
+                        c.before.valid(x.idx);
+    const bool y_slot = y.isProd() && y.idx < c.before.size() &&
+                        c.before.valid(y.idx);
+    if (x_slot && y_slot) {
+        const FrameUop &fx = c.before.at(x.idx);
+        const FrameUop &fy = c.before.at(y.idx);
+        // Structurally identical (exact vn) or congruent pure
+        // expressions.
+        if (isPureValueOp(fx.uop.op) &&
+            (c.vn[x.idx] == c.vn[y.idx] || congruent(c, fx, fy, depth))) {
+            return true;
+        }
+        if (fx.uop.isLoad() && fy.uop.isLoad()) {
+            // Same-address loads with no intervening clobber (CSE).
+            const size_t earlier = x.idx < y.idx ? x.idx : y.idx;
+            const size_t later = x.idx < y.idx ? y.idx : x.idx;
+            std::vector<uint16_t> marks;
+            const LoadAvail av =
+                loadLoadAvail(c, earlier, later, marks, depth);
+            if (availabilityOk(c, av, marks))
+                return true;
+        }
+    }
+    // A load equals the value the nearest same-address store put there
+    // (SF) — in either direction; the value side may be any operand,
+    // live-ins included.
+    if (x_slot && c.before.at(x.idx).uop.isLoad() &&
+        forwardedValueMatches(c, x.idx, y, depth)) {
+        return true;
+    }
+    if (y_slot && c.before.at(y.idx).uop.isLoad() &&
+        forwardedValueMatches(c, y.idx, x, depth)) {
+        return true;
+    }
+    return false;
+}
+
+/** Same-flags equivalence for flags-view operands. */
+bool
+flagsEq(PassCtx &c, const Operand &x, const Operand &y, unsigned depth)
+{
+    if (x == y)
+        return true;
+    if (!x.isProd() || !y.isProd() || !x.flagsView || !y.flagsView)
+        return false;
+    if (x.idx >= c.before.size() || y.idx >= c.before.size())
+        return false;
+    if (!c.before.valid(x.idx) || !c.before.valid(y.idx))
+        return false;
+    if (depth > MAX_EQ_DEPTH)
+        return false;
+    // Congruent expressions co-produce identical flags.
+    return sameExpression(c.before.at(x.idx), c.before.at(y.idx)) ||
+           congruent(c, c.before.at(x.idx), c.before.at(y.idx), depth);
+}
+
+// ---- structural slot equivalence ---------------------------------------
+
+bool
+takesImmOperand(Op op)
+{
+    switch (op) {
+      case Op::ADD:
+      case Op::SUB:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::MUL:
+      case Op::CMP:
+      case Op::TEST:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCommutative(Op op)
+{
+    return op == Op::ADD || op == Op::AND || op == Op::OR ||
+           op == Op::XOR || op == Op::MUL || op == Op::TEST;
+}
+
+/** A second-operand descriptor: a register value or the immediate. */
+struct Second
+{
+    bool isImm = false;
+    int64_t imm = 0;
+    Operand op;
+};
+
+Second
+secondOf(const FrameUop &fu)
+{
+    Second s;
+    if (fu.srcB.isNone()) {
+        s.isImm = true;
+        s.imm = fu.uop.imm;
+    } else {
+        s.op = fu.srcB;
+    }
+    return s;
+}
+
+/**
+ * The operand provably evaluates to @p imm: by linear form when the
+ * producing chain is linear, else by the constant lattice (const-prop
+ * folds through OR/AND/shift chains the linear forms cannot express).
+ */
+bool
+provablyConst(PassCtx &c, const Operand &op, int32_t imm)
+{
+    const LinForm f = linOf(c.forms, op);
+    if (f.known && f.isConst)
+        return uint32_t(f.k) == uint32_t(imm);
+    const std::optional<AbsVal> r = rangeOf(c.getRanges(), op);
+    return r && r->isConst() && uint32_t(r->constant()) == uint32_t(imm);
+}
+
+bool
+secondEq(PassCtx &c, const Second &x, const Second &y)
+{
+    if (x.isImm && y.isImm)
+        return uint32_t(x.imm) == uint32_t(y.imm);
+    if (x.isImm != y.isImm)
+        return provablyConst(c, x.isImm ? y.op : x.op,
+                             x.isImm ? x.imm : y.imm);
+    return valueEq(c, x.op, y.op);
+}
+
+bool
+firstVsSecond(PassCtx &c, const Operand &first, const Second &second)
+{
+    if (second.isImm)
+        return provablyConst(c, first, second.imm);
+    return valueEq(c, first, second.op);
+}
+
+/**
+ * The rewritten slot computes the same value (and, per-operand, the
+ * same flags) as its before-image: same opcode and semantic fields,
+ * operand-wise value equivalence, with immediate-operand unification
+ * and commutative swap for the ALU shapes const-prop normalizes.
+ */
+bool
+structuralMatch(PassCtx &c, const FrameUop &b, const FrameUop &a)
+{
+    const uop::Uop &bu = b.uop;
+    const uop::Uop &au = a.uop;
+    if (au.op != bu.op || au.cc != bu.cc || au.scale != bu.scale ||
+        au.memSize != bu.memSize || au.signExtend != bu.signExtend ||
+        au.valueAssert != bu.valueAssert ||
+        au.assertOp != bu.assertOp) {
+        return false;
+    }
+    if (!valueEq(c, b.srcC, a.srcC))
+        return false;
+    if (!(b.flagsSrc == a.flagsSrc) && !flagsEq(c, b.flagsSrc, a.flagsSrc))
+        return false;
+
+    if (takesImmOperand(bu.op)) {
+        const Second sb = secondOf(b);
+        const Second sa = secondOf(a);
+        if (valueEq(c, b.srcA, a.srcA) && secondEq(c, sb, sa))
+            return true;
+        if (isCommutative(bu.op) && firstVsSecond(c, b.srcA, sa) &&
+            firstVsSecond(c, a.srcA, sb)) {
+            return true;
+        }
+        return false;
+    }
+    // Everything else: the immediate is part of the semantics (LIMM
+    // value, addressing displacement, assert comparand) and operands
+    // match positionally.
+    return au.imm == bu.imm && valueEq(c, b.srcA, a.srcA) &&
+           valueEq(c, b.srcB, a.srcB);
+}
+
+/**
+ * An ALU op collapsed to a plain register copy of one operand because
+ * the other operand is provably that op's identity element: OR/XOR/ADD
+ * with 0, AND with ~0, MUL with 1, and SUB/shift with a zero second
+ * operand.  Const-prop emits this shape when the lattice pins one
+ * input (e.g. OR of a known-zero with a live-in).
+ */
+bool
+identityCollapse(PassCtx &c, const FrameUop &b, const FrameUop &a)
+{
+    if (a.uop.op != Op::MOV || a.srcA.isNone() || !b.flagsSrc.isNone())
+        return false;
+    int32_t id = 0;
+    bool second_only = false;
+    switch (b.uop.op) {
+      case Op::ADD:
+      case Op::OR:
+      case Op::XOR:
+        break;
+      case Op::AND:
+        id = -1;
+        break;
+      case Op::MUL:
+        id = 1;
+        break;
+      case Op::SUB:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+        second_only = true;
+        break;
+      default:
+        return false;
+    }
+    const Second s = secondOf(b);
+    const bool second_is_id = s.isImm
+                                  ? uint32_t(s.imm) == uint32_t(id)
+                                  : provablyConst(c, s.op, id);
+    if (second_is_id && valueEq(c, b.srcA, a.srcA))
+        return true;
+    if (second_only)
+        return false;
+    // Identity in the first operand of a commutative shape.
+    return !s.isImm && provablyConst(c, b.srcA, id) &&
+           valueEq(c, s.op, a.srcA);
+}
+
+/**
+ * The address a memory op touches, when the lattice pins every operand
+ * to a constant: base + index*scale + disp mod 2^32.  Const-prop
+ * legitimately rewrites [reg+reg] into an absolute [imm] form once the
+ * lattice proves the registers, which the linear-form canonical address
+ * cannot see (AND/shift chains have no linear form).
+ */
+std::optional<uint32_t>
+constAddrOf(PassCtx &c, const FrameUop &fu)
+{
+    if (!fu.uop.isMem())
+        return std::nullopt;
+    int64_t addr = int64_t(fu.uop.imm);
+    if (!fu.srcA.isNone()) {
+        const std::optional<AbsVal> r = rangeOf(c.getRanges(), fu.srcA);
+        if (!r || !r->isConst())
+            return std::nullopt;
+        addr += int64_t(uint32_t(r->constant()));
+    }
+    const Operand &index_op = fu.uop.isStore() ? fu.srcC : fu.srcB;
+    if (!index_op.isNone()) {
+        const std::optional<AbsVal> r = rangeOf(c.getRanges(), index_op);
+        if (!r || !r->isConst())
+            return std::nullopt;
+        addr += int64_t(uint32_t(r->constant())) * fu.uop.scale;
+    }
+    return uint32_t(uint64_t(addr));
+}
+
+// ---- per-slot checks ---------------------------------------------------
+
+void
+checkMutation(PassCtx &c, size_t i)
+{
+    const FrameUop &b = c.before.at(i);
+    const FrameUop &a = c.after.at(i);
+    const uop::Uop &bu = b.uop;
+    const uop::Uop &au = a.uop;
+
+    // Identity, ordering, and provenance never change.
+    if (au.x86Pc != bu.x86Pc || au.instIdx != bu.instIdx ||
+        au.microIdx != bu.microIdx || au.memSeq != bu.memSeq ||
+        au.lastOfInst != bu.lastOfInst || a.position != b.position ||
+        a.block != b.block) {
+        c.rep.add(Check::PASS_STRUCTURE, i,
+                  "provenance or ordering metadata mutated");
+    }
+    if (au.dst != bu.dst) {
+        c.rep.add(Check::PASS_STRUCTURE, i,
+                  "destination register mutated");
+    }
+    if (au.target != bu.target)
+        c.rep.add(Check::PASS_STRUCTURE, i, "branch target mutated");
+
+    // Unsafe-store marking transitions.
+    if (b.unsafe && !a.unsafe)
+        c.rep.add(Check::PASS_UNSAFE_RULE, i, "unsafe mark dropped");
+    if (!b.unsafe && a.unsafe) {
+        const bool ok =
+            bu.isStore() &&
+            (c.pass == PassId::CSE || c.pass == PassId::SF) &&
+            c.cfg.speculativeMem && c.alias &&
+            c.alias->cleanForSpeculation(bu.x86Pc, bu.memSeq);
+        if (!ok) {
+            c.rep.add(Check::PASS_UNSAFE_RULE, i,
+                      "illegal unsafe-store marking");
+        }
+    }
+
+    // Flags production/consumption transitions.
+    const Check flags_check =
+        c.pass == PassId::RA ? Check::PASS_RA_FLAGS : Check::PASS_FLAGS;
+    if (bu.writesFlags && !au.writesFlags &&
+        flagsObservedAfter(c.after, i)) {
+        c.rep.add(flags_check, i,
+                  "flags production dropped while still observed");
+    }
+    if (!bu.writesFlags && au.writesFlags) {
+        // CSE revives a leader's flags for a duplicate that computed a
+        // congruent expression with flags enabled — the flags the
+        // leader now produces are exactly the ones the duplicate would
+        // have.
+        bool ok = false;
+        for (size_t j = 0; j < c.before.size() && !ok; ++j) {
+            ok = j != i && c.before.valid(j) &&
+                 c.before.at(j).uop.writesFlags &&
+                 isPureValueOp(bu.op) &&
+                 (c.vn[j] == c.vn[i] ||
+                  congruent(c, c.before.at(j), b, 0));
+        }
+        if (!ok) {
+            c.rep.add(flags_check, i,
+                      "flags production appeared without a duplicate");
+        }
+    }
+    if (!bu.readsFlags && au.readsFlags)
+        c.rep.add(flags_check, i, "flags consumption appeared");
+
+    // Assert combining has its own fusion obligation.
+    if (c.pass == PassId::ASST && bu.op == Op::ASSERT &&
+        !bu.valueAssert && au.op == Op::ASSERT && au.valueAssert) {
+        bool ok = false;
+        if (b.flagsSrc.isProd() && b.flagsSrc.flagsView &&
+            b.flagsSrc.idx < c.before.size() &&
+            c.before.valid(b.flagsSrc.idx)) {
+            const FrameUop &p = c.before.at(b.flagsSrc.idx);
+            ok = (p.uop.op == Op::CMP || p.uop.op == Op::TEST) &&
+                 au.assertOp == p.uop.op && a.srcA == p.srcA &&
+                 a.srcB == p.srcB && au.imm == p.uop.imm &&
+                 au.cc == bu.cc && !au.readsFlags &&
+                 a.flagsSrc.isNone();
+        }
+        if (!ok) {
+            c.rep.add(Check::PASS_ASST_FUSE, i,
+                      "assert fused with a non-matching comparison");
+        }
+        return;
+    }
+    if (bu.readsFlags && !au.readsFlags && !bu.flagsCarryOnly) {
+        // Outside assert fusion, only carry-only consumers (whose
+        // values ignore the incoming flags) may stop reading them.
+        c.rep.add(flags_check, i, "flags consumption dropped");
+    }
+
+    // An observable flags result pins the producing computation: the
+    // operands may only be rewritten value-preservingly in place.
+    const bool flags_locked =
+        bu.writesFlags && au.writesFlags && flagsObservedAfter(c.after, i);
+
+    if (structuralMatch(c, b, a))
+        return;
+    if (flags_locked) {
+        c.rep.add(flags_check, i,
+                  "observable flags producer structurally rewritten");
+        return;
+    }
+
+    // Value-preserving rewrite of the computation itself.
+    if (linEqual(linFormOfUop(a, c.forms), c.forms[i]))
+        return;
+    if (identityCollapse(c, b, a))
+        return;
+
+    // Memory ops: the canonical address (and stored value) decide.
+    if (bu.isMem() && au.op == bu.op) {
+        const CanonAddr ba = canonAddrOf(b, c.forms);
+        const CanonAddr aa = canonAddrOf(a, c.forms);
+        bool addr_ok = addrEqual(ba, aa);
+        if (!addr_ok && au.memSize == bu.memSize) {
+            const std::optional<uint32_t> bc = constAddrOf(c, b);
+            const std::optional<uint32_t> ac = constAddrOf(c, a);
+            addr_ok = bc && ac && *bc == *ac;
+        }
+        if (addr_ok && au.signExtend == bu.signExtend &&
+            (!bu.isStore() || valueEq(c, b.srcB, a.srcB))) {
+            return;
+        }
+        c.rep.add(valueCheckFor(c.pass), i,
+                  "memory access rewritten to a different location");
+        return;
+    }
+
+    // Const-prop collapse to LIMM: the lattice must agree exactly.
+    if (c.pass == PassId::CP && au.op == Op::LIMM) {
+        const AbsVal &r = c.getRanges()[i];
+        if (r.isConst() && uint32_t(r.constant()) == uint32_t(au.imm))
+            return;
+        c.rep.add(Check::PASS_CP_LATTICE, i,
+                  "constant fold disagrees with the abstract lattice");
+        return;
+    }
+
+    c.rep.add(valueCheckFor(c.pass), i, "slot value not preserved");
+}
+
+void
+checkInvalidation(PassCtx &c, size_t i)
+{
+    const FrameUop &b = c.before.at(i);
+    const uop::Uop &bu = b.uop;
+
+    if (bu.isStore()) {
+        c.rep.add(Check::PASS_STRUCTURE, i, "store removed");
+        return;
+    }
+
+    switch (c.pass) {
+      case PassId::NOP:
+        if (bu.op != Op::NOP && bu.op != Op::JMP)
+            c.rep.add(Check::PASS_NOP_ONLY, i,
+                      "NOP removal deleted a non-NOP micro-op");
+        return;
+
+      case PassId::ASST:
+      case PassId::RA:
+        c.rep.add(Check::PASS_STRUCTURE, i,
+                  "pass may not remove micro-ops");
+        return;
+
+      case PassId::CP: {
+        if (bu.op != Op::ASSERT || !bu.valueAssert) {
+            c.rep.add(Check::PASS_STRUCTURE, i,
+                      "const-prop removed a non-assertion");
+            return;
+        }
+        const auto &ranges = c.getRanges();
+        const auto ca = rangeOf(ranges, b.srcA);
+        const std::optional<AbsVal> cb =
+            b.srcB.isNone() ? std::optional<AbsVal>(
+                                  AbsVal::constant(bu.imm))
+                            : rangeOf(ranges, b.srcB);
+        bool proven = false;
+        if (ca && cb && ca->isConst() && cb->isConst()) {
+            uop::Uop cmp;
+            cmp.op = bu.assertOp;
+            const auto alu = uop::evalAlu(cmp, uint32_t(ca->constant()),
+                                          uint32_t(cb->constant()), 0,
+                                          x86::Flags{});
+            proven = x86::condTaken(bu.cc, alu.flags);
+        }
+        if (!proven) {
+            c.rep.add(Check::PASS_CP_ASSERT, i,
+                      "assert removed though not provably true");
+        }
+        return;
+      }
+
+      case PassId::CSE: {
+        if (!bu.isLoad()) {
+            c.rep.add(Check::PASS_STRUCTURE, i,
+                      "CSE removed a non-load");
+            return;
+        }
+        bool available = false;
+        for (size_t k = 0; k < i && !available; ++k) {
+            if (!c.before.valid(k) || !c.before.at(k).uop.isLoad())
+                continue;
+            std::vector<uint16_t> marks;
+            const LoadAvail av = loadLoadAvail(c, k, i, marks, 0);
+            available = availabilityOk(c, av, marks);
+        }
+        if (!available || referencedAfter(c.after, i)) {
+            c.rep.add(Check::PASS_CSE_AVAIL, i,
+                      "load removed without an available earlier load");
+        }
+        return;
+      }
+
+      case PassId::SF: {
+        if (!bu.isLoad()) {
+            c.rep.add(Check::PASS_STRUCTURE, i,
+                      "store forwarding removed a non-load");
+            return;
+        }
+        bool available = false;
+        for (size_t s = i; s-- > 0 && !available;) {
+            if (!c.before.valid(s) || !c.before.at(s).uop.isStore())
+                continue;
+            std::vector<uint16_t> marks;
+            const LoadAvail av =
+                storeForwardAvailability(c.before, s, i, &marks);
+            if (av == LoadAvail::MISMATCH)
+                continue;
+            available = availabilityOk(c, av, marks);
+            break;      // nearest same-address store decides
+        }
+        if (!available || referencedAfter(c.after, i)) {
+            c.rep.add(Check::PASS_SF_ALIAS, i,
+                      "load removed without a forwardable store");
+        }
+        return;
+      }
+
+      case PassId::DCE: {
+        switch (bu.op) {
+          case Op::ASSERT:
+          case Op::BR:
+          case Op::JMPI:
+          case Op::LONGFLOW:
+            c.rep.add(Check::PASS_DCE_LIVE, i,
+                      "side-effecting micro-op removed as dead");
+            return;
+          case Op::NOP:
+          case Op::JMP:
+            return;     // trivially dead
+          default:
+            break;
+        }
+        if (referencedAfter(c.after, i)) {
+            c.rep.add(Check::PASS_DCE_LIVE, i,
+                      "live definition removed");
+        }
+        return;
+      }
+    }
+}
+
+void
+checkExits(PassCtx &c)
+{
+    const auto &bx = c.before.exits();
+    const auto &ax = c.after.exits();
+    if (ax.size() != bx.size()) {
+        c.rep.add(Check::PASS_STRUCTURE, SIZE_MAX,
+                  "exit count changed");
+        return;
+    }
+    for (size_t e = 0; e < bx.size(); ++e) {
+        if (ax[e].block != bx[e].block) {
+            c.rep.add(Check::PASS_STRUCTURE, SIZE_MAX,
+                      "exit block attribution changed");
+        }
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            const auto reg = static_cast<UReg>(r);
+            // ET bindings are dead past the frame; passes may leave
+            // them dangling, the lint ignores them, finalize drops
+            // them.
+            if (!OptBuffer::archLiveOut(reg) || reg == UReg::FLAGS)
+                continue;
+            if (ax[e].regs[r] == bx[e].regs[r])
+                continue;
+            if (!valueEq(c, bx[e].regs[r], ax[e].regs[r])) {
+                c.rep.add(valueCheckFor(c.pass), SIZE_MAX,
+                          std::string("exit binding for ") +
+                              uop::uregName(reg) + " not preserved");
+            }
+        }
+        if (!(ax[e].flags == bx[e].flags) &&
+            !flagsEq(c, bx[e].flags, ax[e].flags)) {
+            c.rep.add(c.pass == PassId::RA ? Check::PASS_RA_FLAGS
+                                           : Check::PASS_FLAGS,
+                      SIZE_MAX, "exit flags binding not preserved");
+        }
+    }
+}
+
+} // anonymous namespace
+
+Report
+checkPass(PassId pass, const OptBuffer &before, const OptBuffer &after,
+          const opt::OptConfig &cfg, const opt::AliasHints *alias)
+{
+    Report rep;
+    if (after.size() != before.size()) {
+        rep.add(Check::PASS_STRUCTURE, SIZE_MAX,
+                "pass changed the slot count");
+        return rep;
+    }
+    PassCtx c{pass, before, after,         cfg,
+              alias, rep,   linearForms(before),
+              valueNumbers(before), std::nullopt};
+
+    for (size_t i = 0; i < before.size(); ++i) {
+        const bool bv = before.valid(i);
+        const bool av = after.valid(i);
+        if (!bv && av) {
+            rep.add(Check::PASS_STRUCTURE, i, "invalid slot resurrected");
+            continue;
+        }
+        if (bv && !av) {
+            checkInvalidation(c, i);
+            continue;
+        }
+        if (bv && av && !(before.at(i) == after.at(i)))
+            checkMutation(c, i);
+    }
+    checkExits(c);
+    return rep;
+}
+
+Report
+checkFinalize(const OptBuffer &before, const opt::OptimizedFrame &out)
+{
+    Report rep;
+    std::vector<uint16_t> new_index(before.size(), 0xffff);
+    std::vector<uint16_t> keep;
+    for (size_t i = 0; i < before.size(); ++i) {
+        if (before.valid(i)) {
+            new_index[i] = uint16_t(keep.size());
+            keep.push_back(uint16_t(i));
+        }
+    }
+    if (out.uops.size() != keep.size()) {
+        rep.add(Check::PASS_STRUCTURE, SIZE_MAX,
+                "cleanup output count disagrees with surviving slots");
+        return rep;
+    }
+
+    auto remapped = [&](Operand op) -> std::optional<Operand> {
+        if (op.isProd()) {
+            if (op.idx >= new_index.size() ||
+                new_index[op.idx] == 0xffff) {
+                return std::nullopt;
+            }
+            op.idx = new_index[op.idx];
+        }
+        return op;
+    };
+    auto sameRef = [&](const Operand &src, const Operand &dst) {
+        const auto want = remapped(src);
+        return want && *want == dst;
+    };
+
+    for (size_t k = 0; k < keep.size(); ++k) {
+        const FrameUop &src = before.at(keep[k]);
+        const FrameUop &dst = out.uops[k];
+        if (!(dst.uop == src.uop) || dst.unsafe != src.unsafe ||
+            dst.block != src.block || dst.position != src.position) {
+            rep.add(Check::PASS_STRUCTURE, k,
+                    "cleanup altered a surviving micro-op");
+            continue;
+        }
+        if (!sameRef(src.srcA, dst.srcA) || !sameRef(src.srcB, dst.srcB) ||
+            !sameRef(src.srcC, dst.srcC) ||
+            !sameRef(src.flagsSrc, dst.flagsSrc)) {
+            rep.add(Check::PASS_STRUCTURE, k,
+                    "cleanup misdirected an operand");
+        }
+    }
+
+    const ExitBinding &fin = before.finalExit();
+    if (out.exit.block != fin.block) {
+        rep.add(Check::PASS_STRUCTURE, SIZE_MAX,
+                "cleanup changed the final exit's block");
+    }
+    for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+        const auto reg = static_cast<UReg>(r);
+        if (!OptBuffer::archLiveOut(reg)) {
+            if (!out.exit.regs[r].isNone()) {
+                rep.add(Check::PASS_STRUCTURE, SIZE_MAX,
+                        std::string(uop::uregName(reg)) +
+                            " binding survived cleanup");
+            }
+            continue;
+        }
+        if (!sameRef(fin.regs[r], out.exit.regs[r])) {
+            rep.add(Check::PASS_STRUCTURE, SIZE_MAX,
+                    std::string("cleanup broke the exit binding for ") +
+                        uop::uregName(reg));
+        }
+    }
+    if (!sameRef(fin.flags, out.exit.flags)) {
+        rep.add(Check::PASS_STRUCTURE, SIZE_MAX,
+                "cleanup broke the exit flags binding");
+    }
+    return rep;
+}
+
+} // namespace replay::vstatic

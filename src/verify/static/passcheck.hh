@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-pass translation validation.
+ *
+ * The optimizer's slot index space is stable across passes (only
+ * finalize() compacts), so a pass run is validated by diffing the
+ * buffer snapshots around it and statically discharging the pass's
+ * obligation for every difference:
+ *
+ *   NOP   only NOP/JMP micro-ops disappear;
+ *   ASST  an assertion fuses exactly its flags producer's comparison;
+ *   CP    folds agree with the abstract constant lattice, removed
+ *         value assertions are provably true;
+ *   RA    rewrites preserve every value (linear-form equivalence) and
+ *         never break an observable flags result;
+ *   CSE   redirects target available expressions — value-numbering
+ *         equality for pure ops, availability across intervening
+ *         stores for loads;
+ *   SF    forwarded values come from the nearest same-address store
+ *         with every may-alias intervening store marked unsafe;
+ *   DCE   only side-effect-free micro-ops that are dead in the
+ *         resulting buffer disappear.
+ *
+ * Checks are semantic, not implementation-mirroring: any rewrite that
+ * provably preserves values, flags, memory behavior, and exit state
+ * passes, whichever pass performed it.  Violations use the shared
+ * Check vocabulary of lint.hh.
+ */
+
+#ifndef REPLAY_VERIFY_STATIC_PASSCHECK_HH
+#define REPLAY_VERIFY_STATIC_PASSCHECK_HH
+
+#include "opt/optimizer.hh"
+#include "verify/static/lint.hh"
+
+namespace replay::vstatic {
+
+/**
+ * Validate one pass invocation: @p before is the buffer snapshot when
+ * the pass started, @p after the buffer it produced.  @p cfg and
+ * @p alias are the optimizer's configuration and alias profile (alias
+ * may be null), consulted for the speculative-memory obligations.
+ */
+Report checkPass(opt::PassId pass, const OptBuffer &before,
+                 const OptBuffer &after, const opt::OptConfig &cfg,
+                 const opt::AliasHints *alias);
+
+/**
+ * Validate the Cleanup step: @p out must contain exactly @p before's
+ * valid slots in position order, operand indices compacted, ET exit
+ * bindings dropped and all surviving references remapped.
+ */
+Report checkFinalize(const OptBuffer &before,
+                     const opt::OptimizedFrame &out);
+
+} // namespace replay::vstatic
+
+#endif // REPLAY_VERIFY_STATIC_PASSCHECK_HH

@@ -108,8 +108,9 @@ TEST(FaultInjection, SeededFetchFlipsAllDetectedAndStateClean)
         // Every detection rolled back and quarantined the frame.
         EXPECT_EQ(stats.quarantines, stats.verifyDetections);
         // Recovery is accounted in its own cycle bin.
-        if (stats.verifyDetections > 0)
+        if (stats.verifyDetections > 0) {
             EXPECT_GT(stats.bins.get(CycleBin::VERIFY), 0u);
+        }
         // Graceful degradation, not divergence: the retired record
         // stream (and so the architectural state at the instruction
         // budget) matches the fault-free run bit for bit.

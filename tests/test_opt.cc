@@ -1260,7 +1260,7 @@ TEST_P(SinglePassProperty, IdempotentAndEquivalentOn200RandomFrames)
 INSTANTIATE_TEST_SUITE_P(
     Passes, SinglePassProperty,
     ::testing::Range(0, int(OptConfig::NUM_PASS_BITS)),
-    [](const ::testing::TestParamInfo<int> &info) {
+    [](const ::testing::TestParamInfo<int> &param_info) {
         return std::string(
-            OptConfig::passBitName(unsigned(info.param)));
+            OptConfig::passBitName(unsigned(param_info.param)));
     });

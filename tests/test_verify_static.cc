@@ -1,0 +1,945 @@
+/**
+ * @file
+ * Static frame-IR verifier tests: one positive and one negative case
+ * per lint invariant and per translation-validation obligation, the
+ * optimizer hook integration, and the fault-campaign non-vacuity
+ * property — every frame-mutating corruption kind the fault injector
+ * can produce is flagged by the static lint.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/faultinjector.hh"
+#include "opt/optimizer.hh"
+#include "verify/static/dataflow.hh"
+#include "verify/static/hook.hh"
+#include "verify/static/lint.hh"
+#include "verify/static/passcheck.hh"
+
+using namespace replay;
+using namespace replay::vstatic;
+using opt::ExitBinding;
+using opt::FrameUop;
+using opt::Operand;
+using opt::OptBuffer;
+using opt::OptConfig;
+using opt::PassId;
+using uop::Op;
+using uop::UReg;
+using x86::Cond;
+
+namespace {
+
+// ---- terse builders ----------------------------------------------------
+
+uop::Uop
+mkAluI(Op op, UReg dst, UReg a, int32_t imm, bool flags = false)
+{
+    uop::Uop u;
+    u.op = op;
+    u.dst = dst;
+    u.srcA = a;
+    u.imm = imm;
+    u.writesFlags = flags;
+    return u;
+}
+
+uop::Uop
+mkLimm(UReg dst, int32_t imm)
+{
+    uop::Uop u;
+    u.op = Op::LIMM;
+    u.dst = dst;
+    u.imm = imm;
+    return u;
+}
+
+uop::Uop
+mkMov(UReg dst, UReg src)
+{
+    uop::Uop u;
+    u.op = Op::MOV;
+    u.dst = dst;
+    u.srcA = src;
+    return u;
+}
+
+uop::Uop
+mkLoad(UReg dst, UReg base, int32_t disp)
+{
+    uop::Uop u;
+    u.op = Op::LOAD;
+    u.dst = dst;
+    u.srcA = base;
+    u.imm = disp;
+    return u;
+}
+
+uop::Uop
+mkStore(UReg base, int32_t disp, UReg value)
+{
+    uop::Uop u;
+    u.op = Op::STORE;
+    u.srcA = base;
+    u.srcB = value;
+    u.imm = disp;
+    return u;
+}
+
+uop::Uop
+mkCmpI(UReg a, int32_t imm)
+{
+    uop::Uop u;
+    u.op = Op::CMP;
+    u.srcA = a;
+    u.imm = imm;
+    u.writesFlags = true;
+    return u;
+}
+
+uop::Uop
+mkAssert(Cond cc)
+{
+    uop::Uop u;
+    u.op = Op::ASSERT;
+    u.cc = cc;
+    u.readsFlags = true;
+    return u;
+}
+
+uop::Uop
+mkValueAssert(Cond cc, UReg a, int32_t imm)
+{
+    uop::Uop u;
+    u.op = Op::ASSERT;
+    u.cc = cc;
+    u.srcA = a;
+    u.imm = imm;
+    u.valueAssert = true;
+    u.assertOp = Op::CMP;
+    return u;
+}
+
+FrameUop
+fu(uop::Uop u, Operand a = {}, Operand b = {}, Operand c = {},
+   Operand f = {})
+{
+    FrameUop x;
+    x.uop = u;
+    x.srcA = a;
+    x.srcB = b;
+    x.srcC = c;
+    x.flagsSrc = f;
+    return x;
+}
+
+/** A complete exit binding: every arch-live-out register to its
+ *  live-in value, flags to the live-in flags. */
+ExitBinding
+fullExit()
+{
+    ExitBinding e;
+    for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+        const auto reg = static_cast<UReg>(r);
+        if (reg == UReg::FLAGS) {
+            e.regs[r] = Operand::liveIn(UReg::FLAGS);
+            continue;
+        }
+        if (OptBuffer::archLiveOut(reg))
+            e.regs[r] = Operand::liveIn(reg);
+    }
+    e.flags = Operand::liveInFlags();
+    return e;
+}
+
+bool
+hasCheck(const Report &rep, Check check)
+{
+    for (const Violation &v : rep.violations)
+        if (v.check == check)
+            return true;
+    return false;
+}
+
+/** Shorthand for a buffer with one frame-boundary exit. */
+OptBuffer
+mkBuf(std::vector<FrameUop> uops, ExitBinding exit = fullExit())
+{
+    OptBuffer buf;
+    for (auto &u : uops)
+        buf.push(std::move(u));
+    buf.addExit(std::move(exit));
+    return buf;
+}
+
+class AllowAllHints : public opt::AliasHints
+{
+  public:
+    bool
+    cleanForSpeculation(uint32_t, uint8_t) const override
+    {
+        return true;
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// IR lint: one clean case, one violating case per invariant.
+// ---------------------------------------------------------------------
+
+TEST(StaticLint, WellFormedBufferIsClean)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EAX)] = Operand::prod(0);
+    const OptBuffer buf = mkBuf(
+        {fu(mkAluI(Op::ADD, UReg::EAX, UReg::EAX, 1, true),
+            Operand::liveIn(UReg::EAX))},
+        exit);
+    EXPECT_TRUE(lintBuffer(buf).ok());
+}
+
+TEST(StaticLint, ArityLimmWithSourceOperand)
+{
+    auto u = mkLimm(UReg::EAX, 5);
+    u.srcA = UReg::EBX;     // LIMM takes no sources
+    const OptBuffer buf =
+        mkBuf({fu(u, Operand::liveIn(UReg::EBX))});
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_ARITY));
+}
+
+TEST(StaticLint, ArityRenamedArchPresenceMismatch)
+{
+    // Renamed operand present, architectural field NONE.
+    auto u = mkLimm(UReg::EAX, 5);
+    const OptBuffer buf =
+        mkBuf({fu(u, Operand::liveIn(UReg::EBX))});
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_ARITY));
+}
+
+TEST(StaticLint, DefUseForwardReference)
+{
+    const OptBuffer buf = mkBuf(
+        {fu(mkMov(UReg::EAX, UReg::EBX), Operand::prod(1)),
+         fu(mkMov(UReg::EBX, UReg::ECX), Operand::liveIn(UReg::ECX))});
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_DEF_USE));
+}
+
+TEST(StaticLint, DefUseInvalidatedProducer)
+{
+    OptBuffer buf = mkBuf(
+        {fu(mkLimm(UReg::EAX, 1)),
+         fu(mkMov(UReg::EBX, UReg::EAX), Operand::prod(0))});
+    buf.at(0).valid = false;
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_DEF_USE));
+}
+
+TEST(StaticLint, FlagsReaderWithoutSource)
+{
+    auto u = mkAssert(Cond::E);     // readsFlags, but flagsSrc empty
+    const OptBuffer buf = mkBuf({fu(u)});
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_FLAGS));
+}
+
+TEST(StaticLint, FlagsSourceProducerWritesNone)
+{
+    const OptBuffer buf = mkBuf(
+        {fu(mkMov(UReg::EAX, UReg::EBX), Operand::liveIn(UReg::EBX)),
+         fu(mkAssert(Cond::E), {}, {}, {}, Operand::prodFlags(0))});
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_FLAGS));
+}
+
+TEST(StaticLint, AssertValueFormWithNonComparisonSemantics)
+{
+    auto u = mkValueAssert(Cond::NE, UReg::EAX, 0xff);
+    u.assertOp = Op::ADD;
+    const OptBuffer buf =
+        mkBuf({fu(u, Operand::liveIn(UReg::EAX))});
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_ASSERT));
+}
+
+TEST(StaticLint, ExitBindingMissing)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EAX)] = Operand::none();
+    const OptBuffer buf = mkBuf({fu(mkLimm(UReg::EAX, 1))}, exit);
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_EXIT));
+}
+
+TEST(StaticLint, ExitBindingDangles)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EAX)] = Operand::prod(0);
+    OptBuffer buf = mkBuf({fu(mkLimm(UReg::EAX, 1))}, exit);
+    buf.at(0).valid = false;
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_EXIT));
+}
+
+TEST(StaticLint, UnsafeMarkOnNonStore)
+{
+    OptBuffer buf = mkBuf({fu(mkLimm(UReg::EAX, 1))});
+    buf.at(0).unsafe = true;
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_UNSAFE));
+}
+
+TEST(StaticLint, ControlJmpiNotLast)
+{
+    uop::Uop jmpi;
+    jmpi.op = Op::JMPI;
+    jmpi.srcA = UReg::ET2;
+    const OptBuffer buf = mkBuf(
+        {fu(jmpi, Operand::liveIn(UReg::ET2)),
+         fu(mkLimm(UReg::EAX, 1))});
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_CONTROL));
+}
+
+TEST(StaticLint, MemInvalidScale)
+{
+    auto u = mkLoad(UReg::EAX, UReg::ESP, 0);
+    u.scale = 3;
+    const OptBuffer buf =
+        mkBuf({fu(u, Operand::liveIn(UReg::ESP))});
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_MEM));
+}
+
+TEST(StaticLint, RegClassIntResultIntoFpRegister)
+{
+    const OptBuffer buf = mkBuf({fu(mkLimm(UReg::F0, 1))});
+    EXPECT_TRUE(hasCheck(lintBuffer(buf), Check::LINT_REG_CLASS));
+}
+
+// ---------------------------------------------------------------------
+// Frame-level lint: body hash, unsafe list, provenance.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A deposited frame as the sequencer would build it: body from the
+ *  real optimizer, pristine hash anchored. */
+core::Frame
+depositedFrame()
+{
+    const std::vector<uop::Uop> uops = {
+        mkAluI(Op::ADD, UReg::EAX, UReg::EAX, 7)};
+    const std::vector<uint16_t> blocks(uops.size(), 0);
+    opt::Optimizer optimizer;
+    opt::OptStats stats;
+    core::Frame frame;
+    frame.body = optimizer.optimize(uops, blocks, nullptr, stats);
+    frame.pcs = {0};
+    frame.bodyHash = fault::FaultInjector::hashBody(frame.body);
+    return frame;
+}
+
+} // namespace
+
+TEST(StaticLintFrame, DepositedFrameIsClean)
+{
+    EXPECT_TRUE(lintFrame(depositedFrame()).ok());
+}
+
+TEST(StaticLintFrame, BodyHashAnchorsBitLevelCorruption)
+{
+    core::Frame frame = depositedFrame();
+    // Structurally invisible corruption: an immediate flip.
+    frame.body.uops[0].uop.imm ^= 1;
+    EXPECT_TRUE(hasCheck(lintFrame(frame), Check::LINT_BODY_HASH));
+}
+
+TEST(StaticLintFrame, UnsafeListDisagreement)
+{
+    core::Frame frame = depositedFrame();
+    frame.unsafeStores.push_back({0, 0});   // no unsafe store in body
+    EXPECT_TRUE(hasCheck(lintFrame(frame), Check::LINT_UNSAFE_LIST));
+}
+
+TEST(StaticLintFrame, ProvenanceOffPath)
+{
+    core::Frame frame = depositedFrame();
+    frame.body.uops[0].uop.x86Pc = 0x1234;  // pcs[0] == 0
+    EXPECT_TRUE(hasCheck(lintFrame(frame), Check::LINT_PROVENANCE));
+}
+
+// ---------------------------------------------------------------------
+// Non-vacuity: every frame-mutating corruption kind the fault injector
+// can produce (immediate flip, ADD<->SUB opcode flip, at both the
+// fetch and the pass-sabotage site) is flagged by the static lint.
+// ---------------------------------------------------------------------
+
+TEST(StaticLintFrame, EveryInjectorCorruptionKindIsFlagged)
+{
+    const core::Frame pristine = depositedFrame();
+    ASSERT_TRUE(lintFrame(pristine).ok());
+
+    uint64_t imm_flips = 0, op_flips = 0;
+    for (uint64_t seed = 1; seed <= 64; ++seed) {
+        for (const bool fetch_site : {true, false}) {
+            core::Frame frame = pristine;
+            fault::FaultConfig cfg;
+            cfg.seed = seed;
+            cfg.fetchFlipRate = fetch_site ? 1.0 : 0.0;
+            cfg.passSabotageRate = fetch_site ? 0.0 : 1.0;
+            fault::FaultInjector injector(cfg);
+            const bool hit =
+                fetch_site ? injector.maybeFlipOnFetch(frame.body)
+                           : injector.maybeSabotagePass(frame.body);
+            ASSERT_TRUE(hit);
+            const char *prefix = fetch_site ? "fetch" : "pass";
+            imm_flips += injector.stats()
+                             .counter(std::string(prefix) + "_imm_flips")
+                             .value();
+            op_flips += injector.stats()
+                            .counter(std::string(prefix) + "_op_flips")
+                            .value();
+            EXPECT_TRUE(hasCheck(lintFrame(frame),
+                                 Check::LINT_BODY_HASH))
+                << "seed " << seed << " site " << prefix;
+        }
+    }
+    // Both corruption kinds must actually have been exercised.
+    EXPECT_GT(imm_flips, 0u);
+    EXPECT_GT(op_flips, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Per-pass translation validation.
+// ---------------------------------------------------------------------
+
+namespace {
+
+const OptConfig kAllOn = OptConfig::allOn();
+
+Report
+runCheck(PassId pass, const OptBuffer &before, const OptBuffer &after,
+         const OptConfig &cfg = kAllOn,
+         const opt::AliasHints *alias = nullptr)
+{
+    return checkPass(pass, before, after, cfg, alias);
+}
+
+} // namespace
+
+TEST(PassCheck, IdentityIsClean)
+{
+    const OptBuffer buf = mkBuf({fu(mkLimm(UReg::EAX, 1))});
+    EXPECT_TRUE(runCheck(PassId::CP, buf, buf).ok());
+}
+
+TEST(PassCheck, NopRemovalAccepted)
+{
+    uop::Uop nop;
+    nop.op = Op::NOP;
+    const OptBuffer before = mkBuf({fu(nop), fu(mkLimm(UReg::EAX, 1))});
+    OptBuffer after = before;
+    after.at(0).valid = false;
+    EXPECT_TRUE(runCheck(PassId::NOP, before, after).ok());
+}
+
+TEST(PassCheck, NopRemovalOfRealOpFlagged)
+{
+    const OptBuffer before = mkBuf({fu(mkLimm(UReg::EAX, 1))});
+    OptBuffer after = before;
+    after.at(0).valid = false;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::NOP, before, after),
+                         Check::PASS_NOP_ONLY));
+}
+
+TEST(PassCheck, MetadataMutationFlagged)
+{
+    const OptBuffer before = mkBuf({fu(mkLimm(UReg::EAX, 1))});
+    OptBuffer after = before;
+    after.at(0).uop.instIdx = 3;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::CP, before, after),
+                         Check::PASS_STRUCTURE));
+}
+
+TEST(PassCheck, ResurrectedSlotFlagged)
+{
+    OptBuffer before = mkBuf({fu(mkLimm(UReg::EAX, 1))});
+    OptBuffer after = before;
+    before.at(0).valid = false;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::CP, before, after),
+                         Check::PASS_STRUCTURE));
+}
+
+TEST(PassCheck, AssertFusionAccepted)
+{
+    const OptBuffer before = mkBuf(
+        {fu(mkCmpI(UReg::EAX, 5), Operand::liveIn(UReg::EAX)),
+         fu(mkAssert(Cond::E), {}, {}, {}, Operand::prodFlags(0))});
+    OptBuffer after = before;
+    after.at(1) =
+        fu(mkValueAssert(Cond::E, UReg::EAX, 5),
+           Operand::liveIn(UReg::EAX));
+    after.at(1).position = before.at(1).position;
+    EXPECT_TRUE(runCheck(PassId::ASST, before, after).ok());
+}
+
+TEST(PassCheck, AssertFusionWrongConditionFlagged)
+{
+    const OptBuffer before = mkBuf(
+        {fu(mkCmpI(UReg::EAX, 5), Operand::liveIn(UReg::EAX)),
+         fu(mkAssert(Cond::E), {}, {}, {}, Operand::prodFlags(0))});
+    OptBuffer after = before;
+    after.at(1) =
+        fu(mkValueAssert(Cond::NE, UReg::EAX, 5),
+           Operand::liveIn(UReg::EAX));
+    after.at(1).position = before.at(1).position;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::ASST, before, after),
+                         Check::PASS_ASST_FUSE));
+}
+
+TEST(PassCheck, ConstFoldAccepted)
+{
+    // MOV of a LIMM collapses to the constant itself.
+    const OptBuffer before = mkBuf(
+        {fu(mkLimm(UReg::EAX, 7)),
+         fu(mkMov(UReg::EBX, UReg::EAX), Operand::prod(0))});
+    OptBuffer after = before;
+    after.at(1) = fu(mkLimm(UReg::EBX, 7));
+    after.at(1).position = before.at(1).position;
+    EXPECT_TRUE(runCheck(PassId::CP, before, after).ok());
+}
+
+TEST(PassCheck, ConstFoldWrongValueFlagged)
+{
+    const OptBuffer before = mkBuf(
+        {fu(mkLimm(UReg::EAX, 7)),
+         fu(mkMov(UReg::EBX, UReg::EAX), Operand::prod(0))});
+    OptBuffer after = before;
+    after.at(1) = fu(mkLimm(UReg::EBX, 8));
+    after.at(1).position = before.at(1).position;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::CP, before, after),
+                         Check::PASS_CP_LATTICE));
+}
+
+TEST(PassCheck, ProvablyTrueAssertRemovalAccepted)
+{
+    const OptBuffer before = mkBuf(
+        {fu(mkLimm(UReg::EAX, 5)),
+         fu(mkValueAssert(Cond::NE, UReg::EAX, 0xff),
+            Operand::prod(0))});
+    OptBuffer after = before;
+    after.at(1).valid = false;
+    EXPECT_TRUE(runCheck(PassId::CP, before, after).ok());
+}
+
+TEST(PassCheck, UnprovenAssertRemovalFlagged)
+{
+    const OptBuffer before = mkBuf(
+        {fu(mkValueAssert(Cond::NE, UReg::EAX, 0xff),
+            Operand::liveIn(UReg::EAX))});
+    OptBuffer after = before;
+    after.at(0).valid = false;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::CP, before, after),
+                         Check::PASS_CP_ASSERT));
+}
+
+TEST(PassCheck, ReassocDroppingObservedFlagsFlagged)
+{
+    auto exit = fullExit();
+    exit.flags = Operand::prodFlags(0);
+    const OptBuffer before = mkBuf(
+        {fu(mkAluI(Op::ADD, UReg::EAX, UReg::EAX, 1, true),
+            Operand::liveIn(UReg::EAX))},
+        exit);
+    OptBuffer after = before;
+    after.at(0).uop.writesFlags = false;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::RA, before, after),
+                         Check::PASS_RA_FLAGS));
+}
+
+TEST(PassCheck, CseLoadRemovalAccepted)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EBX)] = Operand::prod(1);
+    const OptBuffer before = mkBuf(
+        {fu(mkLoad(UReg::EAX, UReg::ESP, 0),
+            Operand::liveIn(UReg::ESP)),
+         fu(mkLoad(UReg::EBX, UReg::ESP, 0),
+            Operand::liveIn(UReg::ESP))},
+        exit);
+    OptBuffer after = before;
+    after.at(1).valid = false;
+    after.finalExit().regs[unsigned(UReg::EBX)] = Operand::prod(0);
+    EXPECT_TRUE(runCheck(PassId::CSE, before, after).ok());
+}
+
+TEST(PassCheck, CseAcrossMayAliasStoreFlagged)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EDX)] = Operand::prod(2);
+    const OptBuffer before = mkBuf(
+        {fu(mkLoad(UReg::EAX, UReg::ESP, 0),
+            Operand::liveIn(UReg::ESP)),
+         fu(mkStore(UReg::EBX, 0, UReg::ECX),
+            Operand::liveIn(UReg::EBX), Operand::liveIn(UReg::ECX)),
+         fu(mkLoad(UReg::EDX, UReg::ESP, 0),
+            Operand::liveIn(UReg::ESP))},
+        exit);
+    OptBuffer after = before;
+    after.at(2).valid = false;
+    after.finalExit().regs[unsigned(UReg::EDX)] = Operand::prod(0);
+    OptConfig cfg = OptConfig::allOn();
+    cfg.speculativeMem = false;     // speculation not permitted
+    EXPECT_TRUE(hasCheck(runCheck(PassId::CSE, before, after, cfg),
+                         Check::PASS_CSE_AVAIL));
+}
+
+TEST(PassCheck, StoreForwardAccepted)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EAX)] = Operand::prod(1);
+    const OptBuffer before = mkBuf(
+        {fu(mkStore(UReg::ESP, -4, UReg::ESI),
+            Operand::liveIn(UReg::ESP), Operand::liveIn(UReg::ESI)),
+         fu(mkLoad(UReg::EAX, UReg::ESP, -4),
+            Operand::liveIn(UReg::ESP))},
+        exit);
+    OptBuffer after = before;
+    after.at(1).valid = false;
+    after.finalExit().regs[unsigned(UReg::EAX)] =
+        Operand::liveIn(UReg::ESI);
+    EXPECT_TRUE(runCheck(PassId::SF, before, after).ok());
+}
+
+TEST(PassCheck, StoreForwardAcrossUnmarkedAliasFlagged)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EAX)] = Operand::prod(2);
+    const OptBuffer before = mkBuf(
+        {fu(mkStore(UReg::ESP, -4, UReg::ESI),
+            Operand::liveIn(UReg::ESP), Operand::liveIn(UReg::ESI)),
+         fu(mkStore(UReg::EBX, 0, UReg::ECX),
+            Operand::liveIn(UReg::EBX), Operand::liveIn(UReg::ECX)),
+         fu(mkLoad(UReg::EAX, UReg::ESP, -4),
+            Operand::liveIn(UReg::ESP))},
+        exit);
+    OptBuffer after = before;
+    after.at(2).valid = false;
+    after.finalExit().regs[unsigned(UReg::EAX)] =
+        Operand::liveIn(UReg::ESI);
+    // The may-alias store at slot 1 is NOT marked unsafe.
+    EXPECT_TRUE(hasCheck(runCheck(PassId::SF, before, after),
+                         Check::PASS_SF_ALIAS));
+}
+
+TEST(PassCheck, StoreForwardWithUnsafeMarkingAccepted)
+{
+    AllowAllHints hints;
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EAX)] = Operand::prod(2);
+    const OptBuffer before = mkBuf(
+        {fu(mkStore(UReg::ESP, -4, UReg::ESI),
+            Operand::liveIn(UReg::ESP), Operand::liveIn(UReg::ESI)),
+         fu(mkStore(UReg::EBX, 0, UReg::ECX),
+            Operand::liveIn(UReg::EBX), Operand::liveIn(UReg::ECX)),
+         fu(mkLoad(UReg::EAX, UReg::ESP, -4),
+            Operand::liveIn(UReg::ESP))},
+        exit);
+    OptBuffer after = before;
+    after.at(1).unsafe = true;      // speculation obligation met
+    after.at(2).valid = false;
+    after.finalExit().regs[unsigned(UReg::EAX)] =
+        Operand::liveIn(UReg::ESI);
+    EXPECT_TRUE(
+        runCheck(PassId::SF, before, after, kAllOn, &hints).ok());
+}
+
+TEST(PassCheck, IllegalUnsafeTransitionsFlagged)
+{
+    const OptBuffer base = mkBuf(
+        {fu(mkStore(UReg::ESP, -4, UReg::ESI),
+            Operand::liveIn(UReg::ESP), Operand::liveIn(UReg::ESI))});
+
+    // unsafe -> safe never happens.
+    OptBuffer before = base;
+    before.at(0).unsafe = true;
+    OptBuffer after = base;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::SF, before, after),
+                         Check::PASS_UNSAFE_RULE));
+
+    // safe -> unsafe needs an alias profile vouching for the site.
+    after = base;
+    after.at(0).unsafe = true;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::SF, base, after),
+                         Check::PASS_UNSAFE_RULE));
+}
+
+TEST(PassCheck, DceDeadRemovalAccepted)
+{
+    const OptBuffer before = mkBuf({fu(mkLimm(UReg::EAX, 1))});
+    OptBuffer after = before;
+    after.at(0).valid = false;
+    EXPECT_TRUE(runCheck(PassId::DCE, before, after).ok());
+}
+
+TEST(PassCheck, DceLiveRemovalFlagged)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EAX)] = Operand::prod(0);
+    const OptBuffer before =
+        mkBuf({fu(mkLimm(UReg::EAX, 1))}, exit);
+    OptBuffer after = before;
+    after.at(0).valid = false;      // exit still binds prod(0)
+    EXPECT_TRUE(hasCheck(runCheck(PassId::DCE, before, after),
+                         Check::PASS_DCE_LIVE));
+}
+
+TEST(PassCheck, DceRemovingStoreFlagged)
+{
+    const OptBuffer before = mkBuf(
+        {fu(mkStore(UReg::ESP, -4, UReg::ESI),
+            Operand::liveIn(UReg::ESP), Operand::liveIn(UReg::ESI))});
+    OptBuffer after = before;
+    after.at(0).valid = false;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::DCE, before, after),
+                         Check::PASS_STRUCTURE));
+}
+
+TEST(PassCheck, ValueMutationFlagged)
+{
+    const OptBuffer before = mkBuf(
+        {fu(mkAluI(Op::ADD, UReg::EAX, UReg::EAX, 1),
+            Operand::liveIn(UReg::EAX))});
+    OptBuffer after = before;
+    after.at(0).uop.imm = 2;
+    EXPECT_TRUE(hasCheck(runCheck(PassId::RA, before, after),
+                         Check::PASS_VALUE));
+}
+
+// ---------------------------------------------------------------------
+// Finalize (cleanup) validation.
+// ---------------------------------------------------------------------
+
+TEST(PassCheck, FinalizeCompactionAccepted)
+{
+    // The real optimizer's finalize must satisfy its own validator.
+    const std::vector<uop::Uop> uops = {
+        mkAluI(Op::ADD, UReg::EAX, UReg::EAX, 7),
+        mkMov(UReg::EBX, UReg::EAX)};
+    const std::vector<uint16_t> blocks(uops.size(), 0);
+    opt::Optimizer optimizer;
+    opt::OptStats stats;
+    const auto body = optimizer.optimize(uops, blocks, nullptr, stats);
+    EXPECT_TRUE(lintBody(body).ok());
+}
+
+TEST(PassCheck, FinalizeMisdirectedOperandFlagged)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EBX)] = Operand::prod(2);
+    OptBuffer before = mkBuf(
+        {fu(mkLimm(UReg::EAX, 1)),
+         fu(mkLimm(UReg::ECX, 2)),
+         fu(mkMov(UReg::EBX, UReg::EAX), Operand::prod(0))},
+        exit);
+    before.at(1).valid = false;     // dropped by compaction
+
+    opt::OptimizedFrame out;
+    out.uops.push_back(before.at(0));
+    FrameUop mov = before.at(2);
+    mov.srcA = Operand::prod(1);    // should compact 2 -> 1... of slot 0
+    out.uops.push_back(mov);
+    out.exit = exit;
+    for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+        if (!OptBuffer::archLiveOut(static_cast<UReg>(r)))
+            out.exit.regs[r] = Operand::none();
+    }
+    out.exit.regs[unsigned(UReg::EBX)] = Operand::prod(1);
+
+    // The operand now points at the MOV itself, not the LIMM.
+    Report rep = checkFinalize(before, out);
+    // Correct mapping would be prod(0) for the MOV's source.
+    EXPECT_FALSE(rep.ok());
+}
+
+// ---------------------------------------------------------------------
+// Lattice-backed acceptances: rewrites only the constant lattice can
+// justify (linear forms cannot express AND/OR chains).  Each is a
+// false-positive class observed on real fuzz programs.
+// ---------------------------------------------------------------------
+
+TEST(PassCheck, CpAddressFoldToAbsoluteAccepted)
+{
+    // [ESI + idx] with ESI = 0x1000 and idx = AND(0, 0xffc) = 0 folds
+    // to the absolute [0x1000]; the index chain has no linear form, so
+    // only the lattice proves the two addresses equal.
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EDX)] = Operand::prod(3);
+    auto ld = mkLoad(UReg::EDX, UReg::ESI, 0);
+    ld.srcB = UReg::EBX;
+    const OptBuffer before = mkBuf(
+        {fu(mkLimm(UReg::ESI, 0x1000)),
+         fu(mkLimm(UReg::ECX, 0)),
+         fu(mkAluI(Op::AND, UReg::EBX, UReg::ECX, 0xffc),
+            Operand::prod(1)),
+         fu(ld, Operand::prod(0), Operand::prod(2))},
+        exit);
+    OptBuffer after = before;
+    after.at(3) = fu(mkLoad(UReg::EDX, UReg::NONE, 0x1000));
+    after.at(3).position = before.at(3).position;
+    EXPECT_TRUE(runCheck(PassId::CP, before, after).ok());
+}
+
+TEST(PassCheck, CpAddressFoldToWrongAbsoluteFlagged)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EDX)] = Operand::prod(3);
+    auto ld = mkLoad(UReg::EDX, UReg::ESI, 0);
+    ld.srcB = UReg::EBX;
+    const OptBuffer before = mkBuf(
+        {fu(mkLimm(UReg::ESI, 0x1000)),
+         fu(mkLimm(UReg::ECX, 0)),
+         fu(mkAluI(Op::AND, UReg::EBX, UReg::ECX, 0xffc),
+            Operand::prod(1)),
+         fu(ld, Operand::prod(0), Operand::prod(2))},
+        exit);
+    OptBuffer after = before;
+    after.at(3) = fu(mkLoad(UReg::EDX, UReg::NONE, 0x1004));
+    after.at(3).position = before.at(3).position;
+    EXPECT_FALSE(runCheck(PassId::CP, before, after).ok());
+}
+
+TEST(PassCheck, IdentityCollapseToCopyAccepted)
+{
+    // OR of a lattice-proven zero with a live-in collapses to a plain
+    // copy of the live-in (the zero flows through an AND, so neither
+    // structural match nor linear forms can discharge it).
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EBX)] = Operand::prod(2);
+    uop::Uop orU;
+    orU.op = Op::OR;
+    orU.dst = UReg::EBX;
+    orU.srcA = UReg::EDX;
+    orU.srcB = UReg::EAX;
+    orU.writesFlags = true;
+    const OptBuffer before = mkBuf(
+        {fu(mkLimm(UReg::ECX, 5)),
+         fu(mkAluI(Op::AND, UReg::EDX, UReg::ECX, 0), Operand::prod(0)),
+         fu(orU, Operand::prod(1), Operand::liveIn(UReg::EAX))},
+        exit);
+    OptBuffer after = before;
+    after.at(2) = fu(mkMov(UReg::EBX, UReg::EAX),
+                     Operand::liveIn(UReg::EAX));
+    after.at(2).position = before.at(2).position;
+    EXPECT_TRUE(runCheck(PassId::CP, before, after).ok());
+}
+
+TEST(PassCheck, IdentityCollapseToWrongOperandFlagged)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EBX)] = Operand::prod(2);
+    uop::Uop orU;
+    orU.op = Op::OR;
+    orU.dst = UReg::EBX;
+    orU.srcA = UReg::EDX;
+    orU.srcB = UReg::EAX;
+    orU.writesFlags = true;
+    const OptBuffer before = mkBuf(
+        {fu(mkLimm(UReg::ECX, 5)),
+         fu(mkAluI(Op::AND, UReg::EDX, UReg::ECX, 0), Operand::prod(0)),
+         fu(orU, Operand::prod(1), Operand::liveIn(UReg::EAX))},
+        exit);
+    OptBuffer after = before;
+    // Copies the zero side instead of the surviving value.
+    after.at(2) = fu(mkMov(UReg::EBX, UReg::EDX), Operand::prod(1));
+    after.at(2).position = before.at(2).position;
+    EXPECT_FALSE(runCheck(PassId::CP, before, after).ok());
+}
+
+TEST(PassCheck, CseAcrossCongruentDisjointStoreAccepted)
+{
+    // The intervening store indexes with a *congruent* (textually
+    // different) copy of the load's index chain; disjoint literal
+    // displacements then prove no clobber, as the pass itself saw
+    // after its same-sweep redirects.
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EDX)] = Operand::prod(4);
+    auto ld1 = mkLoad(UReg::EAX, UReg::ESI, 0);
+    ld1.srcB = UReg::EBX;
+    auto ld2 = mkLoad(UReg::EDX, UReg::ESI, 0);
+    ld2.srcB = UReg::EBX;
+    uop::Uop st;
+    st.op = Op::STORE;
+    st.srcA = UReg::ESI;
+    st.srcB = UReg::EDI;
+    st.srcC = UReg::EDX;
+    st.imm = 0x10;
+    const OptBuffer before = mkBuf(
+        {fu(mkAluI(Op::AND, UReg::EBX, UReg::ECX, 0xffc),
+            Operand::liveIn(UReg::ECX)),
+         fu(ld1, Operand::liveIn(UReg::ESI), Operand::prod(0)),
+         fu(mkAluI(Op::AND, UReg::EDX, UReg::ECX, 0xffc),
+            Operand::liveIn(UReg::ECX)),
+         fu(st, Operand::liveIn(UReg::ESI),
+            Operand::liveIn(UReg::EDI), Operand::prod(2)),
+         fu(ld2, Operand::liveIn(UReg::ESI), Operand::prod(0))},
+        exit);
+    OptBuffer after = before;
+    after.at(4).valid = false;
+    after.finalExit().regs[unsigned(UReg::EDX)] = Operand::prod(1);
+    EXPECT_TRUE(runCheck(PassId::CSE, before, after).ok());
+}
+
+TEST(PassCheck, CseAcrossCongruentOverlappingStoreFlagged)
+{
+    auto exit = fullExit();
+    exit.regs[unsigned(UReg::EDX)] = Operand::prod(4);
+    auto ld1 = mkLoad(UReg::EAX, UReg::ESI, 0);
+    ld1.srcB = UReg::EBX;
+    auto ld2 = mkLoad(UReg::EDX, UReg::ESI, 0);
+    ld2.srcB = UReg::EBX;
+    uop::Uop st;
+    st.op = Op::STORE;
+    st.srcA = UReg::ESI;
+    st.srcB = UReg::EDI;
+    st.srcC = UReg::EDX;
+    st.imm = 0x2;       // overlaps [0,4) — a real clobber hazard
+    const OptBuffer before = mkBuf(
+        {fu(mkAluI(Op::AND, UReg::EBX, UReg::ECX, 0xffc),
+            Operand::liveIn(UReg::ECX)),
+         fu(ld1, Operand::liveIn(UReg::ESI), Operand::prod(0)),
+         fu(mkAluI(Op::AND, UReg::EDX, UReg::ECX, 0xffc),
+            Operand::liveIn(UReg::ECX)),
+         fu(st, Operand::liveIn(UReg::ESI),
+            Operand::liveIn(UReg::EDI), Operand::prod(2)),
+         fu(ld2, Operand::liveIn(UReg::ESI), Operand::prod(0))},
+        exit);
+    OptBuffer after = before;
+    after.at(4).valid = false;
+    after.finalExit().regs[unsigned(UReg::EDX)] = Operand::prod(1);
+    EXPECT_TRUE(hasCheck(runCheck(PassId::CSE, before, after),
+                         Check::PASS_CSE_AVAIL));
+}
+
+// ---------------------------------------------------------------------
+// Optimizer hook integration.
+// ---------------------------------------------------------------------
+
+TEST(StaticHook, CountingCheckerValidatesRealOptimizer)
+{
+    staticCheckStats().reset();
+    installStaticChecker(Action::COUNT);
+    ASSERT_TRUE(staticCheckerInstalled());
+
+    const std::vector<uop::Uop> uops = {
+        mkStore(UReg::ESP, -4, UReg::ESI),
+        mkCmpI(UReg::EAX, 5),
+        mkAssert(Cond::NE),
+        mkLoad(UReg::EBX, UReg::ESP, -4),
+        mkAluI(Op::ADD, UReg::EBX, UReg::EBX, 3, true)};
+    const std::vector<uint16_t> blocks(uops.size(), 0);
+    opt::Optimizer optimizer;
+    opt::OptStats stats;
+    const auto body = optimizer.optimize(uops, blocks, nullptr, stats);
+    (void)body;
+
+    const auto &s = staticCheckStats();
+    EXPECT_EQ(s.framesChecked.load(), 1u);
+    EXPECT_GT(s.passesChecked.load(), 0u);
+    EXPECT_EQ(s.violations(), 0u);
+
+    uninstallStaticChecker();
+    EXPECT_FALSE(staticCheckerInstalled());
+}

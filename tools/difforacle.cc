@@ -146,11 +146,14 @@ main(int argc, char **argv)
 
     uint64_t diverging = 0;
     uint64_t frames = 0, insts = 0;
+    uint64_t static_checked = 0, static_violations = 0;
     for (uint64_t seed = opt.seedBegin; seed < opt.seedEnd; ++seed) {
         const auto spec = fuzz::ProgramSpec::random(seed);
         const auto report = fuzz::runOracle(spec, cfg);
         frames += report.framesCommitted;
         insts += report.retired;
+        static_checked += report.framesStaticChecked;
+        static_violations += report.staticViolations;
         if (!report.diverged()) {
             if (!opt.quiet && (seed + 1) % 500 == 0)
                 std::printf("... %llu seeds, %llu frames committed\n",
@@ -182,9 +185,12 @@ main(int argc, char **argv)
     }
 
     std::printf("%llu seeds, %llu diverging; %llu insts, %llu frames "
-                "committed\n",
+                "committed; %llu frames static-checked, %llu lint "
+                "violations\n",
                 (unsigned long long)(opt.seedEnd - opt.seedBegin),
                 (unsigned long long)diverging,
-                (unsigned long long)insts, (unsigned long long)frames);
+                (unsigned long long)insts, (unsigned long long)frames,
+                (unsigned long long)static_checked,
+                (unsigned long long)static_violations);
     return diverging > 99 ? 99 : int(diverging);
 }

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * framelint — static verification sweep over the paper workloads.
+ *
+ * Replays every hot-spot trace of the selected workloads through the
+ * headless frame machine with the static verifier attached in counting
+ * mode: every optimizer pass invocation is translation-validated
+ * against its snapshot (passcheck.hh), every intermediate buffer and
+ * every deposited frame is linted (lint.hh).  A clean engine reports
+ * zero violations; any nonzero count pins an optimizer bug to a pass
+ * and an invariant.
+ *
+ * Usage:
+ *   framelint [--insts N] [--json] [--list] [--panic] [workload ...]
+ *
+ * --panic aborts on the first finding with full before/after buffer
+ * dumps — the debugging mode for pinning a violation to a frame.
+ *
+ * Workloads default to all 14 applications of Table 1.  The exit
+ * status is the total violation count (capped at 125), so a clean
+ * sweep exits 0.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/sequencer.hh"
+#include "sim/headless.hh"
+#include "sim/sweep.hh"
+#include "trace/workload.hh"
+#include "util/table.hh"
+#include "verify/static/hook.hh"
+#include "verify/static/lint.hh"
+
+using namespace replay;
+
+namespace {
+
+struct WorkloadResult
+{
+    const trace::Workload *workload = nullptr;
+    uint64_t retired = 0;
+    uint64_t frameCommits = 0;
+    uint64_t framesLinted = 0;
+    uint64_t frameLintViolations = 0;
+    uint64_t passViolations = 0;    ///< optimizer-hook findings
+    std::vector<std::string> samples;   ///< first few findings
+};
+
+WorkloadResult
+runWorkload(const trace::Workload &workload, uint64_t insts)
+{
+    WorkloadResult res;
+    res.workload = &workload;
+    const auto &stats = vstatic::staticCheckStats();
+    const uint64_t pass_before = stats.violations();
+
+    for (unsigned t = 0; t < workload.numTraces; ++t) {
+        const x86::Program prog = workload.buildProgram(t);
+        sim::FrameMachine fm(prog, core::EngineConfig{}, insts);
+        std::unordered_set<uint64_t> linted;
+        for (;;) {
+            const sim::MachineStep step = fm.step();
+            if (step.kind == sim::MachineStep::Kind::DONE)
+                break;
+            if (step.kind != sim::MachineStep::Kind::FRAME)
+                continue;
+            // Frame bodies are immutable after deposit: lint each
+            // frame once, however often the cache re-fetches it.
+            if (!linted.insert(step.frame->id).second)
+                continue;
+            ++res.framesLinted;
+            const vstatic::Report lint =
+                vstatic::lintFrame(*step.frame);
+            if (!lint.ok()) {
+                res.frameLintViolations += lint.violations.size();
+                if (res.samples.size() < 3) {
+                    res.samples.push_back("frame " +
+                                          std::to_string(step.frame->id) +
+                                          ": " + lint.summary(3));
+                }
+            }
+        }
+        res.retired += fm.retired();
+        res.frameCommits += fm.framesCommitted();
+    }
+    res.passViolations = stats.violations() - pass_before;
+    return res;
+}
+
+/** Minimal JSON string escaping (labels are plain ASCII). */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+void
+emitJson(const std::vector<WorkloadResult> &rows, uint64_t insts,
+         uint64_t total)
+{
+    const auto &stats = vstatic::staticCheckStats();
+    std::printf("{\n  \"insts_per_trace\": %llu,\n",
+                (unsigned long long)insts);
+    std::printf("  \"workloads\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const WorkloadResult &r = rows[i];
+        std::printf("    {\"workload\": %s, \"x86_retired\": %llu, "
+                    "\"frame_commits\": %llu, \"frames_linted\": %llu, "
+                    "\"frame_lint_violations\": %llu, "
+                    "\"pass_violations\": %llu}%s\n",
+                    jsonStr(r.workload->name).c_str(),
+                    (unsigned long long)r.retired,
+                    (unsigned long long)r.frameCommits,
+                    (unsigned long long)r.framesLinted,
+                    (unsigned long long)r.frameLintViolations,
+                    (unsigned long long)r.passViolations,
+                    i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"static_check\": {\n");
+    std::printf("    \"frames_checked\": %llu,\n",
+                (unsigned long long)stats.framesChecked.load());
+    std::printf("    \"passes_checked\": %llu,\n",
+                (unsigned long long)stats.passesChecked.load());
+    std::printf("    \"lint_violations\": %llu,\n",
+                (unsigned long long)stats.lintViolations.load());
+    std::printf("    \"pass_violations\": %llu,\n",
+                (unsigned long long)stats.passViolations.load());
+    std::printf("    \"by_pass\": {");
+    for (unsigned p = 0; p < opt::NUM_PASS_IDS; ++p) {
+        std::printf("%s\"%s\": %llu", p ? ", " : "",
+                    opt::passIdName(static_cast<opt::PassId>(p)),
+                    (unsigned long long)stats.byPass[p].load());
+    }
+    std::printf("},\n    \"by_check\": {");
+    bool first = true;
+    for (unsigned c = 0; c < vstatic::NUM_CHECKS; ++c) {
+        const uint64_t n = stats.byCheck[c].load();
+        if (!n)
+            continue;
+        std::printf("%s\"%s\": %llu", first ? "" : ", ",
+                    vstatic::checkName(static_cast<vstatic::Check>(c)),
+                    (unsigned long long)n);
+        first = false;
+    }
+    std::printf("}\n  },\n");
+    std::printf("  \"violations_total\": %llu\n}\n",
+                (unsigned long long)total);
+}
+
+void
+emitText(const std::vector<WorkloadResult> &rows, uint64_t total)
+{
+    const auto &stats = vstatic::staticCheckStats();
+    TextTable table;
+    table.header({"app", "x86 retired", "frame commits", "frames linted",
+                  "lint viol", "pass viol"});
+    for (const WorkloadResult &r : rows) {
+        table.row({r.workload->name, std::to_string(r.retired),
+                   std::to_string(r.frameCommits),
+                   std::to_string(r.framesLinted),
+                   std::to_string(r.frameLintViolations),
+                   std::to_string(r.passViolations)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    for (const WorkloadResult &r : rows) {
+        for (const std::string &s : r.samples)
+            std::printf("%s: %s\n", r.workload->name.c_str(), s.c_str());
+    }
+    std::printf("static check: %llu frames, %llu pass invocations; ",
+                (unsigned long long)stats.framesChecked.load(),
+                (unsigned long long)stats.passesChecked.load());
+    std::printf("per-pass violations:");
+    for (unsigned p = 0; p < opt::NUM_PASS_IDS; ++p) {
+        std::printf(" %s=%llu",
+                    opt::passIdName(static_cast<opt::PassId>(p)),
+                    (unsigned long long)stats.byPass[p].load());
+    }
+    std::printf("\ntotal violations: %llu%s\n", (unsigned long long)total,
+                total ? "" : " (lint-clean)");
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--insts N] [--json] [--list] [--panic] "
+                 "[workload ...]\n"
+                 "workloads default to all 14 Table 1 applications\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t insts = 0;
+    bool json = false;
+    bool list = false;
+    bool panic_mode = false;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--insts") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            insts = sim::parseCount(argv[i], "--insts");
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--panic") {
+            panic_mode = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    if (list) {
+        for (const auto &w : trace::standardWorkloads())
+            std::printf("%s\n", w.name.c_str());
+        return 0;
+    }
+
+    std::vector<const trace::Workload *> selected;
+    if (names.empty()) {
+        for (const auto &w : trace::standardWorkloads())
+            selected.push_back(&w);
+    } else {
+        for (const auto &name : names)
+            selected.push_back(&trace::findWorkload(name));
+    }
+    if (!insts)
+        insts = sim::defaultInstsPerTrace();
+
+    // Counting mode: report totals instead of aborting on the first
+    // finding.  Forcing the env policy off keeps the FrameMachine's
+    // debug-build auto-enable from re-arming panic mode.
+    setenv("REPLAY_STATIC_CHECK", "0", 1);
+    vstatic::installStaticChecker(panic_mode ? vstatic::Action::PANIC
+                                             : vstatic::Action::COUNT);
+
+    if (!json) {
+        std::printf("framelint: %llu x86 insts per hot-spot trace, "
+                    "%zu workload(s)\n\n",
+                    (unsigned long long)insts, selected.size());
+    }
+
+    std::vector<WorkloadResult> rows;
+    for (const trace::Workload *w : selected)
+        rows.push_back(runWorkload(*w, insts));
+
+    uint64_t total = vstatic::staticCheckStats().violations();
+    for (const WorkloadResult &r : rows)
+        total += r.frameLintViolations;
+
+    if (json)
+        emitJson(rows, insts, total);
+    else
+        emitText(rows, total);
+
+    return int(total > 125 ? 125 : total);
+}

@@ -15,12 +15,18 @@
  *   ./replaybench --jobs 8 fig6 | grep digest     # identical
  *
  * Usage:
- *   replaybench [--jobs N] [--insts N] [--json] [--list] [target ...]
+ *   replaybench [--jobs N] [--insts N] [--json] [--list]
+ *               [--static-check] [target ...]
  *
  * Targets: fig6 fig7_8 fig9 fig10 table3 coverage (default: all).
+ *
+ * --static-check attaches the static verifier (src/verify/static) to
+ * every optimizer invocation in counting mode and appends its
+ * violation totals to the output.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -29,6 +35,7 @@
 #include "trace/workload.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "verify/static/hook.hh"
 
 using namespace replay;
 using sim::Machine;
@@ -185,12 +192,52 @@ emitJson(const Target &target, const sim::SweepResult &result,
     std::printf("      ]\n    }");
 }
 
+/** The static verifier's counters, as one JSON object body. */
+void
+emitStaticJson()
+{
+    const auto &stats = vstatic::staticCheckStats();
+    std::printf("  \"static_check\": {\n");
+    std::printf("    \"frames_checked\": %llu,\n",
+                (unsigned long long)stats.framesChecked.load());
+    std::printf("    \"passes_checked\": %llu,\n",
+                (unsigned long long)stats.passesChecked.load());
+    std::printf("    \"lint_violations\": %llu,\n",
+                (unsigned long long)stats.lintViolations.load());
+    std::printf("    \"pass_violations\": %llu,\n",
+                (unsigned long long)stats.passViolations.load());
+    std::printf("    \"by_pass\": {");
+    for (unsigned p = 0; p < opt::NUM_PASS_IDS; ++p) {
+        std::printf("%s\"%s\": %llu", p ? ", " : "",
+                    opt::passIdName(static_cast<opt::PassId>(p)),
+                    (unsigned long long)stats.byPass[p].load());
+    }
+    std::printf("}\n  },\n");
+}
+
+void
+emitStaticText()
+{
+    const auto &stats = vstatic::staticCheckStats();
+    std::printf("static check: %llu frames, %llu pass invocations, "
+                "%llu violations (",
+                (unsigned long long)stats.framesChecked.load(),
+                (unsigned long long)stats.passesChecked.load(),
+                (unsigned long long)stats.violations());
+    for (unsigned p = 0; p < opt::NUM_PASS_IDS; ++p) {
+        std::printf("%s%s=%llu", p ? " " : "",
+                    opt::passIdName(static_cast<opt::PassId>(p)),
+                    (unsigned long long)stats.byPass[p].load());
+    }
+    std::printf(")\n");
+}
+
 int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--insts N] [--json] [--list] "
-                 "[target ...]\n"
+                 "[--static-check] [target ...]\n"
                  "targets: fig6 fig7_8 fig9 fig10 table3 coverage "
                  "(default: all)\n",
                  argv0);
@@ -205,6 +252,7 @@ main(int argc, char **argv)
     sim::SweepOptions opts;
     bool json = false;
     bool list = false;
+    bool static_check = false;
     std::vector<std::string> names;
 
     for (int i = 1; i < argc; ++i) {
@@ -219,6 +267,8 @@ main(int argc, char **argv)
             opts.instsPerTrace = sim::parseCount(argv[i], "--insts");
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--static-check") {
+            static_check = true;
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -260,6 +310,13 @@ main(int argc, char **argv)
                                               : sim::defaultInstsPerTrace();
     const unsigned jobs = opts.jobs ? opts.jobs : sim::defaultSweepJobs();
 
+    if (static_check) {
+        // Counting mode; keep the Simulator's debug-build auto-enable
+        // from re-arming panic mode behind our back.
+        setenv("REPLAY_STATIC_CHECK", "0", 1);
+        vstatic::installStaticChecker(vstatic::Action::COUNT);
+    }
+
     if (json) {
         std::printf("{\n  \"insts_per_trace\": %llu,\n  \"jobs\": %u,\n"
                     "  \"targets\": [\n",
@@ -284,10 +341,15 @@ main(int argc, char **argv)
         first = false;
     }
 
-    if (json)
-        std::printf("\n  ],\n  \"wall_seconds_total\": %.6f\n}\n",
-                    wall_total);
-    else
+    if (json) {
+        std::printf("\n  ],\n");
+        if (static_check)
+            emitStaticJson();
+        std::printf("  \"wall_seconds_total\": %.6f\n}\n", wall_total);
+    } else {
+        if (static_check)
+            emitStaticText();
         std::printf("total sweep wall time: %.2fs\n", wall_total);
+    }
     return 0;
 }
