@@ -22,6 +22,19 @@ cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DENABLE_WERROR=ON \
 cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
 
+echo "== tier-1: perf-smoke (tools/perfgate --check) =="
+if [ "${REPLAY_SKIP_PERFGATE:-0}" = "1" ]; then
+    echo "warn: REPLAY_SKIP_PERFGATE=1; skipping the performance gate"
+else
+    # Hard-fails on a >25% throughput regression against the
+    # checked-in baseline, or on any sweep-digest mismatch
+    # (nondeterminism).  Skip with REPLAY_SKIP_PERFGATE=1 (e.g. on
+    # heavily loaded or throttled machines).
+    "$BUILD/tools/perfgate" --check \
+        --baseline bench/BENCH_hotpath.baseline.json \
+        --out "$BUILD/BENCH_hotpath.json"
+fi
+
 echo "== tier-1: clang-tidy over src/verify/static + changed files =="
 if command -v clang-tidy >/dev/null 2>&1; then
     # Lint the static-verifier subsystem plus whatever C++ files the

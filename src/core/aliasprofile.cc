@@ -6,18 +6,13 @@ void
 AliasProfile::observeInstance(
     const std::vector<trace::TraceRecord> &records)
 {
-    // Flatten the instance's transactions.
-    struct Txn
-    {
-        x86::MemOp op;
-        uint32_t pc;
-        uint8_t seq;
-    };
-    std::vector<Txn> txns;
+    // Flatten the instance's transactions into the reused scratch.
+    txns_.clear();
     for (const auto &rec : records) {
         for (unsigned m = 0; m < rec.numMemOps; ++m)
-            txns.push_back({rec.memOps[m], rec.pc, uint8_t(m)});
+            txns_.push_back({rec.memOps[m], rec.pc, uint8_t(m)});
     }
+    const std::vector<Txn> &txns = txns_;
 
     // A store is dirty when it overlaps a *prior* transaction of the
     // instance — the same condition the runtime unsafe-store check
@@ -44,7 +39,7 @@ bool
 AliasProfile::cleanForSpeculation(uint32_t x86_pc,
                                   uint8_t mem_seq) const
 {
-    return dirty_.find(key(x86_pc, mem_seq)) == dirty_.end();
+    return !dirty_.contains(key(x86_pc, mem_seq));
 }
 
 } // namespace replay::core

@@ -13,11 +13,11 @@
 #ifndef REPLAY_CORE_ALIASPROFILE_HH
 #define REPLAY_CORE_ALIASPROFILE_HH
 
-#include <unordered_set>
 #include <vector>
 
 #include "opt/passes.hh"
 #include "trace/record.hh"
+#include "util/flathash.hh"
 
 namespace replay::core {
 
@@ -47,7 +47,16 @@ class AliasProfile : public opt::AliasHints
         return (uint64_t(pc) << 8) | seq;
     }
 
-    std::unordered_set<uint64_t> dirty_;
+    /** One flattened transaction of an observed frame instance. */
+    struct Txn
+    {
+        x86::MemOp op;
+        uint32_t pc;
+        uint8_t seq;
+    };
+
+    FlatSet<uint64_t> dirty_;
+    std::vector<Txn> txns_;     ///< observeInstance scratch
 };
 
 } // namespace replay::core

@@ -17,11 +17,37 @@ FrameConstructor::FrameConstructor(ConstructorConfig cfg)
 {
 }
 
+namespace {
+
+/** Reset a candidate to pristine state, keeping vector capacity. */
+void
+clearCandidate(FrameCandidate &cand)
+{
+    cand.startPc = 0;
+    cand.nextPc = 0;
+    cand.dynamicExit = false;
+    cand.closedByIncludedInst = false;
+    cand.numBlocks = 1;
+    cand.uops.clear();
+    cand.blocks.clear();
+    cand.pcs.clear();
+    cand.records.clear();
+}
+
+} // anonymous namespace
+
 void
 FrameConstructor::abandon()
 {
-    acc_ = FrameCandidate{};
+    clearCandidate(acc_);
     curBlock_ = 0;
+}
+
+void
+FrameConstructor::recycle(FrameCandidate &&cand)
+{
+    clearCandidate(cand);
+    spare_ = std::move(cand);
 }
 
 std::optional<FrameCandidate>
@@ -42,21 +68,26 @@ FrameConstructor::finish(uint32_t next_pc, bool dynamic_exit,
     out.dynamicExit = dynamic_exit;
     out.closedByIncludedInst = closed_by_included;
     out.numBlocks = curBlock_ + 1;
+    // Refill the accumulator from the recycle slot so the moved-out
+    // buffers are replaced by warmed-up ones instead of empty ones.
+    acc_ = std::move(spare_);
+    spare_ = FrameCandidate{};
     abandon();
     ++emitted_;
     return out;
 }
 
 void
-FrameConstructor::append(const TraceRecord &rec, std::vector<Uop> &&flow)
+FrameConstructor::append(const TraceRecord &rec,
+                         const std::vector<Uop> &flow)
 {
     if (acc_.uops.empty())
         acc_.startPc = rec.pc;
     const uint16_t inst_idx = uint16_t(acc_.pcs.size());
-    for (auto &u : flow) {
-        u.instIdx = inst_idx;
+    for (const auto &u : flow) {
         acc_.blocks.push_back(curBlock_);
         acc_.uops.push_back(u);
+        acc_.uops.back().instIdx = inst_idx;
     }
     acc_.pcs.push_back(rec.pc);
     acc_.records.push_back(rec);
@@ -81,8 +112,9 @@ FrameConstructor::observe(const TraceRecord &rec)
     if (in.mnem == Mnem::LONGFLOW)
         return finish(rec.pc, false);
 
-    std::vector<Uop> flow =
-        translator_.translate(in, rec.pc, rec.pc + rec.length);
+    flowScratch_.clear();
+    translator_.translate(in, rec.pc, rec.pc + rec.length, flowScratch_);
+    std::vector<Uop> &flow = flowScratch_;
 
     // ---- size limit ------------------------------------------------------
     std::optional<FrameCandidate> completed;
@@ -110,7 +142,7 @@ FrameConstructor::observe(const TraceRecord &rec)
         br.cc = rec.taken ? br.cc : x86::invert(br.cc);
         br.target = 0;
         const bool backward = rec.taken && taken_target <= rec.pc;
-        append(rec, std::move(flow));
+        append(rec, flow);
         ++curBlock_;
         if (backward) {
             // Loop back-edge: close the frame here so loop frames
@@ -137,19 +169,19 @@ FrameConstructor::observe(const TraceRecord &rec)
             jmpi.valueAssert = true;
             jmpi.assertOp = Op::CMP;
             jmpi.imm = int32_t(stable);
-            append(rec, std::move(flow));
+            append(rec, flow);
             ++curBlock_;
             return completed;
         }
         // Unstable target: the frame ends *with* the indirect jump
         // (the Figure 2 frame ends with "jump (ET2)").
-        append(rec, std::move(flow));
+        append(rec, flow);
         auto done = finish(rec.nextPc, true, true);
         return completed ? completed : done;
     }
 
     // ---- direct jumps and calls continue the frame -------------------------
-    append(rec, std::move(flow));
+    append(rec, flow);
     if (in.isControl())
         ++curBlock_;
     return completed;

@@ -71,6 +71,14 @@ class FrameConstructor
     /** Discard the current accumulation (pipeline flush, redirect). */
     void abandon();
 
+    /**
+     * Return a consumed candidate's storage for reuse.  The sequencer
+     * hands candidates back after depositing the frame so the
+     * accumulate -> emit -> recycle cycle stops allocating once the
+     * vectors reach their steady-state capacity.
+     */
+    void recycle(FrameCandidate &&cand);
+
     BiasTable &biasTable() { return bias_; }
     TargetTable &targetTable() { return targets_; }
 
@@ -85,7 +93,7 @@ class FrameConstructor
 
     /** Append one instruction's decode flow to the accumulation. */
     void append(const trace::TraceRecord &rec,
-                std::vector<uop::Uop> &&flow);
+                const std::vector<uop::Uop> &flow);
 
     ConstructorConfig cfg_;
     BiasTable bias_;
@@ -93,6 +101,8 @@ class FrameConstructor
     uop::Translator translator_;
 
     FrameCandidate acc_;
+    FrameCandidate spare_;              ///< recycled candidate storage
+    std::vector<uop::Uop> flowScratch_; ///< per-observe decode flow
     uint16_t curBlock_ = 0;
     uint64_t emitted_ = 0;
     uint64_t tooSmall_ = 0;

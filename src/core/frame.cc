@@ -11,8 +11,11 @@ resolveFrame(const Frame &frame, trace::TraceSource &src)
 
     // Collect the memory transactions of the frame span as we walk it,
     // for unsafe-store conflict checking ("compared against all other
-    // memory transactions prior to it in the frame", §3.4).
-    std::vector<x86::MemOp> prior;
+    // memory transactions prior to it in the frame", §3.4).  Scratch is
+    // per-thread: resolveFrame runs once per frame fetch, and the
+    // vector's capacity survives across calls.
+    thread_local std::vector<x86::MemOp> prior;
+    prior.clear();
     size_t next_unsafe = 0;
 
     for (size_t i = 0; i < frame.pcs.size(); ++i) {

@@ -11,12 +11,20 @@ FrameCache::FrameCache(unsigned capacity_uops) : capacity_(capacity_uops)
 void
 FrameCache::evictLru()
 {
-    panic_if(lru_.empty(), "evicting from an empty frame cache");
-    const uint32_t victim_pc = lru_.back();
-    auto it = frames_.find(victim_pc);
-    occupied_ -= it->second.frame->numUops();
-    lru_.pop_back();
-    frames_.erase(it);
+    panic_if(frames_.empty(), "evicting from an empty frame cache");
+    // Touch ticks are unique, so the strict minimum is exactly the
+    // back of an LRU list.
+    uint32_t victim_pc = 0;
+    uint64_t victim_tick = UINT64_MAX;
+    frames_.forEach([&](uint32_t pc, const Entry &entry) {
+        if (entry.lastUsed < victim_tick) {
+            victim_tick = entry.lastUsed;
+            victim_pc = pc;
+        }
+    });
+    Entry *victim = frames_.find(victim_pc);
+    occupied_ -= victim->frame->numUops();
+    frames_.erase(victim_pc);
     ++stats_.counter("evictions");
 }
 
@@ -32,8 +40,9 @@ FrameCache::insert(FramePtr frame)
     invalidate(pc);
     while (occupied_ + size > capacity_)
         evictLru();
-    lru_.push_front(pc);
-    frames_[pc] = Entry{std::move(frame), lru_.begin()};
+    Entry &entry = frames_[pc];
+    entry.frame = std::move(frame);
+    entry.lastUsed = ++tick_;
     occupied_ += size;
     ++stats_.counter("inserts");
 }
@@ -41,35 +50,31 @@ FrameCache::insert(FramePtr frame)
 FramePtr
 FrameCache::lookup(uint32_t pc)
 {
-    auto it = frames_.find(pc);
-    if (it == frames_.end()) {
-        ++stats_.counter("misses");
+    Entry *entry = frames_.find(pc);
+    if (!entry) {
+        ++misses_;
         return nullptr;
     }
-    // Touch.
-    lru_.erase(it->second.lruIt);
-    lru_.push_front(pc);
-    it->second.lruIt = lru_.begin();
-    ++stats_.counter("hits");
-    return it->second.frame;
+    entry->lastUsed = ++tick_;
+    ++hits_;
+    return entry->frame;
 }
 
 FramePtr
 FrameCache::probe(uint32_t pc) const
 {
-    const auto it = frames_.find(pc);
-    return it == frames_.end() ? nullptr : it->second.frame;
+    const Entry *entry = frames_.find(pc);
+    return entry ? entry->frame : nullptr;
 }
 
 void
 FrameCache::invalidate(uint32_t pc)
 {
-    auto it = frames_.find(pc);
-    if (it == frames_.end())
+    Entry *entry = frames_.find(pc);
+    if (!entry)
         return;
-    occupied_ -= it->second.frame->numUops();
-    lru_.erase(it->second.lruIt);
-    frames_.erase(it);
+    occupied_ -= entry->frame->numUops();
+    frames_.erase(pc);
     ++stats_.counter("invalidations");
 }
 

@@ -5,16 +5,24 @@
  * the paper's configuration, approximately a 64kB ICache) — so the
  * optimizer's micro-op reduction directly increases effective capacity
  * (§6.1).  Replacement is LRU over whole frames.
+ *
+ * The index is a flat open-addressing table (no node allocations on
+ * the per-instruction lookup path).  LRU is tracked with a monotonic
+ * touch tick per entry: ticks are unique, so the minimum tick IS the
+ * least-recently-used frame — bit-identical victim selection to the
+ * old intrusive list, without per-hit list surgery.  Eviction scans
+ * the table, which is fine because evictions are orders of magnitude
+ * rarer than lookups and the table is small (<= capacity/minUops
+ * frames).
  */
 
 #ifndef REPLAY_CORE_FRAMECACHE_HH
 #define REPLAY_CORE_FRAMECACHE_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 
 #include "core/frame.hh"
+#include "util/flathash.hh"
 #include "util/stats.hh"
 
 namespace replay::core {
@@ -53,14 +61,16 @@ class FrameCache
     struct Entry
     {
         FramePtr frame;
-        std::list<uint32_t>::iterator lruIt;
+        uint64_t lastUsed = 0;  ///< unique touch tick (monotonic)
     };
 
     unsigned capacity_;
     unsigned occupied_ = 0;
-    std::unordered_map<uint32_t, Entry> frames_;
-    std::list<uint32_t> lru_;       ///< front = most recent
+    uint64_t tick_ = 0;
+    FlatMap<uint32_t, Entry> frames_;
     StatGroup stats_{"fcache"};
+    Counter &hits_{stats_.counter("hits")};
+    Counter &misses_{stats_.counter("misses")};
 };
 
 } // namespace replay::core

@@ -29,21 +29,22 @@ Quarantine::prune(uint64_t now)
 {
     if (entries_.size() <= cfg_.maxEntries)
         return;
-    for (auto it = entries_.begin(); it != entries_.end();) {
-        if (decay(it->second, now))
-            it = entries_.erase(it);
-        else
-            ++it;
-    }
+    entries_.eraseIf(
+        [&](uint32_t, Entry &entry) { return decay(entry, now); });
     // Still over budget (a burst of fresh offenders): drop the entries
     // closest to expiry so the most recent offenders stay blocked.
     while (entries_.size() > cfg_.maxEntries) {
-        auto victim = entries_.begin();
-        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-            if (it->second.blockedUntil < victim->second.blockedUntil)
-                victim = it;
-        }
-        entries_.erase(victim);
+        bool have_victim = false;
+        uint32_t victim_pc = 0;
+        uint64_t victim_until = 0;
+        entries_.forEach([&](uint32_t pc, const Entry &entry) {
+            if (!have_victim || entry.blockedUntil < victim_until) {
+                have_victim = true;
+                victim_pc = pc;
+                victim_until = entry.blockedUntil;
+            }
+        });
+        entries_.erase(victim_pc);
         ++stats_.counter("table_evictions");
     }
 }
@@ -72,12 +73,15 @@ Quarantine::add(uint32_t pc, uint64_t now)
 bool
 Quarantine::blocked(uint32_t pc, uint64_t now)
 {
-    const auto it = entries_.find(pc);
-    if (it == entries_.end())
+    // The table is empty in every non-fault run; keep that path free.
+    if (entries_.empty())
         return false;
-    Entry &entry = it->second;
+    Entry *entry_p = entries_.find(pc);
+    if (!entry_p)
+        return false;
+    Entry &entry = *entry_p;
     if (decay(entry, now)) {
-        entries_.erase(it);
+        entries_.erase(pc);
         return false;
     }
     if (now < entry.blockedUntil) {
@@ -94,14 +98,14 @@ Quarantine::blocked(uint32_t pc, uint64_t now)
 unsigned
 Quarantine::strikes(uint32_t pc, uint64_t now)
 {
-    const auto it = entries_.find(pc);
-    if (it == entries_.end())
+    Entry *entry = entries_.find(pc);
+    if (!entry)
         return 0;
-    if (decay(it->second, now)) {
-        entries_.erase(it);
+    if (decay(*entry, now)) {
+        entries_.erase(pc);
         return 0;
     }
-    return it->second.strikes;
+    return entry->strikes;
 }
 
 } // namespace replay::core

@@ -17,8 +17,8 @@
 #define REPLAY_CORE_QUARANTINE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "util/flathash.hh"
 #include "util/stats.hh"
 
 namespace replay::core {
@@ -64,7 +64,7 @@ class Quarantine
     void prune(uint64_t now);
 
     QuarantineConfig cfg_;
-    std::unordered_map<uint32_t, Entry> entries_;
+    FlatMap<uint32_t, Entry> entries_;
     StatGroup stats_{"quarantine"};
 };
 

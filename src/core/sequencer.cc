@@ -16,7 +16,7 @@ RePlayEngine::RePlayEngine(EngineConfig cfg)
 }
 
 void
-RePlayEngine::enqueueCandidate(FrameCandidate &&cand, uint64_t now)
+RePlayEngine::enqueueCandidate(FrameCandidate &cand, uint64_t now)
 {
     // Do not rebuild a frame that is already cached for this start PC
     // with the same span (common when the same cold path repeats
@@ -34,21 +34,20 @@ RePlayEngine::enqueueCandidate(FrameCandidate &&cand, uint64_t now)
     if (const FramePtr existing = cache_.probe(cand.startPc)) {
         if (existing->pcs == cand.pcs ||
             existing->pcs.size() >= cand.pcs.size()) {
-            ++stats_.counter("duplicate_candidates");
+            ++duplicateCandidates_;
             return;
         }
     }
     for (const auto &pending : pending_) {
         if (pending.frame->startPc == cand.startPc &&
             pending.frame->pcs.size() >= cand.pcs.size()) {
-            ++stats_.counter("duplicate_candidates");
+            ++duplicateCandidates_;
             return;
         }
     }
 
     profile_.observeInstance(cand.records);
 
-    opt::OptimizedFrame body;
     uint64_t ready_at = now;
     if (cfg_.optimize) {
         const auto done = optPipe_.schedule(now, unsigned(cand.uops.size()));
@@ -57,33 +56,40 @@ RePlayEngine::enqueueCandidate(FrameCandidate &&cand, uint64_t now)
             return;
         }
         ready_at = *done;
-        body = optimizer_.optimize(cand.uops, cand.blocks, &profile_,
-                                   optStats_);
-    } else {
-        body = opt::Optimizer::passthrough(cand.uops, cand.blocks);
     }
+
+    // A recycled frame keeps its vector capacities; everything else is
+    // reassigned below, and the optimizer overwrites body wholesale.
+    FramePtr frame = framePool_.acquire();
+    frame->id = nextFrameId_++;
+    frame->startPc = cand.startPc;
+    frame->pcs = cand.pcs;      // copy: the candidate's buffer recycles
+    frame->nextPc = cand.nextPc;
+    frame->dynamicExit = cand.dynamicExit;
+    frame->numBlocks = cand.numBlocks;
+    frame->fetches = 0;
+    frame->assertFires = 0;
+    frame->conflicts = 0;
+    if (cfg_.optimize)
+        optimizer_.optimize(cand.uops, cand.blocks, &profile_, optStats_,
+                            frame->body);
+    else
+        opt::Optimizer::passthrough(cand.uops, cand.blocks, true,
+                                    frame->body);
 
     bool sabotaged = false;
     uint64_t pristine = 0;
     if (cfg_.injector) {
-        pristine = fault::FaultInjector::hashBody(body);
-        if (cfg_.injector->maybeSabotagePass(body)) {
+        pristine = fault::FaultInjector::hashBody(frame->body);
+        if (cfg_.injector->maybeSabotagePass(frame->body)) {
             sabotaged =
-                fault::FaultInjector::hashBody(body) != pristine;
+                fault::FaultInjector::hashBody(frame->body) != pristine;
             ++stats_.counter("fault_pass_sabotage");
         }
     }
-
-    auto frame = std::make_shared<Frame>();
-    frame->id = nextFrameId_++;
-    frame->startPc = cand.startPc;
-    frame->pcs = std::move(cand.pcs);
-    frame->nextPc = cand.nextPc;
-    frame->dynamicExit = cand.dynamicExit;
-    frame->numBlocks = cand.numBlocks;
-    frame->body = std::move(body);
     frame->bodyHash = pristine;
     frame->faultInjected = sabotaged;
+    frame->unsafeStores.clear();
     for (size_t i = 0; i < frame->body.uops.size(); ++i) {
         const opt::FrameUop &fu = frame->body.uops[i];
         if (fu.unsafe && fu.uop.isStore()) {
@@ -94,7 +100,7 @@ RePlayEngine::enqueueCandidate(FrameCandidate &&cand, uint64_t now)
     std::sort(frame->unsafeStores.begin(), frame->unsafeStores.end());
 
     pending_.push_back({ready_at, std::move(frame)});
-    ++stats_.counter("candidates");
+    ++candidates_;
 }
 
 void
@@ -111,8 +117,10 @@ RePlayEngine::observeRetired(const trace::TraceRecord &rec, uint64_t now)
 {
     drainReady(now);
     auto candidate = constructor_.observe(rec);
-    if (candidate)
-        enqueueCandidate(std::move(*candidate), now);
+    if (candidate) {
+        enqueueCandidate(*candidate, now);
+        constructor_.recycle(std::move(*candidate));
+    }
 }
 
 FramePtr
@@ -138,7 +146,7 @@ void
 RePlayEngine::frameCommitted(const FramePtr &frame)
 {
     ++frame->fetches;
-    ++stats_.counter("frame_commits");
+    ++frameCommits_;
 }
 
 void
@@ -162,7 +170,7 @@ RePlayEngine::frameAborted(const FramePtr &frame,
     }
 
     ++frame->assertFires;
-    ++stats_.counter("assert_fires");
+    ++assertFires_;
     // A frame whose assertions keep firing has a stale bias; evict it
     // so the constructor can rebuild along the new hot path.
     if (frame->assertFires >= cfg_.evictFireThreshold &&

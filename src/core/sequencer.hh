@@ -18,6 +18,7 @@
 #include "core/quarantine.hh"
 #include "opt/datapath.hh"
 #include "opt/optimizer.hh"
+#include "util/arena.hh"
 
 namespace replay::fault {
 class FaultInjector;
@@ -94,7 +95,7 @@ class RePlayEngine
     StatGroup &stats() { return stats_; }
 
   private:
-    void enqueueCandidate(FrameCandidate &&cand, uint64_t now);
+    void enqueueCandidate(FrameCandidate &cand, uint64_t now);
 
     EngineConfig cfg_;
     FrameConstructor constructor_;
@@ -105,6 +106,22 @@ class RePlayEngine
     AliasProfile profile_;
     opt::OptStats optStats_;
     StatGroup stats_{"replay"};
+    // Bound once (StatGroup's map gives stable references): these fire
+    // on every candidate / frame event and are too hot for a string
+    // lookup per increment.
+    Counter &candidates_{stats_.counter("candidates")};
+    Counter &duplicateCandidates_{stats_.counter("duplicate_candidates")};
+    Counter &frameCommits_{stats_.counter("frame_commits")};
+    Counter &assertFires_{stats_.counter("assert_fires")};
+
+    /**
+     * Recycles Frame objects: a frame freed by eviction returns its
+     * storage (pcs / body / unsafeStores vectors, capacity intact) for
+     * the next candidate instead of hitting the heap.  Declared after
+     * pending_ users conceptually, but destruction order is safe either
+     * way: the pool's core outlives its handles via shared ownership.
+     */
+    ObjectPool<Frame> framePool_;
 
     struct Pending
     {

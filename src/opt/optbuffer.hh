@@ -112,6 +112,19 @@ class OptBuffer
     /** Append a remapped micro-op (Remapper / tests only). */
     uint16_t push(FrameUop fu);
 
+    /**
+     * Reset to an empty buffer, keeping the slot/exit storage so a
+     * reused scratch buffer stops allocating once warm.  Primitive
+     * counts restart at zero (they are per-optimization).
+     */
+    void
+    clear()
+    {
+        slots_.clear();
+        exits_.clear();
+        prims_ = PrimitiveCounts{};
+    }
+
     /** Append an exit binding (Remapper). */
     void addExit(ExitBinding exit) { exits_.push_back(std::move(exit)); }
 

@@ -41,16 +41,31 @@ passObserverFactory()
 
 namespace {
 
-/** Cleanup: compact valid slots in position order, re-index operands. */
-OptimizedFrame
-finalize(OptBuffer &buf, const std::vector<uop::Uop> &uops)
+/** Per-thread scratch for the remap -> passes -> cleanup cycle. */
+OptBuffer &
+scratchBuffer()
 {
-    OptimizedFrame out;
+    thread_local OptBuffer buf;
+    return buf;
+}
+
+/** Cleanup: compact valid slots in position order, re-index operands. */
+void
+finalize(OptBuffer &buf, const std::vector<uop::Uop> &uops,
+         OptimizedFrame &out)
+{
+    out.uops.clear();
+    out.exit = ExitBinding{};
     out.inputUops = unsigned(uops.size());
+    out.inputLoads = 0;
+    out.outputLoads = 0;
+    out.prims = PrimitiveCounts{};
+    out.latencyCycles = 0;
     for (const auto &u : uops)
         out.inputLoads += u.isLoad();
 
-    std::vector<uint16_t> new_index(buf.size(), 0xffff);
+    thread_local std::vector<uint16_t> new_index;
+    new_index.assign(buf.size(), 0xffff);
     for (size_t i = 0; i < buf.size(); ++i) {
         if (!buf.valid(i))
             continue;
@@ -86,19 +101,19 @@ finalize(OptBuffer &buf, const std::vector<uop::Uop> &uops)
         out.outputLoads += fu.uop.isLoad();
 
     out.prims = buf.prims();
-    return out;
 }
 
 } // anonymous namespace
 
-OptimizedFrame
+void
 Optimizer::optimize(const std::vector<uop::Uop> &uops,
                     const std::vector<uint16_t> &blocks,
-                    const AliasHints *alias, OptStats &stats) const
+                    const AliasHints *alias, OptStats &stats,
+                    OptimizedFrame &out) const
 {
     const Remapper remapper;
-    OptBuffer buf = remapper.remap(uops, blocks,
-                                   cfg_.scope != Scope::FRAME);
+    OptBuffer &buf = scratchBuffer();
+    remapper.remap(uops, blocks, cfg_.scope != Scope::FRAME, buf);
 
     std::unique_ptr<PassObserver> obs;
     if (const PassObserverFactory make = passObserverFactory())
@@ -126,7 +141,7 @@ Optimizer::optimize(const std::vector<uop::Uop> &uops,
             break;
     }
 
-    OptimizedFrame out = finalize(buf, uops);
+    finalize(buf, uops, out);
     out.latencyCycles = latencyFor(out.inputUops);
     if (obs)
         obs->onFinalized(out);
@@ -136,16 +151,16 @@ Optimizer::optimize(const std::vector<uop::Uop> &uops,
     stats.outputUops += out.uops.size();
     stats.inputLoads += out.inputLoads;
     stats.outputLoads += out.outputLoads;
-    return out;
 }
 
-OptimizedFrame
+void
 Optimizer::passthrough(const std::vector<uop::Uop> &uops,
                        const std::vector<uint16_t> &blocks,
-                       bool frame_semantics)
+                       bool frame_semantics, OptimizedFrame &out)
 {
     const Remapper remapper;
-    OptBuffer buf = remapper.remap(uops, blocks, false);
+    OptBuffer &buf = scratchBuffer();
+    remapper.remap(uops, blocks, false, buf);
 
     std::unique_ptr<PassObserver> obs;
     if (frame_semantics)
@@ -154,11 +169,10 @@ Optimizer::passthrough(const std::vector<uop::Uop> &uops,
     if (obs)
         obs->onRemapped(buf);
 
-    OptimizedFrame out = finalize(buf, uops);
+    finalize(buf, uops, out);
     out.latencyCycles = 0;      // deposited directly (§6.3)
     if (obs)
         obs->onFinalized(out);
-    return out;
 }
 
 } // namespace replay::opt

@@ -114,10 +114,25 @@ class Optimizer
      *               speculative memory optimization
      * @param stats  accumulates optimization counters
      */
-    OptimizedFrame optimize(const std::vector<uop::Uop> &uops,
-                            const std::vector<uint16_t> &blocks,
-                            const AliasHints *alias,
-                            OptStats &stats) const;
+    OptimizedFrame
+    optimize(const std::vector<uop::Uop> &uops,
+             const std::vector<uint16_t> &blocks,
+             const AliasHints *alias, OptStats &stats) const
+    {
+        OptimizedFrame out;
+        optimize(uops, blocks, alias, stats, out);
+        return out;
+    }
+
+    /**
+     * Optimize one frame into @p out (overwritten; its vectors keep
+     * their capacity, so a pooled frame body stops allocating once
+     * warm).
+     */
+    void optimize(const std::vector<uop::Uop> &uops,
+                  const std::vector<uint16_t> &blocks,
+                  const AliasHints *alias, OptStats &stats,
+                  OptimizedFrame &out) const;
 
     /**
      * Remap and compact without running any pass — the plain-rePLay
@@ -130,9 +145,20 @@ class Optimizer
      *        pass false: their traces carry embedded conditional
      *        branches and side exits by design.
      */
-    static OptimizedFrame passthrough(const std::vector<uop::Uop> &uops,
-                                      const std::vector<uint16_t> &blocks,
-                                      bool frame_semantics = true);
+    static OptimizedFrame
+    passthrough(const std::vector<uop::Uop> &uops,
+                const std::vector<uint16_t> &blocks,
+                bool frame_semantics = true)
+    {
+        OptimizedFrame out;
+        passthrough(uops, blocks, frame_semantics, out);
+        return out;
+    }
+
+    /** The RP path, into @p out (overwritten, capacity reused). */
+    static void passthrough(const std::vector<uop::Uop> &uops,
+                            const std::vector<uint16_t> &blocks,
+                            bool frame_semantics, OptimizedFrame &out);
 
     /** Cycles the abstract engine spends on a frame of @p n micro-ops. */
     static uint64_t

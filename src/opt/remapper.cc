@@ -7,15 +7,15 @@ namespace replay::opt {
 using uop::Uop;
 using uop::UReg;
 
-OptBuffer
+void
 Remapper::remap(const std::vector<Uop> &uops,
                 const std::vector<uint16_t> &blocks,
-                bool per_block_exits) const
+                bool per_block_exits, OptBuffer &buf) const
 {
     panic_if(!blocks.empty() && blocks.size() != uops.size(),
              "block annotation length mismatch");
 
-    OptBuffer buf;
+    buf.clear();
 
     // Current binding of every architectural register and the flags.
     std::array<Operand, uop::NUM_UREGS> binding;
@@ -62,7 +62,6 @@ Remapper::remap(const std::vector<Uop> &uops,
 
     // The frame-boundary exit is always present and always last.
     snapshot(cur_block);
-    return buf;
 }
 
 } // namespace replay::opt

@@ -32,9 +32,20 @@ class Remapper
      *                        Figure 9) instead of only at the frame
      *                        boundary
      */
-    OptBuffer remap(const std::vector<uop::Uop> &uops,
-                    const std::vector<uint16_t> &blocks = {},
-                    bool per_block_exits = false) const;
+    OptBuffer
+    remap(const std::vector<uop::Uop> &uops,
+          const std::vector<uint16_t> &blocks = {},
+          bool per_block_exits = false) const
+    {
+        OptBuffer buf;
+        remap(uops, blocks, per_block_exits, buf);
+        return buf;
+    }
+
+    /** Remap into @p out (cleared first; storage is reused). */
+    void remap(const std::vector<uop::Uop> &uops,
+               const std::vector<uint16_t> &blocks,
+               bool per_block_exits, OptBuffer &out) const;
 };
 
 } // namespace replay::opt

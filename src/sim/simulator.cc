@@ -71,8 +71,11 @@ Simulator::simulateIcacheInst(const TraceRecord &rec,
 {
     fe_.idleUntil(exec_.fetchBackpressure(), CycleBin::STALL);
 
-    std::vector<Uop> flow =
-        translator_.translate(rec.inst, rec.pc, rec.pc + rec.length);
+    // Per-thread decode scratch: this runs once per conventional-path
+    // instruction and is far too hot for a fresh allocation.
+    thread_local std::vector<Uop> flow;
+    flow.clear();
+    translator_.translate(rec.inst, rec.pc, rec.pc + rec.length, flow);
     const uint64_t fetch_cycle =
         fe_.fetchIcacheInst(rec.pc, unsigned(flow.size()));
 
@@ -148,7 +151,8 @@ Simulator::simulateFrame(const FramePtr &frame, trace::TraceSource &src)
     // pessimistic §6.1 model begins recovery only once the frame is
     // ready for retirement).
     const Rat rat_snapshot = *rat_;
-    std::vector<uint64_t> completions(body.uops.size(), 0);
+    thread_local std::vector<uint64_t> completions;
+    completions.assign(body.uops.size(), 0);
 
     auto depOf = [&](const Operand &op) -> uint64_t {
         switch (op.kind) {
@@ -288,7 +292,8 @@ Simulator::simulateTracePrefix(const FramePtr &trace_frame,
     panic_if(n == 0, "trace lookup hit but first pc mismatched");
 
     const auto &body = trace_frame->body;
-    std::vector<uint64_t> completions(body.uops.size(), 0);
+    thread_local std::vector<uint64_t> completions;
+    completions.assign(body.uops.size(), 0);
     auto depOf = [&](const Operand &op) -> uint64_t {
         switch (op.kind) {
           case Operand::Kind::NONE:

@@ -61,6 +61,15 @@ runSweep(const std::vector<SweepCell> &cells, const SweepOptions &opts)
             tasks.push_back({&cell, c, t});
     }
 
+    if (opts.warmup && !tasks.empty()) {
+        // Untimed cold-start pass over the first task (see
+        // SweepOptions::warmup); its stats are discarded.
+        const Task &task = tasks.front();
+        auto src = task.cell->workload->openTrace(task.traceIdx, insts);
+        (void)simulateTrace(task.cell->cfg, *src,
+                            task.cell->workload->name);
+    }
+
     const auto start = std::chrono::steady_clock::now();
 
     std::vector<RunStats> slots(tasks.size());

@@ -45,6 +45,17 @@ struct SweepOptions
 
     /** x86 budget per hot-spot trace; 0 = defaultInstsPerTrace(). */
     uint64_t instsPerTrace = 0;
+
+    /**
+     * Run the first (cell, trace) task once, untimed and discarded,
+     * before starting the clock.  First-touch costs — lazily built
+     * workload programs, decode tables, allocator pools, cold i-cache
+     * — land in the warm-up instead of inflating the first measured
+     * task, so reported insts/s reflects steady state.  Results are
+     * unaffected: the timed sweep re-simulates every task from
+     * scratch.
+     */
+    bool warmup = true;
 };
 
 struct SweepResult

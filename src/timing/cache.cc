@@ -10,7 +10,8 @@ CacheModel::CacheModel(std::string name, uint32_t size_bytes,
                        unsigned hit_latency)
     : lineBytes_(line_bytes), numSets_(size_bytes / line_bytes / assoc),
       assoc_(assoc), hitLatency_(hit_latency),
-      ways_(numSets_ * assoc), stats_(std::move(name))
+      ways_(numSets_ * assoc), stats_(std::move(name)),
+      hits_(stats_.counter("hits")), misses_(stats_.counter("misses"))
 {
     panic_if(!isPow2(line_bytes) || !isPow2(numSets_),
              "cache geometry must be power-of-two");
@@ -29,7 +30,7 @@ CacheModel::access(uint32_t addr)
         Way &way = base[w];
         if (way.valid && way.tag == tag) {
             way.lastUse = useClock_;
-            ++stats_.counter("hits");
+            ++hits_;
             return true;
         }
     }
@@ -47,7 +48,7 @@ CacheModel::access(uint32_t addr)
     victim->valid = true;
     victim->tag = tag;
     victim->lastUse = useClock_;
-    ++stats_.counter("misses");
+    ++misses_;
     return false;
 }
 

@@ -52,6 +52,10 @@ class CacheModel
     uint64_t useClock_ = 0;
     std::vector<Way> ways_;     ///< numSets_ x assoc_
     StatGroup stats_;
+    // Bound once: StatGroup's map gives stable references, and access()
+    // is too hot for a string lookup per call.
+    Counter &hits_;
+    Counter &misses_;
 };
 
 /** The data-side hierarchy: L1D -> L2 -> memory. */

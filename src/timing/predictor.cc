@@ -124,8 +124,8 @@ BranchPredictor::predictAndTrain(const trace::TraceRecord &rec)
     // Direct JMP/CALL: the decoder redirects; no resolution penalty.
 
     if (mispredict)
-        ++stats_.counter("mispredicts");
-    ++stats_.counter("branches");
+        ++mispredicts_;
+    ++branches_;
     return mispredict;
 }
 

@@ -75,6 +75,8 @@ class BranchPredictor
     size_t rasTop_ = 0;
     uint64_t useClock_ = 0;
     StatGroup stats_{"bpred"};
+    Counter &mispredicts_{stats_.counter("mispredicts")};
+    Counter &branches_{stats_.counter("branches")};
 };
 
 } // namespace replay::timing

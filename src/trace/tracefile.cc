@@ -1,5 +1,6 @@
 #include "trace/tracefile.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -392,25 +393,42 @@ FileTraceSource::~FileTraceSource()
 void
 FileTraceSource::fill(unsigned n)
 {
-    uint8_t buf[4 + 128];
+    // Records are block-read in batches and decoded out of a reusable
+    // buffer: one fread per ~64 records instead of one per record.
+    // Error semantics are unchanged — every complete record before a
+    // damaged one is still delivered, and the error is reported at the
+    // same record index as the per-record reader did.
+    constexpr size_t BATCH = 64;
+    const size_t rec_size = 4 + recordBytes();
     while (count_ < n && produced_ < total_) {
-        if (std::fread(buf, 4 + recordBytes(), 1, file_) != 1) {
+        const uint64_t want =
+            std::min<uint64_t>({BATCH, total_ - produced_,
+                                uint64_t(ring_.size() - count_)});
+        batch_.resize(size_t(want) * rec_size);
+        const size_t got =
+            std::fread(batch_.data(), 1, batch_.size(), file_);
+        const size_t full = got / rec_size;
+        for (size_t i = 0; i < full; ++i) {
+            const uint8_t *buf = batch_.data() + i * rec_size;
+            Decoder d{buf};
+            if (d.u32() != checksum(buf + 4, recordBytes())) {
+                fail(TraceError::Kind::BAD_CHECKSUM,
+                     "trace file '" + path_ +
+                         "' record " + std::to_string(produced_) +
+                         " failed its checksum");
+                return;
+            }
+            ring_[(head_ + count_) % ring_.size()] =
+                decodeRecord(buf + 4);
+            ++count_;
+            ++produced_;
+        }
+        if (full < want) {
             fail(TraceError::Kind::TRUNCATED,
                  "trace file '" + path_ + "' truncated at record " +
                      std::to_string(produced_));
             return;
         }
-        Decoder d{buf};
-        if (d.u32() != checksum(buf + 4, recordBytes())) {
-            fail(TraceError::Kind::BAD_CHECKSUM,
-                 "trace file '" + path_ +
-                     "' record " + std::to_string(produced_) +
-                     " failed its checksum");
-            return;
-        }
-        ring_[(head_ + count_) % ring_.size()] = decodeRecord(buf + 4);
-        ++count_;
-        ++produced_;
     }
 }
 

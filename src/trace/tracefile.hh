@@ -146,6 +146,9 @@ class FileTraceSource : public TraceSource
     std::vector<TraceRecord> ring_;
     size_t head_ = 0;
     size_t count_ = 0;
+
+    /** Reusable block-read buffer for batched record decode. */
+    std::vector<uint8_t> batch_;
 };
 
 } // namespace replay::trace

@@ -1,0 +1,39 @@
+#include "util/arena.hh"
+
+#include <cstring>
+
+namespace replay {
+
+void *
+Arena::alloc(size_t bytes, size_t align)
+{
+    if (bytes == 0)
+        bytes = 1;
+    if (!chunks_.empty()) {
+        Chunk &cur = chunks_.back();
+        const size_t aligned = (cur.used + align - 1) & ~(align - 1);
+        if (aligned + bytes <= cur.size) {
+            cur.used = aligned + bytes;
+            allocated_ += bytes;
+            return cur.data.get() + aligned;
+        }
+    }
+    // Oversized requests get a dedicated chunk so the common chunk size
+    // stays cache-friendly.
+    const size_t chunk_size = bytes + align > chunkBytes_
+                                  ? bytes + align
+                                  : chunkBytes_;
+    Chunk chunk;
+    chunk.data = std::make_unique<uint8_t[]>(chunk_size);
+    chunk.size = chunk_size;
+    chunks_.push_back(std::move(chunk));
+
+    Chunk &cur = chunks_.back();
+    const size_t base = reinterpret_cast<uintptr_t>(cur.data.get());
+    const size_t skew = (align - (base & (align - 1))) & (align - 1);
+    cur.used = skew + bytes;
+    allocated_ += bytes;
+    return cur.data.get() + skew;
+}
+
+} // namespace replay

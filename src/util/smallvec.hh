@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fixed-capacity inline vector.
+ *
+ * The executor's per-step side-effect lists (register writes, memory
+ * transactions) are tiny and bounded by the ISA subset, yet they were
+ * std::vectors — three heap allocations per executed instruction on
+ * the tracer's hottest path.  SmallVec stores elements inline with the
+ * std::vector surface the call sites use (push_back / size / index /
+ * range-for) and panics on overflow, which mirrors the bound checks
+ * TraceRecord::fromStep already enforces.
+ */
+
+#ifndef REPLAY_UTIL_SMALLVEC_HH
+#define REPLAY_UTIL_SMALLVEC_HH
+
+#include <cstddef>
+
+#include "util/logging.hh"
+
+namespace replay {
+
+/** Inline vector of at most N elements; T must be trivially copyable. */
+template <typename T, size_t N>
+class SmallVec
+{
+  public:
+    void
+    push_back(const T &v)
+    {
+        panic_if(n_ == N, "SmallVec overflow (capacity %zu)", N);
+        data_[n_++] = v;
+    }
+
+    void clear() { n_ = 0; }
+
+    size_t size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+
+    T &operator[](size_t i) { return data_[i]; }
+    const T &operator[](size_t i) const { return data_[i]; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + n_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + n_; }
+
+    T &back() { return data_[n_ - 1]; }
+    const T &back() const { return data_[n_ - 1]; }
+
+  private:
+    T data_[N]{};
+    size_t n_ = 0;
+};
+
+} // namespace replay
+
+#endif // REPLAY_UTIL_SMALLVEC_HH

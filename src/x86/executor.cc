@@ -11,24 +11,49 @@ namespace replay::x86 {
 // SparseMemory
 // ---------------------------------------------------------------------
 
+const SparseMemory::Page *
+SparseMemory::findPage(uint32_t page_idx) const
+{
+    if (page_idx == cachedIdx_)
+        return cachedPage_;
+    const auto *slot = pages_.find(page_idx);
+    Page *page = slot ? slot->get() : nullptr;
+    if (page) {
+        cachedIdx_ = page_idx;
+        cachedPage_ = page;
+    }
+    return page;
+}
+
+SparseMemory::Page *
+SparseMemory::touchPage(uint32_t page_idx)
+{
+    if (page_idx == cachedIdx_)
+        return cachedPage_;
+    auto &slot = pages_[page_idx];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+        // The insert may have rehashed the table; every cached Page
+        // pointer stays valid (pages are stable heap objects), but the
+        // cache itself must be refreshed from the new slot.
+    }
+    cachedIdx_ = page_idx;
+    cachedPage_ = slot.get();
+    return cachedPage_;
+}
+
 uint8_t
 SparseMemory::peek(uint32_t addr) const
 {
-    const auto it = pages_.find(addr >> PAGE_BITS);
-    if (it == pages_.end())
-        return 0;
-    return (*it->second)[addr & (PAGE_SIZE - 1)];
+    const Page *page = findPage(addr >> PAGE_BITS);
+    return page ? (*page)[addr & (PAGE_SIZE - 1)] : 0;
 }
 
 void
 SparseMemory::poke(uint32_t addr, uint8_t value)
 {
-    auto &page = pages_[addr >> PAGE_BITS];
-    if (!page) {
-        page = std::make_unique<Page>();
-        page->fill(0);
-    }
-    (*page)[addr & (PAGE_SIZE - 1)] = value;
+    (*touchPage(addr >> PAGE_BITS))[addr & (PAGE_SIZE - 1)] = value;
 }
 
 uint32_t
@@ -36,6 +61,16 @@ SparseMemory::read(uint32_t addr, unsigned size) const
 {
     panic_if(size != 1 && size != 2 && size != 4,
              "illegal memory access size %u", size);
+    const uint32_t off = addr & (PAGE_SIZE - 1);
+    if (off + size <= PAGE_SIZE) {
+        const Page *page = findPage(addr >> PAGE_BITS);
+        if (!page)
+            return 0;
+        uint32_t value = 0;
+        for (unsigned i = 0; i < size; ++i)
+            value |= uint32_t((*page)[off + i]) << (8 * i);
+        return value;
+    }
     uint32_t value = 0;
     for (unsigned i = 0; i < size; ++i)
         value |= uint32_t(peek(addr + i)) << (8 * i);
@@ -47,6 +82,13 @@ SparseMemory::write(uint32_t addr, unsigned size, uint32_t value)
 {
     panic_if(size != 1 && size != 2 && size != 4,
              "illegal memory access size %u", size);
+    const uint32_t off = addr & (PAGE_SIZE - 1);
+    if (off + size <= PAGE_SIZE) {
+        Page *page = touchPage(addr >> PAGE_BITS);
+        for (unsigned i = 0; i < size; ++i)
+            (*page)[off + i] = uint8_t(value >> (8 * i));
+        return;
+    }
     for (unsigned i = 0; i < size; ++i)
         poke(addr + i, uint8_t(value >> (8 * i)));
 }

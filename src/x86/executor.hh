@@ -17,9 +17,10 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flathash.hh"
+#include "util/smallvec.hh"
 #include "x86/inst.hh"
 #include "x86/program.hh"
 
@@ -41,13 +42,25 @@ class SparseMemory
   private:
     static constexpr uint32_t PAGE_BITS = 12;
     static constexpr uint32_t PAGE_SIZE = 1u << PAGE_BITS;
+    static constexpr uint32_t NO_PAGE = 0xffffffffu;
 
     using Page = std::array<uint8_t, PAGE_SIZE>;
 
     uint8_t peek(uint32_t addr) const;
     void poke(uint32_t addr, uint8_t value);
 
-    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+    /** Resident page for @p page_idx, or null (read path). */
+    const Page *findPage(uint32_t page_idx) const;
+
+    /** Resident page for @p page_idx, allocating it (write path). */
+    Page *touchPage(uint32_t page_idx);
+
+    FlatMap<uint32_t, std::unique_ptr<Page>> pages_;
+
+    // One-entry page translation cache: accesses are strongly
+    // page-local, so the map probe is skipped almost always.
+    mutable uint32_t cachedIdx_ = NO_PAGE;
+    mutable Page *cachedPage_ = nullptr;
 };
 
 /** One architectural memory transaction performed by an instruction. */
@@ -88,9 +101,11 @@ struct StepInfo
     bool branchTaken = false;       ///< for any control transfer
     bool wroteFlags = false;
     Flags flagsAfter;
-    std::vector<RegWrite> regWrites;
-    std::vector<FRegWrite> fregWrites;
-    std::vector<MemOp> memOps;
+    // Inline side-effect lists: the subset's widest flows write two
+    // registers and touch two memory locations, so these never spill.
+    SmallVec<RegWrite, 4> regWrites;
+    SmallVec<FRegWrite, 2> fregWrites;
+    SmallVec<MemOp, 4> memOps;
 };
 
 /** Architectural state + single-step interpreter. */

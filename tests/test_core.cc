@@ -857,3 +857,158 @@ TEST(RePlayEngine, QuarantineBlocksCandidateConstruction)
     EXPECT_EQ(engine.stats().get("candidates"), 0u);
     EXPECT_GT(engine.stats().get("quarantine_candidate_drops"), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Flat-index churn and capacity edges (PR 5).  The frame cache's index
+// is an open-addressing table whose physical layout changes under load
+// (growth rehashes, tombstone reuse, tombstone-dropping rehashes);
+// none of that may be observable through replacement behaviour, which
+// is defined purely by the LRU touch order.
+// ---------------------------------------------------------------------------
+
+TEST(FrameCache, LruExactAcrossRehashAndTombstones)
+{
+    // 20 resident frames of 10 uops: enough occupancy to force the
+    // flat index through at least one growth rehash.
+    FrameCache cache(200);
+    std::vector<uint32_t> pcs;
+    for (uint32_t i = 0; i < 20; ++i)
+        pcs.push_back(0x1000 + i * 0x40);
+    for (const uint32_t pc : pcs)
+        cache.insert(makeFrame(pc, 10));
+    ASSERT_EQ(cache.numFrames(), 20u);
+    ASSERT_EQ(cache.occupiedUops(), 200u);
+
+    // Establish a known LRU order by touching every frame.
+    for (const uint32_t pc : pcs)
+        ASSERT_NE(cache.lookup(pc), nullptr) << std::hex << pc;
+
+    // Punch tombstones into the table and refill the slots, so later
+    // probes walk displaced chains.
+    for (size_t i = 0; i < pcs.size(); i += 3) {
+        cache.invalidate(pcs[i]);
+        cache.insert(makeFrame(pcs[i], 10));
+        ASSERT_NE(cache.lookup(pcs[i]), nullptr);
+    }
+
+    // Re-touch in a fresh, known order; inserts must then evict in
+    // exactly that order, one frame per insert (equal sizes).
+    for (const uint32_t pc : pcs)
+        ASSERT_NE(cache.lookup(pc), nullptr);
+    std::vector<uint32_t> everyone = pcs;
+    for (size_t i = 0; i < pcs.size(); ++i) {
+        const uint32_t newcomer = 0x9000 + uint32_t(i) * 0x40;
+        everyone.push_back(newcomer);
+        cache.insert(makeFrame(newcomer, 10));
+        expectConsistentOccupancy(cache, everyone);
+        EXPECT_EQ(cache.probe(pcs[i]), nullptr)
+            << "expected LRU victim " << std::hex << pcs[i];
+        for (size_t j = i + 1; j < pcs.size(); ++j) {
+            EXPECT_NE(cache.probe(pcs[j]), nullptr)
+                << "non-LRU frame " << std::hex << pcs[j]
+                << " evicted early";
+        }
+    }
+}
+
+TEST(FrameCache, ExactCapacityEdges)
+{
+    FrameCache cache(100);
+    // Fill to exactly capacity: no eviction may fire.
+    cache.insert(makeFrame(0x100, 60));
+    cache.insert(makeFrame(0x200, 40));
+    EXPECT_EQ(cache.occupiedUops(), 100u);
+    EXPECT_EQ(cache.stats().counter("evictions").value(), 0u);
+
+    // A frame of exactly the whole capacity is admissible and evicts
+    // everything else.
+    cache.insert(makeFrame(0x300, 100));
+    EXPECT_EQ(cache.numFrames(), 1u);
+    EXPECT_EQ(cache.occupiedUops(), 100u);
+    EXPECT_NE(cache.probe(0x300), nullptr);
+
+    // One micro-op over capacity is rejected without disturbing the
+    // resident frame.
+    cache.insert(makeFrame(0x400, 101));
+    EXPECT_EQ(cache.numFrames(), 1u);
+    EXPECT_NE(cache.probe(0x300), nullptr);
+    EXPECT_EQ(cache.stats().counter("rejected").value(), 1u);
+}
+
+TEST(FrameCache, HeavyChurnKeepsIndexConsistent)
+{
+    // Deterministic pseudo-random insert/invalidate/lookup storm over
+    // a pc universe several times the resident set, driving the flat
+    // index through growth, tombstone accumulation, and compaction.
+    FrameCache cache(256);
+    Rng rng(0x5eed);
+    std::vector<uint32_t> universe;
+    for (uint32_t i = 0; i < 128; ++i)
+        universe.push_back(0x4000 + i * 0x20);
+
+    for (unsigned step = 0; step < 20000; ++step) {
+        const uint32_t pc =
+            universe[rng.next() % universe.size()];
+        switch (rng.next() % 4) {
+          case 0:
+          case 1:
+            cache.insert(makeFrame(pc, 8 + unsigned(rng.next() % 9)));
+            break;
+          case 2:
+            cache.invalidate(pc);
+            break;
+          default:
+            if (const FramePtr f = cache.lookup(pc)) {
+                EXPECT_EQ(f->startPc, pc);
+            }
+            break;
+        }
+        ASSERT_LE(cache.occupiedUops(), cache.capacityUops());
+    }
+    // Conservation: every resident frame was inserted and neither
+    // evicted nor invalidated.
+    const uint64_t inserts = cache.stats().counter("inserts").value();
+    const uint64_t evictions =
+        cache.stats().counter("evictions").value();
+    const uint64_t invalidations =
+        cache.stats().counter("invalidations").value();
+    EXPECT_GT(evictions, 0u);
+    EXPECT_EQ(cache.numFrames(), inserts - evictions - invalidations);
+    expectConsistentOccupancy(cache, universe);
+}
+
+TEST(RePlayEngine, SustainedChurnUnderTinyCacheStaysConsistent)
+{
+    // A deliberately undersized frame cache keeps the sequencer's
+    // deposit path (insert -> evict churn) and the pooled-frame
+    // recycling loop hot for the whole run.
+    EngineConfig cfg;
+    cfg.fcacheCapacityUops = 96;
+    RePlayEngine engine(cfg);
+
+    const auto &w = trace::findWorkload("crafty");
+    const auto prog = w.buildProgram(0);
+    trace::ExecutorTraceSource src(prog, 60000);
+    uint64_t now = 0;
+    uint64_t served = 0;
+    while (!src.done()) {
+        const TraceRecord rec = *src.peek();
+        engine.observeRetired(rec, ++now);
+        if ((now & 255) == 0 && engine.frameFor(rec.pc, now))
+            ++served;
+        ASSERT_LE(engine.cache().occupiedUops(),
+                  engine.cache().capacityUops());
+        src.advance();
+    }
+
+    auto &stats = engine.cache().stats();
+    const uint64_t inserts = stats.counter("inserts").value();
+    const uint64_t evictions = stats.counter("evictions").value();
+    const uint64_t invalidations =
+        stats.counter("invalidations").value();
+    EXPECT_GT(inserts, 0u);
+    EXPECT_GT(evictions, 0u);
+    EXPECT_EQ(engine.cache().numFrames(),
+              inserts - evictions - invalidations);
+    (void)served;
+}

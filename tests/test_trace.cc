@@ -279,3 +279,46 @@ TEST(TraceFile, LookaheadAcrossFileBuffer)
         src.advance();
     }
 }
+
+TEST(TraceFile, RingWraparoundDeliversIdenticalStream)
+{
+    // Stream enough records to wrap the lookahead ring several times
+    // (ring = 2 x LOOKAHEAD entries) while the batched block reader
+    // refills it, with deep peeks pinned across every wrap point.  The
+    // delivered stream must be byte-for-byte what a fresh executor
+    // produces.
+    const Workload &w = findWorkload("crafty");
+    const x86::Program prog = w.buildProgram(0);
+    const uint64_t total = uint64_t(TraceSource::LOOKAHEAD) * 7 + 123;
+    const std::string path = ::testing::TempDir() + "crafty_wrap.rplt";
+    TraceFileWriter::dumpProgram(prog, total, path);
+
+    ExecutorTraceSource ref(prog, total);
+    FileTraceSource src(path);
+    uint64_t n = 0;
+    while (!ref.done()) {
+        ASSERT_FALSE(src.done()) << "file stream ended early at " << n;
+        const TraceRecord *got = src.peek();
+        const TraceRecord *want = ref.peek();
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(got->pc, want->pc) << "record " << n;
+        EXPECT_EQ(got->nextPc, want->nextPc) << "record " << n;
+        EXPECT_EQ(got->numMemOps, want->numMemOps) << "record " << n;
+        // Deep peek across the upcoming ring boundary: must agree with
+        // what advance() later delivers, despite batched refills.
+        if ((n % (TraceSource::LOOKAHEAD / 2)) == 0) {
+            const TraceRecord *far = src.peek(TraceSource::LOOKAHEAD - 1);
+            const TraceRecord *far_ref = ref.peek(TraceSource::LOOKAHEAD - 1);
+            ASSERT_EQ(far == nullptr, far_ref == nullptr);
+            if (far) {
+                EXPECT_EQ(far->pc, far_ref->pc) << "deep peek at " << n;
+            }
+        }
+        src.advance();
+        ref.advance();
+        ++n;
+    }
+    EXPECT_TRUE(src.done());
+    EXPECT_EQ(n, total);
+    EXPECT_TRUE(src.ok());
+}

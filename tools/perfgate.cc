@@ -1,0 +1,318 @@
+/**
+ * @file
+ * perfgate — deterministic hot-path performance gate.
+ *
+ * Measures the simulation datapath the way the paper sweeps exercise
+ * it (a standard-workload RP/RPO grid plus the construct -> optimize
+ * -> deposit engine loop), writes the numbers to BENCH_hotpath.json,
+ * and — in --check mode — compares them against a checked-in baseline:
+ *
+ *   - determinism is a hard gate: the sweep digest and the engine's
+ *     candidate count must match the baseline exactly (exit 2),
+ *   - throughput may not regress more than --tolerance (default 25%)
+ *     below the baseline (exit 1); improvements always pass.
+ *
+ * Refresh the baseline after an intentional change with:
+ *
+ *   ./build/tools/perfgate --write --out bench/BENCH_hotpath.baseline.json
+ *
+ * The gate is wired into scripts/tier1.sh as the perf-smoke stage;
+ * set REPLAY_SKIP_PERFGATE=1 to skip it (e.g. on loaded CI machines).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sequencer.hh"
+#include "sim/sweep.hh"
+#include "trace/tracer.hh"
+#include "trace/workload.hh"
+#include "util/logging.hh"
+
+using namespace replay;
+
+namespace {
+
+struct Measurement
+{
+    uint64_t instsPerTrace = 0;
+    double instsPerSec = 0;
+    double cellsPerSec = 0;
+    double framesPerSec = 0;
+    std::string sweepDigest;
+    uint64_t engineCandidates = 0;
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The grid the gate times: all 14 workloads under RP and RPO. */
+sim::SweepResult
+runGateSweep(uint64_t insts)
+{
+    sim::SweepOptions opts;
+    opts.jobs = 1;              // single-threaded: comparable numbers
+    opts.instsPerTrace = insts;
+    const std::vector<std::pair<std::string, sim::SimConfig>> cols = {
+        {"RP", sim::SimConfig::make(sim::Machine::RP)},
+        {"RPO", sim::SimConfig::make(sim::Machine::RPO)},
+    };
+    return sim::runSweep(sim::gridCells(sim::standardWorkloadRows(), cols),
+                         opts);
+}
+
+/** Construct/optimize/deposit loop over a pre-recorded trace. */
+void
+runEnginePass(const std::vector<trace::TraceRecord> &records,
+              Measurement &m)
+{
+    double best = 0;
+    // One untimed warm-up pass, then best-of-two timed passes: the
+    // gate wants steady-state throughput, not first-touch costs.
+    for (int pass = 0; pass < 3; ++pass) {
+        core::RePlayEngine engine;
+        const double t0 = now();
+        uint64_t cycle = 0;
+        for (const auto &rec : records)
+            engine.observeRetired(rec, ++cycle);
+        const double dt = now() - t0;
+        const uint64_t cands =
+            engine.stats().counter("candidates").value();
+        m.engineCandidates = cands;
+        if (pass > 0 && dt > 0)
+            best = std::max(best, double(cands) / dt);
+    }
+    m.framesPerSec = best;
+}
+
+Measurement
+measure(uint64_t insts)
+{
+    Measurement m;
+    m.instsPerTrace = insts;
+
+    const auto sweep = runGateSweep(insts);
+    m.instsPerSec = sweep.instsPerSec();
+    m.cellsPerSec = sweep.cellsPerSec();
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  (unsigned long long)sweep.digest());
+    m.sweepDigest = digest;
+
+    const auto &w = trace::findWorkload("crafty");
+    const auto prog = w.buildProgram(0);
+    trace::ExecutorTraceSource src(prog, 100000);
+    std::vector<trace::TraceRecord> records;
+    records.reserve(100000);
+    while (!src.done()) {
+        records.push_back(*src.peek());
+        src.advance();
+    }
+    runEnginePass(records, m);
+    return m;
+}
+
+std::string
+toJson(const Measurement &m)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": 1,\n";
+    out << "  \"insts_per_trace\": " << m.instsPerTrace << ",\n";
+    out << "  \"metrics\": {\n";
+    out << "    \"insts_per_sec\": " << uint64_t(m.instsPerSec) << ",\n";
+    out << "    \"cells_per_sec\": " << m.cellsPerSec << ",\n";
+    out << "    \"frames_per_sec\": " << uint64_t(m.framesPerSec) << "\n";
+    out << "  },\n";
+    out << "  \"determinism\": {\n";
+    out << "    \"sweep_digest\": \"" << m.sweepDigest << "\",\n";
+    out << "    \"engine_candidates\": " << m.engineCandidates << "\n";
+    out << "  }\n";
+    out << "}\n";
+    return out.str();
+}
+
+/** Minimal extraction from the fixed JSON this tool itself writes. */
+bool
+jsonNumber(const std::string &text, const std::string &key, double &out)
+{
+    const auto pos = text.find("\"" + key + "\"");
+    if (pos == std::string::npos)
+        return false;
+    const auto colon = text.find(':', pos);
+    if (colon == std::string::npos)
+        return false;
+    out = std::strtod(text.c_str() + colon + 1, nullptr);
+    return true;
+}
+
+bool
+jsonString(const std::string &text, const std::string &key,
+           std::string &out)
+{
+    const auto pos = text.find("\"" + key + "\"");
+    if (pos == std::string::npos)
+        return false;
+    const auto open = text.find('"', text.find(':', pos) + 1);
+    if (open == std::string::npos)
+        return false;
+    const auto close = text.find('"', open + 1);
+    if (close == std::string::npos)
+        return false;
+    out = text.substr(open + 1, close - open - 1);
+    return true;
+}
+
+int
+check(const Measurement &m, const std::string &baseline_path,
+      double tolerance)
+{
+    std::ifstream in(baseline_path);
+    if (!in) {
+        std::fprintf(stderr,
+                     "perfgate: cannot read baseline '%s'\n"
+                     "  (write one with: perfgate --write --out %s)\n",
+                     baseline_path.c_str(), baseline_path.c_str());
+        return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::string base_digest;
+    double base_insts = 0, base_frames = 0, base_cands = 0,
+           base_budget = 0;
+    if (!jsonString(text, "sweep_digest", base_digest) ||
+        !jsonNumber(text, "insts_per_sec", base_insts) ||
+        !jsonNumber(text, "frames_per_sec", base_frames) ||
+        !jsonNumber(text, "engine_candidates", base_cands) ||
+        !jsonNumber(text, "insts_per_trace", base_budget)) {
+        std::fprintf(stderr, "perfgate: baseline '%s' is malformed\n",
+                     baseline_path.c_str());
+        return 2;
+    }
+
+    int rc = 0;
+    if (uint64_t(base_budget) != m.instsPerTrace) {
+        std::fprintf(stderr,
+                     "perfgate: budget mismatch (baseline %llu, run "
+                     "%llu) — digests are not comparable\n",
+                     (unsigned long long)base_budget,
+                     (unsigned long long)m.instsPerTrace);
+        return 2;
+    }
+    if (base_digest != m.sweepDigest) {
+        std::fprintf(stderr,
+                     "perfgate: DETERMINISM FAILURE — sweep digest %s "
+                     "!= baseline %s\n",
+                     m.sweepDigest.c_str(), base_digest.c_str());
+        rc = 2;
+    }
+    if (uint64_t(base_cands) != m.engineCandidates) {
+        std::fprintf(stderr,
+                     "perfgate: DETERMINISM FAILURE — engine produced "
+                     "%llu candidates, baseline %llu\n",
+                     (unsigned long long)m.engineCandidates,
+                     (unsigned long long)base_cands);
+        rc = 2;
+    }
+    if (rc)
+        return rc;
+
+    const auto gate = [&](const char *name, double measured,
+                          double base) {
+        const double floor = base * (1.0 - tolerance);
+        const bool ok = measured >= floor;
+        std::printf("perfgate: %-14s %12.0f  baseline %12.0f  "
+                    "floor %12.0f  %s\n",
+                    name, measured, base, floor,
+                    ok ? "ok" : "REGRESSION");
+        if (!ok)
+            rc = 1;
+    };
+    gate("insts/s", m.instsPerSec, base_insts);
+    gate("frames/s", m.framesPerSec, base_frames);
+    return rc;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: perfgate [--check] [--write] [--out PATH]\n"
+        "                [--baseline PATH] [--tolerance FRAC]\n"
+        "                [--insts N]\n"
+        "  --check      compare against the baseline (exit 1 on a\n"
+        "               >tolerance regression, 2 on nondeterminism)\n"
+        "  --write      only measure and write (the default)\n"
+        "  --out        output path (default BENCH_hotpath.json)\n"
+        "  --baseline   baseline path (default\n"
+        "               bench/BENCH_hotpath.baseline.json)\n"
+        "  --tolerance  allowed fractional regression (default 0.25)\n"
+        "  --insts      per-trace x86 budget (default 20000; must\n"
+        "               match the baseline for digest comparison)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool do_check = false;
+    std::string out_path = "BENCH_hotpath.json";
+    std::string baseline_path = "bench/BENCH_hotpath.baseline.json";
+    double tolerance = 0.25;
+    uint64_t insts = 20000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "perfgate: %s needs a value",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--check") {
+            do_check = true;
+        } else if (arg == "--write") {
+            do_check = false;
+        } else if (arg == "--out") {
+            out_path = value();
+        } else if (arg == "--baseline") {
+            baseline_path = value();
+        } else if (arg == "--tolerance") {
+            tolerance = std::strtod(value(), nullptr);
+            fatal_if(tolerance <= 0 || tolerance >= 1,
+                     "perfgate: tolerance must be in (0, 1)");
+        } else if (arg == "--insts") {
+            insts = sim::parseCount(value(), "--insts");
+        } else {
+            usage();
+            return 2;
+        }
+    }
+
+    const Measurement m = measure(insts);
+
+    std::ofstream out(out_path);
+    fatal_if(!out, "perfgate: cannot write '%s'", out_path.c_str());
+    out << toJson(m);
+    out.close();
+    std::printf("perfgate: wrote %s (insts/s %.0f, frames/s %.0f, "
+                "digest %s)\n",
+                out_path.c_str(), m.instsPerSec, m.framesPerSec,
+                m.sweepDigest.c_str());
+
+    return do_check ? check(m, baseline_path, tolerance) : 0;
+}
