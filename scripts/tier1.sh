@@ -59,6 +59,21 @@ cmake -B "$ASAN_BUILD" -S . -DCMAKE_BUILD_TYPE=Debug -DENABLE_SANITIZERS=ON
 cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fuzz
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -L fuzz-smoke
 
+echo "== tier-1: chaos-smoke under ASan+UBSan (${ASAN_BUILD}) =="
+if [ "${REPLAY_SKIP_CHAOS:-0}" = "1" ]; then
+    echo "warn: REPLAY_SKIP_CHAOS=1; skipping the chaos/soak stage"
+else
+    # Robustness suite (governor, degradation ladder, cancellation,
+    # watchdog) plus a small chaosrunner campaign, both under
+    # ASan+UBSan so injected faults cannot hide memory errors.  Skip
+    # with REPLAY_SKIP_CHAOS=1 (e.g. on machines too slow for the
+    # stall/deadline timing tests).
+    cmake --build "$ASAN_BUILD" -j "$JOBS" \
+        --target test_robustness chaosrunner
+    ctest --test-dir "$ASAN_BUILD" --output-on-failure -L chaos-smoke
+    "$ASAN_BUILD/tools/chaosrunner" --seeds 6 --insts 8000
+fi
+
 echo "== tier-1: sweep tests under TSan, 4 workers (${TSAN_BUILD}) =="
 if echo 'int main(){return 0;}' | \
    c++ -fsanitize=thread -x c++ - -o /tmp/tier1-tsan-probe 2>/dev/null \

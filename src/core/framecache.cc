@@ -9,23 +9,87 @@ FrameCache::FrameCache(unsigned capacity_uops) : capacity_(capacity_uops)
 }
 
 void
-FrameCache::evictLru()
+FrameCache::setGovernor(ResourceGovernor *governor)
 {
-    panic_if(frames_.empty(), "evicting from an empty frame cache");
+    governor_ = governor;
+    if (governor_) {
+        governorId_ = governor_->registerConsumer("fcache");
+        syncGovernor();
+    }
+}
+
+size_t
+FrameCache::memoryBytes() const
+{
+    // Deterministic O(1) model of the cache's live footprint: the
+    // micro-op bodies dominate; each resident frame also carries its
+    // fixed header plus path metadata (one PC per covered x86
+    // instruction, conservatively folded into a per-frame constant),
+    // and the open-addressing index holds full capacity live.
+    constexpr size_t PER_FRAME_OVERHEAD = sizeof(Frame) + 256;
+    return size_t(occupied_) * sizeof(opt::FrameUop) +
+           frames_.size() * PER_FRAME_OVERHEAD + frames_.memoryBytes();
+}
+
+void
+FrameCache::syncGovernor()
+{
+    if (governor_)
+        governor_->update(governorId_, memoryBytes());
+}
+
+bool
+FrameCache::evictLru(const char *counter)
+{
     // Touch ticks are unique, so the strict minimum is exactly the
-    // back of an LRU list.
+    // back of an LRU list.  The pinned entry (the frame currently
+    // being sequenced) is never a victim.
     uint32_t victim_pc = 0;
     uint64_t victim_tick = UINT64_MAX;
     frames_.forEach([&](uint32_t pc, const Entry &entry) {
+        if (pinnedValid_ && pc == pinnedPc_)
+            return;
         if (entry.lastUsed < victim_tick) {
             victim_tick = entry.lastUsed;
             victim_pc = pc;
         }
     });
+    if (victim_tick == UINT64_MAX)
+        return false;
     Entry *victim = frames_.find(victim_pc);
     occupied_ -= victim->frame->numUops();
     frames_.erase(victim_pc);
-    ++stats_.counter("evictions");
+    ++stats_.counter(counter);
+    syncGovernor();
+    return true;
+}
+
+bool
+FrameCache::shedLru()
+{
+    return evictLru("pressure_sheds");
+}
+
+unsigned
+FrameCache::shedToUops(unsigned target_uops)
+{
+    unsigned shed = 0;
+    while (occupied_ > target_uops && shedLru())
+        ++shed;
+    return shed;
+}
+
+void
+FrameCache::pin(uint32_t pc)
+{
+    pinnedValid_ = true;
+    pinnedPc_ = pc;
+}
+
+void
+FrameCache::unpin()
+{
+    pinnedValid_ = false;
 }
 
 void
@@ -38,13 +102,21 @@ FrameCache::insert(FramePtr frame)
     }
     const uint32_t pc = frame->startPc;
     invalidate(pc);
-    while (occupied_ + size > capacity_)
-        evictLru();
+    while (occupied_ + size > capacity_) {
+        if (!evictLru("evictions")) {
+            // Only the pinned frame is left and the newcomer still
+            // does not fit: reject it rather than evict the frame
+            // being sequenced.
+            ++stats_.counter("rejected");
+            return;
+        }
+    }
     Entry &entry = frames_[pc];
     entry.frame = std::move(frame);
     entry.lastUsed = ++tick_;
     occupied_ += size;
     ++stats_.counter("inserts");
+    syncGovernor();
 }
 
 FramePtr
@@ -76,6 +148,7 @@ FrameCache::invalidate(uint32_t pc)
     occupied_ -= entry->frame->numUops();
     frames_.erase(pc);
     ++stats_.counter("invalidations");
+    syncGovernor();
 }
 
 } // namespace replay::core

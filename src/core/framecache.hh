@@ -14,6 +14,16 @@
  * the table, which is fine because evictions are orders of magnitude
  * rarer than lookups and the table is small (<= capacity/minUops
  * frames).
+ *
+ * Resource governance: when a ResourceGovernor is attached the cache
+ * reports its live footprint (frame bodies + index) on every
+ * occupancy change, and exposes shedLru()/shedToUops() so the engine
+ * can evict down to budget under memory pressure.  One frame may be
+ * *pinned* — the frame the fetch engine is currently sequencing —
+ * and neither shedding nor ordinary capacity eviction will victimize
+ * it (the shared_ptr keeps the object alive regardless; pinning keeps
+ * the cache *entry*, so an in-flight frame cannot be re-requested as
+ * a candidate and rebuilt while it executes).
  */
 
 #ifndef REPLAY_CORE_FRAMECACHE_HH
@@ -23,6 +33,7 @@
 
 #include "core/frame.hh"
 #include "util/flathash.hh"
+#include "util/governor.hh"
 #include "util/stats.hh"
 
 namespace replay::core {
@@ -35,8 +46,9 @@ class FrameCache
 
     /**
      * Insert (or replace) a frame.  Evicts least-recently-used frames
-     * until the new frame fits.  Frames larger than the whole cache
-     * are rejected.
+     * until the new frame fits.  Frames larger than the whole cache —
+     * or that cannot fit without evicting the pinned frame — are
+     * rejected.
      */
     void insert(FramePtr frame);
 
@@ -49,6 +61,30 @@ class FrameCache
     /** Remove the frame at @p pc (e.g. after repeated assert fires). */
     void invalidate(uint32_t pc);
 
+    /**
+     * Pin the entry at @p pc (the frame being sequenced): it cannot be
+     * shed or evicted until unpin().  At most one entry is pinned.
+     */
+    void pin(uint32_t pc);
+    void unpin();
+
+    /** Evict the unpinned LRU frame; false if none is evictable. */
+    bool shedLru();
+
+    /**
+     * Evict unpinned LRU frames until occupancy <= @p target_uops.
+     * Returns the number of frames shed.  The pinned frame is never a
+     * victim, so the post-condition is occupancy <= max(target, pinned
+     * frame size).
+     */
+    unsigned shedToUops(unsigned target_uops);
+
+    /** Attach a governor; the cache reports footprint changes to it. */
+    void setGovernor(ResourceGovernor *governor);
+
+    /** Live footprint: frame bodies, path metadata, and the index. */
+    size_t memoryBytes() const;
+
     unsigned occupiedUops() const { return occupied_; }
     unsigned capacityUops() const { return capacity_; }
     size_t numFrames() const { return frames_.size(); }
@@ -56,7 +92,9 @@ class FrameCache
     StatGroup &stats() { return stats_; }
 
   private:
-    void evictLru();
+    /** Evict the unpinned LRU entry; false if nothing is evictable. */
+    bool evictLru(const char *counter);
+    void syncGovernor();
 
     struct Entry
     {
@@ -68,6 +106,10 @@ class FrameCache
     unsigned occupied_ = 0;
     uint64_t tick_ = 0;
     FlatMap<uint32_t, Entry> frames_;
+    bool pinnedValid_ = false;
+    uint32_t pinnedPc_ = 0;
+    ResourceGovernor *governor_ = nullptr;
+    unsigned governorId_ = 0;
     StatGroup stats_{"fcache"};
     Counter &hits_{stats_.counter("hits")};
     Counter &misses_{stats_.counter("misses")};

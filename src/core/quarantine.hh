@@ -48,6 +48,10 @@ class Quarantine
     unsigned strikes(uint32_t pc, uint64_t now);
 
     size_t size() const { return entries_.size(); }
+
+    /** Live table footprint (governor accounting). */
+    size_t memoryBytes() const { return entries_.memoryBytes(); }
+
     StatGroup &stats() { return stats_; }
 
   private:

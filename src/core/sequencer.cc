@@ -9,10 +9,38 @@ namespace replay::core {
 
 RePlayEngine::RePlayEngine(EngineConfig cfg)
     : cfg_(cfg), constructor_(cfg.constructor),
-      optimizer_(cfg.optConfig),
+      optimizer_(cfg.optConfig), cheapOptimizer_(cfg.cheapOptConfig),
       optPipe_(cfg.optPipelineDepth, cfg.optCyclesPerUop),
       cache_(cfg.fcacheCapacityUops), quarantine_(cfg.quarantine)
 {
+    if (cfg_.governor) {
+        cache_.setGovernor(cfg_.governor);
+        govPoolId_ = cfg_.governor->registerConsumer("frame_pool");
+        govQuarantineId_ = cfg_.governor->registerConsumer("quarantine");
+    }
+}
+
+void
+RePlayEngine::syncGovernor()
+{
+    if (!cfg_.governor)
+        return;
+    cfg_.governor->update(govPoolId_, framePool_.arenaFootprintBytes());
+    cfg_.governor->update(govQuarantineId_, quarantine_.memoryBytes());
+}
+
+void
+RePlayEngine::relievePressure()
+{
+    if (!cfg_.governor)
+        return;
+    // Shed LRU frames one at a time, rechecking between evictions so
+    // exactly enough is released; the frame being sequenced is pinned
+    // and never a victim.
+    while (cfg_.governor->pressure() >= Pressure::SOFT &&
+           cache_.shedLru()) {
+        ++govShedFrames_;
+    }
 }
 
 void
@@ -27,6 +55,22 @@ RePlayEngine::enqueueCandidate(FrameCandidate &cand, uint64_t now)
     // from every observed early exit (a frame whose assertions keep
     // firing is instead removed by bias eviction, making room for the
     // shorter variant).
+    if (cfg_.governor) {
+        // Degradation ladder, worst rung first: under CRITICAL
+        // pressure no frame is built at all — fetch continues on the
+        // conventional path, which needs no new memory.
+        if (cfg_.governor->pressure() == Pressure::CRITICAL) {
+            ++govSuspended_;
+            return;
+        }
+        // Chaos hook: an injected allocation failure at the candidate
+        // build site is survived the same way a real one is below —
+        // the candidate is dropped and the pipeline keeps running.
+        if (cfg_.governor->allocWouldFail()) {
+            ++allocFailures_;
+            return;
+        }
+    }
     if (quarantine_.blocked(cand.startPc, now)) {
         ++stats_.counter("quarantine_candidate_drops");
         return;
@@ -58,58 +102,91 @@ RePlayEngine::enqueueCandidate(FrameCandidate &cand, uint64_t now)
         ready_at = *done;
     }
 
-    // A recycled frame keeps its vector capacities; everything else is
-    // reassigned below, and the optimizer overwrites body wholesale.
-    FramePtr frame = framePool_.acquire();
-    frame->id = nextFrameId_++;
-    frame->startPc = cand.startPc;
-    frame->pcs = cand.pcs;      // copy: the candidate's buffer recycles
-    frame->nextPc = cand.nextPc;
-    frame->dynamicExit = cand.dynamicExit;
-    frame->numBlocks = cand.numBlocks;
-    frame->fetches = 0;
-    frame->assertFires = 0;
-    frame->conflicts = 0;
-    if (cfg_.optimize)
-        optimizer_.optimize(cand.uops, cand.blocks, &profile_, optStats_,
-                            frame->body);
-    else
-        opt::Optimizer::passthrough(cand.uops, cand.blocks, true,
-                                    frame->body);
-
-    bool sabotaged = false;
-    uint64_t pristine = 0;
-    if (cfg_.injector) {
-        pristine = fault::FaultInjector::hashBody(frame->body);
-        if (cfg_.injector->maybeSabotagePass(frame->body)) {
-            sabotaged =
-                fault::FaultInjector::hashBody(frame->body) != pristine;
-            ++stats_.counter("fault_pass_sabotage");
+    // The frame build allocates (pool growth, vector copies, optimizer
+    // scratch); a real std::bad_alloc anywhere in it is survived by
+    // dropping this candidate — the sequencer keeps serving frames it
+    // already has and fetch keeps running conventionally.
+    try {
+        // A recycled frame keeps its vector capacities; everything
+        // else is reassigned below, and the optimizer overwrites body
+        // wholesale.
+        FramePtr frame = framePool_.acquire();
+        frame->id = nextFrameId_++;
+        frame->startPc = cand.startPc;
+        frame->pcs = cand.pcs;  // copy: the candidate's buffer recycles
+        frame->nextPc = cand.nextPc;
+        frame->dynamicExit = cand.dynamicExit;
+        frame->numBlocks = cand.numBlocks;
+        frame->fetches = 0;
+        frame->assertFires = 0;
+        frame->conflicts = 0;
+        if (!cfg_.optimize) {
+            opt::Optimizer::passthrough(cand.uops, cand.blocks, true,
+                                        frame->body);
+        } else if (cfg_.governor &&
+                   cfg_.governor->pressure() >= Pressure::HARD) {
+            // HARD pressure: the cheap pass subset keeps deposits
+            // flowing without the full pipeline's scratch footprint;
+            // the static verifier discharges the same obligations.
+            cheapOptimizer_.optimize(cand.uops, cand.blocks, &profile_,
+                                     optStats_, frame->body);
+            ++govCheapOpts_;
+        } else {
+            optimizer_.optimize(cand.uops, cand.blocks, &profile_,
+                                optStats_, frame->body);
         }
-    }
-    frame->bodyHash = pristine;
-    frame->faultInjected = sabotaged;
-    frame->unsafeStores.clear();
-    for (size_t i = 0; i < frame->body.uops.size(); ++i) {
-        const opt::FrameUop &fu = frame->body.uops[i];
-        if (fu.unsafe && fu.uop.isStore()) {
-            frame->unsafeStores.push_back(
-                {fu.uop.instIdx, fu.uop.memSeq});
-        }
-    }
-    std::sort(frame->unsafeStores.begin(), frame->unsafeStores.end());
 
-    pending_.push_back({ready_at, std::move(frame)});
-    ++candidates_;
+        bool sabotaged = false;
+        uint64_t pristine = 0;
+        if (cfg_.injector) {
+            pristine = fault::FaultInjector::hashBody(frame->body);
+            if (cfg_.injector->maybeSabotagePass(frame->body)) {
+                sabotaged =
+                    fault::FaultInjector::hashBody(frame->body) !=
+                    pristine;
+                ++stats_.counter("fault_pass_sabotage");
+            }
+        }
+        frame->bodyHash = pristine;
+        frame->faultInjected = sabotaged;
+        frame->unsafeStores.clear();
+        for (size_t i = 0; i < frame->body.uops.size(); ++i) {
+            const opt::FrameUop &fu = frame->body.uops[i];
+            if (fu.unsafe && fu.uop.isStore()) {
+                frame->unsafeStores.push_back(
+                    {fu.uop.instIdx, fu.uop.memSeq});
+            }
+        }
+        std::sort(frame->unsafeStores.begin(),
+                  frame->unsafeStores.end());
+
+        pending_.push_back({ready_at, std::move(frame)});
+        ++candidates_;
+    } catch (const std::bad_alloc &) {
+        ++allocFailures_;
+        return;
+    }
+    syncGovernor();
 }
 
 void
 RePlayEngine::drainReady(uint64_t now)
 {
     while (!pending_.empty() && pending_.front().readyAt <= now) {
+        // SOFT pressure and worse: stop admitting new frames — the
+        // cache is the largest shrinkable consumer, so growing it
+        // under pressure would immediately be shed again.
+        if (cfg_.governor &&
+            cfg_.governor->pressure() >= Pressure::SOFT) {
+            ++govAdmitRejects_;
+            pending_.pop_front();
+            continue;
+        }
         cache_.insert(std::move(pending_.front().frame));
         pending_.pop_front();
     }
+    syncGovernor();
+    relievePressure();
 }
 
 void
@@ -132,8 +209,14 @@ RePlayEngine::frameFor(uint32_t pc, uint64_t now)
         return nullptr;
     }
     FramePtr frame = cache_.lookup(pc);
-    if (frame && cfg_.injector &&
-        cfg_.injector->maybeFlipOnFetch(frame->body)) {
+    if (!frame)
+        return nullptr;
+    // Pin the in-flight entry: pressure shedding between now and the
+    // frame's commit/abort must not victimize the frame being
+    // sequenced (the matching unpin is in frameCommitted /
+    // frameAborted / frameQuarantined).
+    cache_.pin(pc);
+    if (cfg_.injector && cfg_.injector->maybeFlipOnFetch(frame->body)) {
         frame->faultInjected =
             fault::FaultInjector::hashBody(frame->body) !=
             frame->bodyHash;
@@ -145,6 +228,7 @@ RePlayEngine::frameFor(uint32_t pc, uint64_t now)
 void
 RePlayEngine::frameCommitted(const FramePtr &frame)
 {
+    cache_.unpin();
     ++frame->fetches;
     ++frameCommits_;
 }
@@ -153,6 +237,7 @@ void
 RePlayEngine::frameAborted(const FramePtr &frame,
                            const FrameOutcome &outcome)
 {
+    cache_.unpin();
     ++frame->fetches;
     if (outcome.kind == FrameOutcome::Kind::UNSAFE_CONFLICT) {
         ++frame->conflicts;
@@ -183,9 +268,11 @@ RePlayEngine::frameAborted(const FramePtr &frame,
 void
 RePlayEngine::frameQuarantined(const FramePtr &frame, uint64_t now)
 {
+    cache_.unpin();
     cache_.invalidate(frame->startPc);
     quarantine_.add(frame->startPc, now);
     ++stats_.counter("quarantines");
+    syncGovernor();
 }
 
 } // namespace replay::core

@@ -19,6 +19,7 @@
 #include "opt/datapath.hh"
 #include "opt/optimizer.hh"
 #include "util/arena.hh"
+#include "util/governor.hh"
 
 namespace replay::fault {
 class FaultInjector;
@@ -49,6 +50,19 @@ struct EngineConfig
      * frame-cache fetch and sabotage of optimized bodies.
      */
     fault::FaultInjector *injector = nullptr;
+
+    /**
+     * Optional resource governor (owned by the simulator/session).
+     * When set, the engine reports the footprint of its cache, frame
+     * pool, and quarantine table, and degrades under pressure: SOFT
+     * sheds cached frames and rejects deposits, HARD optimizes new
+     * frames with cheapOptConfig only, CRITICAL suspends frame
+     * construction entirely.  Null = ungoverned (seed behaviour).
+     */
+    ResourceGovernor *governor = nullptr;
+
+    /** The degraded pass subset used under HARD pressure. */
+    opt::OptConfig cheapOptConfig = opt::OptConfig::cheap();
 };
 
 /** Frame construction / optimization / caching engine. */
@@ -97,9 +111,19 @@ class RePlayEngine
   private:
     void enqueueCandidate(FrameCandidate &cand, uint64_t now);
 
+    /**
+     * Governor plumbing: report the engine-owned footprints (frame
+     * pool arena, quarantine table) and, while pressure is SOFT or
+     * worse, shed LRU frames until it relieves (the pinned in-flight
+     * frame is never shed).
+     */
+    void syncGovernor();
+    void relievePressure();
+
     EngineConfig cfg_;
     FrameConstructor constructor_;
     opt::Optimizer optimizer_;
+    opt::Optimizer cheapOptimizer_;
     opt::OptimizerPipeline optPipe_;
     FrameCache cache_;
     Quarantine quarantine_;
@@ -113,6 +137,16 @@ class RePlayEngine
     Counter &duplicateCandidates_{stats_.counter("duplicate_candidates")};
     Counter &frameCommits_{stats_.counter("frame_commits")};
     Counter &assertFires_{stats_.counter("assert_fires")};
+    // Degradation-ladder counters (all zero while ungoverned).
+    Counter &govShedFrames_{stats_.counter("gov_shed_frames")};
+    Counter &govAdmitRejects_{stats_.counter("gov_admit_rejects")};
+    Counter &govCheapOpts_{stats_.counter("gov_cheap_opts")};
+    Counter &govSuspended_{stats_.counter("gov_suspended")};
+    Counter &allocFailures_{stats_.counter("alloc_failures")};
+
+    /** Governor consumer ids (valid only when cfg_.governor). */
+    unsigned govPoolId_ = 0;
+    unsigned govQuarantineId_ = 0;
 
     /**
      * Recycles Frame objects: a frame freed by eviction returns its

@@ -18,6 +18,8 @@
 #include "core/sequencer.hh"
 #include "fault/faultinjector.hh"
 #include "timing/pipeline.hh"
+#include "util/cancellation.hh"
+#include "util/governor.hh"
 
 namespace replay::sim {
 
@@ -56,6 +58,23 @@ struct SimConfig
 
     /** Fault-injection knobs (all rates 0 = injector disabled). */
     fault::FaultConfig fault;
+
+    /**
+     * Memory-budget knobs.  budgetBytes == 0 (default) means
+     * ungoverned: no governor is built and behaviour is bit-identical
+     * to the seed.  Nonzero gives this run its own ResourceGovernor
+     * (per-session, never shared: accounting must be deterministic for
+     * a fixed trace regardless of sweep parallelism).
+     */
+    GovernorConfig governor;
+
+    /**
+     * Cooperative cancellation/deadline token, checked between trace
+     * records.  Default token is null (never fires).  The simulator
+     * throws CancelledError at the next checkpoint after the token
+     * trips; the run produces no stats.
+     */
+    CancelToken cancel;
 
     std::string name() const { return machineName(machine); }
 

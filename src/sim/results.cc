@@ -33,6 +33,20 @@ RunStats::merge(const RunStats &other)
     quarantineBlocks += other.quarantineBlocks;
     quarantineDrops += other.quarantineDrops;
     quarantineReadmissions += other.quarantineReadmissions;
+    govSoftTransitions += other.govSoftTransitions;
+    govHardTransitions += other.govHardTransitions;
+    govCriticalTransitions += other.govCriticalTransitions;
+    govShedFrames += other.govShedFrames;
+    govAdmitRejects += other.govAdmitRejects;
+    govCheapOpts += other.govCheapOpts;
+    govSuspendedCandidates += other.govSuspendedCandidates;
+    allocFailures += other.allocFailures;
+    stallsInjected += other.stallsInjected;
+    // Peak footprint merges via max: commutative and associative like
+    // the sums, so merged results stay independent of arrival order.
+    govPeakBytes = govPeakBytes > other.govPeakBytes
+                       ? govPeakBytes
+                       : other.govPeakBytes;
     // Combine digests with modular addition: commutative and
     // associative, so a merged digest is independent of the order the
     // per-trace results arrive in (serial loop or parallel sweep).
@@ -110,6 +124,32 @@ RunStats::fingerprint() const
     f.mix(quarantineBlocks);
     f.mix(quarantineDrops);
     f.mix(quarantineReadmissions);
+    // Governance counters joined the struct after the golden
+    // fingerprints were frozen.  They are all zero in ungoverned,
+    // fault-free runs, so they contribute only when any is nonzero —
+    // behind a sentinel so a governed run can never collide with an
+    // ungoverned run that happens to share the other counters.
+    // govPeakBytes is deliberately NOT part of the predicate: a
+    // governor that never leaves OK is observation-only and must leave
+    // the fingerprint bit-identical to an ungoverned run.
+    const bool governed = govSoftTransitions || govHardTransitions ||
+                          govCriticalTransitions || govShedFrames ||
+                          govAdmitRejects || govCheapOpts ||
+                          govSuspendedCandidates || allocFailures ||
+                          stallsInjected;
+    if (governed) {
+        f.mix(uint64_t(0x60767265646e6f67ULL)); // sentinel: "governed"
+        f.mix(govSoftTransitions);
+        f.mix(govHardTransitions);
+        f.mix(govCriticalTransitions);
+        f.mix(govShedFrames);
+        f.mix(govAdmitRejects);
+        f.mix(govCheapOpts);
+        f.mix(govSuspendedCandidates);
+        f.mix(allocFailures);
+        f.mix(stallsInjected);
+        f.mix(govPeakBytes);
+    }
     f.mix(archDigest);
     f.mix(uint64_t(archDigestValid));
     f.mix(optStats.framesOptimized);

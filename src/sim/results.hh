@@ -67,6 +67,19 @@ struct RunStats
     uint64_t quarantineDrops = 0;       ///< candidates denied
     uint64_t quarantineReadmissions = 0;
 
+    // Resource-governance / degradation counters (all zero while
+    // ungoverned and fault-free — see the fingerprint() note).
+    uint64_t govSoftTransitions = 0;     ///< entries into SOFT
+    uint64_t govHardTransitions = 0;     ///< entries into HARD
+    uint64_t govCriticalTransitions = 0; ///< entries into CRITICAL
+    uint64_t govShedFrames = 0;          ///< frames shed under pressure
+    uint64_t govAdmitRejects = 0;        ///< deposits rejected (SOFT+)
+    uint64_t govCheapOpts = 0;           ///< cheap-subset optimizations
+    uint64_t govSuspendedCandidates = 0; ///< dropped under CRITICAL
+    uint64_t allocFailures = 0;          ///< bad_alloc or injected fail
+    uint64_t stallsInjected = 0;         ///< chaos stalls taken
+    uint64_t govPeakBytes = 0;           ///< peak governed footprint
+
     /**
      * FNV-1a64 of the architectural state at the instruction budget
      * (online verification only): bit-identical across machines and

@@ -1,6 +1,8 @@
 #include "sim/simulator.hh"
 
 #include <array>
+#include <chrono>
+#include <thread>
 
 #include "core/frame.hh"
 #include "util/logging.hh"
@@ -36,9 +38,21 @@ Simulator::Simulator(const SimConfig &cfg)
       rat_(std::make_unique<Rat>())
 {
     vstatic::maybeEnableStaticCheckFromEnv();
-    if (cfg_.usesFrames() && cfg_.fault.enabled()) {
+    if (cfg_.fault.enabled()) {
         injector_ = std::make_unique<fault::FaultInjector>(cfg_.fault);
-        cfg_.engine.injector = injector_.get();
+        if (cfg_.usesFrames())
+            cfg_.engine.injector = injector_.get();
+    }
+    if (cfg_.usesFrames() && cfg_.governor.budgetBytes > 0) {
+        // Per-run governor (never shared across sessions): pressure
+        // must depend only on this run's own allocation history so
+        // governed sweeps stay deterministic under any --jobs.
+        governor_ = std::make_unique<ResourceGovernor>(cfg_.governor);
+        if (injector_ && cfg_.fault.allocFailRate > 0.0) {
+            governor_->setAllocFailureInjector(
+                [inj = injector_.get()] { return inj->maybeFailAlloc(); });
+        }
+        cfg_.engine.governor = governor_.get();
     }
     if (cfg_.usesFrames())
         engine_ = std::make_unique<core::RePlayEngine>(cfg_.engine);
@@ -388,8 +402,22 @@ Simulator::run(trace::TraceSource &src)
     stats_ = RunStats{};
     stats_.config = cfg_.name();
 
+    uint64_t checkpoint = 0;
     while (!src.done() &&
            (cfg_.maxInsts == 0 || stats_.x86Retired < cfg_.maxInsts)) {
+        // Cancellation / watchdog checkpoint: cheap enough to sit on
+        // the hot loop (one counter test), frequent enough that a
+        // cancelled or deadline-expired run unwinds within ~1k
+        // records.  The injected stall models a wedged dependency and
+        // exists to exercise the sweep watchdog.
+        if ((++checkpoint & 1023u) == 0) {
+            if (injector_ && injector_->maybeStall()) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(cfg_.fault.stallMillis));
+                ++stats_.stallsInjected;
+            }
+            cfg_.cancel.throwIfStopped("simulation");
+        }
         const TraceRecord *rec = src.peek();
         const uint32_t pc = rec->pc;
 
@@ -438,6 +466,22 @@ Simulator::run(trace::TraceSource &src)
             engine_->stats().get("quarantine_candidate_drops");
         stats_.quarantineReadmissions =
             engine_->quarantine().stats().get("readmissions");
+        stats_.govShedFrames = engine_->stats().get("gov_shed_frames");
+        stats_.govAdmitRejects =
+            engine_->stats().get("gov_admit_rejects");
+        stats_.govCheapOpts = engine_->stats().get("gov_cheap_opts");
+        stats_.govSuspendedCandidates =
+            engine_->stats().get("gov_suspended");
+        stats_.allocFailures = engine_->stats().get("alloc_failures");
+    }
+    if (governor_) {
+        stats_.govSoftTransitions =
+            governor_->stats().get("soft_transitions");
+        stats_.govHardTransitions =
+            governor_->stats().get("hard_transitions");
+        stats_.govCriticalTransitions =
+            governor_->stats().get("critical_transitions");
+        stats_.govPeakBytes = governor_->peakBytes();
     }
     if (online_) {
         stats_.archDigest = online_->digest();

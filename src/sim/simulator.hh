@@ -43,6 +43,9 @@ class Simulator
     /** The online verifier (cfg.verifyOnline; null otherwise). */
     verify::OnlineVerifier *online() { return online_.get(); }
 
+    /** The resource governor (cfg.governor.budgetBytes > 0 only). */
+    ResourceGovernor *governor() { return governor_.get(); }
+
   private:
     struct Rat;
 
@@ -62,6 +65,7 @@ class Simulator
     timing::BranchPredictor bpred_;
     uop::Translator translator_;
     std::unique_ptr<fault::FaultInjector> injector_;    ///< before engine_
+    std::unique_ptr<ResourceGovernor> governor_;        ///< before engine_
     std::unique_ptr<core::RePlayEngine> engine_;
     std::unique_ptr<TraceCacheUnit> tcache_;
     std::unique_ptr<verify::OnlineVerifier> online_;

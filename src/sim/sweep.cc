@@ -75,9 +75,37 @@ runSweep(const std::vector<SweepCell> &cells, const SweepOptions &opts)
     std::vector<RunStats> slots(tasks.size());
     parallelFor(jobs, tasks.size(), [&](size_t i) {
         const Task &task = tasks[i];
-        auto src = task.cell->workload->openTrace(task.traceIdx, insts);
-        slots[i] = simulateTrace(task.cell->cfg, *src,
-                                 task.cell->workload->name);
+        // Per-task watchdog: each simulation polls its own deadline
+        // token at the fetch-loop checkpoint.  A task failure of any
+        // kind (deadline, trace error, logic bug) is re-raised with
+        // the cell's identity attached; parallelFor captures the first
+        // one, cancels the remaining tasks, and rethrows from the
+        // join, so a sweep aborts with a diagnostic instead of
+        // std::terminate.
+        CancelSource watchdog;
+        SimConfig cfg = task.cell->cfg;
+        if (opts.taskDeadlineMillis) {
+            watchdog.setDeadlineAfter(
+                std::chrono::milliseconds(opts.taskDeadlineMillis));
+            cfg.cancel = watchdog.token();
+        }
+        const auto context = [&]() -> std::string {
+            return "sweep task [workload=" + task.cell->workload->name +
+                   " config=" +
+                   (task.cell->label.empty() ? cfg.name()
+                                             : task.cell->label) +
+                   " trace=" + std::to_string(task.traceIdx) + "]";
+        };
+        try {
+            auto src =
+                task.cell->workload->openTrace(task.traceIdx, insts);
+            slots[i] = simulateTrace(cfg, *src,
+                                     task.cell->workload->name);
+        } catch (const CancelledError &e) {
+            throw CancelledError(context() + ": " + e.what());
+        } catch (const std::exception &e) {
+            throw std::runtime_error(context() + ": " + e.what());
+        }
     });
 
     SweepResult result;

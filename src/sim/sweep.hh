@@ -56,6 +56,15 @@ struct SweepOptions
      * scratch.
      */
     bool warmup = true;
+
+    /**
+     * Soft per-task deadline in milliseconds; 0 = none.  Each (cell,
+     * trace) simulation gets its own CancelSource armed with this
+     * budget; a task that overruns it throws CancelledError at the
+     * simulator's next checkpoint.  The exception aborts the sweep
+     * cleanly (see runSweep), it does not silently drop the cell.
+     */
+    unsigned taskDeadlineMillis = 0;
 };
 
 struct SweepResult

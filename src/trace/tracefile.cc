@@ -1,7 +1,11 @@
 #include "trace/tracefile.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <mutex>
+#include <set>
+#include <thread>
 
 #include "util/logging.hh"
 #include "x86/executor.hh"
@@ -242,8 +246,45 @@ traceErrorKindName(TraceError::Kind kind)
       case TraceError::Kind::BAD_CHECKSUM:    return "bad_checksum";
       case TraceError::Kind::WRITE_FAILED:    return "write_failed";
       case TraceError::Kind::FLUSH_FAILED:    return "flush_failed";
+      case TraceError::Kind::READ_ERROR:      return "read_error";
+      case TraceError::Kind::QUARANTINED:     return "quarantined";
     }
     return "?";
+}
+
+namespace {
+
+std::mutex traceQuarantineMutex;
+std::set<std::string> traceQuarantineSet;
+
+} // anonymous namespace
+
+bool
+traceQuarantined(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(traceQuarantineMutex);
+    return traceQuarantineSet.count(path) != 0;
+}
+
+void
+quarantineTrace(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(traceQuarantineMutex);
+    traceQuarantineSet.insert(path);
+}
+
+void
+clearTraceQuarantine()
+{
+    std::lock_guard<std::mutex> lock(traceQuarantineMutex);
+    traceQuarantineSet.clear();
+}
+
+size_t
+traceQuarantineSize()
+{
+    std::lock_guard<std::mutex> lock(traceQuarantineMutex);
+    return traceQuarantineSet.size();
 }
 
 void
@@ -346,6 +387,12 @@ FileTraceSource::fail(TraceError::Kind kind, std::string msg)
 FileTraceSource::FileTraceSource(const std::string &path)
     : path_(path), ring_(LOOKAHEAD * 2)
 {
+    if (traceQuarantined(path)) {
+        fail(TraceError::Kind::QUARANTINED,
+             "trace file '" + path +
+                 "' is quarantined after persistent read errors");
+        return;
+    }
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_) {
         fail(TraceError::Kind::OPEN_FAILED,
@@ -400,13 +447,19 @@ FileTraceSource::fill(unsigned n)
     // same record index as the per-record reader did.
     constexpr size_t BATCH = 64;
     const size_t rec_size = 4 + recordBytes();
+    unsigned attempts = 0;
     while (count_ < n && produced_ < total_) {
         const uint64_t want =
             std::min<uint64_t>({BATCH, total_ - produced_,
                                 uint64_t(ring_.size() - count_)});
         batch_.resize(size_t(want) * rec_size);
+        // An injected fault behaves exactly like an fread that
+        // returned nothing with ferror set — it exercises the same
+        // retry path real transient EIO does.
+        const bool injected = ioInject_ && ioInject_();
         const size_t got =
-            std::fread(batch_.data(), 1, batch_.size(), file_);
+            injected ? 0
+                     : std::fread(batch_.data(), 1, batch_.size(), file_);
         const size_t full = got / rec_size;
         for (size_t i = 0; i < full; ++i) {
             const uint8_t *buf = batch_.data() + i * rec_size;
@@ -424,11 +477,45 @@ FileTraceSource::fill(unsigned n)
             ++produced_;
         }
         if (full < want) {
+            // Short read: distinguish a *transient* stream error
+            // (ferror — e.g. EIO on flaky storage, or the injected
+            // kind above) from honest end-of-file inside a record
+            // (feof — the file really is truncated).  Only the former
+            // is worth retrying; misfiling it as TRUNCATED would
+            // silently shorten the workload.
+            if (injected || std::ferror(file_)) {
+                if (attempts < MAX_READ_RETRIES) {
+                    ++attempts;
+                    ++ioRetries_;
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(50u << attempts));
+                    std::clearerr(file_);
+                    // Re-seek to the first unread record: the failed
+                    // fread may have consumed a partial tail.
+                    if (std::fseek(file_,
+                                   long(HEADER_BYTES +
+                                        produced_ * rec_size),
+                                   SEEK_SET) == 0) {
+                        continue;
+                    }
+                }
+                // Persistently bad: quarantine the path so later
+                // opens this session fail fast instead of re-paying
+                // the retry storm.
+                quarantineTrace(path_);
+                fail(TraceError::Kind::READ_ERROR,
+                     "trace file '" + path_ +
+                         "' read error at record " +
+                         std::to_string(produced_) + " (after " +
+                         std::to_string(attempts) + " retries)");
+                return;
+            }
             fail(TraceError::Kind::TRUNCATED,
                  "trace file '" + path_ + "' truncated at record " +
                      std::to_string(produced_));
             return;
         }
+        attempts = 0;
     }
 }
 

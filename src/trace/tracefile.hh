@@ -23,6 +23,7 @@
 #define REPLAY_TRACE_TRACEFILE_HH
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -41,10 +42,12 @@ struct TraceError
         BAD_MAGIC,          ///< not a trace file
         BAD_VERSION,        ///< unsupported format version
         BAD_RECORD_SIZE,    ///< header record size != decoder's
-        TRUNCATED,          ///< file ends inside a record
+        TRUNCATED,          ///< file ends inside a record (feof)
         BAD_CHECKSUM,       ///< record payload failed its checksum
         WRITE_FAILED,       ///< fwrite reported a short write
         FLUSH_FAILED,       ///< flush/close failed
+        READ_ERROR,         ///< ferror persisted through retries
+        QUARANTINED,        ///< trace previously failed persistently
     };
 
     Kind kind = Kind::NONE;
@@ -60,6 +63,19 @@ struct TraceError
 };
 
 const char *traceErrorKindName(TraceError::Kind kind);
+
+/**
+ * Session-level trace quarantine: a trace that failed *persistently*
+ * (ferror survived every retry) is registered here, and subsequent
+ * FileTraceSource opens of the same path fail fast with QUARANTINED
+ * instead of re-paying the retry storm.  Transient faults that a retry
+ * recovered never quarantine.  Thread-safe; the registry is process
+ * wide and cleared explicitly (tests, campaign phase boundaries).
+ */
+bool traceQuarantined(const std::string &path);
+void quarantineTrace(const std::string &path);
+void clearTraceQuarantine();
+size_t traceQuarantineSize();
 
 /** Streaming writer for the binary trace format. */
 class TraceFileWriter
@@ -132,6 +148,23 @@ class FileTraceSource : public TraceSource
     /** Records actually decoded and delivered (or buffered) so far. */
     uint64_t produced() const { return produced_; }
 
+    /**
+     * Chaos hook: when set, each batched read first asks the hook
+     * whether to behave as a failed fread (transient I/O fault).  An
+     * injected fault exercises exactly the ferror retry path.
+     */
+    void
+    setIoFaultInjector(std::function<bool()> hook)
+    {
+        ioInject_ = std::move(hook);
+    }
+
+    /** Transient read faults absorbed by retrying (real + injected). */
+    uint64_t ioRetries() const { return ioRetries_; }
+
+    /** Consecutive same-batch retries before declaring READ_ERROR. */
+    static constexpr unsigned MAX_READ_RETRIES = 3;
+
   private:
     void fill(unsigned n);
     void fail(TraceError::Kind kind, std::string msg);
@@ -149,6 +182,9 @@ class FileTraceSource : public TraceSource
 
     /** Reusable block-read buffer for batched record decode. */
     std::vector<uint8_t> batch_;
+
+    std::function<bool()> ioInject_;
+    uint64_t ioRetries_ = 0;
 };
 
 } // namespace replay::trace

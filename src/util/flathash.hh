@@ -58,6 +58,17 @@ class FlatMap
     size_t size() const { return size_; }
     bool empty() const { return size_ == 0; }
 
+    /**
+     * Backing-storage footprint (governor accounting): the flat
+     * vectors hold full capacity live, so that is what gets charged.
+     */
+    size_t
+    memoryBytes() const
+    {
+        return states_.size() *
+               (sizeof(uint8_t) + sizeof(K) + sizeof(V));
+    }
+
     /** Pointer to the value for @p key, or null. */
     V *
     find(K key)
@@ -247,6 +258,7 @@ class FlatSet
   public:
     size_t size() const { return map_.size(); }
     bool empty() const { return map_.empty(); }
+    size_t memoryBytes() const { return map_.memoryBytes(); }
     bool contains(K key) const { return map_.find(key) != nullptr; }
     void insert(K key) { map_[key] = Unit{}; }
     bool erase(K key) { return map_.erase(key); }

@@ -16,10 +16,17 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
+    drain();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
+        if (firstError_) {
+            // wait() was never called to collect it; dying with the
+            // error swallowed silently would hide real failures.
+            warn("thread pool destroyed with an uncollected job "
+                 "exception");
+            firstError_ = nullptr;
+        }
     }
     jobReady_.notify_all();
     for (auto &worker : workers_)
@@ -39,10 +46,24 @@ ThreadPool::submit(std::function<void()> job)
 }
 
 void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void
 ThreadPool::wait()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     allDone_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    if (firstError_) {
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        cancelled_.store(false, std::memory_order_relaxed);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 void
@@ -58,8 +79,19 @@ ThreadPool::workerLoop()
         queue_.pop_front();
         ++active_;
         lock.unlock();
-        job();
+        std::exception_ptr error;
+        try {
+            job();
+        } catch (...) {
+            // Capture instead of letting the exception escape the
+            // worker (which would std::terminate the process); the
+            // first one is rethrown from wait().
+            error = std::current_exception();
+            cancelled_.store(true, std::memory_order_relaxed);
+        }
         lock.lock();
+        if (error && !firstError_)
+            firstError_ = error;
         --active_;
         if (queue_.empty() && active_ == 0)
             allDone_.notify_all();
@@ -76,8 +108,16 @@ parallelFor(unsigned jobs, size_t count,
         return;
     }
     ThreadPool pool(unsigned(std::min<size_t>(jobs, count)));
-    for (size_t i = 0; i < count; ++i)
-        pool.submit([&fn, i] { fn(i); });
+    for (size_t i = 0; i < count; ++i) {
+        pool.submit([&pool, &fn, i] {
+            // After a failure, queued iterations become no-ops: their
+            // results would be discarded, and skipping them gets the
+            // exception to the caller as fast as possible.
+            if (pool.cancelled())
+                return;
+            fn(i);
+        });
+    }
     pool.wait();
 }
 

@@ -8,14 +8,26 @@
  * write only to pre-allocated, disjoint result slots (indexed by job,
  * not by completion order) so that results are bit-identical for any
  * worker count.  parallelFor() packages that pattern.
+ *
+ * Failure semantics: a throwing job must not std::terminate the
+ * process (an exception escaping the std::function call in a worker
+ * thread would).  The pool captures the *first* exception a job
+ * throws, flips the cancelled flag so cooperative jobs can skip their
+ * remaining work, and rethrows from the next wait() on the submitting
+ * thread — the same place the result would have been consumed.
+ * parallelFor() builds on this: one failing iteration cancels the
+ * rest and the exception surfaces to the caller, serial and parallel
+ * paths alike.
  */
 
 #ifndef REPLAY_UTIL_THREADPOOL_HH
 #define REPLAY_UTIL_THREADPOOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -30,7 +42,7 @@ class ThreadPool
     /** Spawn @p threads workers (at least one). */
     explicit ThreadPool(unsigned threads);
 
-    /** Drains the queue, then joins the workers. */
+    /** Drains the queue, then joins the workers (never throws). */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -39,13 +51,35 @@ class ThreadPool
     /** Enqueue one job.  Never blocks on job execution. */
     void submit(std::function<void()> job);
 
-    /** Block until the queue is empty and no job is running. */
+    /**
+     * Block until the queue is empty and no job is running.  If any
+     * job threw since the last wait(), rethrows the first captured
+     * exception (the rest were cancelled or ran to completion).
+     */
     void wait();
+
+    /**
+     * A job threw (or cancelAll() was called): cooperative jobs poll
+     * this and return early instead of doing doomed work.
+     */
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_relaxed);
+    }
+
+    /** Request cancellation of queued cooperative work (watchdogs). */
+    void
+    cancelAll()
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
 
     unsigned numThreads() const { return unsigned(workers_.size()); }
 
   private:
     void workerLoop();
+    void drain();
 
     std::mutex mutex_;
     std::condition_variable jobReady_;   ///< workers wait here
@@ -54,6 +88,8 @@ class ThreadPool
     std::vector<std::thread> workers_;
     unsigned active_ = 0;                ///< jobs currently executing
     bool stopping_ = false;
+    std::exception_ptr firstError_;      ///< guarded by mutex_
+    std::atomic<bool> cancelled_{false};
 };
 
 /**
@@ -61,6 +97,11 @@ class ThreadPool
  * are done.  jobs <= 1 runs inline on the calling thread — the serial
  * and parallel paths execute the same iterations, so any fn that
  * writes only to its own index produces identical results either way.
+ *
+ * If an iteration throws, iterations not yet started are skipped and
+ * the first exception is rethrown to the caller once in-flight work
+ * has finished — never std::terminate.  Which iterations were skipped
+ * is unspecified; on the error path no result may be consumed anyway.
  */
 void parallelFor(unsigned jobs, size_t count,
                  const std::function<void(size_t)> &fn);

@@ -322,3 +322,101 @@ TEST(TraceFile, RingWraparoundDeliversIdenticalStream)
     EXPECT_EQ(n, total);
     EXPECT_TRUE(src.ok());
 }
+
+// ---------------------------------------------------------------------
+// Batched-read fault recovery: ferror is transient (retry), feof is
+// truncation, persistence quarantines the path for the session.
+// ---------------------------------------------------------------------
+
+#include <filesystem>
+
+#include "fault/faultinjector.hh"
+#include "util/rng.hh"
+
+namespace {
+
+/** Write a small pristine trace; returns its path. */
+std::string
+writeTrace(const char *name, uint64_t records)
+{
+    const Workload &w = findWorkload("gzip");
+    const std::string path = ::testing::TempDir() + name;
+    TraceFileWriter::dumpProgram(w.buildProgram(0), records, path);
+    return path;
+}
+
+} // namespace
+
+TEST(TraceFileFaults, TransientFaultsRetriedToFullStream)
+{
+    clearTraceQuarantine();
+    const std::string path = writeTrace("transient.rplt", 1500);
+
+    // Fault ~15% of batched read attempts: every one must be absorbed
+    // by the bounded retry (aborting needs MAX_READ_RETRIES + 1
+    // consecutive hits, vanishingly unlikely in this seeded stream),
+    // delivering the identical full stream.
+    FileTraceSource src(path);
+    Rng rng(42);
+    src.setIoFaultInjector([&rng] { return rng.chance(0.15); });
+    uint64_t n = 0;
+    while (!src.done()) {
+        src.advance();
+        ++n;
+    }
+    EXPECT_TRUE(src.ok())
+        << traceErrorKindName(src.error().kind) << ": "
+        << src.error().message;
+    EXPECT_EQ(n, 1500u);
+    EXPECT_GT(src.ioRetries(), 0u);
+    // A recovered trace is NOT quarantined.
+    EXPECT_FALSE(traceQuarantined(path));
+}
+
+TEST(TraceFileFaults, PersistentFaultReadsErrorAndQuarantines)
+{
+    clearTraceQuarantine();
+    const std::string path = writeTrace("persistent.rplt", 800);
+
+    FileTraceSource src(path);
+    src.setIoFaultInjector([] { return true; });
+    while (!src.done())
+        src.advance();
+    EXPECT_EQ(src.error().kind, TraceError::Kind::READ_ERROR);
+    EXPECT_EQ(src.ioRetries(), FileTraceSource::MAX_READ_RETRIES);
+    EXPECT_TRUE(traceQuarantined(path));
+    EXPECT_EQ(traceQuarantineSize(), 1u);
+
+    // Session quarantine: the next open fails fast, no I/O retries.
+    FileTraceSource again(path);
+    EXPECT_EQ(again.error().kind, TraceError::Kind::QUARANTINED);
+    EXPECT_TRUE(again.done());
+    EXPECT_EQ(again.ioRetries(), 0u);
+
+    clearTraceQuarantine();
+    FileTraceSource clean(path);
+    EXPECT_TRUE(clean.ok());
+}
+
+TEST(TraceFileFaults, TruncationIsNotMistakenForReadError)
+{
+    clearTraceQuarantine();
+    const std::string path = writeTrace("truncated.rplt", 600);
+
+    // Chop mid-record: an honest feof short-read must surface as
+    // TRUNCATED (valid prefix delivered), never as the retriable
+    // READ_ERROR — and must not waste retries or quarantine the path.
+    const auto size = std::filesystem::file_size(path);
+    ASSERT_TRUE(fault::FaultInjector::truncateFile(path, size / 2 + 7));
+    FileTraceSource src(path);
+    uint64_t n = 0;
+    while (!src.done()) {
+        src.advance();
+        ++n;
+    }
+    EXPECT_EQ(src.error().kind, TraceError::Kind::TRUNCATED);
+    EXPECT_GT(n, 0u);
+    EXPECT_LT(n, 600u);
+    EXPECT_EQ(src.ioRetries(), 0u);
+    EXPECT_FALSE(traceQuarantined(path));
+}

@@ -1,0 +1,451 @@
+/**
+ * @file
+ * chaosrunner — chaos/soak campaign driver for the robustness harness.
+ *
+ * Composes every failure source the stack can inject — frame-cache bit
+ * flips, optimizer sabotage, allocation failures (through the resource
+ * governor's hook), transient and persistent trace I/O faults, and
+ * task stalls against the sweep watchdog — into an N-seed campaign and
+ * asserts the engineered guarantees actually hold:
+ *
+ *   phase A (engine soak)  every seeded run completes (no crash, no
+ *                          uncaught exception), no corrupt frame
+ *                          escapes the online verifier, governed
+ *                          memory stays bounded, and a repeated seed
+ *                          reproduces its fingerprint bit-for-bit;
+ *   phase B (I/O soak)     transient read faults are absorbed by
+ *                          bounded retries, corruption / truncation /
+ *                          persistent errors surface as exactly the
+ *                          right recoverable TraceError kind, and a
+ *                          persistently bad trace is quarantined for
+ *                          the rest of the session;
+ *   phase C (watchdog)     an injected stall trips the per-task soft
+ *                          deadline, and the sweep aborts with one
+ *                          diagnostic exception naming the cell
+ *                          instead of std::terminate;
+ *   phase D (determinism)  with injection disabled, governed and
+ *                          ungoverned sweep digests are bit-identical
+ *                          across --jobs values.
+ *
+ * Exit status is 0 iff every phase passed; run it under ASan/UBSan to
+ * extend "no crash" to "no leak, no UB" (scripts/tier1.sh does).
+ *
+ * Usage:
+ *   chaosrunner [--seeds N] [--insts N] [--budget BYTES] [--jobs N]
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fault/faultinjector.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+#include "trace/tracefile.hh"
+#include "trace/workload.hh"
+#include "util/cancellation.hh"
+#include "util/rng.hh"
+
+using namespace replay;
+using sim::Machine;
+using sim::SimConfig;
+
+namespace {
+
+struct Options
+{
+    unsigned seeds = 24;
+    uint64_t insts = 20000;
+    size_t budgetBytes = 2u << 20;      // 2 MiB: squeezes a 16k cache
+    unsigned jobs = 4;
+};
+
+unsigned failures = 0;
+
+void
+check(bool ok, const char *phase, const std::string &what)
+{
+    if (ok)
+        return;
+    ++failures;
+    std::fprintf(stderr, "chaosrunner FAIL [%s]: %s\n", phase,
+                 what.c_str());
+}
+
+/** Governed + fault-injected RPO config for one campaign seed. */
+SimConfig
+chaosConfig(const Options &opt, unsigned seed)
+{
+    SimConfig cfg = SimConfig::make(Machine::RPO);
+    cfg.maxInsts = opt.insts;
+    cfg.verifyOnline = true;
+    // Vary the squeeze per seed: 50%..150% of the base budget, so some
+    // runs live mostly in OK and others bounce off CRITICAL.
+    cfg.governor.budgetBytes =
+        opt.budgetBytes / 2 + (opt.budgetBytes * (seed % 5)) / 4;
+    cfg.fault.seed = 0x9e3779b9u + seed;
+    cfg.fault.fetchFlipRate = 0.02;
+    cfg.fault.passSabotageRate = 0.02;
+    cfg.fault.allocFailRate = 0.05;
+    return cfg;
+}
+
+uint64_t
+runOne(const SimConfig &cfg, const trace::Workload &workload,
+       unsigned trace_idx, uint64_t *peak_out)
+{
+    auto src = workload.openTrace(trace_idx, cfg.maxInsts);
+    sim::Simulator simulator(cfg);
+    const sim::RunStats stats = simulator.run(*src);
+    if (peak_out)
+        *peak_out = stats.govPeakBytes;
+    return stats.fingerprint();
+}
+
+void
+phaseEngineSoak(const Options &opt)
+{
+    const auto &workloads = trace::standardWorkloads();
+    unsigned completed = 0;
+    for (unsigned seed = 0; seed < opt.seeds; ++seed) {
+        const SimConfig cfg = chaosConfig(opt, seed);
+        const auto &workload = workloads[seed % workloads.size()];
+        try {
+            auto src = workload.openTrace(0, cfg.maxInsts);
+            sim::Simulator simulator(cfg);
+            const sim::RunStats stats = simulator.run(*src);
+            ++completed;
+            check(stats.corruptFrameCommits == 0, "engine",
+                  "seed " + std::to_string(seed) + " (" + workload.name +
+                      "): " + std::to_string(stats.corruptFrameCommits) +
+                      " corrupt frame(s) escaped the online verifier");
+            // Bounded memory: the governor reacts between allocation
+            // steps, so the footprint may overshoot the budget by at
+            // most one step (an arena chunk / one frame), never 2x.
+            check(stats.govPeakBytes < 2 * cfg.governor.budgetBytes,
+                  "engine",
+                  "seed " + std::to_string(seed) + " peak " +
+                      std::to_string(stats.govPeakBytes) +
+                      " bytes >= 2x budget " +
+                      std::to_string(cfg.governor.budgetBytes));
+        } catch (const std::exception &e) {
+            check(false, "engine",
+                  "seed " + std::to_string(seed) +
+                      " raised: " + e.what());
+        }
+    }
+    check(completed == opt.seeds, "engine",
+          std::to_string(opt.seeds - completed) + " run(s) died");
+
+    // Reproducibility under injection: same seed, same everything.
+    const SimConfig cfg = chaosConfig(opt, 0);
+    const uint64_t a = runOne(cfg, workloads[0], 0, nullptr);
+    const uint64_t b = runOne(cfg, workloads[0], 0, nullptr);
+    check(a == b, "engine",
+          "seed 0 fingerprint not reproducible: " + std::to_string(a) +
+              " vs " + std::to_string(b));
+    std::printf("phase A (engine soak): %u/%u governed+injected runs "
+                "completed\n",
+                completed, opt.seeds);
+}
+
+/** Byte-for-byte file copy via stdio (keeps the tool dependency-free). */
+bool
+copyFile(const std::string &from, const std::string &to)
+{
+    std::FILE *in = std::fopen(from.c_str(), "rb");
+    if (!in)
+        return false;
+    std::FILE *out = std::fopen(to.c_str(), "wb");
+    if (!out) {
+        std::fclose(in);
+        return false;
+    }
+    uint8_t buf[4096];
+    size_t n;
+    bool ok = true;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0)
+        ok = ok && std::fwrite(buf, 1, n, out) == n;
+    ok = !std::ferror(in) && ok;
+    std::fclose(in);
+    ok = std::fclose(out) == 0 && ok;
+    return ok;
+}
+
+/** Drain a trace source; returns records delivered. */
+uint64_t
+drain(trace::FileTraceSource &src)
+{
+    uint64_t n = 0;
+    while (!src.done()) {
+        src.advance();
+        ++n;
+    }
+    return n;
+}
+
+void
+phaseIoSoak(const Options &opt)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("chaosrunner-" + std::to_string(unsigned(::getpid())));
+    fs::create_directories(dir);
+    const std::string pristine = (dir / "pristine.trace").string();
+
+    const auto &workload = trace::standardWorkloads().front();
+    const uint64_t records = 2000;
+    trace::TraceFileWriter::dumpProgram(workload.buildProgram(0),
+                                        records, pristine);
+    trace::clearTraceQuarantine();
+
+    unsigned transient_ok = 0, detected = 0;
+    for (unsigned seed = 0; seed < opt.seeds; ++seed) {
+        const std::string path =
+            (dir / ("seed" + std::to_string(seed) + ".trace")).string();
+        if (!copyFile(pristine, path)) {
+            check(false, "io", "cannot stage " + path);
+            continue;
+        }
+        switch (seed % 3) {
+          case 0: {
+            // Transient faults: seeded injector fires on ~10% of
+            // batched read attempts; bounded retries must deliver the
+            // whole stream with no error (aborting needs 4 hits in a
+            // row — odds well under 1% across the campaign).
+            trace::FileTraceSource src(path);
+            Rng rng(1000 + seed);
+            src.setIoFaultInjector([&rng] { return rng.chance(0.1); });
+            const uint64_t got = drain(src);
+            check(src.ok() && got == records, "io",
+                  "seed " + std::to_string(seed) +
+                      ": transient faults not absorbed (got " +
+                      std::to_string(got) + "/" +
+                      std::to_string(records) + ", error " +
+                      trace::traceErrorKindName(src.error().kind) + ")");
+            if (src.ok())
+                ++transient_ok;
+            break;
+          }
+          case 1: {
+            // Payload corruption → BAD_CHECKSUM after a valid prefix.
+            fault::FaultInjector::corruptFileBytes(path, 2000 + seed,
+                                                   0.001, 20);
+            trace::FileTraceSource src(path);
+            const uint64_t got = drain(src);
+            const auto kind = src.error().kind;
+            check(src.ok() || got <= records, "io",
+                  "seed " + std::to_string(seed) + ": bad record count");
+            check(kind == trace::TraceError::Kind::NONE ||
+                      kind == trace::TraceError::Kind::BAD_CHECKSUM,
+                  "io",
+                  "seed " + std::to_string(seed) +
+                      ": corruption surfaced as " +
+                      trace::traceErrorKindName(kind));
+            if (kind == trace::TraceError::Kind::BAD_CHECKSUM)
+                ++detected;
+            break;
+          }
+          case 2: {
+            // Truncation (honest feof) must still read TRUNCATED —
+            // never the retriable READ_ERROR.
+            fault::FaultInjector::truncateFile(
+                path, fs::file_size(path) / 2 + 7);
+            trace::FileTraceSource src(path);
+            drain(src);
+            check(src.error().kind ==
+                      trace::TraceError::Kind::TRUNCATED,
+                  "io",
+                  "seed " + std::to_string(seed) +
+                      ": truncation surfaced as " +
+                      trace::traceErrorKindName(src.error().kind));
+            if (src.error().kind == trace::TraceError::Kind::TRUNCATED)
+                ++detected;
+            break;
+          }
+        }
+        std::remove(path.c_str());
+    }
+
+    // Persistent failure: the injector never relents, so retries
+    // exhaust, the source fails with READ_ERROR, and the path is
+    // session-quarantined; the next open fails fast.
+    {
+        const std::string path = (dir / "persistent.trace").string();
+        copyFile(pristine, path);
+        trace::FileTraceSource src(path);
+        src.setIoFaultInjector([] { return true; });
+        drain(src);
+        check(src.error().kind == trace::TraceError::Kind::READ_ERROR,
+              "io", std::string("persistent fault surfaced as ") +
+                        trace::traceErrorKindName(src.error().kind));
+        trace::FileTraceSource again(path);
+        check(again.error().kind ==
+                  trace::TraceError::Kind::QUARANTINED,
+              "io", "persistently bad trace was not quarantined");
+        trace::clearTraceQuarantine();
+        std::remove(path.c_str());
+    }
+
+    std::remove(pristine.c_str());
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    std::printf("phase B (I/O soak): %u transient recoveries, %u "
+                "corruptions/truncations detected\n",
+                transient_ok, detected);
+}
+
+void
+phaseWatchdog(const Options &opt)
+{
+    // Every checkpoint stalls 10ms against a 1ms soft deadline: the
+    // first checkpoint past 1024 records must throw, and runSweep must
+    // surface it as one diagnostic exception naming the cell.
+    sim::SweepCell cell;
+    cell.workload = &trace::standardWorkloads().front();
+    cell.cfg = SimConfig::make(Machine::RPO);
+    cell.cfg.fault.seed = 7;
+    cell.cfg.fault.stallRate = 1.0;
+    cell.cfg.fault.stallMillis = 10;
+
+    sim::SweepOptions sweep;
+    sweep.jobs = opt.jobs;
+    sweep.instsPerTrace = 4096;
+    sweep.warmup = false;
+    sweep.taskDeadlineMillis = 1;
+
+    bool threw = false;
+    std::string message;
+    try {
+        (void)sim::runSweep({cell}, sweep);
+    } catch (const CancelledError &e) {
+        threw = true;
+        message = e.what();
+    } catch (const std::exception &e) {
+        message = e.what();
+    }
+    check(threw, "watchdog",
+          "stalled sweep did not raise CancelledError (got: " + message +
+              ")");
+    check(message.find("sweep task [workload=") != std::string::npos,
+          "watchdog", "missing cell diagnostic in: " + message);
+    check(message.find("deadline") != std::string::npos, "watchdog",
+          "missing deadline cause in: " + message);
+
+    // Same cells without the stall or deadline: completes normally.
+    cell.cfg.fault.stallRate = 0.0;
+    sweep.taskDeadlineMillis = 0;
+    try {
+        const auto result = sim::runSweep({cell}, sweep);
+        check(result.cells.size() == 1 &&
+                  result.cells[0].x86Retired > 0,
+              "watchdog", "clean sweep produced no work");
+    } catch (const std::exception &e) {
+        check(false, "watchdog",
+              std::string("clean sweep raised: ") + e.what());
+    }
+    std::printf("phase C (watchdog): stall -> deadline -> clean "
+                "diagnostic abort\n");
+}
+
+void
+phaseDeterminism(const Options &opt)
+{
+    // Injection off.  Half the columns governed, half not: the digest
+    // must not depend on --jobs either way (per-run governors, indexed
+    // slots, canonical merges).
+    SimConfig governed = SimConfig::make(Machine::RPO);
+    governed.governor.budgetBytes = opt.budgetBytes / 2;
+    std::vector<std::pair<std::string, SimConfig>> cols = {
+        {"RPO", SimConfig::make(Machine::RPO)},
+        {"RPO-gov", governed},
+    };
+    std::vector<const trace::Workload *> rows = {
+        &trace::standardWorkloads()[0],
+        &trace::standardWorkloads()[1],
+    };
+    sim::SweepOptions serial, parallel;
+    serial.jobs = 1;
+    parallel.jobs = opt.jobs > 1 ? opt.jobs : 4;
+    serial.instsPerTrace = parallel.instsPerTrace = opt.insts;
+    serial.warmup = parallel.warmup = false;
+
+    const auto cells = sim::gridCells(rows, cols);
+    const uint64_t d1 = sim::runSweep(cells, serial).digest();
+    const uint64_t dn = sim::runSweep(cells, parallel).digest();
+    char b1[32], bn[32];
+    std::snprintf(b1, sizeof(b1), "%016llx", (unsigned long long)d1);
+    std::snprintf(bn, sizeof(bn), "%016llx", (unsigned long long)dn);
+    check(d1 == dn, "determinism",
+          std::string("digest differs across jobs: ") + b1 + " vs " +
+              bn);
+    std::printf("phase D (determinism): digest %s identical for "
+                "--jobs 1 and --jobs %u\n",
+                b1, parallel.jobs);
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--seeds N] [--insts N] [--budget BYTES] "
+                 "[--jobs N]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--seeds") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            opt.seeds = unsigned(sim::parseCount(argv[i], "--seeds"));
+        } else if (arg == "--insts") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            opt.insts = sim::parseCount(argv[i], "--insts");
+        } else if (arg == "--budget") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            opt.budgetBytes =
+                size_t(sim::parseCount(argv[i], "--budget"));
+        } else if (arg == "--jobs" || arg == "-j") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            opt.jobs = unsigned(sim::parseCount(argv[i], "--jobs"));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::printf("chaosrunner: %u seeds, %llu insts/run, budget %zu "
+                "bytes, %u jobs\n",
+                opt.seeds, (unsigned long long)opt.insts,
+                opt.budgetBytes, opt.jobs);
+
+    phaseEngineSoak(opt);
+    phaseIoSoak(opt);
+    phaseWatchdog(opt);
+    phaseDeterminism(opt);
+
+    if (failures) {
+        std::fprintf(stderr, "chaosrunner: %u failure(s)\n", failures);
+        return 1;
+    }
+    std::printf("chaosrunner: all phases passed\n");
+    return 0;
+}
