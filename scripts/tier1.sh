@@ -83,6 +83,19 @@ if echo 'int main(){return 0;}' | \
     cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_sweep
     REPLAY_SIM_JOBS=4 ctest --test-dir "$TSAN_BUILD" \
         --output-on-failure -L sweep
+
+    echo "== tier-1: tier-stress under TSan (${TSAN_BUILD}) =="
+    if [ "${REPLAY_SKIP_TIER:-0}" = "1" ]; then
+        echo "warn: REPLAY_SKIP_TIER=1; skipping the tier-stress stage"
+    else
+        # Background re-optimization battery: publish/acquire races,
+        # epoch swap vs. pinned frames, cancel/shed hammering, and the
+        # async==sync convergence checks, all under ThreadSanitizer.
+        # Skip with REPLAY_SKIP_TIER=1 (e.g. on machines too slow for
+        # the soak tests under TSan overhead).
+        cmake --build "$TSAN_BUILD" -j "$JOBS" --target test_tier
+        ctest --test-dir "$TSAN_BUILD" --output-on-failure -L tier-stress
+    fi
 else
     echo "warn: ThreadSanitizer unavailable on this host; skipping"
 fi

@@ -61,6 +61,8 @@ FrameCache::evictLru(const char *counter)
     frames_.erase(victim_pc);
     ++stats_.counter(counter);
     syncGovernor();
+    if (onEvict_)
+        onEvict_(victim_pc);
     return true;
 }
 
@@ -149,6 +151,30 @@ FrameCache::invalidate(uint32_t pc)
     frames_.erase(pc);
     ++stats_.counter("invalidations");
     syncGovernor();
+    if (onEvict_)
+        onEvict_(pc);
+}
+
+bool
+FrameCache::publish(uint32_t pc, FramePtr next)
+{
+    Entry *entry = frames_.find(pc);
+    panic_if(!entry, "publish to a non-resident start pc %#x", pc);
+    panic_if(isPinned(pc), "publish to the pinned (in-flight) entry");
+    const unsigned old_size = entry->frame->numUops();
+    const unsigned new_size = next->numUops();
+    if (new_size > old_size &&
+        occupied_ - old_size + new_size > capacity_) {
+        ++stats_.counter("publish_rejects");
+        return false;
+    }
+    occupied_ = occupied_ - old_size + new_size;
+    entry->frame = std::move(next);
+    // lastUsed is deliberately untouched: publication replaces the
+    // body in place and must not perturb LRU victim selection.
+    ++stats_.counter("publishes");
+    syncGovernor();
+    return true;
 }
 
 } // namespace replay::core

@@ -30,6 +30,7 @@
 #define REPLAY_CORE_FRAMECACHE_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "core/frame.hh"
 #include "util/flathash.hh"
@@ -60,6 +61,36 @@ class FrameCache
 
     /** Remove the frame at @p pc (e.g. after repeated assert fires). */
     void invalidate(uint32_t pc);
+
+    /**
+     * Versioned-slot swap for the tier engine: replace the body of the
+     * *resident* entry at @p pc with @p next without touching its LRU
+     * tick (publication is not a use).  The entry must exist and must
+     * not be pinned — the caller defers publication while the
+     * sequencer holds the frame.  Returns false (entry unchanged) if
+     * the replacement would overflow capacity; re-optimized bodies
+     * only shrink, so this is a chaos-only edge.
+     */
+    bool publish(uint32_t pc, FramePtr next);
+
+    /** Is the entry at @p pc the pinned (in-flight) one? */
+    bool
+    isPinned(uint32_t pc) const
+    {
+        return pinnedValid_ && pinnedPc_ == pc;
+    }
+
+    /**
+     * Called with the start PC of every frame that leaves the cache
+     * (capacity eviction, pressure shed, or invalidation) — the tier
+     * engine cancels pending re-optimization work for departed frames
+     * so shed frames cannot leak stale background work.
+     */
+    void
+    setEvictionListener(std::function<void(uint32_t)> listener)
+    {
+        onEvict_ = std::move(listener);
+    }
 
     /**
      * Pin the entry at @p pc (the frame being sequenced): it cannot be
@@ -110,6 +141,7 @@ class FrameCache
     uint32_t pinnedPc_ = 0;
     ResourceGovernor *governor_ = nullptr;
     unsigned governorId_ = 0;
+    std::function<void(uint32_t)> onEvict_;
     StatGroup stats_{"fcache"};
     Counter &hits_{stats_.counter("hits")};
     Counter &misses_{stats_.counter("misses")};

@@ -18,6 +18,17 @@ RePlayEngine::RePlayEngine(EngineConfig cfg)
         govPoolId_ = cfg_.governor->registerConsumer("frame_pool");
         govQuarantineId_ = cfg_.governor->registerConsumer("quarantine");
     }
+    if (cfg_.optimize && cfg_.tier.workers > 0) {
+        tier_ = std::make_unique<TierEngine>(cfg_.tier, cfg_.optConfig);
+        // Stale-work leak fix: a frame leaving the cache (capacity
+        // eviction, pressure shed, bias eviction, quarantine) takes
+        // its pending re-optimization job with it.
+        cache_.setEvictionListener([this](uint32_t pc) {
+            tierCancelled_ += tier_->cancelPending(pc);
+        });
+        if (cfg_.governor)
+            govTierId_ = cfg_.governor->registerConsumer("tier_queue");
+    }
 }
 
 void
@@ -27,6 +38,8 @@ RePlayEngine::syncGovernor()
         return;
     cfg_.governor->update(govPoolId_, framePool_.arenaFootprintBytes());
     cfg_.governor->update(govQuarantineId_, quarantine_.memoryBytes());
+    if (tier_)
+        cfg_.governor->update(govTierId_, tier_->memoryBytes());
 }
 
 void
@@ -34,6 +47,16 @@ RePlayEngine::relievePressure()
 {
     if (!cfg_.governor)
         return;
+    // Background re-optimization work sheds first: it is strictly
+    // optional (the cheap bodies it would replace keep running) and
+    // dropping it frees memory without giving up any cached frame.
+    if (tier_ && cfg_.governor->pressure() >= Pressure::SOFT) {
+        const unsigned dropped = tier_->shedPending();
+        if (dropped) {
+            tierShed_ += dropped;
+            syncGovernor();
+        }
+    }
     // Shed LRU frames one at a time, rechecking between evictions so
     // exactly enough is released; the frame being sequenced is pinned
     // and never a victim.
@@ -120,6 +143,8 @@ RePlayEngine::enqueueCandidate(FrameCandidate &cand, uint64_t now)
         frame->fetches = 0;
         frame->assertFires = 0;
         frame->conflicts = 0;
+        frame->tier = FrameTier::FULL;
+        frame->generation = 0;
         if (!cfg_.optimize) {
             opt::Optimizer::passthrough(cand.uops, cand.blocks, true,
                                         frame->body);
@@ -131,6 +156,15 @@ RePlayEngine::enqueueCandidate(FrameCandidate &cand, uint64_t now)
             cheapOptimizer_.optimize(cand.uops, cand.blocks, &profile_,
                                      optStats_, frame->body);
             ++govCheapOpts_;
+            if (tier_)
+                frame->tier = FrameTier::CHEAP;
+        } else if (tier_) {
+            // Tiered admission: the cheap subset gets the frame into
+            // the cache immediately; the background workers re-run
+            // the full budget once it proves hot.
+            cheapOptimizer_.optimize(cand.uops, cand.blocks, &profile_,
+                                     optStats_, frame->body);
+            frame->tier = FrameTier::CHEAP;
         } else {
             optimizer_.optimize(cand.uops, cand.blocks, &profile_,
                                 optStats_, frame->body);
@@ -172,6 +206,7 @@ RePlayEngine::enqueueCandidate(FrameCandidate &cand, uint64_t now)
 void
 RePlayEngine::drainReady(uint64_t now)
 {
+    drainTier();
     while (!pending_.empty() && pending_.front().readyAt <= now) {
         // SOFT pressure and worse: stop admitting new frames — the
         // cache is the largest shrinkable consumer, so growing it
@@ -231,6 +266,146 @@ RePlayEngine::frameCommitted(const FramePtr &frame)
     cache_.unpin();
     ++frame->fetches;
     ++frameCommits_;
+    maybeScheduleReopt(frame);
+}
+
+void
+RePlayEngine::maybeScheduleReopt(const FramePtr &frame)
+{
+    if (!tier_ || !tier_->wantsReopt(*frame))
+        return;
+    if (cfg_.governor) {
+        // Under pressure the tier engine only sheds work, it never
+        // creates more; and the snapshot is an allocation site like
+        // any other for the chaos campaign.
+        if (cfg_.governor->pressure() >= Pressure::SOFT)
+            return;
+        if (cfg_.governor->allocWouldFail()) {
+            ++allocFailures_;
+            return;
+        }
+    }
+    try {
+        tier_->enqueue(*frame, profile_);
+        ++tierEnqueues_;
+    } catch (const std::bad_alloc &) {
+        ++allocFailures_;
+    }
+    syncGovernor();
+}
+
+void
+RePlayEngine::drainTier()
+{
+    if (!tier_)
+        return;
+    tier_->drainCompleted(
+        [this](ReoptResult &res) { return publishReopt(res); });
+}
+
+TierEngine::Verdict
+RePlayEngine::publishReopt(ReoptResult &res)
+{
+    if (res.failed) {
+        ++allocFailures_;
+        return TierEngine::Verdict::CONSUMED;
+    }
+    // Versioned-slot check: publish only onto the exact frame the job
+    // snapshotted.  A frame that was evicted, bias-replaced, or
+    // rebuilt mid-flight makes the result stale.
+    const FramePtr cur = cache_.probe(res.startPc);
+    if (!cur || cur->id != res.frameId) {
+        ++tierStaleDrops_;
+        return TierEngine::Verdict::CONSUMED;
+    }
+    // Pinned-frame invariant: the entry the sequencer currently holds
+    // is never swapped under it; the result waits for the next drain.
+    if (cache_.isPinned(res.startPc)) {
+        ++tierDeferrals_;
+        return TierEngine::Verdict::DEFER;
+    }
+    if (cfg_.governor && cfg_.governor->allocWouldFail()) {
+        // Injected allocation failure at the publication site: drop
+        // the result; the cheap body keeps running.
+        ++allocFailures_;
+        return TierEngine::Verdict::CONSUMED;
+    }
+    try {
+        FramePtr frame = framePool_.acquire();
+        frame->id = nextFrameId_++;
+        frame->startPc = cur->startPc;
+        frame->pcs = cur->pcs;
+        frame->nextPc = cur->nextPc;
+        frame->dynamicExit = cur->dynamicExit;
+        frame->numBlocks = cur->numBlocks;
+        // Usage statistics carry across the swap so hotness and
+        // bias-eviction thresholds keep their history.
+        frame->fetches = cur->fetches;
+        frame->assertFires = cur->assertFires;
+        frame->conflicts = cur->conflicts;
+        frame->tier = FrameTier::FULL;
+        frame->generation = cur->generation + 1;
+        frame->body = std::move(res.body);
+
+        bool sabotaged = false;
+        uint64_t pristine = 0;
+        if (cfg_.injector) {
+            pristine = fault::FaultInjector::hashBody(frame->body);
+            if (cfg_.injector->maybeSabotagePass(frame->body)) {
+                sabotaged =
+                    fault::FaultInjector::hashBody(frame->body) !=
+                    pristine;
+                ++stats_.counter("fault_pass_sabotage");
+            }
+        }
+        frame->bodyHash = pristine;
+        frame->faultInjected = sabotaged;
+        frame->unsafeStores.clear();
+        for (const opt::FrameUop &fu : frame->body.uops) {
+            if (fu.unsafe && fu.uop.isStore()) {
+                frame->unsafeStores.push_back(
+                    {fu.uop.instIdx, fu.uop.memSeq});
+            }
+        }
+        std::sort(frame->unsafeStores.begin(),
+                  frame->unsafeStores.end());
+
+        // Static verification gate before publication: a body the
+        // linter rejects (including sabotaged ones) never replaces
+        // the known-good cheap body.
+        if (cfg_.tierVerify && !cfg_.tierVerify(*frame)) {
+            ++tierVerifyRejects_;
+            return TierEngine::Verdict::CONSUMED;
+        }
+        const unsigned old_uops = cur->numUops();
+        const unsigned new_uops = frame->numUops();
+        if (cache_.publish(res.startPc, std::move(frame))) {
+            ++tierPublishes_;
+            if (new_uops < old_uops)
+                tierUopsRemoved_ += old_uops - new_uops;
+        } else {
+            ++tierStaleDrops_;
+        }
+        syncGovernor();
+    } catch (const std::bad_alloc &) {
+        ++allocFailures_;
+    }
+    return TierEngine::Verdict::CONSUMED;
+}
+
+void
+RePlayEngine::quiesceTier()
+{
+    if (!tier_)
+        return;
+    // Pending jobs are abandoned (counted), in-flight jobs drain, and
+    // whatever completed gets one final publication pass — nothing is
+    // pinned between trace records, so no result can be deferred
+    // forever.
+    tierDroppedAtExit_ += tier_->shedPending();
+    tier_->waitIdle();
+    drainTier();
+    tierDroppedAtExit_ += tier_->undrained();
 }
 
 void

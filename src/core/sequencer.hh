@@ -12,10 +12,13 @@
 #include <deque>
 #include <memory>
 
+#include <functional>
+
 #include "core/aliasprofile.hh"
 #include "core/constructor.hh"
 #include "core/framecache.hh"
 #include "core/quarantine.hh"
+#include "core/tier.hh"
 #include "opt/datapath.hh"
 #include "opt/optimizer.hh"
 #include "util/arena.hh"
@@ -63,6 +66,25 @@ struct EngineConfig
 
     /** The degraded pass subset used under HARD pressure. */
     opt::OptConfig cheapOptConfig = opt::OptConfig::cheap();
+
+    /**
+     * Tiered background re-optimization (ROADMAP item 5).  With
+     * tier.workers == 0 (default) the engine is untiered and
+     * bit-identical to the seed: frames get the full pipeline at
+     * admission.  With a nonzero tier budget, frames are admitted with
+     * cheapOptConfig and hot ones are re-optimized with the full
+     * budget in the background, then republished.
+     */
+    TierConfig tier;
+
+    /**
+     * Validation gate for re-optimized bodies: called with the rebuilt
+     * frame before publication; returning false keeps the cheap body.
+     * The engine layer cannot link the static verifier directly, so
+     * the simulator injects a lintFrame-based gate here (null skips
+     * the gate).
+     */
+    std::function<bool(const Frame &)> tierVerify;
 };
 
 /** Frame construction / optimization / caching engine. */
@@ -101,6 +123,16 @@ class RePlayEngine
     /** Pipeline flush (long-flow instruction): drop the accumulation. */
     void flush() { constructor_.abandon(); }
 
+    /**
+     * End-of-run tier teardown: drop pending re-opt work, wait for
+     * in-flight jobs, then drain (and publish) whatever completed.
+     * Idempotent; a no-op for untiered engines.
+     */
+    void quiesceTier();
+
+    /** The tier engine, or null when tiering is off (tests). */
+    const TierEngine *tier() const { return tier_.get(); }
+
     FrameCache &cache() { return cache_; }
     Quarantine &quarantine() { return quarantine_; }
     AliasProfile &aliasProfile() { return profile_; }
@@ -110,6 +142,15 @@ class RePlayEngine
 
   private:
     void enqueueCandidate(FrameCandidate &cand, uint64_t now);
+
+    /** Queue a committed cheap-tier frame for re-opt once it is hot. */
+    void maybeScheduleReopt(const FramePtr &frame);
+
+    /** Drain finished re-optimizations and publish the valid ones. */
+    void drainTier();
+
+    /** Publish (or drop) one background result; see TierEngine. */
+    TierEngine::Verdict publishReopt(ReoptResult &res);
 
     /**
      * Governor plumbing: report the engine-owned footprints (frame
@@ -143,10 +184,23 @@ class RePlayEngine
     Counter &govCheapOpts_{stats_.counter("gov_cheap_opts")};
     Counter &govSuspended_{stats_.counter("gov_suspended")};
     Counter &allocFailures_{stats_.counter("alloc_failures")};
+    // Tiered re-optimization counters (all zero with tier.workers == 0).
+    Counter &tierEnqueues_{stats_.counter("tier_enqueues")};
+    Counter &tierPublishes_{stats_.counter("tier_publishes")};
+    Counter &tierUopsRemoved_{stats_.counter("tier_uops_removed")};
+    Counter &tierVerifyRejects_{stats_.counter("tier_verify_rejects")};
+    Counter &tierStaleDrops_{stats_.counter("tier_stale_drops")};
+    Counter &tierDeferrals_{stats_.counter("tier_deferrals")};
+    Counter &tierCancelled_{stats_.counter("tier_cancelled")};
+    Counter &tierShed_{stats_.counter("tier_shed")};
+    Counter &tierDroppedAtExit_{stats_.counter("tier_dropped_at_exit")};
 
     /** Governor consumer ids (valid only when cfg_.governor). */
     unsigned govPoolId_ = 0;
     unsigned govQuarantineId_ = 0;
+    unsigned govTierId_ = 0;
+
+    std::unique_ptr<TierEngine> tier_;
 
     /**
      * Recycles Frame objects: a frame freed by eviction returns its

@@ -42,6 +42,16 @@ RunStats::merge(const RunStats &other)
     govSuspendedCandidates += other.govSuspendedCandidates;
     allocFailures += other.allocFailures;
     stallsInjected += other.stallsInjected;
+    tierEnqueues += other.tierEnqueues;
+    tierReopts += other.tierReopts;
+    tierPublishes += other.tierPublishes;
+    tierUopsRemoved += other.tierUopsRemoved;
+    tierVerifyRejects += other.tierVerifyRejects;
+    tierStaleDrops += other.tierStaleDrops;
+    tierDeferrals += other.tierDeferrals;
+    tierCancelled += other.tierCancelled;
+    tierShed += other.tierShed;
+    tierDroppedAtExit += other.tierDroppedAtExit;
     // Peak footprint merges via max: commutative and associative like
     // the sums, so merged results stay independent of arrival order.
     govPeakBytes = govPeakBytes > other.govPeakBytes
@@ -149,6 +159,28 @@ RunStats::fingerprint() const
         f.mix(allocFailures);
         f.mix(stallsInjected);
         f.mix(govPeakBytes);
+    }
+    // Tier counters follow the same pattern: they joined after the
+    // goldens froze, are all zero with tierBudget == 0, and contribute
+    // behind their own sentinel only when any is nonzero — so untiered
+    // fingerprints stay bit-identical to the seed, and a tiered run
+    // can never collide with an untiered one sharing the rest.
+    const bool tiered = tierEnqueues || tierReopts || tierPublishes ||
+                        tierUopsRemoved || tierVerifyRejects ||
+                        tierStaleDrops || tierDeferrals ||
+                        tierCancelled || tierShed || tierDroppedAtExit;
+    if (tiered) {
+        f.mix(uint64_t(0x0000646572656974ULL)); // sentinel: "tiered"
+        f.mix(tierEnqueues);
+        f.mix(tierReopts);
+        f.mix(tierPublishes);
+        f.mix(tierUopsRemoved);
+        f.mix(tierVerifyRejects);
+        f.mix(tierStaleDrops);
+        f.mix(tierDeferrals);
+        f.mix(tierCancelled);
+        f.mix(tierShed);
+        f.mix(tierDroppedAtExit);
     }
     f.mix(archDigest);
     f.mix(uint64_t(archDigestValid));

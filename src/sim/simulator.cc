@@ -7,6 +7,7 @@
 #include "core/frame.hh"
 #include "util/logging.hh"
 #include "verify/static/hook.hh"
+#include "verify/static/lint.hh"
 
 namespace replay::sim {
 
@@ -53,6 +54,18 @@ Simulator::Simulator(const SimConfig &cfg)
                 [inj = injector_.get()] { return inj->maybeFailAlloc(); });
         }
         cfg_.engine.governor = governor_.get();
+    }
+    if (cfg_.usesFrames() && cfg_.engine.tier.workers > 0) {
+        // Background re-opt work honours the same cancellation token
+        // the simulation loop polls, and every result is validated by
+        // the static verifier before publication (the engine layer
+        // cannot link the verifier itself, so the gate is injected).
+        cfg_.engine.tier.cancel = cfg_.cancel;
+        if (!cfg_.engine.tierVerify) {
+            cfg_.engine.tierVerify = [](const core::Frame &frame) {
+                return vstatic::lintFrame(frame).ok();
+            };
+        }
     }
     if (cfg_.usesFrames())
         engine_ = std::make_unique<core::RePlayEngine>(cfg_.engine);
@@ -442,6 +455,12 @@ Simulator::run(trace::TraceSource &src)
         simulateIcacheInst(*rec, src);
     }
 
+    // Tier teardown before harvest: abandoned work must be counted,
+    // and no background job may still be running while counters are
+    // read.
+    if (engine_)
+        engine_->quiesceTier();
+
     fe_.finish(exec_.lastRetire());
     stats_.bins = fe_.bins();
     stats_.icacheMisses = fe_.icache().cache().stats().get("misses");
@@ -473,6 +492,21 @@ Simulator::run(trace::TraceSource &src)
         stats_.govSuspendedCandidates =
             engine_->stats().get("gov_suspended");
         stats_.allocFailures = engine_->stats().get("alloc_failures");
+        stats_.tierEnqueues = engine_->stats().get("tier_enqueues");
+        stats_.tierPublishes = engine_->stats().get("tier_publishes");
+        stats_.tierUopsRemoved =
+            engine_->stats().get("tier_uops_removed");
+        stats_.tierVerifyRejects =
+            engine_->stats().get("tier_verify_rejects");
+        stats_.tierStaleDrops =
+            engine_->stats().get("tier_stale_drops");
+        stats_.tierDeferrals = engine_->stats().get("tier_deferrals");
+        stats_.tierCancelled = engine_->stats().get("tier_cancelled");
+        stats_.tierShed = engine_->stats().get("tier_shed");
+        stats_.tierDroppedAtExit =
+            engine_->stats().get("tier_dropped_at_exit");
+        if (engine_->tier())
+            stats_.tierReopts = engine_->tier()->executedJobs();
     }
     if (governor_) {
         stats_.govSoftTransitions =

@@ -58,6 +58,17 @@ struct SweepOptions
     bool warmup = true;
 
     /**
+     * Tiered re-optimization override for every frame-machine cell:
+     * tierWorkers > 0 sets SimConfig::engine.tier.workers on RP/RPO
+     * cells (cheap admission + background full re-opt), 0 (default)
+     * leaves the cells untiered and bit-identical to the seed.
+     */
+    unsigned tierWorkers = 0;
+
+    /** With tierWorkers > 0: run re-opt jobs inline (deterministic). */
+    bool tierDeterministic = false;
+
+    /**
      * Soft per-task deadline in milliseconds; 0 = none.  Each (cell,
      * trace) simulation gets its own CancelSource armed with this
      * budget; a task that overruns it throws CancelledError at the

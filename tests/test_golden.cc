@@ -142,3 +142,106 @@ TEST(GoldenSweep, GridDigestMatchesReplaybench)
             << "/" << result.cells[i].config << ")";
     }
 }
+
+// ---------------------------------------------------------------------
+// Tiered re-optimization goldens.  tierBudget = 0 must be bit-identical
+// to the table above (tiering off is the seed behaviour, enforced per
+// cell); the deterministic single-worker tier mode gets its own frozen
+// per-workload fingerprints.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Frozen RPO fingerprints with one deterministic tier worker. */
+struct TierGoldenCell
+{
+    const char *workload;
+    const char *fingerprint;
+    uint64_t x86Retired;
+};
+
+/**
+ * Captured with:
+ *
+ *   REPLAY_SIM_INSTS=50000 ./build/tools/replaybench --json --jobs 1 \
+ *       --tier 1 --tier-det table3
+ *
+ * (RPO column; the digest of that run was 146b89c79510a9b9.)  Same
+ * refresh contract as kGolden: only for intentional behaviour changes.
+ */
+constexpr TierGoldenCell kTierGolden[] = {
+    {"bzip2", "700a370a71687c6a", 50000},
+    {"crafty", "a12c092ae5df2934", 50000},
+    {"eon", "266eb6542d0e08e4", 50000},
+    {"gzip", "02c3c53c98b9ca07", 50000},
+    {"parser", "79f5dae154de8380", 50000},
+    {"twolf", "148943f1d85e555a", 50000},
+    {"vortex", "dbcd68b73adeed50", 50000},
+    {"access", "176d826495057a2c", 100000},
+    {"dream", "22da7b13a41714a8", 100000},
+    {"excel", "04e982d2b2d7297a", 150000},
+    {"lotus", "8eeb66554bba2bd2", 100000},
+    {"photo", "fb05db4cf1a83300", 100000},
+    {"power", "a511322d24364547", 150000},
+    {"sound", "785dc2d84f633098", 150000},
+};
+
+const GoldenCell &
+goldenCellFor(const char *workload, sim::Machine machine)
+{
+    for (const GoldenCell &cell : kGolden)
+        if (std::string(cell.workload) == workload &&
+            cell.machine == machine)
+            return cell;
+    ADD_FAILURE() << "no golden cell for " << workload;
+    return kGolden[0];
+}
+
+} // namespace
+
+TEST(GoldenTier, ZeroTierBudgetIsBitIdenticalToTheGoldens)
+{
+    // An *explicit* tier.workers = 0 must take the identical code path
+    // as the seed configs above — same fingerprints, bit for bit.
+    for (const char *app : {"bzip2", "gzip", "crafty", "excel"}) {
+        for (const sim::Machine machine :
+             {sim::Machine::RP, sim::Machine::RPO}) {
+            sim::SimConfig cfg = sim::SimConfig::make(machine);
+            cfg.engine.tier.workers = 0;
+            cfg.engine.tier.deterministic = true;   // moot at 0 workers
+            const sim::RunStats stats = sim::runWorkload(
+                trace::findWorkload(app), cfg, GOLDEN_BUDGET);
+            const GoldenCell &golden = goldenCellFor(app, machine);
+            EXPECT_EQ(hex64(stats.fingerprint()), golden.fingerprint)
+                << app << "/" << sim::machineName(machine)
+                << ": tierBudget=0 diverged from the untiered golden";
+            EXPECT_EQ(stats.tierEnqueues, 0u);
+        }
+    }
+}
+
+class GoldenTierDet : public ::testing::TestWithParam<TierGoldenCell>
+{
+};
+
+TEST_P(GoldenTierDet, DeterministicSingleWorkerFingerprint)
+{
+    const TierGoldenCell &cell = GetParam();
+    sim::SimConfig cfg = sim::SimConfig::make(sim::Machine::RPO);
+    cfg.engine.tier.workers = 1;
+    cfg.engine.tier.deterministic = true;
+    const sim::RunStats stats = sim::runWorkload(
+        trace::findWorkload(cell.workload), cfg, GOLDEN_BUDGET);
+
+    EXPECT_EQ(stats.x86Retired, cell.x86Retired);
+    EXPECT_GT(stats.tierPublishes, 0u) << cell.workload;
+    EXPECT_EQ(hex64(stats.fingerprint()), cell.fingerprint)
+        << cell.workload
+        << " diverged from the deterministic-tier golden snapshot";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, GoldenTierDet, ::testing::ValuesIn(kTierGolden),
+    [](const ::testing::TestParamInfo<TierGoldenCell> &cell) {
+        return std::string(cell.param.workload);
+    });

@@ -197,3 +197,57 @@ TEST(Logging, InstallReturnsPreviousHandler)
     DeathHandler prev = setDeathHandler(throwingHandler);
     EXPECT_EQ(setDeathHandler(prev), &throwingHandler);
 }
+
+// ---------------------------------------------------------------------
+// ThreadPool late-failure capture (the detached tier-worker pattern)
+// ---------------------------------------------------------------------
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/threadpool.hh"
+
+TEST(ThreadPool, ErrorAfterIdleWaitIsNotLost)
+{
+    // Background-queue workers submit jobs long after the producer's
+    // last wait() returned.  A throw from such a "detached" job must
+    // be captured — not lost, not std::terminate — and resurface from
+    // whichever wait() comes next.
+    ThreadPool pool(2);
+    pool.submit([] {});
+    pool.wait();                // pool is idle; error slot is clear
+
+    pool.submit([] { throw std::runtime_error("late failure"); });
+    // Give the worker time to run and park the exception while nobody
+    // is waiting: the capture must survive until it is collected.
+    for (unsigned spin = 0; spin < 1000; ++spin)
+        std::this_thread::yield();
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // And the pool remains usable afterwards.
+    std::atomic<bool> ran{false};
+    pool.submit([&] { ran = true; });
+    EXPECT_NO_THROW(pool.wait());
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, FirstExceptionWinsAcrossDetachedBatches)
+{
+    // Two failures race; wait() reports exactly one (the first
+    // captured), and a subsequent wait() starts clean instead of
+    // replaying a stale error.
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("failure A"); });
+    pool.submit([] { throw std::logic_error("failure B"); });
+    bool threw = false;
+    try {
+        pool.wait();
+    } catch (const std::exception &e) {
+        threw = true;
+        const std::string what = e.what();
+        EXPECT_TRUE(what == "failure A" || what == "failure B") << what;
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_NO_THROW(pool.wait());
+}

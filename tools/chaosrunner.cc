@@ -25,7 +25,17 @@
  *                          instead of std::terminate;
  *   phase D (determinism)  with injection disabled, governed and
  *                          ungoverned sweep digests are bit-identical
- *                          across --jobs values.
+ *                          across --jobs values;
+ *   phase E (tier soak)    background re-optimization survives the
+ *                          same governed + alloc-failure campaign (no
+ *                          corrupt commit escapes, memory stays
+ *                          bounded), a mid-run cancellation aborts a
+ *                          tiered run cleanly with its pending re-opt
+ *                          work dropped, deterministic tier mode
+ *                          reproduces its fingerprint bit-for-bit
+ *                          under injection, and with injection off the
+ *                          async tier retires the same architectural
+ *                          digest as the synchronous full optimizer.
  *
  * Exit status is 0 iff every phase passed; run it under ASan/UBSan to
  * extend "no crash" to "no leak, no UB" (scripts/tier1.sh does).
@@ -36,6 +46,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -389,6 +401,126 @@ phaseDeterminism(const Options &opt)
                 b1, parallel.jobs);
 }
 
+void
+phaseTierSoak(const Options &opt)
+{
+    const auto &workloads = trace::standardWorkloads();
+
+    // E1: the phase-A campaign with background re-optimization on.
+    // Alloc failures now also hit the tier's enqueue and publish
+    // sites, and pass sabotage hits re-optimized bodies — which the
+    // pre-publication lint gate must catch (rejects, not corruption).
+    unsigned completed = 0;
+    for (unsigned seed = 0; seed < opt.seeds; ++seed) {
+        SimConfig cfg = chaosConfig(opt, seed);
+        cfg.engine.tier.workers = 1 + seed % 3;
+        cfg.engine.tier.hotThreshold = 1 + seed % 2;
+        const auto &workload = workloads[seed % workloads.size()];
+        try {
+            auto src = workload.openTrace(0, cfg.maxInsts);
+            sim::Simulator simulator(cfg);
+            const sim::RunStats stats = simulator.run(*src);
+            ++completed;
+            check(stats.corruptFrameCommits == 0, "tier",
+                  "seed " + std::to_string(seed) + " (" + workload.name +
+                      "): " + std::to_string(stats.corruptFrameCommits) +
+                      " corrupt frame(s) escaped with tiering on");
+            check(stats.govPeakBytes < 2 * cfg.governor.budgetBytes,
+                  "tier",
+                  "seed " + std::to_string(seed) + " peak " +
+                      std::to_string(stats.govPeakBytes) +
+                      " bytes >= 2x budget with tiering on");
+        } catch (const std::exception &e) {
+            check(false, "tier",
+                  "seed " + std::to_string(seed) +
+                      " raised: " + e.what());
+        }
+    }
+    check(completed == opt.seeds, "tier",
+          std::to_string(opt.seeds - completed) +
+              " tiered run(s) died");
+
+    // E2: cooperative cancellation mid-run.  The token is shared with
+    // the background queue, so pending re-opt work is dropped instead
+    // of keeping workers busy past the abort.
+    {
+        CancelSource source;
+        source.setDeadlineAfter(std::chrono::milliseconds(5));
+        SimConfig cfg = SimConfig::make(Machine::RPO);
+        cfg.maxInsts = 1u << 30;        // far beyond the deadline
+        cfg.engine.tier.workers = 2;
+        cfg.engine.tier.hotThreshold = 1;
+        cfg.cancel = source.token();
+        bool cancelled = false;
+        try {
+            auto src = workloads[0].openTrace(0, 200000);
+            sim::Simulator simulator(cfg);
+            (void)simulator.run(*src);
+        } catch (const CancelledError &) {
+            cancelled = true;
+        } catch (const std::exception &e) {
+            check(false, "tier",
+                  std::string("cancelled tiered run raised: ") +
+                      e.what());
+        }
+        check(cancelled, "tier",
+              "deadline did not cancel the tiered run");
+    }
+
+    // E3: deterministic tier mode reproduces bit-for-bit even under
+    // the full injection campaign.
+    {
+        SimConfig cfg = chaosConfig(opt, 3);
+        cfg.engine.tier.workers = 1;
+        cfg.engine.tier.deterministic = true;
+        const uint64_t a = runOne(cfg, workloads[0], 0, nullptr);
+        const uint64_t b = runOne(cfg, workloads[0], 0, nullptr);
+        check(a == b, "tier",
+              "deterministic tier fingerprint not reproducible: " +
+                  std::to_string(a) + " vs " + std::to_string(b));
+    }
+
+    // E4: with injection off, asynchronous re-optimization must retire
+    // exactly the architectural state of the synchronous full
+    // pipeline (the tier acceptance bar).
+    unsigned converged = 0;
+    const unsigned convergence_runs =
+        unsigned(std::min<size_t>(4, workloads.size()));
+    for (unsigned w = 0; w < convergence_runs; ++w) {
+        SimConfig sync_cfg = SimConfig::make(Machine::RPO);
+        sync_cfg.maxInsts = opt.insts;
+        sync_cfg.verifyOnline = true;
+        SimConfig tier_cfg = sync_cfg;
+        tier_cfg.engine.tier.workers = 2;
+        try {
+            auto sync_src = workloads[w].openTrace(0, opt.insts);
+            sim::Simulator sync_sim(sync_cfg);
+            const sim::RunStats sync_stats = sync_sim.run(*sync_src);
+            auto tier_src = workloads[w].openTrace(0, opt.insts);
+            sim::Simulator tier_sim(tier_cfg);
+            const sim::RunStats tier_stats = tier_sim.run(*tier_src);
+            const bool same =
+                sync_stats.archDigestValid &&
+                tier_stats.archDigestValid &&
+                sync_stats.archDigest == tier_stats.archDigest &&
+                tier_stats.verifyDetections == 0;
+            check(same, "tier",
+                  workloads[w].name +
+                      ": async tier diverged from sync full-opt");
+            if (same)
+                ++converged;
+        } catch (const std::exception &e) {
+            check(false, "tier",
+                  workloads[w].name +
+                      " convergence run raised: " + e.what());
+        }
+    }
+
+    std::printf("phase E (tier soak): %u/%u injected tiered runs, "
+                "%u/%u workloads converged async == sync\n",
+                completed, opt.seeds, converged, convergence_runs);
+}
+
 int
 usage(const char *argv0)
 {
@@ -441,6 +573,7 @@ main(int argc, char **argv)
     phaseIoSoak(opt);
     phaseWatchdog(opt);
     phaseDeterminism(opt);
+    phaseTierSoak(opt);
 
     if (failures) {
         std::fprintf(stderr, "chaosrunner: %u failure(s)\n", failures);

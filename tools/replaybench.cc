@@ -16,7 +16,13 @@
  *
  * Usage:
  *   replaybench [--jobs N] [--insts N] [--json] [--list]
- *               [--static-check] [target ...]
+ *               [--static-check] [--tier N] [--tier-det] [target ...]
+ *
+ * --tier N enables the tiered re-optimization engine with N background
+ * workers on every frame-machine (RP/RPO) cell: frames admit through
+ * the cheap pass subset and hot ones are re-optimized with the full
+ * budget off the critical path.  --tier-det runs re-opt jobs inline
+ * (deterministic) so digests are comparable across runs.
  *
  * Targets: fig6 fig7_8 fig9 fig10 table3 coverage (default: all).
  *
@@ -177,6 +183,9 @@ emitJson(const Target &target, const sim::SweepResult &result,
                     "\"ipc\": %.6f, \"uop_reduction\": %.6f, "
                     "\"load_reduction\": %.6f, \"coverage\": %.6f, "
                     "\"frame_commits\": %llu, \"frame_aborts\": %llu, "
+                    "\"tier_enqueues\": %llu, \"tier_reopts\": %llu, "
+                    "\"tier_publishes\": %llu, "
+                    "\"tier_uops_removed\": %llu, "
                     "\"fingerprint\": \"%016llx\"}%s\n",
                     jsonStr(cell.workload).c_str(),
                     jsonStr(cell.config).c_str(),
@@ -186,6 +195,10 @@ emitJson(const Target &target, const sim::SweepResult &result,
                     cell.coverage(),
                     (unsigned long long)cell.frameCommits,
                     (unsigned long long)cell.frameAborts,
+                    (unsigned long long)cell.tierEnqueues,
+                    (unsigned long long)cell.tierReopts,
+                    (unsigned long long)cell.tierPublishes,
+                    (unsigned long long)cell.tierUopsRemoved,
                     (unsigned long long)cell.fingerprint(),
                     i + 1 < result.cells.size() ? "," : "");
     }
@@ -237,7 +250,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--insts N] [--json] [--list] "
-                 "[--static-check] [target ...]\n"
+                 "[--static-check] [--tier N] [--tier-det] "
+                 "[target ...]\n"
                  "targets: fig6 fig7_8 fig9 fig10 table3 coverage "
                  "(default: all)\n",
                  argv0);
@@ -265,6 +279,13 @@ main(int argc, char **argv)
             if (++i >= argc)
                 return usage(argv[0]);
             opts.instsPerTrace = sim::parseCount(argv[i], "--insts");
+        } else if (arg == "--tier") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            opts.tierWorkers =
+                unsigned(sim::parseCount(argv[i], "--tier"));
+        } else if (arg == "--tier-det") {
+            opts.tierDeterministic = true;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--static-check") {
@@ -323,8 +344,16 @@ main(int argc, char **argv)
                     (unsigned long long)insts, jobs);
     } else {
         std::printf("replaybench: %llu x86 insts per hot-spot trace, "
-                    "%u worker(s)\n\n",
-                    (unsigned long long)insts, jobs);
+                    "%u worker(s)%s\n",
+                    (unsigned long long)insts, jobs,
+                    opts.tierDeterministic ? ", deterministic tier"
+                                           : "");
+        if (opts.tierWorkers) {
+            std::printf("tiered re-opt: %u background worker(s) on "
+                        "frame-machine cells\n",
+                        opts.tierWorkers);
+        }
+        std::printf("\n");
     }
 
     double wall_total = 0;
