@@ -28,6 +28,8 @@
 #include "core/framecache.hh"
 #include "core/sequencer.hh"
 #include "opt/optimizer.hh"
+#include "opt/passes.hh"
+#include "opt/remapper.hh"
 #include "sim/simulator.hh"
 #include "trace/tracefile.hh"
 #include "trace/tracer.hh"
@@ -190,6 +192,97 @@ BM_FrameCacheChurn(benchmark::State &state)
         benchmark::Counter(double(inserts), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FrameCacheChurn);
+
+// ---------------------------------------------------------------------
+// Pass-level optimizer microbenches (PR 8 SoA slab IR).  All of them
+// run over the same real candidate corpus so uops/s is comparable
+// across stages: remap deposit alone, the pristine passthrough
+// publish, the full seven-pass pipeline, and remap+DCE (the pass
+// every other optimization leans on).
+// ---------------------------------------------------------------------
+
+/** Remap deposit alone: architectural uops -> renamed slab planes. */
+static void
+BM_OptRemapFrame(benchmark::State &state)
+{
+    const auto &cands = candidates();
+    const opt::Remapper remapper;
+    opt::OptBuffer buf;
+    size_t i = 0;
+    uint64_t uops = 0;
+    for (auto _ : state) {
+        const auto &cand = cands[i++ % cands.size()];
+        remapper.remap(cand.uops, cand.blocks, false, buf);
+        benchmark::DoNotOptimize(buf.size());
+        uops += cand.uops.size();
+    }
+    state.counters["uops/s"] =
+        benchmark::Counter(double(uops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OptRemapFrame);
+
+/** Passthrough publish (RP deposit): remap + pristine bulk finalize. */
+static void
+BM_OptPassthroughFrame(benchmark::State &state)
+{
+    const auto &cands = candidates();
+    opt::OptimizedFrame out;
+    size_t i = 0;
+    uint64_t uops = 0;
+    for (auto _ : state) {
+        const auto &cand = cands[i++ % cands.size()];
+        opt::Optimizer::passthrough(cand.uops, cand.blocks, false, out);
+        benchmark::DoNotOptimize(out.size());
+        uops += cand.uops.size();
+    }
+    state.counters["uops/s"] =
+        benchmark::Counter(double(uops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OptPassthroughFrame);
+
+/** The full seven-pass pipeline + finalize (RPO deposit). */
+static void
+BM_OptOptimizeFrame(benchmark::State &state)
+{
+    const auto &cands = candidates();
+    opt::Optimizer optimizer;
+    opt::OptStats stats;
+    opt::OptimizedFrame out;
+    size_t i = 0;
+    uint64_t uops = 0;
+    for (auto _ : state) {
+        const auto &cand = cands[i++ % cands.size()];
+        optimizer.optimize(cand.uops, cand.blocks, nullptr, stats, out);
+        benchmark::DoNotOptimize(out.size());
+        uops += cand.uops.size();
+    }
+    state.counters["uops/s"] =
+        benchmark::Counter(double(uops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OptOptimizeFrame);
+
+/** Remap + vectorized DCE (subtract BM_OptRemapFrame for the pass). */
+static void
+BM_OptPassDce(benchmark::State &state)
+{
+    const auto &cands = candidates();
+    const opt::Remapper remapper;
+    opt::OptBuffer buf;
+    opt::OptConfig cfg;
+    opt::OptStats stats;
+    size_t i = 0;
+    uint64_t uops = 0;
+    for (auto _ : state) {
+        const auto &cand = cands[i++ % cands.size()];
+        remapper.remap(cand.uops, cand.blocks, false, buf);
+        opt::OptContext ctx{buf, cfg, nullptr, stats};
+        benchmark::DoNotOptimize(opt::passDce(ctx));
+        uops += cand.uops.size();
+    }
+    state.counters["uops/s"] =
+        benchmark::Counter(double(uops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OptPassDce);
 
 /** Trace-file streaming with batched block decode (records/s). */
 static void

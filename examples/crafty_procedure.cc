@@ -117,7 +117,7 @@ dump(const char *title, const opt::OptimizedFrame &frame)
 {
     std::printf("%s (%u micro-ops, %u loads):\n", title,
                 frame.numUops(), frame.outputLoads);
-    for (const auto &fu : frame.uops)
+    for (const opt::FrameUop fu : frame)
         std::printf("  %s\n", uop::format(fu.uop).c_str());
     std::printf("\n");
 }

@@ -91,7 +91,7 @@ main()
         frame.nextPc = cand->nextPc;
         frame.dynamicExit = cand->dynamicExit;
         frame.body = body;
-        for (const auto &fu : frame.body.uops) {
+        for (const opt::FrameUop fu : frame.body) {
             if (fu.unsafe && fu.uop.isStore())
                 frame.unsafeStores.push_back(
                     {fu.uop.instIdx, fu.uop.memSeq});

@@ -88,7 +88,7 @@ main()
                 "%u -> %u loads):\n",
                 frame.inputUops, frame.numUops(), frame.inputLoads,
                 frame.outputLoads);
-    for (const auto &fu : frame.uops)
+    for (const opt::FrameUop fu : frame)
         std::printf("  %s\n", uop::format(fu.uop).c_str());
 
     // ---- 5. Execute both and compare the state transformation ---------

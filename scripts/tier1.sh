@@ -28,8 +28,14 @@ if [ "${REPLAY_SKIP_PERFGATE:-0}" = "1" ]; then
 else
     # Hard-fails on a >25% throughput regression against the
     # checked-in baseline, or on any sweep-digest mismatch
-    # (nondeterminism).  Skip with REPLAY_SKIP_PERFGATE=1 (e.g. on
-    # heavily loaded or throttled machines).
+    # (nondeterminism).  Gated metrics: sweep insts/s, engine frames/s,
+    # and — since the SoA slab IR — pass-level optimizer opt-uops/s
+    # (explore the same datapath interactively with the BM_Opt* benches
+    # in bench/bench_hotpath.cc).  The checked-in baseline is the
+    # median of several runs, so the 25% floor absorbs machine noise
+    # without hiding real regressions.  Skip with
+    # REPLAY_SKIP_PERFGATE=1 (e.g. on heavily loaded or throttled
+    # machines).
     "$BUILD/tools/perfgate" --check \
         --baseline bench/BENCH_hotpath.baseline.json \
         --out "$BUILD/BENCH_hotpath.json"

@@ -26,8 +26,27 @@ FrameCache::memoryBytes() const
     // fixed header plus path metadata (one PC per covered x86
     // instruction, conservatively folded into a per-frame constant),
     // and the open-addressing index holds full capacity live.
-    constexpr size_t PER_FRAME_OVERHEAD = sizeof(Frame) + 256;
     return size_t(occupied_) * sizeof(opt::FrameUop) +
+           frames_.size() * PER_FRAME_OVERHEAD + frames_.memoryBytes();
+}
+
+unsigned
+FrameCache::recountUops() const
+{
+    unsigned total = 0;
+    frames_.forEach([&](uint32_t, const Entry &entry) {
+        total += entry.frame->numUops();
+    });
+    return total;
+}
+
+size_t
+FrameCache::auditBytes() const
+{
+    // memoryBytes() rebuilt from a walk over the resident frames
+    // instead of the incrementally-maintained occupied_ counter; any
+    // divergence between the two is a bookkeeping leak.
+    return size_t(recountUops()) * sizeof(opt::FrameUop) +
            frames_.size() * PER_FRAME_OVERHEAD + frames_.memoryBytes();
 }
 
@@ -168,8 +187,13 @@ FrameCache::publish(uint32_t pc, FramePtr next)
         ++stats_.counter("publish_rejects");
         return false;
     }
-    occupied_ = occupied_ - old_size + new_size;
     entry->frame = std::move(next);
+    // Republication is the one path where a resident body's size
+    // changes underneath the occupancy model, so rebuild the counter
+    // from the table instead of trusting an increment — publishes are
+    // orders of magnitude rarer than lookups, and a drifted model
+    // would silently skew governor pressure for the rest of the run.
+    occupied_ = recountUops();
     // lastUsed is deliberately untouched: publication replaces the
     // body in place and must not perturb LRU victim selection.
     ++stats_.counter("publishes");

@@ -116,6 +116,16 @@ class FrameCache
     /** Live footprint: frame bodies, path metadata, and the index. */
     size_t memoryBytes() const;
 
+    /** Occupancy recounted by walking the table (audit path). */
+    unsigned recountUops() const;
+
+    /**
+     * memoryBytes() recomputed from a direct recount rather than the
+     * incremental occupied_ model; tests assert the two agree after
+     * insert/publish/evict churn.
+     */
+    size_t auditBytes() const;
+
     unsigned occupiedUops() const { return occupied_; }
     unsigned capacityUops() const { return capacity_; }
     size_t numFrames() const { return frames_.size(); }
@@ -123,6 +133,13 @@ class FrameCache
     StatGroup &stats() { return stats_; }
 
   private:
+    /**
+     * Fixed per-frame charge in the byte model: the frame header plus
+     * path metadata, conservatively folded into one constant so the
+     * model stays O(1) and deterministic.
+     */
+    static constexpr size_t PER_FRAME_OVERHEAD = sizeof(Frame) + 256;
+
     /** Evict the unpinned LRU entry; false if nothing is evictable. */
     bool evictLru(const char *counter);
     void syncGovernor();

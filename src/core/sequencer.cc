@@ -184,11 +184,12 @@ RePlayEngine::enqueueCandidate(FrameCandidate &cand, uint64_t now)
         frame->bodyHash = pristine;
         frame->faultInjected = sabotaged;
         frame->unsafeStores.clear();
-        for (size_t i = 0; i < frame->body.uops.size(); ++i) {
-            const opt::FrameUop &fu = frame->body.uops[i];
-            if (fu.unsafe && fu.uop.isStore()) {
+        const opt::OptimizedFrame &body = frame->body;
+        for (size_t i = 0; i < body.size(); ++i) {
+            if (body.unsafe[i] &&
+                (body.code.attr[i] & uop::UA_KIND_STORE)) {
                 frame->unsafeStores.push_back(
-                    {fu.uop.instIdx, fu.uop.memSeq});
+                    {body.code.instIdx[i], body.code.memSeq[i]});
             }
         }
         std::sort(frame->unsafeStores.begin(),
@@ -361,10 +362,12 @@ RePlayEngine::publishReopt(ReoptResult &res)
         frame->bodyHash = pristine;
         frame->faultInjected = sabotaged;
         frame->unsafeStores.clear();
-        for (const opt::FrameUop &fu : frame->body.uops) {
-            if (fu.unsafe && fu.uop.isStore()) {
+        const opt::OptimizedFrame &new_body = frame->body;
+        for (size_t i = 0; i < new_body.size(); ++i) {
+            if (new_body.unsafe[i] &&
+                (new_body.code.attr[i] & uop::UA_KIND_STORE)) {
                 frame->unsafeStores.push_back(
-                    {fu.uop.instIdx, fu.uop.memSeq});
+                    {new_body.code.instIdx[i], new_body.code.memSeq[i]});
             }
         }
         std::sort(frame->unsafeStores.begin(),

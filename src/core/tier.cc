@@ -21,12 +21,15 @@ FrozenAliasHints::snapshot(const Frame &frame,
                            const opt::AliasHints &live)
 {
     dirty_.clear();
-    for (const opt::FrameUop &fu : frame.body.uops) {
-        if (!fu.uop.isMem() || fu.uop.instIdx >= frame.pcs.size())
+    const uop::UopSlab &code = frame.body.code;
+    for (size_t i = 0, n = code.size(); i < n; ++i) {
+        if (!(code.attr[i] & uop::UA_KIND_MEM) ||
+            code.instIdx[i] >= frame.pcs.size()) {
             continue;
-        const uint32_t pc = frame.pcs[fu.uop.instIdx];
-        if (!live.cleanForSpeculation(pc, fu.uop.memSeq))
-            dirty_.push_back(aliasKey(pc, fu.uop.memSeq));
+        }
+        const uint32_t pc = frame.pcs[code.instIdx[i]];
+        if (!live.cleanForSpeculation(pc, code.memSeq[i]))
+            dirty_.push_back(aliasKey(pc, code.memSeq[i]));
     }
     std::sort(dirty_.begin(), dirty_.end());
     dirty_.erase(std::unique(dirty_.begin(), dirty_.end()),
@@ -73,11 +76,12 @@ TierEngine::enqueue(const Frame &frame, const opt::AliasHints &live)
     // The cheap passes only delete micro-ops, so the survivors' uop
     // fields are still in architectural form and re-feed the remapper
     // directly; block tags ride along for block-scoped configs.
-    job.uops.reserve(frame.body.uops.size());
-    job.blocks.reserve(frame.body.uops.size());
-    for (const opt::FrameUop &fu : frame.body.uops) {
-        job.uops.push_back(fu.uop);
-        job.blocks.push_back(fu.block);
+    const size_t n_body = frame.body.size();
+    job.uops.reserve(n_body);
+    job.blocks.reserve(n_body);
+    for (size_t i = 0; i < n_body; ++i) {
+        job.uops.push_back(frame.body.code.get(i));
+        job.blocks.push_back(frame.body.block[i]);
     }
     job.alias.snapshot(frame, live);
 

@@ -129,7 +129,7 @@ struct ReoptResult
     size_t
     memoryBytes() const
     {
-        return body.uops.capacity() * sizeof(opt::FrameUop);
+        return body.memoryBytes();
     }
 };
 

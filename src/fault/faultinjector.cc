@@ -26,25 +26,25 @@ namespace {
 std::vector<size_t>
 armedSlots(const OptimizedFrame &body)
 {
-    std::vector<bool> live(body.uops.size(), false);
+    std::vector<bool> live(body.size(), false);
     for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
         const auto reg = static_cast<UReg>(r);
         if (!opt::OptBuffer::archLiveOut(reg) || reg == UReg::FLAGS)
             continue;
         const Operand &binding = body.exit.regs[r];
         if (binding.isProd() && !binding.flagsView &&
-            binding.idx < body.uops.size())
+            binding.idx < body.size())
             live[binding.idx] = true;
     }
 
     std::vector<size_t> out;
-    for (size_t i = 0; i < body.uops.size(); ++i) {
+    for (size_t i = 0; i < body.size(); ++i) {
         if (!live[i])
             continue;
-        const uop::Uop &u = body.uops[i].uop;
-        const bool imm_form = body.uops[i].srcB.isNone();
-        if (imm_form && (u.op == Op::LIMM || u.op == Op::ADD ||
-                         u.op == Op::SUB || u.op == Op::XOR))
+        const Op op = body.code.op[i];
+        const bool imm_form = body.srcB[i].isNone();
+        if (imm_form && (op == Op::LIMM || op == Op::ADD ||
+                         op == Op::SUB || op == Op::XOR))
             out.push_back(i);
     }
     return out;
@@ -65,18 +65,20 @@ FaultInjector::corruptBody(OptimizedFrame &body, const char *site)
         ++stats_.counter("no_target");
         return false;
     }
-    uop::Uop &u = body.uops[slots[rng_.below(slots.size())]].uop;
+    const size_t slot = slots[rng_.below(slots.size())];
+    Op &op = body.code.op[slot];
+    int32_t &imm = body.code.imm[slot];
 
     // ADD <-> SUB opcode flip stays armed only when the two results
     // can never coincide (a+imm == a-imm iff 2*imm == 0 mod 2^32).
     const bool can_flip_op =
-        (u.op == Op::ADD || u.op == Op::SUB) && u.imm != 0 &&
-        u.imm != std::numeric_limits<int32_t>::min();
+        (op == Op::ADD || op == Op::SUB) && imm != 0 &&
+        imm != std::numeric_limits<int32_t>::min();
     if (can_flip_op && rng_.chance(0.25)) {
-        u.op = u.op == Op::ADD ? Op::SUB : Op::ADD;
+        op = op == Op::ADD ? Op::SUB : Op::ADD;
         ++stats_.counter(std::string(site) + "_op_flips");
     } else {
-        u.imm ^= int32_t(1) << rng_.below(8);
+        imm ^= int32_t(1) << rng_.below(8);
         ++stats_.counter(std::string(site) + "_imm_flips");
     }
     return true;
@@ -180,9 +182,9 @@ FaultInjector::hashBody(const opt::OptimizedFrame &body)
             h *= 0x00000100000001b3ULL;
         }
     };
-    for (const opt::FrameUop &fu : body.uops) {
-        mix(uint64_t(fu.uop.op));
-        mix(uint64_t(uint32_t(fu.uop.imm)));
+    for (size_t i = 0, n = body.size(); i < n; ++i) {
+        mix(uint64_t(body.code.op[i]));
+        mix(uint64_t(uint32_t(body.code.imm[i])));
     }
     return h;
 }

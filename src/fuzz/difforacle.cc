@@ -79,6 +79,62 @@ compareStores(const sim::MachineStep &step, uint64_t retired,
     return {};
 }
 
+/**
+ * Fourth leg: the SoA slab must round-trip through the AoS Uop record
+ * losslessly — including the derived attribute bitset, which goes
+ * stale if a pass mutates a field plane without refreshAttr() — and
+ * the body hash must not depend on which representation (or slab
+ * capacity) the body happens to sit in.  Skipped for fault-injected
+ * frames: sabotage flips field bits underneath the derived plane by
+ * design.
+ */
+Divergence
+checkSoaRoundTrip(const core::Frame &frame, uint64_t retired,
+                  uint64_t &uops_round_tripped)
+{
+    const uop::UopSlab &code = frame.body.code;
+    const size_t n = code.size();
+    uop::UopSlab rt;
+    rt.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        rt.push(code.get(i));
+    uops_round_tripped += n;
+
+    Divergence div;
+    div.retired = retired;
+    div.framePc = frame.startPc;
+    if (!(rt == code)) {
+        size_t slot = n;
+        for (size_t i = 0; i < n; ++i) {
+            if (!(rt.get(i) == code.get(i)) ||
+                rt.attr[i] != code.attr[i]) {
+                slot = i;
+                break;
+            }
+        }
+        div.kind = Divergence::Kind::IR_ROUNDTRIP;
+        div.detail = fmt("slot %zu: SoA->AoS->SoA changed the uop "
+                         "(attr %#x -> %#x)",
+                         slot, slot < n ? code.attr[slot] : 0,
+                         slot < n ? rt.attr[slot] : 0);
+        return div;
+    }
+
+    opt::OptimizedFrame copy = frame.body;
+    copy.code = std::move(rt);
+    const uint64_t want = fault::FaultInjector::hashBody(frame.body);
+    const uint64_t got = fault::FaultInjector::hashBody(copy);
+    if (want != got) {
+        div.kind = Divergence::Kind::IR_ROUNDTRIP;
+        div.detail = fmt("body hash depends on representation: "
+                         "%#llx vs %#llx after round-trip",
+                         (unsigned long long)want,
+                         (unsigned long long)got);
+        return div;
+    }
+    return {};
+}
+
 /** Compare the mirror state against the reference shadow state. */
 Divergence
 compareState(const opt::ArchState &mirror, const opt::ArchState &shadow,
@@ -123,6 +179,7 @@ divergenceKindName(Divergence::Kind kind)
       case Divergence::Kind::BODY_ROLLBACK: return "BODY_ROLLBACK";
       case Divergence::Kind::MEM_IMAGE:     return "MEM_IMAGE";
       case Divergence::Kind::STATIC_LINT:   return "STATIC_LINT";
+      case Divergence::Kind::IR_ROUNDTRIP:  return "IR_ROUNDTRIP";
     }
     return "?";
 }
@@ -184,6 +241,15 @@ runOracle(const x86::Program &prog, const OracleConfig &cfg)
                 }
             } else if (step.frame->faultInjected) {
                 ++report.staticMissedCorruptions;
+            }
+        }
+
+        if (!step.frame->faultInjected) {
+            if (Divergence div = checkSoaRoundTrip(
+                    *step.frame, step.retiredBefore,
+                    report.uopsRoundTripped)) {
+                report.div = std::move(div);
+                break;
             }
         }
 

@@ -43,6 +43,7 @@ struct Divergence
         BODY_ROLLBACK,  ///< body asserted though the trace commits
         MEM_IMAGE,      ///< final memory image mismatch
         STATIC_LINT,    ///< static IR lint rejected an un-faulted frame
+        IR_ROUNDTRIP,   ///< SoA body does not round-trip through AoS
     };
 
     Kind kind = Kind::NONE;
@@ -115,6 +116,10 @@ struct OracleReport
     uint64_t staticViolations = 0;
     /** Fault-injected frames the static lint failed to flag. */
     uint64_t staticMissedCorruptions = 0;
+
+    // -- SoA<->AoS representation cross-check (the fourth leg) -------
+    /** Micro-ops round-tripped slab -> Uop record -> slab. */
+    uint64_t uopsRoundTripped = 0;
 
     bool diverged() const { return bool(div); }
 };

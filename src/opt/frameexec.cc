@@ -74,25 +74,28 @@ executeFrame(const OptimizedFrame &frame, ArchState &state,
              x86::SparseMemory &mem)
 {
     FrameExecResult result;
+    const uop::UopSlab &code = frame.code;
+    const size_t n = code.size();
     SlotValues vals;
-    vals.value.assign(frame.uops.size(), 0);
-    vals.flags.assign(frame.uops.size(), {});
+    vals.value.assign(n, 0);
+    vals.flags.assign(n, {});
 
     std::vector<x86::MemOp> buffer;    // all transactions, in order
 
-    for (size_t i = 0; i < frame.uops.size(); ++i) {
-        const FrameUop &fu = frame.uops[i];
-        const uop::Uop &u = fu.uop;
+    // Plane scan: each case touches only the planes it needs.
+    for (size_t i = 0; i < n; ++i) {
+        const Op op = code.op[i];
+        const uint16_t attr = code.attr[i];
 
-        const uint32_t a = resolveValue(fu.srcA, state, vals);
-        const uint32_t b = fu.srcB.isNone() ? uint32_t(u.imm)
-                                            : resolveValue(fu.srcB,
-                                                           state, vals);
-        const uint32_t c = resolveValue(fu.srcC, state, vals);
+        const uint32_t a = resolveValue(frame.srcA[i], state, vals);
+        const uint32_t b = frame.srcB[i].isNone()
+            ? uint32_t(code.imm[i])
+            : resolveValue(frame.srcB[i], state, vals);
+        const uint32_t c = resolveValue(frame.srcC[i], state, vals);
         const x86::Flags in_flags =
-            resolveFlags(fu.flagsSrc, state, vals);
+            resolveFlags(frame.flagsSrc[i], state, vals);
 
-        switch (u.op) {
+        switch (op) {
           case Op::NOP:
           case Op::JMP:
           case Op::LONGFLOW:
@@ -100,30 +103,36 @@ executeFrame(const OptimizedFrame &frame, ArchState &state,
 
           case Op::LOAD:
           case Op::FLOAD: {
-            const uint32_t addr = uop::loadAddr(
-                u, a, fu.srcB.isNone() ? 0
-                                       : resolveValue(fu.srcB, state,
-                                                      vals));
+            const unsigned size = code.memSize[i];
+            const uint32_t addr = uop::memAddr(
+                code.imm[i], code.scale[i], code.srcA[i], code.srcB[i],
+                a,
+                frame.srcB[i].isNone()
+                    ? 0
+                    : resolveValue(frame.srcB[i], state, vals));
             const uint32_t raw =
-                readWithForwarding(mem, buffer, addr, u.memSize);
+                readWithForwarding(mem, buffer, addr, size);
             uint32_t value = raw;
-            if (u.signExtend && u.memSize < 4)
-                value = uint32_t(sext(value, u.memSize * 8));
-            buffer.push_back({false, addr, u.memSize, raw});
+            if ((attr & uop::UA_SIGN_EXTEND) && size < 4)
+                value = uint32_t(sext(value, size * 8));
+            buffer.push_back({false, addr, uint8_t(size), raw});
             vals.value[i] = value;
             break;
           }
 
           case Op::STORE:
           case Op::FSTORE: {
-            const uint32_t addr = uop::storeAddr(u, a, c);
-            uint32_t value = resolveValue(fu.srcB, state, vals);
+            const unsigned size = code.memSize[i];
+            const uint32_t addr = uop::memAddr(
+                code.imm[i], code.scale[i], code.srcA[i], code.srcC[i],
+                a, c);
+            uint32_t value = resolveValue(frame.srcB[i], state, vals);
             // Match the executor's canonical sub-word store data.
-            if (u.memSize < 4)
-                value &= (1u << (8 * u.memSize)) - 1;
-            if (fu.unsafe) {
+            if (size < 4)
+                value &= (1u << (8 * size)) - 1;
+            if (frame.unsafe[i]) {
                 // §3.4: compare against every prior transaction.
-                const x86::MemOp probe{true, addr, u.memSize, value};
+                const x86::MemOp probe{true, addr, uint8_t(size), value};
                 for (size_t p = 0; p < buffer.size(); ++p) {
                     if (buffer[p].overlaps(probe)) {
                         result.status =
@@ -133,7 +142,7 @@ executeFrame(const OptimizedFrame &frame, ArchState &state,
                     }
                 }
             }
-            buffer.push_back({true, addr, u.memSize, value});
+            buffer.push_back({true, addr, uint8_t(size), value});
             break;
           }
 
@@ -146,13 +155,12 @@ executeFrame(const OptimizedFrame &frame, ArchState &state,
 
           case Op::ASSERT: {
             x86::Flags observed = in_flags;
-            if (u.valueAssert) {
-                uop::Uop cmp;
-                cmp.op = u.assertOp;
-                observed =
-                    uop::evalAlu(cmp, a, b, 0, x86::Flags{}).flags;
+            if (attr & uop::UA_VALUE_ASSERT) {
+                observed = uop::evalAlu(code.assertOp[i], x86::Cond::O,
+                                        0, false, a, b, 0, x86::Flags{})
+                               .flags;
             }
-            if (uop::assertFires(u, observed)) {
+            if (uop::assertFires(code.cc[i], observed)) {
                 result.status = FrameExecResult::Status::ASSERTED;
                 result.faultSlot = i;
                 return result;
@@ -161,9 +169,12 @@ executeFrame(const OptimizedFrame &frame, ArchState &state,
           }
 
           default: {
-            const auto alu = uop::evalAlu(u, a, b, c, in_flags);
+            const auto alu =
+                uop::evalAlu(op, code.cc[i], code.imm[i],
+                             (attr & uop::UA_CARRY_ONLY) != 0, a, b, c,
+                             in_flags);
             vals.value[i] = alu.value;
-            if (u.writesFlags)
+            if (attr & uop::UA_WRITES_FLAGS)
                 vals.flags[i] = alu.flags;
             break;
           }

@@ -22,41 +22,47 @@ Operand::str() const
     return "<?>";
 }
 
-uint16_t
-OptBuffer::push(FrameUop fu)
+void
+OptBuffer::growPlanes(size_t n)
 {
-    panic_if(slots_.size() >= 0xffff, "optimization buffer overflow");
-    fu.position = uint16_t(slots_.size());
-    slots_.push_back(fu);
-    return uint16_t(slots_.size() - 1);
+    srcA_.resize(n);
+    srcB_.resize(n);
+    srcC_.resize(n);
+    flagsSrc_.resize(n);
+    valid_.resize(n);
+    unsafe_.resize(n);
+    position_.resize(n);
+    block_.resize(n);
 }
 
 Operand
 OptBuffer::parent(size_t idx, SrcRole role)
 {
     ++prims_.parentLookups;
-    return slots_[idx].src(role);
+    switch (role) {
+      case SrcRole::A: return srcA_[idx];
+      case SrcRole::B: return srcB_[idx];
+      case SrcRole::C: return srcC_[idx];
+      default: return flagsSrc_[idx];
+    }
 }
-
-namespace {
 
 bool
-usesOperand(const FrameUop &fu, const Operand &op)
+OptBuffer::usesOperandAt(size_t i, const Operand &op) const
 {
-    return fu.srcA == op || fu.srcB == op || fu.srcC == op ||
-           fu.flagsSrc == op;
+    return srcA_[i] == op || srcB_[i] == op || srcC_[i] == op ||
+           flagsSrc_[i] == op;
 }
-
-} // anonymous namespace
 
 std::vector<uint16_t>
 OptBuffer::valueChildren(size_t idx)
 {
     const Operand target = Operand::prod(uint16_t(idx));
     std::vector<uint16_t> kids;
-    for (size_t i = 0; i < slots_.size(); ++i) {
+    const size_t n = code_.size();
+    for (size_t i = 0; i < n; ++i) {
         ++prims_.childSteps;
-        if (slots_[i].valid && usesOperand(slots_[i], target))
+        if (valid_[i] && usesOperandAt(i, target))
             kids.push_back(uint16_t(i));
     }
     return kids;
@@ -67,9 +73,10 @@ OptBuffer::flagsChildren(size_t idx)
 {
     const Operand target = Operand::prodFlags(uint16_t(idx));
     std::vector<uint16_t> kids;
-    for (size_t i = 0; i < slots_.size(); ++i) {
+    const size_t n = code_.size();
+    for (size_t i = 0; i < n; ++i) {
         ++prims_.childSteps;
-        if (slots_[i].valid && usesOperand(slots_[i], target))
+        if (valid_[i] && usesOperandAt(i, target))
             kids.push_back(uint16_t(i));
     }
     return kids;
@@ -79,30 +86,29 @@ void
 OptBuffer::setSource(size_t idx, SrcRole role, Operand op)
 {
     ++prims_.rewrites;
-    FrameUop &fu = slots_[idx];
     switch (role) {
-      case SrcRole::A:     fu.srcA = op; break;
-      case SrcRole::B:     fu.srcB = op; break;
-      case SrcRole::C:     fu.srcC = op; break;
-      case SrcRole::FLAGS: fu.flagsSrc = op; break;
+      case SrcRole::A:     srcA_[idx] = op; break;
+      case SrcRole::B:     srcB_[idx] = op; break;
+      case SrcRole::C:     srcC_[idx] = op; break;
+      case SrcRole::FLAGS: flagsSrc_[idx] = op; break;
     }
 }
 
 void
 OptBuffer::replaceAllUses(const Operand &from, const Operand &to)
 {
-    for (size_t i = 0; i < slots_.size(); ++i) {
-        FrameUop &fu = slots_[i];
+    const size_t n = code_.size();
+    for (size_t i = 0; i < n; ++i) {
         ++prims_.childSteps;
-        if (!fu.valid)
+        if (!valid_[i])
             continue;
-        if (fu.srcA == from)
+        if (srcA_[i] == from)
             setSource(i, SrcRole::A, to);
-        if (fu.srcB == from)
+        if (srcB_[i] == from)
             setSource(i, SrcRole::B, to);
-        if (fu.srcC == from)
+        if (srcC_[i] == from)
             setSource(i, SrcRole::C, to);
-        if (fu.flagsSrc == from)
+        if (flagsSrc_[i] == from)
             setSource(i, SrcRole::FLAGS, to);
     }
     for (auto &exit : exits_) {
@@ -122,18 +128,19 @@ OptBuffer::replaceAllUses(const Operand &from, const Operand &to)
 void
 OptBuffer::invalidate(size_t idx)
 {
-    panic_if(slots_[idx].uop.isStore(),
+    panic_if(uop::kindBitsOf(code_.op[idx]) & uop::UA_KIND_STORE,
              "the optimizer never removes stores");
     ++prims_.invalidates;
-    slots_[idx].valid = false;
+    valid_[idx] = 0;
 }
 
 bool
 OptBuffer::valueUsed(size_t idx) const
 {
     const Operand target = Operand::prod(uint16_t(idx));
-    for (const auto &fu : slots_) {
-        if (fu.valid && usesOperand(fu, target))
+    const size_t n = code_.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (valid_[i] && usesOperandAt(i, target))
             return true;
     }
     return false;
@@ -143,8 +150,9 @@ bool
 OptBuffer::flagsUsed(size_t idx) const
 {
     const Operand target = Operand::prodFlags(uint16_t(idx));
-    for (const auto &fu : slots_) {
-        if (fu.valid && usesOperand(fu, target))
+    const size_t n = code_.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (valid_[i] && usesOperandAt(i, target))
             return true;
     }
     return false;
@@ -189,8 +197,9 @@ std::vector<uint16_t>
 OptBuffer::memSlots() const
 {
     std::vector<uint16_t> out;
-    for (size_t i = 0; i < slots_.size(); ++i) {
-        if (slots_[i].valid && slots_[i].uop.isMem())
+    const size_t n = code_.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (valid_[i] && (uop::kindBitsOf(code_.op[i]) & uop::UA_KIND_MEM))
             out.push_back(uint16_t(i));
     }
     return out;
@@ -199,9 +208,13 @@ OptBuffer::memSlots() const
 unsigned
 OptBuffer::validCount() const
 {
+    // The planes stay sized to code_.capacity() across clear(), so
+    // slots past code_.size() hold stale flags from recycled frames;
+    // only the live prefix may be counted.
     unsigned n = 0;
-    for (const auto &fu : slots_)
-        n += fu.valid;
+    const size_t count = code_.size();
+    for (size_t i = 0; i < count; ++i)
+        n += valid_[i];
     return n;
 }
 
@@ -209,8 +222,11 @@ unsigned
 OptBuffer::validLoads() const
 {
     unsigned n = 0;
-    for (const auto &fu : slots_)
-        n += fu.valid && fu.uop.isLoad();
+    const size_t count = code_.size();
+    for (size_t i = 0; i < count; ++i) {
+        n += valid_[i] &&
+             (uop::kindBitsOf(code_.op[i]) & uop::UA_KIND_LOAD);
+    }
     return n;
 }
 
@@ -218,13 +234,13 @@ std::string
 OptBuffer::dump() const
 {
     std::ostringstream out;
-    for (size_t i = 0; i < slots_.size(); ++i) {
-        const FrameUop &fu = slots_[i];
-        out << (fu.valid ? "  " : "x ") << i << ": "
-            << uop::format(fu.uop);
-        out << "   [A" << fu.srcA.str() << " B" << fu.srcB.str() << " C"
-            << fu.srcC.str() << " F" << fu.flagsSrc.str() << "]";
-        if (fu.unsafe)
+    for (size_t i = 0; i < code_.size(); ++i) {
+        out << (valid_[i] ? "  " : "x ") << i << ": "
+            << uop::format(code_.get(i));
+        out << "   [A" << srcA_[i].str() << " B" << srcB_[i].str()
+            << " C" << srcC_[i].str() << " F" << flagsSrc_[i].str()
+            << "]";
+        if (unsafe_[i])
             out << " UNSAFE";
         out << '\n';
     }

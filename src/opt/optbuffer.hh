@@ -13,6 +13,14 @@
  * optimization (Figure 9) has one exit per constituent basic block,
  * modeling the optimizer's ignorance of later blocks.
  *
+ * Storage is structure-of-arrays: the micro-op fields live in a
+ * uop::UopSlab plus parallel operand/slot planes, so pass sweeps and
+ * the static verifier's dataflow analyses are linear plane scans.
+ * at() hands out a thin UopRef cursor whose members are references
+ * into the planes — existing field-mutation code compiles unchanged —
+ * and which converts implicitly to a materialized FrameUop for
+ * read-only consumers.
+ *
  * All optimization passes mutate the buffer exclusively through the
  * primitive operations §4 postulates for the hardware (parent / child
  * traversal, field read/modify, instruction invalidation); a primitive
@@ -25,9 +33,12 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "opt/operand.hh"
+#include "uop/soa.hh"
+#include "util/logging.hh"
 #include "uop/uop.hh"
 
 namespace replay::opt {
@@ -41,7 +52,7 @@ enum class SrcRole : uint8_t
     FLAGS,
 };
 
-/** One renamed micro-op in the buffer (the Figure 4 format). */
+/** One renamed micro-op in materialized (AoS) form. */
 struct FrameUop
 {
     uop::Uop uop;           ///< opcode, cc, imm, sizes, provenance
@@ -67,6 +78,216 @@ struct FrameUop
     }
 
     bool operator==(const FrameUop &) const = default;
+};
+
+/**
+ * Reference to a byte-backed boolean plane cell.  Reads convert to
+ * bool; writes store 0/1.  Exists because the planes store flags as
+ * bytes (vector<bool> proxies would defeat plane scanning).
+ */
+template <bool Const>
+class BoolCell
+{
+    using Byte = std::conditional_t<Const, const uint8_t, uint8_t>;
+
+  public:
+    explicit BoolCell(Byte *p) : p_(p) {}
+
+    operator bool() const { return *p_ != 0; }
+
+    template <bool C = Const, typename = std::enable_if_t<!C>>
+    BoolCell &
+    operator=(bool v)
+    {
+        *p_ = v;
+        return *this;
+    }
+
+  private:
+    Byte *p_;
+};
+
+/** Reference view of a micro-op's fields inside the slab planes. */
+template <bool Const>
+struct BasicUopFieldsRef
+{
+    template <typename T>
+    using Ref = std::conditional_t<Const, const T &, T &>;
+
+    Ref<uop::Op> op;
+    Ref<x86::Cond> cc;
+    Ref<uop::UReg> dst;
+    Ref<uop::UReg> srcA;        ///< architectural names
+    Ref<uop::UReg> srcB;
+    Ref<uop::UReg> srcC;
+    Ref<int32_t> imm;
+    Ref<uint8_t> scale;
+    Ref<uint8_t> memSize;
+    BoolCell<Const> signExtend;
+    BoolCell<Const> readsFlags;
+    BoolCell<Const> writesFlags;
+    BoolCell<Const> flagsCarryOnly;
+    BoolCell<Const> valueAssert;
+    Ref<uop::Op> assertOp;
+    Ref<uint32_t> target;
+    Ref<uint32_t> x86Pc;
+    Ref<uint16_t> instIdx;
+    Ref<uint8_t> microIdx;
+    Ref<uint8_t> memSeq;
+    BoolCell<Const> lastOfInst;
+
+    /** Scatter-assign every field from an AoS micro-op. */
+    template <bool C = Const, typename = std::enable_if_t<!C>>
+    BasicUopFieldsRef &
+    operator=(const uop::Uop &u)
+    {
+        op = u.op;
+        cc = u.cc;
+        dst = u.dst;
+        srcA = u.srcA;
+        srcB = u.srcB;
+        srcC = u.srcC;
+        imm = u.imm;
+        scale = u.scale;
+        memSize = u.memSize;
+        signExtend = u.signExtend;
+        readsFlags = u.readsFlags;
+        writesFlags = u.writesFlags;
+        flagsCarryOnly = u.flagsCarryOnly;
+        valueAssert = u.valueAssert;
+        assertOp = u.assertOp;
+        target = u.target;
+        x86Pc = u.x86Pc;
+        instIdx = u.instIdx;
+        microIdx = u.microIdx;
+        memSeq = u.memSeq;
+        lastOfInst = u.lastOfInst;
+        return *this;
+    }
+
+    bool isLoad() const { return uop::kindBitsOf(op) & uop::UA_KIND_LOAD; }
+    bool isStore() const { return uop::kindBitsOf(op) & uop::UA_KIND_STORE; }
+    bool isMem() const { return uop::kindBitsOf(op) & uop::UA_KIND_MEM; }
+    bool
+    isControl() const
+    {
+        return uop::kindBitsOf(op) & uop::UA_KIND_CONTROL;
+    }
+    bool isAssert() const { return uop::kindBitsOf(op) & uop::UA_KIND_ASSERT; }
+    bool isFp() const { return uop::kindBitsOf(op) & uop::UA_KIND_FP; }
+
+    bool
+    usesImmOperand() const
+    {
+        switch (op) {
+          case uop::Op::ADD:
+          case uop::Op::SUB:
+          case uop::Op::AND:
+          case uop::Op::OR:
+          case uop::Op::XOR:
+          case uop::Op::SHL:
+          case uop::Op::SHR:
+          case uop::Op::SAR:
+          case uop::Op::MUL:
+          case uop::Op::CMP:
+          case uop::Op::TEST:
+            return srcB == uop::UReg::NONE;
+          case uop::Op::LIMM:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Gather back into architectural form. */
+    operator uop::Uop() const
+    {
+        uop::Uop u;
+        u.op = op;
+        u.cc = cc;
+        u.dst = dst;
+        u.srcA = srcA;
+        u.srcB = srcB;
+        u.srcC = srcC;
+        u.imm = imm;
+        u.scale = scale;
+        u.memSize = memSize;
+        u.signExtend = signExtend;
+        u.readsFlags = readsFlags;
+        u.writesFlags = writesFlags;
+        u.flagsCarryOnly = flagsCarryOnly;
+        u.valueAssert = valueAssert;
+        u.lastOfInst = lastOfInst;
+        u.assertOp = assertOp;
+        u.target = target;
+        u.x86Pc = x86Pc;
+        u.instIdx = instIdx;
+        u.microIdx = microIdx;
+        u.memSeq = memSeq;
+        return u;
+    }
+};
+
+/** Cursor over one buffer slot: references into every plane. */
+template <bool Const>
+struct BasicUopRef
+{
+    template <typename T>
+    using Ref = std::conditional_t<Const, const T &, T &>;
+
+    BasicUopFieldsRef<Const> uop;
+    Ref<Operand> srcA;
+    Ref<Operand> srcB;
+    Ref<Operand> srcC;
+    Ref<Operand> flagsSrc;
+    BoolCell<Const> valid;
+    BoolCell<Const> unsafe;
+    Ref<uint16_t> position;
+    Ref<uint16_t> block;
+
+    const Operand &
+    src(SrcRole role) const
+    {
+        switch (role) {
+          case SrcRole::A: return srcA;
+          case SrcRole::B: return srcB;
+          case SrcRole::C: return srcC;
+          default: return flagsSrc;
+        }
+    }
+
+    /** Scatter-assign every plane field from an AoS snapshot. */
+    template <bool C = Const, typename = std::enable_if_t<!C>>
+    BasicUopRef &
+    operator=(const FrameUop &fu)
+    {
+        uop = fu.uop;
+        srcA = fu.srcA;
+        srcB = fu.srcB;
+        srcC = fu.srcC;
+        flagsSrc = fu.flagsSrc;
+        valid = fu.valid;
+        unsafe = fu.unsafe;
+        position = fu.position;
+        block = fu.block;
+        return *this;
+    }
+
+    /** Materialize (for consumers holding a value or const ref). */
+    operator FrameUop() const
+    {
+        FrameUop fu;
+        fu.uop = uop;
+        fu.srcA = srcA;
+        fu.srcB = srcB;
+        fu.srcC = srcC;
+        fu.flagsSrc = flagsSrc;
+        fu.valid = valid;
+        fu.unsafe = unsafe;
+        fu.position = position;
+        fu.block = block;
+        return fu;
+    }
 };
 
 /** Architectural bindings that must be reconstructible at an exit. */
@@ -100,27 +321,103 @@ struct PrimitiveCounts
 class OptBuffer
 {
   public:
+    using UopRef = BasicUopRef<false>;
+    using UopCRef = BasicUopRef<true>;
+
     OptBuffer() = default;
 
     /** Number of slots (including invalidated ones). */
-    size_t size() const { return slots_.size(); }
+    size_t size() const { return code_.size(); }
 
-    FrameUop &at(size_t idx) { return slots_[idx]; }
-    const FrameUop &at(size_t idx) const { return slots_[idx]; }
-    bool valid(size_t idx) const { return slots_[idx].valid; }
+    UopRef
+    at(size_t i)
+    {
+        return UopRef{
+            {code_.op[i], code_.cc[i], code_.dst[i], code_.srcA[i],
+             code_.srcB[i], code_.srcC[i], code_.imm[i], code_.scale[i],
+             code_.memSize[i], BoolCell<false>(&code_.signExtend[i]),
+             BoolCell<false>(&code_.readsFlags[i]),
+             BoolCell<false>(&code_.writesFlags[i]),
+             BoolCell<false>(&code_.flagsCarryOnly[i]),
+             BoolCell<false>(&code_.valueAssert[i]), code_.assertOp[i],
+             code_.target[i], code_.x86Pc[i], code_.instIdx[i],
+             code_.microIdx[i], code_.memSeq[i],
+             BoolCell<false>(&code_.lastOfInst[i])},
+            srcA_[i], srcB_[i], srcC_[i], flagsSrc_[i],
+            BoolCell<false>(&valid_[i]), BoolCell<false>(&unsafe_[i]),
+            position_[i], block_[i]};
+    }
+
+    UopCRef
+    at(size_t i) const
+    {
+        return UopCRef{
+            {code_.op[i], code_.cc[i], code_.dst[i], code_.srcA[i],
+             code_.srcB[i], code_.srcC[i], code_.imm[i], code_.scale[i],
+             code_.memSize[i], BoolCell<true>(&code_.signExtend[i]),
+             BoolCell<true>(&code_.readsFlags[i]),
+             BoolCell<true>(&code_.writesFlags[i]),
+             BoolCell<true>(&code_.flagsCarryOnly[i]),
+             BoolCell<true>(&code_.valueAssert[i]), code_.assertOp[i],
+             code_.target[i], code_.x86Pc[i], code_.instIdx[i],
+             code_.microIdx[i], code_.memSeq[i],
+             BoolCell<true>(&code_.lastOfInst[i])},
+            srcA_[i], srcB_[i], srcC_[i], flagsSrc_[i],
+            BoolCell<true>(&valid_[i]), BoolCell<true>(&unsafe_[i]),
+            position_[i], block_[i]};
+    }
+
+    /** Materialize slot @p i (AoS snapshot, no write-back). */
+    FrameUop uopAt(size_t i) const { return at(i); }
+
+    bool valid(size_t idx) const { return valid_[idx] != 0; }
+
+    // -- direct plane access (finalize / verifier sweeps) ---------------
+
+    const uop::UopSlab &code() const { return code_; }
+    const std::vector<Operand> &srcAPlane() const { return srcA_; }
+    const std::vector<Operand> &srcBPlane() const { return srcB_; }
+    const std::vector<Operand> &srcCPlane() const { return srcC_; }
+    const std::vector<Operand> &flagsSrcPlane() const { return flagsSrc_; }
+    const std::vector<uint8_t> &unsafePlane() const { return unsafe_; }
+    const std::vector<uint16_t> &positionPlane() const { return position_; }
+    const std::vector<uint16_t> &blockPlane() const { return block_; }
 
     /** Append a remapped micro-op (Remapper / tests only). */
-    uint16_t push(FrameUop fu);
+    /**
+     * Append a micro-op.  The operand/meta planes track the slab's
+     * capacity (length == capacity, live prefix == code_.size()), so
+     * the steady-state cost is one grow check plus indexed stores.
+     */
+    uint16_t
+    push(const FrameUop &fu)
+    {
+        panic_if(code_.size() >= 0xffff,
+                 "optimization buffer overflow");
+        const auto slot = uint16_t(code_.size());
+        code_.push(fu.uop);
+        if (srcA_.size() < code_.capacity())
+            growPlanes(code_.capacity());
+        srcA_[slot] = fu.srcA;
+        srcB_[slot] = fu.srcB;
+        srcC_[slot] = fu.srcC;
+        flagsSrc_[slot] = fu.flagsSrc;
+        valid_[slot] = fu.valid;
+        unsafe_[slot] = fu.unsafe;
+        position_[slot] = slot;
+        block_[slot] = fu.block;
+        return slot;
+    }
 
     /**
-     * Reset to an empty buffer, keeping the slot/exit storage so a
+     * Reset to an empty buffer, keeping the plane/exit storage so a
      * reused scratch buffer stops allocating once warm.  Primitive
      * counts restart at zero (they are per-optimization).
      */
     void
     clear()
     {
-        slots_.clear();
+        code_.clear();      // planes keep their storage (scratch reuse)
         exits_.clear();
         prims_ = PrimitiveCounts{};
     }
@@ -201,7 +498,13 @@ class OptBuffer
     std::string dump() const;
 
   private:
-    std::vector<FrameUop> slots_;
+    bool usesOperandAt(size_t i, const Operand &op) const;
+    void growPlanes(size_t n);
+
+    uop::UopSlab code_;
+    std::vector<Operand> srcA_, srcB_, srcC_, flagsSrc_;
+    std::vector<uint8_t> valid_, unsafe_;
+    std::vector<uint16_t> position_, block_;
     std::vector<ExitBinding> exits_;
     mutable PrimitiveCounts prims_;
 };

@@ -49,12 +49,20 @@ scratchBuffer()
     return buf;
 }
 
-/** Cleanup: compact valid slots in position order, re-index operands. */
+/**
+ * Cleanup: compact valid slots in position order, re-index operands.
+ *
+ * @p pristine means no pass changed anything since the remap (always
+ * true on the passthrough path): every slot is still valid, operand
+ * indices are identity, and the attr plane the remap deposit computed
+ * is still authoritative, so the whole buffer transfers as bulk plane
+ * copies instead of per-slot gathers.
+ */
 void
 finalize(OptBuffer &buf, const std::vector<uop::Uop> &uops,
-         OptimizedFrame &out)
+         OptimizedFrame &out, bool pristine)
 {
-    out.uops.clear();
+    out.clear();
     out.exit = ExitBinding{};
     out.inputUops = unsigned(uops.size());
     out.inputLoads = 0;
@@ -64,41 +72,93 @@ finalize(OptBuffer &buf, const std::vector<uop::Uop> &uops,
     for (const auto &u : uops)
         out.inputLoads += u.isLoad();
 
-    thread_local std::vector<uint16_t> new_index;
-    new_index.assign(buf.size(), 0xffff);
-    for (size_t i = 0; i < buf.size(); ++i) {
-        if (!buf.valid(i))
-            continue;
-        new_index[i] = uint16_t(out.uops.size());
-        out.uops.push_back(buf.at(i));
-    }
-
-    auto fix = [&](Operand &op) {
-        if (op.isProd()) {
-            panic_if(new_index[op.idx] == 0xffff,
-                     "operand references an invalidated slot");
-            op.idx = new_index[op.idx];
+    const uop::UopSlab &slab = buf.code();
+    const size_t n_buf = buf.size();
+    if (pristine) {
+        // Bulk plane transfer: slot order, operand indices, and the
+        // deposit-time attr plane all carry over unchanged.
+        out.code = slab;
+        const auto n = std::ptrdiff_t(n_buf);
+        out.srcA.assign(buf.srcAPlane().begin(),
+                        buf.srcAPlane().begin() + n);
+        out.srcB.assign(buf.srcBPlane().begin(),
+                        buf.srcBPlane().begin() + n);
+        out.srcC.assign(buf.srcCPlane().begin(),
+                        buf.srcCPlane().begin() + n);
+        out.flagsSrc.assign(buf.flagsSrcPlane().begin(),
+                            buf.flagsSrcPlane().begin() + n);
+        out.unsafe.assign(buf.unsafePlane().begin(),
+                          buf.unsafePlane().begin() + n);
+        out.position.assign(buf.positionPlane().begin(),
+                            buf.positionPlane().begin() + n);
+        out.block.assign(buf.blockPlane().begin(),
+                         buf.blockPlane().begin() + n);
+        out.exit = buf.finalExit();
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            if (!OptBuffer::archLiveOut(static_cast<uop::UReg>(r)))
+                out.exit.regs[r] = Operand::none();
         }
-    };
-    for (auto &fu : out.uops) {
-        fix(fu.srcA);
-        fix(fu.srcB);
-        fix(fu.srcC);
-        fix(fu.flagsSrc);
-    }
-    out.exit = buf.finalExit();
-    for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
-        // Bindings of registers that are dead past the frame boundary
-        // (the ET temporaries) may reference removed slots; drop them.
-        if (!OptBuffer::archLiveOut(static_cast<uop::UReg>(r)))
-            out.exit.regs[r] = Operand::none();
-        else
-            fix(out.exit.regs[r]);
-    }
-    fix(out.exit.flags);
+    } else {
+        thread_local std::vector<uint16_t> new_index;
+        new_index.assign(n_buf, 0xffff);
+        const size_t n_valid = buf.validCount();
+        out.code.reserve(n_valid);
+        out.srcA.reserve(n_valid);
+        out.srcB.reserve(n_valid);
+        out.srcC.reserve(n_valid);
+        out.flagsSrc.reserve(n_valid);
+        out.unsafe.reserve(n_valid);
+        out.position.reserve(n_valid);
+        out.block.reserve(n_valid);
+        for (size_t i = 0; i < n_buf; ++i) {
+            if (!buf.valid(i))
+                continue;
+            const auto k = uint16_t(out.size());
+            new_index[i] = k;
+            out.code.pushFrom(slab, i);
+            // Passes mutate fields through plane references, bypassing
+            // the scratch buffer's derived attr plane; recompute it
+            // here so the published body's bitset is authoritative.
+            out.code.refreshAttr(k);
+            out.srcA.push_back(buf.srcAPlane()[i]);
+            out.srcB.push_back(buf.srcBPlane()[i]);
+            out.srcC.push_back(buf.srcCPlane()[i]);
+            out.flagsSrc.push_back(buf.flagsSrcPlane()[i]);
+            out.unsafe.push_back(buf.unsafePlane()[i]);
+            out.position.push_back(buf.positionPlane()[i]);
+            out.block.push_back(buf.blockPlane()[i]);
+        }
 
-    for (const auto &fu : out.uops)
-        out.outputLoads += fu.uop.isLoad();
+        auto fix = [&](Operand &op) {
+            if (op.isProd()) {
+                panic_if(new_index[op.idx] == 0xffff,
+                         "operand references an invalidated slot");
+                op.idx = new_index[op.idx];
+            }
+        };
+        for (size_t k = 0; k < out.size(); ++k) {
+            fix(out.srcA[k]);
+            fix(out.srcB[k]);
+            fix(out.srcC[k]);
+            fix(out.flagsSrc[k]);
+        }
+        out.exit = buf.finalExit();
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            // Bindings of registers that are dead past the frame
+            // boundary (the ET temporaries) may reference removed
+            // slots; drop them.
+            if (!OptBuffer::archLiveOut(static_cast<uop::UReg>(r)))
+                out.exit.regs[r] = Operand::none();
+            else
+                fix(out.exit.regs[r]);
+        }
+        fix(out.exit.flags);
+    }
+
+    for (size_t k = 0; k < out.size(); ++k) {
+        out.outputLoads +=
+            (out.code.attr[k] & uop::UA_KIND_LOAD) != 0;
+    }
 
     out.prims = buf.prims();
 }
@@ -123,6 +183,7 @@ Optimizer::optimize(const std::vector<uop::Uop> &uops,
 
     OptContext ctx{buf, cfg_, alias, stats};
 
+    unsigned total_changed = 0;
     for (unsigned iter = 0; iter < cfg_.maxIterations; ++iter) {
         unsigned changed = 0;
         auto run = [&](PassId id, unsigned n) {
@@ -137,18 +198,19 @@ Optimizer::optimize(const std::vector<uop::Uop> &uops,
         run(PassId::CSE, passCse(ctx));
         run(PassId::SF, passStoreForward(ctx));
         run(PassId::DCE, passDce(ctx));
+        total_changed += changed;
         if (!changed)
             break;
     }
 
-    finalize(buf, uops, out);
+    finalize(buf, uops, out, total_changed == 0);
     out.latencyCycles = latencyFor(out.inputUops);
     if (obs)
         obs->onFinalized(out);
 
     ++stats.framesOptimized;
     stats.inputUops += out.inputUops;
-    stats.outputUops += out.uops.size();
+    stats.outputUops += out.size();
     stats.inputLoads += out.inputLoads;
     stats.outputLoads += out.outputLoads;
 }
@@ -169,7 +231,7 @@ Optimizer::passthrough(const std::vector<uop::Uop> &uops,
     if (obs)
         obs->onRemapped(buf);
 
-    finalize(buf, uops, out);
+    finalize(buf, uops, out, /*pristine=*/true);
     out.latencyCycles = 0;      // deposited directly (§6.3)
     if (obs)
         obs->onFinalized(out);

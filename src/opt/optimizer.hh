@@ -19,11 +19,27 @@
 
 namespace replay::opt {
 
-/** The optimizer's output: a compacted, renamed frame body. */
+/**
+ * The optimizer's output: a compacted, renamed frame body.
+ *
+ * Stored structure-of-arrays: the micro-op fields live in a
+ * uop::UopSlab (`code`) plus parallel operand/slot planes, so the
+ * simulator's dispatch loop, frameexec, and the verifier sweep only
+ * the planes they need.  All slots are valid (cleanup dropped the
+ * rest); PROD operand indices refer to compacted slot order.
+ */
 struct OptimizedFrame
 {
-    /** Surviving micro-ops; PROD operand indices refer to this list. */
-    std::vector<FrameUop> uops;
+    /** Surviving micro-op fields, one plane each (incl. attr bitset). */
+    uop::UopSlab code;
+
+    /** Renamed source operands, parallel to `code`. */
+    std::vector<Operand> srcA, srcB, srcC, flagsSrc;
+
+    /** Unsafe-store marks, original slot positions, block indices. */
+    std::vector<uint8_t> unsafe;
+    std::vector<uint16_t> position;
+    std::vector<uint16_t> block;
 
     /** Architectural bindings at the frame boundary. */
     ExitBinding exit;
@@ -41,7 +57,91 @@ struct OptimizedFrame
      */
     uint64_t latencyCycles = 0;
 
-    unsigned numUops() const { return unsigned(uops.size()); }
+    size_t size() const { return code.size(); }
+    unsigned numUops() const { return unsigned(code.size()); }
+
+    /** Materialize slot @p i (AoS snapshot; output slots are valid). */
+    FrameUop
+    at(size_t i) const
+    {
+        FrameUop fu;
+        fu.uop = code.get(i);
+        fu.srcA = srcA[i];
+        fu.srcB = srcB[i];
+        fu.srcC = srcC[i];
+        fu.flagsSrc = flagsSrc[i];
+        fu.valid = true;
+        fu.unsafe = unsafe[i] != 0;
+        fu.position = position[i];
+        fu.block = block[i];
+        return fu;
+    }
+
+    /** Materializing forward iterator (yields AoS snapshots). */
+    struct ConstIter
+    {
+        const OptimizedFrame *f;
+        size_t i;
+        FrameUop operator*() const { return f->at(i); }
+        ConstIter &operator++() { ++i; return *this; }
+        bool operator!=(const ConstIter &o) const { return i != o.i; }
+    };
+    ConstIter begin() const { return {this, 0}; }
+    ConstIter end() const { return {this, size()}; }
+
+    /** Append a materialized micro-op (tests / round-trip oracle). */
+    void
+    push(const FrameUop &fu)
+    {
+        code.push(fu.uop);
+        srcA.push_back(fu.srcA);
+        srcB.push_back(fu.srcB);
+        srcC.push_back(fu.srcC);
+        flagsSrc.push_back(fu.flagsSrc);
+        unsafe.push_back(fu.unsafe);
+        position.push_back(fu.position);
+        block.push_back(fu.block);
+    }
+
+    /** Truncate/extend the body (tests); new slots default-constructed. */
+    void
+    resize(size_t n)
+    {
+        code.resize(n);
+        srcA.resize(n);
+        srcB.resize(n);
+        srcC.resize(n);
+        flagsSrc.resize(n);
+        unsafe.resize(n);
+        position.resize(n);
+        block.resize(n);
+    }
+
+    /** Reset to empty; planes keep capacity (pooled frame bodies). */
+    void
+    clear()
+    {
+        code.clear();
+        srcA.clear();
+        srcB.clear();
+        srcC.clear();
+        flagsSrc.clear();
+        unsafe.clear();
+        position.clear();
+        block.clear();
+    }
+
+    /** Allocated plane footprint (governor accounting). */
+    size_t
+    memoryBytes() const
+    {
+        return code.memoryBytes() +
+               (srcA.capacity() + srcB.capacity() + srcC.capacity() +
+                flagsSrc.capacity()) * sizeof(Operand) +
+               unsafe.capacity() +
+               (position.capacity() + block.capacity()) *
+                   sizeof(uint16_t);
+    }
 };
 
 /** The pipeline passes, in execution order (DCE included). */

@@ -22,13 +22,13 @@ passAssertCombine(OptContext &ctx)
     for (size_t i = 0; i < buf.size(); ++i) {
         if (!buf.valid(i))
             continue;
-        FrameUop &fu = buf.at(i);
+        auto fu = buf.at(i);
         if (fu.uop.op != uop::Op::ASSERT || fu.uop.valueAssert)
             continue;
         const Operand flags_src = buf.parent(i, SrcRole::FLAGS);
         if (!ctx.inspectable(i, flags_src) || !flags_src.flagsView)
             continue;
-        const FrameUop &producer = buf.at(flags_src.idx);
+        const FrameUop producer = buf.at(flags_src.idx);
         const uop::Op pop = producer.uop.op;
         buf.countFieldOp();
         if (pop != uop::Op::CMP && pop != uop::Op::TEST)

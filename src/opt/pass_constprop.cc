@@ -28,7 +28,7 @@ knownConst(OptContext &ctx, size_t at, const Operand &op)
 {
     if (!ctx.inspectable(at, op) || op.flagsView)
         return std::nullopt;
-    const FrameUop &producer = ctx.buf.at(op.idx);
+    const auto producer = ctx.buf.at(op.idx);
     ctx.buf.countFieldOp();
     if (producer.uop.op == Op::LIMM)
         return producer.uop.imm;
@@ -99,7 +99,7 @@ passConstProp(OptContext &ctx)
     for (size_t i = 0; i < buf.size(); ++i) {
         if (!buf.valid(i))
             continue;
-        FrameUop &fu = buf.at(i);
+        auto fu = buf.at(i);
         const Op op = fu.uop.op;
 
         // ---- copy propagation --------------------------------------
@@ -185,7 +185,10 @@ passConstProp(OptContext &ctx)
         // ---- constant addresses --------------------------------------------
         if (fu.uop.isMem()) {
             if (auto cb = knownConst(ctx, i, fu.srcA)) {
-                fu.uop.imm += *cb;
+                // Displacement arithmetic wraps modulo 2^32 (satellite
+                // fix: signed += overflowed on large displacements).
+                fu.uop.imm =
+                    int32_t(uint32_t(fu.uop.imm) + uint32_t(*cb));
                 fu.uop.srcA = uop::UReg::NONE;
                 buf.setSource(i, SrcRole::A, Operand::none());
                 ++changed;

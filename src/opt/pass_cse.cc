@@ -87,8 +87,9 @@ isPureValueOp(Op op)
     }
 }
 
+template <typename UopView>
 VnKey
-keyOf(const FrameUop &fu, Scope scope)
+keyOf(const UopView &fu, Scope scope)
 {
     VnKey k;
     k.op = fu.uop.op;
@@ -127,7 +128,7 @@ tryRemoveRedundantLoad(OptContext &ctx, const std::vector<uint16_t> &mem,
     // Classify intervening stores.
     std::vector<uint16_t> unsafe_marks;
     for (size_t p = k_pos + 1; p < l_pos; ++p) {
-        const FrameUop &s = buf.at(mem[p]);
+        const auto s = buf.at(mem[p]);
         if (!s.uop.isStore())
             continue;
         const AddrKey skey = AddrKey::of(s);
@@ -181,7 +182,7 @@ passCse(OptContext &ctx)
     for (size_t i = 0; i < buf.size(); ++i) {
         if (!buf.valid(i))
             continue;
-        const FrameUop &fu = buf.at(i);
+        const auto fu = buf.at(i);
         if (!isPureValueOp(fu.uop.op))
             continue;
         const VnKey key = keyOf(fu, ctx.cfg.scope);
@@ -210,12 +211,12 @@ passCse(OptContext &ctx)
     // ---- redundant load elimination ------------------------------------
     const std::vector<uint16_t> mem = buf.memSlots();
     for (size_t l_pos = 0; l_pos < mem.size(); ++l_pos) {
-        const FrameUop &lu = buf.at(mem[l_pos]);
+        const auto lu = buf.at(mem[l_pos]);
         if (!lu.valid || !lu.uop.isLoad())
             continue;
         // Nearest earlier matching load first.
         for (size_t k_pos = l_pos; k_pos-- > 0;) {
-            const FrameUop &ku = buf.at(mem[k_pos]);
+            const auto ku = buf.at(mem[k_pos]);
             if (!ku.valid || !ku.uop.isLoad())
                 continue;
             if (!ctx.sameScope(mem[k_pos], mem[l_pos]))

@@ -21,9 +21,9 @@ using uop::Op;
 namespace {
 
 bool
-removable(const FrameUop &fu)
+removableOp(Op op)
 {
-    switch (fu.uop.op) {
+    switch (op) {
       case Op::STORE:
       case Op::FSTORE:
       case Op::ASSERT:
@@ -47,24 +47,60 @@ unsigned
 passDce(OptContext &ctx)
 {
     OptBuffer &buf = ctx.buf;
+    const uop::UopSlab &code = buf.code();
+    const size_t n = buf.size();
+
+    // Bulk use counts over the operand planes: one linear gather
+    // replaces the per-candidate valueUsed()/flagsUsed() scans that
+    // made removal quadratic.  Exit bindings are folded in as sticky
+    // uses (exits are never removed, so they never decrement).
+    thread_local std::vector<uint16_t> val_uses, flag_uses;
+    val_uses.assign(n, 0);
+    flag_uses.assign(n, 0);
+    auto count = [&](const Operand &op, int delta) {
+        if (op.isProd()) {
+            auto &uses = op.flagsView ? flag_uses : val_uses;
+            uses[op.idx] = uint16_t(int(uses[op.idx]) + delta);
+        }
+    };
+    for (size_t i = 0; i < n; ++i) {
+        if (!buf.valid(i))
+            continue;
+        count(buf.srcAPlane()[i], +1);
+        count(buf.srcBPlane()[i], +1);
+        count(buf.srcCPlane()[i], +1);
+        count(buf.flagsSrcPlane()[i], +1);
+    }
+    for (const auto &exit : buf.exits()) {
+        for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
+            if (OptBuffer::archLiveOut(static_cast<uop::UReg>(r)))
+                count(exit.regs[r], +1);
+        }
+        count(exit.flags, +1);
+    }
+
+    // PROD references point backwards in a straight-line frame, so one
+    // reverse sweep with live counts fells whole dead dataflow trees;
+    // the outer loop only re-runs if a forward reference ever appears.
     unsigned removed = 0;
     bool progress = true;
     while (progress) {
         progress = false;
-        for (size_t i = buf.size(); i-- > 0;) {
+        for (size_t i = n; i-- > 0;) {
             if (!buf.valid(i))
                 continue;
-            const FrameUop &fu = buf.at(i);
-            if (!removable(fu))
+            const Op op = code.op[i];
+            if (!removableOp(op))
                 continue;
-            const bool value_needed =
-                fu.uop.dst != uop::UReg::NONE &&
-                (buf.valueUsed(i) || buf.isLiveOutReg(i));
-            if (value_needed)
+            if (code.dst[i] != uop::UReg::NONE && val_uses[i])
                 continue;
-            if (flagsObservable(buf, i))
+            if (code.writesFlags[i] && flag_uses[i])
                 continue;
             buf.invalidate(i);
+            count(buf.srcAPlane()[i], -1);
+            count(buf.srcBPlane()[i], -1);
+            count(buf.srcCPlane()[i], -1);
+            count(buf.flagsSrcPlane()[i], -1);
             ++removed;
             ++ctx.stats.deadRemoved;
             progress = true;

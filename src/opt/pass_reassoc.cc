@@ -47,11 +47,13 @@ passReassociate(OptContext &ctx)
     for (size_t i = 0; i < buf.size(); ++i) {
         if (!buf.valid(i))
             continue;
-        FrameUop &fu = buf.at(i);
+        auto fu = buf.at(i);
         if (fu.uop.op == Op::SUB && fu.srcB.isNone() &&
             !flagsObservable(buf, i)) {
             fu.uop.op = Op::ADD;
-            fu.uop.imm = -fu.uop.imm;
+            // Negate modulo 2^32 (satellite fix: `-imm` is UB on
+            // INT32_MIN and the stack-adjust chains do hit it).
+            fu.uop.imm = int32_t(0u - uint32_t(fu.uop.imm));
             fu.uop.writesFlags = false;
             fu.uop.flagsCarryOnly = false;
             fu.uop.readsFlags = false;
@@ -76,14 +78,14 @@ passReassociate(OptContext &ctx)
     for (size_t i = 0; i < buf.size(); ++i) {
         if (!buf.valid(i))
             continue;
-        FrameUop &fu = buf.at(i);
+        auto fu = buf.at(i);
         if (!isAddImm(fu) || fu.uop.writesFlags)
             continue;
         while (true) {
             const Operand src = buf.parent(i, SrcRole::A);
             if (!ctx.inspectable(i, src) || src.flagsView)
                 break;
-            const FrameUop &parent = buf.at(src.idx);
+            const auto parent = buf.at(src.idx);
             if (!isAddImm(parent))
                 break;
             buf.setSource(i, SrcRole::A, parent.srcA);
@@ -98,27 +100,29 @@ passReassociate(OptContext &ctx)
     for (size_t i = 0; i < buf.size(); ++i) {
         if (!buf.valid(i))
             continue;
-        FrameUop &fu = buf.at(i);
+        auto fu = buf.at(i);
         if (!fu.uop.isMem())
             continue;
         while (true) {
             const Operand base = buf.parent(i, SrcRole::A);
             if (!ctx.inspectable(i, base) || base.flagsView)
                 break;
-            const FrameUop &parent = buf.at(base.idx);
+            const auto parent = buf.at(base.idx);
             int32_t delta;
             if (isAddImm(parent)) {
                 delta = parent.uop.imm;
             } else if (parent.uop.op == Op::SUB &&
                        parent.srcB.isNone() && !parent.srcA.isNone()) {
                 // Address arithmetic only uses the value, so even a
-                // flag-live SUB can be looked through.
-                delta = -parent.uop.imm;
+                // flag-live SUB can be looked through.  Negate and
+                // accumulate modulo 2^32 (satellite fix: both this
+                // negation and the += below were signed-overflow UB).
+                delta = int32_t(0u - uint32_t(parent.uop.imm));
             } else {
                 break;
             }
             buf.setSource(i, SrcRole::A, parent.srcA);
-            fu.uop.imm += delta;
+            fu.uop.imm = int32_t(uint32_t(fu.uop.imm) + uint32_t(delta));
             ++changed;
             ++ctx.stats.reassociations;
         }

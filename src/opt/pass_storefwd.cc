@@ -28,7 +28,7 @@ passStoreForward(OptContext &ctx)
 
     for (size_t l_pos = 0; l_pos < mem.size(); ++l_pos) {
         const uint16_t li = mem[l_pos];
-        const FrameUop &lu = buf.at(li);
+        const auto lu = buf.at(li);
         if (!lu.valid || !lu.uop.isLoad())
             continue;
         // Sub-word forwarding would need value munging; skip it.
@@ -39,7 +39,7 @@ passStoreForward(OptContext &ctx)
         std::vector<uint16_t> unsafe_marks;
         for (size_t s_pos = l_pos; s_pos-- > 0;) {
             const uint16_t si = mem[s_pos];
-            const FrameUop &su = buf.at(si);
+            const auto su = buf.at(si);
             if (!su.uop.isStore())
                 continue;
             if (!ctx.sameScope(si, li))

@@ -87,7 +87,7 @@ replaceUsesScoped(OptContext &ctx, size_t producer, bool flags_view,
     for (size_t i = 0; i < buf.size(); ++i) {
         if (!buf.valid(i) || !ctx.sameScope(producer, i))
             continue;
-        const FrameUop &fu = buf.at(i);
+        const auto fu = buf.at(i);
         if (fu.srcA == from) {
             buf.setSource(i, SrcRole::A, to);
             ++changed;
@@ -167,18 +167,6 @@ replaceUsesScoped(OptContext &ctx, size_t producer, bool flags_view,
         }
     }
     return changed;
-}
-
-AddrKey
-AddrKey::of(const FrameUop &fu)
-{
-    AddrKey key;
-    key.base = fu.srcA;
-    key.index = fu.uop.isStore() ? fu.srcC : fu.srcB;
-    key.scale = fu.uop.scale;
-    key.disp = fu.uop.imm;
-    key.size = fu.uop.memSize;
-    return key;
 }
 
 bool

@@ -239,7 +239,19 @@ struct AddrKey
     int32_t disp = 0;
     uint8_t size = 4;
 
-    static AddrKey of(const FrameUop &fu);
+    /** Works on both materialized FrameUops and OptBuffer cursors. */
+    template <typename UopView>
+    static AddrKey
+    of(const UopView &fu)
+    {
+        AddrKey key;
+        key.base = fu.srcA;
+        key.index = fu.uop.isStore() ? fu.srcC : fu.srcB;
+        key.scale = fu.uop.scale;
+        key.disp = fu.uop.imm;
+        key.size = fu.uop.memSize;
+        return key;
+    }
 
     /** Same location, same width (§6.4: symbolic base, literal disp). */
     bool sameAddress(const AddrKey &other) const;

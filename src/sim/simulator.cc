@@ -83,11 +83,17 @@ namespace {
 
 /** Runtime address of a memory micro-op, from the trace record. */
 uint32_t
+memAddrFor(uint8_t mem_seq, const TraceRecord *rec)
+{
+    if (!rec || mem_seq >= rec->numMemOps)
+        return 0;
+    return rec->memOps[mem_seq].addr;
+}
+
+uint32_t
 memAddrFor(const Uop &u, const TraceRecord *rec)
 {
-    if (!rec || u.memSeq >= rec->numMemOps)
-        return 0;
-    return rec->memOps[u.memSeq].addr;
+    return memAddrFor(u.memSeq, rec);
 }
 
 } // anonymous namespace
@@ -178,8 +184,10 @@ Simulator::simulateFrame(const FramePtr &frame, trace::TraceSource &src)
     // pessimistic §6.1 model begins recovery only once the frame is
     // ready for retirement).
     const Rat rat_snapshot = *rat_;
+    const uop::UopSlab &code = body.code;
+    const size_t n_uops = code.size();
     thread_local std::vector<uint64_t> completions;
-    completions.assign(body.uops.size(), 0);
+    completions.assign(n_uops, 0);
 
     auto depOf = [&](const Operand &op) -> uint64_t {
         switch (op.kind) {
@@ -194,31 +202,34 @@ Simulator::simulateFrame(const FramePtr &frame, trace::TraceSource &src)
         return 0;
     };
 
-    for (size_t i = 0; i < body.uops.size(); ++i) {
-        const opt::FrameUop &fu = body.uops[i];
+    // Plane scan: operand planes for dependencies, the attr bitset for
+    // the memory test, provenance planes only on the mem path.
+    for (size_t i = 0; i < n_uops; ++i) {
         fe_.idleUntil(exec_.fetchBackpressure(), CycleBin::STALL);
         const uint64_t cycle = fe_.fetchFrameUop();
 
         uint64_t deps[4];
         unsigned nd = 0;
-        if (!fu.srcA.isNone())
-            deps[nd++] = depOf(fu.srcA);
-        if (!fu.srcB.isNone())
-            deps[nd++] = depOf(fu.srcB);
-        if (!fu.srcC.isNone())
-            deps[nd++] = depOf(fu.srcC);
-        if (!fu.flagsSrc.isNone())
-            deps[nd++] = depOf(fu.flagsSrc);
+        if (!body.srcA[i].isNone())
+            deps[nd++] = depOf(body.srcA[i]);
+        if (!body.srcB[i].isNone())
+            deps[nd++] = depOf(body.srcB[i]);
+        if (!body.srcC[i].isNone())
+            deps[nd++] = depOf(body.srcC[i]);
+        if (!body.flagsSrc[i].isNone())
+            deps[nd++] = depOf(body.flagsSrc[i]);
 
         uint32_t addr = 0;
-        if (fu.uop.isMem()) {
-            const TraceRecord *rec = src.peek(fu.uop.instIdx);
-            if (rec && fu.uop.instIdx < frame->pcs.size() &&
-                rec->pc == frame->pcs[fu.uop.instIdx]) {
-                addr = memAddrFor(fu.uop, rec);
+        if (code.attr[i] & uop::UA_KIND_MEM) {
+            const uint16_t inst_idx = code.instIdx[i];
+            const TraceRecord *rec = src.peek(inst_idx);
+            if (rec && inst_idx < frame->pcs.size() &&
+                rec->pc == frame->pcs[inst_idx]) {
+                addr = memAddrFor(code.memSeq[i], rec);
             }
         }
-        const auto t = exec_.exec(cycle, fu.uop, deps, nd, addr);
+        const auto t = exec_.exec(cycle, code.op[i], code.memSize[i],
+                                  deps, nd, addr);
         completions[i] = t.complete;
     }
     fe_.fetchBreak();
@@ -262,7 +273,7 @@ Simulator::simulateFrame(const FramePtr &frame, trace::TraceSource &src)
 
         engine_->frameCommitted(frame);
         ++stats_.frameCommits;
-        stats_.uopsExecuted += body.uops.size();
+        stats_.uopsExecuted += n_uops;
         stats_.loadsExecuted += body.outputLoads;
         stats_.uopsOriginal += body.inputUops;
         stats_.loadsOriginal += body.inputLoads;
@@ -319,8 +330,10 @@ Simulator::simulateTracePrefix(const FramePtr &trace_frame,
     panic_if(n == 0, "trace lookup hit but first pc mismatched");
 
     const auto &body = trace_frame->body;
+    const uop::UopSlab &code = body.code;
+    const size_t n_uops = code.size();
     thread_local std::vector<uint64_t> completions;
-    completions.assign(body.uops.size(), 0);
+    completions.assign(n_uops, 0);
     auto depOf = [&](const Operand &op) -> uint64_t {
         switch (op.kind) {
           case Operand::Kind::NONE:
@@ -336,56 +349,58 @@ Simulator::simulateTracePrefix(const FramePtr &trace_frame,
 
     unsigned cur_inst = 0;
     uint64_t ctrl_complete = 0;
-    for (size_t i = 0; i < body.uops.size(); ++i) {
-        const opt::FrameUop &fu = body.uops[i];
-        if (fu.uop.instIdx >= n)
+    for (size_t i = 0; i < n_uops; ++i) {
+        const uint16_t inst_idx = code.instIdx[i];
+        const uint16_t attr = code.attr[i];
+        if (inst_idx >= n)
             break;
         // Per-instruction bookkeeping when we cross a boundary.
-        if (fu.uop.instIdx > cur_inst)
-            cur_inst = fu.uop.instIdx;
+        if (inst_idx > cur_inst)
+            cur_inst = inst_idx;
 
         fe_.idleUntil(exec_.fetchBackpressure(), CycleBin::STALL);
         const uint64_t cycle = fe_.fetchFrameUop();
 
         uint64_t deps[4];
         unsigned nd = 0;
-        if (!fu.srcA.isNone())
-            deps[nd++] = depOf(fu.srcA);
-        if (!fu.srcB.isNone())
-            deps[nd++] = depOf(fu.srcB);
-        if (!fu.srcC.isNone())
-            deps[nd++] = depOf(fu.srcC);
-        if (!fu.flagsSrc.isNone())
-            deps[nd++] = depOf(fu.flagsSrc);
+        if (!body.srcA[i].isNone())
+            deps[nd++] = depOf(body.srcA[i]);
+        if (!body.srcB[i].isNone())
+            deps[nd++] = depOf(body.srcB[i]);
+        if (!body.srcC[i].isNone())
+            deps[nd++] = depOf(body.srcC[i]);
+        if (!body.flagsSrc[i].isNone())
+            deps[nd++] = depOf(body.flagsSrc[i]);
 
-        const TraceRecord *rec = src.peek(fu.uop.instIdx);
-        const uint32_t addr =
-            fu.uop.isMem() ? memAddrFor(fu.uop, rec) : 0;
-        const auto t = exec_.exec(cycle, fu.uop, deps, nd, addr);
+        const TraceRecord *rec = src.peek(inst_idx);
+        const uint32_t addr = (attr & uop::UA_KIND_MEM)
+            ? memAddrFor(code.memSeq[i], rec)
+            : 0;
+        const auto t = exec_.exec(cycle, code.op[i], code.memSize[i],
+                                  deps, nd, addr);
         completions[i] = t.complete;
 
         // Live-out tracking: traces are not renamed across exits, so
         // update the RAT directly from the architectural destination.
-        if (fu.uop.dst != UReg::NONE)
-            rat_->regs[unsigned(fu.uop.dst)] = t.complete;
-        if (fu.uop.writesFlags)
+        if (code.dst[i] != UReg::NONE)
+            rat_->regs[unsigned(code.dst[i])] = t.complete;
+        if (attr & uop::UA_WRITES_FLAGS)
             rat_->flags = t.complete;
-        if (fu.uop.isControl())
+        if (attr & uop::UA_KIND_CONTROL)
             ctrl_complete = t.complete;
 
         ++stats_.uopsExecuted;
         ++stats_.uopsOriginal;
-        if (fu.uop.isLoad()) {
+        if (attr & uop::UA_KIND_LOAD) {
             ++stats_.loadsExecuted;
             ++stats_.loadsOriginal;
         }
 
         // Branch resolution for embedded control.
         const bool last_uop_of_inst =
-            i + 1 == body.uops.size() ||
-            body.uops[i + 1].uop.instIdx != fu.uop.instIdx;
+            i + 1 == n_uops || code.instIdx[i + 1] != inst_idx;
         if (last_uop_of_inst) {
-            const TraceRecord *r = src.peek(fu.uop.instIdx);
+            const TraceRecord *r = src.peek(inst_idx);
             if (r && (r->inst.isControl() || r->inst.isCondBranch())) {
                 const bool mispredicted = bpred_.predictAndTrain(*r);
                 if (mispredicted) {

@@ -9,9 +9,9 @@ namespace replay::timing {
 using uop::Op;
 
 FuClass
-fuClassOf(const uop::Uop &u)
+fuClassOf(uop::Op op)
 {
-    switch (u.op) {
+    switch (op) {
       case Op::MUL:
       case Op::DIVQ:
       case Op::DIVR:
@@ -96,7 +96,7 @@ ExecModel::fetchBackpressure() const
 }
 
 UopTiming
-ExecModel::exec(uint64_t fetch_cycle, const uop::Uop &u,
+ExecModel::exec(uint64_t fetch_cycle, uop::Op op, uint8_t mem_size,
                 const uint64_t *deps, unsigned num_deps,
                 uint32_t mem_addr)
 {
@@ -116,7 +116,7 @@ ExecModel::exec(uint64_t fetch_cycle, const uop::Uop &u,
         ready = std::max(ready, deps[d]);
 
     // ---- issue: needs both an issue slot and a function unit ----------
-    const FuClass cls = fuClassOf(u);
+    const FuClass cls = fuClassOf(op);
     const unsigned limit = fuLimit(cls);
     auto &fu_ring = fuRing_[unsigned(cls)];
     uint64_t cycle = ready;
@@ -134,7 +134,7 @@ ExecModel::exec(uint64_t fetch_cycle, const uop::Uop &u,
 
     // ---- completion -------------------------------------------------------
     unsigned latency = 1;
-    switch (u.op) {
+    switch (op) {
       case Op::MUL:
         latency = params_.mulLatency;
         break;
@@ -156,7 +156,7 @@ ExecModel::exec(uint64_t fetch_cycle, const uop::Uop &u,
         // store, else the cache hierarchy.
         uint64_t fwd = 0;
         for (uint32_t b = mem_addr & ~3u;
-             b <= ((mem_addr + u.memSize - 1) & ~3u); b += 4) {
+             b <= ((mem_addr + mem_size - 1) & ~3u); b += 4) {
             const auto &[saddr, scomplete] =
                 storeMap_[(b >> 2) & (STORE_MAP - 1)];
             if (saddr == b && scomplete > t.issue)
@@ -177,7 +177,7 @@ ExecModel::exec(uint64_t fetch_cycle, const uop::Uop &u,
         latency = params_.storeLatency;
         t.complete = t.issue + latency;
         for (uint32_t b = mem_addr & ~3u;
-             b <= ((mem_addr + u.memSize - 1) & ~3u); b += 4) {
+             b <= ((mem_addr + mem_size - 1) & ~3u); b += 4) {
             storeMap_[(b >> 2) & (STORE_MAP - 1)] = {b, t.complete};
         }
         // Keep the line warm for subsequent loads.

@@ -35,8 +35,11 @@ enum class FuClass : uint8_t
     NUM_CLASSES,
 };
 
+/** Which unit an opcode needs. */
+FuClass fuClassOf(uop::Op op);
+
 /** Which unit a micro-op needs. */
-FuClass fuClassOf(const uop::Uop &u);
+inline FuClass fuClassOf(const uop::Uop &u) { return fuClassOf(u.op); }
 
 /** Core parameters (Table 2). */
 struct ExecParams
@@ -82,7 +85,20 @@ class ExecModel
      * @param num_deps    number of entries in @p deps
      * @param mem_addr    runtime address for loads/stores
      */
-    UopTiming exec(uint64_t fetch_cycle, const uop::Uop &u,
+    UopTiming
+    exec(uint64_t fetch_cycle, const uop::Uop &u, const uint64_t *deps,
+         unsigned num_deps, uint32_t mem_addr = 0)
+    {
+        return exec(fetch_cycle, u.op, u.memSize, deps, num_deps,
+                    mem_addr);
+    }
+
+    /**
+     * Field-based form for structure-of-arrays callers: scheduling
+     * depends only on the opcode (unit and latency) and the access
+     * width of memory micro-ops.
+     */
+    UopTiming exec(uint64_t fetch_cycle, uop::Op op, uint8_t mem_size,
                    const uint64_t *deps, unsigned num_deps,
                    uint32_t mem_addr = 0);
 

@@ -55,26 +55,34 @@ AluResult
 evalAlu(const Uop &u, uint32_t a, uint32_t b, uint32_t c,
         const x86::Flags &in_flags)
 {
+    return evalAlu(u.op, u.cc, u.imm, u.flagsCarryOnly, a, b, c,
+                   in_flags);
+}
+
+AluResult
+evalAlu(Op op, x86::Cond cc, int32_t imm, bool carry_only, uint32_t a,
+        uint32_t b, uint32_t c, const x86::Flags &in_flags)
+{
     AluResult out;
-    switch (u.op) {
+    switch (op) {
       case Op::LIMM:
-        out.value = uint32_t(u.imm);
+        out.value = uint32_t(imm);
         break;
       case Op::MOV:
         out.value = a;
         break;
       case Op::ADD: {
         out.value = a + b;
-        const bool cf = u.flagsCarryOnly ? in_flags.cf : out.value < a;
+        const bool cf = carry_only ? in_flags.cf : out.value < a;
         out.flags = makeFlags(out.value, cf, addOverflows(a, b, out.value));
         break;
       }
       case Op::SUB:
       case Op::CMP: {
         out.value = a - b;
-        const bool cf = u.flagsCarryOnly ? in_flags.cf : a < b;
+        const bool cf = carry_only ? in_flags.cf : a < b;
         out.flags = makeFlags(out.value, cf, subOverflows(a, b, out.value));
-        if (u.op == Op::CMP)
+        if (op == Op::CMP)
             out.value = 0;
         break;
       }
@@ -82,7 +90,7 @@ evalAlu(const Uop &u, uint32_t a, uint32_t b, uint32_t c,
       case Op::TEST:
         out.value = a & b;
         out.flags = makeFlags(out.value, false, false);
-        if (u.op == Op::TEST)
+        if (op == Op::TEST)
             out.value = 0;
         break;
       case Op::OR:
@@ -140,7 +148,7 @@ evalAlu(const Uop &u, uint32_t a, uint32_t b, uint32_t c,
       case Op::DIVR: {
         const uint64_t dividend = (uint64_t(c) << 32) | a;
         panic_if(b == 0, "micro-op divide by zero");
-        out.value = u.op == Op::DIVQ ? uint32_t(dividend / b)
+        out.value = op == Op::DIVQ ? uint32_t(dividend / b)
                                      : uint32_t(dividend % b);
         out.flags = in_flags;
         break;
@@ -155,7 +163,7 @@ evalAlu(const Uop &u, uint32_t a, uint32_t b, uint32_t c,
         break;
       case Op::SETCC:
         out.value = (a & ~0xffU) |
-                    (x86::condTaken(u.cc, in_flags) ? 1 : 0);
+                    (x86::condTaken(cc, in_flags) ? 1 : 0);
         break;
       case Op::FADD:
         out.value = asRaw(asFloat(a) + asFloat(b));
@@ -172,7 +180,7 @@ evalAlu(const Uop &u, uint32_t a, uint32_t b, uint32_t c,
         break;
       }
       default:
-        panic("evalAlu on non-ALU micro-op %s", opName(u.op));
+        panic("evalAlu on non-ALU micro-op %s", opName(op));
     }
     return out;
 }

@@ -38,14 +38,47 @@ struct AluResult
 AluResult evalAlu(const Uop &u, uint32_t a, uint32_t b, uint32_t c,
                   const x86::Flags &in_flags);
 
+/**
+ * Field-based form of evalAlu for structure-of-arrays callers: the
+ * planes hand over exactly the fields the ALU reads (opcode, condition,
+ * immediate, carry-only behaviour) without gathering a full Uop.
+ */
+AluResult evalAlu(Op op, x86::Cond cc, int32_t imm, bool carry_only,
+                  uint32_t a, uint32_t b, uint32_t c,
+                  const x86::Flags &in_flags);
+
 /** Does the assertion fire, given the flags it observes? */
 bool assertFires(const Uop &u, const x86::Flags &observed);
+
+/** Field-based form for structure-of-arrays callers. */
+inline bool
+assertFires(x86::Cond cc, const x86::Flags &observed)
+{
+    return !x86::condTaken(cc, observed);
+}
 
 /** Resolved effective address of a LOAD/FLOAD micro-op. */
 uint32_t loadAddr(const Uop &u, uint32_t base, uint32_t index);
 
 /** Resolved effective address of a STORE/FSTORE micro-op. */
 uint32_t storeAddr(const Uop &u, uint32_t base, uint32_t index);
+
+/**
+ * Field-based effective address: @p base_reg / @p index_reg are the
+ * architectural name fields whose presence gates each term (srcB for
+ * loads, srcC for stores).
+ */
+inline uint32_t
+memAddr(int32_t imm, uint8_t scale, UReg base_reg, UReg index_reg,
+        uint32_t base, uint32_t index)
+{
+    uint32_t addr = uint32_t(imm);
+    if (base_reg != UReg::NONE)
+        addr += base;
+    if (index_reg != UReg::NONE)
+        addr += index * scale;
+    return addr;
+}
 
 /**
  * Executes micro-ops in architectural (pre-rename) form against a

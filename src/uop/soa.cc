@@ -1,0 +1,171 @@
+#include "uop/soa.hh"
+
+#include <type_traits>
+
+namespace replay::uop {
+
+namespace {
+
+/**
+ * Visit every plane in slab-layout order: 4-byte planes, then 2-byte,
+ * then the byte planes.  `f(ptr_member, elt_bytes)` is called once per
+ * plane with a reference to the slab's plane pointer, so one walker
+ * serves binding, copying, and moving without repeating the list.
+ */
+template <typename Slab, typename F>
+void
+forEachPlane(Slab &s, F &&f)
+{
+    f(s.imm, sizeof(int32_t));
+    f(s.target, sizeof(uint32_t));
+    f(s.x86Pc, sizeof(uint32_t));
+    f(s.instIdx, sizeof(uint16_t));
+    f(s.attr, sizeof(uint16_t));
+    f(s.op, 1);
+    f(s.cc, 1);
+    f(s.dst, 1);
+    f(s.srcA, 1);
+    f(s.srcB, 1);
+    f(s.srcC, 1);
+    f(s.scale, 1);
+    f(s.memSize, 1);
+    f(s.signExtend, 1);
+    f(s.readsFlags, 1);
+    f(s.writesFlags, 1);
+    f(s.flagsCarryOnly, 1);
+    f(s.valueAssert, 1);
+    f(s.lastOfInst, 1);
+    f(s.assertOp, 1);
+    f(s.microIdx, 1);
+    f(s.memSeq, 1);
+}
+
+} // anonymous namespace
+
+void
+UopSlab::setCapacity(size_t n)
+{
+    std::unique_ptr<std::byte[]> nb(new std::byte[n * BYTES_PER_UOP]);
+    std::byte *base = nb.get();
+    size_t off = 0;
+    const size_t live = size_;
+    forEachPlane(*this, [&](auto *&plane, size_t elt) {
+        using T = std::remove_reference_t<decltype(*plane)>;
+        T *np = reinterpret_cast<T *>(base + off);
+        off += elt * n;
+        if (live)
+            std::memcpy(np, plane, live * elt);
+        plane = np;
+    });
+    buf_ = std::move(nb);
+    cap_ = n;
+}
+
+void
+UopSlab::assign(const UopSlab &o)
+{
+    if (cap_ < o.size_) {
+        size_ = 0;          // nothing worth carrying into the new slab
+        setCapacity(o.size_);
+    }
+    const size_t n = o.size_;
+    if (n) {
+        std::memcpy(imm, o.imm, n * sizeof(int32_t));
+        std::memcpy(target, o.target, n * sizeof(uint32_t));
+        std::memcpy(x86Pc, o.x86Pc, n * sizeof(uint32_t));
+        std::memcpy(instIdx, o.instIdx, n * sizeof(uint16_t));
+        std::memcpy(attr, o.attr, n * sizeof(uint16_t));
+        std::memcpy(op, o.op, n);
+        std::memcpy(cc, o.cc, n);
+        std::memcpy(dst, o.dst, n);
+        std::memcpy(srcA, o.srcA, n);
+        std::memcpy(srcB, o.srcB, n);
+        std::memcpy(srcC, o.srcC, n);
+        std::memcpy(scale, o.scale, n);
+        std::memcpy(memSize, o.memSize, n);
+        std::memcpy(signExtend, o.signExtend, n);
+        std::memcpy(readsFlags, o.readsFlags, n);
+        std::memcpy(writesFlags, o.writesFlags, n);
+        std::memcpy(flagsCarryOnly, o.flagsCarryOnly, n);
+        std::memcpy(valueAssert, o.valueAssert, n);
+        std::memcpy(lastOfInst, o.lastOfInst, n);
+        std::memcpy(assertOp, o.assertOp, n);
+        std::memcpy(microIdx, o.microIdx, n);
+        std::memcpy(memSeq, o.memSeq, n);
+    }
+    size_ = n;
+}
+
+UopSlab &
+UopSlab::operator=(UopSlab &&o) noexcept
+{
+    if (this == &o)
+        return *this;
+    buf_ = std::move(o.buf_);
+    cap_ = o.cap_;
+    size_ = o.size_;
+    imm = o.imm;
+    target = o.target;
+    x86Pc = o.x86Pc;
+    instIdx = o.instIdx;
+    attr = o.attr;
+    op = o.op;
+    cc = o.cc;
+    dst = o.dst;
+    srcA = o.srcA;
+    srcB = o.srcB;
+    srcC = o.srcC;
+    scale = o.scale;
+    memSize = o.memSize;
+    signExtend = o.signExtend;
+    readsFlags = o.readsFlags;
+    writesFlags = o.writesFlags;
+    flagsCarryOnly = o.flagsCarryOnly;
+    valueAssert = o.valueAssert;
+    lastOfInst = o.lastOfInst;
+    assertOp = o.assertOp;
+    microIdx = o.microIdx;
+    memSeq = o.memSeq;
+    forEachPlane(o, [](auto *&plane, size_t) { plane = nullptr; });
+    o.cap_ = 0;
+    o.size_ = 0;
+    return *this;
+}
+
+void
+UopSlab::resize(size_t n)
+{
+    reserve(n);
+    const Uop def;
+    for (size_t i = size_; i < n; ++i)
+        set(i, def);
+    size_ = n;
+}
+
+bool
+UopSlab::operator==(const UopSlab &o) const
+{
+    if (size_ != o.size_)
+        return false;
+    for (size_t i = 0; i < size_; ++i) {
+        if (op[i] != o.op[i] || cc[i] != o.cc[i] || dst[i] != o.dst[i] ||
+            srcA[i] != o.srcA[i] || srcB[i] != o.srcB[i] ||
+            srcC[i] != o.srcC[i] || imm[i] != o.imm[i] ||
+            scale[i] != o.scale[i] || memSize[i] != o.memSize[i] ||
+            signExtend[i] != o.signExtend[i] ||
+            readsFlags[i] != o.readsFlags[i] ||
+            writesFlags[i] != o.writesFlags[i] ||
+            flagsCarryOnly[i] != o.flagsCarryOnly[i] ||
+            valueAssert[i] != o.valueAssert[i] ||
+            lastOfInst[i] != o.lastOfInst[i] ||
+            assertOp[i] != o.assertOp[i] || target[i] != o.target[i] ||
+            x86Pc[i] != o.x86Pc[i] || instIdx[i] != o.instIdx[i] ||
+            microIdx[i] != o.microIdx[i] || memSeq[i] != o.memSeq[i] ||
+            attr[i] != o.attr[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace replay::uop

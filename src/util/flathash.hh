@@ -128,6 +128,7 @@ class FlatMap
         states_[idx] = TOMB;
         vals_[idx] = V{};
         --size_;
+        maybeCompact();
         return true;
     }
 
@@ -176,7 +177,34 @@ class FlatMap
                 ++erased;
             }
         }
+        if (erased)
+            maybeCompact();
         return erased;
+    }
+
+    /** Tombstoned slots currently in the table (test introspection). */
+    size_t tombstones() const { return occupied_ - size_; }
+
+    /** Allocated slot count (power of two, or zero before first use). */
+    size_t capacity() const { return states_.size(); }
+
+    /**
+     * Probe-chain length a find() of @p key walks, counting the slot
+     * that terminates the search (test introspection).
+     */
+    size_t
+    probeLength(K key) const
+    {
+        if (states_.empty())
+            return 0;
+        const size_t mask = states_.size() - 1;
+        size_t i = detail::mixHash(uint64_t(key)) & mask;
+        for (size_t len = 1;; i = (i + 1) & mask, ++len) {
+            if (states_[i] == FULL && keys_[i] == key)
+                return len;
+            if (states_[i] == EMPTY)
+                return len;
+        }
     }
 
   private:
@@ -213,6 +241,25 @@ class FlatMap
                                     : states_.size();
             rehash(want);
         }
+    }
+
+    /**
+     * Erase-side tombstone control.  Growth-path rehashes only happen
+     * on insert, so a deletion-heavy phase (quarantine decay, cache
+     * shoot-downs) used to accumulate tombstones without bound and
+     * every miss probed through the whole graveyard.  Once tombstones
+     * claim over a quarter of the table, rehash in place: same
+     * capacity — the footprint is part of the governor's byte model —
+     * but every chain shrinks back to the live entries.  Each
+     * compaction costs O(capacity) and needs capacity/4 fresh erases
+     * to re-arm, so the amortized cost per erase stays constant.
+     */
+    void
+    maybeCompact()
+    {
+        const size_t tombs = occupied_ - size_;
+        if (tombs > states_.size() / 4)
+            rehash(states_.size());
     }
 
     void
@@ -263,6 +310,9 @@ class FlatSet
     void insert(K key) { map_[key] = Unit{}; }
     bool erase(K key) { return map_.erase(key); }
     void clear() { map_.clear(); }
+    size_t tombstones() const { return map_.tombstones(); }
+    size_t capacity() const { return map_.capacity(); }
+    size_t probeLength(K key) const { return map_.probeLength(key); }
 
   private:
     struct Unit

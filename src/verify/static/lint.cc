@@ -594,8 +594,8 @@ OptBuffer
 bufferView(const opt::OptimizedFrame &body)
 {
     OptBuffer buf;
-    for (const auto &fu : body.uops)
-        buf.push(fu);
+    for (size_t i = 0, n = body.size(); i < n; ++i)
+        buf.push(body.at(i));
     buf.addExit(body.exit);
     return buf;
 }
@@ -627,9 +627,10 @@ lintFrame(const core::Frame &frame)
 
     // ---- unsafe-store list ----------------------------------------------
     std::vector<core::MemRef> expect;
-    for (const auto &fu : frame.body.uops) {
-        if (fu.unsafe && fu.uop.isStore())
-            expect.push_back({fu.uop.instIdx, fu.uop.memSeq});
+    const uop::UopSlab &code = frame.body.code;
+    for (size_t i = 0, n = code.size(); i < n; ++i) {
+        if (frame.body.unsafe[i] && (code.attr[i] & uop::UA_KIND_STORE))
+            expect.push_back({code.instIdx[i], code.memSeq[i]});
     }
     std::sort(expect.begin(), expect.end());
     std::vector<core::MemRef> got = frame.unsafeStores;
@@ -641,28 +642,28 @@ lintFrame(const core::Frame &frame)
 
     // ---- provenance against the encoded x86 path ------------------------
     uint16_t prev_inst = 0;
-    for (size_t i = 0; i < frame.body.uops.size(); ++i) {
-        const uop::Uop &u = frame.body.uops[i].uop;
-        if (u.instIdx >= frame.pcs.size()) {
+    for (size_t i = 0, n = code.size(); i < n; ++i) {
+        const uint16_t inst_idx = code.instIdx[i];
+        if (inst_idx >= frame.pcs.size()) {
             rep.add(Check::LINT_PROVENANCE, i,
                     "micro-op attributed past the frame's x86 path");
             continue;
         }
-        if (u.x86Pc != frame.pcs[u.instIdx]) {
+        if (code.x86Pc[i] != frame.pcs[inst_idx]) {
             rep.add(Check::LINT_PROVENANCE, i,
                     "micro-op PC disagrees with the frame path");
         }
-        if (u.instIdx < prev_inst) {
+        if (inst_idx < prev_inst) {
             rep.add(Check::LINT_PROVENANCE, i,
                     "instruction attribution not monotone");
         }
-        prev_inst = u.instIdx;
+        prev_inst = inst_idx;
     }
 
     // ---- dynamic-exit shape ---------------------------------------------
     bool has_jmpi = false;
-    for (const auto &fu : frame.body.uops)
-        has_jmpi |= fu.uop.op == Op::JMPI;
+    for (size_t i = 0, n = code.size(); i < n; ++i)
+        has_jmpi |= code.op[i] == Op::JMPI;
     if (has_jmpi != frame.dynamicExit) {
         rep.add(Check::LINT_PROVENANCE, SIZE_MAX,
                 has_jmpi ? "indirect exit in a non-dynamic-exit frame"

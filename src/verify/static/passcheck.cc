@@ -886,7 +886,7 @@ checkPass(PassId pass, const OptBuffer &before, const OptBuffer &after,
             checkInvalidation(c, i);
             continue;
         }
-        if (bv && av && !(before.at(i) == after.at(i)))
+        if (bv && av && !(before.uopAt(i) == after.uopAt(i)))
             checkMutation(c, i);
     }
     checkExits(c);
@@ -905,7 +905,7 @@ checkFinalize(const OptBuffer &before, const opt::OptimizedFrame &out)
             keep.push_back(uint16_t(i));
         }
     }
-    if (out.uops.size() != keep.size()) {
+    if (out.size() != keep.size()) {
         rep.add(Check::PASS_STRUCTURE, SIZE_MAX,
                 "cleanup output count disagrees with surviving slots");
         return rep;
@@ -927,8 +927,8 @@ checkFinalize(const OptBuffer &before, const opt::OptimizedFrame &out)
     };
 
     for (size_t k = 0; k < keep.size(); ++k) {
-        const FrameUop &src = before.at(keep[k]);
-        const FrameUop &dst = out.uops[k];
+        const FrameUop src = before.uopAt(keep[k]);
+        const FrameUop dst = out.at(k);
         if (!(dst.uop == src.uop) || dst.unsafe != src.unsafe ||
             dst.block != src.block || dst.position != src.position) {
             rep.add(Check::PASS_STRUCTURE, k,

@@ -77,7 +77,7 @@ TEST(FrameCache, LruEvictionByUopCapacity)
         auto f = std::make_shared<Frame>();
         f->startPc = pc;
         f->pcs = {pc};
-        f->body.uops.resize(uops);
+        f->body.resize(uops);
         return f;
     };
     cache.insert(mk(0x1000, 40));
@@ -96,10 +96,10 @@ TEST(FrameCache, ReplaceSameStartPc)
     FrameCache cache(100);
     auto f1 = std::make_shared<Frame>();
     f1->startPc = 0x1000;
-    f1->body.uops.resize(30);
+    f1->body.resize(30);
     auto f2 = std::make_shared<Frame>();
     f2->startPc = 0x1000;
-    f2->body.uops.resize(20);
+    f2->body.resize(20);
     cache.insert(f1);
     cache.insert(f2);
     EXPECT_EQ(cache.numFrames(), 1u);
@@ -111,7 +111,7 @@ TEST(FrameCache, RejectsOversizedFrame)
     FrameCache cache(10);
     auto f = std::make_shared<Frame>();
     f->startPc = 0x1000;
-    f->body.uops.resize(11);
+    f->body.resize(11);
     cache.insert(f);
     EXPECT_EQ(cache.numFrames(), 0u);
 }
@@ -124,7 +124,7 @@ makeFrame(uint32_t pc, unsigned uops)
     auto f = std::make_shared<Frame>();
     f->startPc = pc;
     f->pcs = {pc};
-    f->body.uops.resize(uops);
+    f->body.resize(uops);
     return f;
 }
 
@@ -496,7 +496,7 @@ TEST(FrameCache, StatsTrackHitsMissesEvictions)
         auto f = std::make_shared<Frame>();
         f->startPc = pc;
         f->pcs = {pc};
-        f->body.uops.resize(uops);
+        f->body.resize(uops);
         return f;
     };
     cache.insert(mk(0x1000, 40));

@@ -149,7 +149,7 @@ TEST(DiffOracle, CleanOnTunedWorkloadLikeProgram)
 TEST(DiffOracle, SmokeSweep500Seeds)
 {
     const OracleConfig cfg = smokeConfig();
-    uint64_t frames = 0, stores = 0;
+    uint64_t frames = 0, stores = 0, round_tripped = 0;
     for (uint64_t seed = 0; seed < 500; ++seed) {
         const auto report = runOracle(ProgramSpec::random(seed), cfg);
         ASSERT_FALSE(report.diverged())
@@ -158,10 +158,13 @@ TEST(DiffOracle, SmokeSweep500Seeds)
             << report.div.detail;
         frames += report.framesCommitted;
         stores += report.storesCompared;
+        round_tripped += report.uopsRoundTripped;
     }
-    // The sweep is meaningless unless it actually fuzzes frame bodies.
+    // The sweep is meaningless unless it actually fuzzes frame bodies
+    // (and exercises the SoA<->AoS representation cross-check).
     EXPECT_GT(frames, 10000u);
     EXPECT_GT(stores, 10000u);
+    EXPECT_GT(round_tripped, 10000u);
 }
 
 /**

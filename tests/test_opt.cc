@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/constructor.hh"
 #include "opt/datapath.hh"
 #include "opt/frameexec.hh"
@@ -223,7 +225,7 @@ TEST(Figure2, FrameScopeProducesThePaperBody)
     // Two stores survive at [live-in ESP - 4] and [ESP - 8].
     std::vector<int32_t> store_disps;
     std::vector<int32_t> load_disps;
-    for (const auto &fu : frame.uops) {
+    for (const FrameUop fu : frame) {
         if (fu.uop.isStore()) {
             EXPECT_EQ(fu.srcA, Operand::liveIn(UReg::ESP));
             store_disps.push_back(fu.uop.imm);
@@ -245,7 +247,7 @@ TEST(Figure2, FrameScopeProducesThePaperBody)
               Operand::liveIn(UReg::EBP));
     const Operand esp = frame.exit.regs[unsigned(UReg::ESP)];
     ASSERT_TRUE(esp.isProd());
-    const FrameUop &esp_uop = frame.uops[esp.idx];
+    const FrameUop esp_uop = frame.at(esp.idx);
     EXPECT_EQ(esp_uop.uop.op, Op::ADD);
     EXPECT_EQ(esp_uop.srcA, Operand::liveIn(UReg::ESP));
     EXPECT_EQ(esp_uop.uop.imm, 4);
@@ -253,7 +255,7 @@ TEST(Figure2, FrameScopeProducesThePaperBody)
     // The OR survives as the assertion's producer, now reading the
     // parameter loads directly (copy propagation removed the MOV).
     bool found_or = false;
-    for (const auto &fu : frame.uops) {
+    for (const FrameUop fu : frame) {
         if (fu.uop.op == Op::OR) {
             found_or = true;
             EXPECT_TRUE(fu.srcA.isProd());
@@ -368,7 +370,7 @@ TEST(PassNop, RemovesNopsAndInternalJumps)
 
     const auto frame = optimizeSimple(uops);
     EXPECT_EQ(frame.numUops(), 1u);
-    EXPECT_TRUE(frame.uops[0].uop.isStore());
+    EXPECT_TRUE(frame.at(0).uop.isStore());
 }
 
 TEST(PassNop, DisabledKeepsThem)
@@ -395,7 +397,7 @@ TEST(PassAssert, CombinesCmpWithAssert)
 
     const auto frame = optimizeSimple(uops);
     ASSERT_EQ(frame.numUops(), 3u);     // CMP died into the assert
-    const FrameUop &a = frame.uops[0];
+    const FrameUop a = frame.at(0);
     EXPECT_EQ(a.uop.op, Op::ASSERT);
     EXPECT_TRUE(a.uop.valueAssert);
     EXPECT_EQ(a.uop.assertOp, Op::CMP);
@@ -420,7 +422,7 @@ TEST(PassAssert, KeepsCmpWithOtherFlagConsumers)
     const auto frame = optimizeSimple(uops);
     // CMP survives for the SETCC; assert is still combined.
     unsigned cmps = 0;
-    for (const auto &fu : frame.uops)
+    for (const FrameUop fu : frame)
         cmps += fu.uop.op == Op::CMP;
     EXPECT_EQ(cmps, 1u);
 }
@@ -437,8 +439,8 @@ TEST(PassConstProp, FoldsConstantChains)
     const auto frame = optimizeSimple(uops);
     // Everything folds into a single LIMM 32 feeding the store.
     ASSERT_EQ(frame.numUops(), 2u);
-    EXPECT_EQ(frame.uops[0].uop.op, Op::LIMM);
-    EXPECT_EQ(frame.uops[0].uop.imm, 32);
+    EXPECT_EQ(frame.at(0).uop.op, Op::LIMM);
+    EXPECT_EQ(frame.at(0).uop.imm, 32);
 }
 
 TEST(PassConstProp, RegisterOperandBecomesImmediate)
@@ -451,7 +453,7 @@ TEST(PassConstProp, RegisterOperandBecomesImmediate)
 
     const auto frame = optimizeSimple(uops);
     ASSERT_EQ(frame.numUops(), 2u);
-    const FrameUop &add = frame.uops[0];
+    const FrameUop add = frame.at(0);
     EXPECT_EQ(add.uop.op, Op::ADD);
     EXPECT_TRUE(add.srcB.isNone());
     EXPECT_EQ(add.uop.imm, 100);
@@ -475,7 +477,7 @@ TEST(PassConstProp, RemovesProvenValueAssert)
 
     const auto frame = optimizeSimple(uops);
     EXPECT_EQ(frame.numUops(), 1u);
-    EXPECT_TRUE(frame.uops[0].uop.isStore());
+    EXPECT_TRUE(frame.at(0).uop.isStore());
 }
 
 TEST(PassReassoc, CollapsesStackPointerChains)
@@ -490,20 +492,24 @@ TEST(PassReassoc, CollapsesStackPointerChains)
 
     const auto frame = optimizeSimple(uops);
     ASSERT_EQ(frame.numUops(), 2u);
-    const FrameUop *store = nullptr, *esp = nullptr;
-    for (const auto &fu : frame.uops) {
-        if (fu.uop.isStore())
-            store = &fu;
-        else
-            esp = &fu;
+    FrameUop store, esp;
+    bool found_store = false, found_esp = false;
+    for (const FrameUop fu : frame) {
+        if (fu.uop.isStore()) {
+            store = fu;
+            found_store = true;
+        } else {
+            esp = fu;
+            found_esp = true;
+        }
     }
-    ASSERT_NE(store, nullptr);
-    ASSERT_NE(esp, nullptr);
-    EXPECT_EQ(store->srcA, Operand::liveIn(UReg::ESP));
-    EXPECT_EQ(store->uop.imm, -12);
+    ASSERT_TRUE(found_store);
+    ASSERT_TRUE(found_esp);
+    EXPECT_EQ(store.srcA, Operand::liveIn(UReg::ESP));
+    EXPECT_EQ(store.uop.imm, -12);
     // ESP live-out is a single -12 update.
-    EXPECT_EQ(esp->uop.op, Op::ADD);
-    EXPECT_EQ(esp->uop.imm, -12);
+    EXPECT_EQ(esp.uop.op, Op::ADD);
+    EXPECT_EQ(esp.uop.imm, -12);
 }
 
 TEST(PassReassoc, RespectsObservableFlags)
@@ -522,7 +528,7 @@ TEST(PassReassoc, RespectsObservableFlags)
     // SUB's flags are shadowed and it may legally normalize to an ADD
     // of -4, but the chain must not collapse through the flag-live op.
     unsigned flagged_subs = 0;
-    for (const auto &fu : frame.uops) {
+    for (const FrameUop fu : frame) {
         if (fu.uop.op == Op::SUB && fu.uop.writesFlags) {
             EXPECT_EQ(fu.uop.imm, 4);
             EXPECT_TRUE(fu.srcA.isProd());  // still reads the first op
@@ -544,11 +550,11 @@ TEST(PassCse, RemovesRedundantAlu)
 
     const auto frame = optimizeSimple(uops);
     unsigned adds = 0;
-    for (const auto &fu : frame.uops)
+    for (const FrameUop fu : frame)
         adds += fu.uop.op == Op::ADD;
     EXPECT_EQ(adds, 1u);
     // Both stores read the same producer.
-    EXPECT_EQ(frame.uops[1].srcB, frame.uops[2].srcB);
+    EXPECT_EQ(frame.at(1).srcB, frame.at(2).srcB);
 }
 
 TEST(PassCse, RedirectsFlagConsumers)
@@ -565,7 +571,7 @@ TEST(PassCse, RedirectsFlagConsumers)
     cfg.assertCombine = false;      // keep CMPs visible to CSE
     const auto frame = optimizeSimple(uops, cfg);
     unsigned cmps = 0;
-    for (const auto &fu : frame.uops)
+    for (const FrameUop fu : frame)
         cmps += fu.uop.op == Op::CMP;
     EXPECT_EQ(cmps, 1u);
 }
@@ -607,7 +613,7 @@ TEST(PassStoreForward, ForwardsThroughSameAddress)
     const auto frame = optimizeSimple(uops);
     EXPECT_EQ(frame.outputLoads, 0u);
     // The consumer store now reads the live-in EBP directly.
-    for (const auto &fu : frame.uops) {
+    for (const FrameUop fu : frame) {
         if (fu.uop.isStore() && fu.srcA == Operand::liveIn(UReg::ESI)) {
             EXPECT_EQ(fu.srcB, Operand::liveIn(UReg::EBP));
         }
@@ -631,7 +637,7 @@ TEST(PassStoreForward, SpeculatesAcrossMayAliasStore)
     const auto spec = optimizeSimple(uops, {}, &allow);
     EXPECT_EQ(spec.outputLoads, 0u);
     unsigned unsafe = 0;
-    for (const auto &fu : spec.uops)
+    for (const FrameUop fu : spec)
         unsafe += fu.unsafe;
     EXPECT_EQ(unsafe, 1u);
 
@@ -816,6 +822,196 @@ TEST_P(OptimizerProperty, RandomFramesStayEquivalent)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerProperty,
                          ::testing::Range(0, 60));
+
+TEST_P(OptimizerProperty, SoaAosRoundTripExecutesIdentically)
+{
+    // Differential representation check: dump the optimized SoA slab
+    // to AoS Uop records, rebuild a fresh slab from them, and execute
+    // both bodies from identical inputs.  Any field the slab fails to
+    // round-trip — including the derived attr bitset the executor's
+    // kind tests read — shows up as diverging live-outs or stores.
+    Rng rng(uint64_t(GetParam()) * 104729 + 17);
+    const auto uops = randomFrame(rng);
+
+    Optimizer optimizer;
+    OptStats stats;
+    const auto frame = optimizer.optimize(uops, {}, nullptr, stats);
+
+    uop::UopSlab rt;
+    rt.reserve(frame.code.size());
+    for (size_t i = 0; i < frame.code.size(); ++i)
+        rt.push(frame.code.get(i));
+    EXPECT_TRUE(rt == frame.code) << "slab -> Uop -> slab is lossy";
+
+    OptimizedFrame rebuilt = frame;
+    rebuilt.code = std::move(rt);
+
+    ArchState in;
+    for (unsigned r = 0; r < 8; ++r)
+        in.regs[r] = uint32_t(rng.next());
+    in.regs[unsigned(UReg::ESI)] = 0x2000;
+
+    x86::SparseMemory soa_mem, aos_mem;
+    for (unsigned w = 0; w < 16; ++w) {
+        const uint32_t v = uint32_t(rng.next());
+        soa_mem.write(0x2000 + w * 4, 4, v);
+        aos_mem.write(0x2000 + w * 4, 4, v);
+    }
+
+    ArchState soa_state = in, aos_state = in;
+    const auto soa_res = executeFrame(frame, soa_state, soa_mem);
+    const auto aos_res = executeFrame(rebuilt, aos_state, aos_mem);
+
+    ASSERT_EQ(soa_res.status, aos_res.status);
+    expectArchEqual(aos_state, soa_state);
+    ASSERT_EQ(soa_res.memOps.size(), aos_res.memOps.size());
+    for (size_t i = 0; i < soa_res.memOps.size(); ++i) {
+        EXPECT_EQ(soa_res.memOps[i].addr, aos_res.memOps[i].addr) << i;
+        EXPECT_EQ(soa_res.memOps[i].size, aos_res.memOps[i].size) << i;
+        EXPECT_EQ(soa_res.memOps[i].data, aos_res.memOps[i].data) << i;
+    }
+    for (unsigned w = 0; w < 16; ++w) {
+        EXPECT_EQ(aos_mem.read(0x2000 + w * 4, 4),
+                  soa_mem.read(0x2000 + w * 4, 4))
+            << "memory word " << w;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signed-overflow hardening (bugfix sweep): immediate folding in
+// constprop/reassoc wraps modulo 2^32 instead of overflowing int32_t.
+// Build with -DENABLE_SANITIZERS=ON to prove it — each test drives the
+// exact folding expression that used to be UB.
+// ---------------------------------------------------------------------
+
+TEST(OverflowHardening, ReassocNegatesInt32MinWithoutUb)
+{
+    // A flags-dead SUB is rewritten to an ADD with the negated
+    // immediate; negating INT32_MIN is the classic int32 UB case, and
+    // stack-adjust chains really do reach it after folding.
+    std::vector<Uop> uops;
+    uops.push_back(mkAluI(Op::SUB, UReg::ESP, UReg::ESP,
+                          std::numeric_limits<int32_t>::min(), false));
+    uops.push_back(mkAluI(Op::ADD, UReg::ESP, UReg::ESP, 16, false));
+    uops.push_back(mkMov(UReg::EAX, UReg::ESP));
+
+    Optimizer optimizer;
+    OptStats stats;
+    const auto frame = optimizer.optimize(uops, {}, nullptr, stats);
+    EXPECT_GT(stats.reassociations, 0u);
+
+    ArchState in;
+    in.regs[unsigned(UReg::ESP)] = 0x80001000u;
+    x86::SparseMemory ref_mem, opt_mem;
+    const ArchState ref = runReference(uops, in, ref_mem);
+    ArchState out = in;
+    const auto res = executeFrame(frame, out, opt_mem);
+    ASSERT_TRUE(res.committed());
+    expectArchEqual(out, ref);
+    EXPECT_EQ(out.regs[unsigned(UReg::ESP)], 0x1010u);
+}
+
+TEST(OverflowHardening, ReassocImmediateAccumulationWraps)
+{
+    // Collapsing an ADD chain sums the immediates; two INT32_MAX
+    // displacements overflow int32 and must wrap to 0xfffffffe.
+    std::vector<Uop> uops;
+    uops.push_back(mkAluI(Op::ADD, UReg::EAX, UReg::EAX,
+                          std::numeric_limits<int32_t>::max(), false));
+    uops.push_back(mkAluI(Op::ADD, UReg::EAX, UReg::EAX,
+                          std::numeric_limits<int32_t>::max(), false));
+    uops.push_back(mkMov(UReg::EBX, UReg::EAX));
+
+    Optimizer optimizer;
+    OptStats stats;
+    const auto frame = optimizer.optimize(uops, {}, nullptr, stats);
+    EXPECT_GT(stats.reassociations, 0u);
+
+    ArchState in;
+    in.regs[unsigned(UReg::EAX)] = 5;
+    x86::SparseMemory ref_mem, opt_mem;
+    const ArchState ref = runReference(uops, in, ref_mem);
+    ArchState out = in;
+    const auto res = executeFrame(frame, out, opt_mem);
+    ASSERT_TRUE(res.committed());
+    expectArchEqual(out, ref);
+    EXPECT_EQ(out.regs[unsigned(UReg::EAX)], 3u);   // 5 + 0xfffffffe
+}
+
+TEST(OverflowHardening, ConstPropAddressFoldWraps)
+{
+    // Folding a known-constant base into a memory displacement adds
+    // two immediates whose int32 sum overflows; addresses are modular.
+    std::vector<Uop> uops;
+    uops.push_back(mkLimm(UReg::EBX, 0x7ffffff0));
+    uops.push_back(mkStore(UReg::EBX, 0x20, UReg::EAX));
+    uops.push_back(mkLoad(UReg::ECX, UReg::EBX, 0x20));
+
+    Optimizer optimizer;
+    OptStats stats;
+    const auto frame = optimizer.optimize(uops, {}, nullptr, stats);
+    EXPECT_GT(stats.constantsFolded, 0u);
+
+    ArchState in;
+    in.regs[unsigned(UReg::EAX)] = 0xdeadbeef;
+    x86::SparseMemory ref_mem, opt_mem;
+    const ArchState ref = runReference(uops, in, ref_mem);
+    ArchState out = in;
+    const auto res = executeFrame(frame, out, opt_mem);
+    ASSERT_TRUE(res.committed());
+    expectArchEqual(out, ref);
+    EXPECT_EQ(out.regs[unsigned(UReg::ECX)], 0xdeadbeefu);
+    EXPECT_EQ(opt_mem.read(0x80000010u, 4), ref_mem.read(0x80000010u, 4));
+}
+
+TEST_P(OptimizerProperty, ExtremeImmediateChainsStayEquivalent)
+{
+    // Property sweep over chains built from boundary immediates: every
+    // combination the folding passes collapse must match the
+    // architectural reference bit-for-bit (and, under UBSan, must not
+    // trip the signed-overflow checks).
+    Rng rng(uint64_t(GetParam()) * 31337 + 7);
+    static constexpr int32_t extremes[] = {
+        std::numeric_limits<int32_t>::min(),
+        std::numeric_limits<int32_t>::min() + 1,
+        std::numeric_limits<int32_t>::max(),
+        -1, 0, 1, 0x40000000, -0x40000000,
+    };
+    auto pick = [&] { return extremes[rng.below(8)]; };
+
+    std::vector<Uop> uops;
+    for (unsigned i = 0; i < 24; ++i) {
+        const UReg dst = static_cast<UReg>(rng.below(6));
+        const UReg a = static_cast<UReg>(rng.below(6));
+        switch (rng.below(3)) {
+          case 0:
+            uops.push_back(mkLimm(dst, pick()));
+            break;
+          case 1:
+            uops.push_back(
+                mkAluI(Op::ADD, dst, a, pick(), rng.chance(0.2)));
+            break;
+          default:
+            uops.push_back(
+                mkAluI(Op::SUB, dst, a, pick(), rng.chance(0.2)));
+            break;
+        }
+    }
+
+    Optimizer optimizer;
+    OptStats stats;
+    const auto frame = optimizer.optimize(uops, {}, nullptr, stats);
+
+    ArchState in;
+    for (unsigned r = 0; r < 8; ++r)
+        in.regs[r] = uint32_t(rng.next());
+    x86::SparseMemory ref_mem, opt_mem;
+    const ArchState ref = runReference(uops, in, ref_mem);
+    ArchState out = in;
+    const auto res = executeFrame(frame, out, opt_mem);
+    ASSERT_TRUE(res.committed());
+    expectArchEqual(out, ref);
+}
 
 TEST(Datapath, PipelineDepthLimitsInFlightFrames)
 {
@@ -1183,7 +1379,7 @@ bodySignature(const OptimizedFrame &frame)
             sig += 'f';
         sig += ' ';
     };
-    for (const FrameUop &fu : frame.uops) {
+    for (const FrameUop fu : frame) {
         sig += opName(fu.uop.op);
         sig += ' ';
         sig += std::to_string(fu.uop.imm);
@@ -1284,7 +1480,7 @@ cheapSurvivors(const std::vector<Uop> &raw)
         Optimizer(OptConfig::cheap()).optimize(raw, {}, nullptr, stats);
     std::vector<Uop> uops;
     std::vector<uint16_t> blocks;
-    for (const FrameUop &fu : cheap.uops) {
+    for (const FrameUop fu : cheap) {
         uops.push_back(fu.uop);
         blocks.push_back(fu.block);
     }

@@ -227,7 +227,7 @@ makeFrame(uint32_t pc, unsigned uops)
     auto f = std::make_shared<Frame>();
     f->startPc = pc;
     f->pcs = {pc};
-    f->body.uops.resize(uops);
+    f->body.resize(uops);
     return f;
 }
 

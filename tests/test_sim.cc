@@ -198,7 +198,7 @@ TEST(TraceCacheFill, BuildsBoundedTraces)
         if (auto t = unit.lookup(rec.pc)) {
             EXPECT_LE(t->numUops(), 32u);
             unsigned branches = 0;
-            for (const auto &fu : t->body.uops)
+            for (const opt::FrameUop fu : t->body)
                 branches += fu.uop.op == uop::Op::BR ||
                             fu.uop.op == uop::Op::JMPI;
             EXPECT_LE(branches, 3u);

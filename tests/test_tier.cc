@@ -352,7 +352,7 @@ makeFrame(uint32_t pc, unsigned uops)
     auto f = std::make_shared<Frame>();
     f->startPc = pc;
     f->pcs = {pc};
-    f->body.uops.resize(uops);
+    f->body.resize(uops);
     return f;
 }
 
@@ -393,6 +393,60 @@ TEST(FrameCachePublish, OversizePublishIsRejectedIntact)
     // Shrinking (the normal re-opt case) always lands.
     EXPECT_TRUE(cache.publish(0x1000, makeFrame(0x1000, 50)));
     EXPECT_EQ(cache.occupiedUops(), 90u);
+}
+
+TEST(FrameCacheAudit, GovernorModelMatchesDirectRecountAfterChurn)
+{
+    // The O(1) occupancy model feeds the governor; tier republication
+    // is the one path where a resident body's size changes in place,
+    // so drive insert/publish/evict/shed churn and check the model
+    // against a from-scratch recount at every step.
+    ResourceGovernor governor;
+    FrameCache cache(300);
+    cache.setGovernor(&governor);
+    const unsigned gov_id = 0;      // first registered consumer
+
+    auto audit = [&](const char *where) {
+        EXPECT_EQ(cache.occupiedUops(), cache.recountUops()) << where;
+        EXPECT_EQ(cache.memoryBytes(), cache.auditBytes()) << where;
+        EXPECT_EQ(governor.consumerBytes(gov_id), cache.memoryBytes())
+            << where;
+    };
+
+    for (uint32_t pc = 0x1000; pc < 0x1000 + 8 * 0x100; pc += 0x100)
+        cache.insert(makeFrame(pc, 30));
+    audit("after inserts (with capacity evictions)");
+
+    // Republish half the residents with shrunken bodies (the normal
+    // re-opt outcome), one with a grown body, and one oversize reject.
+    unsigned flip = 0;
+    for (uint32_t pc = 0x1000; pc < 0x1000 + 8 * 0x100; pc += 0x100) {
+        if (!cache.probe(pc))
+            continue;
+        if (flip++ % 2 == 0) {
+            ASSERT_TRUE(cache.publish(pc, makeFrame(pc, 12)));
+            audit("after shrinking publish");
+        }
+    }
+    for (uint32_t pc = 0x1000; pc < 0x1000 + 8 * 0x100; pc += 0x100) {
+        if (!cache.probe(pc))
+            continue;
+        EXPECT_TRUE(cache.publish(pc, makeFrame(pc, 40)));
+        audit("after growing publish");
+        EXPECT_FALSE(cache.publish(pc, makeFrame(pc, 4000)));
+        audit("after rejected oversize publish");
+        break;
+    }
+
+    // Invalidate one, shed one, then re-fill; the model must track
+    // every departure and arrival exactly.
+    cache.invalidate(0x1200);
+    audit("after invalidate");
+    (void)cache.shedLru();
+    audit("after shed");
+    cache.insert(makeFrame(0x9000, 25));
+    audit("after re-fill");
+    EXPECT_GT(cache.stats().get("publishes"), 0u);
 }
 
 TEST(FrameCacheEviction, ListenerSeesEveryDepartureButNotPublishes)

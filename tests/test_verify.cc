@@ -87,7 +87,7 @@ buildFrame(const FrameCandidate &cand, const opt::OptimizedFrame &body)
     frame.nextPc = cand.nextPc;
     frame.dynamicExit = cand.dynamicExit;
     frame.body = body;
-    for (const auto &fu : frame.body.uops) {
+    for (const opt::FrameUop fu : frame.body) {
         if (fu.unsafe && fu.uop.isStore())
             frame.unsafeStores.push_back(
                 {fu.uop.instIdx, fu.uop.memSeq});
@@ -224,9 +224,10 @@ TEST(Verifier, CatchesCorruptedFrame)
         ASSERT_TRUE(good.ok) << good.message;
 
         // Corrupt the first ALU immediate we can find.
-        for (auto &fu : frame.body.uops) {
-            if (fu.uop.op == uop::Op::ADD && fu.srcB.isNone()) {
-                fu.uop.imm += 4;
+        for (size_t k = 0; k < frame.body.size(); ++k) {
+            if (frame.body.code.op[k] == uop::Op::ADD &&
+                frame.body.srcB[k].isNone()) {
+                frame.body.code.imm[k] += 4;
                 const auto bad =
                     verifyFrame(frame, cand->records, live_in);
                 EXPECT_FALSE(bad.ok);

@@ -342,7 +342,7 @@ TEST(StaticLintFrame, BodyHashAnchorsBitLevelCorruption)
 {
     core::Frame frame = depositedFrame();
     // Structurally invisible corruption: an immediate flip.
-    frame.body.uops[0].uop.imm ^= 1;
+    frame.body.code.imm[0] ^= 1;
     EXPECT_TRUE(hasCheck(lintFrame(frame), Check::LINT_BODY_HASH));
 }
 
@@ -356,7 +356,7 @@ TEST(StaticLintFrame, UnsafeListDisagreement)
 TEST(StaticLintFrame, ProvenanceOffPath)
 {
     core::Frame frame = depositedFrame();
-    frame.body.uops[0].uop.x86Pc = 0x1234;  // pcs[0] == 0
+    frame.body.code.x86Pc[0] = 0x1234;  // pcs[0] == 0
     EXPECT_TRUE(hasCheck(lintFrame(frame), Check::LINT_PROVENANCE));
 }
 
@@ -737,10 +737,10 @@ TEST(PassCheck, FinalizeMisdirectedOperandFlagged)
     before.at(1).valid = false;     // dropped by compaction
 
     opt::OptimizedFrame out;
-    out.uops.push_back(before.at(0));
+    out.push(before.at(0));
     FrameUop mov = before.at(2);
     mov.srcA = Operand::prod(1);    // should compact 2 -> 1... of slot 0
-    out.uops.push_back(mov);
+    out.push(mov);
     out.exit = exit;
     for (unsigned r = 0; r < uop::NUM_UREGS; ++r) {
         if (!OptBuffer::archLiveOut(static_cast<UReg>(r)))
