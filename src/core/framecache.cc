@@ -11,15 +11,23 @@ FrameCache::FrameCache(unsigned capacity_uops) : capacity_(capacity_uops)
 void
 FrameCache::setGovernor(ResourceGovernor *governor)
 {
+    sync::RoleGuard hold(role_);
     governor_ = governor;
     if (governor_) {
         governorId_ = governor_->registerConsumer("fcache");
-        syncGovernor();
+        syncGovernorLocked();
     }
 }
 
 size_t
 FrameCache::memoryBytes() const
+{
+    sync::RoleGuard hold(role_);
+    return memoryBytesLocked();
+}
+
+size_t
+FrameCache::memoryBytesLocked() const
 {
     // Deterministic O(1) model of the cache's live footprint: the
     // micro-op bodies dominate; each resident frame also carries its
@@ -33,6 +41,13 @@ FrameCache::memoryBytes() const
 unsigned
 FrameCache::recountUops() const
 {
+    sync::RoleGuard hold(role_);
+    return recountUopsLocked();
+}
+
+unsigned
+FrameCache::recountUopsLocked() const
+{
     unsigned total = 0;
     frames_.forEach([&](uint32_t, const Entry &entry) {
         total += entry.frame->numUops();
@@ -43,30 +58,35 @@ FrameCache::recountUops() const
 size_t
 FrameCache::auditBytes() const
 {
+    sync::RoleGuard hold(role_);
     // memoryBytes() rebuilt from a walk over the resident frames
     // instead of the incrementally-maintained occupied_ counter; any
     // divergence between the two is a bookkeeping leak.
-    return size_t(recountUops()) * sizeof(opt::FrameUop) +
+    return size_t(recountUopsLocked()) * sizeof(opt::FrameUop) +
            frames_.size() * PER_FRAME_OVERHEAD + frames_.memoryBytes();
 }
 
 void
-FrameCache::syncGovernor()
+FrameCache::syncGovernorLocked()
 {
     if (governor_)
-        governor_->update(governorId_, memoryBytes());
+        governor_->update(governorId_, memoryBytesLocked());
 }
 
 bool
-FrameCache::evictLru(const char *counter)
+FrameCache::evictLruLocked(const char *counter)
 {
     // Touch ticks are unique, so the strict minimum is exactly the
     // back of an LRU list.  The pinned entry (the frame currently
-    // being sequenced) is never a victim.
+    // being sequenced) is never a victim.  Pinned state is copied to
+    // locals so the scan closure touches no role-guarded fields
+    // (closures cannot carry REQUIRES annotations).
+    const bool pinned_valid = pinnedValid_;
+    const uint32_t pinned_pc = pinnedPc_;
     uint32_t victim_pc = 0;
     uint64_t victim_tick = UINT64_MAX;
     frames_.forEach([&](uint32_t pc, const Entry &entry) {
-        if (pinnedValid_ && pc == pinnedPc_)
+        if (pinned_valid && pc == pinned_pc)
             return;
         if (entry.lastUsed < victim_tick) {
             victim_tick = entry.lastUsed;
@@ -79,7 +99,7 @@ FrameCache::evictLru(const char *counter)
     occupied_ -= victim->frame->numUops();
     frames_.erase(victim_pc);
     ++stats_.counter(counter);
-    syncGovernor();
+    syncGovernorLocked();
     if (onEvict_)
         onEvict_(victim_pc);
     return true;
@@ -88,21 +108,26 @@ FrameCache::evictLru(const char *counter)
 bool
 FrameCache::shedLru()
 {
-    return evictLru("pressure_sheds");
+    sync::RoleGuard hold(role_);
+    return evictLruLocked("pressure_sheds");
 }
 
 unsigned
 FrameCache::shedToUops(unsigned target_uops)
 {
+    sync::RoleGuard hold(role_);
     unsigned shed = 0;
-    while (occupied_ > target_uops && shedLru())
+    while (occupied_ > target_uops &&
+           evictLruLocked("pressure_sheds")) {
         ++shed;
+    }
     return shed;
 }
 
 void
 FrameCache::pin(uint32_t pc)
 {
+    sync::RoleGuard hold(role_);
     pinnedValid_ = true;
     pinnedPc_ = pc;
 }
@@ -110,21 +135,23 @@ FrameCache::pin(uint32_t pc)
 void
 FrameCache::unpin()
 {
+    sync::RoleGuard hold(role_);
     pinnedValid_ = false;
 }
 
 void
 FrameCache::insert(FramePtr frame)
 {
+    sync::RoleGuard hold(role_);
     const unsigned size = frame->numUops();
     if (size > capacity_) {
         ++stats_.counter("rejected");
         return;
     }
     const uint32_t pc = frame->startPc;
-    invalidate(pc);
+    invalidateLocked(pc);
     while (occupied_ + size > capacity_) {
-        if (!evictLru("evictions")) {
+        if (!evictLruLocked("evictions")) {
             // Only the pinned frame is left and the newcomer still
             // does not fit: reject it rather than evict the frame
             // being sequenced.
@@ -137,12 +164,13 @@ FrameCache::insert(FramePtr frame)
     entry.lastUsed = ++tick_;
     occupied_ += size;
     ++stats_.counter("inserts");
-    syncGovernor();
+    syncGovernorLocked();
 }
 
 FramePtr
 FrameCache::lookup(uint32_t pc)
 {
+    sync::RoleGuard hold(role_);
     Entry *entry = frames_.find(pc);
     if (!entry) {
         ++misses_;
@@ -156,6 +184,7 @@ FrameCache::lookup(uint32_t pc)
 FramePtr
 FrameCache::probe(uint32_t pc) const
 {
+    sync::RoleGuard hold(role_);
     const Entry *entry = frames_.find(pc);
     return entry ? entry->frame : nullptr;
 }
@@ -163,13 +192,20 @@ FrameCache::probe(uint32_t pc) const
 void
 FrameCache::invalidate(uint32_t pc)
 {
+    sync::RoleGuard hold(role_);
+    invalidateLocked(pc);
+}
+
+void
+FrameCache::invalidateLocked(uint32_t pc)
+{
     Entry *entry = frames_.find(pc);
     if (!entry)
         return;
     occupied_ -= entry->frame->numUops();
     frames_.erase(pc);
     ++stats_.counter("invalidations");
-    syncGovernor();
+    syncGovernorLocked();
     if (onEvict_)
         onEvict_(pc);
 }
@@ -177,9 +213,17 @@ FrameCache::invalidate(uint32_t pc)
 bool
 FrameCache::publish(uint32_t pc, FramePtr next)
 {
+    sync::RoleGuard hold(role_);
+    return publishLocked(pc, std::move(next));
+}
+
+bool
+FrameCache::publishLocked(uint32_t pc, FramePtr next)
+{
     Entry *entry = frames_.find(pc);
     panic_if(!entry, "publish to a non-resident start pc %#x", pc);
-    panic_if(isPinned(pc), "publish to the pinned (in-flight) entry");
+    panic_if(isPinnedLocked(pc),
+             "publish to the pinned (in-flight) entry");
     const unsigned old_size = entry->frame->numUops();
     const unsigned new_size = next->numUops();
     if (new_size > old_size &&
@@ -193,11 +237,11 @@ FrameCache::publish(uint32_t pc, FramePtr next)
     // from the table instead of trusting an increment — publishes are
     // orders of magnitude rarer than lookups, and a drifted model
     // would silently skew governor pressure for the rest of the run.
-    occupied_ = recountUops();
+    occupied_ = recountUopsLocked();
     // lastUsed is deliberately untouched: publication replaces the
     // body in place and must not perturb LRU victim selection.
     ++stats_.counter("publishes");
-    syncGovernor();
+    syncGovernorLocked();
     return true;
 }
 

@@ -22,7 +22,10 @@ RePlayEngine::RePlayEngine(EngineConfig cfg)
         tier_ = std::make_unique<TierEngine>(cfg_.tier, cfg_.optConfig);
         // Stale-work leak fix: a frame leaving the cache (capacity
         // eviction, pressure shed, bias eviction, quarantine) takes
-        // its pending re-optimization job with it.
+        // its pending re-optimization job with it.  The closure runs
+        // under the cache role and touches only tier_ and a counter —
+        // both deliberately unguarded (closures cannot carry REQUIRES;
+        // see the file comment in sequencer.hh).
         cache_.setEvictionListener([this](uint32_t pc) {
             tierCancelled_ += tier_->cancelPending(pc);
         });
@@ -32,7 +35,7 @@ RePlayEngine::RePlayEngine(EngineConfig cfg)
 }
 
 void
-RePlayEngine::syncGovernor()
+RePlayEngine::syncGovernorLocked()
 {
     if (!cfg_.governor)
         return;
@@ -43,7 +46,7 @@ RePlayEngine::syncGovernor()
 }
 
 void
-RePlayEngine::relievePressure()
+RePlayEngine::relievePressureLocked()
 {
     if (!cfg_.governor)
         return;
@@ -54,7 +57,7 @@ RePlayEngine::relievePressure()
         const unsigned dropped = tier_->shedPending();
         if (dropped) {
             tierShed_ += dropped;
-            syncGovernor();
+            syncGovernorLocked();
         }
     }
     // Shed LRU frames one at a time, rechecking between evictions so
@@ -67,7 +70,7 @@ RePlayEngine::relievePressure()
 }
 
 void
-RePlayEngine::enqueueCandidate(FrameCandidate &cand, uint64_t now)
+RePlayEngine::enqueueCandidateLocked(FrameCandidate &cand, uint64_t now)
 {
     // Do not rebuild a frame that is already cached for this start PC
     // with the same span (common when the same cold path repeats
@@ -201,13 +204,20 @@ RePlayEngine::enqueueCandidate(FrameCandidate &cand, uint64_t now)
         ++allocFailures_;
         return;
     }
-    syncGovernor();
+    syncGovernorLocked();
 }
 
 void
 RePlayEngine::drainReady(uint64_t now)
 {
-    drainTier();
+    sync::RoleGuard hold(seqRole_);
+    drainReadyLocked(now);
+}
+
+void
+RePlayEngine::drainReadyLocked(uint64_t now)
+{
+    drainTierLocked();
     while (!pending_.empty() && pending_.front().readyAt <= now) {
         // SOFT pressure and worse: stop admitting new frames — the
         // cache is the largest shrinkable consumer, so growing it
@@ -221,17 +231,18 @@ RePlayEngine::drainReady(uint64_t now)
         cache_.insert(std::move(pending_.front().frame));
         pending_.pop_front();
     }
-    syncGovernor();
-    relievePressure();
+    syncGovernorLocked();
+    relievePressureLocked();
 }
 
 void
 RePlayEngine::observeRetired(const trace::TraceRecord &rec, uint64_t now)
 {
-    drainReady(now);
+    sync::RoleGuard hold(seqRole_);
+    drainReadyLocked(now);
     auto candidate = constructor_.observe(rec);
     if (candidate) {
-        enqueueCandidate(*candidate, now);
+        enqueueCandidateLocked(*candidate, now);
         constructor_.recycle(std::move(*candidate));
     }
 }
@@ -239,7 +250,8 @@ RePlayEngine::observeRetired(const trace::TraceRecord &rec, uint64_t now)
 FramePtr
 RePlayEngine::frameFor(uint32_t pc, uint64_t now)
 {
-    drainReady(now);
+    sync::RoleGuard hold(seqRole_);
+    drainReadyLocked(now);
     if (quarantine_.blocked(pc, now)) {
         ++stats_.counter("quarantine_blocks");
         return nullptr;
@@ -264,14 +276,15 @@ RePlayEngine::frameFor(uint32_t pc, uint64_t now)
 void
 RePlayEngine::frameCommitted(const FramePtr &frame)
 {
+    sync::RoleGuard hold(seqRole_);
     cache_.unpin();
     ++frame->fetches;
     ++frameCommits_;
-    maybeScheduleReopt(frame);
+    maybeScheduleReoptLocked(frame);
 }
 
 void
-RePlayEngine::maybeScheduleReopt(const FramePtr &frame)
+RePlayEngine::maybeScheduleReoptLocked(const FramePtr &frame)
 {
     if (!tier_ || !tier_->wantsReopt(*frame))
         return;
@@ -292,20 +305,29 @@ RePlayEngine::maybeScheduleReopt(const FramePtr &frame)
     } catch (const std::bad_alloc &) {
         ++allocFailures_;
     }
-    syncGovernor();
+    syncGovernorLocked();
 }
 
 void
-RePlayEngine::drainTier()
+RePlayEngine::drainTierLocked()
 {
     if (!tier_)
         return;
-    tier_->drainCompleted(
-        [this](ReoptResult &res) { return publishReopt(res); });
+    // Explicit inbox loop (see TierEngine's drain protocol): stop at
+    // the first DEFER so publication order stays stable; a consumed
+    // result retires its start PC from the in-flight set.
+    tier_->refreshInbox();
+    while (tier_->hasInboxResult()) {
+        if (publishReoptLocked(tier_->inboxFront()) ==
+            TierEngine::Verdict::DEFER) {
+            return;
+        }
+        tier_->popInboxFront();
+    }
 }
 
 TierEngine::Verdict
-RePlayEngine::publishReopt(ReoptResult &res)
+RePlayEngine::publishReoptLocked(ReoptResult &res)
 {
     if (res.failed) {
         ++allocFailures_;
@@ -389,7 +411,7 @@ RePlayEngine::publishReopt(ReoptResult &res)
         } else {
             ++tierStaleDrops_;
         }
-        syncGovernor();
+        syncGovernorLocked();
     } catch (const std::bad_alloc &) {
         ++allocFailures_;
     }
@@ -399,6 +421,7 @@ RePlayEngine::publishReopt(ReoptResult &res)
 void
 RePlayEngine::quiesceTier()
 {
+    sync::RoleGuard hold(seqRole_);
     if (!tier_)
         return;
     // Pending jobs are abandoned (counted), in-flight jobs drain, and
@@ -407,7 +430,7 @@ RePlayEngine::quiesceTier()
     // forever.
     tierDroppedAtExit_ += tier_->shedPending();
     tier_->waitIdle();
-    drainTier();
+    drainTierLocked();
     tierDroppedAtExit_ += tier_->undrained();
 }
 
@@ -415,6 +438,7 @@ void
 RePlayEngine::frameAborted(const FramePtr &frame,
                            const FrameOutcome &outcome)
 {
+    sync::RoleGuard hold(seqRole_);
     cache_.unpin();
     ++frame->fetches;
     if (outcome.kind == FrameOutcome::Kind::UNSAFE_CONFLICT) {
@@ -446,11 +470,12 @@ RePlayEngine::frameAborted(const FramePtr &frame,
 void
 RePlayEngine::frameQuarantined(const FramePtr &frame, uint64_t now)
 {
+    sync::RoleGuard hold(seqRole_);
     cache_.unpin();
     cache_.invalidate(frame->startPc);
     quarantine_.add(frame->startPc, now);
     ++stats_.counter("quarantines");
-    syncGovernor();
+    syncGovernorLocked();
 }
 
 } // namespace replay::core

@@ -4,6 +4,23 @@
  * constructor, the (pipelined) optimization engine, the alias profile,
  * and the frame cache together, and answers the fetch engine's
  * sequencing queries.
+ *
+ * Locking discipline: the engine is single-owner (one session, one
+ * driving thread), stated as the `engine` sync::Role — the *root* of
+ * the lock hierarchy (rank ENGINE, the minimum), because everything
+ * else is acquired from under it: the frame-cache role on every
+ * cache call, the tier queue mutex on enqueue/cancel/drain, the
+ * governor role on every pressure query.  Public methods take the
+ * role and delegate to private *Locked methods marked REQUIRES, so
+ * external callers (simulator, headless driver, tests) need no
+ * annotations of their own.
+ *
+ * Deliberately unguarded: `tier_` and the `tierCancelled_` counter,
+ * which the cache eviction listener touches from inside a closure
+ * (closures cannot carry REQUIRES; the listener only ever runs on the
+ * owner thread, under the cache role, which the hierarchy orders
+ * below every capability the callee acquires).  See DESIGN.md
+ * "Locking discipline".
  */
 
 #ifndef REPLAY_CORE_SEQUENCER_HH
@@ -23,6 +40,7 @@
 #include "opt/optimizer.hh"
 #include "util/arena.hh"
 #include "util/governor.hh"
+#include "util/sync.hh"
 
 namespace replay::fault {
 class FaultInjector;
@@ -121,7 +139,12 @@ class RePlayEngine
     void frameQuarantined(const FramePtr &frame, uint64_t now);
 
     /** Pipeline flush (long-flow instruction): drop the accumulation. */
-    void flush() { constructor_.abandon(); }
+    void
+    flush()
+    {
+        sync::RoleGuard hold(seqRole_);
+        constructor_.abandon();
+    }
 
     /**
      * End-of-run tier teardown: drop pending re-opt work, wait for
@@ -141,16 +164,20 @@ class RePlayEngine
     StatGroup &stats() { return stats_; }
 
   private:
-    void enqueueCandidate(FrameCandidate &cand, uint64_t now);
+    void drainReadyLocked(uint64_t now) REQUIRES(seqRole_);
+    void enqueueCandidateLocked(FrameCandidate &cand, uint64_t now)
+        REQUIRES(seqRole_);
 
     /** Queue a committed cheap-tier frame for re-opt once it is hot. */
-    void maybeScheduleReopt(const FramePtr &frame);
+    void maybeScheduleReoptLocked(const FramePtr &frame)
+        REQUIRES(seqRole_);
 
     /** Drain finished re-optimizations and publish the valid ones. */
-    void drainTier();
+    void drainTierLocked() REQUIRES(seqRole_);
 
     /** Publish (or drop) one background result; see TierEngine. */
-    TierEngine::Verdict publishReopt(ReoptResult &res);
+    TierEngine::Verdict publishReoptLocked(ReoptResult &res)
+        REQUIRES(seqRole_);
 
     /**
      * Governor plumbing: report the engine-owned footprints (frame
@@ -158,18 +185,26 @@ class RePlayEngine
      * worse, shed LRU frames until it relieves (the pinned in-flight
      * frame is never shed).
      */
-    void syncGovernor();
-    void relievePressure();
+    void syncGovernorLocked() REQUIRES(seqRole_);
+    void relievePressureLocked() REQUIRES(seqRole_);
+
+    /**
+     * The session-owner capability, rank ENGINE (hierarchy root): the
+     * sequencing state below is GUARDED_BY it, and every public entry
+     * point takes it, so checked builds panic the instant two threads
+     * drive one engine.  Zero-cost in Release.
+     */
+    mutable sync::Role seqRole_{"engine", sync::rank::ENGINE};
 
     EngineConfig cfg_;
-    FrameConstructor constructor_;
-    opt::Optimizer optimizer_;
-    opt::Optimizer cheapOptimizer_;
-    opt::OptimizerPipeline optPipe_;
-    FrameCache cache_;
-    Quarantine quarantine_;
-    AliasProfile profile_;
-    opt::OptStats optStats_;
+    FrameConstructor constructor_ GUARDED_BY(seqRole_);
+    opt::Optimizer optimizer_ GUARDED_BY(seqRole_);
+    opt::Optimizer cheapOptimizer_ GUARDED_BY(seqRole_);
+    opt::OptimizerPipeline optPipe_ GUARDED_BY(seqRole_);
+    FrameCache cache_;              ///< has its own role capability
+    Quarantine quarantine_ GUARDED_BY(seqRole_);
+    AliasProfile profile_ GUARDED_BY(seqRole_);
+    opt::OptStats optStats_ GUARDED_BY(seqRole_);
     StatGroup stats_{"replay"};
     // Bound once (StatGroup's map gives stable references): these fire
     // on every candidate / frame event and are too hot for a string
@@ -209,15 +244,15 @@ class RePlayEngine
      * pending_ users conceptually, but destruction order is safe either
      * way: the pool's core outlives its handles via shared ownership.
      */
-    ObjectPool<Frame> framePool_;
+    ObjectPool<Frame> framePool_ GUARDED_BY(seqRole_);
 
     struct Pending
     {
         uint64_t readyAt;
         FramePtr frame;
     };
-    std::deque<Pending> pending_;
-    uint64_t nextFrameId_ = 1;
+    std::deque<Pending> pending_ GUARDED_BY(seqRole_);
+    uint64_t nextFrameId_ GUARDED_BY(seqRole_) = 1;
 };
 
 } // namespace replay::core

@@ -168,23 +168,45 @@ class TierEngine
     unsigned shedPending();
 
     /**
-     * Drain completed results through @p publish (sequencer thread).
-     * Stops at the first DEFER, keeping that result queued for the
-     * next drain so publication order is stable.
+     * Inbox drain protocol (sequencer thread).  The engine drives the
+     * loop itself — an explicit iteration surface instead of the old
+     * publish-callback template, so the whole publication path stays
+     * statically annotatable (thread-safety analysis cannot attach
+     * REQUIRES to a closure):
+     *
+     *   tier->refreshInbox();
+     *   while (tier->hasInboxResult()) {
+     *       if (publish(tier->inboxFront()) == Verdict::DEFER)
+     *           break;                  // pinned: retry at next drain
+     *       tier->popInboxFront();      // CONSUMED: done either way
+     *   }
+     *
+     * Stopping at the first DEFER keeps that result queued (order is
+     * stable); popInboxFront() also retires the start PC from the
+     * in-flight set, re-enabling wantsReopt for that frame.
      */
-    template <typename Publish>
     void
-    drainCompleted(Publish &&publish)
+    refreshInbox()
     {
         if (queue_.hasCompleted())
             pullCompleted();
-        while (!inbox_.empty()) {
-            ReoptResult &res = inbox_.front();
-            if (publish(res) == Verdict::DEFER)
-                return;
-            inflight_.erase(res.startPc);
-            inbox_.pop_front();
-        }
+    }
+
+    bool hasInboxResult() const { return !inbox_.empty(); }
+
+    ReoptResult &
+    inboxFront()
+    {
+        panic_if(inbox_.empty(), "inboxFront on an empty tier inbox");
+        return inbox_.front();
+    }
+
+    void
+    popInboxFront()
+    {
+        panic_if(inbox_.empty(), "popInboxFront on an empty tier inbox");
+        inflight_.erase(inbox_.front().startPc);
+        inbox_.pop_front();
     }
 
     /** True when nothing is pending, running, or awaiting drain. */

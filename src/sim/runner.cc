@@ -34,6 +34,8 @@ parseCount(const char *text, const char *what)
 uint64_t
 defaultInstsPerTrace()
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at startup,
+    // before any worker threads exist; nothing calls setenv.
     if (const char *env = std::getenv("REPLAY_SIM_INSTS"))
         return parseCount(env, "REPLAY_SIM_INSTS");
     return 400000;

@@ -26,6 +26,8 @@ SweepResult::digest() const
 unsigned
 defaultSweepJobs()
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once before the
+    // sweep pool spawns; nothing calls setenv.
     if (const char *env = std::getenv("REPLAY_SIM_JOBS")) {
         const uint64_t v = parseCount(env, "REPLAY_SIM_JOBS");
         fatal_if(v > 1024, "REPLAY_SIM_JOBS: %llu workers is absurd",

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <set>
 #include <thread>
 
 #include "util/logging.hh"
+#include "util/sync.hh"
 #include "x86/executor.hh"
 
 namespace replay::trace {
@@ -254,36 +254,42 @@ traceErrorKindName(TraceError::Kind kind)
 
 namespace {
 
-std::mutex traceQuarantineMutex;
-std::set<std::string> traceQuarantineSet;
+// Process-wide registry shared by every sweep worker; the mutex ranks
+// above the pool/queue locks because workers consult it from inside
+// running tasks (with no other lock held, but the rank keeps it
+// honest if that ever changes).
+sync::Mutex traceQuarantineMutex{"trace_registry",
+                                 sync::rank::TRACE_REGISTRY};
+std::set<std::string>
+    traceQuarantineSet GUARDED_BY(traceQuarantineMutex);
 
 } // anonymous namespace
 
 bool
 traceQuarantined(const std::string &path)
 {
-    std::lock_guard<std::mutex> lock(traceQuarantineMutex);
+    sync::LockGuard lock(traceQuarantineMutex);
     return traceQuarantineSet.count(path) != 0;
 }
 
 void
 quarantineTrace(const std::string &path)
 {
-    std::lock_guard<std::mutex> lock(traceQuarantineMutex);
+    sync::LockGuard lock(traceQuarantineMutex);
     traceQuarantineSet.insert(path);
 }
 
 void
 clearTraceQuarantine()
 {
-    std::lock_guard<std::mutex> lock(traceQuarantineMutex);
+    sync::LockGuard lock(traceQuarantineMutex);
     traceQuarantineSet.clear();
 }
 
 size_t
 traceQuarantineSize()
 {
-    std::lock_guard<std::mutex> lock(traceQuarantineMutex);
+    sync::LockGuard lock(traceQuarantineMutex);
     return traceQuarantineSet.size();
 }
 

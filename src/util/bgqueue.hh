@@ -40,12 +40,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "util/cancellation.hh"
 #include "util/logging.hh"
+#include "util/sync.hh"
 #include "util/threadpool.hh"
 
 namespace replay {
@@ -81,8 +81,19 @@ class BackgroundQueue
     BackgroundQueue(const BackgroundQueue &) = delete;
     BackgroundQueue &operator=(const BackgroundQueue &) = delete;
 
-    /** Cooperative stop: once tripped, pending items are dropped. */
-    void setCancelToken(CancelToken token) { cancel_ = token; }
+    /**
+     * Cooperative stop: once tripped, pending items are dropped.
+     * Taken under the queue mutex — workers read the token inside
+     * pump()'s critical section, so an unsynchronized write here was
+     * a race (caught by the annotation sweep; regression-tested in
+     * test_tier).
+     */
+    void
+    setCancelToken(CancelToken token) EXCLUDES(mutex_)
+    {
+        sync::LockGuard lock(mutex_);
+        cancel_ = std::move(token);
+    }
 
     /**
      * Enqueue one item.  Inline mode runs it before returning; pool
@@ -90,10 +101,10 @@ class BackgroundQueue
      * be a different, higher-priority one).
      */
     void
-    submit(uint64_t key, int64_t priority, Job job)
+    submit(uint64_t key, int64_t priority, Job job) EXCLUDES(mutex_)
     {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            sync::LockGuard lock(mutex_);
             pending_.push_back(
                 {key, priority, nextSeq_++, std::move(job)});
         }
@@ -105,9 +116,9 @@ class BackgroundQueue
 
     /** Drop every pending item with @p key; returns how many. */
     unsigned
-    cancel(uint64_t key)
+    cancel(uint64_t key) EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::LockGuard lock(mutex_);
         unsigned dropped = 0;
         for (size_t i = 0; i < pending_.size();) {
             if (pending_[i].key == key) {
@@ -122,9 +133,9 @@ class BackgroundQueue
 
     /** Drop every pending item; returns the dropped keys. */
     std::vector<uint64_t>
-    shedAll()
+    shedAll() EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::LockGuard lock(mutex_);
         std::vector<uint64_t> keys;
         keys.reserve(pending_.size());
         for (const auto &e : pending_)
@@ -142,9 +153,9 @@ class BackgroundQueue
 
     /** Move all completed results into @p out (appended). */
     void
-    takeCompleted(std::vector<Result> &out)
+    takeCompleted(std::vector<Result> &out) EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::LockGuard lock(mutex_);
         for (auto &r : completed_)
             out.push_back(std::move(r));
         completed_.clear();
@@ -163,9 +174,9 @@ class BackgroundQueue
     }
 
     size_t
-    pendingCount() const
+    pendingCount() const EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::LockGuard lock(mutex_);
         return pending_.size();
     }
 
@@ -178,9 +189,9 @@ class BackgroundQueue
 
     /** Footprint of pending jobs + undrained results (governor). */
     size_t
-    memoryBytes() const
+    memoryBytes() const EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::LockGuard lock(mutex_);
         size_t bytes = sizeof(*this);
         for (const auto &e : pending_)
             bytes += sizeof(e) + e.job.memoryBytes();
@@ -202,11 +213,11 @@ class BackgroundQueue
 
     /** One worker wakeup: pop and run the best pending item. */
     void
-    pump()
+    pump() EXCLUDES(mutex_)
     {
         Entry entry{0, 0, 0, Job{}};
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            sync::LockGuard lock(mutex_);
             if (pending_.empty())
                 return;     // cancelled or shed since submission
             if (cancel_.stopRequested()) {
@@ -228,7 +239,7 @@ class BackgroundQueue
         Result result = runner_(entry.job);
         executed_.fetch_add(1, std::memory_order_relaxed);
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            sync::LockGuard lock(mutex_);
             completed_.push_back(std::move(result));
             completedCount_.store(completed_.size(),
                                   std::memory_order_release);
@@ -237,13 +248,13 @@ class BackgroundQueue
 
     Runner runner_;
     std::unique_ptr<ThreadPool> pool_;
-    CancelToken cancel_;
-    mutable std::mutex mutex_;
-    std::deque<Entry> pending_;
-    std::deque<Result> completed_;
+    mutable sync::Mutex mutex_{"bgqueue", sync::rank::BGQUEUE};
+    CancelToken cancel_ GUARDED_BY(mutex_);
+    std::deque<Entry> pending_ GUARDED_BY(mutex_);
+    std::deque<Result> completed_ GUARDED_BY(mutex_);
     std::atomic<size_t> completedCount_{0};
     std::atomic<uint64_t> executed_{0};
-    uint64_t nextSeq_ = 0;
+    uint64_t nextSeq_ GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace replay

@@ -3,21 +3,25 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/sync.hh"
 
 namespace replay {
 
 namespace {
 
 // Sweep workers report concurrently: the handler pointer is atomic and
-// each message is emitted under a lock so lines never interleave.
+// each message is emitted under a lock so lines never interleave.  The
+// report mutex holds the *maximum* hierarchy rank: any thread must be
+// able to warn/panic no matter which locks it already holds, and
+// nothing may ever be acquired while reporting.
 std::atomic<DeathHandler> deathHandler{nullptr};
-std::mutex reportMutex;
+sync::Mutex reportMutex{"report", sync::rank::REPORT};
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
-    std::lock_guard<std::mutex> lock(reportMutex);
+    sync::LockGuard lock(reportMutex);
     std::fprintf(stderr, "%s", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
@@ -36,7 +40,7 @@ reportDeath(const char *kind, const char *file, int line,
     char message[1024];
     std::vsnprintf(message, sizeof(message), fmt, ap);
     {
-        std::lock_guard<std::mutex> lock(reportMutex);
+        sync::LockGuard lock(reportMutex);
         std::fprintf(stderr, "%s: (%s:%d) %s\n", kind, file, line,
                      message);
         std::fflush(stderr);

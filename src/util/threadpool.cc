@@ -18,11 +18,13 @@ ThreadPool::~ThreadPool()
 {
     drain();
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::LockGuard lock(mutex_);
         stopping_ = true;
         if (firstError_) {
             // wait() was never called to collect it; dying with the
             // error swallowed silently would hide real failures.
+            // (warn's report mutex is the hierarchy maximum, so
+            // reporting from under the pool lock is in order.)
             warn("thread pool destroyed with an uncollected job "
                  "exception");
             firstError_ = nullptr;
@@ -38,7 +40,7 @@ ThreadPool::submit(std::function<void()> job)
 {
     panic_if(!job, "submitting an empty job");
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        sync::LockGuard lock(mutex_);
         panic_if(stopping_, "submitting to a stopping thread pool");
         queue_.push_back(std::move(job));
     }
@@ -48,31 +50,38 @@ ThreadPool::submit(std::function<void()> job)
 void
 ThreadPool::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    allDone_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    // Manual wait loop rather than a predicate lambda: thread-safety
+    // analysis cannot attach REQUIRES to a closure, so the guarded
+    // reads stay in this (annotatable) scope.
+    sync::UniqueLock lock(mutex_);
+    while (!(queue_.empty() && active_ == 0))
+        allDone_.wait(lock);
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    allDone_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-    if (firstError_) {
-        std::exception_ptr error = firstError_;
+    std::exception_ptr error;
+    {
+        sync::UniqueLock lock(mutex_);
+        while (!(queue_.empty() && active_ == 0))
+            allDone_.wait(lock);
+        if (!firstError_)
+            return;
+        error = firstError_;
         firstError_ = nullptr;
         cancelled_.store(false, std::memory_order_relaxed);
-        lock.unlock();
-        std::rethrow_exception(error);
     }
+    std::rethrow_exception(error);
 }
 
 void
 ThreadPool::workerLoop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    sync::UniqueLock lock(mutex_);
     for (;;) {
-        jobReady_.wait(lock,
-                       [this] { return stopping_ || !queue_.empty(); });
+        while (!(stopping_ || !queue_.empty()))
+            jobReady_.wait(lock);
         if (queue_.empty())
             return;                     // stopping_ and drained
         std::function<void()> job = std::move(queue_.front());

@@ -24,14 +24,14 @@
 #define REPLAY_UTIL_THREADPOOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hh"
 
 namespace replay {
 
@@ -49,14 +49,14 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Enqueue one job.  Never blocks on job execution. */
-    void submit(std::function<void()> job);
+    void submit(std::function<void()> job) EXCLUDES(mutex_);
 
     /**
      * Block until the queue is empty and no job is running.  If any
      * job threw since the last wait(), rethrows the first captured
      * exception (the rest were cancelled or ran to completion).
      */
-    void wait();
+    void wait() EXCLUDES(mutex_);
 
     /**
      * A job threw (or cancelAll() was called): cooperative jobs poll
@@ -78,17 +78,17 @@ class ThreadPool
     unsigned numThreads() const { return unsigned(workers_.size()); }
 
   private:
-    void workerLoop();
-    void drain();
+    void workerLoop() EXCLUDES(mutex_);
+    void drain() EXCLUDES(mutex_);
 
-    std::mutex mutex_;
-    std::condition_variable jobReady_;   ///< workers wait here
-    std::condition_variable allDone_;    ///< wait() waits here
-    std::deque<std::function<void()>> queue_;
+    sync::Mutex mutex_{"threadpool", sync::rank::POOL};
+    sync::CondVar jobReady_;             ///< workers wait here
+    sync::CondVar allDone_;              ///< wait() waits here
+    std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
     std::vector<std::thread> workers_;
-    unsigned active_ = 0;                ///< jobs currently executing
-    bool stopping_ = false;
-    std::exception_ptr firstError_;      ///< guarded by mutex_
+    unsigned active_ GUARDED_BY(mutex_) = 0;  ///< jobs executing now
+    bool stopping_ GUARDED_BY(mutex_) = false;
+    std::exception_ptr firstError_ GUARDED_BY(mutex_);
     std::atomic<bool> cancelled_{false};
 };
 

@@ -159,6 +159,8 @@ maybeEnableStaticCheckFromEnv()
 #else
         bool on = false;
 #endif
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): under call_once, and
+        // the environment is never mutated after process start.
         if (const char *env = std::getenv("REPLAY_STATIC_CHECK"))
             on = !(env[0] == '0' && env[1] == '\0');
         if (on)

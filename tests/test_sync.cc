@@ -1,0 +1,416 @@
+/**
+ * @file
+ * The capability-annotated synchronization layer (util/sync.hh): the
+ * ranked lock-hierarchy checker's PANIC paths (via the death-test
+ * hook), CondVar wait/predicate semantics, SharedMutex reader/writer
+ * exclusion, Role single-owner enforcement, and a multi-thread stress
+ * of the wrappers that the tier-1 TSan stage re-runs under
+ * ThreadSanitizer.
+ *
+ * The hierarchy tests skip themselves when the checker is compiled
+ * out (Release builds): there the wrappers are plain std primitives
+ * by design, and the violation would deadlock instead of panicking.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/sync.hh"
+
+using namespace replay;
+
+namespace {
+
+struct DeathInfo
+{
+    std::string kind;
+    std::string message;
+};
+
+DeathInfo lastDeath;
+
+[[noreturn]] void
+throwingHandler(const char *kind, const char *, int,
+                const char *message)
+{
+    lastDeath = {kind, message};
+    throw std::runtime_error(message);
+}
+
+/** RAII death-hook installer so a failing EXPECT cannot leak it. */
+struct DeathScope
+{
+    DeathHandler prev;
+    DeathScope() : prev(setDeathHandler(throwingHandler)) {}
+    ~DeathScope() { setDeathHandler(prev); }
+};
+
+/** Spin until @p flag or a generous deadline (never flaky-fast). */
+bool
+spinUntil(const std::atomic<bool> &flag)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!flag.load(std::memory_order_acquire)) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::yield();
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Hierarchy checker: ordering violations PANIC with both sites
+// ---------------------------------------------------------------------
+
+TEST(SyncHierarchy, InOrderAcquisitionIsQuiet)
+{
+    sync::Mutex lo{"lo", 10};
+    sync::Mutex hi{"hi", 20};
+    DeathScope death;
+    {
+        sync::LockGuard a(lo);
+        sync::LockGuard b(hi);
+        EXPECT_EQ(sync::heldCapabilities(),
+                  sync::hierarchyChecked() ? 2u : 0u);
+    }
+    EXPECT_EQ(sync::heldCapabilities(), 0u);
+}
+
+TEST(SyncHierarchy, OutOfOrderAcquisitionPanicsWithBothSites)
+{
+    if (!sync::hierarchyChecked())
+        GTEST_SKIP() << "hierarchy checker compiled out (Release)";
+    sync::Mutex lo{"engine_rank", sync::rank::ENGINE};
+    sync::Mutex hi{"governor_rank", sync::rank::GOVERNOR};
+    DeathScope death;
+    hi.lock();
+    // The deliberately inverted acquisition: governor-ranked lock
+    // held, engine-ranked requested — the deadlock shape the checker
+    // exists to catch.
+    EXPECT_THROW(lo.lock(), std::runtime_error);
+    hi.unlock();
+    EXPECT_EQ(lastDeath.kind, "panic");
+    // Both capabilities and both acquisition sites are in the report.
+    EXPECT_NE(lastDeath.message.find("engine_rank"), std::string::npos);
+    EXPECT_NE(lastDeath.message.find("governor_rank"),
+              std::string::npos);
+    EXPECT_NE(lastDeath.message.find("test_sync.cc"), std::string::npos);
+    EXPECT_EQ(sync::heldCapabilities(), 0u);
+}
+
+TEST(SyncHierarchy, SameRankNestingPanics)
+{
+    if (!sync::hierarchyChecked())
+        GTEST_SKIP() << "hierarchy checker compiled out (Release)";
+    sync::Mutex a{"leaf_a"};    // both default to rank::LEAF
+    sync::Mutex b{"leaf_b"};
+    DeathScope death;
+    a.lock();
+    EXPECT_THROW(b.lock(), std::runtime_error);
+    a.unlock();
+    EXPECT_NE(lastDeath.message.find("leaf_a"), std::string::npos);
+    EXPECT_NE(lastDeath.message.find("leaf_b"), std::string::npos);
+}
+
+TEST(SyncHierarchy, OutOfOrderReleaseIsLegal)
+{
+    sync::Mutex a{"a", 10};
+    sync::Mutex b{"b", 20};
+    a.lock();
+    b.lock();
+    a.unlock();     // release order need not mirror acquisition
+    b.unlock();
+    EXPECT_EQ(sync::heldCapabilities(), 0u);
+}
+
+TEST(SyncHierarchy, TryLockSuccessObeysTheHierarchy)
+{
+    if (!sync::hierarchyChecked())
+        GTEST_SKIP() << "hierarchy checker compiled out (Release)";
+    sync::Mutex lo{"try_lo", 10};
+    sync::Mutex hi{"try_hi", 20};
+    DeathScope death;
+    hi.lock();
+    // try_lock is not an ordering escape hatch: the successful
+    // acquisition trips the same check.
+    EXPECT_THROW(lo.try_lock(), std::runtime_error);
+    hi.unlock();
+}
+
+TEST(SyncHierarchy, ReleasingAnUnheldCapabilityPanics)
+{
+    if (!sync::hierarchyChecked())
+        GTEST_SKIP() << "hierarchy checker compiled out (Release)";
+    sync::Mutex mu{"never_held", 10};
+    DeathScope death;
+    EXPECT_THROW(mu.unlock(), std::runtime_error);
+    EXPECT_NE(lastDeath.message.find("never_held"), std::string::npos);
+}
+
+TEST(SyncHierarchy, ReportRankIsReachableFromUnderAnyLock)
+{
+    // warn() takes the report mutex (rank REPORT, the maximum): it
+    // must be legal from under every other capability, or a panic
+    // under lock would recurse into its own violation.
+    sync::Mutex mu{"holder", sync::rank::LEAF};
+    sync::LockGuard hold(mu);
+    warn("sync test: reporting from under a LEAF lock is in order");
+}
+
+// ---------------------------------------------------------------------
+// Role: exclusive sequential ownership
+// ---------------------------------------------------------------------
+
+TEST(SyncRole, RecursiveAcquisitionPanics)
+{
+    if (!sync::hierarchyChecked())
+        GTEST_SKIP() << "hierarchy checker compiled out (Release)";
+    sync::Role role{"engine_role", sync::rank::ENGINE};
+    DeathScope death;
+    role.acquire();
+    // Re-entry trips the same-rank rule — the shape a governor
+    // alloc-failure hook calling back into the governor would take.
+    EXPECT_THROW(role.acquire(), std::runtime_error);
+    role.release();
+    EXPECT_NE(lastDeath.message.find("engine_role"), std::string::npos);
+}
+
+TEST(SyncRole, CrossThreadOverlapPanicsOnTheSecondThread)
+{
+    if (!sync::hierarchyChecked())
+        GTEST_SKIP() << "hierarchy checker compiled out (Release)";
+    sync::Role role{"session_role", sync::rank::ENGINE};
+    DeathScope death;
+    role.acquire();
+    std::atomic<bool> caught{false};
+    std::thread intruder([&] {
+        try {
+            role.acquire();
+            role.release();     // not reached
+        } catch (const std::runtime_error &) {
+            caught.store(true, std::memory_order_release);
+        }
+    });
+    intruder.join();
+    role.release();
+    EXPECT_TRUE(caught.load());
+    EXPECT_NE(lastDeath.message.find("session_role"),
+              std::string::npos);
+    // The owner's hold is intact: re-acquire after release works.
+    role.acquire();
+    role.release();
+}
+
+TEST(SyncRole, GuardComposesWithRankedMutexes)
+{
+    sync::Role engine{"engine", sync::rank::ENGINE};
+    sync::Mutex queue{"queue", sync::rank::BGQUEUE};
+    {
+        sync::RoleGuard hold(engine);
+        sync::LockGuard lock(queue);   // 10 -> 30: in order
+        EXPECT_EQ(sync::heldCapabilities(),
+                  sync::hierarchyChecked() ? 2u : 0u);
+    }
+    EXPECT_EQ(sync::heldCapabilities(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// CondVar semantics
+// ---------------------------------------------------------------------
+
+TEST(SyncCondVar, PredicateWaitObservesNotification)
+{
+    sync::Mutex mu{"cv_mutex"};
+    sync::CondVar cv;
+    bool ready = false;
+    std::atomic<bool> consumed{false};
+
+    std::thread consumer([&] {
+        sync::UniqueLock lock(mu);
+        cv.wait(lock, [&] { return ready; });
+        EXPECT_TRUE(ready);
+        consumed.store(true, std::memory_order_release);
+    });
+    {
+        sync::LockGuard lock(mu);
+        ready = true;
+    }
+    cv.notify_one();
+    consumer.join();
+    EXPECT_TRUE(consumed.load());
+}
+
+TEST(SyncCondVar, ManualWaitLoopHandlesSpuriousWakeups)
+{
+    sync::Mutex mu{"cv_mutex"};
+    sync::CondVar cv;
+    int stage = 0;
+    std::atomic<bool> sawFinal{false};
+
+    std::thread consumer([&] {
+        sync::UniqueLock lock(mu);
+        while (stage < 2)
+            cv.wait(lock);
+        sawFinal.store(true, std::memory_order_release);
+    });
+    // Two notifications; only the second satisfies the predicate, so
+    // the manual loop must re-check and keep waiting in between.
+    for (int i = 0; i < 2; ++i) {
+        {
+            sync::LockGuard lock(mu);
+            ++stage;
+        }
+        cv.notify_all();
+    }
+    consumer.join();
+    EXPECT_TRUE(sawFinal.load());
+}
+
+TEST(SyncCondVar, WaitOnUnlockedLockPanics)
+{
+    sync::Mutex mu{"cv_mutex"};
+    sync::CondVar cv;
+    DeathScope death;
+    sync::UniqueLock lock(mu);
+    lock.unlock();
+    EXPECT_THROW(cv.wait(lock), std::runtime_error);
+}
+
+TEST(SyncUniqueLock, ManualLockUnlockTracksOwnership)
+{
+    sync::Mutex mu{"manual"};
+    sync::UniqueLock lock(mu);
+    EXPECT_TRUE(lock.ownsLock());
+    lock.unlock();
+    EXPECT_FALSE(lock.ownsLock());
+    lock.lock();
+    EXPECT_TRUE(lock.ownsLock());
+    EXPECT_EQ(lock.mutex(), &mu);
+}
+
+// ---------------------------------------------------------------------
+// SharedMutex reader/writer exclusion
+// ---------------------------------------------------------------------
+
+TEST(SyncSharedMutex, ReadersShareWritersExclude)
+{
+    sync::SharedMutex mu{"rw"};
+    std::atomic<int> readersInside{0};
+    std::atomic<bool> bothSeen{false};
+    std::atomic<bool> release{false};
+
+    auto reader = [&] {
+        sync::ReadLockGuard lock(mu);
+        readersInside.fetch_add(1, std::memory_order_acq_rel);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(30);
+        // Hold until both readers are inside simultaneously — proof
+        // that shared acquisition really is shared.
+        while (!bothSeen.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() < deadline) {
+            if (readersInside.load(std::memory_order_acquire) == 2)
+                bothSeen.store(true, std::memory_order_release);
+            std::this_thread::yield();
+        }
+        readersInside.fetch_sub(1, std::memory_order_acq_rel);
+    };
+    std::thread r1(reader), r2(reader);
+    r1.join();
+    r2.join();
+    EXPECT_TRUE(bothSeen.load());
+
+    // Writer excludes readers: with the writer inside, a late reader
+    // must observe the writer's completed state, never a torn one.
+    int shared_value = 0;
+    std::atomic<bool> writerIn{false};
+    std::thread writer([&] {
+        sync::WriteLockGuard lock(mu);
+        writerIn.store(true, std::memory_order_release);
+        shared_value = 1;
+        while (!release.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        shared_value = 2;
+    });
+    ASSERT_TRUE(spinUntil(writerIn));
+    release.store(true, std::memory_order_release);
+    {
+        sync::ReadLockGuard lock(mu);
+        // The reader can only get in after the writer fully finished.
+        EXPECT_EQ(shared_value, 2);
+    }
+    writer.join();
+}
+
+TEST(SyncSharedMutex, SharedAcquisitionObeysTheHierarchy)
+{
+    if (!sync::hierarchyChecked())
+        GTEST_SKIP() << "hierarchy checker compiled out (Release)";
+    sync::SharedMutex lo{"shared_lo", 10};
+    sync::Mutex hi{"plain_hi", 20};
+    DeathScope death;
+    hi.lock();
+    EXPECT_THROW(lo.lock_shared(), std::runtime_error);
+    hi.unlock();
+}
+
+// ---------------------------------------------------------------------
+// Stress (re-run under TSan by the tier-1 sync stage)
+// ---------------------------------------------------------------------
+
+TEST(SyncStress, MutexCondVarSharedMutexHammer)
+{
+    constexpr int THREADS = 8;
+    constexpr int ITERS = 2000;
+
+    sync::Mutex mu{"stress_mutex", 10};
+    sync::SharedMutex rw{"stress_rw", 20};
+    sync::CondVar cv;
+    long counter = 0;           // guarded by mu
+    long rwCounter = 0;         // guarded by rw
+
+    std::vector<std::thread> threads;
+    threads.reserve(THREADS);
+    for (int t = 0; t < THREADS; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < ITERS; ++i) {
+                {
+                    sync::LockGuard lock(mu);
+                    ++counter;
+                }
+                if (t % 2 == 0) {
+                    sync::WriteLockGuard lock(rw);
+                    ++rwCounter;
+                } else {
+                    // Readers verify a non-torn value; 10 -> 20 also
+                    // exercises in-order nesting under load.
+                    sync::LockGuard outer(mu);
+                    sync::ReadLockGuard lock(rw);
+                    EXPECT_GE(rwCounter, 0);
+                }
+                // try_lock under contention may fail; fall back to a
+                // blocking acquisition so the final count stays exact.
+                if (!mu.try_lock())
+                    mu.lock();
+                ++counter;
+                mu.unlock();
+            }
+            cv.notify_all();
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    sync::LockGuard lock(mu);
+    EXPECT_EQ(counter, long(THREADS) * ITERS * 2);
+    EXPECT_EQ(rwCounter, long(THREADS / 2) * ITERS);
+}

@@ -340,6 +340,71 @@ TEST(BackgroundQueueStress, ConcurrentSubmitCancelShedHammer)
     EXPECT_EQ(ran.load(), queue.executedCount());
 }
 
+TEST(BackgroundQueueStress, SetCancelTokenRacesWithWorkerPump)
+{
+    // Regression for a missed guard found by the thread-safety
+    // annotation sweep: setCancelToken() rebound the stored token (a
+    // shared_ptr copy) without the queue mutex while workers read it
+    // inside pump()'s critical section.  The token is now
+    // GUARDED_BY(mutex_); this hammer runs rebinding and pumping
+    // concurrently so the tier-1 TSan sync stage would catch any
+    // relapse.
+    std::atomic<uint64_t> ran{0};
+    TestQueue queue(4, [&](TestJob &job) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        return TestResult{job.id};
+    });
+
+    std::atomic<bool> stop{false};
+    std::thread rebinder([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            CancelSource source;        // fresh, untripped state
+            queue.setCancelToken(source.token());
+        }
+    });
+    for (int i = 0; i < 2000; ++i)
+        queue.submit(uint64_t(i % 5), i % 3, TestJob{i});
+    queue.waitIdle();
+    stop.store(true, std::memory_order_release);
+    rebinder.join();
+
+    // Every token installed was untripped, so nothing was dropped.
+    EXPECT_EQ(queue.pendingCount(), 0u);
+    EXPECT_EQ(queue.executedCount(), 2000u);
+    EXPECT_EQ(ran.load(), 2000u);
+}
+
+TEST(BackgroundQueue, CancelDuringPopWindowRunsToCompletion)
+{
+    // Documents the cancel(key)-vs-worker-pop window the annotation
+    // sweep examined: an item a worker has already popped is beyond
+    // cancel's reach — cancel(key) returns 0, the job runs to
+    // completion, and its (now stale) result still arrives in the
+    // inbox.  Consumers must detect staleness themselves; the tier
+    // engine does so with frame-id checks at publication, and keeps
+    // the key in its in-flight set until the stale result is drained
+    // (which is what re-arms wantsReopt for that frame).
+    Gate gate;
+    TestQueue queue(1, [&](TestJob &job) {
+        if (job.id == 0)
+            gate.enter();
+        return TestResult{job.id};
+    });
+
+    queue.submit(42, 0, TestJob{0});
+    gate.waitEntered();
+    // The worker holds the popped item; nothing is pending.
+    EXPECT_EQ(queue.cancel(42), 0u);
+    gate.release();
+    queue.waitIdle();
+
+    EXPECT_EQ(queue.executedCount(), 1u);
+    std::vector<TestResult> results;
+    queue.takeCompleted(results);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].id, 0);
+}
+
 // ---------------------------------------------------------------------
 // FrameCache versioned-slot publication
 // ---------------------------------------------------------------------

@@ -61,6 +61,7 @@
 #include "trace/workload.hh"
 #include "util/cancellation.hh"
 #include "util/rng.hh"
+#include "util/sync.hh"
 
 using namespace replay;
 using sim::Machine;
@@ -565,9 +566,10 @@ main(int argc, char **argv)
     }
 
     std::printf("chaosrunner: %u seeds, %llu insts/run, budget %zu "
-                "bytes, %u jobs\n",
+                "bytes, %u jobs, lock-hierarchy checker %s\n",
                 opt.seeds, (unsigned long long)opt.insts,
-                opt.budgetBytes, opt.jobs);
+                opt.budgetBytes, opt.jobs,
+                sync::hierarchyChecked() ? "armed" : "off");
 
     phaseEngineSoak(opt);
     phaseIoSoak(opt);
