@@ -31,7 +31,8 @@ else
     # (nondeterminism).  Gated metrics: sweep insts/s, engine frames/s,
     # and — since the SoA slab IR — pass-level optimizer opt-uops/s
     # (explore the same datapath interactively with the BM_Opt* benches
-    # in bench/bench_hotpath.cc).  The checked-in baseline is the
+    # in bench/bench_hotpath.cc), plus v3 mmap trace-ingest MB/s since
+    # the v3 container (full v2/v3 table: bench/bench_trace_ingest).  The checked-in baseline is the
     # median of several runs, so the 25% floor absorbs machine noise
     # without hiding real regressions.  Skip with
     # REPLAY_SKIP_PERFGATE=1 (e.g. on heavily loaded or throttled
@@ -101,6 +102,22 @@ echo "== tier-1: fuzz-smoke under ASan+UBSan (${ASAN_BUILD}) =="
 cmake -B "$ASAN_BUILD" -S . -DCMAKE_BUILD_TYPE=Debug -DENABLE_SANITIZERS=ON
 cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fuzz
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -L fuzz-smoke
+
+echo "== tier-1: tracev3 corruption fuzz + round-trip under ASan+UBSan =="
+if [ "${REPLAY_SKIP_TRACEV3:-0}" = "1" ]; then
+    echo "warn: REPLAY_SKIP_TRACEV3=1; skipping the tracev3 stage"
+else
+    # v3 container battery re-run under ASan+UBSan: the corruption
+    # matrix and the 500-iteration random-mutation fuzz smoke feed
+    # deliberately damaged containers through the mmap and buffered
+    # decode paths, exactly where a bounds bug would hide from the
+    # functional checks; the round-trip tests pin v2->v3 stream
+    # equivalence for all 14 workloads.  Skip with
+    # REPLAY_SKIP_TRACEV3=1 (the normal-config run in the full suite
+    # above still covers the functional half).
+    cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_tracev3
+    ctest --test-dir "$ASAN_BUILD" --output-on-failure -L tracev3
+fi
 
 echo "== tier-1: chaos-smoke under ASan+UBSan (${ASAN_BUILD}) =="
 if [ "${REPLAY_SKIP_CHAOS:-0}" = "1" ]; then

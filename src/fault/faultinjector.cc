@@ -197,4 +197,20 @@ FaultInjector::truncateFile(const std::string &path, uint64_t keep_bytes)
     return !ec;
 }
 
+bool
+FaultInjector::flipByteAt(const std::string &path, uint64_t offset,
+                          uint8_t mask)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    if (!f)
+        return false;
+    uint8_t byte = 0;
+    const bool ok = std::fseek(f, long(offset), SEEK_SET) == 0 &&
+                    std::fread(&byte, 1, 1, f) == 1 &&
+                    std::fseek(f, long(offset), SEEK_SET) == 0 &&
+                    (byte ^= mask, std::fwrite(&byte, 1, 1, f) == 1);
+    std::fclose(f);
+    return ok;
+}
+
 } // namespace replay::fault

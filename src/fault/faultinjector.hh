@@ -110,6 +110,16 @@ class FaultInjector
                              uint64_t keep_bytes);
 
     /**
+     * Site (a), targeted variant: XOR the byte at @p offset with
+     * @p mask.  The corruption-matrix tests aim this at one structural
+     * field of a container (a magic, a length, a checksum) to prove
+     * the exact field is guarded; corruptFileBytes() is the scattershot
+     * version.  Applying the same mask twice restores the file.
+     */
+    static bool flipByteAt(const std::string &path, uint64_t offset,
+                           uint8_t mask = 0xff);
+
+    /**
      * Hash of @p body's mutable fields (opcodes and immediates).  The
      * sequencer compares against the pristine hash after an injection:
      * a second flip on the same bit reverts the first, and a reverted

@@ -1,5 +1,6 @@
 #include "sim/sweep.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
@@ -63,13 +64,41 @@ runSweep(const std::vector<SweepCell> &cells, const SweepOptions &opts)
             tasks.push_back({&cell, c, t});
     }
 
+    // Corpus resolution: a hit replays the recorded container, a miss
+    // re-synthesizes.  Either way the record stream is identical (the
+    // manifest digest pins it), so the choice only affects speed —
+    // except a *corrupt* hit, which throws instead of degrading.
+    std::atomic<unsigned> corpus_hits{0}, corpus_misses{0};
+    auto openTaskTrace =
+        [&](const Task &task) -> std::unique_ptr<trace::TraceSource> {
+        if (opts.corpus) {
+            const trace::CorpusEntry *entry = opts.corpus->find(
+                task.cell->workload->name, task.traceIdx, insts);
+            if (entry) {
+                trace::TraceError err;
+                auto src = opts.corpus->open(*entry, insts, &err);
+                if (!src)
+                    throw std::runtime_error("corpus trace '" +
+                                             entry->id +
+                                             "': " + err.describe());
+                corpus_hits.fetch_add(1, std::memory_order_relaxed);
+                return src;
+            }
+            corpus_misses.fetch_add(1, std::memory_order_relaxed);
+        }
+        return task.cell->workload->openTrace(task.traceIdx, insts);
+    };
+
     if (opts.warmup && !tasks.empty()) {
         // Untimed cold-start pass over the first task (see
-        // SweepOptions::warmup); its stats are discarded.
+        // SweepOptions::warmup); its stats are discarded — as are its
+        // corpus hit/miss counts, which only describe the timed pass.
         const Task &task = tasks.front();
-        auto src = task.cell->workload->openTrace(task.traceIdx, insts);
+        auto src = openTaskTrace(task);
         (void)simulateTrace(task.cell->cfg, *src,
                             task.cell->workload->name);
+        corpus_hits.store(0, std::memory_order_relaxed);
+        corpus_misses.store(0, std::memory_order_relaxed);
     }
 
     const auto start = std::chrono::steady_clock::now();
@@ -104,8 +133,7 @@ runSweep(const std::vector<SweepCell> &cells, const SweepOptions &opts)
                    " trace=" + std::to_string(task.traceIdx) + "]";
         };
         try {
-            auto src =
-                task.cell->workload->openTrace(task.traceIdx, insts);
+            auto src = openTaskTrace(task);
             slots[i] = simulateTrace(cfg, *src,
                                      task.cell->workload->name);
         } catch (const CancelledError &e) {
@@ -118,6 +146,8 @@ runSweep(const std::vector<SweepCell> &cells, const SweepOptions &opts)
     SweepResult result;
     result.jobs = jobs;
     result.traceRuns = unsigned(tasks.size());
+    result.corpusHits = corpus_hits.load(std::memory_order_relaxed);
+    result.corpusMisses = corpus_misses.load(std::memory_order_relaxed);
     result.cells.resize(cells.size());
 
     // Canonical merge: slot order is (cell 0 trace 0, cell 0 trace 1,

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/runner.hh"
+#include "trace/corpus.hh"
 
 namespace replay::sim {
 
@@ -76,6 +77,19 @@ struct SweepOptions
      * cleanly (see runSweep), it does not silently drop the cell.
      */
     unsigned taskDeadlineMillis = 0;
+
+    /**
+     * Optional trace corpus: when set, each (cell, trace) task first
+     * looks its (workload, hot-spot) pair up in the manifest and, on a
+     * hit long enough to cover the replay budget, replays the recorded
+     * container instead of re-synthesizing.  A miss falls back to live
+     * synthesis — the streams are digest-pinned identical, so results
+     * never depend on which path served a task.  A *corrupt* hit (bad
+     * container, stale manifest) aborts the sweep rather than silently
+     * degrading: the corpus exists to make inputs reproducible, and a
+     * sweep that quietly re-synthesized would defeat that.
+     */
+    const trace::TraceCorpus *corpus = nullptr;
 };
 
 struct SweepResult
@@ -86,6 +100,8 @@ struct SweepResult
     double wallSeconds = 0;
     unsigned jobs = 1;          ///< worker threads actually used
     unsigned traceRuns = 0;     ///< (cell, trace) simulations executed
+    unsigned corpusHits = 0;    ///< tasks replayed from the corpus
+    unsigned corpusMisses = 0;  ///< tasks that fell back to synthesis
 
     uint64_t
     totalInsts() const

@@ -1,0 +1,129 @@
+#include "trace/chunk.hh"
+
+namespace replay::trace::wire {
+
+size_t
+encodeRecord(const TraceRecord &rec, uint8_t *out)
+{
+    Encoder e{out};
+    e.u32(rec.pc);
+    e.u32(rec.nextPc);
+    e.u8(rec.length);
+    e.u8(rec.taken);
+    e.u8(rec.wroteFlags);
+    e.u8(rec.flagsAfter);
+
+    // Instruction encoding ("raw instruction data").
+    const x86::Inst &in = rec.inst;
+    e.u8(uint8_t(in.mnem));
+    e.u8(uint8_t(in.form));
+    e.u8(uint8_t(in.cc));
+    e.u8(uint8_t(in.reg1));
+    e.u8(uint8_t(in.reg2));
+    e.u8(uint8_t(in.freg1));
+    e.u8(uint8_t(in.freg2));
+    e.u8(uint8_t(in.mem.base));
+    e.u8(uint8_t(in.mem.index));
+    e.u8(in.mem.scale);
+    e.u32(uint32_t(in.mem.disp));
+    e.u64(uint64_t(in.imm));
+    e.u32(in.target);
+    e.u8(in.opSize);
+
+    // Side effects.
+    e.u8(rec.numRegWrites);
+    for (unsigned i = 0; i < TraceRecord::MAX_REG_WRITES; ++i) {
+        e.u8(uint8_t(rec.regWrites[i].reg));
+        e.u32(rec.regWrites[i].value);
+    }
+    e.u8(rec.numMemOps);
+    for (unsigned i = 0; i < TraceRecord::MAX_MEM_OPS; ++i) {
+        e.u8(rec.memOps[i].isStore);
+        e.u32(rec.memOps[i].addr);
+        e.u8(rec.memOps[i].size);
+        e.u32(rec.memOps[i].data);
+    }
+    e.u8(rec.numFregWrites);
+    e.u8(uint8_t(rec.fregWrite.reg));
+    uint32_t raw = 0;
+    std::memcpy(&raw, &rec.fregWrite.value, 4);
+    e.u32(raw);
+    return e.len;
+}
+
+TraceRecord
+decodeRecord(const uint8_t *buf)
+{
+    Decoder d{buf};
+    TraceRecord rec;
+    rec.pc = d.u32();
+    rec.nextPc = d.u32();
+    rec.length = d.u8();
+    rec.taken = d.u8();
+    rec.wroteFlags = d.u8();
+    rec.flagsAfter = d.u8();
+
+    x86::Inst &in = rec.inst;
+    in.mnem = static_cast<x86::Mnem>(d.u8());
+    in.form = static_cast<x86::Form>(d.u8());
+    in.cc = static_cast<x86::Cond>(d.u8());
+    in.reg1 = static_cast<x86::Reg>(d.u8());
+    in.reg2 = static_cast<x86::Reg>(d.u8());
+    in.freg1 = static_cast<x86::FReg>(d.u8());
+    in.freg2 = static_cast<x86::FReg>(d.u8());
+    in.mem.base = static_cast<x86::Reg>(d.u8());
+    in.mem.index = static_cast<x86::Reg>(d.u8());
+    in.mem.scale = d.u8();
+    in.mem.disp = int32_t(d.u32());
+    in.imm = int64_t(d.u64());
+    in.target = d.u32();
+    in.opSize = d.u8();
+
+    rec.numRegWrites = d.u8();
+    for (unsigned i = 0; i < TraceRecord::MAX_REG_WRITES; ++i) {
+        rec.regWrites[i].reg = static_cast<x86::Reg>(d.u8());
+        rec.regWrites[i].value = d.u32();
+    }
+    rec.numMemOps = d.u8();
+    for (unsigned i = 0; i < TraceRecord::MAX_MEM_OPS; ++i) {
+        rec.memOps[i].isStore = d.u8();
+        rec.memOps[i].addr = d.u32();
+        rec.memOps[i].size = d.u8();
+        rec.memOps[i].data = d.u32();
+    }
+    rec.numFregWrites = d.u8();
+    rec.fregWrite.reg = static_cast<x86::FReg>(d.u8());
+    const uint32_t raw = d.u32();
+    std::memcpy(&rec.fregWrite.value, &raw, 4);
+    return rec;
+}
+
+size_t
+recordWireBytes()
+{
+    static const size_t size = [] {
+        uint8_t buf[MAX_RECORD_BYTES];
+        return encodeRecord(TraceRecord{}, buf);
+    }();
+    return size;
+}
+
+uint64_t
+streamDigest(TraceSource &src, uint64_t max_records)
+{
+    uint8_t buf[MAX_RECORD_BYTES];
+    uint64_t h = 14695981039346656037ULL;
+    uint64_t n = 0;
+    while (!src.done() && (max_records == 0 || n < max_records)) {
+        const size_t len = encodeRecord(*src.peek(), buf);
+        for (size_t i = 0; i < len; ++i) {
+            h ^= buf[i];
+            h *= 1099511628211ULL;
+        }
+        src.advance();
+        ++n;
+    }
+    return h;
+}
+
+} // namespace replay::trace::wire

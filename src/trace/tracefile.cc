@@ -6,6 +6,7 @@
 #include <set>
 #include <thread>
 
+#include "trace/chunk.hh"
 #include "util/logging.hh"
 #include "util/sync.hh"
 #include "x86/executor.hh"
@@ -20,202 +21,21 @@ constexpr uint32_t VERSION = 2;
 /** Header: magic, version, encoded record size, record count. */
 constexpr size_t HEADER_BYTES = 4 + 4 + 4 + 8;
 
+using wire::decodeRecord;
+using wire::encodeRecord;
+
 /** FNV-1a over a record payload — the per-record integrity guard. */
 uint32_t
 checksum(const uint8_t *buf, size_t len)
 {
-    uint32_t h = 0x811c9dc5u;
-    for (size_t i = 0; i < len; ++i) {
-        h ^= buf[i];
-        h *= 0x01000193u;
-    }
-    return h;
-}
-
-/**
- * On-disk record layout: every field written explicitly and
- * little-endian via fixed-width integers, so files are portable across
- * compilers (no struct memcpy).
- */
-struct Encoder
-{
-    uint8_t buf[128];
-    size_t len = 0;
-
-    void
-    u8(uint8_t v)
-    {
-        buf[len++] = v;
-    }
-    void
-    u16(uint16_t v)
-    {
-        u8(uint8_t(v));
-        u8(uint8_t(v >> 8));
-    }
-    void
-    u32(uint32_t v)
-    {
-        u16(uint16_t(v));
-        u16(uint16_t(v >> 16));
-    }
-    void
-    u64(uint64_t v)
-    {
-        u32(uint32_t(v));
-        u32(uint32_t(v >> 32));
-    }
-};
-
-struct Decoder
-{
-    const uint8_t *buf;
-    size_t pos = 0;
-
-    uint8_t
-    u8()
-    {
-        return buf[pos++];
-    }
-    uint16_t
-    u16()
-    {
-        const uint16_t lo = u8();
-        return uint16_t(lo | (uint16_t(u8()) << 8));
-    }
-    uint32_t
-    u32()
-    {
-        const uint32_t lo = u16();
-        return lo | (uint32_t(u16()) << 16);
-    }
-    uint64_t
-    u64()
-    {
-        const uint64_t lo = u32();
-        return lo | (uint64_t(u32()) << 32);
-    }
-};
-
-size_t
-encodeHeader(uint64_t records, uint8_t *out)
-{
-    Encoder e;
-    e.u32(MAGIC);
-    e.u32(VERSION);
-    e.u32(0);               // patched to recordBytes() below
-    e.u64(records);
-    std::memcpy(out, e.buf, e.len);
-    return e.len;
-}
-
-size_t
-encodeRecord(const TraceRecord &rec, uint8_t *out)
-{
-    Encoder e;
-    e.u32(rec.pc);
-    e.u32(rec.nextPc);
-    e.u8(rec.length);
-    e.u8(rec.taken);
-    e.u8(rec.wroteFlags);
-    e.u8(rec.flagsAfter);
-
-    // Instruction encoding ("raw instruction data").
-    const x86::Inst &in = rec.inst;
-    e.u8(uint8_t(in.mnem));
-    e.u8(uint8_t(in.form));
-    e.u8(uint8_t(in.cc));
-    e.u8(uint8_t(in.reg1));
-    e.u8(uint8_t(in.reg2));
-    e.u8(uint8_t(in.freg1));
-    e.u8(uint8_t(in.freg2));
-    e.u8(uint8_t(in.mem.base));
-    e.u8(uint8_t(in.mem.index));
-    e.u8(in.mem.scale);
-    e.u32(uint32_t(in.mem.disp));
-    e.u64(uint64_t(in.imm));
-    e.u32(in.target);
-    e.u8(in.opSize);
-
-    // Side effects.
-    e.u8(rec.numRegWrites);
-    for (unsigned i = 0; i < TraceRecord::MAX_REG_WRITES; ++i) {
-        e.u8(uint8_t(rec.regWrites[i].reg));
-        e.u32(rec.regWrites[i].value);
-    }
-    e.u8(rec.numMemOps);
-    for (unsigned i = 0; i < TraceRecord::MAX_MEM_OPS; ++i) {
-        e.u8(rec.memOps[i].isStore);
-        e.u32(rec.memOps[i].addr);
-        e.u8(rec.memOps[i].size);
-        e.u32(rec.memOps[i].data);
-    }
-    e.u8(rec.numFregWrites);
-    e.u8(uint8_t(rec.fregWrite.reg));
-    uint32_t raw = 0;
-    std::memcpy(&raw, &rec.fregWrite.value, 4);
-    e.u32(raw);
-
-    std::memcpy(out, e.buf, e.len);
-    return e.len;
+    return wire::fnv1a32(buf, len);
 }
 
 /** Fixed encoded payload size (every record encodes identically). */
 size_t
 recordBytes()
 {
-    static const size_t size = [] {
-        uint8_t buf[128];
-        return encodeRecord(TraceRecord{}, buf);
-    }();
-    return size;
-}
-
-TraceRecord
-decodeRecord(const uint8_t *buf)
-{
-    Decoder d{buf};
-    TraceRecord rec;
-    rec.pc = d.u32();
-    rec.nextPc = d.u32();
-    rec.length = d.u8();
-    rec.taken = d.u8();
-    rec.wroteFlags = d.u8();
-    rec.flagsAfter = d.u8();
-
-    x86::Inst &in = rec.inst;
-    in.mnem = static_cast<x86::Mnem>(d.u8());
-    in.form = static_cast<x86::Form>(d.u8());
-    in.cc = static_cast<x86::Cond>(d.u8());
-    in.reg1 = static_cast<x86::Reg>(d.u8());
-    in.reg2 = static_cast<x86::Reg>(d.u8());
-    in.freg1 = static_cast<x86::FReg>(d.u8());
-    in.freg2 = static_cast<x86::FReg>(d.u8());
-    in.mem.base = static_cast<x86::Reg>(d.u8());
-    in.mem.index = static_cast<x86::Reg>(d.u8());
-    in.mem.scale = d.u8();
-    in.mem.disp = int32_t(d.u32());
-    in.imm = int64_t(d.u64());
-    in.target = d.u32();
-    in.opSize = d.u8();
-
-    rec.numRegWrites = d.u8();
-    for (unsigned i = 0; i < TraceRecord::MAX_REG_WRITES; ++i) {
-        rec.regWrites[i].reg = static_cast<x86::Reg>(d.u8());
-        rec.regWrites[i].value = d.u32();
-    }
-    rec.numMemOps = d.u8();
-    for (unsigned i = 0; i < TraceRecord::MAX_MEM_OPS; ++i) {
-        rec.memOps[i].isStore = d.u8();
-        rec.memOps[i].addr = d.u32();
-        rec.memOps[i].size = d.u8();
-        rec.memOps[i].data = d.u32();
-    }
-    rec.numFregWrites = d.u8();
-    rec.fregWrite.reg = static_cast<x86::FReg>(d.u8());
-    const uint32_t raw = d.u32();
-    std::memcpy(&rec.fregWrite.value, &raw, 4);
-    return rec;
+    return wire::recordWireBytes();
 }
 
 /** Write the header with the record-size length guard filled in. */
@@ -223,14 +43,32 @@ bool
 writeHeader(std::FILE *file, uint64_t records)
 {
     uint8_t buf[HEADER_BYTES];
-    encodeHeader(records, buf);
-    Encoder e;
+    wire::Encoder e{buf};
+    e.u32(MAGIC);
+    e.u32(VERSION);
     e.u32(uint32_t(recordBytes()));
-    std::memcpy(buf + 8, e.buf, 4);
+    e.u64(records);
     return std::fwrite(buf, sizeof(buf), 1, file) == 1;
 }
 
 } // anonymous namespace
+
+std::string
+TraceError::describe() const
+{
+    std::string out = traceErrorKindName(kind);
+    out += ": ";
+    out += message;
+    if (!path.empty()) {
+        out += " [";
+        out += path;
+        out += " @byte " + std::to_string(byteOffset);
+        if (chunkIndex >= 0)
+            out += " chunk " + std::to_string(chunkIndex);
+        out += "]";
+    }
+    return out;
+}
 
 const char *
 traceErrorKindName(TraceError::Kind kind)
@@ -248,6 +86,9 @@ traceErrorKindName(TraceError::Kind kind)
       case TraceError::Kind::FLUSH_FAILED:    return "flush_failed";
       case TraceError::Kind::READ_ERROR:      return "read_error";
       case TraceError::Kind::QUARANTINED:     return "quarantined";
+      case TraceError::Kind::BAD_CHUNK:       return "bad_chunk";
+      case TraceError::Kind::BAD_INDEX:       return "bad_index";
+      case TraceError::Kind::BAD_CODEC:       return "bad_codec";
     }
     return "?";
 }
@@ -329,11 +170,9 @@ TraceFileWriter::write(const TraceRecord &rec)
 {
     if (!file_)
         return;
-    uint8_t buf[4 + 128];
+    uint8_t buf[4 + wire::MAX_RECORD_BYTES];
     const size_t len = encodeRecord(rec, buf + 4);
-    Encoder e;
-    e.u32(checksum(buf + 4, len));
-    std::memcpy(buf, e.buf, 4);
+    wire::store32(buf, checksum(buf + 4, len));
     if (std::fwrite(buf, 4 + len, 1, file_) != 1) {
         fail(TraceError::Kind::WRITE_FAILED, "short write to trace file");
         return;
@@ -380,8 +219,13 @@ TraceFileWriter::dumpProgram(const x86::Program &program, uint64_t insts,
 void
 FileTraceSource::fail(TraceError::Kind kind, std::string msg)
 {
-    if (error_.ok())
-        error_ = TraceError::make(kind, std::move(msg));
+    if (error_.ok()) {
+        // Anchor the diagnostic to the first unread byte: the header
+        // for open-time failures, the failed record's offset afterward.
+        const uint64_t offset =
+            total_ ? HEADER_BYTES + produced_ * (4 + recordBytes()) : 0;
+        error_ = TraceError::at(kind, std::move(msg), path_, offset);
+    }
     // End the stream at the last valid record: no more fills.
     total_ = produced_;
     if (file_) {
@@ -411,7 +255,7 @@ FileTraceSource::FileTraceSource(const std::string &path)
              "trace file '" + path + "' has no header");
         return;
     }
-    Decoder d{buf};
+    wire::Decoder d{buf};
     const uint32_t magic = d.u32();
     const uint32_t version = d.u32();
     const uint32_t rec_bytes = d.u32();
@@ -469,7 +313,7 @@ FileTraceSource::fill(unsigned n)
         const size_t full = got / rec_size;
         for (size_t i = 0; i < full; ++i) {
             const uint8_t *buf = batch_.data() + i * rec_size;
-            Decoder d{buf};
+            wire::Decoder d{buf};
             if (d.u32() != checksum(buf + 4, recordBytes())) {
                 fail(TraceError::Kind::BAD_CHECKSUM,
                      "trace file '" + path_ +

@@ -48,18 +48,48 @@ struct TraceError
         FLUSH_FAILED,       ///< flush/close failed
         READ_ERROR,         ///< ferror persisted through retries
         QUARANTINED,        ///< trace previously failed persistently
+        BAD_CHUNK,          ///< v3 chunk header corrupt or stale
+        BAD_INDEX,          ///< v3 footer/index corrupt or inconsistent
+        BAD_CODEC,          ///< v3 chunk codec unknown or unavailable
     };
 
     Kind kind = Kind::NONE;
     std::string message;
+
+    // Diagnostic anchors: every error names the file it came from and
+    // where in it the failure was detected, so an operator can go from
+    // a log line straight to a hexdump offset.
+    std::string path;       ///< offending trace file ("" = not file-bound)
+    uint64_t byteOffset = 0; ///< file offset nearest the failure
+    int64_t chunkIndex = -1; ///< v3 chunk ordinal, -1 = not chunk-scoped
 
     bool ok() const { return kind == Kind::NONE; }
 
     static TraceError
     make(Kind kind, std::string msg)
     {
-        return {kind, std::move(msg)};
+        TraceError err;
+        err.kind = kind;
+        err.message = std::move(msg);
+        return err;
     }
+
+    /** Error anchored to a byte offset (and optionally a chunk). */
+    static TraceError
+    at(Kind kind, std::string msg, std::string file_path,
+       uint64_t byte_offset, int64_t chunk_index = -1)
+    {
+        TraceError err;
+        err.kind = kind;
+        err.message = std::move(msg);
+        err.path = std::move(file_path);
+        err.byteOffset = byte_offset;
+        err.chunkIndex = chunk_index;
+        return err;
+    }
+
+    /** One-line report: kind, message, and the diagnostic anchors. */
+    std::string describe() const;
 };
 
 const char *traceErrorKindName(TraceError::Kind kind);

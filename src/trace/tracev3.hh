@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Trace container format v3: chunked, block-compressed, seekable.
+ *
+ * The v2 container is a flat record stream read front to back with
+ * batched fread — fine for one-shot replays, a bottleneck for the
+ * sharded multi-session server the ROADMAP names: no random access, no
+ * resume, one checksum multiply per payload byte.  v3 restructures the
+ * container around *chunks*:
+ *
+ *   HEADER   magic/version/record-size guard, record count, codec,
+ *            chunk size, index offset, header checksum
+ *   CHUNK*   [chunk header: magic, payload bytes, raw bytes, records,
+ *             first record, checksum][payload]
+ *   INDEX    one entry per chunk {offset, first record, payload bytes,
+ *             records, checksum}, FNV-guarded
+ *   FOOTER   index offset, chunk count, index checksum, magic
+ *
+ * Each chunk's payload is the canonical wire encoding of its records
+ * (see trace/chunk.hh), either stored raw or zlib-compressed; its
+ * checksum is a word-at-a-time FNV over the *stored* bytes, so
+ * integrity is verified before any decompression touches the data.
+ * The index footer makes the container seekable: seekToRecord() binary
+ * searches the index and resumes mid-stream, which is what lets a
+ * server session fast-forward to its checkpoint instead of re-reading
+ * the prefix.
+ *
+ * Reads go through an mmap zero-copy path by default (the chunk
+ * payload is checksummed and decoded directly out of the mapping, no
+ * fread, no staging copy), falling back to buffered FILE* reads when
+ * mmap is unavailable or refused.  Error semantics mirror v2 exactly:
+ * a damaged file yields its valid prefix and a typed TraceError
+ * (TRUNCATED / BAD_CHECKSUM / READ_ERROR / ...) carrying the byte
+ * offset, chunk index, and path of the failure; transient read faults
+ * retry with backoff and persistently bad paths are quarantined
+ * process-wide, and the same fault-injector hook exercises both
+ * paths.
+ */
+
+#ifndef REPLAY_TRACE_TRACEV3_HH
+#define REPLAY_TRACE_TRACEV3_HH
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/tracefile.hh"
+
+namespace replay::trace {
+
+/** v3 on-disk layout constants (tests corrupt fields by offset). */
+namespace v3 {
+
+constexpr uint32_t MAGIC = 0x52504c54;        // "RPLT" (shared sniff)
+constexpr uint32_t VERSION = 3;
+constexpr uint32_t CHUNK_MAGIC = 0x334b4843;  // "CHK3"
+constexpr uint32_t FOOTER_MAGIC = 0x33465052; // "RPF3"
+
+/** Header: magic, version, recordBytes, recordCount, codec,
+ *  chunkRecords, indexOffset, headerChecksum. */
+constexpr size_t HEADER_BYTES = 4 + 4 + 4 + 8 + 4 + 4 + 8 + 4;
+
+/** Chunk header: magic, payloadBytes, rawBytes, records, firstRecord,
+ *  checksum. */
+constexpr size_t CHUNK_HEADER_BYTES = 4 + 4 + 4 + 4 + 8 + 4;
+
+/** Index entry: offset, firstRecord, payloadBytes, records, checksum. */
+constexpr size_t INDEX_ENTRY_BYTES = 8 + 8 + 4 + 4 + 4;
+
+/** Footer: indexOffset, chunkCount, indexChecksum, reserved, magic. */
+constexpr size_t FOOTER_BYTES = 8 + 4 + 4 + 4 + 4;
+
+// Field offsets within the header (for targeted corruption tests).
+constexpr size_t HDR_OFF_MAGIC = 0;
+constexpr size_t HDR_OFF_VERSION = 4;
+constexpr size_t HDR_OFF_RECORD_BYTES = 8;
+constexpr size_t HDR_OFF_RECORD_COUNT = 12;
+constexpr size_t HDR_OFF_CODEC = 20;
+constexpr size_t HDR_OFF_CHUNK_RECORDS = 24;
+constexpr size_t HDR_OFF_INDEX_OFFSET = 28;
+constexpr size_t HDR_OFF_CHECKSUM = 36;
+
+// Field offsets within a chunk header.
+constexpr size_t CHK_OFF_MAGIC = 0;
+constexpr size_t CHK_OFF_PAYLOAD_BYTES = 4;
+constexpr size_t CHK_OFF_RAW_BYTES = 8;
+constexpr size_t CHK_OFF_RECORDS = 12;
+constexpr size_t CHK_OFF_FIRST_RECORD = 16;
+constexpr size_t CHK_OFF_CHECKSUM = 24;
+
+} // namespace v3
+
+/** Chunk payload codecs. */
+enum class V3Codec : uint32_t
+{
+    RAW = 0,        ///< stored verbatim (fastest ingest, zero-copy)
+    ZLIB = 1,       ///< zlib-deflated (compact corpus artifacts)
+};
+
+const char *v3CodecName(V3Codec codec);
+
+/** True when this build can inflate ZLIB chunks. */
+bool v3ZlibAvailable();
+
+/** Writer/recorder options. */
+struct V3Options
+{
+    /** Records per chunk; also the seek granularity.  The default
+     *  (~100kB raw per chunk) amortizes the per-chunk header while
+     *  keeping resume cheap. */
+    uint32_t chunkRecords = 1024;
+
+    V3Codec codec = defaultCodec();
+
+    /** ZLIB when compiled in, RAW otherwise. */
+    static V3Codec defaultCodec();
+};
+
+/** Streaming writer for the v3 container. */
+class TraceV3Writer
+{
+  public:
+    explicit TraceV3Writer(const std::string &path, V3Options opts = {});
+    ~TraceV3Writer();
+
+    TraceV3Writer(const TraceV3Writer &) = delete;
+    TraceV3Writer &operator=(const TraceV3Writer &) = delete;
+
+    /** Append one record (no-op once in the error state). */
+    void write(const TraceRecord &rec);
+
+    /** Flush the pending chunk, write index + footer, patch the
+     *  header, and close.  Returns the first error of the writer's
+     *  whole life. */
+    TraceError close();
+
+    bool ok() const { return error_.ok(); }
+    const TraceError &error() const { return error_; }
+    uint64_t written() const { return count_; }
+
+    /** Convenience: dump the first @p insts of a program to @p path. */
+    static uint64_t dumpProgram(const x86::Program &program,
+                                uint64_t insts, const std::string &path,
+                                V3Options opts = {});
+
+  private:
+    struct PendingEntry
+    {
+        uint64_t offset;
+        uint64_t firstRecord;
+        uint32_t payloadBytes;
+        uint32_t records;
+        uint32_t checksum;
+    };
+
+    void fail(TraceError::Kind kind, std::string msg);
+    bool flushChunk();
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    V3Options opts_;
+    uint64_t count_ = 0;            ///< records written so far
+    uint64_t fileOffset_ = 0;       ///< running write position
+    std::vector<uint8_t> raw_;      ///< pending encoded records
+    uint32_t pendingRecords_ = 0;
+    std::vector<uint8_t> zbuf_;     ///< compression scratch
+    std::vector<PendingEntry> index_;
+    TraceError error_;
+};
+
+/** Read-side options for TraceV3Source. */
+struct V3SourceOptions
+{
+    /** Map the file and decode straight out of the mapping; the
+     *  REPLAY_TRACEV3_NO_MMAP environment variable (or mmap failure)
+     *  forces the buffered FILE* fallback. */
+    bool preferMmap = true;
+
+    /** Present only the first N records (0 = all).  Replay budget cap
+     *  for corpus traces recorded longer than a sweep needs. */
+    uint64_t limitRecords = 0;
+};
+
+/** TraceSource over a v3 container. */
+class TraceV3Source : public TraceSource
+{
+  public:
+    using Options = V3SourceOptions;
+
+    explicit TraceV3Source(const std::string &path, Options opts = {});
+    ~TraceV3Source() override;
+
+    TraceV3Source(const TraceV3Source &) = delete;
+    TraceV3Source &operator=(const TraceV3Source &) = delete;
+
+    const TraceRecord *peek(unsigned ahead = 0) override;
+    void advance() override;
+    bool done() override;
+    uint64_t consumed() const override { return consumed_ - base_; }
+
+    bool ok() const { return error_.ok(); }
+    const TraceError &error() const { return error_; }
+
+    /** Records the container holds (after the limit cap). */
+    uint64_t totalRecords() const { return effTotal_; }
+
+    /** Number of chunks the index describes. */
+    size_t chunkCount() const { return index_.size(); }
+
+    /** True when the mmap zero-copy path is active. */
+    bool usedMmap() const { return map_ != nullptr; }
+
+    /**
+     * Reposition the cursor to absolute record @p n (0-based), using
+     * the index to land on the owning chunk without touching the
+     * prefix.  @p n at or past the end positions the source at EOF
+     * (done() == true).  Returns false iff the source is in an error
+     * state.  consumed() counts from the seek target onward.
+     */
+    bool seekToRecord(uint64_t n);
+
+    /**
+     * Chaos hook: when set, each chunk load first asks the hook
+     * whether to behave as a failed read (transient I/O fault).  The
+     * injected fault exercises exactly the retry/backoff path real
+     * transient EIO does — in both the buffered and mmap modes.
+     */
+    void
+    setIoFaultInjector(std::function<bool()> hook)
+    {
+        ioInject_ = std::move(hook);
+    }
+
+    /** Transient chunk-load faults absorbed by retrying. */
+    uint64_t ioRetries() const { return ioRetries_; }
+
+    /** Consecutive same-chunk retries before declaring READ_ERROR. */
+    static constexpr unsigned MAX_READ_RETRIES = 3;
+
+  private:
+    struct IndexEntry
+    {
+        uint64_t offset;
+        uint64_t firstRecord;
+        uint32_t payloadBytes;
+        uint32_t records;
+        uint32_t checksum;
+    };
+
+    struct DecodedChunk
+    {
+        uint64_t firstRecord = 0;
+        std::vector<TraceRecord> recs;
+    };
+
+    void fail(TraceError::Kind kind, std::string msg, uint64_t offset,
+              int64_t chunk = -1);
+    bool openAndValidate(const std::string &path);
+    const uint8_t *loadBytes(uint64_t offset, size_t len, size_t chunk);
+    bool loadNextChunk();
+    const TraceRecord *locate(uint64_t rec);
+    void recycleFront();
+
+    std::FILE *file_ = nullptr;
+    const uint8_t *map_ = nullptr;
+    size_t mapLen_ = 0;
+    std::string path_;
+    Options opts_;
+
+    uint64_t total_ = 0;        ///< records the container holds
+    uint64_t effTotal_ = 0;     ///< min(total, limit)
+    uint64_t consumed_ = 0;     ///< absolute cursor (record index)
+    uint64_t base_ = 0;         ///< consumed() origin (seek target)
+    uint32_t recordBytes_ = 0;
+    V3Codec codec_ = V3Codec::RAW;
+    std::vector<IndexEntry> index_;
+    size_t nextChunk_ = 0;      ///< next index entry to load
+
+    std::vector<DecodedChunk> window_;  ///< decoded, front = oldest
+    std::vector<std::vector<TraceRecord>> pool_;
+
+    std::vector<uint8_t> ioBuf_;    ///< buffered-mode chunk staging
+    std::vector<uint8_t> rawBuf_;   ///< decompression scratch
+
+    TraceError error_;
+    std::function<bool()> ioInject_;
+    uint64_t ioRetries_ = 0;
+};
+
+/** Parsed container metadata (tracec inspect/index, layout tests). */
+struct V3Info
+{
+    TraceError error;           ///< why inspection stopped, if it did
+
+    uint64_t fileBytes = 0;
+    uint32_t recordBytes = 0;
+    uint64_t recordCount = 0;
+    V3Codec codec = V3Codec::RAW;
+    uint32_t chunkRecords = 0;
+    uint64_t indexOffset = 0;
+
+    struct Chunk
+    {
+        uint64_t offset;
+        uint64_t firstRecord;
+        uint32_t payloadBytes;
+        uint32_t records;
+        uint32_t checksum;
+    };
+    std::vector<Chunk> chunks;
+
+    bool ok() const { return error.ok(); }
+
+    /** Compressed payload bytes across all chunks. */
+    uint64_t payloadBytes() const;
+};
+
+/** Read header/footer/index without touching chunk payloads. */
+V3Info inspectV3(const std::string &path);
+
+/**
+ * Sniff the container version of @p path (4-byte magic + version
+ * field) and open the matching TraceSource.  Sets @p err and returns
+ * nullptr when the file is neither a v2 nor a v3 trace.  @p limit
+ * caps the presented records for v3 (v2 has no cheap cap and reports
+ * its full stream).
+ */
+std::unique_ptr<TraceSource> openTraceFile(const std::string &path,
+                                           TraceError *err = nullptr,
+                                           uint64_t limit = 0);
+
+} // namespace replay::trace
+
+#endif // REPLAY_TRACE_TRACEV3_HH

@@ -28,6 +28,10 @@
 
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
+#include "trace/chunk.hh"
+#include "trace/corpus.hh"
+#include "trace/tracer.hh"
+#include "trace/tracev3.hh"
 #include "trace/workload.hh"
 
 using namespace replay;
@@ -141,6 +145,73 @@ TEST(GoldenSweep, GridDigestMatchesReplaybench)
             << "sweep cell " << i << " (" << result.cells[i].workload
             << "/" << result.cells[i].config << ")";
     }
+}
+
+/**
+ * Sweeping over *recorded v3 trace containers* (via a corpus manifest)
+ * must be bit-identical to live synthesis: same grid digest, same
+ * per-cell fingerprints as kGolden.  Corpus replay adds no sentinel to
+ * the fingerprint — identical input records are the whole guarantee —
+ * so the frozen goldens stay frozen.
+ */
+TEST(GoldenSweep, V3CorpusReplayIsBitIdenticalToTheGoldens)
+{
+    // Record every (workload, hot spot) at the golden budget and pin
+    // each stream with the synthesizer's authoritative digest.
+    const std::string dir = ::testing::TempDir();
+    const std::string manifest = dir + "golden_corpus.json";
+    std::vector<trace::CorpusEntry> entries;
+    for (const trace::Workload &w : trace::standardWorkloads()) {
+        for (unsigned t = 0; t < w.numTraces; ++t) {
+            const x86::Program prog = w.buildProgram(t);
+            trace::CorpusEntry e;
+            e.id = std::string(w.name) + "." + std::to_string(t);
+            e.workload = w.name;
+            e.traceIdx = t;
+            e.records = GOLDEN_BUDGET;
+            e.file = "golden_corpus." + e.id + ".rpl3";
+            trace::TraceV3Writer::dumpProgram(prog, GOLDEN_BUDGET,
+                                              dir + e.file);
+            trace::ExecutorTraceSource live(prog, GOLDEN_BUDGET);
+            e.digest = trace::wire::streamDigest(live);
+            entries.push_back(e);
+        }
+    }
+    ASSERT_TRUE(trace::writeCorpusManifest(manifest, entries).ok());
+
+    trace::clearTraceQuarantine();
+    const trace::TraceCorpus corpus = trace::TraceCorpus::load(manifest);
+    ASSERT_TRUE(corpus.ok()) << corpus.error().describe();
+
+    const std::vector<std::pair<std::string, sim::SimConfig>> cols = {
+        {"RP", sim::SimConfig::make(sim::Machine::RP)},
+        {"RPO", sim::SimConfig::make(sim::Machine::RPO)},
+    };
+    sim::SweepOptions opts;
+    opts.jobs = 2;
+    opts.instsPerTrace = GOLDEN_BUDGET;
+    opts.warmup = false;
+    opts.corpus = &corpus;
+    const auto result =
+        sim::runSweep(sim::gridCells(sim::standardWorkloadRows(), cols),
+                      opts);
+
+    EXPECT_EQ(hex64(result.digest()), GOLDEN_GRID_DIGEST);
+    ASSERT_EQ(result.cells.size(), std::size(kGolden));
+    for (size_t i = 0; i < result.cells.size(); ++i) {
+        EXPECT_EQ(hex64(result.cells[i].fingerprint()),
+                  kGolden[i].fingerprint)
+            << "corpus sweep cell " << i << " ("
+            << result.cells[i].workload << "/" << result.cells[i].config
+            << ") diverged from the golden snapshot";
+    }
+
+    // Every cell must have replayed a recording; none fell back.
+    unsigned traces = 0;
+    for (const trace::Workload &w : trace::standardWorkloads())
+        traces += w.numTraces;
+    EXPECT_EQ(result.corpusHits, 2 * traces);
+    EXPECT_EQ(result.corpusMisses, 0u);
 }
 
 // ---------------------------------------------------------------------

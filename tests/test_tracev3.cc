@@ -1,0 +1,1136 @@
+/**
+ * @file
+ * Trace container v3 test battery.
+ *
+ * Three pillars, matching the hardening contract in DESIGN.md:
+ *
+ *  - Corruption matrix: for every structural field of the container
+ *    (header, chunk headers, payload, index, footer) a paired
+ *    accept/reject check — the pristine file reads fully, the file
+ *    with that one field damaged yields a *typed* TraceError plus the
+ *    valid prefix, and restoring the field restores the full stream.
+ *    Never a crash, never silently wrong data.
+ *
+ *  - Round-trip properties: a v2 container converted to v3 delivers
+ *    the identical record stream for all 14 workloads, across codecs
+ *    (raw/zlib) and read paths (mmap/buffered).
+ *
+ *  - Seek/resume: seekToRecord() agrees with sequential replay at
+ *    chunk boundaries, mid-chunk, EOF and past-EOF, including after a
+ *    transient injected read fault absorbed by the retry path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fault/faultinjector.hh"
+#include "trace/chunk.hh"
+#include "trace/corpus.hh"
+#include "trace/tracefile.hh"
+#include "trace/tracer.hh"
+#include "trace/tracev3.hh"
+#include "trace/workload.hh"
+#include "util/rng.hh"
+
+using namespace replay;
+using namespace replay::trace;
+using fault::FaultInjector;
+using Kind = TraceError::Kind;
+
+namespace {
+
+std::vector<uint8_t>
+slurp(const std::string &path)
+{
+    std::vector<uint8_t> bytes;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return bytes;
+    uint8_t buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+spit(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr) << path;
+    if (!bytes.empty()) {
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                  bytes.size());
+    }
+    std::fclose(f);
+}
+
+/** Rewrite one header field and re-seal the header checksum, so the
+ *  *field* check trips instead of the checksum guard in front of it. */
+void
+patchHeaderField(std::vector<uint8_t> &bytes, size_t off, uint64_t value,
+                 unsigned width)
+{
+    if (width == 8)
+        wire::store64(bytes.data() + off, value);
+    else
+        wire::store32(bytes.data() + off, uint32_t(value));
+    wire::store32(bytes.data() + v3::HDR_OFF_CHECKSUM,
+                  wire::fnv1a32(bytes.data(), v3::HDR_OFF_CHECKSUM));
+}
+
+struct ReadResult
+{
+    uint64_t records = 0;
+    TraceError err;
+    uint64_t ioRetries = 0;
+    std::vector<uint32_t> pcs;
+};
+
+ReadResult
+readV3(const std::string &path, V3SourceOptions opts = {})
+{
+    clearTraceQuarantine();
+    ReadResult r;
+    TraceV3Source src(path, opts);
+    while (!src.done()) {
+        r.pcs.push_back(src.peek()->pc);
+        src.advance();
+    }
+    r.records = src.consumed();
+    r.err = src.error();
+    r.ioRetries = src.ioRetries();
+    return r;
+}
+
+/** Every field of every record must agree between the two sources. */
+void
+expectIdenticalStreams(TraceSource &got_src, TraceSource &want_src)
+{
+    uint64_t n = 0;
+    while (!want_src.done()) {
+        ASSERT_FALSE(got_src.done()) << "stream ended early at " << n;
+        const TraceRecord *got = got_src.peek();
+        const TraceRecord *want = want_src.peek();
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(got->pc, want->pc) << "record " << n;
+        EXPECT_EQ(got->nextPc, want->nextPc) << "record " << n;
+        EXPECT_EQ(got->length, want->length) << "record " << n;
+        EXPECT_EQ(got->taken, want->taken) << "record " << n;
+        EXPECT_EQ(got->flagsAfter, want->flagsAfter) << "record " << n;
+        EXPECT_TRUE(got->inst == want->inst) << "record " << n;
+        ASSERT_EQ(got->numRegWrites, want->numRegWrites) << "record " << n;
+        for (unsigned i = 0; i < want->numRegWrites; ++i) {
+            EXPECT_EQ(got->regWrites[i].reg, want->regWrites[i].reg);
+            EXPECT_EQ(got->regWrites[i].value, want->regWrites[i].value);
+        }
+        ASSERT_EQ(got->numMemOps, want->numMemOps) << "record " << n;
+        for (unsigned i = 0; i < want->numMemOps; ++i) {
+            EXPECT_EQ(got->memOps[i].isStore, want->memOps[i].isStore);
+            EXPECT_EQ(got->memOps[i].addr, want->memOps[i].addr);
+            EXPECT_EQ(got->memOps[i].size, want->memOps[i].size);
+            EXPECT_EQ(got->memOps[i].data, want->memOps[i].data);
+        }
+        got_src.advance();
+        want_src.advance();
+        ++n;
+    }
+    EXPECT_TRUE(got_src.done()) << "stream has extra records past " << n;
+}
+
+/** Copy a v2 container's records into a fresh v3 container. */
+void
+convertV2ToV3(const std::string &v2_path, const std::string &v3_path,
+              V3Options opts = {})
+{
+    FileTraceSource in(v2_path);
+    ASSERT_TRUE(in.ok()) << in.error().describe();
+    TraceV3Writer out(v3_path, opts);
+    while (!in.done()) {
+        out.write(*in.peek());
+        in.advance();
+    }
+    ASSERT_TRUE(in.ok()) << in.error().describe();
+    const TraceError err = out.close();
+    ASSERT_TRUE(err.ok()) << err.describe();
+}
+
+bool
+mmapExpected()
+{
+    return std::getenv("REPLAY_TRACEV3_NO_MMAP") == nullptr;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Corruption matrix
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr uint64_t kNoOffsetCheck = ~uint64_t(0);
+constexpr int64_t kNoChunkCheck = -2;
+
+class TraceV3Corruption : public ::testing::Test
+{
+  protected:
+    static constexpr uint64_t RECORDS = 2600;   // 1024 + 1024 + 552
+
+    static void
+    SetUpTestSuite()
+    {
+        path_ = new std::string(::testing::TempDir() + "matrix.rpl3");
+        const Workload &w = findWorkload("gzip");
+        V3Options opts;
+        opts.chunkRecords = 1024;
+        opts.codec = V3Codec::RAW;  // deterministic chunk geometry
+        TraceV3Writer::dumpProgram(w.buildProgram(0), RECORDS, *path_,
+                                   opts);
+        pristine_ = new std::vector<uint8_t>(slurp(*path_));
+        info_ = new V3Info(inspectV3(*path_));
+        ASSERT_TRUE(info_->ok()) << info_->error.describe();
+        ASSERT_EQ(info_->chunks.size(), 3u);
+        ref_ = new ReadResult(readV3(*path_));
+        ASSERT_TRUE(ref_->err.ok()) << ref_->err.describe();
+        ASSERT_EQ(ref_->records, RECORDS);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete path_;
+        delete pristine_;
+        delete info_;
+        delete ref_;
+    }
+
+    void
+    SetUp() override
+    {
+        spit(*path_, *pristine_);
+        clearTraceQuarantine();
+    }
+
+    /** The damaged file must yield a typed error and the exact valid
+     *  prefix — and corruption must never quarantine the path. */
+    void
+    expectReject(Kind kind, uint64_t prefix,
+                 uint64_t offset = kNoOffsetCheck,
+                 int64_t chunk = kNoChunkCheck)
+    {
+        const ReadResult r = readV3(*path_);
+        EXPECT_EQ(r.err.kind, kind)
+            << "got " << traceErrorKindName(r.err.kind) << ": "
+            << r.err.describe();
+        EXPECT_EQ(r.records, prefix);
+        ASSERT_LE(r.pcs.size(), ref_->pcs.size());
+        EXPECT_TRUE(std::equal(r.pcs.begin(), r.pcs.end(),
+                               ref_->pcs.begin()))
+            << "delivered prefix diverges from the pristine stream";
+        EXPECT_EQ(r.err.path, *path_);
+        if (offset != kNoOffsetCheck) {
+            EXPECT_EQ(r.err.byteOffset, offset);
+        }
+        if (chunk != kNoChunkCheck) {
+            EXPECT_EQ(r.err.chunkIndex, chunk);
+        }
+        EXPECT_FALSE(traceQuarantined(*path_))
+            << "corruption must not quarantine (only persistent "
+               "read errors do)";
+    }
+
+    /** The restored file must deliver the full pristine stream. */
+    void
+    expectPristine()
+    {
+        const ReadResult r = readV3(*path_);
+        EXPECT_TRUE(r.err.ok()) << r.err.describe();
+        EXPECT_EQ(r.records, RECORDS);
+        EXPECT_EQ(r.pcs, ref_->pcs);
+    }
+
+    static std::string *path_;
+    static std::vector<uint8_t> *pristine_;
+    static V3Info *info_;
+    static ReadResult *ref_;
+};
+
+std::string *TraceV3Corruption::path_ = nullptr;
+std::vector<uint8_t> *TraceV3Corruption::pristine_ = nullptr;
+V3Info *TraceV3Corruption::info_ = nullptr;
+ReadResult *TraceV3Corruption::ref_ = nullptr;
+
+} // namespace
+
+TEST_F(TraceV3Corruption, HeaderFieldFlipsAreTypedAndPaired)
+{
+    struct Row
+    {
+        const char *field;
+        uint64_t offset;
+        Kind kind;
+        uint64_t errOffset;
+    };
+    // Fields behind the header checksum surface as BAD_CHECKSUM on a
+    // raw bit-flip (the guard fires before the field is interpreted);
+    // the fields in front of it get their own kinds.
+    const Row rows[] = {
+        {"magic", v3::HDR_OFF_MAGIC, Kind::BAD_MAGIC, v3::HDR_OFF_MAGIC},
+        {"version", v3::HDR_OFF_VERSION, Kind::BAD_VERSION,
+         v3::HDR_OFF_VERSION},
+        {"recordBytes", v3::HDR_OFF_RECORD_BYTES, Kind::BAD_CHECKSUM,
+         v3::HDR_OFF_CHECKSUM},
+        {"recordCount", v3::HDR_OFF_RECORD_COUNT, Kind::BAD_CHECKSUM,
+         v3::HDR_OFF_CHECKSUM},
+        {"codec", v3::HDR_OFF_CODEC, Kind::BAD_CHECKSUM,
+         v3::HDR_OFF_CHECKSUM},
+        {"chunkRecords", v3::HDR_OFF_CHUNK_RECORDS, Kind::BAD_CHECKSUM,
+         v3::HDR_OFF_CHECKSUM},
+        {"indexOffset", v3::HDR_OFF_INDEX_OFFSET, Kind::BAD_CHECKSUM,
+         v3::HDR_OFF_CHECKSUM},
+        {"headerChecksum", v3::HDR_OFF_CHECKSUM, Kind::BAD_CHECKSUM,
+         v3::HDR_OFF_CHECKSUM},
+    };
+    for (const Row &row : rows) {
+        SCOPED_TRACE(row.field);
+        ASSERT_TRUE(FaultInjector::flipByteAt(*path_, row.offset));
+        expectReject(row.kind, 0, row.errOffset);
+        // flipByteAt is self-inverse: the un-flip restores the stream.
+        ASSERT_TRUE(FaultInjector::flipByteAt(*path_, row.offset));
+        expectPristine();
+    }
+}
+
+TEST_F(TraceV3Corruption, ResealedHeaderFieldsHitTheirTypedChecks)
+{
+    struct Row
+    {
+        const char *field;
+        size_t offset;
+        uint64_t value;
+        unsigned width;
+        Kind kind;
+        uint64_t errOffset;
+    };
+    const Row rows[] = {
+        // Wrong record size with a *valid* checksum: version skew.
+        {"recordBytes", v3::HDR_OFF_RECORD_BYTES, 76, 4,
+         Kind::BAD_RECORD_SIZE, v3::HDR_OFF_RECORD_BYTES},
+        // Unknown codec id.
+        {"codec", v3::HDR_OFF_CODEC, 7, 4, Kind::BAD_CODEC,
+         v3::HDR_OFF_CODEC},
+        // Stale index: header record count no longer matches what the
+        // index tiles (e.g. the trace was re-recorded longer but the
+        // old index/footer survived).
+        {"recordCount+", v3::HDR_OFF_RECORD_COUNT, RECORDS + 512, 8,
+         Kind::BAD_INDEX, info_->indexOffset},
+        {"recordCount-", v3::HDR_OFF_RECORD_COUNT, RECORDS - 100, 8,
+         Kind::BAD_INDEX, info_->indexOffset},
+        // Header and footer disagreeing on where the index lives.
+        {"indexOffset", v3::HDR_OFF_INDEX_OFFSET,
+         info_->indexOffset + v3::INDEX_ENTRY_BYTES, 8, Kind::BAD_INDEX,
+         pristine_->size() - v3::FOOTER_BYTES},
+    };
+    for (const Row &row : rows) {
+        SCOPED_TRACE(row.field);
+        std::vector<uint8_t> bytes = *pristine_;
+        patchHeaderField(bytes, row.offset, row.value, row.width);
+        spit(*path_, bytes);
+        expectReject(row.kind, 0, row.errOffset);
+        spit(*path_, *pristine_);
+        expectPristine();
+    }
+}
+
+TEST_F(TraceV3Corruption, ChunkHeaderFieldFlipsRejectWithValidPrefix)
+{
+    // Damage chunk 1 of 3: the reader must deliver chunk 0's 1024
+    // records, then stop with a typed, chunk-scoped error.
+    const uint64_t c1 = info_->chunks[1].offset;
+    struct Row
+    {
+        const char *field;
+        uint64_t offset;
+        Kind kind;
+    };
+    const Row rows[] = {
+        {"chunkMagic", c1 + v3::CHK_OFF_MAGIC, Kind::BAD_CHUNK},
+        {"payloadBytes", c1 + v3::CHK_OFF_PAYLOAD_BYTES, Kind::BAD_CHUNK},
+        {"rawBytes", c1 + v3::CHK_OFF_RAW_BYTES, Kind::BAD_CHUNK},
+        {"records", c1 + v3::CHK_OFF_RECORDS, Kind::BAD_CHUNK},
+        {"firstRecord", c1 + v3::CHK_OFF_FIRST_RECORD, Kind::BAD_CHUNK},
+        {"chunkChecksum", c1 + v3::CHK_OFF_CHECKSUM, Kind::BAD_CHUNK},
+    };
+    for (const Row &row : rows) {
+        SCOPED_TRACE(row.field);
+        ASSERT_TRUE(FaultInjector::flipByteAt(*path_, row.offset));
+        expectReject(row.kind, 1024, c1, 1);
+        ASSERT_TRUE(FaultInjector::flipByteAt(*path_, row.offset));
+        expectPristine();
+    }
+}
+
+TEST_F(TraceV3Corruption, PayloadBitFlipFailsTheChunkChecksum)
+{
+    const uint64_t c1 = info_->chunks[1].offset;
+    const uint64_t payload = c1 + v3::CHUNK_HEADER_BYTES;
+    for (const uint64_t delta : {uint64_t(0), uint64_t(4097),
+                                 uint64_t(info_->chunks[1].payloadBytes)
+                                     - 1}) {
+        SCOPED_TRACE(delta);
+        ASSERT_TRUE(FaultInjector::flipByteAt(*path_, payload + delta));
+        expectReject(Kind::BAD_CHECKSUM, 1024, payload, 1);
+        ASSERT_TRUE(FaultInjector::flipByteAt(*path_, payload + delta));
+        expectPristine();
+    }
+
+    // A single-*bit* flip must be caught too (weakest corruption).
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, payload + 100, 0x01));
+    expectReject(Kind::BAD_CHECKSUM, 1024, payload, 1);
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, payload + 100, 0x01));
+    expectPristine();
+}
+
+TEST_F(TraceV3Corruption, FirstChunkDamageDeliversZeroRecords)
+{
+    const uint64_t c0 = info_->chunks[0].offset;
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, c0 + v3::CHK_OFF_MAGIC));
+    expectReject(Kind::BAD_CHUNK, 0, c0, 0);
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, c0 + v3::CHK_OFF_MAGIC));
+    expectPristine();
+}
+
+TEST_F(TraceV3Corruption, IndexAndFooterFlipsAreTypedAndPaired)
+{
+    const uint64_t index_off = info_->indexOffset;
+    const uint64_t footer_off = pristine_->size() - v3::FOOTER_BYTES;
+    struct Row
+    {
+        const char *field;
+        uint64_t offset;
+        Kind kind;
+        uint64_t errOffset;
+    };
+    const Row rows[] = {
+        // Any index byte is covered by the footer's index checksum.
+        {"indexEntry0", index_off + 3, Kind::BAD_INDEX, index_off},
+        {"indexEntry2", index_off + 2 * v3::INDEX_ENTRY_BYTES + 20,
+         Kind::BAD_INDEX, index_off},
+        // Footer fields.
+        {"footerIndexOffset", footer_off + 0, Kind::BAD_INDEX,
+         footer_off},
+        {"footerChunkCount", footer_off + 8, Kind::BAD_INDEX,
+         footer_off},
+        {"footerIndexChecksum", footer_off + 12, Kind::BAD_INDEX,
+         index_off},
+        {"footerMagic", footer_off + 20, Kind::TRUNCATED,
+         pristine_->size() - 4},
+    };
+    for (const Row &row : rows) {
+        SCOPED_TRACE(row.field);
+        ASSERT_TRUE(FaultInjector::flipByteAt(*path_, row.offset));
+        expectReject(row.kind, 0, row.errOffset);
+        ASSERT_TRUE(FaultInjector::flipByteAt(*path_, row.offset));
+        expectPristine();
+    }
+
+    // The reserved footer word is the one span checksums do not cover:
+    // flipping it must NOT reject (documents the only hole, and keeps
+    // the fuzz test's accept arm honest).
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, footer_off + 16));
+    expectPristine();
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, footer_off + 16));
+    expectPristine();
+}
+
+TEST_F(TraceV3Corruption, DuplicatedChunkIsCaughtByTheIndexCrossCheck)
+{
+    // Splice chunk 0's bytes over chunk 1 (same size: both are full
+    // 1024-record raw chunks).  Chunk 1's header then carries
+    // firstRecord 0, disagreeing with the FNV-sealed index entry.
+    const V3Info::Chunk &c0 = info_->chunks[0];
+    const V3Info::Chunk &c1 = info_->chunks[1];
+    ASSERT_EQ(c0.payloadBytes, c1.payloadBytes);
+    const size_t span = v3::CHUNK_HEADER_BYTES + c0.payloadBytes;
+
+    std::vector<uint8_t> bytes = *pristine_;
+    std::memcpy(bytes.data() + c1.offset, bytes.data() + c0.offset, span);
+    spit(*path_, bytes);
+    {
+        SCOPED_TRACE("duplicated chunk");
+        expectReject(Kind::BAD_CHUNK, 1024, c1.offset, 1);
+    }
+    const ReadResult r = readV3(*path_);
+    EXPECT_NE(r.err.message.find("duplicated"), std::string::npos)
+        << r.err.describe();
+
+    spit(*path_, *pristine_);
+    expectPristine();
+}
+
+TEST_F(TraceV3Corruption, TruncationIsTypedAtEveryCutPoint)
+{
+    struct Row
+    {
+        const char *site;
+        uint64_t keep;
+        Kind kind;
+    };
+    const Row rows[] = {
+        {"insideHeader", 16, Kind::SHORT_HEADER},
+        {"beforeFooterMinimum", v3::HEADER_BYTES + 10, Kind::TRUNCATED},
+        {"midChunk1", info_->chunks[1].offset + 1000, Kind::TRUNCATED},
+        {"atIndexStart", info_->indexOffset, Kind::TRUNCATED},
+        {"insideFooter", pristine_->size() - 3, Kind::TRUNCATED},
+    };
+    for (const Row &row : rows) {
+        SCOPED_TRACE(row.site);
+        std::vector<uint8_t> bytes = *pristine_;
+        bytes.resize(size_t(row.keep));
+        spit(*path_, bytes);
+        // A file cut off mid-write has no trustworthy index, so the
+        // whole container is rejected at open: prefix 0.
+        expectReject(row.kind, 0);
+        spit(*path_, *pristine_);
+        expectPristine();
+    }
+}
+
+TEST_F(TraceV3Corruption, BufferedPathRejectsIdentically)
+{
+    // The buffered FILE* fallback must enforce the same matrix; spot
+    // check one case per layer against the mmap results above.
+    V3SourceOptions buffered;
+    buffered.preferMmap = false;
+
+    const uint64_t c1 = info_->chunks[1].offset;
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, c1 + v3::CHK_OFF_MAGIC));
+    {
+        clearTraceQuarantine();
+        TraceV3Source src(*path_, buffered);
+        EXPECT_FALSE(src.usedMmap());
+        uint64_t n = 0;
+        while (!src.done()) {
+            src.advance();
+            ++n;
+        }
+        EXPECT_EQ(n, 1024u);
+        EXPECT_EQ(src.error().kind, Kind::BAD_CHUNK);
+        EXPECT_EQ(src.error().chunkIndex, 1);
+    }
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, c1 + v3::CHK_OFF_MAGIC));
+
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, v3::HDR_OFF_MAGIC));
+    {
+        clearTraceQuarantine();
+        TraceV3Source src(*path_, buffered);
+        EXPECT_EQ(src.error().kind, Kind::BAD_MAGIC);
+        EXPECT_TRUE(src.done());
+    }
+    ASSERT_TRUE(FaultInjector::flipByteAt(*path_, v3::HDR_OFF_MAGIC));
+    expectPristine();
+}
+
+// ---------------------------------------------------------------------
+// Randomized mutation fuzz smoke: 500 mutated containers, zero crashes,
+// zero escapes (an accepted full read must digest pristine).
+// ---------------------------------------------------------------------
+
+TEST(TraceV3Fuzz, RandomMutationsNeverCrashOrEscape)
+{
+    const Workload &w = findWorkload("gzip");
+    const x86::Program prog = w.buildProgram(0);
+    const uint64_t N = 900;
+    const std::string path = ::testing::TempDir() + "fuzz.rpl3";
+
+    V3Options raw_opts;
+    raw_opts.chunkRecords = 128;
+    raw_opts.codec = V3Codec::RAW;
+    TraceV3Writer::dumpProgram(prog, N, path, raw_opts);
+    const std::vector<uint8_t> raw_bytes = slurp(path);
+
+    uint64_t want_digest = 0;
+    {
+        clearTraceQuarantine();
+        TraceV3Source src(path);
+        want_digest = wire::streamDigest(src);
+        ASSERT_TRUE(src.ok());
+        ASSERT_EQ(src.consumed(), N);
+    }
+
+    std::vector<uint8_t> zlib_bytes;
+    if (v3ZlibAvailable()) {
+        V3Options z = raw_opts;
+        z.codec = V3Codec::ZLIB;
+        TraceV3Writer::dumpProgram(prog, N, path, z);
+        zlib_bytes = slurp(path);
+        clearTraceQuarantine();
+        TraceV3Source src(path);
+        EXPECT_EQ(wire::streamDigest(src), want_digest)
+            << "zlib and raw codecs must digest identically";
+    }
+
+    Rng rng(20260809);
+    unsigned rejects = 0, accepts = 0;
+    for (unsigned iter = 0; iter < 500; ++iter) {
+        const bool use_zlib = !zlib_bytes.empty() && iter % 3 == 0;
+        const std::vector<uint8_t> &base =
+            use_zlib ? zlib_bytes : raw_bytes;
+        std::vector<uint8_t> bytes = base;
+        if (rng.chance(0.2)) {
+            bytes.resize(size_t(rng.below(bytes.size())));
+        } else {
+            const unsigned flips = 1 + unsigned(rng.below(4));
+            for (unsigned f = 0; f < flips; ++f)
+                bytes[size_t(rng.below(bytes.size()))] ^=
+                    uint8_t(1u << rng.below(8));
+        }
+        spit(path, bytes);
+
+        clearTraceQuarantine();
+        TraceV3Source src(path);
+        const uint64_t digest = wire::streamDigest(src);
+        if (src.ok()) {
+            // Accepted: the stream must be byte-identical to pristine
+            // — anything else is a silent-wrong-data escape.
+            EXPECT_EQ(src.consumed(), N) << "iteration " << iter;
+            EXPECT_EQ(digest, want_digest) << "iteration " << iter;
+            ++accepts;
+        } else {
+            EXPECT_NE(src.error().kind, Kind::NONE);
+            EXPECT_FALSE(src.error().path.empty()) << "iteration " << iter;
+            EXPECT_LE(src.consumed(), N);
+            ++rejects;
+        }
+    }
+    // Nearly the whole file is checksummed (the 4-byte reserved footer
+    // word is the only uncovered span), so accepts are rare.
+    EXPECT_GE(rejects, 490u) << accepts << " accepts";
+    clearTraceQuarantine();
+}
+
+// ---------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------
+
+TEST(TraceV3RoundTrip, WriterReaderPreserveEveryField)
+{
+    const Workload &w = findWorkload("eon");   // exercises FP records
+    const x86::Program prog = w.buildProgram(0);
+    const std::string path = ::testing::TempDir() + "eon.rpl3";
+    TraceV3Writer::dumpProgram(prog, 3000, path);
+
+    clearTraceQuarantine();
+    TraceV3Source src(path);
+    ASSERT_TRUE(src.ok()) << src.error().describe();
+    EXPECT_EQ(src.totalRecords(), 3000u);
+    ExecutorTraceSource want(prog, 3000);
+    expectIdenticalStreams(src, want);
+    EXPECT_TRUE(src.ok());
+}
+
+TEST(TraceV3RoundTrip, ConvertedV2IsIdenticalForAllFourteenWorkloads)
+{
+    const uint64_t N = 1200;
+    for (const Workload &w : standardWorkloads()) {
+        SCOPED_TRACE(w.name);
+        const x86::Program prog = w.buildProgram(0);
+        const std::string v2_path =
+            ::testing::TempDir() + w.name + ".rplt";
+        const std::string v3_path =
+            ::testing::TempDir() + w.name + ".rpl3";
+        TraceFileWriter::dumpProgram(prog, N, v2_path);
+        convertV2ToV3(v2_path, v3_path);
+
+        // The container-independent stream digest ties all three
+        // representations together: live synthesis, v2, converted v3.
+        ExecutorTraceSource live(prog, N);
+        const uint64_t want = wire::streamDigest(live);
+
+        FileTraceSource v2(v2_path);
+        EXPECT_EQ(wire::streamDigest(v2), want);
+        ASSERT_TRUE(v2.ok());
+
+        clearTraceQuarantine();
+        TraceV3Source v3src(v3_path);
+        EXPECT_EQ(wire::streamDigest(v3src), want);
+        ASSERT_TRUE(v3src.ok()) << v3src.error().describe();
+        EXPECT_EQ(v3src.consumed(), N);
+    }
+}
+
+TEST(TraceV3RoundTrip, ZlibAndRawCodecsDeliverTheSameStream)
+{
+    if (!v3ZlibAvailable())
+        GTEST_SKIP() << "built without zlib";
+    const Workload &w = findWorkload("vortex");
+    const x86::Program prog = w.buildProgram(0);
+    const std::string raw_path = ::testing::TempDir() + "codec_raw.rpl3";
+    const std::string z_path = ::testing::TempDir() + "codec_zlib.rpl3";
+    V3Options raw_opts;
+    raw_opts.codec = V3Codec::RAW;
+    V3Options z_opts;
+    z_opts.codec = V3Codec::ZLIB;
+    TraceV3Writer::dumpProgram(prog, 4000, raw_path, raw_opts);
+    TraceV3Writer::dumpProgram(prog, 4000, z_path, z_opts);
+
+    clearTraceQuarantine();
+    TraceV3Source a(raw_path), b(z_path);
+    expectIdenticalStreams(b, a);
+    EXPECT_TRUE(a.ok());
+    EXPECT_TRUE(b.ok());
+
+    // Compression must actually compress the synthetic traces.
+    EXPECT_LT(std::filesystem::file_size(z_path),
+              std::filesystem::file_size(raw_path) / 4);
+}
+
+TEST(TraceV3RoundTrip, MmapAndBufferedDeliverIdenticalStreams)
+{
+    const Workload &w = findWorkload("parser");
+    const x86::Program prog = w.buildProgram(0);
+    const std::string path = ::testing::TempDir() + "paths.rpl3";
+    TraceV3Writer::dumpProgram(prog, 2500, path);
+
+    clearTraceQuarantine();
+    V3SourceOptions mm;
+    mm.preferMmap = true;
+    V3SourceOptions buf;
+    buf.preferMmap = false;
+    TraceV3Source a(path, mm), b(path, buf);
+    if (mmapExpected()) {
+        EXPECT_TRUE(a.usedMmap());
+    }
+    EXPECT_FALSE(b.usedMmap());
+    expectIdenticalStreams(b, a);
+    EXPECT_TRUE(a.ok());
+    EXPECT_TRUE(b.ok());
+}
+
+TEST(TraceV3RoundTrip, EmptyContainerRoundTrips)
+{
+    const std::string path = ::testing::TempDir() + "empty.rpl3";
+    {
+        TraceV3Writer writer(path);
+        const TraceError err = writer.close();
+        ASSERT_TRUE(err.ok()) << err.describe();
+    }
+    const V3Info info = inspectV3(path);
+    EXPECT_TRUE(info.ok()) << info.error.describe();
+    EXPECT_EQ(info.recordCount, 0u);
+    EXPECT_TRUE(info.chunks.empty());
+
+    clearTraceQuarantine();
+    TraceV3Source src(path);
+    EXPECT_TRUE(src.ok()) << src.error().describe();
+    EXPECT_TRUE(src.done());
+    EXPECT_EQ(src.consumed(), 0u);
+    EXPECT_TRUE(src.seekToRecord(0));
+    EXPECT_TRUE(src.done());
+}
+
+TEST(TraceV3RoundTrip, LimitRecordsCapsThePresentedStream)
+{
+    const Workload &w = findWorkload("bzip2");
+    const x86::Program prog = w.buildProgram(0);
+    const std::string path = ::testing::TempDir() + "limit.rpl3";
+    TraceV3Writer::dumpProgram(prog, 3000, path);
+
+    clearTraceQuarantine();
+    V3SourceOptions opts;
+    opts.limitRecords = 700;
+    TraceV3Source src(path, opts);
+    EXPECT_EQ(src.totalRecords(), 700u);
+    ExecutorTraceSource want(prog, 700);
+    expectIdenticalStreams(src, want);
+    EXPECT_TRUE(src.ok());
+    EXPECT_EQ(src.consumed(), 700u);
+}
+
+TEST(TraceV3Open, SniffDispatchesV2AndV3AndRejectsGarbage)
+{
+    const Workload &w = findWorkload("twolf");
+    const x86::Program prog = w.buildProgram(0);
+    const uint64_t N = 800;
+    ExecutorTraceSource live(prog, N);
+    const uint64_t want = wire::streamDigest(live);
+
+    const std::string v2_path = ::testing::TempDir() + "sniff.rplt";
+    TraceFileWriter::dumpProgram(prog, N, v2_path);
+    const std::string v3_path = ::testing::TempDir() + "sniff.rpl3";
+    TraceV3Writer::dumpProgram(prog, N, v3_path);
+
+    clearTraceQuarantine();
+    TraceError err;
+    auto v2 = openTraceFile(v2_path, &err);
+    ASSERT_NE(v2, nullptr) << err.describe();
+    EXPECT_EQ(wire::streamDigest(*v2), want);
+
+    auto v3src = openTraceFile(v3_path, &err);
+    ASSERT_NE(v3src, nullptr) << err.describe();
+    EXPECT_EQ(wire::streamDigest(*v3src), want);
+
+    // The v3 limit plumbs through the sniffing opener.
+    auto capped = openTraceFile(v3_path, &err, 300);
+    ASSERT_NE(capped, nullptr);
+    ExecutorTraceSource head(prog, 300);
+    EXPECT_EQ(wire::streamDigest(*capped), wire::streamDigest(head));
+
+    const std::string junk = ::testing::TempDir() + "junk.bin";
+    spit(junk, {'h', 'e', 'l', 'l', 'o', ' ', 'f', 's'});
+    auto bad = openTraceFile(junk, &err);
+    EXPECT_EQ(bad, nullptr);
+    EXPECT_EQ(err.kind, Kind::BAD_MAGIC);
+    EXPECT_EQ(err.path, junk);
+}
+
+TEST(TraceV3Inspect, IndexTilesTheFileExactly)
+{
+    const Workload &w = findWorkload("crafty");
+    const std::string path = ::testing::TempDir() + "inspect.rpl3";
+    V3Options opts;
+    opts.chunkRecords = 256;
+    TraceV3Writer::dumpProgram(w.buildProgram(0), 1000, path, opts);
+
+    const V3Info info = inspectV3(path);
+    ASSERT_TRUE(info.ok()) << info.error.describe();
+    EXPECT_EQ(info.recordCount, 1000u);
+    EXPECT_EQ(info.chunkRecords, 256u);
+    EXPECT_EQ(info.recordBytes, wire::recordWireBytes());
+    ASSERT_EQ(info.chunks.size(), 4u);   // 256+256+256+232
+
+    uint64_t next_offset = v3::HEADER_BYTES;
+    uint64_t next_record = 0;
+    for (const V3Info::Chunk &c : info.chunks) {
+        EXPECT_EQ(c.offset, next_offset);
+        EXPECT_EQ(c.firstRecord, next_record);
+        next_offset = c.offset + v3::CHUNK_HEADER_BYTES + c.payloadBytes;
+        next_record = c.firstRecord + c.records;
+    }
+    EXPECT_EQ(next_offset, info.indexOffset);
+    EXPECT_EQ(next_record, 1000u);
+    EXPECT_EQ(info.chunks.back().records, 232u);
+    EXPECT_EQ(info.fileBytes,
+              info.indexOffset +
+                  info.chunks.size() * v3::INDEX_ENTRY_BYTES +
+                  v3::FOOTER_BYTES);
+}
+
+// ---------------------------------------------------------------------
+// Seek / resume
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Seek to @p target and verify the remainder against @p ref. */
+void
+expectSeekTail(TraceV3Source &src, uint64_t target,
+               const std::vector<TraceRecord> &ref)
+{
+    const uint64_t N = ref.size();
+    ASSERT_TRUE(src.seekToRecord(target)) << src.error().describe();
+    if (target >= N) {
+        EXPECT_TRUE(src.done());
+        EXPECT_EQ(src.consumed(), 0u);
+        return;
+    }
+    uint64_t i = target;
+    while (!src.done()) {
+        ASSERT_LT(i, N);
+        EXPECT_EQ(src.peek()->pc, ref[size_t(i)].pc) << "record " << i;
+        EXPECT_EQ(src.peek()->nextPc, ref[size_t(i)].nextPc);
+        src.advance();
+        ++i;
+    }
+    EXPECT_EQ(i, N) << "seek(" << target << ") tail ended early";
+    EXPECT_EQ(src.consumed(), N - target);
+    EXPECT_TRUE(src.ok()) << src.error().describe();
+}
+
+} // namespace
+
+TEST(TraceV3Seek, AgreesWithSequentialReplayAtEveryBoundary)
+{
+    const Workload &w = findWorkload("crafty");
+    const x86::Program prog = w.buildProgram(0);
+    const uint64_t N = 2700;
+    const std::string path = ::testing::TempDir() + "seek.rpl3";
+    V3Options opts;
+    opts.chunkRecords = 512;
+    TraceV3Writer::dumpProgram(prog, N, path, opts);
+    const auto ref = collectTrace(prog, N);
+
+    // Chunk boundaries, mid-chunk, first/last, EOF, past-EOF — on both
+    // the mmap and buffered read paths.
+    const uint64_t targets[] = {0,    1,    511,  512, 513, 1024,
+                                2047, 2559, 2699, N,   N + 4242};
+    for (const bool prefer_mmap : {true, false}) {
+        SCOPED_TRACE(prefer_mmap ? "mmap" : "buffered");
+        V3SourceOptions so;
+        so.preferMmap = prefer_mmap;
+        for (const uint64_t t : targets) {
+            SCOPED_TRACE(t);
+            clearTraceQuarantine();
+            TraceV3Source src(path, so);
+            ASSERT_TRUE(src.ok()) << src.error().describe();
+            expectSeekTail(src, t, ref);
+        }
+    }
+}
+
+TEST(TraceV3Seek, ReSeekOnTheSameSourceForwardAndBackward)
+{
+    const Workload &w = findWorkload("gzip");
+    const x86::Program prog = w.buildProgram(0);
+    const uint64_t N = 2048;
+    const std::string path = ::testing::TempDir() + "reseek.rpl3";
+    V3Options opts;
+    opts.chunkRecords = 256;
+    TraceV3Writer::dumpProgram(prog, N, path, opts);
+    const auto ref = collectTrace(prog, N);
+
+    clearTraceQuarantine();
+    TraceV3Source src(path);
+    ASSERT_TRUE(src.ok());
+
+    // Read a prefix sequentially, jump ahead, then rewind behind the
+    // already-recycled window — each tail must match the reference.
+    for (unsigned i = 0; i < 300; ++i)
+        src.advance();
+    expectSeekTail(src, 1536, ref);    // forward, chunk boundary
+    expectSeekTail(src, 100, ref);     // backward, mid-first-chunk
+    expectSeekTail(src, N - 1, ref);   // last record
+    expectSeekTail(src, 0, ref);       // full rewind
+}
+
+TEST(TraceV3Seek, ResumesAfterTransientFaultAtChunkBoundary)
+{
+    const Workload &w = findWorkload("parser");
+    const x86::Program prog = w.buildProgram(0);
+    const uint64_t N = 2048;
+    const std::string path = ::testing::TempDir() + "seekfault.rpl3";
+    V3Options opts;
+    opts.chunkRecords = 512;
+    TraceV3Writer::dumpProgram(prog, N, path, opts);
+    const auto ref = collectTrace(prog, N);
+
+    for (const bool prefer_mmap : {true, false}) {
+        SCOPED_TRACE(prefer_mmap ? "mmap" : "buffered");
+        clearTraceQuarantine();
+        V3SourceOptions so;
+        so.preferMmap = prefer_mmap;
+        TraceV3Source src(path, so);
+        ASSERT_TRUE(src.ok());
+
+        // One injected transient fault on the first chunk load after
+        // the seek: the retry must absorb it and resume the identical
+        // stream from the boundary.
+        unsigned fires = 1;
+        src.setIoFaultInjector([&fires] {
+            if (fires) {
+                --fires;
+                return true;
+            }
+            return false;
+        });
+        expectSeekTail(src, 1536, ref);
+        EXPECT_EQ(src.ioRetries(), 1u);
+        EXPECT_FALSE(traceQuarantined(path));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault injection: transient retry, persistent quarantine (v2 parity)
+// ---------------------------------------------------------------------
+
+TEST(TraceV3Faults, TransientFaultsRetriedToFullStream)
+{
+    const Workload &w = findWorkload("gzip");
+    const std::string path = ::testing::TempDir() + "v3transient.rpl3";
+    V3Options opts;
+    opts.chunkRecords = 64;     // many chunk loads => many fault draws
+    TraceV3Writer::dumpProgram(w.buildProgram(0), 1500, path, opts);
+
+    for (const bool prefer_mmap : {true, false}) {
+        SCOPED_TRACE(prefer_mmap ? "mmap" : "buffered");
+        clearTraceQuarantine();
+        V3SourceOptions so;
+        so.preferMmap = prefer_mmap;
+        TraceV3Source src(path, so);
+        Rng rng(42);
+        src.setIoFaultInjector([&rng] { return rng.chance(0.15); });
+        uint64_t n = 0;
+        while (!src.done()) {
+            src.advance();
+            ++n;
+        }
+        EXPECT_TRUE(src.ok()) << src.error().describe();
+        EXPECT_EQ(n, 1500u);
+        EXPECT_GT(src.ioRetries(), 0u);
+        EXPECT_FALSE(traceQuarantined(path));
+    }
+}
+
+TEST(TraceV3Faults, PersistentFaultReadsErrorAndQuarantines)
+{
+    clearTraceQuarantine();
+    const Workload &w = findWorkload("gzip");
+    const std::string path = ::testing::TempDir() + "v3persistent.rpl3";
+    TraceV3Writer::dumpProgram(w.buildProgram(0), 800, path);
+
+    TraceV3Source src(path);
+    src.setIoFaultInjector([] { return true; });
+    while (!src.done())
+        src.advance();
+    EXPECT_EQ(src.error().kind, Kind::READ_ERROR);
+    EXPECT_EQ(src.ioRetries(), TraceV3Source::MAX_READ_RETRIES);
+    EXPECT_EQ(src.error().path, path);
+    EXPECT_EQ(src.error().chunkIndex, 0);
+    EXPECT_TRUE(traceQuarantined(path));
+
+    // Session quarantine: the next open fails fast.
+    TraceV3Source again(path);
+    EXPECT_EQ(again.error().kind, Kind::QUARANTINED);
+    EXPECT_TRUE(again.done());
+    EXPECT_EQ(again.ioRetries(), 0u);
+
+    clearTraceQuarantine();
+    TraceV3Source clean(path);
+    EXPECT_TRUE(clean.ok());
+}
+
+// ---------------------------------------------------------------------
+// TraceError diagnostics: path + byte offset + chunk index (v3), path +
+// byte offset (v2), and the describe() rendering of all three.
+// ---------------------------------------------------------------------
+
+TEST(TraceV3Diagnostics, ErrorsCarryPathOffsetAndChunk)
+{
+    const Workload &w = findWorkload("gzip");
+    const std::string path = ::testing::TempDir() + "diag.rpl3";
+    V3Options opts;
+    opts.chunkRecords = 512;
+    opts.codec = V3Codec::RAW;
+    TraceV3Writer::dumpProgram(w.buildProgram(0), 1500, path, opts);
+    const V3Info info = inspectV3(path);
+    ASSERT_TRUE(info.ok());
+    ASSERT_GE(info.chunks.size(), 2u);
+
+    const uint64_t payload_off =
+        info.chunks[1].offset + v3::CHUNK_HEADER_BYTES;
+    ASSERT_TRUE(FaultInjector::flipByteAt(path, payload_off + 37));
+
+    clearTraceQuarantine();
+    TraceV3Source src(path);
+    while (!src.done())
+        src.advance();
+    const TraceError &err = src.error();
+    EXPECT_EQ(err.kind, Kind::BAD_CHECKSUM);
+    EXPECT_EQ(err.path, path);
+    EXPECT_EQ(err.byteOffset, payload_off);
+    EXPECT_EQ(err.chunkIndex, 1);
+
+    const std::string text = err.describe();
+    EXPECT_NE(text.find(path), std::string::npos) << text;
+    EXPECT_NE(text.find("@byte " + std::to_string(payload_off)),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("chunk 1"), std::string::npos) << text;
+}
+
+TEST(TraceV3Diagnostics, V2ErrorsCarryPathAndByteOffset)
+{
+    clearTraceQuarantine();
+    const Workload &w = findWorkload("gzip");
+    const std::string path = ::testing::TempDir() + "diag.rplt";
+    TraceFileWriter::dumpProgram(w.buildProgram(0), 600, path);
+    const auto size = std::filesystem::file_size(path);
+    ASSERT_TRUE(FaultInjector::truncateFile(path, size / 2 + 7));
+
+    FileTraceSource src(path);
+    while (!src.done())
+        src.advance();
+    const TraceError &err = src.error();
+    EXPECT_EQ(err.kind, Kind::TRUNCATED);
+    EXPECT_EQ(err.path, path);
+    // v2 layout: 20-byte header, then (4-byte guard + record) each.
+    const uint64_t per_record = 4 + wire::recordWireBytes();
+    EXPECT_EQ(err.byteOffset, 20 + src.produced() * per_record);
+    EXPECT_EQ(err.chunkIndex, -1) << "v2 errors are not chunk-scoped";
+
+    const std::string text = err.describe();
+    EXPECT_NE(text.find(path), std::string::npos) << text;
+    EXPECT_NE(text.find("@byte"), std::string::npos) << text;
+    EXPECT_EQ(text.find("chunk"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------
+// Corpus manifest round-trip on v3 containers
+// ---------------------------------------------------------------------
+
+TEST(TraceV3Corpus, ManifestRoundTripsAndPinsDigests)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string manifest = dir + "corpus_t.json";
+    std::vector<CorpusEntry> entries;
+    for (const char *name : {"gzip", "excel"}) {
+        const Workload &w = findWorkload(name);
+        for (unsigned t = 0; t < w.numTraces; ++t) {
+            const x86::Program prog = w.buildProgram(t);
+            CorpusEntry e;
+            e.id = std::string(name) + "." + std::to_string(t);
+            e.workload = name;
+            e.traceIdx = t;
+            e.records = 600;
+            e.file = "corpus_t." + e.id + ".rpl3";
+            TraceV3Writer::dumpProgram(prog, 600, dir + e.file);
+            ExecutorTraceSource live(prog, 600);
+            e.digest = wire::streamDigest(live);
+            entries.push_back(e);
+        }
+    }
+    const TraceError werr = writeCorpusManifest(manifest, entries);
+    ASSERT_TRUE(werr.ok()) << werr.describe();
+
+    clearTraceQuarantine();
+    const TraceCorpus corpus = TraceCorpus::load(manifest);
+    ASSERT_TRUE(corpus.ok()) << corpus.error().describe();
+    ASSERT_EQ(corpus.size(), entries.size());
+
+    for (const CorpusEntry &want : entries) {
+        const CorpusEntry *got = corpus.findById(want.id);
+        ASSERT_NE(got, nullptr) << want.id;
+        EXPECT_EQ(got->records, want.records);
+        EXPECT_EQ(got->digest, want.digest);
+
+        TraceError err;
+        auto src = corpus.open(*got, 0, &err);
+        ASSERT_NE(src, nullptr) << err.describe();
+        EXPECT_EQ(wire::streamDigest(*src), want.digest);
+    }
+
+    // A recording shorter than the requested budget is a miss — the
+    // caller must synthesize instead of replaying a prefix.
+    EXPECT_NE(corpus.find("gzip", 0, 600), nullptr);
+    EXPECT_EQ(corpus.find("gzip", 0, 601), nullptr);
+    EXPECT_EQ(corpus.find("gzip", 99, 1), nullptr);
+    EXPECT_EQ(corpus.find("nosuch", 0, 1), nullptr);
+
+    // A damaged container is an open() error, pinned by the manifest.
+    const CorpusEntry *victim = corpus.findById("excel.1");
+    ASSERT_NE(victim, nullptr);
+    ASSERT_TRUE(FaultInjector::truncateFile(
+        corpus.resolvePath(*victim),
+        std::filesystem::file_size(corpus.resolvePath(*victim)) - 10));
+    TraceError err;
+    EXPECT_EQ(corpus.open(*victim, 0, &err), nullptr);
+    EXPECT_EQ(err.kind, Kind::TRUNCATED);
+}

@@ -8,10 +8,18 @@
  *
  * Usage:
  *   difforacle [--seed-range A:B] [--max-insts N] [--passmask M]
- *              [--reduce] [--out DIR] [--replay FILE ...] [--quiet]
+ *              [--reduce] [--out DIR] [--replay FILE ...]
+ *              [--corpus MANIFEST] [--quiet]
  *
- * Exit status is the number of diverging seeds (capped at 99), so a
- * clean sweep exits 0.
+ * --corpus runs the corpus-integrity leg instead of the program
+ * oracle: every manifest entry is re-read end to end and its record
+ * count and stream digest are differenced against the pinned values —
+ * the "two implementations" being the recorded container and the
+ * manifest's claim about it.  Each stale or unreadable entry counts as
+ * one divergence.
+ *
+ * Exit status is the number of divergences (capped at 99), so a clean
+ * sweep exits 0.
  */
 
 #include <cstdio>
@@ -25,6 +33,8 @@
 
 #include "fuzz/difforacle.hh"
 #include "fuzz/reducer.hh"
+#include "trace/chunk.hh"
+#include "trace/corpus.hh"
 
 using namespace replay;
 
@@ -39,6 +49,7 @@ struct Options
     bool reduce = false;
     bool quiet = false;
     std::string outDir = "fuzz-out";
+    std::string corpusManifest;
     std::vector<std::string> replayFiles;
 };
 
@@ -48,9 +59,53 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--seed-range A:B] [--max-insts N] "
                  "[--passmask M] [--reduce] [--out DIR] "
-                 "[--replay FILE ...] [--quiet]\n",
+                 "[--replay FILE ...] [--corpus MANIFEST] [--quiet]\n",
                  argv0);
     std::exit(2);
+}
+
+/**
+ * Corpus-integrity leg: re-read every manifest entry and difference
+ * its observed (records, digest) against the pinned values.  Returns
+ * the divergence count.
+ */
+int
+checkCorpus(const std::string &manifest, const Options &opt)
+{
+    const trace::TraceCorpus corpus = trace::TraceCorpus::load(manifest);
+    if (!corpus.ok()) {
+        std::fprintf(stderr, "difforacle: %s\n",
+                     corpus.error().describe().c_str());
+        return 1;
+    }
+    int diverging = 0;
+    for (const trace::CorpusEntry &entry : corpus.entries()) {
+        trace::TraceError err;
+        auto src = corpus.open(entry, 0, &err);
+        if (!src) {
+            std::printf("%s: DIVERGES — unreadable: %s\n",
+                        entry.id.c_str(), err.describe().c_str());
+            ++diverging;
+            continue;
+        }
+        const uint64_t digest = trace::wire::streamDigest(*src);
+        const uint64_t records = src->consumed();
+        if (records != entry.records || digest != entry.digest) {
+            std::printf("%s: DIVERGES — %llu records digest %s, "
+                        "manifest pins %llu / %s\n",
+                        entry.id.c_str(), (unsigned long long)records,
+                        trace::corpusDigestHex(digest).c_str(),
+                        (unsigned long long)entry.records,
+                        trace::corpusDigestHex(entry.digest).c_str());
+            ++diverging;
+        } else if (!opt.quiet) {
+            std::printf("%s: clean (%llu records)\n", entry.id.c_str(),
+                        (unsigned long long)records);
+        }
+    }
+    std::printf("%zu corpus entries, %d diverging\n",
+                corpus.entries().size(), diverging);
+    return diverging;
 }
 
 void
@@ -128,9 +183,16 @@ main(int argc, char **argv)
         } else if (arg == "--replay") {
             while (i + 1 < argc && argv[i + 1][0] != '-')
                 opt.replayFiles.push_back(argv[++i]);
+        } else if (arg == "--corpus") {
+            opt.corpusManifest = next();
         } else {
             usage(argv[0]);
         }
+    }
+
+    if (!opt.corpusManifest.empty()) {
+        const int bad = checkCorpus(opt.corpusManifest, opt);
+        return bad > 99 ? 99 : bad;
     }
 
     if (!opt.replayFiles.empty()) {

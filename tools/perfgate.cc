@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -33,7 +34,10 @@
 #include "core/sequencer.hh"
 #include "opt/optimizer.hh"
 #include "sim/sweep.hh"
+#include "trace/chunk.hh"
+#include "trace/tracefile.hh"
 #include "trace/tracer.hh"
+#include "trace/tracev3.hh"
 #include "trace/workload.hh"
 #include "util/logging.hh"
 
@@ -48,6 +52,7 @@ struct Measurement
     double cellsPerSec = 0;
     double framesPerSec = 0;
     double optUopsPerSec = 0;
+    double traceIngestMbps = 0;
     std::string sweepDigest;
     uint64_t engineCandidates = 0;
 };
@@ -144,6 +149,49 @@ runOptimizerPass(const std::vector<trace::TraceRecord> &records,
     m.optUopsPerSec = best;
 }
 
+/**
+ * v3 mmap ingest bandwidth (decoded record bytes per second) over a
+ * RAW container of the harvested records.  RAW + mmap is the
+ * configuration the >=2x-over-v2 design claim is made for (see
+ * bench_trace_ingest for the full v2/v3 comparison table).
+ */
+void
+runIngestPass(const std::vector<trace::TraceRecord> &records,
+              Measurement &m)
+{
+    const std::string path =
+        std::filesystem::temp_directory_path().string() +
+        "/perfgate_ingest.rpl3";
+    trace::V3Options opts;
+    opts.codec = trace::V3Codec::RAW;
+    {
+        trace::TraceV3Writer writer(path, opts);
+        for (const auto &rec : records)
+            writer.write(rec);
+        fatal_if(!writer.close().ok(),
+                 "perfgate: cannot record ingest container");
+    }
+    double best = 0;
+    for (int pass = 0; pass < 4; ++pass) {
+        trace::clearTraceQuarantine();
+        trace::TraceV3Source src(path);
+        const double t0 = now();
+        while (!src.done())
+            src.advance();
+        const double dt = now() - t0;
+        fatal_if(!src.ok() || src.consumed() != records.size(),
+                 "perfgate: ingest container damaged");
+        if (pass > 0 && dt > 0)
+            best = std::max(best,
+                            double(records.size()) *
+                                trace::wire::recordWireBytes() / dt /
+                                1e6);
+    }
+    m.traceIngestMbps = best;
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+}
+
 Measurement
 measure(uint64_t insts)
 {
@@ -169,6 +217,7 @@ measure(uint64_t insts)
     }
     runEnginePass(records, m);
     runOptimizerPass(records, m);
+    runIngestPass(records, m);
     return m;
 }
 
@@ -184,6 +233,8 @@ toJson(const Measurement &m)
     out << "    \"cells_per_sec\": " << m.cellsPerSec << ",\n";
     out << "    \"frames_per_sec\": " << uint64_t(m.framesPerSec) << ",\n";
     out << "    \"opt_uops_per_sec\": " << uint64_t(m.optUopsPerSec)
+        << ",\n";
+    out << "    \"trace_ingest_mbps\": " << uint64_t(m.traceIngestMbps)
         << "\n";
     out << "  },\n";
     out << "  \"determinism\": {\n";
@@ -303,6 +354,14 @@ check(const Measurement &m, const std::string &baseline_path,
         std::printf("perfgate: %-14s %12.0f  (no baseline entry; "
                     "not gated)\n",
                     "opt-uops/s", m.optUopsPerSec);
+    // v3 mmap trace ingest bandwidth: same opt-in scheme.
+    double base_ingest = 0;
+    if (jsonNumber(text, "trace_ingest_mbps", base_ingest))
+        gate("ingest-MB/s", m.traceIngestMbps, base_ingest);
+    else
+        std::printf("perfgate: %-14s %12.0f  (no baseline entry; "
+                    "not gated)\n",
+                    "ingest-MB/s", m.traceIngestMbps);
     return rc;
 }
 

@@ -16,7 +16,13 @@
  *
  * Usage:
  *   replaybench [--jobs N] [--insts N] [--json] [--list]
- *               [--static-check] [--tier N] [--tier-det] [target ...]
+ *               [--static-check] [--tier N] [--tier-det]
+ *               [--corpus corpus.json] [target ...]
+ *
+ * --corpus replays recorded trace containers (see tools/tracec) where
+ * the manifest covers a (workload, hot-spot) pair at the requested
+ * budget, falling back to live synthesis on misses; digests are
+ * identical either way, and each sweep reports its hit/miss counts.
  *
  * --tier N enables the tiered re-optimization engine with N background
  * workers on every frame-machine (RP/RPO) cell: frames admit through
@@ -145,6 +151,10 @@ emitText(const Target &target, const sim::SweepResult &result)
                 target.name, unsigned(result.cells.size()),
                 result.traceRuns, result.wallSeconds, result.jobs,
                 result.cellsPerSec(), result.instsPerSec() / 1e6);
+    if (result.corpusHits || result.corpusMisses) {
+        std::printf("%s: corpus %u hit(s), %u miss(es)\n", target.name,
+                    result.corpusHits, result.corpusMisses);
+    }
     std::printf("%s: digest %016llx\n\n", target.name,
                 (unsigned long long)result.digest());
 }
@@ -171,6 +181,8 @@ emitJson(const Target &target, const sim::SweepResult &result,
     std::printf("      \"wall_seconds\": %.6f,\n", result.wallSeconds);
     std::printf("      \"jobs\": %u,\n", result.jobs);
     std::printf("      \"trace_runs\": %u,\n", result.traceRuns);
+    std::printf("      \"corpus_hits\": %u,\n", result.corpusHits);
+    std::printf("      \"corpus_misses\": %u,\n", result.corpusMisses);
     std::printf("      \"cells_per_sec\": %.3f,\n", result.cellsPerSec());
     std::printf("      \"insts_per_sec\": %.0f,\n", result.instsPerSec());
     std::printf("      \"digest\": \"%016llx\",\n",
@@ -251,7 +263,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--jobs N] [--insts N] [--json] [--list] "
                  "[--static-check] [--tier N] [--tier-det] "
-                 "[target ...]\n"
+                 "[--corpus corpus.json] [target ...]\n"
                  "targets: fig6 fig7_8 fig9 fig10 table3 coverage "
                  "(default: all)\n",
                  argv0);
@@ -267,6 +279,8 @@ main(int argc, char **argv)
     bool json = false;
     bool list = false;
     bool static_check = false;
+    std::string corpus_path;
+    trace::TraceCorpus corpus;
     std::vector<std::string> names;
 
     for (int i = 1; i < argc; ++i) {
@@ -286,6 +300,10 @@ main(int argc, char **argv)
                 unsigned(sim::parseCount(argv[i], "--tier"));
         } else if (arg == "--tier-det") {
             opts.tierDeterministic = true;
+        } else if (arg == "--corpus") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            corpus_path = argv[i];
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--static-check") {
@@ -330,6 +348,18 @@ main(int argc, char **argv)
     const uint64_t insts = opts.instsPerTrace ? opts.instsPerTrace
                                               : sim::defaultInstsPerTrace();
     const unsigned jobs = opts.jobs ? opts.jobs : sim::defaultSweepJobs();
+
+    if (!corpus_path.empty()) {
+        // An explicitly requested corpus that fails to load is an
+        // error, not a silent fall-back to synthesis.
+        corpus = trace::TraceCorpus::load(corpus_path);
+        if (!corpus.ok()) {
+            std::fprintf(stderr, "replaybench: %s\n",
+                         corpus.error().describe().c_str());
+            return 1;
+        }
+        opts.corpus = &corpus;
+    }
 
     if (static_check) {
         // Counting mode; keep the Simulator's debug-build auto-enable
